@@ -1,0 +1,6 @@
+//! Experiment binary: prints the full-size table for `ia_bench::exp06_raidr`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ia_bench::exp06_raidr::run(quick));
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: prints the full-size table for `ia_bench::exp07_bdi`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ia_bench::exp07_bdi::run(quick));
+}

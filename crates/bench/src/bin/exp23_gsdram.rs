@@ -1,0 +1,6 @@
+//! Experiment binary: prints the full-size table for `ia_bench::exp23_gsdram`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ia_bench::exp23_gsdram::run(quick));
+}

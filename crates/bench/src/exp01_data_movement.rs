@@ -1,0 +1,108 @@
+//! **E1 — Data-movement energy in consumer workloads.**
+//!
+//! Paper claim (§I): "more than 60% of the entire mobile system energy is
+//! spent on data movement across the memory hierarchy when executing four
+//! major commonly-used consumer workloads" (Boroumand+, ASPLOS 2018), and
+//! PIM offload substantially reduces it.
+
+use ia_core::Table;
+use ia_workloads::{energy_breakdown, energy_with_pim, MobileWorkload, SystemEnergyModel};
+
+use crate::pct;
+
+/// Parsed outcome for assertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Suite-wide movement energy fraction.
+    pub movement_fraction: f64,
+    /// Suite-wide energy reduction from 80% PIM offload.
+    pub pim_reduction: f64,
+}
+
+/// Computes the outcome without formatting.
+#[must_use]
+pub fn outcome(quick: bool) -> Outcome {
+    let scale = if quick { 1 } else { 100 };
+    let model = SystemEnergyModel::default();
+    let suite = MobileWorkload::consumer_suite(scale);
+    let mut total = 0.0;
+    let mut movement = 0.0;
+    let mut pim_total = 0.0;
+    for w in &suite {
+        let b = energy_breakdown(w, &model);
+        total += b.total_pj();
+        movement += b.movement_pj;
+        pim_total += energy_with_pim(w, &model, 0.8).total_pj();
+    }
+    Outcome {
+        movement_fraction: movement / total,
+        pim_reduction: 1.0 - pim_total / total,
+    }
+}
+
+/// Runs the experiment and renders the table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let scale = if quick { 1 } else { 100 };
+    let model = SystemEnergyModel::default();
+    let suite = MobileWorkload::consumer_suite(scale);
+    let mut table = Table::new(&[
+        "workload",
+        "compute (uJ)",
+        "movement (uJ)",
+        "movement share",
+        "total w/ PIM-80% (uJ)",
+        "PIM saving",
+    ]);
+    for w in &suite {
+        let b = energy_breakdown(w, &model);
+        let pim = energy_with_pim(w, &model, 0.8);
+        table.row(&[
+            w.name.clone(),
+            format!("{:.1}", b.compute_pj / 1e6),
+            format!("{:.1}", b.movement_pj / 1e6),
+            pct(b.movement_fraction()),
+            format!("{:.1}", pim.total_pj() / 1e6),
+            pct(1.0 - pim.total_pj() / b.total_pj()),
+        ]);
+    }
+    let o = outcome(quick);
+    format!(
+        "E1: data-movement energy in consumer workloads (paper: 62.7% of system energy)\n{table}\n\
+         suite-wide movement share: {} | suite-wide PIM(80%) energy reduction: {}\n",
+        pct(o.movement_fraction),
+        pct(o.pim_reduction)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_share_matches_paper_shape() {
+        let o = outcome(true);
+        assert!(
+            (0.55..0.80).contains(&o.movement_fraction),
+            "movement share {:.3} should bracket the paper's 62.7%",
+            o.movement_fraction
+        );
+        // Offloading 80% of DRAM traffic removes its I/O share of total
+        // energy — a double-digit-percent total-energy cut in this model
+        // (the original reports ~55% on the PIM-offloaded functions
+        // themselves, a superset of what our accounting attributes).
+        assert!(
+            o.pim_reduction > 0.1,
+            "PIM offload must cut a double-digit share of energy, got {:.3}",
+            o.pim_reduction
+        );
+    }
+
+    #[test]
+    fn table_renders_all_workloads() {
+        let s = run(true);
+        for name in ["tensorflow-inference", "video-playback", "video-capture", "chrome-browsing"] {
+            assert!(s.contains(name), "missing {name}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! **E5 — The fixed-policy scheduler lineage.**
+//!
+//! Paper claim (§III): every controller "keeps executing exactly the same
+//! fixed policy", and the literature's answer has been a succession of
+//! heuristics (FR-FCFS → PAR-BS → ATLAS → TCM → BLISS) trading throughput
+//! against fairness. This experiment reproduces the classic comparison:
+//! weighted speedup and maximum slowdown over a 4-thread interference mix.
+
+use ia_core::{SchedulerKind, Table};
+use ia_dram::DramConfig;
+use ia_memctrl::{max_slowdown, run_closed_loop, weighted_speedup, MemRequest};
+
+use crate::mixes::interference_mix;
+
+/// Result per scheduler for assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Scheduler name.
+    pub name: String,
+    /// Weighted speedup (higher better).
+    pub weighted_speedup: f64,
+    /// Maximum slowdown (lower better).
+    pub max_slowdown: f64,
+    /// Requests per kilo-cycle.
+    pub throughput: f64,
+}
+
+/// Runs every scheduler over the mix and returns the rows.
+#[must_use]
+pub fn rows(quick: bool) -> Vec<Row> {
+    let n = if quick { 300 } else { 3000 };
+    let traces = interference_mix(n, 11);
+
+    // Alone runs (per-thread baselines) are scheduler-independent:
+    // a single thread cannot interfere with itself across schedulers in a
+    // way that changes the comparison, so use FR-FCFS.
+    let alone: Vec<u64> = traces
+        .iter()
+        .map(|t| {
+            let solo: Vec<Vec<MemRequest>> = vec![t.clone()];
+            run_closed_loop(
+                DramConfig::ddr3_1600(),
+                SchedulerKind::FrFcfs.build(1),
+                &solo,
+                8,
+                200_000_000,
+            )
+            .expect("solo run")
+            .threads[0]
+                .finish
+        })
+        .collect();
+
+    SchedulerKind::all()
+        .into_iter()
+        .map(|kind| {
+            let report = run_closed_loop(
+                DramConfig::ddr3_1600(),
+                kind.build(traces.len()),
+                &traces,
+                8,
+                500_000_000,
+            )
+            .expect("shared run");
+            Row {
+                name: kind.name().to_owned(),
+                weighted_speedup: weighted_speedup(&alone, &report),
+                max_slowdown: max_slowdown(&alone, &report),
+                throughput: report.throughput_rpkc(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let rows = rows(quick);
+    let mut table = Table::new(&["scheduler", "weighted speedup", "max slowdown", "req/kcycle"]);
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            format!("{:.3}", r.weighted_speedup),
+            format!("{:.2}", r.max_slowdown),
+            format!("{:.2}", r.throughput),
+        ]);
+    }
+    format!(
+        "E5: scheduler lineage on a 4-thread interference mix\n\
+         (paper shape: FR-FCFS beats FCFS on throughput; fairness schedulers cut max slowdown)\n{table}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frfcfs_outperforms_fcfs_on_throughput() {
+        let rows = rows(true);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).expect("present").clone();
+        let fcfs = get("FCFS");
+        let frfcfs = get("FR-FCFS");
+        assert!(
+            frfcfs.throughput > fcfs.throughput,
+            "FR-FCFS {:.2} must beat FCFS {:.2}",
+            frfcfs.throughput,
+            fcfs.throughput
+        );
+    }
+
+    #[test]
+    fn fairness_schedulers_bound_slowdown() {
+        let rows = rows(true);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).expect("present").clone();
+        let frfcfs = get("FR-FCFS");
+        let best_fair = ["PAR-BS", "ATLAS", "TCM", "BLISS"]
+            .iter()
+            .map(|n| get(n).max_slowdown)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_fair <= frfcfs.max_slowdown * 1.10,
+            "at least one fairness scheduler ({best_fair:.2}) should match or beat FR-FCFS \
+             unfairness ({:.2})",
+            frfcfs.max_slowdown
+        );
+    }
+
+    #[test]
+    fn all_schedulers_complete_the_mix() {
+        let rows = rows(true);
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.weighted_speedup > 0.0));
+    }
+}

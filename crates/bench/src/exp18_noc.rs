@@ -1,0 +1,99 @@
+//! **E18 — Bufferless deflection routing vs buffered mesh.**
+//!
+//! Paper lineage (§III references [200, 205, 207]): "A Case for
+//! Bufferless Routing in On-Chip Networks" (Moscibroda & Mutlu, ISCA
+//! 2009) — at realistic loads a network with *no buffers at all* matches
+//! the buffered mesh's latency while eliminating its dominant area/power
+//! cost; the price is deflections and earlier saturation at high load.
+
+use ia_core::Table;
+use ia_noc::{simulate, MeshConfig, NocReport, RouterKind, Traffic};
+
+/// Latency-vs-load series for both routers.
+#[must_use]
+pub fn sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
+    let mesh = MeshConfig::new(8, 8).expect("valid mesh");
+    let cycles = if quick { 2_000 } else { 20_000 };
+    [0.02f64, 0.05, 0.10, 0.20, 0.30]
+        .into_iter()
+        .map(|rate| {
+            let buffered = simulate(RouterKind::Buffered, mesh, Traffic::UniformRandom, rate, cycles, 11)
+                .expect("valid run");
+            let bufferless = simulate(
+                RouterKind::BufferlessDeflection,
+                mesh,
+                Traffic::UniformRandom,
+                rate,
+                cycles,
+                11,
+            )
+            .expect("valid run");
+            (rate, buffered, bufferless)
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let mut table = Table::new(&[
+        "inj. rate",
+        "buffered lat (cy)",
+        "bufferless lat (cy)",
+        "deflections/pkt",
+        "peak buffers (buffered)",
+    ]);
+    for (rate, b, d) in sweep(quick) {
+        table.row(&[
+            format!("{rate:.2}"),
+            format!("{:.1}", b.avg_latency),
+            format!("{:.1}", d.avg_latency),
+            format!("{:.2}", d.deflections as f64 / d.delivered.max(1) as f64),
+            b.peak_buffering.to_string(),
+        ]);
+    }
+    format!(
+        "E18: 8x8 mesh, uniform-random traffic — buffered XY vs bufferless deflection\n\
+         (paper shape: near-identical latency at low-to-medium load with zero buffers;\n\
+          deflections grow as the bufferless network approaches saturation)\n{table}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bufferless_is_competitive_at_low_load() {
+        let s = sweep(true);
+        let (_, b, d) = &s[0];
+        assert!(
+            d.avg_latency < b.avg_latency + 3.0,
+            "bufferless {:.1} vs buffered {:.1} at 2% load",
+            d.avg_latency,
+            b.avg_latency
+        );
+    }
+
+    #[test]
+    fn deflections_grow_with_load() {
+        let s = sweep(true);
+        let low = s[0].2.deflections as f64 / s[0].2.delivered.max(1) as f64;
+        let high = s.last().expect("non-empty").2.deflections as f64
+            / s.last().expect("non-empty").2.delivered.max(1) as f64;
+        assert!(high > low, "deflections/pkt must rise with load: {low:.3} -> {high:.3}");
+    }
+
+    #[test]
+    fn buffered_queues_grow_with_load() {
+        let s = sweep(true);
+        assert!(s.last().expect("non-empty").1.peak_buffering > s[0].1.peak_buffering);
+    }
+
+    #[test]
+    fn report_renders() {
+        let out = run(true);
+        assert!(out.contains("deflections"));
+        assert!(out.contains("0.02"));
+    }
+}

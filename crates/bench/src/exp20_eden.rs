@@ -1,0 +1,101 @@
+//! **E20 — EDEN: approximate DRAM for DNN inference.**
+//!
+//! Paper citation \[54\] (Koppula+, MICRO 2019), the data-aware exemplar
+//! for approximability: DNN data tolerates bit errors, so its DRAM can be
+//! refreshed far less often. Expected shape: refresh savings grow with
+//! the interval while accuracy stays flat below a robustness knee, then
+//! collapses; per-layer interval selection stays within an accuracy
+//! budget.
+
+use ia_core::Table;
+use ia_reliability::{
+    dnn_accuracy_loss, select_multiplier, sweep_refresh_multipliers, RetentionModel,
+};
+
+use crate::pct;
+
+/// Sweep rows `(multiplier, savings, row error rate, robust-layer loss,
+/// sensitive-layer loss)`.
+#[must_use]
+pub fn sweep() -> Vec<(u32, f64, f64, f64, f64)> {
+    let model = RetentionModel::typical();
+    sweep_refresh_multipliers(&model, &[1, 2, 4, 8, 16, 32])
+        .into_iter()
+        .map(|p| {
+            (
+                p.multiplier,
+                p.refresh_savings,
+                p.row_error_rate,
+                dnn_accuracy_loss(p.row_error_rate, 0.05),
+                dnn_accuracy_loss(p.row_error_rate, 1e-5),
+            )
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the tables.
+#[must_use]
+pub fn run(_quick: bool) -> String {
+    let mut table = Table::new(&[
+        "refresh interval",
+        "refresh savings",
+        "row error exposure",
+        "robust layer acc. loss",
+        "sensitive layer acc. loss",
+    ]);
+    for (m, savings, err, robust, sensitive) in sweep() {
+        table.row(&[
+            format!("{}x (={} ms)", m, 64 * m),
+            pct(savings),
+            format!("{err:.2e}"),
+            pct(robust),
+            pct(sensitive),
+        ]);
+    }
+    let model = RetentionModel::typical();
+    let robust_pick = select_multiplier(&model, 0.05, 0.01);
+    let sensitive_pick = select_multiplier(&model, 1e-5, 0.01);
+    format!(
+        "E20: EDEN-style approximate DRAM for error-tolerant (DNN) data\n\
+         (paper shape: large refresh savings at negligible accuracy loss below the\n\
+          robustness knee; per-layer interval selection)\n{table}\n\
+         selected intervals at 1% accuracy budget: robust layer {robust_pick}x, sensitive layer {sensitive_pick}x\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robust_layers_save_most_refreshes_for_free() {
+        let s = sweep();
+        let at16 = s.iter().find(|r| r.0 == 16).expect("16x present");
+        assert!(at16.1 > 0.9, "16x interval saves >90% of refreshes");
+        assert!(at16.3 < 0.02, "robust layer loses <2% accuracy at 16x, got {}", at16.3);
+    }
+
+    #[test]
+    fn sensitive_layers_degrade_past_nominal() {
+        let s = sweep();
+        let at8 = s.iter().find(|r| r.0 == 8).expect("8x present");
+        assert!(
+            at8.4 > at8.3,
+            "sensitive layer must lose more than robust at the same interval"
+        );
+    }
+
+    #[test]
+    fn selection_separates_the_layers() {
+        let model = RetentionModel::typical();
+        assert!(select_multiplier(&model, 0.05, 0.01) >= 8);
+        assert!(select_multiplier(&model, 1e-5, 0.01) <= 2);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run(true);
+        assert!(s.contains("refresh savings"));
+        assert!(s.contains("selected intervals"));
+    }
+}

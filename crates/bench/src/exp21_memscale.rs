@@ -1,0 +1,99 @@
+//! **E21 — MemScale: memory DVFS.**
+//!
+//! Paper citations [127, 132] (David+ ICAC 2011; Deng+ ASPLOS 2011),
+//! under the bottom-up push's "energy consumption" head: memory
+//! frequency/voltage should track demand. Expected shape: large memory
+//! energy savings on low-utilization epochs at a bounded (few percent)
+//! performance cost, vanishing as utilization rises.
+
+use ia_core::Table;
+use ia_memctrl::{epoch_outcome, standard_points, MemScaleGovernor};
+
+use crate::pct;
+
+/// Sweep rows `(avg utilization, energy vs full-speed, slowdown)`.
+#[must_use]
+pub fn sweep(quick: bool) -> Vec<(f64, f64, f64)> {
+    let epochs = if quick { 100 } else { 2000 };
+    [0.05f64, 0.15, 0.30, 0.50, 0.95]
+        .into_iter()
+        .map(|base| {
+            // Bursty trace around the base utilization.
+            let trace: Vec<f64> = (0..epochs)
+                .map(|i| if i % 10 == 0 { (base * 2.5).min(0.95) } else { base * 0.8 })
+                .collect();
+            let mut g = MemScaleGovernor::new(standard_points().to_vec(), 0.10)
+                .expect("valid governor");
+            let o = g.run(&trace).expect("trace runs");
+            (base, o.energy, o.slowdown)
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the table.
+#[must_use]
+pub fn run(quick: bool) -> String {
+    let mut table = Table::new(&[
+        "avg utilization",
+        "memory energy (vs full speed)",
+        "slowdown",
+        "energy saved",
+    ]);
+    for (u, energy, slowdown) in sweep(quick) {
+        table.row(&[
+            pct(u),
+            format!("{energy:.2}"),
+            format!("{slowdown:.3}"),
+            pct(1.0 - energy),
+        ]);
+    }
+    // Illustrate the static points the governor chooses among.
+    let mut pts = Table::new(&["operating point", "speed", "power", "slowdown @ 20% util"]);
+    for p in standard_points() {
+        let o = epoch_outcome(0.2, p).expect("valid point");
+        pts.row(&[
+            format!("{:.0}% clock", p.speed * 100.0),
+            format!("{:.2}", p.speed),
+            format!("{:.2}", p.power),
+            format!("{:.3}", o.slowdown),
+        ]);
+    }
+    format!(
+        "E21: memory DVFS (MemScale) with a 10% slowdown budget\n\
+         (paper shape: tens-of-percent memory energy savings at low utilization,\n\
+          shrinking to zero as the channel fills)\n{table}\n\n{pts}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_shrink_with_utilization() {
+        let s = sweep(true);
+        for w in s.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-9,
+                "energy must not drop as utilization rises: {w:?}"
+            );
+        }
+        assert!(s[0].1 < 0.5, "idle epochs save >50%: {}", s[0].1);
+        let busy = s.last().expect("non-empty").1;
+        assert!(busy > 0.95, "a saturated channel cannot scale down: energy {busy:.2}");
+    }
+
+    #[test]
+    fn slowdown_budget_is_respected_everywhere() {
+        for (u, _, slowdown) in sweep(true) {
+            assert!(slowdown <= 1.10 + 1e-9, "budget violated at {u}: {slowdown}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run(true);
+        assert!(s.contains("energy saved"));
+        assert!(s.contains("operating point"));
+    }
+}

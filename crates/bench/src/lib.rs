@@ -1,0 +1,62 @@
+//! # ia-bench — experiment harness
+//!
+//! One module per experiment in DESIGN.md's index (E1–E16). Each module
+//! exposes `run(quick) -> String`, producing the table/series recorded in
+//! `EXPERIMENTS.md`; the `expNN_*` binaries print `run(false)`, and the
+//! integration tests assert the qualitative shape on `run(true)`.
+
+#![warn(missing_docs)]
+
+pub mod exp01_data_movement;
+pub mod exp02_rowclone;
+pub mod exp03_ambit;
+pub mod exp04_rl_memctrl;
+pub mod exp05_scheduler_suite;
+pub mod exp06_raidr;
+pub mod exp07_bdi;
+pub mod exp08_pnm_graph;
+pub mod exp09_pointer_chase;
+pub mod exp10_rowhammer;
+pub mod exp11_grim_filter;
+pub mod exp12_xmem;
+pub mod exp13_low_latency_dram;
+pub mod exp14_hybrid_memory;
+pub mod exp15_perceptron;
+pub mod exp16_ablation;
+pub mod exp17_prefetchers;
+pub mod exp18_noc;
+pub mod exp19_salp;
+pub mod exp20_eden;
+pub mod exp21_memscale;
+pub mod exp22_runahead;
+pub mod exp23_gsdram;
+
+pub mod mixes;
+
+/// Formats a ratio as `N.NNx`.
+#[must_use]
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".to_owned()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(4.0, 2.0), "2.00x");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+        assert_eq!(pct(0.627), "62.7%");
+    }
+}

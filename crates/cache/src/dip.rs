@@ -1,0 +1,209 @@
+//! Dynamic Insertion Policy via set dueling (Qureshi+, ISCA 2007): a few
+//! leader sets always use MRU insertion, a few always use bimodal
+//! insertion; a saturating policy-selector counter steers all follower
+//! sets to whichever leader group misses less. An early, concrete instance
+//! of the paper's "data-driven, self-optimizing" controller principle.
+
+use crate::error::CacheError;
+use crate::set_assoc::{Cache, CacheAccess, CacheOp, InsertionPolicy};
+
+/// Which dueling group a set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRole {
+    LeaderMru,
+    LeaderBip,
+    Follower,
+}
+
+/// A cache that picks its insertion policy by set dueling.
+///
+/// # Examples
+///
+/// ```
+/// use ia_cache::{DipCache, CacheOp};
+/// let mut c = DipCache::new(4096, 64, 4)?;
+/// c.access(0, CacheOp::Read);
+/// assert!(c.psel() <= c.psel_max());
+/// # Ok::<(), ia_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DipCache {
+    cache: Cache,
+    roles: Vec<SetRole>,
+    /// Saturating selector: high favours BIP, low favours MRU.
+    psel: u32,
+    psel_max: u32,
+    bip_mru_per_mille: u16,
+    bip_tick: u64,
+}
+
+impl DipCache {
+    /// Creates a DIP cache; every 32nd set leads for MRU, offset by 16 for
+    /// BIP (the constituency pattern from the paper, scaled down for small
+    /// caches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError`] from [`Cache::new`].
+    pub fn new(size_bytes: u64, line_bytes: u64, ways: usize) -> Result<Self, CacheError> {
+        let cache = Cache::new(size_bytes, line_bytes, ways)?;
+        let sets = cache.set_count();
+        let stride = if sets >= 32 { 32 } else { 2 };
+        let roles = (0..sets)
+            .map(|s| {
+                if s % stride == 0 {
+                    SetRole::LeaderMru
+                } else if s % stride == stride / 2 {
+                    SetRole::LeaderBip
+                } else {
+                    SetRole::Follower
+                }
+            })
+            .collect();
+        Ok(DipCache {
+            cache,
+            roles,
+            psel: 512,
+            psel_max: 1024,
+            bip_mru_per_mille: 32,
+            bip_tick: 0,
+        })
+    }
+
+    /// Current policy-selector value.
+    #[must_use]
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+
+    /// Selector saturation bound.
+    #[must_use]
+    pub fn psel_max(&self) -> u32 {
+        self.psel_max
+    }
+
+    /// `true` when followers currently use bimodal insertion.
+    #[must_use]
+    pub fn followers_use_bip(&self) -> bool {
+        self.psel < self.psel_max / 2
+    }
+
+    /// The wrapped cache (for statistics).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    fn bip_high_priority(&mut self) -> bool {
+        self.bip_tick = self.bip_tick.wrapping_add(1);
+        (self.bip_tick % 1000) < u64::from(self.bip_mru_per_mille)
+    }
+
+    /// Accesses the cache, updating the duel on leader-set misses.
+    pub fn access(&mut self, addr: u64, op: CacheOp) -> CacheAccess {
+        let set = self.cache.set_of(addr);
+        let role = self.roles[set];
+        let hit = self.cache.contains(addr);
+        if !hit {
+            match role {
+                // A miss in an MRU leader argues for BIP, and vice versa.
+                SetRole::LeaderMru => self.psel = self.psel.saturating_sub(1),
+                SetRole::LeaderBip => self.psel = (self.psel + 1).min(self.psel_max),
+                SetRole::Follower => {}
+            }
+        }
+        let priority = match role {
+            SetRole::LeaderMru => Some(true),
+            SetRole::LeaderBip => Some(self.bip_high_priority()),
+            SetRole::Follower => {
+                if self.followers_use_bip() {
+                    Some(self.bip_high_priority())
+                } else {
+                    Some(true)
+                }
+            }
+        };
+        self.cache.access_with_priority(addr, op, priority)
+    }
+}
+
+/// Reference insertion policies for comparison harnesses.
+#[must_use]
+pub fn static_policies() -> [(&'static str, InsertionPolicy); 3] {
+    [
+        ("MRU (LRU cache)", InsertionPolicy::Mru),
+        ("LIP", InsertionPolicy::Lru),
+        ("BIP(ε=1/32)", InsertionPolicy::Bimodal { mru_per_mille: 32 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_roles() {
+        let c = DipCache::new(64 * 64 * 2, 64, 2).unwrap(); // 64 sets
+        let mru = c.roles.iter().filter(|r| **r == SetRole::LeaderMru).count();
+        let bip = c.roles.iter().filter(|r| **r == SetRole::LeaderBip).count();
+        assert!(mru >= 1 && bip >= 1);
+        assert!(c.roles.iter().filter(|r| **r == SetRole::Follower).count() > mru + bip);
+    }
+
+    #[test]
+    fn thrashing_workload_drives_selector_toward_bip() {
+        // Working set larger than the cache, cycled: MRU leaders miss
+        // every time, BIP leaders retain a fraction.
+        let mut c = DipCache::new(4096, 64, 4).unwrap(); // 16 sets
+        let lines = 4096 / 64 * 3; // 3x capacity
+        for _ in 0..60 {
+            for i in 0..lines {
+                c.access(i * 64, CacheOp::Read);
+            }
+        }
+        assert!(
+            c.followers_use_bip(),
+            "thrash must push PSEL toward BIP, psel={}",
+            c.psel()
+        );
+    }
+
+    #[test]
+    fn reuse_friendly_workload_keeps_mru() {
+        let mut c = DipCache::new(4096, 64, 4).unwrap();
+        for _ in 0..200 {
+            for i in 0..16u64 {
+                c.access(i * 64, CacheOp::Read);
+            }
+        }
+        assert!(!c.followers_use_bip(), "LRU-friendly workload should keep MRU insertion");
+    }
+
+    #[test]
+    fn dip_beats_worst_static_policy_under_thrash() {
+        let lines: Vec<u64> = (0..4096 / 64 * 3).map(|i| i * 64).collect();
+        let run_static = |policy| {
+            let mut c = Cache::new(4096, 64, 4).unwrap().with_insertion_policy(policy);
+            for _ in 0..60 {
+                for &a in &lines {
+                    c.access(a, CacheOp::Read);
+                }
+            }
+            c.stats().hit_rate()
+        };
+        let mru = run_static(InsertionPolicy::Mru);
+        let mut dip = DipCache::new(4096, 64, 4).unwrap();
+        for _ in 0..60 {
+            for &a in &lines {
+                dip.access(a, CacheOp::Read);
+            }
+        }
+        let dip_rate = dip.cache().stats().hit_rate();
+        assert!(dip_rate > mru, "DIP {dip_rate:.3} must beat MRU {mru:.3} under thrash");
+    }
+
+    #[test]
+    fn static_policy_list_is_complete() {
+        assert_eq!(static_policies().len(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Evicted-Address Filter (Seshadri+, PACT 2012): a Bloom filter of
+//! recently evicted addresses distinguishes high-reuse blocks (recently
+//! evicted, now re-fetched → insert at high priority) from pollution
+//! (never seen → insert at low priority), addressing both cache pollution
+//! and thrashing with one mechanism.
+
+use crate::error::CacheError;
+use crate::set_assoc::{Cache, CacheAccess, CacheOp};
+
+/// A compact Bloom filter over block addresses.
+#[derive(Debug, Clone)]
+struct AddrBloom {
+    bits: Vec<u64>,
+    m: usize,
+    insertions: usize,
+    capacity: usize,
+}
+
+impl AddrBloom {
+    fn new(bits: usize, capacity: usize) -> Self {
+        AddrBloom { bits: vec![0; bits.div_ceil(64)], m: bits, insertions: 0, capacity }
+    }
+
+    fn positions(&self, key: u64) -> [usize; 2] {
+        let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h2 = key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
+        [(h1 % self.m as u64) as usize, (h1.wrapping_add(h2) % self.m as u64) as usize]
+    }
+
+    fn insert(&mut self, key: u64) {
+        for p in self.positions(key) {
+            self.bits[p / 64] |= 1 << (p % 64);
+        }
+        self.insertions += 1;
+        // Hardware EAF clears the filter when it saturates.
+        if self.insertions >= self.capacity {
+            self.bits.iter_mut().for_each(|w| *w = 0);
+            self.insertions = 0;
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.positions(key).iter().all(|&p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+    }
+}
+
+/// A cache wrapped with an Evicted-Address Filter.
+///
+/// # Examples
+///
+/// ```
+/// use ia_cache::{Cache, EafCache, CacheOp};
+/// let inner = Cache::new(4096, 64, 4)?;
+/// let mut eaf = EafCache::new(inner);
+/// eaf.access(0x1000, CacheOp::Read);
+/// assert!(eaf.cache().stats().misses >= 1);
+/// # Ok::<(), ia_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EafCache {
+    cache: Cache,
+    filter: AddrBloom,
+    /// Fills inserted at high priority (filter hits).
+    pub reuse_fills: u64,
+    /// Fills inserted at low priority (first-touch / pollution).
+    pub pollution_fills: u64,
+}
+
+impl EafCache {
+    /// Wraps `cache` with an EAF sized to the cache (filter capacity equal
+    /// to the number of cache lines, as in the paper).
+    #[must_use]
+    pub fn new(cache: Cache) -> Self {
+        let lines = cache.set_count() * cache.ways();
+        let filter = AddrBloom::new((lines * 16).max(64), lines.max(8));
+        EafCache { cache, filter, reuse_fills: 0, pollution_fills: 0 }
+    }
+
+    /// Accesses the cache with EAF-guided insertion.
+    pub fn access(&mut self, addr: u64, op: CacheOp) -> CacheAccess {
+        let line = addr / self.cache.line_bytes();
+        let predicted_reuse = self.filter.contains(line);
+        let was_cached = self.cache.contains(addr);
+        let result = if was_cached {
+            self.cache.access(addr, op)
+        } else {
+            if predicted_reuse {
+                self.reuse_fills += 1;
+            } else {
+                self.pollution_fills += 1;
+            }
+            self.cache.access_with_priority(addr, op, Some(predicted_reuse))
+        };
+        if let Some(evicted) = result.evicted {
+            self.filter.insert(evicted / self.cache.line_bytes());
+        }
+        result
+    }
+
+    /// The wrapped cache (for statistics).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+}
+
+/// Builds an EAF cache directly from geometry.
+///
+/// # Errors
+///
+/// Propagates [`CacheError`] from [`Cache::new`].
+pub fn eaf_cache(size_bytes: u64, line_bytes: u64, ways: usize) -> Result<EafCache, CacheError> {
+    Ok(EafCache::new(Cache::new(size_bytes, line_bytes, ways)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_pollution_does_not_destroy_hot_set() {
+        // Hot working set of 4 lines + a long one-shot scan. EAF must keep
+        // the hot lines resident; a plain MRU cache loses them.
+        let hot: Vec<u64> = (0..4u64).map(|i| i * 64).collect();
+        let scan: Vec<u64> = (100..612u64).map(|i| i * 64).collect();
+
+        let run_plain = {
+            let mut c = Cache::new(1024, 64, 16).unwrap();
+            for _ in 0..10 {
+                for &a in &hot {
+                    c.access(a, CacheOp::Read);
+                }
+            }
+            for &a in &scan {
+                c.access(a, CacheOp::Read);
+            }
+            let before = c.stats().hits;
+            for &a in &hot {
+                c.access(a, CacheOp::Read);
+            }
+            c.stats().hits - before
+        };
+
+        let run_eaf = {
+            let mut c = EafCache::new(Cache::new(1024, 64, 16).unwrap());
+            for _ in 0..10 {
+                for &a in &hot {
+                    c.access(a, CacheOp::Read);
+                }
+            }
+            for &a in &scan {
+                c.access(a, CacheOp::Read);
+            }
+            let before = c.cache().stats().hits;
+            for &a in &hot {
+                c.access(a, CacheOp::Read);
+            }
+            c.cache().stats().hits - before
+        };
+
+        assert!(run_eaf >= run_plain, "EAF {run_eaf} hits vs plain {run_plain}");
+        assert_eq!(run_eaf, 4, "all four hot lines must survive the scan");
+    }
+
+    #[test]
+    fn refetched_evicted_blocks_get_high_priority() {
+        let mut c = EafCache::new(Cache::new(256, 64, 4).unwrap());
+        // Fill beyond capacity so early lines are evicted...
+        for i in 0..8u64 {
+            c.access(i * 64, CacheOp::Read);
+        }
+        let pollution_before = c.pollution_fills;
+        // ...then refetch an evicted line: the filter recognises it.
+        c.access(0, CacheOp::Read);
+        assert!(c.reuse_fills >= 1, "refetch of evicted line must be classified as reuse");
+        assert_eq!(c.pollution_fills, pollution_before);
+    }
+
+    #[test]
+    fn first_touch_is_pollution() {
+        let mut c = EafCache::new(Cache::new(256, 64, 4).unwrap());
+        c.access(0x5000, CacheOp::Read);
+        assert_eq!(c.pollution_fills, 1);
+        assert_eq!(c.reuse_fills, 0);
+    }
+
+    #[test]
+    fn bloom_resets_after_capacity() {
+        let mut b = AddrBloom::new(128, 4);
+        for k in 0..4u64 {
+            b.insert(k);
+        }
+        // The 4th insertion triggered the reset.
+        assert!(!b.contains(0));
+    }
+
+    #[test]
+    fn helper_constructor_validates() {
+        assert!(eaf_cache(0, 64, 4).is_err());
+        assert!(eaf_cache(4096, 64, 4).is_ok());
+    }
+}

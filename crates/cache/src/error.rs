@@ -1,0 +1,36 @@
+//! Error type for the cache substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid argument or configuration for a cache component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheError {
+    msg: &'static str,
+}
+
+impl CacheError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        CacheError { msg }
+    }
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_nonempty_and_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<CacheError>();
+        assert!(!CacheError::invalid("bad").to_string().is_empty());
+    }
+}

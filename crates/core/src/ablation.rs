@@ -1,0 +1,77 @@
+//! Principle ablation: the paper's thesis, quantified — each principle
+//! added to the processor-centric baseline should independently improve
+//! the system, and the three compose.
+
+use ia_workloads::TraceRequest;
+use ia_xmem::AtomRegistry;
+
+use crate::error::CoreError;
+use crate::principles::PrincipleSet;
+use crate::system::{IntelligentSystem, SystemConfig, SystemReport};
+
+/// One rung of the ablation ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Principles enabled at this rung.
+    pub principles: PrincipleSet,
+    /// Full-system report.
+    pub report: SystemReport,
+    /// Speedup vs. the baseline rung (cycles ratio).
+    pub speedup: f64,
+}
+
+/// Runs the ablation ladder (baseline → +centric → +driven → all) over the
+/// same trace and registry, returning one row per rung.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from the underlying runs.
+pub fn run_ablation(
+    base_config: &SystemConfig,
+    registry: &AtomRegistry,
+    trace: &[TraceRequest],
+) -> Result<Vec<AblationRow>, CoreError> {
+    let mut rows = Vec::new();
+    let mut baseline_cycles = None;
+    for principles in PrincipleSet::ladder() {
+        let config = SystemConfig { principles, ..base_config.clone() };
+        let system = IntelligentSystem::new(config).with_registry(registry.clone());
+        let report = system.run(trace)?;
+        let cycles = report.cycles().max(1);
+        let base = *baseline_cycles.get_or_insert(cycles);
+        rows.push(AblationRow {
+            principles,
+            speedup: base as f64 / cycles as f64,
+            report,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_workloads::{TraceGenerator, ZipfGen};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ladder_produces_four_rows_with_baseline_unity() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let trace = ZipfGen::new(0, 2048, 4096, 1.1, 0.2)
+            .unwrap()
+            .generate(2500, &mut rng);
+        let rows = run_ablation(&SystemConfig::default(), &AtomRegistry::new(), &trace).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].principles.count(), 0);
+        assert_eq!(rows[3].principles.count(), 3);
+        // The full system should not be slower than the baseline.
+        assert!(rows[3].speedup >= 0.95, "full system speedup {}", rows[3].speedup);
+    }
+
+    #[test]
+    fn ablation_rejects_empty_trace() {
+        assert!(run_ablation(&SystemConfig::default(), &AtomRegistry::new(), &[]).is_err());
+    }
+}

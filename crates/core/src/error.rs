@@ -1,0 +1,41 @@
+//! Error type for the system-level simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// A system-composition or run failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreError {
+    msg: String,
+}
+
+impl CoreError {
+    pub(crate) fn invalid(msg: &str) -> Self {
+        CoreError { msg: msg.to_owned() }
+    }
+
+    pub(crate) fn config(msg: String) -> Self {
+        CoreError { msg }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_nonempty_and_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<CoreError>();
+        assert!(!CoreError::invalid("bad").to_string().is_empty());
+        assert!(!CoreError::config("x".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's three design principles as a composable configuration.
+
+use std::fmt;
+
+/// One of the paper's three principles for intelligent architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Principle {
+    /// Minimize data movement; compute in or near where data resides;
+    /// low-latency, low-energy, low-cost data access.
+    DataCentric,
+    /// Controllers learn their policies online from the data flowing
+    /// through them.
+    DataDriven,
+    /// Policies adapt to the semantic characteristics of each piece of
+    /// data.
+    DataAware,
+}
+
+impl Principle {
+    /// All three principles.
+    #[must_use]
+    pub fn all() -> [Principle; 3] {
+        [Principle::DataCentric, Principle::DataDriven, Principle::DataAware]
+    }
+}
+
+impl fmt::Display for Principle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Principle::DataCentric => "data-centric",
+            Principle::DataDriven => "data-driven",
+            Principle::DataAware => "data-aware",
+        })
+    }
+}
+
+/// Which principles a system configuration enables.
+///
+/// # Examples
+///
+/// ```
+/// use ia_core::{Principle, PrincipleSet};
+/// let s = PrincipleSet::none().with(Principle::DataCentric);
+/// assert!(s.has(Principle::DataCentric));
+/// assert!(!s.has(Principle::DataDriven));
+/// assert_eq!(PrincipleSet::all().count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PrincipleSet {
+    centric: bool,
+    driven: bool,
+    aware: bool,
+}
+
+impl PrincipleSet {
+    /// The processor-centric baseline: no principles.
+    #[must_use]
+    pub fn none() -> Self {
+        PrincipleSet::default()
+    }
+
+    /// The full intelligent architecture.
+    #[must_use]
+    pub fn all() -> Self {
+        PrincipleSet { centric: true, driven: true, aware: true }
+    }
+
+    /// Adds a principle.
+    #[must_use]
+    pub fn with(mut self, p: Principle) -> Self {
+        match p {
+            Principle::DataCentric => self.centric = true,
+            Principle::DataDriven => self.driven = true,
+            Principle::DataAware => self.aware = true,
+        }
+        self
+    }
+
+    /// Tests for a principle.
+    #[must_use]
+    pub fn has(self, p: Principle) -> bool {
+        match p {
+            Principle::DataCentric => self.centric,
+            Principle::DataDriven => self.driven,
+            Principle::DataAware => self.aware,
+        }
+    }
+
+    /// Number of enabled principles.
+    #[must_use]
+    pub fn count(self) -> usize {
+        usize::from(self.centric) + usize::from(self.driven) + usize::from(self.aware)
+    }
+
+    /// The ablation ladder: none → +centric → +driven → +aware (all).
+    #[must_use]
+    pub fn ladder() -> [PrincipleSet; 4] {
+        [
+            PrincipleSet::none(),
+            PrincipleSet::none().with(Principle::DataCentric),
+            PrincipleSet::none().with(Principle::DataCentric).with(Principle::DataDriven),
+            PrincipleSet::all(),
+        ]
+    }
+}
+
+impl fmt::Display for PrincipleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count() == 0 {
+            return f.write_str("processor-centric baseline");
+        }
+        let mut parts = Vec::new();
+        for p in Principle::all() {
+            if self.has(p) {
+                parts.push(p.to_string());
+            }
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let s = PrincipleSet::none();
+        assert_eq!(s.count(), 0);
+        let s = s.with(Principle::DataDriven);
+        assert!(s.has(Principle::DataDriven));
+        assert!(!s.has(Principle::DataAware));
+        assert_eq!(s.count(), 1);
+        assert_eq!(PrincipleSet::all().count(), 3);
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let ladder = PrincipleSet::ladder();
+        for w in ladder.windows(2) {
+            assert!(w[0].count() < w[1].count());
+        }
+        assert_eq!(ladder[3], PrincipleSet::all());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(PrincipleSet::none().to_string(), "processor-centric baseline");
+        assert_eq!(
+            PrincipleSet::all().to_string(),
+            "data-centric+data-driven+data-aware"
+        );
+        assert_eq!(Principle::DataCentric.to_string(), "data-centric");
+    }
+}

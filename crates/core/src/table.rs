@@ -1,0 +1,113 @@
+//! A minimal fixed-width text-table formatter for the experiment
+//! binaries, so every harness prints paper-style rows consistently.
+
+use std::fmt::Write as _;
+
+/// A simple text table.
+///
+/// # Examples
+///
+/// ```
+/// use ia_core::Table;
+/// let mut t = Table::new(&["scheduler", "speedup"]);
+/// t.row(&["FR-FCFS", "1.00"]);
+/// t.row(&["RL", "1.17"]);
+/// let s = t.to_string();
+/// assert!(s.contains("FR-FCFS"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extras are dropped.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(
+            (0..self.headers.len())
+                .map(|i| cells.get(i).map(|c| c.as_ref().to_owned()).unwrap_or_default())
+                .collect(),
+        );
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(line, "| {h:<w$} ");
+        }
+        line.push('|');
+        let sep: String = line
+            .chars()
+            .map(|c| if c == '|' { '+' } else { '-' })
+            .collect();
+        writeln!(f, "{sep}")?;
+        writeln!(f, "{line}")?;
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "| {cell:<w$} ");
+            }
+            line.push('|');
+            writeln!(f, "{line}")?;
+        }
+        write!(f, "{sep}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xxxxxxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "all lines equal width:\n{s}");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn short_rows_pad_and_long_rows_truncate() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row::<&str>(&["only-a"]);
+        t.row(&["1", "2", "3"]);
+        let s = t.to_string();
+        assert!(s.contains("only-a"));
+        assert!(!s.contains('3'));
+    }
+}

@@ -1,0 +1,324 @@
+//! Per-bank protocol state machine with timing-window bookkeeping.
+//!
+//! Each [`Bank`] tracks its open row and the earliest cycle at which each
+//! command class becomes legal, exactly the information a memory controller
+//! needs to schedule commands (and the information Ramulator-class
+//! simulators keep per bank).
+
+use crate::error::{IssueError, IssueErrorReason};
+use crate::{Command, Cycle, RowBufferOutcome, TimingParams};
+
+/// Result of successfully issuing a command to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// For column commands, the cycle at which the data burst completes.
+    pub data_ready: Option<Cycle>,
+    /// Row-buffer classification for `Activate` (miss/conflict is decided
+    /// by the caller since a conflict requires an explicit precharge first).
+    pub outcome: Option<RowBufferOutcome>,
+}
+
+/// State machine for a single DRAM bank.
+///
+/// # Examples
+///
+/// ```
+/// use ia_dram::{Bank, Command, Cycle, DramConfig};
+/// let t = DramConfig::ddr3_1600().timing;
+/// let mut bank = Bank::new();
+/// let now = Cycle::ZERO;
+/// bank.issue(Command::Activate { row: 7 }, now, &t)?;
+/// let rd_at = bank.ready_at(&Command::Read { column: 0 }, &t);
+/// let out = bank.issue(Command::Read { column: 0 }, rd_at, &t)?;
+/// assert!(out.data_ready.expect("read returns data") > rd_at);
+/// # Ok::<(), ia_dram::IssueError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bank {
+    open_row: Option<u64>,
+    next_act: Cycle,
+    next_pre: Cycle,
+    next_col: Cycle,
+    /// Total activates, for RowHammer accounting hooks.
+    activations: u64,
+}
+
+impl Bank {
+    /// A freshly powered-up bank: idle, everything legal at cycle zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            next_act: Cycle::ZERO,
+            next_pre: Cycle::ZERO,
+            next_col: Cycle::ZERO,
+            activations: 0,
+        }
+    }
+
+    /// The currently open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Lifetime activate count (consumed by the RowHammer model).
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Classifies a prospective access to `row` against the row buffer.
+    #[must_use]
+    pub fn row_buffer_outcome(&self, row: u64) -> RowBufferOutcome {
+        match self.open_row {
+            Some(open) if open == row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Miss,
+        }
+    }
+
+    /// Earliest cycle at which `cmd` satisfies this bank's local timing.
+    ///
+    /// This ignores rank/channel constraints (tRRD, tFAW, bus occupancy),
+    /// which the [`crate::Rank`] and [`crate::Channel`] layers add on top.
+    #[must_use]
+    pub fn ready_at(&self, cmd: &Command, _timing: &TimingParams) -> Cycle {
+        match cmd {
+            Command::Activate { .. } => self.next_act,
+            Command::Precharge => self.next_pre,
+            Command::Read { .. } | Command::Write { .. } => self.next_col,
+            Command::Refresh => self.next_act,
+        }
+    }
+
+    /// True if `cmd` is legal at `now` with respect to bank state + timing.
+    #[must_use]
+    pub fn can_issue(&self, cmd: &Command, now: Cycle, timing: &TimingParams) -> bool {
+        self.check(cmd, now, timing).is_ok()
+    }
+
+    fn check(&self, cmd: &Command, now: Cycle, _timing: &TimingParams) -> Result<(), IssueErrorReason> {
+        match cmd {
+            Command::Activate { .. } => {
+                if self.open_row.is_some() {
+                    return Err(IssueErrorReason::BankAlreadyOpen);
+                }
+                if now < self.next_act {
+                    return Err(IssueErrorReason::TooEarly(self.next_act));
+                }
+            }
+            Command::Precharge => {
+                if self.open_row.is_none() {
+                    return Err(IssueErrorReason::BankClosed);
+                }
+                if now < self.next_pre {
+                    return Err(IssueErrorReason::TooEarly(self.next_pre));
+                }
+            }
+            Command::Read { .. } | Command::Write { .. } => {
+                if self.open_row.is_none() {
+                    return Err(IssueErrorReason::BankClosed);
+                }
+                if now < self.next_col {
+                    return Err(IssueErrorReason::TooEarly(self.next_col));
+                }
+            }
+            Command::Refresh => {
+                if self.open_row.is_some() {
+                    return Err(IssueErrorReason::RankNotIdle);
+                }
+                if now < self.next_act {
+                    return Err(IssueErrorReason::TooEarly(self.next_act));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues `cmd` at `now`, updating the bank state and timing windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError`] if the command violates the protocol (wrong
+    /// bank state) or any bank-local timing constraint.
+    pub fn issue(
+        &mut self,
+        cmd: Command,
+        now: Cycle,
+        timing: &TimingParams,
+    ) -> Result<IssueOutcome, IssueError> {
+        if let Err(reason) = self.check(&cmd, now, timing) {
+            return Err(IssueError::new(cmd, now, reason));
+        }
+        match cmd {
+            Command::Activate { row } => {
+                let outcome = self.row_buffer_outcome(row);
+                self.open_row = Some(row);
+                self.activations += 1;
+                self.next_col = now + timing.t_rcd;
+                self.next_pre = now + timing.t_ras;
+                self.next_act = now + timing.t_rc();
+                Ok(IssueOutcome { data_ready: None, outcome: Some(outcome) })
+            }
+            Command::Precharge => {
+                self.open_row = None;
+                self.next_act = self.next_act.max(now + timing.t_rp);
+                Ok(IssueOutcome { data_ready: None, outcome: None })
+            }
+            Command::Read { .. } => {
+                let data_ready = now + timing.t_cl + timing.t_bl;
+                self.next_col = now + timing.t_ccd;
+                self.next_pre = self.next_pre.max(now + timing.t_rtp);
+                Ok(IssueOutcome { data_ready: Some(data_ready), outcome: None })
+            }
+            Command::Write { .. } => {
+                let data_end = now + timing.t_cwl + timing.t_bl;
+                self.next_col = now + timing.t_ccd;
+                self.next_pre = self.next_pre.max(data_end + timing.t_wr);
+                Ok(IssueOutcome { data_ready: Some(data_end), outcome: None })
+            }
+            Command::Refresh => {
+                // Refresh is rank-scoped; at the bank level it simply blocks
+                // the bank for tRFC.
+                self.next_act = now + timing.t_rfc;
+                Ok(IssueOutcome { data_ready: None, outcome: None })
+            }
+        }
+    }
+
+    /// Forces the bank closed and blocks it until `until` (used by the rank
+    /// when a rank-wide refresh is in flight).
+    pub(crate) fn block_until(&mut self, until: Cycle) {
+        self.open_row = None;
+        self.next_act = self.next_act.max(until);
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramConfig;
+
+    fn t() -> TimingParams {
+        DramConfig::ddr3_1600().timing
+    }
+
+    #[test]
+    fn fresh_bank_is_idle() {
+        let bank = Bank::new();
+        assert_eq!(bank.open_row(), None);
+        assert_eq!(bank.activations(), 0);
+        assert_eq!(bank.row_buffer_outcome(0), RowBufferOutcome::Miss);
+    }
+
+    #[test]
+    fn activate_then_read_respects_trcd() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        assert_eq!(bank.open_row(), Some(1));
+        // Read too early must fail with the correct ready time.
+        let err = bank
+            .issue(Command::Read { column: 0 }, Cycle::new(timing.t_rcd - 1), &timing)
+            .unwrap_err();
+        assert_eq!(err.ready_at(), Some(Cycle::new(timing.t_rcd)));
+        // Read exactly at tRCD succeeds.
+        let out = bank.issue(Command::Read { column: 0 }, Cycle::new(timing.t_rcd), &timing).unwrap();
+        assert_eq!(out.data_ready, Some(Cycle::new(timing.t_rcd + timing.t_cl + timing.t_bl)));
+    }
+
+    #[test]
+    fn precharge_respects_tras() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        assert!(!bank.can_issue(&Command::Precharge, Cycle::new(timing.t_ras - 1), &timing));
+        assert!(bank.can_issue(&Command::Precharge, Cycle::new(timing.t_ras), &timing));
+        bank.issue(Command::Precharge, Cycle::new(timing.t_ras), &timing).unwrap();
+        assert_eq!(bank.open_row(), None);
+        // Next activate gated by tRP after the precharge.
+        assert_eq!(
+            bank.ready_at(&Command::Activate { row: 2 }, &timing),
+            Cycle::new(timing.t_ras + timing.t_rp)
+        );
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        let wr_at = Cycle::new(timing.t_rcd);
+        bank.issue(Command::Write { column: 0 }, wr_at, &timing).unwrap();
+        let expected_pre = wr_at + timing.t_cwl + timing.t_bl + timing.t_wr;
+        assert_eq!(bank.ready_at(&Command::Precharge, &timing), expected_pre.max(Cycle::new(timing.t_ras)));
+    }
+
+    #[test]
+    fn double_activate_is_rejected() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        let err = bank.issue(Command::Activate { row: 2 }, Cycle::new(1000), &timing).unwrap_err();
+        assert_eq!(err.reason(), IssueErrorReason::BankAlreadyOpen);
+    }
+
+    #[test]
+    fn column_to_closed_bank_is_rejected() {
+        let timing = t();
+        let mut bank = Bank::new();
+        let err = bank.issue(Command::Read { column: 0 }, Cycle::ZERO, &timing).unwrap_err();
+        assert_eq!(err.reason(), IssueErrorReason::BankClosed);
+    }
+
+    #[test]
+    fn row_buffer_outcomes() {
+        let timing = t();
+        let mut bank = Bank::new();
+        assert_eq!(bank.row_buffer_outcome(5), RowBufferOutcome::Miss);
+        bank.issue(Command::Activate { row: 5 }, Cycle::ZERO, &timing).unwrap();
+        assert_eq!(bank.row_buffer_outcome(5), RowBufferOutcome::Hit);
+        assert_eq!(bank.row_buffer_outcome(6), RowBufferOutcome::Conflict);
+    }
+
+    #[test]
+    fn activation_counter_increments() {
+        let timing = t();
+        let mut bank = Bank::new();
+        for i in 0..3u64 {
+            let act_at = bank.ready_at(&Command::Activate { row: i }, &timing);
+            bank.issue(Command::Activate { row: i }, act_at, &timing).unwrap();
+            let pre_at = bank.ready_at(&Command::Precharge, &timing);
+            bank.issue(Command::Precharge, pre_at, &timing).unwrap();
+        }
+        assert_eq!(bank.activations(), 3);
+    }
+
+    #[test]
+    fn consecutive_reads_respect_tccd() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing).unwrap();
+        let first = Cycle::new(timing.t_rcd);
+        bank.issue(Command::Read { column: 0 }, first, &timing).unwrap();
+        assert!(!bank.can_issue(&Command::Read { column: 1 }, first + (timing.t_ccd - 1), &timing));
+        assert!(bank.can_issue(&Command::Read { column: 1 }, first + timing.t_ccd, &timing));
+    }
+
+    #[test]
+    fn same_bank_act_to_act_is_trc() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing).unwrap();
+        bank.issue(Command::Precharge, Cycle::new(timing.t_ras), &timing).unwrap();
+        // tRC = tRAS + tRP must be enforced even with the early precharge.
+        assert_eq!(bank.ready_at(&Command::Activate { row: 1 }, &timing), Cycle::new(timing.t_rc()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Error types for the DRAM simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Command, Cycle};
+
+/// An invalid [`crate::DramConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    kind: ConfigErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ConfigErrorKind {
+    ZeroDimension(&'static str),
+    NotPowerOfTwo(&'static str, u64),
+    Inconsistent(&'static str),
+}
+
+impl ConfigError {
+    pub(crate) fn zero_dimension(field: &'static str) -> Self {
+        ConfigError { kind: ConfigErrorKind::ZeroDimension(field) }
+    }
+
+    pub(crate) fn not_power_of_two(field: &'static str, value: u64) -> Self {
+        ConfigError { kind: ConfigErrorKind::NotPowerOfTwo(field, value) }
+    }
+
+    pub(crate) fn inconsistent(msg: &'static str) -> Self {
+        ConfigError { kind: ConfigErrorKind::Inconsistent(msg) }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ConfigErrorKind::ZeroDimension(field) => {
+                write!(f, "configuration field `{field}` must be non-zero")
+            }
+            ConfigErrorKind::NotPowerOfTwo(field, v) => {
+                write!(f, "configuration field `{field}` must be a power of two, got {v}")
+            }
+            ConfigErrorKind::Inconsistent(msg) => write!(f, "inconsistent configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A command issued in violation of the device protocol or timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueError {
+    command: Command,
+    at: Cycle,
+    reason: IssueErrorReason,
+}
+
+/// Why a command issue was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueErrorReason {
+    /// A timing constraint is not yet satisfied; the command becomes legal
+    /// at the contained cycle.
+    TooEarly(Cycle),
+    /// Column command or precharge to a bank with no open row.
+    BankClosed,
+    /// Activate to a bank that already has an open row.
+    BankAlreadyOpen,
+    /// Row or column index outside the device geometry.
+    OutOfRange,
+    /// Refresh issued while a row is open somewhere in the rank.
+    RankNotIdle,
+}
+
+impl IssueError {
+    pub(crate) fn new(command: Command, at: Cycle, reason: IssueErrorReason) -> Self {
+        IssueError { command, at, reason }
+    }
+
+    /// The offending command.
+    #[must_use]
+    pub fn command(&self) -> Command {
+        self.command
+    }
+
+    /// When the issue was attempted.
+    #[must_use]
+    pub fn at(&self) -> Cycle {
+        self.at
+    }
+
+    /// The protocol rule that was violated.
+    #[must_use]
+    pub fn reason(&self) -> IssueErrorReason {
+        self.reason
+    }
+
+    /// For [`IssueErrorReason::TooEarly`], the first legal issue cycle.
+    #[must_use]
+    pub fn ready_at(&self) -> Option<Cycle> {
+        match self.reason {
+            IssueErrorReason::TooEarly(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            IssueErrorReason::TooEarly(ready) => write!(
+                f,
+                "command {} issued at {} violates timing, legal at {ready}",
+                self.command, self.at
+            ),
+            IssueErrorReason::BankClosed => {
+                write!(f, "command {} at {} targets a closed bank", self.command, self.at)
+            }
+            IssueErrorReason::BankAlreadyOpen => {
+                write!(f, "activate {} at {} but a row is already open", self.command, self.at)
+            }
+            IssueErrorReason::OutOfRange => {
+                write!(f, "command {} at {} addresses outside the device", self.command, self.at)
+            }
+            IssueErrorReason::RankNotIdle => {
+                write!(f, "refresh at {} while rank has open rows", self.at)
+            }
+        }
+    }
+}
+
+impl Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_error_messages() {
+        assert!(ConfigError::zero_dimension("x").to_string().contains('x'));
+        assert!(ConfigError::not_power_of_two("y", 3).to_string().contains('3'));
+        assert!(ConfigError::inconsistent("z").to_string().contains('z'));
+    }
+
+    #[test]
+    fn issue_error_accessors() {
+        let e = IssueError::new(Command::Precharge, Cycle::new(5), IssueErrorReason::TooEarly(Cycle::new(9)));
+        assert_eq!(e.command(), Command::Precharge);
+        assert_eq!(e.at(), Cycle::new(5));
+        assert_eq!(e.ready_at(), Some(Cycle::new(9)));
+        assert!(e.to_string().contains("legal at"));
+
+        let e = IssueError::new(Command::Refresh, Cycle::new(1), IssueErrorReason::RankNotIdle);
+        assert_eq!(e.ready_at(), None);
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<IssueError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! Reduced-latency DRAM operating modes.
+//!
+//! Models the two low-latency mechanisms the paper highlights as
+//! data-centric exemplars:
+//!
+//! * **AL-DRAM** (Lee+, HPCA'15): most devices have large timing margins at
+//!   common-case temperature, so tRCD/tRAS/tRP can be uniformly reduced.
+//! * **ChargeCache** (Hassan+, HPCA'16): rows accessed recently are still
+//!   highly charged, so a small per-controller cache of recently-closed row
+//!   addresses allows activating those rows with reduced tRCD/tRAS.
+
+use std::collections::HashMap;
+
+use crate::{Cycle, TimingParams};
+
+/// Latency mode applied on top of nominal device timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LatencyMode {
+    /// Nominal datasheet timing.
+    #[default]
+    Standard,
+    /// AL-DRAM-style uniform reduction of the core timing parameters.
+    AlDram {
+        /// Multiplier applied to tRCD/tRAS/tRP/tRC, e.g. `0.7` for a 30%
+        /// reduction. Must be in `(0, 1]`.
+        scale: f64,
+    },
+    /// ChargeCache-style reduction for recently-closed rows.
+    ChargeCache {
+        /// Entries tracked per bank.
+        entries_per_bank: usize,
+        /// How long (cycles) a closed row stays "highly charged".
+        window: u64,
+        /// Multiplier on tRCD/tRAS for hits. Must be in `(0, 1]`.
+        scale: f64,
+    },
+    /// TL-DRAM (Lee+, HPCA 2013): each subarray's bitlines are split by an
+    /// isolation transistor into a short *near* segment (fast) and a long
+    /// *far* segment (slightly slower than nominal). Rows in the first
+    /// `near_fraction` of each bank get `near_scale` timing; the rest pay
+    /// `far_scale`.
+    TieredLatency {
+        /// Fraction of rows in the near segment, in `(0, 1)`.
+        near_fraction: f64,
+        /// Timing multiplier for near-segment rows (e.g. `0.6`).
+        near_scale: f64,
+        /// Timing multiplier for far-segment rows (e.g. `1.1`).
+        far_scale: f64,
+    },
+}
+
+
+impl LatencyMode {
+    /// Applies a uniform scale to the row-timing parameters.
+    pub(crate) fn scaled(timing: &TimingParams, scale: f64) -> TimingParams {
+        let s = |v: u64| ((v as f64 * scale).round() as u64).max(1);
+        TimingParams {
+            t_rcd: s(timing.t_rcd),
+            t_ras: s(timing.t_ras),
+            t_rp: s(timing.t_rp),
+            ..*timing
+        }
+    }
+}
+
+/// Runtime state for [`LatencyMode::ChargeCache`]: per-bank tables of
+/// recently-closed rows with their close timestamps.
+#[derive(Debug, Clone, Default)]
+pub struct ChargeCacheState {
+    /// (flat bank, row) → cycle at which the row was closed.
+    closed: HashMap<(usize, u64), Cycle>,
+    /// Per-bank insertion order for capacity eviction (bank → rows FIFO).
+    fifo: HashMap<usize, Vec<u64>>,
+    /// Hits observed (activations that used reduced timing).
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+}
+
+impl ChargeCacheState {
+    /// Creates an empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        ChargeCacheState::default()
+    }
+
+    /// Records that `row` in `bank` was just precharged.
+    pub fn note_close(&mut self, bank: usize, row: u64, now: Cycle, capacity: usize) {
+        let order = self.fifo.entry(bank).or_default();
+        if let Some(pos) = order.iter().position(|&r| r == row) {
+            order.remove(pos);
+        }
+        order.push(row);
+        if order.len() > capacity {
+            let evicted = order.remove(0);
+            self.closed.remove(&(bank, evicted));
+        }
+        self.closed.insert((bank, row), now);
+    }
+
+    /// Checks (and counts) whether activating `row` in `bank` at `now`
+    /// qualifies for reduced timing.
+    pub fn lookup(&mut self, bank: usize, row: u64, now: Cycle, window: u64) -> bool {
+        match self.closed.get(&(bank, row)) {
+            Some(&closed_at) if now - closed_at <= window => {
+                self.hits += 1;
+                true
+            }
+            _ => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Hit rate so far, in [0, 1].
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DramConfig;
+
+    #[test]
+    fn scaled_timing_reduces_row_params_only() {
+        let t = DramConfig::ddr3_1600().timing;
+        let s = LatencyMode::scaled(&t, 0.5);
+        assert_eq!(s.t_rcd, (t.t_rcd as f64 * 0.5).round() as u64);
+        assert_eq!(s.t_cl, t.t_cl, "CAS latency is not margin-limited");
+        assert_eq!(s.t_rfc, t.t_rfc);
+    }
+
+    #[test]
+    fn scaled_timing_never_hits_zero() {
+        let t = DramConfig::ddr3_1600().timing;
+        let s = LatencyMode::scaled(&t, 0.0001);
+        assert!(s.t_rcd >= 1 && s.t_ras >= 1 && s.t_rp >= 1);
+    }
+
+    #[test]
+    fn charge_cache_hits_within_window() {
+        let mut cc = ChargeCacheState::new();
+        cc.note_close(0, 42, Cycle::new(100), 8);
+        assert!(cc.lookup(0, 42, Cycle::new(150), 100));
+        assert!(!cc.lookup(0, 42, Cycle::new(500), 100), "expired entry");
+        assert!(!cc.lookup(0, 43, Cycle::new(150), 100), "unknown row");
+        assert_eq!(cc.hits, 1);
+        assert_eq!(cc.misses, 2);
+        assert!((cc.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_cache_capacity_evicts_oldest() {
+        let mut cc = ChargeCacheState::new();
+        for row in 0..4u64 {
+            cc.note_close(0, row, Cycle::new(10), 2);
+        }
+        assert!(!cc.lookup(0, 0, Cycle::new(11), 100), "row 0 evicted");
+        assert!(cc.lookup(0, 3, Cycle::new(11), 100));
+    }
+
+    #[test]
+    fn renoting_a_row_refreshes_its_fifo_position() {
+        let mut cc = ChargeCacheState::new();
+        cc.note_close(0, 1, Cycle::new(1), 2);
+        cc.note_close(0, 2, Cycle::new(2), 2);
+        cc.note_close(0, 1, Cycle::new(3), 2); // row 1 moves to MRU
+        cc.note_close(0, 3, Cycle::new(4), 2); // evicts row 2
+        assert!(cc.lookup(0, 1, Cycle::new(5), 100));
+        assert!(!cc.lookup(0, 2, Cycle::new(5), 100));
+    }
+}

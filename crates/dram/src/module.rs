@@ -1,0 +1,443 @@
+//! The top-level DRAM module: channels + mapping + stats + energy, with a
+//! Ramulator-style fine-grained command interface and an open-page
+//! convenience interface.
+
+use crate::error::{ConfigError, IssueError};
+use crate::latency::{ChargeCacheState, LatencyMode};
+use crate::{
+    AccessKind, AddressMapping, Channel, Command, Cycle, DramConfig, DramStats, EnergyCounter,
+    IssueOutcome, Location, PhysAddr, RowBufferOutcome, TimingParams,
+};
+
+/// Result of a full open-page access performed by [`DramModule::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the column command was issued.
+    pub issued_at: Cycle,
+    /// Cycle at which the data burst completed.
+    pub data_ready: Cycle,
+    /// How the access met the row buffer.
+    pub outcome: RowBufferOutcome,
+}
+
+/// A complete simulated DRAM module.
+///
+/// Two interfaces are offered:
+///
+/// * the **command interface** ([`next_needed`](DramModule::next_needed),
+///   [`ready_at`](DramModule::ready_at), [`issue`](DramModule::issue)) used
+///   by the `ia-memctrl` schedulers, and
+/// * the **access interface** ([`access`](DramModule::access)) which plays
+///   an open-page controller for callers that do not care about scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use ia_dram::{AccessKind, Cycle, DramConfig, DramModule, PhysAddr};
+/// let mut dram = DramModule::new(DramConfig::ddr3_1600())?;
+/// let r = dram.access(PhysAddr::new(0x1000), AccessKind::Read, Cycle::ZERO)?;
+/// assert!(r.data_ready > Cycle::ZERO);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModule {
+    config: DramConfig,
+    mapping: AddressMapping,
+    channels: Vec<Channel>,
+    stats: DramStats,
+    energy: EnergyCounter,
+    latency: LatencyMode,
+    charge_cache: ChargeCacheState,
+}
+
+impl DramModule {
+    /// Creates a module from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: DramConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let channels = (0..config.geometry.channels)
+            .map(|_| Channel::new(config.geometry.ranks, config.geometry.banks_per_rank()))
+            .collect();
+        Ok(DramModule {
+            config,
+            mapping: AddressMapping::default(),
+            channels,
+            stats: DramStats::new(),
+            energy: EnergyCounter::new(),
+            latency: LatencyMode::Standard,
+            charge_cache: ChargeCacheState::new(),
+        })
+    }
+
+    /// Sets the address mapping (consumes and returns `self` for chaining).
+    #[must_use]
+    pub fn with_mapping(mut self, mapping: AddressMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the latency mode.
+    #[must_use]
+    pub fn with_latency_mode(mut self, mode: LatencyMode) -> Self {
+        self.latency = mode;
+        self
+    }
+
+    /// The module configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The active address mapping.
+    #[must_use]
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Accumulated command statistics.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Accumulated energy.
+    #[must_use]
+    pub fn energy(&self) -> &EnergyCounter {
+        &self.energy
+    }
+
+    /// ChargeCache hit rate (zero unless that latency mode is active).
+    #[must_use]
+    pub fn charge_cache_hit_rate(&self) -> f64 {
+        self.charge_cache.hit_rate()
+    }
+
+    /// Decodes a physical address to device coordinates.
+    #[must_use]
+    pub fn decode(&self, addr: PhysAddr) -> Location {
+        self.mapping.decode(addr, &self.config.geometry)
+    }
+
+    /// The open row in the bank addressed by `loc`, if any.
+    #[must_use]
+    pub fn open_row(&self, loc: &Location) -> Option<u64> {
+        self.bank_of(loc).open_row()
+    }
+
+    fn bank_of(&self, loc: &Location) -> &crate::Bank {
+        self.channels[loc.channel]
+            .rank(loc.rank)
+            .bank(loc.bank_group * self.config.geometry.banks_per_group + loc.bank)
+    }
+
+    fn bank_index(&self, loc: &Location) -> usize {
+        loc.bank_group * self.config.geometry.banks_per_group + loc.bank
+    }
+
+    /// The next command required to serve an access to `loc`, under
+    /// open-page bank management.
+    #[must_use]
+    pub fn next_needed(&self, loc: &Location, kind: AccessKind) -> Command {
+        match self.bank_of(loc).row_buffer_outcome(loc.row) {
+            RowBufferOutcome::Hit => match kind {
+                AccessKind::Read => Command::Read { column: loc.column },
+                AccessKind::Write => Command::Write { column: loc.column },
+            },
+            RowBufferOutcome::Miss => Command::Activate { row: loc.row },
+            RowBufferOutcome::Conflict => Command::Precharge,
+        }
+    }
+
+    /// Row-buffer classification of a prospective access to `loc`.
+    #[must_use]
+    pub fn row_buffer_outcome(&self, loc: &Location) -> RowBufferOutcome {
+        self.bank_of(loc).row_buffer_outcome(loc.row)
+    }
+
+    /// Timing parameters in effect for an activate of `loc.row` at `now`
+    /// (reduced under AL-DRAM, or on a ChargeCache hit).
+    fn effective_timing(&mut self, loc: &Location, cmd: &Command, now: Cycle) -> TimingParams {
+        let nominal = self.config.timing;
+        match (self.latency, cmd) {
+            (LatencyMode::AlDram { scale }, _) => LatencyMode::scaled(&nominal, scale),
+            (LatencyMode::ChargeCache { window, scale, .. }, Command::Activate { row }) => {
+                let bank = loc.flat_bank(&self.config.geometry);
+                if self.charge_cache.lookup(bank, *row, now, window) {
+                    LatencyMode::scaled(&nominal, scale)
+                } else {
+                    nominal
+                }
+            }
+            (
+                LatencyMode::TieredLatency { near_fraction, near_scale, far_scale },
+                Command::Activate { row },
+            ) => {
+                let near_rows =
+                    (self.config.geometry.rows_per_bank as f64 * near_fraction) as u64;
+                if *row < near_rows {
+                    LatencyMode::scaled(&nominal, near_scale)
+                } else {
+                    LatencyMode::scaled(&nominal, far_scale)
+                }
+            }
+            _ => nominal,
+        }
+    }
+
+    /// Earliest cycle at which `cmd` for `loc` satisfies all timing.
+    #[must_use]
+    pub fn ready_at(&self, loc: &Location, cmd: &Command) -> Cycle {
+        self.channels[loc.channel].ready_at(loc.rank, self.bank_index(loc), cmd, &self.config.timing)
+    }
+
+    /// Issues `cmd` for `loc` at `now`, updating stats and energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError`] on any protocol or timing violation.
+    pub fn issue(
+        &mut self,
+        loc: &Location,
+        cmd: Command,
+        now: Cycle,
+    ) -> Result<IssueOutcome, IssueError> {
+        let timing = self.effective_timing(loc, &cmd, now);
+        let bank_idx = self.bank_index(loc);
+        let open_before = self.bank_of(loc).open_row();
+        let out = self.channels[loc.channel].issue(loc.rank, bank_idx, cmd, now, &timing)?;
+        self.energy.record(&cmd, self.config.geometry.column_bytes, &self.config.energy);
+        match cmd {
+            Command::Activate { .. } => self.stats.activates += 1,
+            Command::Precharge => {
+                self.stats.precharges += 1;
+                if let (LatencyMode::ChargeCache { entries_per_bank, .. }, Some(row)) =
+                    (self.latency, open_before)
+                {
+                    let bank = loc.flat_bank(&self.config.geometry);
+                    self.charge_cache.note_close(bank, row, now, entries_per_bank);
+                }
+            }
+            Command::Read { .. } => self.stats.reads += 1,
+            Command::Write { .. } => self.stats.writes += 1,
+            Command::Refresh => self.stats.refreshes += 1,
+        }
+        Ok(out)
+    }
+
+    /// Performs a complete access to `addr` no earlier than `earliest`,
+    /// acting as an open-page controller: precharge and/or activate as
+    /// needed, then issue the column command at the first legal cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssueError`]; with correct internal sequencing this
+    /// only occurs on geometry violations.
+    pub fn access(
+        &mut self,
+        addr: PhysAddr,
+        kind: AccessKind,
+        earliest: Cycle,
+    ) -> Result<AccessResult, IssueError> {
+        let loc = self.decode(addr);
+        self.access_loc(&loc, kind, earliest)
+    }
+
+    /// [`DramModule::access`] with pre-decoded coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssueError`] from command issue.
+    pub fn access_loc(
+        &mut self,
+        loc: &Location,
+        kind: AccessKind,
+        earliest: Cycle,
+    ) -> Result<AccessResult, IssueError> {
+        let outcome = self.row_buffer_outcome(loc);
+        self.stats.record_outcome(outcome);
+        loop {
+            let cmd = self.next_needed(loc, kind);
+            let at = self.ready_at(loc, &cmd).max(earliest);
+            let out = self.issue(loc, cmd, at)?;
+            if let Some(data_ready) = out.data_ready {
+                return Ok(AccessResult { issued_at: at, data_ready, outcome });
+            }
+        }
+    }
+
+    /// Issues a rank refresh at the first legal cycle at or after
+    /// `earliest`, precharging any open banks first. Returns the cycle at
+    /// which the refresh completes (rank usable again).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IssueError`] from command issue.
+    pub fn refresh_rank(
+        &mut self,
+        channel: usize,
+        rank: usize,
+        earliest: Cycle,
+    ) -> Result<Cycle, IssueError> {
+        let timing = self.config.timing;
+        let banks = self.config.geometry.banks_per_rank();
+        // Close any open banks.
+        for bank in 0..banks {
+            if self.channels[channel].rank(rank).bank(bank).open_row().is_some() {
+                let at = self.channels[channel]
+                    .ready_at(rank, bank, &Command::Precharge, &timing)
+                    .max(earliest);
+                self.channels[channel].issue(rank, bank, Command::Precharge, at, &timing)?;
+                self.stats.precharges += 1;
+            }
+        }
+        let at = self.channels[channel]
+            .ready_at(rank, 0, &Command::Refresh, &timing)
+            .max(earliest);
+        self.channels[channel].issue(rank, 0, Command::Refresh, at, &timing)?;
+        self.stats.refreshes += 1;
+        self.energy.record(&Command::Refresh, 0, &self.config.energy);
+        Ok(at + timing.t_rfc)
+    }
+
+    /// Per-bank activation counts for one rank (RowHammer accounting).
+    #[must_use]
+    pub fn activation_counts(&self, channel: usize, rank: usize) -> Vec<u64> {
+        self.channels[channel].rank(rank).activation_counts()
+    }
+
+    /// Direct channel access for advanced callers (PUM command sequences).
+    #[must_use]
+    pub fn channel(&self, channel: usize) -> &Channel {
+        &self.channels[channel]
+    }
+
+    /// Mutable channel access for advanced callers.
+    pub fn channel_mut(&mut self, channel: usize) -> &mut Channel {
+        &mut self.channels[channel]
+    }
+
+    /// Mutable access to the energy counter (PUM operations account their
+    /// own internal bursts).
+    pub fn energy_mut(&mut self) -> &mut EnergyCounter {
+        &mut self.energy
+    }
+
+    /// Mutable access to the stats counter (for composite operations).
+    pub fn stats_mut(&mut self) -> &mut DramStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> DramModule {
+        DramModule::new(DramConfig::ddr3_1600()).expect("valid preset")
+    }
+
+    #[test]
+    fn first_access_is_a_row_miss() {
+        let mut dram = module();
+        let r = dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        assert_eq!(r.outcome, RowBufferOutcome::Miss);
+        let t = dram.config().timing;
+        assert_eq!(r.data_ready, Cycle::new(t.t_rcd + t.t_cl + t.t_bl));
+        assert_eq!(dram.stats().activates, 1);
+        assert_eq!(dram.stats().reads, 1);
+    }
+
+    #[test]
+    fn second_access_same_row_hits() {
+        let mut dram = module();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let r = dram.access(PhysAddr::new(64), AccessKind::Read, Cycle::ZERO).unwrap();
+        assert_eq!(r.outcome, RowBufferOutcome::Hit);
+        assert_eq!(dram.stats().activates, 1, "no second activate");
+    }
+
+    #[test]
+    fn conflicting_row_precharges_first() {
+        let mut dram = module();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        // Same bank, different row (row-interleaved: one full row stride × banks).
+        let geo = dram.config().geometry;
+        let row_stride = geo.row_bytes
+            * (geo.banks_per_group * geo.bank_groups * geo.ranks) as u64
+            * geo.channels as u64;
+        let r = dram.access(PhysAddr::new(row_stride), AccessKind::Read, Cycle::ZERO).unwrap();
+        assert_eq!(r.outcome, RowBufferOutcome::Conflict);
+        assert_eq!(dram.stats().precharges, 1);
+        assert_eq!(dram.stats().activates, 2);
+    }
+
+    #[test]
+    fn writes_are_counted_and_charged() {
+        let mut dram = module();
+        dram.access(PhysAddr::new(0), AccessKind::Write, Cycle::ZERO).unwrap();
+        assert_eq!(dram.stats().writes, 1);
+        assert!(dram.energy().io_pj > 0.0);
+    }
+
+    #[test]
+    fn refresh_rank_closes_banks_and_blocks() {
+        let mut dram = module();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let done = dram.refresh_rank(0, 0, Cycle::new(100)).unwrap();
+        assert!(done > Cycle::new(100 + dram.config().timing.t_rfc - 1));
+        assert_eq!(dram.stats().refreshes, 1);
+        // Next access must be after the refresh completes.
+        let r = dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        assert!(r.issued_at >= done);
+    }
+
+    #[test]
+    fn al_dram_mode_is_faster() {
+        let mut nominal = module();
+        let mut fast = DramModule::new(DramConfig::ddr3_1600())
+            .unwrap()
+            .with_latency_mode(LatencyMode::AlDram { scale: 0.6 });
+        let a = nominal.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let b = fast.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        assert!(b.data_ready < a.data_ready, "AL-DRAM must reduce miss latency");
+    }
+
+    #[test]
+    fn charge_cache_accelerates_reopened_rows() {
+        let mode = LatencyMode::ChargeCache { entries_per_bank: 8, window: 100_000, scale: 0.6 };
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap().with_latency_mode(mode);
+        let geo = dram.config().geometry;
+        let row_stride = geo.row_bytes
+            * (geo.banks_per_group * geo.bank_groups * geo.ranks) as u64
+            * geo.channels as u64;
+
+        // Open row 0, conflict to row 1 (closing row 0), then re-open row 0.
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(row_stride), AccessKind::Read, Cycle::ZERO).unwrap();
+        let t0 = dram.ready_at(&dram.decode(PhysAddr::new(0)), &Command::Precharge);
+        let reopen = dram.access(PhysAddr::new(0), AccessKind::Read, t0).unwrap();
+        assert_eq!(reopen.outcome, RowBufferOutcome::Conflict);
+        assert!(dram.charge_cache_hit_rate() > 0.0, "row 0 was recently closed");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = DramConfig::ddr3_1600();
+        cfg.geometry.channels = 0;
+        assert!(DramModule::new(cfg).is_err());
+    }
+
+    #[test]
+    fn access_loc_and_decode_agree() {
+        let mut dram = module();
+        let addr = PhysAddr::new(0x12340);
+        let loc = dram.decode(addr);
+        let a = dram.access_loc(&loc, AccessKind::Read, Cycle::ZERO).unwrap();
+        assert!(a.data_ready > Cycle::ZERO);
+        assert_eq!(dram.open_row(&loc), Some(loc.row));
+    }
+}

@@ -1,0 +1,368 @@
+//! Core value types shared across the DRAM simulator.
+//!
+//! Newtypes ([`Cycle`], [`PhysAddr`]) statically distinguish the two numeric
+//! domains the simulator juggles constantly — simulation time and memory
+//! addresses — so they can never be confused (C-NEWTYPE).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in DRAM clock cycles.
+///
+/// `Cycle` is ordered and supports saturating arithmetic with plain cycle
+/// counts (`u64`), which is how timing constraints are expressed.
+///
+/// # Examples
+///
+/// ```
+/// use ia_dram::Cycle;
+/// let t = Cycle::ZERO + 15;
+/// assert_eq!(t.as_u64(), 15);
+/// assert!(t < t + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The origin of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle timestamp from a raw count.
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two timestamps.
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the number of cycles from `earlier` to `self`, or zero if
+    /// `earlier` is in the future.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Converts this timestamp to nanoseconds given a clock period.
+    #[must_use]
+    pub fn to_ns(self, tck_ns: f64) -> f64 {
+        self.0 as f64 * tck_ns
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Distance in cycles. Saturates at zero rather than panicking so that
+    /// "how long until" queries are total.
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+/// A physical memory byte address.
+///
+/// # Examples
+///
+/// ```
+/// use ia_dram::PhysAddr;
+/// let a = PhysAddr::new(0x4000);
+/// assert_eq!(a.as_u64(), 0x4000);
+/// assert_eq!(a.offset(64).as_u64(), 0x4040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address `bytes` past this one.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+
+    /// Aligns the address down to a power-of-two boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[must_use]
+    pub fn align_down(self, align: u64) -> PhysAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        PhysAddr(self.0 & !(align - 1))
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Fully decoded coordinates of one column of one row within the device
+/// hierarchy: channel → rank → bank group → bank → subarray → row → column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank group index within the rank.
+    pub bank_group: usize,
+    /// Bank index within the bank group.
+    pub bank: usize,
+    /// Subarray index within the bank (derived from the row index).
+    pub subarray: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (cache-line granule) index within the row.
+    pub column: u64,
+}
+
+impl Location {
+    /// Returns the flat bank index within the whole module
+    /// (channel-major, then rank, bank group, bank).
+    #[must_use]
+    pub fn flat_bank(&self, geo: &crate::Geometry) -> usize {
+        ((self.channel * geo.ranks + self.rank) * geo.bank_groups + self.bank_group)
+            * geo.banks_per_group
+            + self.bank
+    }
+
+    /// True if `other` names the same bank (ignoring row/column/subarray).
+    #[must_use]
+    pub fn same_bank(&self, other: &Location) -> bool {
+        self.channel == other.channel
+            && self.rank == other.rank
+            && self.bank_group == other.bank_group
+            && self.bank == other.bank
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}.rk{}.bg{}.bk{}.sa{}.row{}.col{}",
+            self.channel, self.rank, self.bank_group, self.bank, self.subarray, self.row, self.column
+        )
+    }
+}
+
+/// The DRAM command set understood by the bank/rank state machines.
+///
+/// This mirrors the JEDEC command vocabulary plus the in-memory-compute
+/// extensions used by the PUM crate (RowClone's back-to-back activate and
+/// Ambit's triple-row activate are modelled as command sequences built from
+/// these primitives by the PUM layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Activate (open) a row: latches the row into the row buffer.
+    Activate {
+        /// Row to open.
+        row: u64,
+    },
+    /// Precharge (close) the currently open row.
+    Precharge,
+    /// Column read burst from the open row.
+    Read {
+        /// Column granule to read.
+        column: u64,
+    },
+    /// Column write burst to the open row.
+    Write {
+        /// Column granule to write.
+        column: u64,
+    },
+    /// Per-rank auto refresh.
+    Refresh,
+}
+
+impl Command {
+    /// Short mnemonic, matching datasheet vocabulary.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Activate { .. } => "ACT",
+            Command::Precharge => "PRE",
+            Command::Read { .. } => "RD",
+            Command::Write { .. } => "WR",
+            Command::Refresh => "REF",
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Activate { row } => write!(f, "ACT(row={row})"),
+            Command::Read { column } => write!(f, "RD(col={column})"),
+            Command::Write { column } => write!(f, "WR(col={column})"),
+            _ => f.write_str(self.mnemonic()),
+        }
+    }
+}
+
+/// Direction of a data access as seen by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load / read request.
+    Read,
+    /// A store / write request.
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Read`].
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// Classification of a column access relative to the row-buffer state,
+/// the key locality signal exploited by FR-FCFS-class schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowBufferOutcome {
+    /// The needed row was already open: column access only.
+    Hit,
+    /// The bank was idle (no row open): activate then access.
+    Miss,
+    /// A different row was open: precharge, activate, then access.
+    Conflict,
+}
+
+impl fmt::Display for RowBufferOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RowBufferOutcome::Hit => "row-hit",
+            RowBufferOutcome::Miss => "row-miss",
+            RowBufferOutcome::Conflict => "row-conflict",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic_is_ordered_and_saturating() {
+        let a = Cycle::new(10);
+        let b = a + 5;
+        assert_eq!(b.as_u64(), 15);
+        assert_eq!(b - a, 5);
+        assert_eq!(a - b, 0, "cycle subtraction saturates");
+        assert_eq!(a.max(b), b);
+        assert_eq!(Cycle::from(7u64).as_u64(), 7);
+    }
+
+    #[test]
+    fn cycle_to_ns_uses_clock_period() {
+        let t = Cycle::new(1000);
+        let ns = t.to_ns(1.25);
+        assert!((ns - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phys_addr_align_down() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.align_down(64).as_u64(), 0x1200);
+        assert_eq!(a.align_down(1).as_u64(), 0x1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn phys_addr_align_down_rejects_non_power_of_two() {
+        let _ = PhysAddr::new(0x100).align_down(48);
+    }
+
+    #[test]
+    fn command_mnemonics() {
+        assert_eq!(Command::Activate { row: 3 }.mnemonic(), "ACT");
+        assert_eq!(Command::Precharge.mnemonic(), "PRE");
+        assert_eq!(Command::Read { column: 0 }.mnemonic(), "RD");
+        assert_eq!(Command::Write { column: 0 }.mnemonic(), "WR");
+        assert_eq!(Command::Refresh.mnemonic(), "REF");
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!format!("{}", Cycle::new(1)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(1)).is_empty());
+        assert!(!format!("{}", Location::default()).is_empty());
+        assert!(!format!("{}", Command::Refresh).is_empty());
+        assert!(!format!("{}", AccessKind::Read).is_empty());
+        assert!(!format!("{}", RowBufferOutcome::Conflict).is_empty());
+    }
+
+    #[test]
+    fn same_bank_ignores_row_and_column() {
+        let a = Location { row: 1, column: 2, ..Location::default() };
+        let b = Location { row: 9, column: 7, subarray: 3, ..Location::default() };
+        assert!(a.same_bank(&b));
+        let c = Location { bank: 1, ..Location::default() };
+        assert!(!a.same_bank(&c));
+    }
+}

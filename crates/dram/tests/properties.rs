@@ -1,0 +1,108 @@
+//! Property-based tests of the DRAM substrate's core invariants.
+
+use ia_dram::{
+    AccessKind, AddressMapping, Command, Cycle, DramConfig, DramModule, Geometry, PhysAddr,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Address decode/encode is a bijection on line-aligned addresses in
+    /// capacity, for both mappings.
+    #[test]
+    fn address_mapping_roundtrips(line in 0u64..(1 << 26)) {
+        let geo = Geometry::default();
+        for mapping in [AddressMapping::RowInterleaved, AddressMapping::BankInterleaved] {
+            let addr = PhysAddr::new(line * geo.column_bytes);
+            let loc = mapping.decode(addr, &geo);
+            prop_assert!(loc.row < geo.rows_per_bank);
+            prop_assert!(loc.column < geo.columns_per_row());
+            let back = mapping.encode(&loc, &geo);
+            prop_assert_eq!(back, addr);
+        }
+    }
+
+    /// Whatever `ready_at` returns for an access's next command is
+    /// actually issuable at that cycle — under any interleaving of random
+    /// accesses.
+    #[test]
+    fn ready_at_is_always_issuable(addrs in prop::collection::vec(0u64..(1 << 24), 1..40)) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let mut now = Cycle::ZERO;
+        for a in addrs {
+            let loc = dram.decode(PhysAddr::new(a & !63));
+            let cmd = dram.next_needed(&loc, AccessKind::Read);
+            let at = dram.ready_at(&loc, &cmd).max(now);
+            prop_assert!(dram.issue(&loc, cmd, at).is_ok(), "cmd {cmd} at {at}");
+            now = at;
+        }
+    }
+
+    /// The open-page convenience interface always completes, data_ready
+    /// strictly after issue, and never earlier than the requested cycle.
+    #[test]
+    fn access_completes_in_order(
+        addrs in prop::collection::vec(0u64..(1 << 22), 1..30),
+        write_mask in 0u32..,
+    ) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let mut now = Cycle::ZERO;
+        for (i, a) in addrs.iter().enumerate() {
+            let kind = if write_mask >> (i % 32) & 1 == 1 { AccessKind::Write } else { AccessKind::Read };
+            let r = dram.access(PhysAddr::new(a & !63), kind, now).unwrap();
+            prop_assert!(r.data_ready > r.issued_at);
+            prop_assert!(r.issued_at >= now);
+            now = r.data_ready;
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.reads + s.writes, addrs.len() as u64);
+    }
+
+    /// Row-buffer classification counts partition the accesses.
+    #[test]
+    fn outcome_counts_partition(addrs in prop::collection::vec(0u64..(1 << 20), 1..50)) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let mut now = Cycle::ZERO;
+        for a in &addrs {
+            let r = dram.access(PhysAddr::new(a & !63), AccessKind::Read, now).unwrap();
+            now = r.data_ready;
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.row_hits + s.row_misses + s.row_conflicts, addrs.len() as u64);
+        let rate = s.row_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+
+    /// Energy is monotone: every access strictly increases dynamic energy.
+    #[test]
+    fn energy_is_monotone(addrs in prop::collection::vec(0u64..(1 << 20), 2..20)) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut last = 0.0f64;
+        for a in addrs {
+            let r = dram.access(PhysAddr::new(a & !63), AccessKind::Read, now).unwrap();
+            now = r.data_ready;
+            let e = dram.energy().dynamic_pj();
+            prop_assert!(e > last);
+            last = e;
+        }
+    }
+
+    /// A refresh never leaves a rank in a state that rejects future use.
+    #[test]
+    fn refresh_then_access_always_works(a in 0u64..(1 << 22), at in 0u64..10_000) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let done = dram.refresh_rank(0, 0, Cycle::new(at)).unwrap();
+        let r = dram.access(PhysAddr::new(a & !63), AccessKind::Read, done).unwrap();
+        prop_assert!(r.data_ready > done);
+    }
+}
+
+/// Issuing the same command twice at the same cycle must fail the second
+/// time (the state machines are not idempotent).
+#[test]
+fn double_issue_is_rejected() {
+    let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+    let loc = dram.decode(PhysAddr::new(0));
+    dram.issue(&loc, Command::Activate { row: loc.row }, Cycle::ZERO).unwrap();
+    assert!(dram.issue(&loc, Command::Activate { row: loc.row }, Cycle::ZERO).is_err());
+}

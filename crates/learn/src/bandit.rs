@@ -1,0 +1,279 @@
+//! Multi-armed bandit policy selectors.
+//!
+//! Hardware proposals often choose among a small set of candidate policies
+//! online ("set dueling", hybrid predictors choosing a component). This
+//! module provides ε-greedy and UCB1 selectors for that pattern.
+
+use rand::Rng;
+
+use crate::LearnError;
+
+/// Per-arm running statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Arm {
+    pulls: u64,
+    mean: f64,
+}
+
+impl Arm {
+    fn update(&mut self, reward: f64) {
+        self.pulls += 1;
+        self.mean += (reward - self.mean) / self.pulls as f64;
+    }
+}
+
+/// ε-greedy bandit: explore with probability ε, otherwise pick the best
+/// empirical mean.
+///
+/// # Examples
+///
+/// ```
+/// use ia_learn::EpsilonGreedyBandit;
+/// use rand::SeedableRng;
+/// let mut b = EpsilonGreedyBandit::new(3, 0.1)?;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// for _ in 0..500 {
+///     let arm = b.select(&mut rng);
+///     b.update(arm, if arm == 2 { 1.0 } else { 0.0 });
+/// }
+/// assert_eq!(b.best_arm(), 2);
+/// # Ok::<(), ia_learn::LearnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedyBandit {
+    arms: Vec<Arm>,
+    epsilon: f64,
+}
+
+impl EpsilonGreedyBandit {
+    /// Creates a bandit over `arms` arms with exploration rate `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError`] if `arms == 0` or `epsilon` is outside
+    /// `[0, 1]`.
+    pub fn new(arms: usize, epsilon: f64) -> Result<Self, LearnError> {
+        if arms == 0 {
+            return Err(LearnError::invalid("bandit needs at least one arm"));
+        }
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(LearnError::invalid("epsilon must be in [0, 1]"));
+        }
+        Ok(EpsilonGreedyBandit { arms: vec![Arm::default(); arms], epsilon })
+    }
+
+    /// Selects an arm.
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            rng.gen_range(0..self.arms.len())
+        } else {
+            self.best_arm()
+        }
+    }
+
+    /// Records a reward for `arm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn update(&mut self, arm: usize, reward: f64) {
+        self.arms[arm].update(reward);
+    }
+
+    /// Arm with the best empirical mean (ties → lowest index).
+    #[must_use]
+    pub fn best_arm(&self) -> usize {
+        let mut best = 0;
+        for (i, a) in self.arms.iter().enumerate() {
+            if a.mean > self.arms[best].mean {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Empirical mean reward of `arm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    #[must_use]
+    pub fn mean(&self, arm: usize) -> f64 {
+        self.arms[arm].mean
+    }
+
+    /// Total pulls across all arms.
+    #[must_use]
+    pub fn total_pulls(&self) -> u64 {
+        self.arms.iter().map(|a| a.pulls).sum()
+    }
+}
+
+/// UCB1 bandit: deterministic optimism-in-the-face-of-uncertainty.
+///
+/// # Examples
+///
+/// ```
+/// use ia_learn::UcbBandit;
+/// let mut b = UcbBandit::new(2)?;
+/// for _ in 0..200 {
+///     let arm = b.select();
+///     b.update(arm, if arm == 0 { 0.9 } else { 0.1 });
+/// }
+/// assert_eq!(b.best_arm(), 0);
+/// # Ok::<(), ia_learn::LearnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct UcbBandit {
+    arms: Vec<Arm>,
+    /// Exploration constant (√2 is the classical choice).
+    c: f64,
+}
+
+impl UcbBandit {
+    /// Creates a UCB1 bandit over `arms` arms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError`] if `arms == 0`.
+    pub fn new(arms: usize) -> Result<Self, LearnError> {
+        Self::with_exploration(arms, std::f64::consts::SQRT_2)
+    }
+
+    /// Creates a UCB1 bandit with a custom exploration constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError`] if `arms == 0` or `c < 0`.
+    pub fn with_exploration(arms: usize, c: f64) -> Result<Self, LearnError> {
+        if arms == 0 {
+            return Err(LearnError::invalid("bandit needs at least one arm"));
+        }
+        if c < 0.0 {
+            return Err(LearnError::invalid("exploration constant must be non-negative"));
+        }
+        Ok(UcbBandit { arms: vec![Arm::default(); arms], c })
+    }
+
+    /// Selects the arm with the highest upper confidence bound; unpulled
+    /// arms are tried first.
+    #[must_use]
+    pub fn select(&self) -> usize {
+        if let Some(i) = self.arms.iter().position(|a| a.pulls == 0) {
+            return i;
+        }
+        let total: u64 = self.arms.iter().map(|a| a.pulls).sum();
+        let ln_t = (total as f64).ln();
+        let mut best = 0;
+        let mut best_ucb = f64::NEG_INFINITY;
+        for (i, a) in self.arms.iter().enumerate() {
+            let ucb = a.mean + self.c * (ln_t / a.pulls as f64).sqrt();
+            if ucb > best_ucb {
+                best_ucb = ucb;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Records a reward for `arm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    pub fn update(&mut self, arm: usize, reward: f64) {
+        self.arms[arm].update(reward);
+    }
+
+    /// Arm with the best empirical mean.
+    #[must_use]
+    pub fn best_arm(&self) -> usize {
+        let mut best = 0;
+        for (i, a) in self.arms.iter().enumerate() {
+            if a.mean > self.arms[best].mean {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Pull count for `arm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` is out of range.
+    #[must_use]
+    pub fn pulls(&self, arm: usize) -> u64 {
+        self.arms[arm].pulls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epsilon_greedy_validates_args() {
+        assert!(EpsilonGreedyBandit::new(0, 0.1).is_err());
+        assert!(EpsilonGreedyBandit::new(2, -0.1).is_err());
+        assert!(EpsilonGreedyBandit::new(2, 1.5).is_err());
+    }
+
+    #[test]
+    fn epsilon_greedy_finds_best_arm() {
+        let mut b = EpsilonGreedyBandit::new(4, 0.2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let means = [0.1, 0.5, 0.9, 0.3];
+        for _ in 0..2000 {
+            let arm = b.select(&mut rng);
+            let noise: f64 = rng.gen::<f64>() * 0.1;
+            b.update(arm, means[arm] + noise);
+        }
+        assert_eq!(b.best_arm(), 2);
+        assert!(b.mean(2) > b.mean(0));
+        assert_eq!(b.total_pulls(), 2000);
+    }
+
+    #[test]
+    fn zero_epsilon_is_pure_exploitation() {
+        let mut b = EpsilonGreedyBandit::new(2, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.update(1, 1.0);
+        for _ in 0..50 {
+            assert_eq!(b.select(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn ucb_tries_every_arm_first() {
+        let mut b = UcbBandit::new(3).unwrap();
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            let arm = b.select();
+            assert!(!seen[arm], "arm {arm} pulled twice before coverage");
+            seen[arm] = true;
+            b.update(arm, 0.5);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ucb_converges_to_best_arm() {
+        let mut b = UcbBandit::new(3).unwrap();
+        for _ in 0..1000 {
+            let arm = b.select();
+            b.update(arm, [0.2, 0.8, 0.4][arm]);
+        }
+        assert_eq!(b.best_arm(), 1);
+        assert!(b.pulls(1) > b.pulls(0));
+        assert!(b.pulls(1) > b.pulls(2));
+    }
+
+    #[test]
+    fn ucb_validates_args() {
+        assert!(UcbBandit::new(0).is_err());
+        assert!(UcbBandit::with_exploration(2, -1.0).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the learning substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid argument or configuration for a learning component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnError {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    Invalid(&'static str),
+    Dimension { expected: usize, got: usize },
+}
+
+impl LearnError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        LearnError { kind: Kind::Invalid(msg) }
+    }
+
+    pub(crate) fn dimension(expected: usize, got: usize) -> Self {
+        LearnError { kind: Kind::Dimension { expected, got } }
+    }
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            Kind::Invalid(msg) => f.write_str(msg),
+            Kind::Dimension { expected, got } => {
+                write!(f, "state has {got} features, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for LearnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        assert!(!LearnError::invalid("boom").to_string().is_empty());
+        let d = LearnError::dimension(3, 1);
+        assert!(d.to_string().contains('3'));
+        assert!(d.to_string().contains('1'));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<LearnError>();
+    }
+}

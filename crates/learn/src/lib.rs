@@ -1,0 +1,47 @@
+//! # ia-learn — online-learning substrate for data-driven architectures
+//!
+//! The paper's second principle is that controllers should be *data-driven
+//! autonomous agents that automatically learn far-sighted policies*. This
+//! crate provides the three learning machines that the architecture
+//! literature actually deploys in controllers:
+//!
+//! * [`QAgent`] — SARSA with CMAC tile coding, as in the self-optimizing
+//!   memory controller (Ipek+, ISCA 2008). Used by `ia-memctrl`'s RL
+//!   scheduler.
+//! * [`Perceptron`] / [`PerceptronPredictor`] — Jiménez–Lin perceptron
+//!   prediction (HPCA 2001), reusable for branches, reuse, and prefetch
+//!   filtering.
+//! * [`EpsilonGreedyBandit`] / [`UcbBandit`] — lightweight policy
+//!   selectors for set-dueling-style online policy choice.
+//!
+//! ## Example
+//!
+//! ```
+//! use ia_learn::{EpsilonGreedyBandit, LearnError};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), LearnError> {
+//! let mut selector = EpsilonGreedyBandit::new(2, 0.1)?;
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! for _ in 0..300 {
+//!     let policy = selector.select(&mut rng);
+//!     let reward = if policy == 0 { 0.3 } else { 0.7 };
+//!     selector.update(policy, reward);
+//! }
+//! assert_eq!(selector.best_arm(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bandit;
+mod error;
+mod perceptron;
+mod qlearning;
+
+pub use bandit::{EpsilonGreedyBandit, UcbBandit};
+pub use error::LearnError;
+pub use perceptron::{Perceptron, PerceptronPredictor, Prediction};
+pub use qlearning::{FeatureQuantizer, QAgent, QConfig};

@@ -1,0 +1,276 @@
+//! Hybrid DRAM + PCM main memory (Qureshi+ ISCA 2009; Yoon+ ICCD 2012):
+//! a small fast DRAM tier in front of a large slow non-volatile tier, with
+//! either LRU or row-buffer-locality-aware (RBLA) placement.
+//!
+//! The data-centric argument: PCM offers capacity at low cost but slow,
+//! write-limited cells; an intelligent controller places in DRAM exactly
+//! the pages whose access pattern suffers most on PCM (those with poor
+//! row-buffer locality — PCM row hits are nearly as fast as DRAM).
+
+use std::collections::HashMap;
+
+use crate::error::CtrlError;
+
+/// Relative access costs of the two tiers, in controller cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridTiming {
+    /// DRAM access (row miss).
+    pub dram_miss: u64,
+    /// DRAM row hit.
+    pub dram_hit: u64,
+    /// PCM array read (row miss): ~4x DRAM.
+    pub pcm_read_miss: u64,
+    /// PCM row hit: comparable to DRAM (row buffer is SRAM/DRAM-like).
+    pub pcm_hit: u64,
+    /// PCM array write (row miss): ~8-12x DRAM.
+    pub pcm_write_miss: u64,
+    /// Page migration cost (copy a page between tiers).
+    pub migration: u64,
+}
+
+impl Default for HybridTiming {
+    fn default() -> Self {
+        HybridTiming {
+            dram_miss: 50,
+            dram_hit: 15,
+            pcm_read_miss: 200,
+            pcm_hit: 18,
+            pcm_write_miss: 500,
+            migration: 1000,
+        }
+    }
+}
+
+/// Placement policy for the DRAM tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Cache the most-recently-used pages (conventional DRAM cache).
+    Lru,
+    /// Row-Buffer-Locality-Aware: only promote pages that keep *missing*
+    /// the row buffer (pages with good locality run fine from PCM).
+    Rbla {
+        /// Row-buffer misses on PCM before a page is promoted.
+        miss_threshold: u32,
+    },
+}
+
+/// A page-granularity hybrid-memory model.
+///
+/// # Examples
+///
+/// ```
+/// use ia_memctrl::{HybridMemory, HybridTiming, PlacementPolicy};
+/// let mut mem = HybridMemory::new(16, 4096, HybridTiming::default(),
+///     PlacementPolicy::Rbla { miss_threshold: 2 })?;
+/// let cost = mem.access(0x1000, false);
+/// assert!(cost > 0);
+/// # Ok::<(), ia_memctrl::CtrlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridMemory {
+    dram_capacity_pages: usize,
+    page_bytes: u64,
+    timing: HybridTiming,
+    policy: PlacementPolicy,
+    /// Pages resident in DRAM: page → last-use stamp.
+    dram: HashMap<u64, u64>,
+    /// PCM row-buffer: last open page per (implicit single) bank region.
+    open_pcm_page: Option<u64>,
+    open_dram_page: Option<u64>,
+    /// RBLA: row-miss counters per PCM page.
+    miss_counts: HashMap<u64, u32>,
+    clock: u64,
+    /// Total cycles spent serving accesses.
+    pub total_cycles: u64,
+    /// Accesses served from DRAM.
+    pub dram_hits: u64,
+    /// Accesses served from PCM.
+    pub pcm_accesses: u64,
+    /// Pages migrated into DRAM.
+    pub migrations: u64,
+}
+
+impl HybridMemory {
+    /// Creates a hybrid memory with a DRAM tier of `dram_capacity_pages`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError::Invalid`] on zero capacity or page size.
+    pub fn new(
+        dram_capacity_pages: usize,
+        page_bytes: u64,
+        timing: HybridTiming,
+        policy: PlacementPolicy,
+    ) -> Result<Self, CtrlError> {
+        if dram_capacity_pages == 0 || page_bytes == 0 {
+            return Err(CtrlError::Invalid("hybrid memory needs capacity and page size"));
+        }
+        Ok(HybridMemory {
+            dram_capacity_pages,
+            page_bytes,
+            timing,
+            policy,
+            dram: HashMap::new(),
+            open_pcm_page: None,
+            open_dram_page: None,
+            miss_counts: HashMap::new(),
+            clock: 0,
+            total_cycles: 0,
+            dram_hits: 0,
+            pcm_accesses: 0,
+            migrations: 0,
+        })
+    }
+
+    fn promote(&mut self, page: u64) {
+        if self.dram.len() >= self.dram_capacity_pages {
+            // Evict the LRU DRAM page.
+            if let Some((&victim, _)) = self.dram.iter().min_by_key(|(_, &stamp)| stamp) {
+                self.dram.remove(&victim);
+            }
+        }
+        self.dram.insert(page, self.clock);
+        self.miss_counts.remove(&page);
+        self.migrations += 1;
+        self.total_cycles += self.timing.migration;
+    }
+
+    /// Accesses `addr` (`write` = store). Returns the access cost in
+    /// cycles and updates placement state.
+    pub fn access(&mut self, addr: u64, write: bool) -> u64 {
+        self.clock += 1;
+        let page = addr / self.page_bytes;
+        let cost = if self.dram.contains_key(&page) {
+            self.dram.insert(page, self.clock);
+            self.dram_hits += 1;
+            let hit = self.open_dram_page == Some(page);
+            self.open_dram_page = Some(page);
+            if hit {
+                self.timing.dram_hit
+            } else {
+                self.timing.dram_miss
+            }
+        } else {
+            self.pcm_accesses += 1;
+            let hit = self.open_pcm_page == Some(page);
+            self.open_pcm_page = Some(page);
+            let cost = match (hit, write) {
+                (true, _) => self.timing.pcm_hit,
+                (false, false) => self.timing.pcm_read_miss,
+                (false, true) => self.timing.pcm_write_miss,
+            };
+            match self.policy {
+                PlacementPolicy::Lru => self.promote(page),
+                PlacementPolicy::Rbla { miss_threshold } => {
+                    if !hit {
+                        let c = self.miss_counts.entry(page).or_insert(0);
+                        *c += 1;
+                        if *c >= miss_threshold {
+                            self.promote(page);
+                        }
+                    }
+                }
+            }
+            cost
+        };
+        self.total_cycles += cost;
+        cost
+    }
+
+    /// Mean cycles per access so far.
+    #[must_use]
+    pub fn avg_cost(&self) -> f64 {
+        let n = self.dram_hits + self.pcm_accesses;
+        if n == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / n as f64
+        }
+    }
+
+    /// Fraction of accesses served by the DRAM tier.
+    #[must_use]
+    pub fn dram_serve_rate(&self) -> f64 {
+        let n = self.dram_hits + self.pcm_accesses;
+        if n == 0 {
+            0.0
+        } else {
+            self.dram_hits as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(policy: PlacementPolicy) -> HybridMemory {
+        HybridMemory::new(4, 4096, HybridTiming::default(), policy).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(HybridMemory::new(0, 4096, HybridTiming::default(), PlacementPolicy::Lru).is_err());
+        assert!(HybridMemory::new(4, 0, HybridTiming::default(), PlacementPolicy::Lru).is_err());
+    }
+
+    #[test]
+    fn first_access_hits_pcm_then_dram_after_promotion() {
+        let mut m = mk(PlacementPolicy::Lru);
+        let c1 = m.access(0, false);
+        assert_eq!(c1, HybridTiming::default().pcm_read_miss);
+        let c2 = m.access(0, false);
+        assert!(c2 <= HybridTiming::default().dram_miss, "promoted page serves from DRAM");
+        assert_eq!(m.migrations, 1);
+    }
+
+    #[test]
+    fn lru_capacity_evicts() {
+        let mut m = mk(PlacementPolicy::Lru);
+        for p in 0..6u64 {
+            m.access(p * 4096, false);
+        }
+        assert!(m.dram.len() <= 4);
+    }
+
+    #[test]
+    fn rbla_does_not_promote_high_locality_pages() {
+        let mut m = mk(PlacementPolicy::Rbla { miss_threshold: 3 });
+        // Repeated access to the same page: one PCM row miss then hits.
+        for _ in 0..10 {
+            m.access(0, false);
+        }
+        assert_eq!(m.migrations, 0, "row-hit-friendly page stays in PCM");
+        assert!(m.avg_cost() < HybridTiming::default().pcm_read_miss as f64);
+    }
+
+    #[test]
+    fn rbla_promotes_row_missing_pages() {
+        let mut m = mk(PlacementPolicy::Rbla { miss_threshold: 2 });
+        // Alternate two pages: every access is a PCM row miss.
+        for _ in 0..4 {
+            m.access(0, false);
+            m.access(8192, false);
+        }
+        assert!(m.migrations >= 1, "thrashing pages must be promoted");
+    }
+
+    #[test]
+    fn writes_cost_more_on_pcm() {
+        let mut m = mk(PlacementPolicy::Rbla { miss_threshold: 100 });
+        let r = m.access(0, false);
+        let w = m.access(8192, true);
+        assert!(w > r);
+    }
+
+    #[test]
+    fn rates_and_averages() {
+        let mut m = mk(PlacementPolicy::Lru);
+        assert_eq!(m.avg_cost(), 0.0);
+        assert_eq!(m.dram_serve_rate(), 0.0);
+        m.access(0, false);
+        m.access(0, false);
+        assert!(m.dram_serve_rate() > 0.0);
+        assert!(m.avg_cost() > 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Memory DVFS (MemScale, Deng+ ASPLOS 2011; David+ ICAC 2011): scale the
+//! memory channel's frequency/voltage to track demand — bandwidth
+//! headroom is wasted power. The governor is a small data-driven
+//! controller: measure utilization each epoch, pick the lowest frequency
+//! that keeps the predicted performance loss within a budget.
+
+use crate::error::CtrlError;
+
+/// One memory frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyPoint {
+    /// Frequency relative to nominal (1.0 = full speed).
+    pub speed: f64,
+    /// Memory-system power relative to nominal at that point (voltage
+    /// scales with frequency, so power drops super-linearly).
+    pub power: f64,
+}
+
+/// The operating points MemScale-class proposals use (≈ DDR3-1600 down
+/// to DDR3-800 with voltage scaling).
+#[must_use]
+pub fn standard_points() -> [FrequencyPoint; 4] {
+    [
+        FrequencyPoint { speed: 1.0, power: 1.0 },
+        FrequencyPoint { speed: 0.75, power: 0.62 },
+        FrequencyPoint { speed: 0.625, power: 0.47 },
+        FrequencyPoint { speed: 0.5, power: 0.35 },
+    ]
+}
+
+/// Analytic outcome of running an epoch with bandwidth `utilization`
+/// (fraction of full-speed bandwidth demanded) at `point`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochOutcome {
+    /// Execution-time multiplier vs full speed (≥ 1).
+    pub slowdown: f64,
+    /// Memory energy multiplier vs full speed (< 1 when scaling pays).
+    pub energy: f64,
+}
+
+/// Computes the slowdown/energy of serving demand `utilization` at
+/// `point`: below the scaled bandwidth the epoch only stretches by the
+/// queueing effect of a busier channel; beyond it the channel saturates
+/// and time stretches proportionally.
+///
+/// # Errors
+///
+/// Returns [`CtrlError::Invalid`] if `utilization` is outside `[0, 1]`
+/// or the point has non-positive speed.
+pub fn epoch_outcome(utilization: f64, point: FrequencyPoint) -> Result<EpochOutcome, CtrlError> {
+    if !(0.0..=1.0).contains(&utilization) {
+        return Err(CtrlError::Invalid("utilization must be in [0, 1]"));
+    }
+    if point.speed <= 0.0 {
+        return Err(CtrlError::Invalid("operating point must have positive speed"));
+    }
+    let effective_load = utilization / point.speed;
+    let slowdown = if effective_load <= 1.0 {
+        // M/D/1-flavoured queueing stretch as the channel fills up.
+        1.0 + 0.25 * effective_load * effective_load
+    } else {
+        // Saturated: time scales with the bandwidth deficit.
+        effective_load * 1.25
+    };
+    // Energy = power × time.
+    Ok(EpochOutcome { slowdown, energy: point.power * slowdown })
+}
+
+/// The MemScale governor: per epoch, choose the lowest-power point whose
+/// predicted slowdown stays within `budget` of full speed.
+#[derive(Debug, Clone)]
+pub struct MemScaleGovernor {
+    points: Vec<FrequencyPoint>,
+    budget: f64,
+    /// Epochs spent at each point.
+    pub residency: Vec<u64>,
+}
+
+impl MemScaleGovernor {
+    /// Creates a governor over `points` with slowdown budget `budget`
+    /// (e.g. `0.1` = at most 10% above full-speed epoch time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError::Invalid`] if `points` is empty or the budget
+    /// is negative.
+    pub fn new(points: Vec<FrequencyPoint>, budget: f64) -> Result<Self, CtrlError> {
+        if points.is_empty() {
+            return Err(CtrlError::Invalid("governor needs operating points"));
+        }
+        if budget < 0.0 {
+            return Err(CtrlError::Invalid("slowdown budget must be non-negative"));
+        }
+        let n = points.len();
+        Ok(MemScaleGovernor { points, budget, residency: vec![0; n] })
+    }
+
+    /// Picks the operating point for an epoch with measured `utilization`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CtrlError`] from the outcome model.
+    pub fn select(&mut self, utilization: f64) -> Result<FrequencyPoint, CtrlError> {
+        let full = epoch_outcome(utilization, self.points[0])?;
+        let mut chosen = 0;
+        for (i, &p) in self.points.iter().enumerate() {
+            let o = epoch_outcome(utilization, p)?;
+            let within = o.slowdown <= full.slowdown * (1.0 + self.budget);
+            if within && p.power < self.points[chosen].power {
+                chosen = i;
+            }
+        }
+        self.residency[chosen] += 1;
+        Ok(self.points[chosen])
+    }
+
+    /// Runs a utilization trace, returning `(avg slowdown, avg energy)`
+    /// relative to always-full-speed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CtrlError`] from the outcome model.
+    pub fn run(&mut self, utilizations: &[f64]) -> Result<EpochOutcome, CtrlError> {
+        if utilizations.is_empty() {
+            return Err(CtrlError::Invalid("trace must be non-empty"));
+        }
+        let mut slow = 0.0;
+        let mut energy = 0.0;
+        for &u in utilizations {
+            let p = self.select(u)?;
+            let o = epoch_outcome(u, p)?;
+            let full = epoch_outcome(u, self.points[0])?;
+            slow += o.slowdown / full.slowdown;
+            energy += o.energy / full.energy;
+        }
+        let n = utilizations.len() as f64;
+        Ok(EpochOutcome { slowdown: slow / n, energy: energy / n })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_validates_inputs() {
+        assert!(epoch_outcome(1.5, standard_points()[0]).is_err());
+        assert!(epoch_outcome(0.5, FrequencyPoint { speed: 0.0, power: 0.1 }).is_err());
+    }
+
+    #[test]
+    fn low_utilization_scales_almost_for_free() {
+        let slow_point = standard_points()[3];
+        let o = epoch_outcome(0.1, slow_point).unwrap();
+        assert!(o.slowdown < 1.05, "10% demand at half speed barely stretches: {}", o.slowdown);
+        assert!(o.energy < 0.5, "but saves most of the power: {}", o.energy);
+    }
+
+    #[test]
+    fn saturation_punishes_underprovisioning() {
+        let slow_point = standard_points()[3];
+        let o = epoch_outcome(0.9, slow_point).unwrap();
+        assert!(o.slowdown > 2.0, "90% demand cannot run at half speed: {}", o.slowdown);
+    }
+
+    #[test]
+    fn governor_scales_down_when_idle_and_up_when_busy() {
+        let mut g = MemScaleGovernor::new(standard_points().to_vec(), 0.10).unwrap();
+        let idle = g.select(0.05).unwrap();
+        assert!(idle.speed < 1.0, "idle epochs run slow");
+        let busy = g.select(0.95).unwrap();
+        assert!(busy.speed > 0.9, "busy epochs run at full speed");
+        assert_eq!(g.residency.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn governor_saves_energy_within_budget_on_a_bursty_trace() {
+        let mut g = MemScaleGovernor::new(standard_points().to_vec(), 0.10).unwrap();
+        // Mostly-idle trace with busy bursts (the MemScale scenario).
+        let trace: Vec<f64> = (0..200).map(|i| if i % 10 == 0 { 0.9 } else { 0.08 }).collect();
+        let o = g.run(&trace).unwrap();
+        assert!(o.energy < 0.6, "expected >40% energy saving, got {:.2}", o.energy);
+        assert!(o.slowdown <= 1.10 + 1e-9, "budget respected: {:.3}", o.slowdown);
+    }
+
+    #[test]
+    fn governor_validates() {
+        assert!(MemScaleGovernor::new(vec![], 0.1).is_err());
+        assert!(MemScaleGovernor::new(standard_points().to_vec(), -0.1).is_err());
+        let mut g = MemScaleGovernor::new(standard_points().to_vec(), 0.1).unwrap();
+        assert!(g.run(&[]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Memory requests and the controller's view of them.
+
+use ia_dram::{AccessKind, Cycle, Location, PhysAddr};
+
+/// A request as submitted to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique request id (assigned by the controller on enqueue if zero).
+    pub id: u64,
+    /// Target physical address.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Originating hardware thread.
+    pub thread: usize,
+}
+
+impl MemRequest {
+    /// Creates a read request.
+    #[must_use]
+    pub fn read(addr: u64, thread: usize) -> Self {
+        MemRequest { id: 0, addr: PhysAddr::new(addr), kind: AccessKind::Read, thread }
+    }
+
+    /// Creates a write request.
+    #[must_use]
+    pub fn write(addr: u64, thread: usize) -> Self {
+        MemRequest { id: 0, addr: PhysAddr::new(addr), kind: AccessKind::Write, thread }
+    }
+}
+
+/// A queued request with its decoded coordinates and queue metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending {
+    /// The original request.
+    pub request: MemRequest,
+    /// Decoded device coordinates.
+    pub loc: Location,
+    /// Cycle the request entered the queue.
+    pub arrival: Cycle,
+    /// Marked by PAR-BS style batching.
+    pub batched: bool,
+    /// Whether the controller has issued any command for this request yet
+    /// (used to classify the row-buffer outcome exactly once).
+    pub started: bool,
+}
+
+/// A completed request with its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completed {
+    /// The original request.
+    pub request: MemRequest,
+    /// Cycle the request entered the queue.
+    pub arrival: Cycle,
+    /// Cycle the data burst finished.
+    pub finished: Cycle,
+}
+
+impl Completed {
+    /// Queueing + service latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.finished - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = MemRequest::read(0x40, 2);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.thread, 2);
+        let w = MemRequest::write(0x80, 0);
+        assert_eq!(w.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn latency_is_arrival_to_finish() {
+        let c = Completed {
+            request: MemRequest::read(0, 0),
+            arrival: Cycle::new(10),
+            finished: Cycle::new(75),
+        };
+        assert_eq!(c.latency(), 65);
+    }
+}

@@ -1,0 +1,201 @@
+//! Memory-request schedulers: the fixed heuristic policies the paper
+//! criticizes as "rigid and hardcoded by a human", plus the learning
+//! alternative ([`rl::RlScheduler`]) it advocates.
+
+mod fairness;
+mod rl;
+
+pub use fairness::{Atlas, Bliss, ParBs, Tcm};
+pub use rl::{RlScheduler, RlSchedulerConfig};
+
+use ia_dram::{Command, Cycle, DramModule};
+
+use crate::request::{Completed, Pending};
+
+/// A command scheduler for one memory channel.
+///
+/// Every cycle the controller presents the queue; the scheduler returns
+/// the index of the request whose next command should issue. Implementors
+/// should choose among *issuable* requests (see [`issuable_now`]) — the
+/// controller ignores selections that cannot issue this cycle.
+pub trait Scheduler: std::fmt::Debug {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Picks a queued request to serve, or `None` to idle this cycle.
+    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize>;
+
+    /// Pre-selection hook that may mutate queue metadata (PAR-BS batch
+    /// marking). Called once per cycle before [`Scheduler::select`].
+    fn prepare(&mut self, _queue: &mut [Pending]) {}
+
+    /// Notification that a command issued (and whether it was a column
+    /// command, i.e. made data-bus progress).
+    fn on_issue(&mut self, _column: bool, _now: Cycle) {}
+
+    /// Notification that a request completed.
+    fn on_complete(&mut self, _completed: &Completed, _now: Cycle) {}
+
+    /// Per-cycle housekeeping (epoch counters).
+    fn on_tick(&mut self, _now: Cycle) {}
+}
+
+/// Indices of queued requests whose next command can issue at `now`.
+#[must_use]
+pub fn issuable_now(queue: &[Pending], dram: &DramModule, now: Cycle) -> Vec<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            let cmd = dram.next_needed(&p.loc, p.request.kind);
+            dram.ready_at(&p.loc, &cmd) <= now
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Whether the request's next command is a column command (row-buffer hit).
+#[must_use]
+pub fn is_row_hit(p: &Pending, dram: &DramModule) -> bool {
+    matches!(
+        dram.next_needed(&p.loc, p.request.kind),
+        Command::Read { .. } | Command::Write { .. }
+    )
+}
+
+/// [`issuable_now`] minus row-closing precharges to banks that still have
+/// pending row hits in the queue — the open-page rule every
+/// locality-respecting scheduler follows (a row with outstanding hits is
+/// not closed just because its next burst is a few cycles away).
+#[must_use]
+pub fn issuable_open_page(queue: &[Pending], dram: &DramModule, now: Cycle) -> Vec<usize> {
+    issuable_now(queue, dram, now)
+        .into_iter()
+        .filter(|&i| {
+            let p = &queue[i];
+            if !matches!(dram.next_needed(&p.loc, p.request.kind), Command::Precharge) {
+                return true;
+            }
+            // Closing this bank is allowed only if no queued request hits
+            // its currently-open row.
+            !queue
+                .iter()
+                .any(|q| q.loc.same_bank(&p.loc) && is_row_hit(q, dram))
+        })
+        .collect()
+}
+
+/// Strict in-order first-come first-served: always serves the oldest
+/// request, idling while its next command is not yet legal — the naive
+/// baseline the out-of-order scheduling literature (Rixner+, ISCA 2000)
+/// measures against.
+#[derive(Debug, Clone, Default)]
+pub struct Fcfs;
+
+impl Fcfs {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Fcfs
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn select(&mut self, queue: &[Pending], _dram: &DramModule, _now: Cycle) -> Option<usize> {
+        (0..queue.len()).min_by_key(|&i| (queue[i].arrival, queue[i].request.id))
+    }
+}
+
+/// First-ready FCFS (Rixner+, ISCA 2000): row-buffer hits first, then
+/// oldest — the de-facto standard fixed policy.
+#[derive(Debug, Clone, Default)]
+pub struct FrFcfs;
+
+impl FrFcfs {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        FrFcfs
+    }
+}
+
+impl Scheduler for FrFcfs {
+    fn name(&self) -> &'static str {
+        "FR-FCFS"
+    }
+
+    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
+        let ready = issuable_open_page(queue, dram, now);
+        ready
+            .into_iter()
+            .min_by_key(|&i| {
+                let hit = is_row_hit(&queue[i], dram);
+                (!hit, queue[i].arrival, queue[i].request.id)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::MemRequest;
+    use ia_dram::{AccessKind, DramConfig, PhysAddr};
+
+    fn setup() -> (DramModule, Vec<Pending>) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        // Open row 0 of bank 0 by accessing address 0.
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let mk = |id: u64, addr: u64, arrival: u64| Pending {
+            request: MemRequest { id, ..MemRequest::read(addr, 0) },
+            loc: dram.decode(PhysAddr::new(addr)),
+            arrival: Cycle::new(arrival),
+            batched: false,
+            started: false,
+        };
+        // Request 0: old, different row in same bank (conflict).
+        // Request 1: newer, hits the open row.
+        let geo = dram.config().geometry;
+        let row_stride = geo.row_bytes
+            * (geo.banks_per_group * geo.bank_groups * geo.ranks * geo.channels) as u64;
+        let queue = vec![mk(1, row_stride, 0), mk(2, 128, 5)];
+        (dram, queue)
+    }
+
+    #[test]
+    fn fcfs_picks_oldest() {
+        let (dram, queue) = setup();
+        let now = Cycle::new(100);
+        let pick = Fcfs::new().select(&queue, &dram, now).unwrap();
+        assert_eq!(pick, 0, "FCFS serves the older conflicting request first");
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit() {
+        let (dram, queue) = setup();
+        let now = Cycle::new(100);
+        let pick = FrFcfs::new().select(&queue, &dram, now).unwrap();
+        assert_eq!(pick, 1, "FR-FCFS serves the row hit first");
+        assert!(is_row_hit(&queue[1], &dram));
+        assert!(!is_row_hit(&queue[0], &dram));
+    }
+
+    #[test]
+    fn empty_queue_selects_nothing() {
+        let (dram, _) = setup();
+        assert!(Fcfs::new().select(&[], &dram, Cycle::ZERO).is_none());
+        assert!(FrFcfs::new().select(&[], &dram, Cycle::ZERO).is_none());
+    }
+
+    #[test]
+    fn issuable_now_respects_timing() {
+        let (dram, queue) = setup();
+        // Immediately after the warm-up access, the bank is still within
+        // tRAS/tRTP windows; at a late cycle everything is issuable.
+        let late = issuable_now(&queue, &dram, Cycle::new(10_000));
+        assert_eq!(late.len(), 2);
+    }
+}

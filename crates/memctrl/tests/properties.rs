@@ -1,0 +1,104 @@
+//! Property-based tests of the memory controller: liveness and latency
+//! bounds under every scheduler.
+
+use ia_dram::DramConfig;
+use ia_memctrl::{
+    run_closed_loop, Atlas, Bliss, Fcfs, FrFcfs, MemRequest, ParBs, RlScheduler,
+    RlSchedulerConfig, Scheduler, Tcm,
+};
+use proptest::prelude::*;
+
+fn schedulers(threads: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Fcfs::new()),
+        Box::new(FrFcfs::new()),
+        Box::new(ParBs::new(threads)),
+        Box::new(Atlas::new(threads, 10_000)),
+        Box::new(Tcm::new(threads, 10_000, 1_000)),
+        Box::new(Bliss::new()),
+        Box::new(RlScheduler::new(RlSchedulerConfig::default())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Liveness: every scheduler completes every request of any random
+    /// multi-threaded trace (no starvation, no deadlock).
+    #[test]
+    fn every_scheduler_drains_every_trace(
+        traces in prop::collection::vec(
+            prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..40),
+            1..4,
+        ),
+    ) {
+        let total: usize = traces.iter().map(Vec::len).sum();
+        let mem_traces: Vec<Vec<MemRequest>> = traces
+            .iter()
+            .enumerate()
+            .map(|(t, reqs)| {
+                reqs.iter()
+                    .map(|&(addr, w)| {
+                        if w {
+                            MemRequest::write(addr & !63, t)
+                        } else {
+                            MemRequest::read(addr & !63, t)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        for sched in schedulers(traces.len()) {
+            let name = sched.name();
+            let report = run_closed_loop(
+                DramConfig::ddr3_1600(),
+                sched,
+                &mem_traces,
+                4,
+                50_000_000,
+            )
+            .unwrap();
+            prop_assert_eq!(
+                report.stats.completed,
+                total as u64,
+                "{} left requests unserved", name
+            );
+        }
+    }
+
+    /// Latency lower bound: no request can complete faster than the
+    /// row-hit column latency.
+    #[test]
+    fn latency_never_beats_physics(addrs in prop::collection::vec(0u64..(1 << 20), 1..30)) {
+        let trace: Vec<MemRequest> = addrs.iter().map(|&a| MemRequest::read(a & !63, 0)).collect();
+        let report = run_closed_loop(
+            DramConfig::ddr3_1600(),
+            Box::new(FrFcfs::new()),
+            &[trace],
+            4,
+            50_000_000,
+        )
+        .unwrap();
+        let t = DramConfig::ddr3_1600().timing;
+        let min = (t.t_cl + t.t_bl) as f64;
+        prop_assert!(report.stats.avg_latency() >= min);
+    }
+
+    /// Throughput upper bound: completed requests per cycle can never
+    /// exceed the data-bus burst rate (one per tBL cycles).
+    #[test]
+    fn throughput_respects_the_bus(addrs in prop::collection::vec(0u64..(1 << 16), 10..60)) {
+        let trace: Vec<MemRequest> = addrs.iter().map(|&a| MemRequest::read(a & !63, 0)).collect();
+        let report = run_closed_loop(
+            DramConfig::ddr3_1600(),
+            Box::new(FrFcfs::new()),
+            &[trace],
+            8,
+            50_000_000,
+        )
+        .unwrap();
+        let t = DramConfig::ddr3_1600().timing;
+        let max_rpkc = 1000.0 / t.t_bl as f64;
+        prop_assert!(report.throughput_rpkc() <= max_rpkc + 1e-9);
+    }
+}

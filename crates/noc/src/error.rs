@@ -1,0 +1,36 @@
+//! Error type for the NoC models.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid argument to a NoC simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocError {
+    msg: &'static str,
+}
+
+impl NocError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        NocError { msg }
+    }
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_nonempty_and_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<NocError>();
+        assert!(!NocError::invalid("bad").to_string().is_empty());
+    }
+}

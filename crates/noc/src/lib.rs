@@ -1,0 +1,37 @@
+//! # ia-noc — on-chip network models
+//!
+//! The paper's §III indicts the "network controller" along with the other
+//! fixed-policy controllers, and its reference list carries the bufferless
+//! routing line (BLESS, ISCA 2009; CHIPPER, HPCA 2011; MinBD, NOCS 2012):
+//! a data-centric rethink of the on-chip network that deletes the buffers
+//! — the dominant router cost — by letting flits deflect instead of wait.
+//!
+//! This crate provides a cycle-level single-flit mesh simulator with two
+//! router microarchitectures ([`RouterKind::Buffered`] input-queued XY vs
+//! [`RouterKind::BufferlessDeflection`]) and the standard synthetic
+//! traffic patterns, reproducing the classic latency-vs-load comparison.
+//!
+//! ## Example
+//!
+//! ```
+//! use ia_noc::{simulate, MeshConfig, RouterKind, Traffic};
+//!
+//! # fn main() -> Result<(), ia_noc::NocError> {
+//! let mesh = MeshConfig::new(4, 4)?;
+//! let r = simulate(RouterKind::BufferlessDeflection, mesh,
+//!                  Traffic::UniformRandom, 0.05, 2000, 7)?;
+//! assert!(r.delivered > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod mesh;
+mod sim;
+
+pub use error::NocError;
+pub use mesh::{Coord, MeshConfig, Port};
+pub use sim::{simulate, NocReport, RouterKind, Traffic};

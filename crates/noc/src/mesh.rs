@@ -1,0 +1,207 @@
+//! 2D mesh geometry and XY dimension-order routing.
+
+use crate::NocError;
+
+/// A node coordinate in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+/// An output port of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// +x.
+    East,
+    /// −x.
+    West,
+    /// +y.
+    North,
+    /// −y.
+    South,
+}
+
+impl Port {
+    /// All ports.
+    #[must_use]
+    pub fn all() -> [Port; 4] {
+        [Port::East, Port::West, Port::North, Port::South]
+    }
+}
+
+/// Mesh dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshConfig {
+    /// Columns.
+    pub width: u16,
+    /// Rows.
+    pub height: u16,
+}
+
+impl MeshConfig {
+    /// Creates a mesh configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError`] if either dimension is below 2.
+    pub fn new(width: u16, height: u16) -> Result<Self, NocError> {
+        if width < 2 || height < 2 {
+            return Err(NocError::invalid("mesh needs at least 2x2 nodes"));
+        }
+        Ok(MeshConfig { width, height })
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Flat index of a coordinate.
+    #[must_use]
+    pub fn index(&self, c: Coord) -> usize {
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Coordinate of a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nodes()`.
+    #[must_use]
+    pub fn coord(&self, i: usize) -> Coord {
+        assert!(i < self.nodes(), "node index out of range");
+        Coord { x: (i % self.width as usize) as u16, y: (i / self.width as usize) as u16 }
+    }
+
+    /// The neighbor reached through `port`, if it exists.
+    #[must_use]
+    pub fn neighbor(&self, c: Coord, port: Port) -> Option<Coord> {
+        match port {
+            Port::East => (c.x + 1 < self.width).then(|| Coord { x: c.x + 1, y: c.y }),
+            Port::West => c.x.checked_sub(1).map(|x| Coord { x, y: c.y }),
+            Port::North => (c.y + 1 < self.height).then(|| Coord { x: c.x, y: c.y + 1 }),
+            Port::South => c.y.checked_sub(1).map(|y| Coord { x: c.x, y }),
+        }
+    }
+
+    /// Ports that lead to existing neighbors from `c`.
+    #[must_use]
+    pub fn valid_ports(&self, c: Coord) -> Vec<Port> {
+        Port::all().into_iter().filter(|&p| self.neighbor(c, p).is_some()).collect()
+    }
+
+    /// XY dimension-order routing: the productive port toward `dst`
+    /// (x first, then y), or `None` if already there.
+    #[must_use]
+    pub fn xy_route(&self, from: Coord, dst: Coord) -> Option<Port> {
+        if from.x < dst.x {
+            Some(Port::East)
+        } else if from.x > dst.x {
+            Some(Port::West)
+        } else if from.y < dst.y {
+            Some(Port::North)
+        } else if from.y > dst.y {
+            Some(Port::South)
+        } else {
+            None
+        }
+    }
+
+    /// Ports that reduce distance to `dst` (for deflection routing's
+    /// preferred set).
+    #[must_use]
+    pub fn productive_ports(&self, from: Coord, dst: Coord) -> Vec<Port> {
+        let mut out = Vec::new();
+        if from.x < dst.x {
+            out.push(Port::East);
+        }
+        if from.x > dst.x {
+            out.push(Port::West);
+        }
+        if from.y < dst.y {
+            out.push(Port::North);
+        }
+        if from.y > dst.y {
+            out.push(Port::South);
+        }
+        out
+    }
+
+    /// Manhattan distance.
+    #[must_use]
+    pub fn distance(&self, a: Coord, b: Coord) -> u32 {
+        u32::from(a.x.abs_diff(b.x)) + u32::from(a.y.abs_diff(b.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(MeshConfig::new(1, 4).is_err());
+        assert!(MeshConfig::new(4, 1).is_err());
+        assert!(MeshConfig::new(2, 2).is_ok());
+    }
+
+    #[test]
+    fn index_coord_roundtrip() {
+        let m = MeshConfig::new(4, 3).unwrap();
+        for i in 0..m.nodes() {
+            assert_eq!(m.index(m.coord(i)), i);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let m = MeshConfig::new(3, 3).unwrap();
+        let corner = Coord { x: 0, y: 0 };
+        assert_eq!(m.neighbor(corner, Port::West), None);
+        assert_eq!(m.neighbor(corner, Port::South), None);
+        assert_eq!(m.neighbor(corner, Port::East), Some(Coord { x: 1, y: 0 }));
+        assert_eq!(m.valid_ports(corner).len(), 2);
+        let center = Coord { x: 1, y: 1 };
+        assert_eq!(m.valid_ports(center).len(), 4);
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let m = MeshConfig::new(4, 4).unwrap();
+        let from = Coord { x: 0, y: 0 };
+        let dst = Coord { x: 2, y: 3 };
+        assert_eq!(m.xy_route(from, dst), Some(Port::East));
+        assert_eq!(m.xy_route(Coord { x: 2, y: 0 }, dst), Some(Port::North));
+        assert_eq!(m.xy_route(dst, dst), None);
+    }
+
+    #[test]
+    fn xy_route_always_reaches_destination() {
+        let m = MeshConfig::new(5, 5).unwrap();
+        let dst = Coord { x: 4, y: 2 };
+        let mut cur = Coord { x: 0, y: 4 };
+        let mut hops = 0;
+        while let Some(p) = m.xy_route(cur, dst) {
+            cur = m.neighbor(cur, p).expect("xy route is always valid");
+            hops += 1;
+            assert!(hops <= 20, "routing loop");
+        }
+        assert_eq!(cur, dst);
+        assert_eq!(hops, m.distance(Coord { x: 0, y: 4 }, dst));
+    }
+
+    #[test]
+    fn productive_ports_shrink_distance() {
+        let m = MeshConfig::new(4, 4).unwrap();
+        let from = Coord { x: 1, y: 1 };
+        let dst = Coord { x: 3, y: 0 };
+        for p in m.productive_ports(from, dst) {
+            let next = m.neighbor(from, p).expect("productive implies valid");
+            assert!(m.distance(next, dst) < m.distance(from, dst));
+        }
+    }
+}

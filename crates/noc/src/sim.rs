@@ -1,0 +1,425 @@
+//! Cycle-level simulation of two router classes:
+//!
+//! * **Buffered XY** — input-queued routers with dimension-order routing:
+//!   the conventional design whose buffers dominate NoC area/power.
+//! * **Bufferless deflection** (BLESS, Moscibroda & Mutlu ISCA 2009;
+//!   CHIPPER, Fallin+ HPCA 2011) — no buffers at all: flits always move,
+//!   age-prioritized, mis-routed ("deflected") on port conflicts.
+//!
+//! The paper's data-centric lens: bufferless routing trades a little
+//! latency at high load for eliminating the buffers entirely — a
+//! hardware-cost-aware design the fixed "always buffer" mindset misses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mesh::{Coord, MeshConfig, Port};
+use crate::NocError;
+
+/// Router microarchitecture under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterKind {
+    /// Input-queued XY routing.
+    Buffered,
+    /// BLESS-style bufferless deflection routing.
+    BufferlessDeflection,
+}
+
+/// Synthetic traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Traffic {
+    /// Uniform-random destinations.
+    UniformRandom,
+    /// A fraction of packets target one hotspot node.
+    Hotspot {
+        /// The hotspot node index.
+        node: usize,
+        /// Fraction of traffic directed at it, in [0, 1].
+        fraction: f64,
+    },
+    /// Destination = bit-complement of the source index.
+    BitComplement,
+}
+
+/// A single-flit packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Packet {
+    id: u64,
+    dst: Coord,
+    injected_at: u64,
+    hops: u32,
+    deflections: u32,
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocReport {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Mean packet latency in cycles.
+    pub avg_latency: f64,
+    /// Worst packet latency.
+    pub max_latency: u64,
+    /// Mean hops per delivered packet.
+    pub avg_hops: f64,
+    /// Total deflections (bufferless only).
+    pub deflections: u64,
+    /// Peak total buffer occupancy observed (buffered only).
+    pub peak_buffering: usize,
+    /// Delivered packets per node per cycle.
+    pub throughput: f64,
+}
+
+/// Runs a `kind` router mesh under `traffic` at per-node injection rate
+/// `rate` for `cycles` cycles.
+///
+/// # Errors
+///
+/// Returns [`NocError`] if `rate` is outside `[0, 1]` or a hotspot node
+/// is out of range.
+pub fn simulate(
+    kind: RouterKind,
+    mesh: MeshConfig,
+    traffic: Traffic,
+    rate: f64,
+    cycles: u64,
+    seed: u64,
+) -> Result<NocReport, NocError> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(NocError::invalid("injection rate must be in [0, 1]"));
+    }
+    if let Traffic::Hotspot { node, fraction } = traffic {
+        if node >= mesh.nodes() {
+            return Err(NocError::invalid("hotspot node out of range"));
+        }
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(NocError::invalid("hotspot fraction must be in [0, 1]"));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match kind {
+        RouterKind::Buffered => Ok(simulate_buffered(mesh, traffic, rate, cycles, &mut rng)),
+        RouterKind::BufferlessDeflection => {
+            Ok(simulate_bufferless(mesh, traffic, rate, cycles, &mut rng))
+        }
+    }
+}
+
+fn pick_destination(
+    mesh: MeshConfig,
+    traffic: Traffic,
+    src: usize,
+    rng: &mut SmallRng,
+) -> Coord {
+    match traffic {
+        Traffic::UniformRandom => {
+            let mut d = rng.gen_range(0..mesh.nodes());
+            if d == src {
+                d = (d + 1) % mesh.nodes();
+            }
+            mesh.coord(d)
+        }
+        Traffic::Hotspot { node, fraction } => {
+            if rng.gen::<f64>() < fraction && node != src {
+                mesh.coord(node)
+            } else {
+                pick_destination(mesh, Traffic::UniformRandom, src, rng)
+            }
+        }
+        Traffic::BitComplement => {
+            let d = (mesh.nodes() - 1 - src) % mesh.nodes();
+            mesh.coord(if d == src { (d + 1) % mesh.nodes() } else { d })
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    delivered: u64,
+    injected: u64,
+    total_latency: u64,
+    max_latency: u64,
+    total_hops: u64,
+    deflections: u64,
+}
+
+impl Tally {
+    fn deliver(&mut self, p: &Packet, now: u64) {
+        self.delivered += 1;
+        let lat = now - p.injected_at;
+        self.total_latency += lat;
+        self.max_latency = self.max_latency.max(lat);
+        self.total_hops += u64::from(p.hops);
+        self.deflections += u64::from(p.deflections);
+    }
+
+    fn report(&self, mesh: MeshConfig, cycles: u64, peak_buffering: usize) -> NocReport {
+        NocReport {
+            delivered: self.delivered,
+            injected: self.injected,
+            avg_latency: if self.delivered == 0 {
+                0.0
+            } else {
+                self.total_latency as f64 / self.delivered as f64
+            },
+            max_latency: self.max_latency,
+            avg_hops: if self.delivered == 0 {
+                0.0
+            } else {
+                self.total_hops as f64 / self.delivered as f64
+            },
+            deflections: self.deflections,
+            peak_buffering,
+            throughput: self.delivered as f64 / (mesh.nodes() as f64 * cycles as f64),
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
+fn simulate_buffered(
+    mesh: MeshConfig,
+    traffic: Traffic,
+    rate: f64,
+    cycles: u64,
+    rng: &mut SmallRng,
+) -> NocReport {
+    // Per-router input queue (shared FIFO; one packet per output per cycle).
+    let n = mesh.nodes();
+    let mut queues: Vec<Vec<Packet>> = vec![Vec::new(); n];
+    let mut tally = Tally::default();
+    let mut next_id = 0u64;
+    let mut peak = 0usize;
+
+    for now in 0..cycles {
+        // Inject.
+        for src in 0..n {
+            if rng.gen::<f64>() < rate {
+                let dst = pick_destination(mesh, traffic, src, rng);
+                queues[src].push(Packet {
+                    id: next_id,
+                    dst,
+                    injected_at: now,
+                    hops: 0,
+                    deflections: 0,
+                });
+                next_id += 1;
+                tally.injected += 1;
+            }
+        }
+        peak = peak.max(queues.iter().map(Vec::len).sum());
+
+        // Route: each output port of each router carries one packet.
+        let mut moves: Vec<(usize, Packet)> = Vec::new();
+        for node in 0..n {
+            let here = mesh.coord(node);
+            // Eject everything that has arrived.
+            queues[node].retain(|p| {
+                if p.dst == here {
+                    tally.deliver(p, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            // One packet per output port, oldest first.
+            let mut used: Vec<Port> = Vec::new();
+            let mut order: Vec<usize> = (0..queues[node].len()).collect();
+            order.sort_by_key(|&i| (queues[node][i].injected_at, queues[node][i].id));
+            let mut taken = Vec::new();
+            for i in order {
+                let p = queues[node][i];
+                let port = mesh.xy_route(here, p.dst).expect("non-local packet has a route");
+                if !used.contains(&port) {
+                    used.push(port);
+                    taken.push((i, port));
+                }
+            }
+            taken.sort_by_key(|&(i, _)| std::cmp::Reverse(i));
+            for (i, port) in taken {
+                let mut p = queues[node].remove(i);
+                p.hops += 1;
+                let next = mesh.neighbor(here, port).expect("xy routes stay in mesh");
+                moves.push((mesh.index(next), p));
+            }
+        }
+        for (node, p) in moves {
+            queues[node].push(p);
+        }
+    }
+    tally.report(mesh, cycles, peak)
+}
+
+#[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
+fn simulate_bufferless(
+    mesh: MeshConfig,
+    traffic: Traffic,
+    rate: f64,
+    cycles: u64,
+    rng: &mut SmallRng,
+) -> NocReport {
+    // Flits in flight, grouped per router each cycle. No storage anywhere.
+    let n = mesh.nodes();
+    let mut at_router: Vec<Vec<Packet>> = vec![Vec::new(); n];
+    let mut tally = Tally::default();
+    let mut next_id = 0u64;
+
+    for now in 0..cycles {
+        let mut moves: Vec<(usize, Packet)> = Vec::new();
+        for node in 0..n {
+            let here = mesh.coord(node);
+            let mut flits = std::mem::take(&mut at_router[node]);
+
+            // Ejection: one flit per cycle may leave the network.
+            if let Some(pos) = flits.iter().position(|p| p.dst == here) {
+                let p = flits.remove(pos);
+                tally.deliver(&p, now);
+            }
+
+            // Injection: allowed only if a free output slot will remain.
+            let valid = mesh.valid_ports(here);
+            if flits.len() < valid.len() && rng.gen::<f64>() < rate {
+                let dst = pick_destination(mesh, traffic, node, rng);
+                flits.push(Packet { id: next_id, dst, injected_at: now, hops: 0, deflections: 0 });
+                next_id += 1;
+                tally.injected += 1;
+            }
+
+            // Age-ordered port allocation: oldest picks first (BLESS
+            // "oldest-first" guarantees livelock freedom).
+            flits.sort_by_key(|p| (p.injected_at, p.id));
+            let mut free: Vec<Port> = valid.clone();
+            for mut p in flits {
+                let productive = mesh.productive_ports(here, p.dst);
+                let port = productive
+                    .iter()
+                    .copied()
+                    .find(|pp| free.contains(pp))
+                    .or_else(|| free.first().copied())
+                    .expect("flit count never exceeds port count");
+                if !productive.contains(&port) {
+                    p.deflections += 1;
+                }
+                free.retain(|&f| f != port);
+                p.hops += 1;
+                let next = mesh.neighbor(here, port).expect("free ports are valid");
+                moves.push((mesh.index(next), p));
+            }
+        }
+        for (node, p) in moves {
+            at_router[node].push(p);
+        }
+    }
+    tally.report(mesh, cycles, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> MeshConfig {
+        MeshConfig::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn rate_validation() {
+        assert!(simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 1.5, 10, 0).is_err());
+        assert!(simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::Hotspot { node: 99, fraction: 0.5 },
+            0.1,
+            10,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn both_routers_deliver_at_low_load() {
+        for kind in [RouterKind::Buffered, RouterKind::BufferlessDeflection] {
+            let r = simulate(kind, mesh(), Traffic::UniformRandom, 0.05, 3000, 1).unwrap();
+            assert!(r.delivered > 0, "{kind:?}");
+            assert!(
+                r.delivered as f64 >= r.injected as f64 * 0.9,
+                "{kind:?}: delivered {} of {}",
+                r.delivered,
+                r.injected
+            );
+            assert!(r.avg_latency >= 1.0);
+        }
+    }
+
+    #[test]
+    fn bufferless_matches_buffered_latency_at_low_load() {
+        let b = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.02, 4000, 2).unwrap();
+        let d = simulate(
+            RouterKind::BufferlessDeflection,
+            mesh(),
+            Traffic::UniformRandom,
+            0.02,
+            4000,
+            2,
+        )
+        .unwrap();
+        assert!(
+            (d.avg_latency - b.avg_latency).abs() < 3.0,
+            "low-load latencies should be close: bufferless {:.1} vs buffered {:.1}",
+            d.avg_latency,
+            b.avg_latency
+        );
+    }
+
+    #[test]
+    fn bufferless_deflects_under_load_buffered_queues() {
+        let b = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.35, 3000, 3).unwrap();
+        let d = simulate(
+            RouterKind::BufferlessDeflection,
+            mesh(),
+            Traffic::UniformRandom,
+            0.35,
+            3000,
+            3,
+        )
+        .unwrap();
+        assert!(d.deflections > 0, "high load must cause deflections");
+        assert!(b.peak_buffering > 0, "high load must queue packets");
+        assert_eq!(b.deflections, 0, "buffered routers never deflect");
+    }
+
+    #[test]
+    fn hotspot_traffic_is_harder_than_uniform() {
+        // At this rate the 16 nodes offer ~2.8 packets/cycle to the
+        // hotspot's ≤4 incoming links: the queues around it must grow.
+        let u = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.25, 3000, 4).unwrap();
+        let h = simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::Hotspot { node: 5, fraction: 0.7 },
+            0.25,
+            3000,
+            4,
+        )
+        .unwrap();
+        assert!(
+            h.avg_latency > 2.0 * u.avg_latency,
+            "hotspot {:.1} vs uniform {:.1}",
+            h.avg_latency,
+            u.avg_latency
+        );
+    }
+
+    #[test]
+    fn hops_are_at_least_distance_on_average() {
+        let r = simulate(RouterKind::Buffered, mesh(), Traffic::BitComplement, 0.05, 2000, 5).unwrap();
+        // Bit-complement on a 4x4 mesh averages > 2 hops.
+        assert!(r.avg_hops >= 2.0, "avg hops {:.2}", r.avg_hops);
+    }
+
+    #[test]
+    fn throughput_reflects_injection_rate_below_saturation() {
+        let r = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.05, 5000, 6).unwrap();
+        assert!((r.throughput - 0.05).abs() < 0.01, "throughput {:.3}", r.throughput);
+    }
+}

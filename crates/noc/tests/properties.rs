@@ -1,0 +1,115 @@
+//! Property-based tests for the NoC simulators.
+
+use ia_noc::{simulate, Coord, MeshConfig, Port, RouterKind, Traffic};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// XY routing from any source reaches any destination in exactly the
+    /// Manhattan distance.
+    #[test]
+    fn xy_route_is_shortest_path(w in 2u16..10, h in 2u16..10, a in 0usize..100, b in 0usize..100) {
+        let mesh = MeshConfig::new(w, h).unwrap();
+        let from = mesh.coord(a % mesh.nodes());
+        let dst = mesh.coord(b % mesh.nodes());
+        let mut cur = from;
+        let mut hops = 0u32;
+        while let Some(p) = mesh.xy_route(cur, dst) {
+            cur = mesh.neighbor(cur, p).expect("xy stays inside the mesh");
+            hops += 1;
+            prop_assert!(hops <= 64, "routing loop");
+        }
+        prop_assert_eq!(cur, dst);
+        prop_assert_eq!(hops, mesh.distance(from, dst));
+    }
+
+    /// Index/coord conversion is a bijection for any mesh shape.
+    #[test]
+    fn coord_bijection(w in 2u16..12, h in 2u16..12) {
+        let mesh = MeshConfig::new(w, h).unwrap();
+        for i in 0..mesh.nodes() {
+            prop_assert_eq!(mesh.index(mesh.coord(i)), i);
+        }
+    }
+
+    /// Every neighbor relation is symmetric (East/West, North/South).
+    #[test]
+    fn neighbors_are_symmetric(w in 2u16..8, h in 2u16..8, n in 0usize..64) {
+        let mesh = MeshConfig::new(w, h).unwrap();
+        let c = mesh.coord(n % mesh.nodes());
+        for (p, q) in [(Port::East, Port::West), (Port::North, Port::South)] {
+            if let Some(nb) = mesh.neighbor(c, p) {
+                prop_assert_eq!(mesh.neighbor(nb, q), Some(c));
+            }
+        }
+    }
+
+    /// Conservation: both routers deliver at most what was injected, and
+    /// at low load they deliver nearly everything.
+    #[test]
+    fn packet_conservation(seed in any::<u64>(), rate_pm in 1u32..100) {
+        let mesh = MeshConfig::new(4, 4).unwrap();
+        let rate = f64::from(rate_pm) / 1000.0;
+        for kind in [RouterKind::Buffered, RouterKind::BufferlessDeflection] {
+            let r = simulate(kind, mesh, Traffic::UniformRandom, rate, 2000, seed).unwrap();
+            prop_assert!(r.delivered <= r.injected, "{kind:?}");
+            if r.delivered > 0 {
+                prop_assert!(r.avg_latency >= 1.0);
+                prop_assert!(r.avg_hops >= 1.0);
+                prop_assert!(r.max_latency as f64 >= r.avg_latency);
+            }
+            if rate <= 0.05 {
+                prop_assert!(
+                    r.delivered as f64 >= r.injected as f64 * 0.85,
+                    "{kind:?}: {} of {} at rate {rate}",
+                    r.delivered,
+                    r.injected
+                );
+            }
+        }
+    }
+
+    /// Average latency is bounded below by average hop count (one cycle
+    /// per hop minimum).
+    #[test]
+    fn latency_at_least_hops(seed in any::<u64>()) {
+        let mesh = MeshConfig::new(4, 4).unwrap();
+        for kind in [RouterKind::Buffered, RouterKind::BufferlessDeflection] {
+            let r = simulate(kind, mesh, Traffic::UniformRandom, 0.05, 2000, seed).unwrap();
+            if r.delivered > 0 {
+                prop_assert!(r.avg_latency + 1e-9 >= r.avg_hops, "{kind:?}");
+            }
+        }
+    }
+
+    /// The bufferless router's hop counts exceed distance only by its
+    /// deflections.
+    #[test]
+    fn deflections_explain_extra_hops(seed in any::<u64>()) {
+        let mesh = MeshConfig::new(4, 4).unwrap();
+        let r = simulate(
+            RouterKind::BufferlessDeflection,
+            mesh,
+            Traffic::UniformRandom,
+            0.10,
+            3000,
+            seed,
+        )
+        .unwrap();
+        if r.delivered > 0 {
+            // Each deflection adds at most 2 hops (one away, one back).
+            let max_extra = 2.0 * r.deflections as f64 / r.delivered as f64;
+            // Average minimal distance on a 4x4 mesh is ≤ 8.
+            prop_assert!(r.avg_hops <= 8.0 + max_extra);
+        }
+    }
+}
+
+/// Coordinates display/compare sanely (non-property sanity).
+#[test]
+fn coord_basics() {
+    let c = Coord { x: 1, y: 2 };
+    assert_eq!(c, Coord { x: 1, y: 2 });
+    assert_ne!(c, Coord { x: 2, y: 1 });
+}

@@ -1,0 +1,36 @@
+//! Error type for the processing-near-memory models.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid argument to a PNM model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PnmError {
+    msg: &'static str,
+}
+
+impl PnmError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        PnmError { msg }
+    }
+}
+
+impl fmt::Display for PnmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl Error for PnmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_nonempty_and_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<PnmError>();
+        assert!(!PnmError::invalid("bad").to_string().is_empty());
+    }
+}

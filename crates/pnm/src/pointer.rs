@@ -1,0 +1,196 @@
+//! Pointer-chasing acceleration in 3D-stacked memory (Hsieh+, ICCD 2016):
+//! dependent loads cannot be pipelined, so each hop costs a full memory
+//! round trip — from the host that is the external latency; from a walker
+//! in the logic layer it is the internal latency.
+
+use crate::stack::StackConfig;
+use crate::PnmError;
+
+/// A linked structure laid out in memory as an index chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedChain {
+    next: Vec<u32>,
+}
+
+impl LinkedChain {
+    /// Builds a chain from explicit links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnmError`] if empty or any link is out of range.
+    pub fn new(next: Vec<u32>) -> Result<Self, PnmError> {
+        if next.is_empty() {
+            return Err(PnmError::invalid("chain needs at least one node"));
+        }
+        let n = next.len() as u32;
+        if next.iter().any(|&x| x >= n) {
+            return Err(PnmError::invalid("link out of range"));
+        }
+        Ok(LinkedChain { next })
+    }
+
+    /// Builds a single random cycle over `nodes` nodes (Sattolo).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PnmError`] if `nodes < 2`.
+    pub fn random_cycle<R: rand::Rng + ?Sized>(nodes: u32, rng: &mut R) -> Result<Self, PnmError> {
+        if nodes < 2 {
+            return Err(PnmError::invalid("cycle needs at least two nodes"));
+        }
+        let mut perm: Vec<u32> = (0..nodes).collect();
+        for i in (1..nodes as usize).rev() {
+            let j = rng.gen_range(0..i);
+            perm.swap(i, j);
+        }
+        Ok(LinkedChain { next: perm })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// True if the chain is empty (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Walks `hops` links from `start`, returning the final node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    #[must_use]
+    pub fn walk(&self, start: u32, hops: u64) -> u32 {
+        let mut cur = start;
+        for _ in 0..hops {
+            cur = self.next[cur as usize];
+        }
+        cur
+    }
+}
+
+/// Result of a costed traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalReport {
+    /// Final node reached.
+    pub end: u32,
+    /// Total time, ns.
+    pub ns: f64,
+    /// Hops performed.
+    pub hops: u64,
+}
+
+/// Walks the chain from the host: every hop is a dependent external-memory
+/// round trip (caches are useless for a random cycle larger than they are).
+#[must_use]
+pub fn traverse_host(chain: &LinkedChain, stack: &StackConfig, start: u32, hops: u64) -> TraversalReport {
+    TraversalReport {
+        end: chain.walk(start, hops),
+        ns: hops as f64 * stack.external_latency_ns,
+        hops,
+    }
+}
+
+/// Walks the chain with an in-memory walker in the logic layer: hops pay
+/// only the internal latency, and only the final result crosses the link.
+#[must_use]
+pub fn traverse_pnm(chain: &LinkedChain, stack: &StackConfig, start: u32, hops: u64) -> TraversalReport {
+    TraversalReport {
+        end: chain.walk(start, hops),
+        ns: hops as f64 * stack.internal_latency_ns + stack.external_latency_ns,
+        hops,
+    }
+}
+
+/// Concurrent traversals (e.g., B-tree lookups): the host can overlap a
+/// few via its miss handling, an in-memory walker engine runs one walker
+/// per vault. Returns `(host_ns, pnm_ns)` for `streams` independent
+/// traversals of `hops` hops each.
+#[must_use]
+pub fn concurrent_traversals(stack: &StackConfig, streams: u64, hops: u64) -> (f64, f64) {
+    // The host overlaps at most ~10 outstanding misses (MSHR-bound).
+    let host_parallel = 10.0_f64.min(streams as f64);
+    let host_ns = streams as f64 * hops as f64 * stack.external_latency_ns / host_parallel;
+    let pnm_parallel = (stack.vaults as f64).min(streams as f64);
+    let pnm_ns = streams as f64 * hops as f64 * stack.internal_latency_ns / pnm_parallel
+        + stack.external_latency_ns;
+    (host_ns, pnm_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_validation() {
+        assert!(LinkedChain::new(vec![]).is_err());
+        assert!(LinkedChain::new(vec![5]).is_err());
+        assert!(LinkedChain::new(vec![0]).is_ok());
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(LinkedChain::random_cycle(1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn walk_follows_links() {
+        let c = LinkedChain::new(vec![1, 2, 0]).unwrap();
+        assert_eq!(c.walk(0, 1), 1);
+        assert_eq!(c.walk(0, 3), 0, "3-cycle returns to start");
+        assert_eq!(c.walk(2, 2), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn random_cycle_visits_every_node() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let c = LinkedChain::random_cycle(64, &mut rng).unwrap();
+        let mut cur = 0u32;
+        let mut seen = [false; 64];
+        for _ in 0..64 {
+            assert!(!seen[cur as usize], "premature cycle");
+            seen[cur as usize] = true;
+            cur = c.walk(cur, 1);
+        }
+        assert_eq!(cur, 0, "single cycle of length 64");
+    }
+
+    #[test]
+    fn pnm_and_host_agree_functionally() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let c = LinkedChain::random_cycle(128, &mut rng).unwrap();
+        let s = StackConfig::hmc_like();
+        let h = traverse_host(&c, &s, 7, 100);
+        let p = traverse_pnm(&c, &s, 7, 100);
+        assert_eq!(h.end, p.end);
+        assert_eq!(h.hops, p.hops);
+    }
+
+    #[test]
+    fn pnm_traversal_is_latency_bound_faster() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let c = LinkedChain::random_cycle(1024, &mut rng).unwrap();
+        let s = StackConfig::hmc_like();
+        let h = traverse_host(&c, &s, 0, 10_000);
+        let p = traverse_pnm(&c, &s, 0, 10_000);
+        let speedup = h.ns / p.ns;
+        let expected = s.external_latency_ns / s.internal_latency_ns;
+        assert!(
+            (speedup - expected).abs() / expected < 0.05,
+            "speedup {speedup:.2} should approach the latency ratio {expected:.2}"
+        );
+    }
+
+    #[test]
+    fn concurrent_walkers_widen_the_gap() {
+        let s = StackConfig::hmc_like();
+        let (h1, p1) = concurrent_traversals(&s, 1, 1000);
+        let (h16, p16) = concurrent_traversals(&s, 16, 1000);
+        assert!(h1 / p1 < h16 / p16, "vault-parallel walkers scale past host MSHRs");
+    }
+}

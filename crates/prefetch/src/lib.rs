@@ -1,0 +1,184 @@
+//! # ia-prefetch — hardware prefetchers, fixed and adaptive
+//!
+//! The paper (§III) lists the prefetch controller alongside the memory
+//! controller as a component that "sees a vast amount of data and makes a
+//! vast number of decisions … yet is incapable of learning from that
+//! data". This crate implements the lineage the paper cites:
+//!
+//! * [`NextLinePrefetcher`], [`StridePrefetcher`] — fixed heuristics.
+//! * [`GhbPrefetcher`] — Global History Buffer delta correlation
+//!   (Nesbit & Smith, HPCA 2004).
+//! * [`FeedbackDirected`] — accuracy-driven aggressiveness control
+//!   (Srinath+, HPCA 2007): an early data-driven controller.
+//! * [`PerceptronFilter`] — perceptron-based prefetch filtering
+//!   (Bhatia+, ISCA 2019): the learning generation.
+//! * [`PrefetchHarness`] — drives any prefetcher against a demand stream
+//!   through a real cache and measures coverage/accuracy.
+//!
+//! ## Example
+//!
+//! ```
+//! use ia_prefetch::{PrefetchHarness, StridePrefetcher};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut h = PrefetchHarness::new(16 * 1024, 64, 4, Box::new(StridePrefetcher::new(4)))?;
+//! for i in 0..2000u64 {
+//!     h.demand(i * 64);
+//! }
+//! assert!(h.metrics().coverage() > 0.5, "a stride prefetcher must cover a stream");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod feedback;
+mod ghb;
+mod harness;
+pub mod runahead;
+mod stride;
+
+pub use feedback::FeedbackDirected;
+pub use ghb::GhbPrefetcher;
+pub use harness::{PrefetchHarness, PrefetchMetrics};
+pub use stride::{NextLinePrefetcher, StridePrefetcher};
+
+use ia_learn::Perceptron;
+
+/// A hardware prefetcher observing the demand-miss address stream.
+pub trait Prefetcher: std::fmt::Debug {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Observes a demand access (line address) and whether it missed;
+    /// returns line addresses to prefetch.
+    fn observe(&mut self, line: u64, miss: bool) -> Vec<u64>;
+
+    /// Feedback: a previously-issued prefetch for `line` proved useful
+    /// (`true`) or was evicted unused (`false`).
+    fn feedback(&mut self, _line: u64, _useful: bool) {}
+}
+
+/// Perceptron-based prefetch filter: wraps any prefetcher and suppresses
+/// the prefetches the perceptron predicts to be useless, learning from
+/// the harness's usefulness feedback.
+#[derive(Debug)]
+pub struct PerceptronFilter<P> {
+    inner: P,
+    perceptron: Perceptron,
+    /// Suppressed prefetch count.
+    pub suppressed: u64,
+    /// Features of in-flight prefetches, by line.
+    inflight: std::collections::HashMap<u64, Vec<bool>>,
+}
+
+impl<P: Prefetcher> PerceptronFilter<P> {
+    /// Wraps `inner` with a freshly-initialized filter.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the feature width is static.
+    #[must_use]
+    pub fn new(inner: P) -> Self {
+        PerceptronFilter {
+            inner,
+            perceptron: Perceptron::new(8).expect("static width"),
+            suppressed: 0,
+            inflight: std::collections::HashMap::new(),
+        }
+    }
+
+    fn features(line: u64, distance: i64) -> Vec<bool> {
+        // Low line bits + distance sign/magnitude: the compact feature set
+        // hardware filters hash from the request.
+        let mut f = Vec::with_capacity(8);
+        for i in 0..4 {
+            f.push(line >> i & 1 == 1);
+        }
+        f.push(distance > 0);
+        f.push(distance.unsigned_abs() > 1);
+        f.push(distance.unsigned_abs() > 4);
+        f.push(distance.unsigned_abs() > 16);
+        f
+    }
+}
+
+impl<P: Prefetcher> Prefetcher for PerceptronFilter<P> {
+    fn name(&self) -> &'static str {
+        "perceptron-filtered"
+    }
+
+    fn observe(&mut self, line: u64, miss: bool) -> Vec<u64> {
+        let candidates = self.inner.observe(line, miss);
+        candidates
+            .into_iter()
+            .filter(|&c| {
+                let features = Self::features(c, c as i64 - line as i64);
+                let keep = self.perceptron.predict(&features).taken
+                    || self.perceptron.predict(&features).output.abs() < 20;
+                if keep {
+                    self.inflight.insert(c, features);
+                } else {
+                    self.suppressed += 1;
+                }
+                keep
+            })
+            .collect()
+    }
+
+    fn feedback(&mut self, line: u64, useful: bool) {
+        if let Some(features) = self.inflight.remove(&line) {
+            self.perceptron.train(&features, useful);
+        }
+        self.inner.feedback(line, useful);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_learns_to_suppress_useless_prefetches() {
+        // Inner prefetcher that always suggests a useless far line and a
+        // useful next line.
+        #[derive(Debug)]
+        struct Noisy;
+        impl Prefetcher for Noisy {
+            fn name(&self) -> &'static str {
+                "noisy"
+            }
+            fn observe(&mut self, line: u64, _miss: bool) -> Vec<u64> {
+                vec![line + 1, line + 1000]
+            }
+        }
+        let mut f = PerceptronFilter::new(Noisy);
+        for i in 0..3000u64 {
+            let issued = f.observe(i * 2, true);
+            for p in issued {
+                // The +1 prefetches are useful, the +1000 ones never are.
+                f.feedback(p, p == i * 2 + 1);
+            }
+        }
+        assert!(f.suppressed > 500, "filter should learn to drop the far line: {}", f.suppressed);
+        // After training, a fresh observation should keep the near line.
+        let kept = f.observe(1 << 20, true);
+        assert!(kept.contains(&((1 << 20) + 1)), "useful near prefetch survived: {kept:?}");
+    }
+
+    #[test]
+    fn filter_name() {
+        #[derive(Debug)]
+        struct Nop;
+        impl Prefetcher for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn observe(&mut self, _line: u64, _miss: bool) -> Vec<u64> {
+                vec![]
+            }
+        }
+        assert_eq!(PerceptronFilter::new(Nop).name(), "perceptron-filtered");
+    }
+}

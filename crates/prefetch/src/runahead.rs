@@ -1,0 +1,164 @@
+//! Runahead execution (Mutlu+, HPCA 2003 — the paper's own "top-down
+//! pull" citation \[154\]): when the core stalls on a long-latency miss,
+//! keep executing speculatively past it; independent loads discovered in
+//! the runahead window become prefetches, converting serialized misses
+//! into overlapped ones.
+//!
+//! The model executes an instruction trace in which some instructions are
+//! memory loads, each either *independent* or *dependent on the previous
+//! load's value* (dependent loads cannot be prefetched by runahead —
+//! exactly why pointer chasing needs the PNM walkers instead).
+
+/// One instruction of the synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Non-memory work (1 cycle).
+    Compute,
+    /// A load that misses the caches; `dependent` = needs the previous
+    /// load's result to compute its address.
+    MissLoad {
+        /// Whether the address depends on the previous load.
+        dependent: bool,
+    },
+}
+
+/// Core model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreModel {
+    /// Memory latency of a miss, cycles.
+    pub miss_latency: u64,
+    /// Instructions the core can examine while in runahead mode
+    /// (0 = runahead disabled: a plain in-order stall-on-miss core).
+    pub runahead_window: usize,
+}
+
+/// Executes the trace and returns total cycles.
+///
+/// Stall-on-miss semantics: each miss costs `miss_latency` serially.
+/// With runahead, the window following a miss is scanned; every
+/// *independent* miss found there is prefetched and later costs nothing
+/// (its latency fully overlaps the triggering miss).
+#[must_use]
+pub fn execute(trace: &[Instr], core: CoreModel) -> u64 {
+    let mut cycles = 0u64;
+    let mut prefetched = vec![false; trace.len()];
+    let mut i = 0usize;
+    while i < trace.len() {
+        match trace[i] {
+            Instr::Compute => cycles += 1,
+            Instr::MissLoad { .. } => {
+                if prefetched[i] {
+                    // Data already in flight from an earlier runahead.
+                    cycles += 1;
+                } else {
+                    cycles += core.miss_latency;
+                    // Enter runahead under the stall: scan ahead, marking
+                    // independent misses as prefetched. A dependent load
+                    // ends the useful part of the chain behind it but the
+                    // scan continues (runahead skips invalid results).
+                    let mut scanned = 0usize;
+                    let mut j = i + 1;
+                    while scanned < core.runahead_window && j < trace.len() {
+                        if let Instr::MissLoad { dependent } = trace[j] {
+                            if !dependent {
+                                prefetched[j] = true;
+                            }
+                        }
+                        scanned += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    cycles
+}
+
+/// Convenience: builds a trace of `loads` misses separated by `gap`
+/// compute instructions, with the given fraction of dependent loads
+/// (deterministically interleaved).
+#[must_use]
+pub fn build_trace(loads: usize, gap: usize, dependent_per_mille: u32) -> Vec<Instr> {
+    let mut t = Vec::with_capacity(loads * (gap + 1));
+    let mut acc = 0u32;
+    for _ in 0..loads {
+        for _ in 0..gap {
+            t.push(Instr::Compute);
+        }
+        acc += dependent_per_mille;
+        let dependent = acc >= 1000;
+        if dependent {
+            acc -= 1000;
+        }
+        t.push(Instr::MissLoad { dependent });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORE: CoreModel = CoreModel { miss_latency: 200, runahead_window: 64 };
+    const STALLING: CoreModel = CoreModel { miss_latency: 200, runahead_window: 0 };
+
+    #[test]
+    fn stall_core_serializes_every_miss() {
+        let trace = build_trace(10, 5, 0);
+        let cycles = execute(&trace, STALLING);
+        assert_eq!(cycles, 10 * 200 + 10 * 5);
+    }
+
+    #[test]
+    fn runahead_overlaps_independent_misses() {
+        let trace = build_trace(100, 5, 0);
+        let stall = execute(&trace, STALLING);
+        let runahead = execute(&trace, CORE);
+        let speedup = stall as f64 / runahead as f64;
+        assert!(
+            speedup > 5.0,
+            "independent misses within the window should collapse: {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn dependent_chains_defeat_runahead() {
+        let trace = build_trace(100, 5, 1000); // every load dependent
+        let stall = execute(&trace, STALLING);
+        let runahead = execute(&trace, CORE);
+        assert_eq!(stall, runahead, "runahead cannot prefetch dependent loads");
+    }
+
+    #[test]
+    fn benefit_degrades_smoothly_with_dependence() {
+        let core = CORE;
+        let mut last = 0u64;
+        for dep in [0u32, 250, 500, 750, 1000] {
+            let trace = build_trace(200, 5, dep);
+            let cycles = execute(&trace, core);
+            assert!(cycles >= last, "more dependence, more cycles ({dep}/1000)");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    fn window_size_bounds_the_mlp() {
+        // Misses spaced farther apart than a small window gain nothing.
+        let trace = build_trace(50, 100, 0);
+        let small = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 10 });
+        let large = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 256 });
+        assert!(large < small, "a larger window reaches the next miss");
+    }
+
+    #[test]
+    fn trace_builder_shapes() {
+        let t = build_trace(4, 2, 500);
+        assert_eq!(t.len(), 4 * 3);
+        let deps = t
+            .iter()
+            .filter(|i| matches!(i, Instr::MissLoad { dependent: true }))
+            .count();
+        assert_eq!(deps, 2, "half the loads are dependent");
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for processing-using-memory operations.
+
+use std::error::Error;
+use std::fmt;
+
+use ia_dram::IssueError;
+
+/// Failures of in-memory compute operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PumError {
+    /// Invalid argument (geometry constraint, zero size, …).
+    Invalid(&'static str),
+    /// A bitwise operand row has not been written.
+    MissingRow(u64),
+    /// Underlying DRAM command failure.
+    Issue(IssueError),
+}
+
+impl PumError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        PumError::Invalid(msg)
+    }
+}
+
+impl fmt::Display for PumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PumError::Invalid(msg) => f.write_str(msg),
+            PumError::MissingRow(r) => write!(f, "operand row {r} has no data"),
+            PumError::Issue(e) => write!(f, "dram command failed: {e}"),
+        }
+    }
+}
+
+impl Error for PumError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PumError::Issue(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IssueError> for PumError {
+    fn from(e: IssueError) -> Self {
+        PumError::Issue(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<PumError>();
+        assert!(!PumError::invalid("x").to_string().is_empty());
+        assert!(PumError::MissingRow(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,203 @@
+//! Gather-Scatter DRAM (Seshadri+, MICRO 2015): in-DRAM address
+//! translation gathers strided elements into *dense* cache lines, so a
+//! column access over a field of an array-of-structs moves only the
+//! useful bytes across the channel — conventional systems drag the whole
+//! cache line per element.
+
+use ia_dram::DramConfig;
+
+use crate::PumError;
+
+/// Cost/traffic report of one strided gather.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatherReport {
+    /// Stride between elements, in bytes.
+    pub stride: u64,
+    /// Useful bytes gathered.
+    pub useful_bytes: u64,
+    /// Bytes that actually crossed the memory channel.
+    pub bytes_moved: u64,
+    /// Transfer time at peak channel bandwidth, ns.
+    pub ns: f64,
+    /// Off-chip I/O energy, pJ.
+    pub io_energy_pj: f64,
+}
+
+impl GatherReport {
+    /// Fraction of moved bytes that were useful (1.0 = perfectly dense).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        if self.bytes_moved == 0 {
+            0.0
+        } else {
+            self.useful_bytes as f64 / self.bytes_moved as f64
+        }
+    }
+}
+
+fn transfer_cost(config: &DramConfig, bytes: u64) -> (f64, f64) {
+    let t = config.timing;
+    let line = config.geometry.column_bytes;
+    let bursts = bytes.div_ceil(line);
+    let cycles = bursts * t.t_bl / config.geometry.channels as u64;
+    let ns = cycles as f64 * t.tck_ns();
+    let io = bursts as f64 * config.energy.io_pj_per_bit * (line * 8) as f64;
+    (ns, io)
+}
+
+/// A conventional strided read of `elements` elements of `element_bytes`
+/// at `stride_bytes`: each element drags its whole cache line over the
+/// channel.
+///
+/// # Errors
+///
+/// Returns [`PumError`] if any size is zero or the stride is smaller than
+/// the element.
+pub fn conventional_gather(
+    config: &DramConfig,
+    elements: u64,
+    element_bytes: u64,
+    stride_bytes: u64,
+) -> Result<GatherReport, PumError> {
+    validate(elements, element_bytes, stride_bytes)?;
+    let line = config.geometry.column_bytes;
+    // Lines touched: with stride ≥ line, one line per element; smaller
+    // strides share lines.
+    let lines = if stride_bytes >= line {
+        elements
+    } else {
+        (elements * stride_bytes).div_ceil(line)
+    };
+    let moved = lines * line;
+    let (ns, io) = transfer_cost(config, moved);
+    Ok(GatherReport {
+        stride: stride_bytes,
+        useful_bytes: elements * element_bytes,
+        bytes_moved: moved,
+        ns,
+        io_energy_pj: io,
+    })
+}
+
+/// A GS-DRAM gather of the same pattern: the in-DRAM shuffle packs the
+/// elements into dense lines before they cross the channel (plus a small
+/// per-line translation overhead of one extra burst per 64 gathered
+/// lines, for the pattern descriptors).
+///
+/// # Errors
+///
+/// Returns [`PumError`] on the same invalid inputs as
+/// [`conventional_gather`].
+pub fn gs_dram_gather(
+    config: &DramConfig,
+    elements: u64,
+    element_bytes: u64,
+    stride_bytes: u64,
+) -> Result<GatherReport, PumError> {
+    validate(elements, element_bytes, stride_bytes)?;
+    let line = config.geometry.column_bytes;
+    let useful = elements * element_bytes;
+    let dense_lines = useful.div_ceil(line);
+    let overhead_lines = dense_lines.div_ceil(64);
+    let moved = (dense_lines + overhead_lines) * line;
+    let (ns, io) = transfer_cost(config, moved);
+    Ok(GatherReport {
+        stride: stride_bytes,
+        useful_bytes: useful,
+        bytes_moved: moved,
+        ns,
+        io_energy_pj: io,
+    })
+}
+
+/// Functional reference: gathers stride-separated elements from a byte
+/// array (what both hardware paths compute).
+///
+/// # Errors
+///
+/// Returns [`PumError`] if the pattern runs past the end of `data`.
+pub fn gather_elements(
+    data: &[u8],
+    elements: u64,
+    element_bytes: u64,
+    stride_bytes: u64,
+) -> Result<Vec<u8>, PumError> {
+    validate(elements, element_bytes, stride_bytes)?;
+    let need = (elements - 1) * stride_bytes + element_bytes;
+    if need > data.len() as u64 {
+        return Err(PumError::Invalid("gather pattern exceeds the buffer"));
+    }
+    let mut out = Vec::with_capacity((elements * element_bytes) as usize);
+    for e in 0..elements {
+        let start = (e * stride_bytes) as usize;
+        out.extend_from_slice(&data[start..start + element_bytes as usize]);
+    }
+    Ok(out)
+}
+
+fn validate(elements: u64, element_bytes: u64, stride_bytes: u64) -> Result<(), PumError> {
+    if elements == 0 || element_bytes == 0 || stride_bytes == 0 {
+        return Err(PumError::Invalid("gather sizes must be non-zero"));
+    }
+    if stride_bytes < element_bytes {
+        return Err(PumError::Invalid("stride must cover the element"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::ddr3_1600()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(conventional_gather(&cfg(), 0, 8, 64).is_err());
+        assert!(gs_dram_gather(&cfg(), 10, 8, 4).is_err());
+        assert!(gather_elements(&[0u8; 16], 4, 8, 8).is_err(), "pattern exceeds buffer");
+    }
+
+    #[test]
+    fn functional_gather_collects_the_right_bytes() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let out = gather_elements(&data, 4, 2, 16).unwrap();
+        assert_eq!(out, vec![0, 1, 16, 17, 32, 33, 48, 49]);
+    }
+
+    #[test]
+    fn gs_dram_moves_only_useful_bytes_at_large_strides() {
+        // 8-byte field from a 64-byte struct: conventional drags 8x.
+        let conv = conventional_gather(&cfg(), 10_000, 8, 64).unwrap();
+        let gs = gs_dram_gather(&cfg(), 10_000, 8, 64).unwrap();
+        assert!(conv.efficiency() < 0.2, "conventional efficiency {:.2}", conv.efficiency());
+        assert!(gs.efficiency() > 0.9, "GS-DRAM efficiency {:.2}", gs.efficiency());
+        let traffic_cut = conv.bytes_moved as f64 / gs.bytes_moved as f64;
+        assert!(
+            (6.0..9.0).contains(&traffic_cut),
+            "8x-stride traffic reduction should approach 8x: {traffic_cut:.1}"
+        );
+        assert!(gs.ns < conv.ns);
+        assert!(gs.io_energy_pj < conv.io_energy_pj);
+    }
+
+    #[test]
+    fn dense_access_gains_nothing() {
+        // stride == element: already dense.
+        let conv = conventional_gather(&cfg(), 1000, 64, 64).unwrap();
+        let gs = gs_dram_gather(&cfg(), 1000, 64, 64).unwrap();
+        assert!(
+            gs.bytes_moved >= conv.bytes_moved,
+            "GS-DRAM adds descriptor overhead on dense access"
+        );
+    }
+
+    #[test]
+    fn sub_line_strides_share_lines_conventionally() {
+        let conv = conventional_gather(&cfg(), 100, 8, 16).unwrap();
+        // 100 elements × 16B stride = 1600 bytes → 25 lines, not 100.
+        assert_eq!(conv.bytes_moved, 25 * 64);
+    }
+}

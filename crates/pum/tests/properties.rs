@@ -1,0 +1,105 @@
+//! Property-based tests for the processing-using-memory engines.
+
+use ia_dram::{DramConfig, DramModule, PhysAddr};
+use ia_pum::{
+    bulk_copy, conventional_gather, gather_elements, gs_dram_gather, AmbitEngine, BitwiseOp,
+    CopyMode,
+};
+use proptest::prelude::*;
+
+fn row_stride() -> u64 {
+    let g = DramConfig::ddr3_1600().geometry;
+    g.row_bytes * (g.banks_per_group * g.bank_groups * g.ranks * g.channels) as u64
+}
+
+proptest! {
+    /// Every Ambit operation is functionally exact on arbitrary words.
+    #[test]
+    fn ambit_matches_scalar_semantics(a in any::<u64>(), b in any::<u64>()) {
+        let mut e = AmbitEngine::new(&DramConfig::ddr3_1600());
+        let w = e.row_words();
+        e.write_row(0, vec![a; w]).unwrap();
+        e.write_row(1, vec![b; w]).unwrap();
+        for (op, expect) in [
+            (BitwiseOp::And, a & b),
+            (BitwiseOp::Or, a | b),
+            (BitwiseOp::Nand, !(a & b)),
+            (BitwiseOp::Nor, !(a | b)),
+            (BitwiseOp::Xor, a ^ b),
+            (BitwiseOp::Xnor, !(a ^ b)),
+        ] {
+            e.execute(op, 5, 0, Some(1)).unwrap();
+            prop_assert!(e.read_row(5).unwrap().iter().all(|&x| x == expect));
+        }
+        e.execute(BitwiseOp::Not, 6, 0, None).unwrap();
+        prop_assert!(e.read_row(6).unwrap().iter().all(|&x| x == !a));
+    }
+
+    /// Ambit cost accounting is exactly linear in AAP counts.
+    #[test]
+    fn ambit_costs_are_linear(ops in prop::collection::vec(0usize..7, 1..30)) {
+        let mut e = AmbitEngine::new(&DramConfig::ddr3_1600());
+        let w = e.row_words();
+        e.write_row(0, vec![1; w]).unwrap();
+        e.write_row(1, vec![2; w]).unwrap();
+        let all = BitwiseOp::all();
+        let mut expected_aaps = 0;
+        for &i in &ops {
+            let op = all[i];
+            let second = if matches!(op, BitwiseOp::Not) { None } else { Some(1) };
+            e.execute(op, 9, 0, second).unwrap();
+            expected_aaps += op.aap_count();
+        }
+        prop_assert_eq!(e.stats().aaps, expected_aaps);
+        prop_assert_eq!(e.stats().cycles, expected_aaps * e.aap_cycles());
+        prop_assert_eq!(e.stats().ops, ops.len() as u64);
+    }
+
+    /// In-DRAM copies never touch the I/O rail; CPU copies always do.
+    #[test]
+    fn copy_energy_attribution(bytes in 1u64..(1 << 18)) {
+        let mut d = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(row_stride()), bytes, CopyMode::Fpm)
+            .unwrap();
+        prop_assert_eq!(d.energy().io_pj, 0.0);
+        let mut d2 = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        bulk_copy(&mut d2, PhysAddr::new(0), PhysAddr::new(row_stride()), bytes, CopyMode::Cpu)
+            .unwrap();
+        prop_assert!(d2.energy().io_pj > 0.0);
+    }
+
+    /// FPM latency and energy scale linearly with rows copied.
+    #[test]
+    fn fpm_scales_linearly(rows in 1u64..64) {
+        let bytes = rows * 8192;
+        let mut d = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let r = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(row_stride()), bytes, CopyMode::Fpm)
+            .unwrap();
+        let mut d1 = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        let one = bulk_copy(&mut d1, PhysAddr::new(0), PhysAddr::new(row_stride()), 8192, CopyMode::Fpm)
+            .unwrap();
+        prop_assert_eq!(r.cycles, one.cycles * rows);
+        prop_assert!((r.energy_pj - one.energy_pj * rows as f64).abs() < 1e-6);
+    }
+
+    /// GS-DRAM never moves more than conventional for strides above the
+    /// element size, and the functional gather length is exact.
+    #[test]
+    fn gsdram_dominates_on_sparse_patterns(
+        elements in 1u64..2000,
+        stride_mult in 2u64..32,
+    ) {
+        let cfg = DramConfig::ddr3_1600();
+        let stride = 8 * stride_mult;
+        let conv = conventional_gather(&cfg, elements, 8, stride).unwrap();
+        let gs = gs_dram_gather(&cfg, elements, 8, stride).unwrap();
+        if stride >= 64 && elements >= 64 {
+            prop_assert!(gs.bytes_moved <= conv.bytes_moved);
+        }
+        prop_assert_eq!(conv.useful_bytes, gs.useful_bytes);
+
+        let data = vec![7u8; ((elements - 1) * stride + 8) as usize];
+        let out = gather_elements(&data, elements, 8, stride).unwrap();
+        prop_assert_eq!(out.len() as u64, elements * 8);
+    }
+}

@@ -1,0 +1,134 @@
+//! EDEN-style approximate DRAM (Koppula+, MICRO 2019): deliberately
+//! operate DRAM below worst-case refresh (or voltage) for data that
+//! tolerates errors — DNN weights and activations — trading a controlled
+//! bit-error rate for refresh energy and performance.
+//!
+//! The model: extending the refresh interval by `k×` exposes the cells
+//! whose retention is below `k × 64 ms`; the retention distribution gives
+//! the resulting bit-error rate, and a simple DNN-robustness curve maps
+//! BER to accuracy loss — reproducing EDEN's headline trade-off shape.
+
+use crate::retention::RetentionModel;
+
+/// Error/energy outcome of running at `multiplier ×` the nominal refresh
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxDramPoint {
+    /// Refresh-interval multiplier (1 = nominal 64 ms).
+    pub multiplier: u32,
+    /// Fraction of refresh operations eliminated vs nominal.
+    pub refresh_savings: f64,
+    /// Probability a given row has at least one weak cell at this
+    /// interval (the uncorrected bit-error exposure).
+    pub row_error_rate: f64,
+}
+
+/// Sweeps refresh-interval multipliers over a retention profile.
+///
+/// The retention model gives P(row retains < 64 ms) and < 128 ms; beyond
+/// that the weak-cell population grows roughly geometrically with the
+/// interval (the published retention-tail shape).
+#[must_use]
+pub fn sweep_refresh_multipliers(model: &RetentionModel, multipliers: &[u32]) -> Vec<ApproxDramPoint> {
+    multipliers
+        .iter()
+        .map(|&m| {
+            let m = m.max(1);
+            // Rows failing at interval m×64ms: extrapolate the tail —
+            // p(<64) at m=1, p(<128) at m=2, then ~3x per doubling.
+            let rate = match m {
+                1 => 0.0, // nominal refresh loses nothing
+                2 => model.p_under_128ms,
+                _ => {
+                    let doublings = (f64::from(m)).log2();
+                    (model.p_under_128ms * 3.0f64.powf(doublings - 1.0)).min(1.0)
+                }
+            };
+            ApproxDramPoint {
+                multiplier: m,
+                refresh_savings: 1.0 - 1.0 / f64::from(m),
+                row_error_rate: rate,
+            }
+        })
+        .collect()
+}
+
+/// Maps a bit-error exposure to a DNN accuracy loss (fraction of
+/// baseline accuracy lost), using the robustness shape EDEN measures:
+/// DNNs tolerate small BERs almost for free, then degrade sharply past a
+/// knee.
+#[must_use]
+pub fn dnn_accuracy_loss(row_error_rate: f64, tolerance_knee: f64) -> f64 {
+    if row_error_rate <= tolerance_knee {
+        // Sub-knee: negligible, linear in exposure.
+        0.01 * row_error_rate / tolerance_knee.max(f64::MIN_POSITIVE)
+    } else {
+        // Past the knee: rapid degradation toward total loss.
+        (0.01 + (row_error_rate - tolerance_knee) * 20.0).min(1.0)
+    }
+}
+
+/// Picks the largest refresh multiplier whose accuracy loss stays within
+/// `budget` — EDEN's per-layer interval selection.
+#[must_use]
+pub fn select_multiplier(model: &RetentionModel, tolerance_knee: f64, budget: f64) -> u32 {
+    let candidates = [1u32, 2, 4, 8, 16, 32];
+    let mut best = 1;
+    for p in sweep_refresh_multipliers(model, &candidates) {
+        if dnn_accuracy_loss(p.row_error_rate, tolerance_knee) <= budget {
+            best = best.max(p.multiplier);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_refresh_is_error_free() {
+        let pts = sweep_refresh_multipliers(&RetentionModel::typical(), &[1]);
+        assert_eq!(pts[0].row_error_rate, 0.0);
+        assert_eq!(pts[0].refresh_savings, 0.0);
+    }
+
+    #[test]
+    fn savings_and_errors_both_grow_with_the_interval() {
+        let pts = sweep_refresh_multipliers(&RetentionModel::typical(), &[1, 2, 4, 8, 16]);
+        for w in pts.windows(2) {
+            assert!(w[1].refresh_savings > w[0].refresh_savings);
+            assert!(w[1].row_error_rate >= w[0].row_error_rate);
+        }
+        // 16x interval eliminates ~94% of refreshes.
+        assert!((pts[4].refresh_savings - 0.9375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_rate_saturates_at_one() {
+        let model = RetentionModel::new(0.2, 0.5).unwrap();
+        let pts = sweep_refresh_multipliers(&model, &[32]);
+        assert!(pts[0].row_error_rate <= 1.0);
+    }
+
+    #[test]
+    fn accuracy_loss_has_a_knee() {
+        let knee = 1e-3;
+        let below = dnn_accuracy_loss(1e-4, knee);
+        let above = dnn_accuracy_loss(1e-2, knee);
+        assert!(below < 0.011, "sub-knee loss negligible: {below}");
+        assert!(above > 10.0 * below, "post-knee loss sharp: {above} vs {below}");
+        assert!(dnn_accuracy_loss(1.0, knee) <= 1.0);
+    }
+
+    #[test]
+    fn selection_respects_the_budget_and_tolerance() {
+        let model = RetentionModel::typical();
+        // A robust layer (high knee) can run at long intervals...
+        let robust = select_multiplier(&model, 0.5, 0.02);
+        // ...a sensitive layer (tiny knee) must stay near nominal.
+        let sensitive = select_multiplier(&model, 1e-6, 0.001);
+        assert!(robust >= 8, "robust layer should reach ≥8x, got {robust}");
+        assert!(sensitive <= 2, "sensitive layer must stay near 1x, got {sensitive}");
+    }
+}

@@ -1,0 +1,193 @@
+//! SECDED (72,64) Hamming code, the ECC scheme server DRAM uses and the
+//! building block of heterogeneous-reliability memory.
+
+use crate::ReliabilityError;
+
+/// A 64-bit data word with its 8 SECDED check bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EccWord {
+    /// The protected data.
+    pub data: u64,
+    /// Check bits (7 Hamming + 1 overall parity).
+    pub check: u8,
+}
+
+/// Outcome of decoding a possibly-corrupted word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// No error detected.
+    Clean(u64),
+    /// A single-bit error was corrected; the payload is the fixed data.
+    Corrected(u64),
+    /// An uncorrectable (double-bit) error was detected.
+    DetectedUncorrectable,
+}
+
+/// The 72-bit codeword layout: data bits occupy positions that are not
+/// powers of two in 1..=71; check bits sit at positions 1,2,4,8,16,32,64
+/// minus the overall-parity bit at position 0.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1u32..72).filter(|p| !p.is_power_of_two())
+}
+
+/// Encodes a 64-bit word into data + check bits.
+///
+/// # Examples
+///
+/// ```
+/// use ia_reliability::{decode, encode, DecodeOutcome};
+/// let w = encode(0xDEAD_BEEF_0123_4567);
+/// assert_eq!(decode(w), DecodeOutcome::Clean(0xDEAD_BEEF_0123_4567));
+/// ```
+#[must_use]
+pub fn encode(data: u64) -> EccWord {
+    let mut code = [false; 72];
+    for (i, pos) in data_positions().enumerate() {
+        code[pos as usize] = (data >> i) & 1 == 1;
+    }
+    // Hamming check bits: bit at position 2^j covers positions with bit j set.
+    for j in 0..7u32 {
+        let p = 1usize << j;
+        let parity = (1..72)
+            .filter(|&i| i & p != 0 && i != p)
+            .fold(false, |acc, i| acc ^ code[i]);
+        code[p] = parity;
+    }
+    // Overall parity at position 0 (for double-error detection).
+    code[0] = code[1..].iter().fold(false, |a, &b| a ^ b);
+    pack_check(&code)
+}
+
+fn pack_check(code: &[bool; 72]) -> EccWord {
+    let mut data = 0u64;
+    for (i, pos) in data_positions().enumerate() {
+        if code[pos as usize] {
+            data |= 1 << i;
+        }
+    }
+    let mut check = 0u8;
+    for (j, &p) in [0usize, 1, 2, 4, 8, 16, 32, 64].iter().enumerate() {
+        if code[p] {
+            check |= 1 << j;
+        }
+    }
+    EccWord { data, check }
+}
+
+fn unpack(word: EccWord) -> [bool; 72] {
+    let mut code = [false; 72];
+    for (i, pos) in data_positions().enumerate() {
+        code[pos as usize] = (word.data >> i) & 1 == 1;
+    }
+    for (j, &p) in [0usize, 1, 2, 4, 8, 16, 32, 64].iter().enumerate() {
+        code[p] = (word.check >> j) & 1 == 1;
+    }
+    code
+}
+
+/// Flips one bit of the 72-bit codeword (bit 0..=71), for fault injection.
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError`] if `bit >= 72`.
+pub fn inject_error(word: EccWord, bit: u32) -> Result<EccWord, ReliabilityError> {
+    if bit >= 72 {
+        return Err(ReliabilityError::invalid("codeword bit index must be < 72"));
+    }
+    let mut code = unpack(word);
+    code[bit as usize] = !code[bit as usize];
+    Ok(pack_check(&code))
+}
+
+/// Decodes a word, correcting single-bit and detecting double-bit errors.
+#[must_use]
+pub fn decode(word: EccWord) -> DecodeOutcome {
+    let code = unpack(word);
+    // Syndrome: XOR of positions of set bits (excluding overall parity).
+    let mut syndrome = 0usize;
+    for j in 0..7u32 {
+        let p = 1usize << j;
+        let parity = (1..72).filter(|&i| i & p != 0).fold(false, |acc, i| acc ^ code[i]);
+        if parity {
+            syndrome |= p;
+        }
+    }
+    let overall = code.iter().fold(false, |a, &b| a ^ b);
+    match (syndrome, overall) {
+        (0, false) => DecodeOutcome::Clean(extract(&code)),
+        (0, true) => {
+            // Error in the overall parity bit itself: data unaffected.
+            DecodeOutcome::Corrected(extract(&code))
+        }
+        (_, true) => {
+            // Single-bit error at `syndrome`: flip and extract.
+            let mut fixed = code;
+            if syndrome < 72 {
+                fixed[syndrome] = !fixed[syndrome];
+                DecodeOutcome::Corrected(extract(&fixed))
+            } else {
+                DecodeOutcome::DetectedUncorrectable
+            }
+        }
+        (_, false) => DecodeOutcome::DetectedUncorrectable,
+    }
+}
+
+fn extract(code: &[bool; 72]) -> u64 {
+    let mut data = 0u64;
+    for (i, pos) in data_positions().enumerate() {
+        if code[pos as usize] {
+            data |= 1 << i;
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF, 0x5555_5555_5555_5555, 1, 1 << 63] {
+            assert_eq!(decode(encode(data)), DecodeOutcome::Clean(data), "{data:#x}");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let data = 0xCAFE_BABE_1234_5678u64;
+        let w = encode(data);
+        for bit in 0..72 {
+            let corrupted = inject_error(w, bit).unwrap();
+            match decode(corrupted) {
+                DecodeOutcome::Corrected(d) => assert_eq!(d, data, "bit {bit}"),
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_bit_errors() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let w = encode(data);
+        for (a, b) in [(0u32, 1u32), (3, 40), (70, 71), (5, 64)] {
+            let corrupted = inject_error(inject_error(w, a).unwrap(), b).unwrap();
+            assert_eq!(
+                decode(corrupted),
+                DecodeOutcome::DetectedUncorrectable,
+                "bits {a},{b} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_rejects_out_of_range() {
+        assert!(inject_error(encode(0), 72).is_err());
+    }
+
+    #[test]
+    fn check_bits_differ_across_data() {
+        assert_ne!(encode(0).check, encode(1).check);
+    }
+}

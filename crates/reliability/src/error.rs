@@ -1,0 +1,36 @@
+//! Error type for the reliability models.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid argument to a reliability model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliabilityError {
+    msg: &'static str,
+}
+
+impl ReliabilityError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        ReliabilityError { msg }
+    }
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl Error for ReliabilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_nonempty_and_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<ReliabilityError>();
+        assert!(!ReliabilityError::invalid("bad").to_string().is_empty());
+    }
+}

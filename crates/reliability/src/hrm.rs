@@ -1,0 +1,197 @@
+//! Heterogeneous-Reliability Memory (Luo+, DSN 2014): place data in memory
+//! tiers of different reliability/cost according to its measured error
+//! vulnerability, cutting datacenter memory cost while bounding crash rate.
+
+use crate::ReliabilityError;
+
+/// A memory tier with a reliability level and relative cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryTier {
+    /// Human-readable tier name.
+    pub name: &'static str,
+    /// Uncorrectable-error probability per GiB per month.
+    pub error_rate: f64,
+    /// Cost relative to commodity non-ECC DRAM (1.0).
+    pub relative_cost: f64,
+}
+
+/// The three tiers the original study evaluates.
+#[must_use]
+pub fn standard_tiers() -> [MemoryTier; 3] {
+    [
+        MemoryTier { name: "ECC+chipkill", error_rate: 1e-6, relative_cost: 1.30 },
+        MemoryTier { name: "ECC", error_rate: 1e-5, relative_cost: 1.12 },
+        MemoryTier { name: "non-ECC", error_rate: 5e-4, relative_cost: 1.00 },
+    ]
+}
+
+/// An application data region with its measured vulnerability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRegion {
+    /// Region label (heap, private, …).
+    pub name: String,
+    /// Size in GiB.
+    pub size_gib: f64,
+    /// Probability that an error in this region crashes or corrupts the
+    /// application (vs. being masked), in [0, 1].
+    pub vulnerability: f64,
+}
+
+impl DataRegion {
+    /// Creates a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError`] if the size is non-positive or the
+    /// vulnerability is outside `[0, 1]`.
+    pub fn new(name: impl Into<String>, size_gib: f64, vulnerability: f64) -> Result<Self, ReliabilityError> {
+        if size_gib <= 0.0 {
+            return Err(ReliabilityError::invalid("region size must be positive"));
+        }
+        if !(0.0..=1.0).contains(&vulnerability) {
+            return Err(ReliabilityError::invalid("vulnerability must be in [0, 1]"));
+        }
+        Ok(DataRegion { name: name.into(), size_gib, vulnerability })
+    }
+}
+
+/// A placement of regions onto tiers with its aggregate metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `(region index, tier index)` assignments.
+    pub assignments: Vec<(usize, usize)>,
+    /// Total memory cost (GiB × relative cost).
+    pub cost: f64,
+    /// Expected application-visible errors per month.
+    pub expected_failures: f64,
+}
+
+/// Greedy vulnerability-aware placement: most-vulnerable regions go to the
+/// most reliable tier that keeps the failure budget, everything else to
+/// the cheapest tier.
+///
+/// Returns the chosen placement, or an error if even all-top-tier
+/// placement exceeds `failure_budget` (failures/month).
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError`] if `regions` is empty, `tiers` is empty,
+/// or the budget is infeasible.
+pub fn place(
+    regions: &[DataRegion],
+    tiers: &[MemoryTier],
+    failure_budget: f64,
+) -> Result<Placement, ReliabilityError> {
+    if regions.is_empty() || tiers.is_empty() {
+        return Err(ReliabilityError::invalid("need at least one region and one tier"));
+    }
+    let mut tier_order: Vec<usize> = (0..tiers.len()).collect();
+    tier_order.sort_by(|&a, &b| {
+        tiers[a].error_rate.partial_cmp(&tiers[b].error_rate).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let best = tier_order[0];
+    let cheapest = *tier_order
+        .iter()
+        .min_by(|&&a, &&b| {
+            tiers[a]
+                .relative_cost
+                .partial_cmp(&tiers[b].relative_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty");
+
+    // Start everything on the cheapest tier, then promote regions in
+    // decreasing vulnerability×size order until within budget.
+    let mut assignment: Vec<usize> = vec![cheapest; regions.len()];
+    let failures = |assignment: &[usize]| -> f64 {
+        regions
+            .iter()
+            .zip(assignment)
+            .map(|(r, &t)| r.size_gib * tiers[t].error_rate * r.vulnerability)
+            .sum()
+    };
+    let mut order: Vec<usize> = (0..regions.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = regions[a].vulnerability * regions[a].size_gib;
+        let kb = regions[b].vulnerability * regions[b].size_gib;
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut i = 0;
+    while failures(&assignment) > failure_budget {
+        if i >= order.len() {
+            return Err(ReliabilityError::invalid("failure budget infeasible even with best tier"));
+        }
+        assignment[order[i]] = best;
+        i += 1;
+    }
+    let cost = regions.iter().zip(&assignment).map(|(r, &t)| r.size_gib * tiers[t].relative_cost).sum();
+    Ok(Placement {
+        assignments: assignment.iter().copied().enumerate().collect(),
+        cost,
+        expected_failures: failures(&assignment),
+    })
+}
+
+/// Cost of placing everything on the given tier (the homogeneous baseline).
+#[must_use]
+pub fn homogeneous_cost(regions: &[DataRegion], tier: &MemoryTier) -> f64 {
+    regions.iter().map(|r| r.size_gib * tier.relative_cost).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions() -> Vec<DataRegion> {
+        vec![
+            DataRegion::new("critical-heap", 2.0, 0.9).unwrap(),
+            DataRegion::new("page-cache", 20.0, 0.05).unwrap(),
+            DataRegion::new("tolerant-buffers", 10.0, 0.01).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn region_validation() {
+        assert!(DataRegion::new("x", 0.0, 0.5).is_err());
+        assert!(DataRegion::new("x", 1.0, 1.5).is_err());
+        assert!(DataRegion::new("x", 1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn hrm_is_cheaper_than_all_top_tier_at_same_budget() {
+        let tiers = standard_tiers();
+        let all_best = homogeneous_cost(&regions(), &tiers[0]);
+        let p = place(&regions(), &tiers, 1e-3).unwrap();
+        assert!(p.cost < all_best, "HRM {:.2} vs homogeneous {:.2}", p.cost, all_best);
+        assert!(p.expected_failures <= 1e-3);
+    }
+
+    #[test]
+    fn tight_budget_promotes_vulnerable_regions_first() {
+        let tiers = standard_tiers();
+        let p = place(&regions(), &tiers, 1e-4).unwrap();
+        // The critical heap must be on the most reliable tier.
+        let critical_tier = p.assignments[0].1;
+        assert_eq!(tiers[critical_tier].name, "ECC+chipkill");
+    }
+
+    #[test]
+    fn loose_budget_keeps_everything_cheap() {
+        let tiers = standard_tiers();
+        let p = place(&regions(), &tiers, 1.0).unwrap();
+        assert!((p.cost - 32.0).abs() < 1e-9, "all non-ECC: cost = total GiB");
+    }
+
+    #[test]
+    fn infeasible_budget_is_an_error() {
+        let tiers = standard_tiers();
+        assert!(place(&regions(), &tiers, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_are_errors() {
+        let tiers = standard_tiers();
+        assert!(place(&[], &tiers, 1.0).is_err());
+        assert!(place(&regions(), &[], 1.0).is_err());
+    }
+}

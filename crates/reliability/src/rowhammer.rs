@@ -1,0 +1,462 @@
+//! RowHammer disturbance model and mitigations.
+//!
+//! Models the empirical picture from Kim+ (ISCA 2014) and the revisit study
+//! (Kim+, ISCA 2020): activating a row disturbs its physical neighbours;
+//! once a victim row's accumulated exposure since its last refresh crosses
+//! the device's `HC_first` threshold, bits flip — and the threshold has
+//! dropped by ~30x from 2013-era to 2020-era devices.
+//!
+//! Two mitigations from the literature are provided: probabilistic
+//! adjacent-row activation (PARA) and a counter-based target-row-refresh
+//! (the Graphene/TRR family).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+/// Device vulnerability presets: the minimum hammer count that flips a bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceGeneration {
+    /// 2013-era DDR3 (HC_first ≈ 139 000, from the original study).
+    Ddr3Y2013,
+    /// 2017-era DDR4 (HC_first ≈ 17 500).
+    Ddr4Y2017,
+    /// 2020-era LPDDR4 (HC_first ≈ 4 800).
+    Lpddr4Y2020,
+}
+
+impl DeviceGeneration {
+    /// The `HC_first` threshold for this generation.
+    #[must_use]
+    pub fn hc_first(self) -> u64 {
+        match self {
+            DeviceGeneration::Ddr3Y2013 => 139_000,
+            DeviceGeneration::Ddr4Y2017 => 17_500,
+            DeviceGeneration::Lpddr4Y2020 => 4_800,
+        }
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceGeneration::Ddr3Y2013 => "DDR3 (2013)",
+            DeviceGeneration::Ddr4Y2017 => "DDR4 (2017)",
+            DeviceGeneration::Lpddr4Y2020 => "LPDDR4 (2020)",
+        }
+    }
+
+    /// All presets, oldest first.
+    #[must_use]
+    pub fn all() -> [DeviceGeneration; 3] {
+        [DeviceGeneration::Ddr3Y2013, DeviceGeneration::Ddr4Y2017, DeviceGeneration::Lpddr4Y2020]
+    }
+}
+
+/// A bit-flip event in a victim row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flip {
+    /// The victim row that lost data.
+    pub victim_row: u64,
+    /// Exposure (aggressor activations) at the time of the flip.
+    pub exposure: u64,
+}
+
+/// Per-bank RowHammer exposure tracker.
+///
+/// # Examples
+///
+/// ```
+/// use ia_reliability::{DeviceGeneration, RowHammerModel};
+/// let mut rh = RowHammerModel::new(DeviceGeneration::Lpddr4Y2020, 1 << 16);
+/// let mut flips = 0;
+/// for _ in 0..10_000 {
+///     flips += rh.record_activation(100).len();
+/// }
+/// assert!(flips > 0, "hammering past HC_first must flip victim bits");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowHammerModel {
+    threshold: u64,
+    rows: u64,
+    /// Victim-row exposure since that victim was last refreshed.
+    exposure: HashMap<u64, u64>,
+    /// Total flips observed.
+    flips: u64,
+    /// Extra refreshes performed by mitigations.
+    mitigation_refreshes: u64,
+}
+
+impl RowHammerModel {
+    /// Creates a model for a device generation and bank size.
+    #[must_use]
+    pub fn new(generation: DeviceGeneration, rows: u64) -> Self {
+        Self::with_threshold(generation.hc_first(), rows)
+    }
+
+    /// Creates a model with an explicit `HC_first` threshold.
+    #[must_use]
+    pub fn with_threshold(threshold: u64, rows: u64) -> Self {
+        RowHammerModel {
+            threshold: threshold.max(1),
+            rows,
+            exposure: HashMap::new(),
+            flips: 0,
+            mitigation_refreshes: 0,
+        }
+    }
+
+    /// The flip threshold in activations.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Total victim flips recorded.
+    #[must_use]
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Refreshes spent by mitigations so far.
+    #[must_use]
+    pub fn mitigation_refreshes(&self) -> u64 {
+        self.mitigation_refreshes
+    }
+
+    /// Physical neighbours of a row (blast radius 1).
+    fn neighbors(&self, row: u64) -> impl Iterator<Item = u64> {
+        let rows = self.rows;
+        [row.checked_sub(1), if row + 1 < rows { Some(row + 1) } else { None }]
+            .into_iter()
+            .flatten()
+    }
+
+    /// Records an activation of `row`, returning any flips it caused.
+    ///
+    /// Each victim flips once per `threshold` activations of exposure
+    /// (first at `HC_first`, again at `2·HC_first`, …), matching the
+    /// monotone growth of flip counts with hammer count in the
+    /// characterization studies.
+    pub fn record_activation(&mut self, row: u64) -> Vec<Flip> {
+        let mut flips = Vec::new();
+        for victim in self.neighbors(row) {
+            let e = self.exposure.entry(victim).or_insert(0);
+            *e += 1;
+            if (*e).is_multiple_of(self.threshold) {
+                self.flips += 1;
+                flips.push(Flip { victim_row: victim, exposure: *e });
+            }
+        }
+        flips
+    }
+
+    /// Refreshes a single row, resetting its exposure (used by targeted
+    /// mitigations).
+    pub fn refresh_row(&mut self, row: u64) {
+        self.exposure.remove(&row);
+        self.mitigation_refreshes += 1;
+    }
+
+    /// Periodic refresh of the whole bank: all exposure resets.
+    pub fn refresh_all(&mut self) {
+        self.exposure.clear();
+    }
+
+    /// Current exposure of a row.
+    #[must_use]
+    pub fn exposure(&self, row: u64) -> u64 {
+        self.exposure.get(&row).copied().unwrap_or(0)
+    }
+}
+
+/// A RowHammer mitigation observing the activate stream.
+pub trait Mitigation: std::fmt::Debug {
+    /// Called on every activate; returns victim rows to refresh now.
+    fn on_activate(&mut self, row: u64, rows: u64, rng: &mut dyn rand::RngCore) -> Vec<u64>;
+
+    /// Called at each periodic refresh interval boundary.
+    fn on_refresh_interval(&mut self) {}
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// PARA (Kim+, ISCA 2014): on each activate, refresh each neighbour with
+/// a small probability `p`. Stateless, cheap, probabilistic guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct Para {
+    /// Per-neighbour refresh probability.
+    pub probability: f64,
+}
+
+impl Para {
+    /// Creates PARA with the canonical p = 0.001.
+    #[must_use]
+    pub fn new() -> Self {
+        Para { probability: 0.001 }
+    }
+
+    /// Creates PARA with an explicit probability.
+    #[must_use]
+    pub fn with_probability(probability: f64) -> Self {
+        Para { probability: probability.clamp(0.0, 1.0) }
+    }
+}
+
+impl Default for Para {
+    fn default() -> Self {
+        Para::new()
+    }
+}
+
+impl Mitigation for Para {
+    fn on_activate(&mut self, row: u64, rows: u64, rng: &mut dyn rand::RngCore) -> Vec<u64> {
+        let mut refreshed = Vec::new();
+        for victim in [row.checked_sub(1), if row + 1 < rows { Some(row + 1) } else { None }]
+            .into_iter()
+            .flatten()
+        {
+            if rng.gen_bool(self.probability) {
+                refreshed.push(victim);
+            }
+        }
+        refreshed
+    }
+
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+}
+
+/// Counter-based target-row refresh (the Graphene / production-TRR family):
+/// a Misra–Gries frequent-elements table tracks hot aggressors; when a
+/// tracked aggressor reaches the action threshold, its neighbours are
+/// refreshed and the counter resets.
+#[derive(Debug, Clone)]
+pub struct CounterTrr {
+    table: HashMap<u64, u64>,
+    capacity: usize,
+    action_threshold: u64,
+}
+
+impl CounterTrr {
+    /// Creates a tracker with `capacity` counters acting at
+    /// `action_threshold` activations (set below the device `HC_first`).
+    #[must_use]
+    pub fn new(capacity: usize, action_threshold: u64) -> Self {
+        CounterTrr {
+            table: HashMap::new(),
+            capacity: capacity.max(1),
+            action_threshold: action_threshold.max(1),
+        }
+    }
+}
+
+impl Mitigation for CounterTrr {
+    fn on_activate(&mut self, row: u64, rows: u64, _rng: &mut dyn rand::RngCore) -> Vec<u64> {
+        // Misra–Gries: increment if present or table has room; otherwise
+        // decrement everyone (evicting zeros).
+        if let Some(c) = self.table.get_mut(&row) {
+            *c += 1;
+        } else if self.table.len() < self.capacity {
+            self.table.insert(row, 1);
+        } else {
+            self.table.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+        if self.table.get(&row).copied().unwrap_or(0) >= self.action_threshold {
+            self.table.remove(&row);
+            return [row.checked_sub(1), if row + 1 < rows { Some(row + 1) } else { None }]
+                .into_iter()
+                .flatten()
+                .collect();
+        }
+        Vec::new()
+    }
+
+    fn on_refresh_interval(&mut self) {
+        self.table.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "Counter-TRR"
+    }
+}
+
+/// Runs an attack pattern against a model with an optional mitigation,
+/// returning `(flips, mitigation_refreshes)`.
+///
+/// `pattern` yields the aggressor row for each activate.
+pub fn run_attack<I, R>(
+    model: &mut RowHammerModel,
+    mitigation: Option<&mut dyn Mitigation>,
+    pattern: I,
+    rng: &mut R,
+) -> (u64, u64)
+where
+    I: IntoIterator<Item = u64>,
+    R: Rng,
+{
+    let rows = model.rows;
+    let mut mit = mitigation;
+    for row in pattern {
+        if let Some(m) = mit.as_deref_mut() {
+            for victim in m.on_activate(row, rows, rng) {
+                model.refresh_row(victim);
+            }
+        }
+        model.record_activation(row);
+    }
+    (model.flips(), model.mitigation_refreshes())
+}
+
+/// Classic double-sided hammer pattern: alternate the two aggressors
+/// sandwiching `victim`.
+#[must_use]
+pub fn double_sided_pattern(victim: u64, activations: u64) -> Vec<u64> {
+    (0..activations)
+        .map(|i| if i % 2 == 0 { victim - 1 } else { victim + 1 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thresholds_decline_across_generations() {
+        let all = DeviceGeneration::all();
+        assert!(all[0].hc_first() > all[1].hc_first());
+        assert!(all[1].hc_first() > all[2].hc_first());
+        assert!(!all[0].label().is_empty());
+    }
+
+    #[test]
+    fn no_flips_below_threshold() {
+        let mut rh = RowHammerModel::with_threshold(1000, 1 << 10);
+        for _ in 0..999 {
+            assert!(rh.record_activation(5).is_empty());
+        }
+        assert_eq!(rh.flips(), 0);
+    }
+
+    #[test]
+    fn single_sided_flips_both_neighbors_at_threshold() {
+        let mut rh = RowHammerModel::with_threshold(10, 1 << 10);
+        let mut flips = Vec::new();
+        for _ in 0..10 {
+            flips.extend(rh.record_activation(5));
+        }
+        let victims: Vec<u64> = flips.iter().map(|f| f.victim_row).collect();
+        assert!(victims.contains(&4) && victims.contains(&6));
+        assert_eq!(rh.flips(), 2);
+    }
+
+    #[test]
+    fn double_sided_reaches_threshold_twice_as_fast() {
+        let mut rh = RowHammerModel::with_threshold(100, 1 << 10);
+        let pattern = double_sided_pattern(50, 100);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let (flips, _) = run_attack(&mut rh, None, pattern, &mut rng);
+        // Victim 50 accumulates one exposure per activation (from either side).
+        assert!(flips >= 1);
+        assert_eq!(rh.exposure(50), 100);
+    }
+
+    #[test]
+    fn periodic_refresh_resets_exposure() {
+        let mut rh = RowHammerModel::with_threshold(1000, 1 << 10);
+        for _ in 0..500 {
+            rh.record_activation(5);
+        }
+        rh.refresh_all();
+        assert_eq!(rh.exposure(4), 0);
+        for _ in 0..999 {
+            rh.record_activation(5);
+        }
+        assert_eq!(rh.flips(), 0, "exposure must not survive refresh");
+    }
+
+    #[test]
+    fn flips_grow_monotonically_with_hammer_count() {
+        let mut rh = RowHammerModel::with_threshold(10, 1 << 10);
+        for _ in 0..35 {
+            rh.record_activation(5);
+        }
+        // 35 activations → each neighbour flips at 10, 20, 30 → 6 flips.
+        assert_eq!(rh.flips(), 6);
+    }
+
+    #[test]
+    fn edge_rows_have_one_neighbor() {
+        let mut rh = RowHammerModel::with_threshold(10, 16);
+        for _ in 0..10 {
+            rh.record_activation(0);
+        }
+        assert_eq!(rh.flips(), 1, "row 0 only has neighbour 1");
+        for _ in 0..10 {
+            rh.record_activation(15);
+        }
+        assert_eq!(rh.flips(), 2, "row 15 only has neighbour 14");
+    }
+
+    #[test]
+    fn para_suppresses_flips() {
+        let rows = 1 << 10;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pattern = double_sided_pattern(50, 200_000);
+
+        let mut unprotected = RowHammerModel::with_threshold(4800, rows);
+        let (base_flips, _) = run_attack(&mut unprotected, None, pattern.clone(), &mut rng);
+
+        let mut protected = RowHammerModel::with_threshold(4800, rows);
+        let mut para = Para::with_probability(0.01);
+        let (para_flips, refreshes) = run_attack(&mut protected, Some(&mut para), pattern, &mut rng);
+
+        assert!(base_flips > 0);
+        assert!(para_flips < base_flips / 10, "PARA should suppress flips: {para_flips} vs {base_flips}");
+        assert!(refreshes > 0);
+    }
+
+    #[test]
+    fn counter_trr_stops_a_focused_attack() {
+        let rows = 1 << 10;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pattern = double_sided_pattern(50, 100_000);
+        let mut model = RowHammerModel::with_threshold(4800, rows);
+        let mut trr = CounterTrr::new(16, 2000);
+        let (flips, _) = run_attack(&mut model, Some(&mut trr), pattern, &mut rng);
+        assert_eq!(flips, 0, "counter TRR acting below HC_first must prevent all flips");
+    }
+
+    #[test]
+    fn counter_trr_interval_clears_table() {
+        let mut trr = CounterTrr::new(4, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..9 {
+            assert!(trr.on_activate(5, 100, &mut rng).is_empty());
+        }
+        trr.on_refresh_interval();
+        // Counter reset: 9 more activations still under threshold.
+        for _ in 0..9 {
+            assert!(trr.on_activate(5, 100, &mut rng).is_empty());
+        }
+        assert_eq!(trr.name(), "Counter-TRR");
+    }
+
+    #[test]
+    fn misra_gries_evicts_under_pressure() {
+        let mut trr = CounterTrr::new(2, 1000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Fill table with rows 1, 2; row 3 triggers global decrement.
+        trr.on_activate(1, 100, &mut rng);
+        trr.on_activate(2, 100, &mut rng);
+        trr.on_activate(3, 100, &mut rng);
+        assert!(trr.table.is_empty(), "all counters decremented to zero");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the reliability models.
+
+use ia_reliability::{
+    decode, encode, inject_error, BloomFilter, DecodeOutcome, Raidr, RetentionProfile,
+    RowHammerModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// SECDED corrects any single-bit error on any data word.
+    #[test]
+    fn ecc_corrects_any_single_bit(data in any::<u64>(), bit in 0u32..72) {
+        let w = encode(data);
+        let corrupted = inject_error(w, bit).unwrap();
+        match decode(corrupted) {
+            DecodeOutcome::Corrected(d) => prop_assert_eq!(d, data),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// SECDED detects (never miscorrects) any double-bit error.
+    #[test]
+    fn ecc_detects_any_double_bit(data in any::<u64>(), a in 0u32..72, b in 0u32..72) {
+        prop_assume!(a != b);
+        let w = encode(data);
+        let corrupted = inject_error(inject_error(w, a).unwrap(), b).unwrap();
+        prop_assert_eq!(decode(corrupted), DecodeOutcome::DetectedUncorrectable);
+    }
+
+    /// Clean words always decode clean.
+    #[test]
+    fn ecc_clean_roundtrip(data in any::<u64>()) {
+        prop_assert_eq!(decode(encode(data)), DecodeOutcome::Clean(data));
+    }
+
+    /// Bloom filters have no false negatives under any insertion set.
+    #[test]
+    fn bloom_no_false_negatives(keys in prop::collection::hash_set(0u64..1_000_000, 0..200)) {
+        let mut bf = BloomFilter::new(16 * 1024, 4).unwrap();
+        for &k in &keys {
+            bf.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(bf.contains(k));
+        }
+    }
+
+    /// RAIDR never under-refreshes: a row's refresh interval (in windows)
+    /// never exceeds what its bin allows.
+    #[test]
+    fn raidr_never_underrefreshes(
+        weak64 in prop::collection::btree_set(0u64..256, 0..10),
+        weak128 in prop::collection::btree_set(0u64..256, 0..20),
+    ) {
+        let profile = RetentionProfile {
+            rows: 256,
+            weak64: weak64.iter().copied().collect(),
+            weak128: weak128.iter().copied().collect(),
+        };
+        let raidr = Raidr::from_profile(&profile).unwrap();
+        for row in 0..256u64 {
+            let max_gap = match profile.bin(row) {
+                ia_reliability::RetentionBin::Ms64 => 1,
+                ia_reliability::RetentionBin::Ms128 => 2,
+                ia_reliability::RetentionBin::Ms256 => 4,
+            };
+            let mut last = -1i64;
+            for w in 0..16i64 {
+                // Bloom false positives can only tighten the schedule,
+                // never loosen it.
+                if raidr.needs_refresh(row, w as u64) {
+                    if last >= 0 {
+                        prop_assert!(w - last <= max_gap, "row {row} gap {} > {max_gap}", w - last);
+                    }
+                    last = w;
+                }
+            }
+            prop_assert!(last >= 0, "every row refreshes at least once per period");
+        }
+    }
+
+    /// RowHammer flips never occur before the threshold and exposure
+    /// resets on refresh, for any interleaving of activates and refreshes.
+    #[test]
+    fn rowhammer_threshold_is_exact(
+        threshold in 2u64..50,
+        ops in prop::collection::vec((0u64..16, any::<bool>()), 1..200),
+    ) {
+        let mut m = RowHammerModel::with_threshold(threshold, 16);
+        let mut exposure = std::collections::HashMap::new();
+        for (row, refresh) in ops {
+            if refresh {
+                m.refresh_all();
+                exposure.clear();
+            } else {
+                let flips = m.record_activation(row);
+                for v in [row.checked_sub(1), (row + 1 < 16).then_some(row + 1)].into_iter().flatten() {
+                    let e = exposure.entry(v).or_insert(0u64);
+                    *e += 1;
+                    let should_flip = *e % threshold == 0;
+                    let did_flip = flips.iter().any(|f| f.victim_row == v);
+                    prop_assert_eq!(should_flip, did_flip, "victim {} exposure {}", v, e);
+                }
+            }
+        }
+    }
+}

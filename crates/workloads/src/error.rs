@@ -1,0 +1,36 @@
+//! Error type for workload generators.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid argument to a workload generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    msg: &'static str,
+}
+
+impl WorkloadError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        WorkloadError { msg }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_nonempty_and_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<WorkloadError>();
+        assert!(!WorkloadError::invalid("bad").to_string().is_empty());
+    }
+}

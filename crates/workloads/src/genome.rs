@@ -1,0 +1,452 @@
+//! Synthetic genomics workload: reference genomes, error-bearing reads,
+//! seed-location indexing, banded edit-distance verification, and the
+//! GRIM-Filter bin bitvectors (Kim+, BMC Genomics 2018) that `ia-pum`
+//! evaluates in DRAM.
+//!
+//! The paper's introduction uses genome analysis as the flagship
+//! data-overwhelmed workload; this module provides the controlled
+//! synthetic equivalent of sequencer output (substitution: real reads →
+//! random reference + reads with a configurable error rate, which
+//! preserves the k-mer statistics the filter depends on).
+
+use rand::Rng;
+
+use crate::WorkloadError;
+
+/// A nucleotide encoded as 0..=3 (A, C, G, T).
+pub type Base = u8;
+
+/// A sequencing read with its ground-truth origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// The (possibly error-bearing) base sequence.
+    pub seq: Vec<Base>,
+    /// The reference position the read was sampled from.
+    pub true_pos: usize,
+}
+
+/// Generates a uniform random genome of `len` bases.
+pub fn random_genome<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<Base> {
+    (0..len).map(|_| rng.gen_range(0..4u8)).collect()
+}
+
+/// Samples `count` reads of `read_len` bases with per-base substitution
+/// probability `error_rate`.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if the genome is shorter than `read_len`,
+/// `read_len == 0`, or `error_rate` is outside `[0, 1]`.
+pub fn sample_reads<R: Rng + ?Sized>(
+    genome: &[Base],
+    count: usize,
+    read_len: usize,
+    error_rate: f64,
+    rng: &mut R,
+) -> Result<Vec<Read>, WorkloadError> {
+    if read_len == 0 || genome.len() < read_len {
+        return Err(WorkloadError::invalid("genome shorter than read length"));
+    }
+    if !(0.0..=1.0).contains(&error_rate) {
+        return Err(WorkloadError::invalid("error_rate must be in [0, 1]"));
+    }
+    Ok((0..count)
+        .map(|_| {
+            let pos = rng.gen_range(0..=genome.len() - read_len);
+            let mut seq = genome[pos..pos + read_len].to_vec();
+            for b in &mut seq {
+                if rng.gen::<f64>() < error_rate {
+                    *b = (*b + rng.gen_range(1..4u8)) % 4;
+                }
+            }
+            Read { seq, true_pos: pos }
+        })
+        .collect())
+}
+
+/// Packs a k-mer (k ≤ 32) into a `u64`, two bits per base.
+///
+/// # Panics
+///
+/// Panics if `kmer.len() > 32`.
+#[must_use]
+pub fn pack_kmer(kmer: &[Base]) -> u64 {
+    assert!(kmer.len() <= 32, "k-mer too long to pack");
+    kmer.iter().fold(0u64, |acc, &b| (acc << 2) | u64::from(b & 3))
+}
+
+/// Banded edit distance (Ukkonen): returns `Some(d)` if the edit distance
+/// between `a` and `b` is at most `band`, otherwise `None`.
+///
+/// This is the expensive verification step that pre-alignment filters
+/// (Shouji, GateKeeper, GRIM-Filter) exist to avoid.
+#[must_use]
+pub fn edit_distance_banded(a: &[Base], b: &[Base], band: usize) -> Option<u32> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > band {
+        return None;
+    }
+    let inf = u32::MAX / 2;
+    // dp over a band of width 2*band+1 around the diagonal.
+    let width = 2 * band + 1;
+    let mut prev = vec![inf; width];
+    let mut curr = vec![inf; width];
+    // prev[j - i + band] = D(i, j)
+    for (d, p) in prev.iter_mut().enumerate().take(width) {
+        let j = d as isize - band as isize;
+        if (0..=m as isize).contains(&j) {
+            *p = j as u32;
+        }
+    }
+    for i in 1..=n {
+        for p in curr.iter_mut() {
+            *p = inf;
+        }
+        for d in 0..width {
+            let j = i as isize + d as isize - band as isize;
+            if j < 0 || j > m as isize {
+                continue;
+            }
+            let j = j as usize;
+            let mut best = inf;
+            if j > 0 {
+                // Same diagonal offset in the previous row covers (i-1, j-1).
+                let sub = prev[d].saturating_add(u32::from(a[i - 1] != b[j - 1]));
+                best = best.min(sub);
+                // Insertion: (i, j-1) is offset d-1 in the current row.
+                if d > 0 {
+                    best = best.min(curr[d - 1].saturating_add(1));
+                }
+            } else {
+                best = best.min(i as u32);
+            }
+            // Deletion: (i-1, j) is offset d+1 in the previous row.
+            if d + 1 < width {
+                best = best.min(prev[d + 1].saturating_add(1));
+            }
+            curr[d] = best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let d = m as isize - n as isize + band as isize;
+    if !(0..width as isize).contains(&d) {
+        return None;
+    }
+    let dist = prev[d as usize];
+    (dist as usize <= band).then_some(dist)
+}
+
+/// Exact-match seed index: k-mer → reference positions.
+#[derive(Debug, Clone)]
+pub struct SeedIndex {
+    k: usize,
+    map: std::collections::HashMap<u64, Vec<u32>>,
+}
+
+impl SeedIndex {
+    /// Builds the index over `genome` with seed length `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `k == 0`, `k > 32`, or the genome is
+    /// shorter than `k`.
+    pub fn build(genome: &[Base], k: usize) -> Result<Self, WorkloadError> {
+        if k == 0 || k > 32 || genome.len() < k {
+            return Err(WorkloadError::invalid("seed length must be in 1..=32 and fit the genome"));
+        }
+        let mut map: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for pos in 0..=genome.len() - k {
+            map.entry(pack_kmer(&genome[pos..pos + k])).or_default().push(pos as u32);
+        }
+        Ok(SeedIndex { k, map })
+    }
+
+    /// Seed length.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reference positions whose k-mer equals the seed at `read[offset..]`.
+    #[must_use]
+    pub fn lookup(&self, read: &[Base], offset: usize) -> &[u32] {
+        if offset + self.k > read.len() {
+            return &[];
+        }
+        self.map
+            .get(&pack_kmer(&read[offset..offset + self.k]))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidate alignment positions for a read, from seeds at regular
+    /// offsets (`seeds` of them), adjusted to read-start coordinates.
+    #[must_use]
+    pub fn candidates(&self, read: &[Base], seeds: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let step = (read.len().saturating_sub(self.k)).max(1) / seeds.max(1);
+        for s in 0..seeds {
+            let offset = (s * step.max(1)).min(read.len().saturating_sub(self.k));
+            for &p in self.lookup(read, offset) {
+                let start = p as i64 - offset as i64;
+                if start >= 0 {
+                    out.push(start as u32);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// GRIM-Filter bin index: the genome is split into bins; each bin stores a
+/// bitvector over the `4^t` token space recording which short tokens occur
+/// in it. A read is a candidate for a bin only if enough of its tokens are
+/// present — a test `ia-pum` evaluates with in-DRAM bulk bitwise AND.
+#[derive(Debug, Clone)]
+pub struct GrimIndex {
+    token_len: usize,
+    bin_size: usize,
+    /// One bitvector of `4^token_len` bits per bin.
+    bins: Vec<Vec<u64>>,
+}
+
+impl GrimIndex {
+    /// Builds the index with `token_len`-base tokens (≤ 12) and bins of
+    /// `bin_size` bases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] on a zero/oversized token length or zero
+    /// bin size.
+    pub fn build(genome: &[Base], token_len: usize, bin_size: usize) -> Result<Self, WorkloadError> {
+        if token_len == 0 || token_len > 12 {
+            return Err(WorkloadError::invalid("token length must be in 1..=12"));
+        }
+        if bin_size < token_len {
+            return Err(WorkloadError::invalid("bin size must be >= token length"));
+        }
+        let words = (1usize << (2 * token_len)).div_ceil(64);
+        let bin_count = genome.len().div_ceil(bin_size).max(1);
+        let mut bins = vec![vec![0u64; words]; bin_count];
+        // Tokens overlapping a bin boundary are credited to both bins so a
+        // read spanning the boundary is never falsely rejected.
+        #[allow(clippy::needless_range_loop)] // `pos` derives both the token and its bins
+        for pos in 0..genome.len().saturating_sub(token_len - 1) {
+            let token = pack_kmer(&genome[pos..pos + token_len]) as usize;
+            let first = pos / bin_size;
+            let last = (pos + token_len - 1) / bin_size;
+            for b in first..=last.min(bin_count - 1) {
+                bins[b][token / 64] |= 1 << (token % 64);
+            }
+        }
+        Ok(GrimIndex { token_len, bin_size, bins })
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Bin size in bases.
+    #[must_use]
+    pub fn bin_size(&self) -> usize {
+        self.bin_size
+    }
+
+    /// The raw bitvector of a bin (consumed by the PUM engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    #[must_use]
+    pub fn bin_bitvector(&self, bin: usize) -> &[u64] {
+        &self.bins[bin]
+    }
+
+    /// Builds the read's token bitvector (same layout as a bin).
+    #[must_use]
+    pub fn read_bitvector(&self, read: &[Base]) -> Vec<u64> {
+        let words = (1usize << (2 * self.token_len)).div_ceil(64);
+        let mut bv = vec![0u64; words];
+        if read.len() >= self.token_len {
+            for pos in 0..=read.len() - self.token_len {
+                let token = pack_kmer(&read[pos..pos + self.token_len]) as usize;
+                bv[token / 64] |= 1 << (token % 64);
+            }
+        }
+        bv
+    }
+
+    /// Number of read tokens present in a bin (computed with bitwise AND +
+    /// popcount — the operation the PUM engine performs in-DRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    #[must_use]
+    pub fn match_count(&self, read_bv: &[u64], bin: usize) -> u32 {
+        self.bins[bin]
+            .iter()
+            .zip(read_bv)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Whether `candidate_pos` survives the filter: the bin containing it
+    /// must share at least `threshold` tokens with the read.
+    #[must_use]
+    pub fn accepts(&self, read_bv: &[u64], candidate_pos: u32, threshold: u32) -> bool {
+        let bin = (candidate_pos as usize / self.bin_size).min(self.bins.len() - 1);
+        self.match_count(read_bv, bin) >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0x6E0)
+    }
+
+    #[test]
+    fn genome_and_reads_have_requested_shapes() {
+        let mut r = rng();
+        let g = random_genome(1000, &mut r);
+        assert_eq!(g.len(), 1000);
+        assert!(g.iter().all(|&b| b < 4));
+        let reads = sample_reads(&g, 10, 100, 0.02, &mut r).unwrap();
+        assert_eq!(reads.len(), 10);
+        for read in &reads {
+            assert_eq!(read.seq.len(), 100);
+            assert!(read.true_pos + 100 <= 1000);
+        }
+    }
+
+    #[test]
+    fn sample_reads_validates() {
+        let mut r = rng();
+        let g = random_genome(50, &mut r);
+        assert!(sample_reads(&g, 1, 100, 0.0, &mut r).is_err());
+        assert!(sample_reads(&g, 1, 0, 0.0, &mut r).is_err());
+        assert!(sample_reads(&g, 1, 10, 1.5, &mut r).is_err());
+    }
+
+    #[test]
+    fn zero_error_reads_match_reference_exactly() {
+        let mut r = rng();
+        let g = random_genome(500, &mut r);
+        for read in sample_reads(&g, 20, 50, 0.0, &mut r).unwrap() {
+            assert_eq!(&read.seq[..], &g[read.true_pos..read.true_pos + 50]);
+        }
+    }
+
+    #[test]
+    fn pack_kmer_is_injective_for_short_kmers() {
+        let a = pack_kmer(&[0, 1, 2, 3]);
+        let b = pack_kmer(&[0, 1, 3, 2]);
+        assert_ne!(a, b);
+        assert_eq!(pack_kmer(&[0, 0]), 0);
+        assert_eq!(pack_kmer(&[3, 3]), 0b1111);
+    }
+
+    #[test]
+    fn edit_distance_identity_and_substitutions() {
+        let a = vec![0, 1, 2, 3, 0, 1];
+        assert_eq!(edit_distance_banded(&a, &a, 3), Some(0));
+        let mut b = a.clone();
+        b[2] = 3;
+        assert_eq!(edit_distance_banded(&a, &b, 3), Some(1));
+    }
+
+    #[test]
+    fn edit_distance_indels() {
+        let a = vec![0, 1, 2, 3];
+        let b = vec![0, 1, 1, 2, 3];
+        assert_eq!(edit_distance_banded(&a, &b, 2), Some(1));
+        assert_eq!(edit_distance_banded(&b, &a, 2), Some(1));
+    }
+
+    #[test]
+    fn edit_distance_band_rejects_distant_pairs() {
+        let a = vec![0u8; 20];
+        let b = vec![3u8; 20];
+        assert_eq!(edit_distance_banded(&a, &b, 3), None);
+        // Length difference exceeding the band is an immediate reject.
+        assert_eq!(edit_distance_banded(&a[..5], &b, 3), None);
+    }
+
+    #[test]
+    fn seed_index_finds_true_position() {
+        let mut r = rng();
+        let g = random_genome(5000, &mut r);
+        let idx = SeedIndex::build(&g, 12).unwrap();
+        let reads = sample_reads(&g, 20, 80, 0.0, &mut r).unwrap();
+        for read in &reads {
+            let cands = idx.candidates(&read.seq, 4);
+            assert!(
+                cands.contains(&(read.true_pos as u32)),
+                "true position {} missing from candidates",
+                read.true_pos
+            );
+        }
+    }
+
+    #[test]
+    fn seed_index_validates() {
+        let g = vec![0u8; 10];
+        assert!(SeedIndex::build(&g, 0).is_err());
+        assert!(SeedIndex::build(&g, 33).is_err());
+        assert!(SeedIndex::build(&g, 11).is_err());
+    }
+
+    #[test]
+    fn grim_filter_accepts_true_bin_and_prunes_noise() {
+        let mut r = rng();
+        let g = random_genome(64 * 1024, &mut r);
+        let grim = GrimIndex::build(&g, 6, 1024).unwrap();
+        let reads = sample_reads(&g, 10, 100, 0.01, &mut r).unwrap();
+        let threshold = 60; // of 95 tokens in a 100bp read
+        let mut rejected_any = false;
+        for read in &reads {
+            let bv = grim.read_bitvector(&read.seq);
+            assert!(
+                grim.accepts(&bv, read.true_pos as u32, threshold),
+                "true bin must pass the filter"
+            );
+            // Most random other bins should fail at this threshold.
+            let rejects = (0..grim.bin_count())
+                .filter(|&b| grim.match_count(&bv, b) < threshold)
+                .count();
+            if rejects > grim.bin_count() / 2 {
+                rejected_any = true;
+            }
+        }
+        assert!(rejected_any, "the filter must prune a majority of bins");
+    }
+
+    #[test]
+    fn grim_index_validates() {
+        let g = vec![0u8; 100];
+        assert!(GrimIndex::build(&g, 0, 10).is_err());
+        assert!(GrimIndex::build(&g, 13, 100).is_err());
+        assert!(GrimIndex::build(&g, 6, 3).is_err());
+    }
+
+    #[test]
+    fn grim_match_count_equals_shared_tokens() {
+        // A genome of all-A has exactly one distinct token (AAAAAA).
+        let g = vec![0u8; 256];
+        let grim = GrimIndex::build(&g, 6, 256).unwrap();
+        let read = vec![0u8; 20];
+        let bv = grim.read_bitvector(&read);
+        assert_eq!(grim.match_count(&bv, 0), 1);
+        let other = vec![1u8; 20];
+        let bv2 = grim.read_bitvector(&other);
+        assert_eq!(grim.match_count(&bv2, 0), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Synthetic graph generation and a CSR graph container, the input for the
+//! Tesseract-style near-memory graph-processing experiments.
+
+use rand::Rng;
+
+use crate::WorkloadError;
+
+/// An unweighted directed graph in compressed-sparse-row form.
+///
+/// # Examples
+///
+/// ```
+/// use ia_workloads::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)])?;
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.neighbors(1), &[2]);
+/// # Ok::<(), ia_workloads::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    edges: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a CSR graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `vertices == 0` or any endpoint is out
+    /// of range.
+    pub fn from_edges(vertices: u32, edges: &[(u32, u32)]) -> Result<Self, WorkloadError> {
+        if vertices == 0 {
+            return Err(WorkloadError::invalid("graph needs at least one vertex"));
+        }
+        for &(u, v) in edges {
+            if u >= vertices || v >= vertices {
+                return Err(WorkloadError::invalid("edge endpoint out of range"));
+            }
+        }
+        let mut degree = vec![0usize; vertices as usize];
+        for &(u, _) in edges {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(vertices as usize + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0u32; edges.len()];
+        for &(u, v) in edges {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        Ok(Graph { offsets, edges: adj })
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.edges[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Generates a uniform random graph with `vertices` vertices and
+    /// `edges` edges (Erdős–Rényi G(n, m), self-loops allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `vertices == 0`.
+    pub fn uniform_random<R: Rng + ?Sized>(
+        vertices: u32,
+        edges: usize,
+        rng: &mut R,
+    ) -> Result<Self, WorkloadError> {
+        if vertices == 0 {
+            return Err(WorkloadError::invalid("graph needs at least one vertex"));
+        }
+        let list: Vec<(u32, u32)> = (0..edges)
+            .map(|_| (rng.gen_range(0..vertices), rng.gen_range(0..vertices)))
+            .collect();
+        Graph::from_edges(vertices, &list)
+    }
+
+    /// Generates an R-MAT power-law graph (a=0.57, b=c=0.19, d=0.05 — the
+    /// Graph500 parameters), the degree-skewed shape of real social/web
+    /// graphs that stresses near-memory graph engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `vertices` is zero or not a power of
+    /// two.
+    pub fn rmat<R: Rng + ?Sized>(
+        vertices: u32,
+        edges: usize,
+        rng: &mut R,
+    ) -> Result<Self, WorkloadError> {
+        if vertices == 0 || !vertices.is_power_of_two() {
+            return Err(WorkloadError::invalid("rmat needs a power-of-two vertex count"));
+        }
+        let levels = vertices.trailing_zeros();
+        let list: Vec<(u32, u32)> = (0..edges)
+            .map(|_| {
+                let (mut u, mut v) = (0u32, 0u32);
+                for _ in 0..levels {
+                    u <<= 1;
+                    v <<= 1;
+                    let p: f64 = rng.gen();
+                    // Quadrant probabilities (a, b, c, d).
+                    if p < 0.57 {
+                        // top-left: nothing set
+                    } else if p < 0.76 {
+                        v |= 1;
+                    } else if p < 0.95 {
+                        u |= 1;
+                    } else {
+                        u |= 1;
+                        v |= 1;
+                    }
+                }
+                (u, v)
+            })
+            .collect();
+        Graph::from_edges(vertices, &list)
+    }
+
+    /// Reference PageRank on the host (power iteration with uniform
+    /// teleport), used to validate the near-memory engine's results.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // `v` indexes rank, next, and the graph in lockstep
+    pub fn pagerank(&self, damping: f64, iterations: usize) -> Vec<f64> {
+        let n = self.vertex_count() as usize;
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
+        for _ in 0..iterations {
+            let base = (1.0 - damping) / n as f64;
+            next.iter_mut().for_each(|x| *x = base);
+            let mut dangling = 0.0;
+            for v in 0..n {
+                let d = self.out_degree(v as u32);
+                if d == 0 {
+                    dangling += rank[v];
+                    continue;
+                }
+                let share = damping * rank[v] / d as f64;
+                for &w in self.neighbors(v as u32) {
+                    next[w as usize] += share;
+                }
+            }
+            let dangling_share = damping * dangling / n as f64;
+            next.iter_mut().for_each(|x| *x += dangling_share);
+            std::mem::swap(&mut rank, &mut next);
+        }
+        rank
+    }
+
+    /// Reference BFS distances from `source` (`u32::MAX` = unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn bfs(&self, source: u32) -> Vec<u32> {
+        let n = self.vertex_count() as usize;
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        dist[source as usize] = 0;
+        frontier.push_back(source);
+        while let Some(v) = frontier.pop_front() {
+            let d = dist[v as usize];
+            for &w in self.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d + 1;
+                    frontier.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn csr_construction() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 0);
+        assert_eq!(g.neighbors(2), &[3]);
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        assert!(Graph::from_edges(0, &[]).is_err());
+        assert!(Graph::from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn uniform_random_has_requested_size() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Graph::uniform_random(100, 500, &mut rng).unwrap();
+        assert_eq!(g.vertex_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+    }
+
+    #[test]
+    fn rmat_is_degree_skewed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Graph::rmat(1024, 16 * 1024, &mut rng).unwrap();
+        let mut degrees: Vec<usize> = (0..1024).map(|v| g.out_degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = degrees[..10].iter().sum::<usize>();
+        let avg10 = 10 * g.edge_count() / 1024;
+        assert!(top > 4 * avg10, "top-10 vertices should be far above average: {top} vs {avg10}");
+    }
+
+    #[test]
+    fn rmat_validates_power_of_two() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(Graph::rmat(1000, 100, &mut rng).is_err());
+        assert!(Graph::rmat(0, 100, &mut rng).is_err());
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_sinks() {
+        // 0 -> 2, 1 -> 2: vertex 2 must outrank the others.
+        let g = Graph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let pr = g.pagerank(0.85, 50);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "ranks must be a distribution, sum={sum}");
+        assert!(pr[2] > pr[0] && pr[2] > pr[1]);
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = g.bfs(0);
+        assert_eq!(d, vec![0, 1, 2, 3, u32::MAX]);
+    }
+}

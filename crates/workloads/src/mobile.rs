@@ -1,0 +1,261 @@
+//! Consumer-device workload models for the data-movement energy
+//! experiment (E1), after Boroumand+ (ASPLOS 2018): four Google consumer
+//! workloads in which 62.7% of total system energy is spent moving data
+//! through the memory hierarchy.
+//!
+//! Substitution note: the original study instruments real workloads on a
+//! Chromebook; here each workload is a phase model — event counts per
+//! hierarchy level — with per-event energies taken from the standard
+//! technology ballpark (compute op ≪ L1 ≪ LLC ≪ off-chip DRAM). The 60%+
+//! movement share is then an accounting consequence of realistic event
+//! mixes, which is precisely the paper's point.
+
+use crate::WorkloadError;
+
+/// Per-event energy costs in picojoules for a mobile SoC-class system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEnergyModel {
+    /// One ALU/FPU operation.
+    pub op_pj: f64,
+    /// One L1 access.
+    pub l1_pj: f64,
+    /// One L2/LLC access.
+    pub llc_pj: f64,
+    /// One off-chip DRAM access (cache-line, including I/O and DRAM core).
+    pub dram_pj: f64,
+    /// Interconnect energy per byte moved between units.
+    pub interconnect_pj_per_byte: f64,
+}
+
+impl Default for SystemEnergyModel {
+    /// Ballpark 28 nm mobile values: 70 pJ per instruction of core
+    /// pipeline energy, 50 pJ L1, 500 pJ LLC, 10 nJ per off-chip DRAM
+    /// line, 1 pJ/B interconnect.
+    fn default() -> Self {
+        SystemEnergyModel {
+            op_pj: 70.0,
+            l1_pj: 50.0,
+            llc_pj: 500.0,
+            dram_pj: 10_000.0,
+            interconnect_pj_per_byte: 1.0,
+        }
+    }
+}
+
+/// Event counts characterizing one consumer workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileWorkload {
+    /// Workload name.
+    pub name: String,
+    /// Compute operations executed.
+    pub ops: u64,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// LLC accesses.
+    pub llc_accesses: u64,
+    /// Off-chip DRAM accesses.
+    pub dram_accesses: u64,
+    /// Bytes per DRAM access (line size).
+    pub line_bytes: u64,
+}
+
+impl MobileWorkload {
+    /// Creates a workload model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `ops == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        ops: u64,
+        l1_accesses: u64,
+        llc_accesses: u64,
+        dram_accesses: u64,
+        line_bytes: u64,
+    ) -> Result<Self, WorkloadError> {
+        if ops == 0 {
+            return Err(WorkloadError::invalid("workload must execute at least one op"));
+        }
+        Ok(MobileWorkload { name: name.into(), ops, l1_accesses, llc_accesses, dram_accesses, line_bytes })
+    }
+
+    /// The four consumer workload classes of the ASPLOS'18 study, with
+    /// event mixes shaped like the published characterization (memory
+    /// intensities: ML inference and video are DRAM-heavy; browsing is
+    /// moderately so).
+    #[must_use]
+    pub fn consumer_suite(scale: u64) -> Vec<MobileWorkload> {
+        let m = scale.max(1);
+        vec![
+            // ML inference: streams weights, little reuse (≈5.5 DRAM MPKI).
+            MobileWorkload {
+                name: "tensorflow-inference".into(),
+                ops: 10_000_000 * m,
+                l1_accesses: 7_000_000 * m,
+                llc_accesses: 600_000 * m,
+                dram_accesses: 55_000 * m,
+                line_bytes: 64,
+            },
+            // Video playback: decode + frame buffers.
+            MobileWorkload {
+                name: "video-playback".into(),
+                ops: 8_000_000 * m,
+                l1_accesses: 6_000_000 * m,
+                llc_accesses: 500_000 * m,
+                dram_accesses: 48_000 * m,
+                line_bytes: 64,
+            },
+            // Video capture: encode pipeline, heavy frame movement.
+            MobileWorkload {
+                name: "video-capture".into(),
+                ops: 9_000_000 * m,
+                l1_accesses: 6_500_000 * m,
+                llc_accesses: 550_000 * m,
+                dram_accesses: 52_000 * m,
+                line_bytes: 64,
+            },
+            // Web browsing: pointer-heavy, moderate DRAM traffic.
+            MobileWorkload {
+                name: "chrome-browsing".into(),
+                ops: 12_000_000 * m,
+                l1_accesses: 9_000_000 * m,
+                llc_accesses: 650_000 * m,
+                dram_accesses: 40_000 * m,
+                line_bytes: 64,
+            },
+        ]
+    }
+}
+
+/// Energy breakdown of a workload under a system model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Compute energy (pJ).
+    pub compute_pj: f64,
+    /// Data-movement energy: caches + interconnect + DRAM (pJ).
+    pub movement_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.movement_pj
+    }
+
+    /// Fraction of total energy spent on data movement.
+    #[must_use]
+    pub fn movement_fraction(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.movement_pj / t
+        }
+    }
+}
+
+/// Computes the compute-vs-movement energy split for a workload.
+#[must_use]
+pub fn energy_breakdown(w: &MobileWorkload, model: &SystemEnergyModel) -> EnergyBreakdown {
+    let compute_pj = w.ops as f64 * model.op_pj;
+    let cache_pj = w.l1_accesses as f64 * model.l1_pj + w.llc_accesses as f64 * model.llc_pj;
+    let dram_pj = w.dram_accesses as f64 * model.dram_pj;
+    let interconnect_pj = (w.llc_accesses + w.dram_accesses) as f64
+        * w.line_bytes as f64
+        * model.interconnect_pj_per_byte;
+    EnergyBreakdown { compute_pj, movement_pj: cache_pj + dram_pj + interconnect_pj }
+}
+
+/// Recomputes the breakdown assuming a fraction of DRAM traffic is served
+/// by processing-in-memory (no off-chip crossing): the mitigation the
+/// ASPLOS'18 study evaluates.
+#[must_use]
+pub fn energy_with_pim(
+    w: &MobileWorkload,
+    model: &SystemEnergyModel,
+    offloaded_fraction: f64,
+) -> EnergyBreakdown {
+    let f = offloaded_fraction.clamp(0.0, 1.0);
+    let offloaded = (w.dram_accesses as f64 * f) as u64;
+    let remaining = MobileWorkload {
+        dram_accesses: w.dram_accesses - offloaded,
+        ..w.clone()
+    };
+    let mut b = energy_breakdown(&remaining, model);
+    // Offloaded accesses still pay the DRAM array cost (~20% of the line
+    // energy) but no off-chip I/O or interconnect.
+    b.movement_pj += offloaded as f64 * model.dram_pj * 0.2;
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_validates() {
+        assert!(MobileWorkload::new("x", 0, 0, 0, 0, 64).is_err());
+        assert!(MobileWorkload::new("x", 10, 5, 1, 1, 64).is_ok());
+    }
+
+    #[test]
+    fn consumer_suite_movement_exceeds_sixty_percent() {
+        let model = SystemEnergyModel::default();
+        let suite = MobileWorkload::consumer_suite(1);
+        assert_eq!(suite.len(), 4);
+        let mut total = 0.0;
+        let mut movement = 0.0;
+        for w in &suite {
+            let b = energy_breakdown(w, &model);
+            assert!(
+                b.movement_fraction() > 0.5,
+                "{} movement fraction {:.2}",
+                w.name,
+                b.movement_fraction()
+            );
+            total += b.total_pj();
+            movement += b.movement_pj;
+        }
+        let overall = movement / total;
+        assert!(
+            (0.55..0.80).contains(&overall),
+            "suite-wide movement share should be ≈62.7%, got {:.1}%",
+            overall * 100.0
+        );
+    }
+
+    #[test]
+    fn pim_offload_reduces_movement_energy() {
+        let model = SystemEnergyModel::default();
+        let w = &MobileWorkload::consumer_suite(1)[0];
+        let base = energy_breakdown(w, &model);
+        let pim = energy_with_pim(w, &model, 0.8);
+        assert!(pim.movement_pj < base.movement_pj);
+        assert!(pim.total_pj() < base.total_pj());
+        assert_eq!(pim.compute_pj, base.compute_pj);
+    }
+
+    #[test]
+    fn full_offload_beats_partial() {
+        let model = SystemEnergyModel::default();
+        let w = &MobileWorkload::consumer_suite(1)[1];
+        let half = energy_with_pim(w, &model, 0.5);
+        let full = energy_with_pim(w, &model, 1.0);
+        assert!(full.total_pj() < half.total_pj());
+    }
+
+    #[test]
+    fn breakdown_handles_zero_division() {
+        let b = EnergyBreakdown { compute_pj: 0.0, movement_pj: 0.0 };
+        assert_eq!(b.movement_fraction(), 0.0);
+    }
+
+    #[test]
+    fn scale_multiplies_counts() {
+        let one = MobileWorkload::consumer_suite(1);
+        let ten = MobileWorkload::consumer_suite(10);
+        assert_eq!(ten[0].ops, 10 * one[0].ops);
+        assert_eq!(ten[3].dram_accesses, 10 * one[3].dram_accesses);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the workload substrate.
+
+use ia_workloads::{
+    edit_distance_banded, pack_kmer, random_genome, sample_reads, Graph, GrimIndex,
+    PointerChaseGen, RandomGen, SeedIndex, StreamGen, TraceGenerator, ZipfGen,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every generator stays inside its configured address region.
+    #[test]
+    fn generators_respect_regions(seed in any::<u64>(), n in 1usize..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut stream = StreamGen::new(0x1000, 64, 4096, 0.5).unwrap();
+        for r in stream.generate(n, &mut rng) {
+            prop_assert!((0x1000..0x1000 + 4096).contains(&r.addr));
+        }
+        let mut random = RandomGen::new(1 << 20, 1 << 16, 64, 0.5).unwrap();
+        for r in random.generate(n, &mut rng) {
+            prop_assert!(((1 << 20)..(1 << 20) + (1 << 16)).contains(&r.addr));
+            prop_assert_eq!(r.addr % 64, 0);
+        }
+        let mut zipf = ZipfGen::new(0, 64, 4096, 1.0, 0.5).unwrap();
+        for r in zipf.generate(n, &mut rng) {
+            prop_assert!(r.addr < 64 * 4096);
+        }
+    }
+
+    /// A pointer chase over N nodes visits all N exactly once per lap,
+    /// for any seed and size.
+    #[test]
+    fn pointer_chase_is_a_single_cycle(seed in any::<u64>(), nodes in 2u64..128) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = PointerChaseGen::new(0, nodes, 64, &mut rng).unwrap();
+        let trace = gen.generate(nodes as usize, &mut rng);
+        let mut seen: Vec<u64> = trace.iter().map(|r| r.addr / 64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len() as u64, nodes);
+    }
+
+    /// pack_kmer is injective for fixed k ≤ 8.
+    #[test]
+    fn pack_kmer_injective(a in prop::collection::vec(0u8..4, 8), b in prop::collection::vec(0u8..4, 8)) {
+        if a != b {
+            prop_assert_ne!(pack_kmer(&a), pack_kmer(&b));
+        } else {
+            prop_assert_eq!(pack_kmer(&a), pack_kmer(&b));
+        }
+    }
+
+    /// Edit distance is symmetric and zero iff equal (within the band).
+    #[test]
+    fn edit_distance_symmetry(
+        a in prop::collection::vec(0u8..4, 1..40),
+        b in prop::collection::vec(0u8..4, 1..40),
+    ) {
+        let d_ab = edit_distance_banded(&a, &b, 10);
+        let d_ba = edit_distance_banded(&b, &a, 10);
+        prop_assert_eq!(d_ab, d_ba);
+        prop_assert_eq!(edit_distance_banded(&a, &a, 10), Some(0));
+        if let Some(d) = d_ab {
+            prop_assert!((d as usize) <= 10);
+            if d == 0 {
+                prop_assert_eq!(&a, &b);
+            }
+        }
+    }
+
+    /// A single substitution always yields distance exactly 1.
+    #[test]
+    fn single_substitution_is_distance_one(
+        mut a in prop::collection::vec(0u8..4, 2..50),
+        idx in any::<prop::sample::Index>(),
+    ) {
+        let b = a.clone();
+        let i = idx.index(a.len());
+        a[i] = (a[i] + 1) % 4;
+        prop_assert_eq!(edit_distance_banded(&a, &b, 5), Some(1));
+    }
+
+    /// Error-free reads always locate their true position via the index,
+    /// and the GRIM bin at the true position always passes a reasonable
+    /// threshold.
+    #[test]
+    fn mapping_pipeline_finds_truth(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let genome = random_genome(16 * 1024, &mut rng);
+        let reads = sample_reads(&genome, 5, 64, 0.0, &mut rng).unwrap();
+        let idx = SeedIndex::build(&genome, 10).unwrap();
+        let grim = GrimIndex::build(&genome, 8, 2048).unwrap();
+        for read in &reads {
+            let cands = idx.candidates(&read.seq, 4);
+            prop_assert!(cands.contains(&(read.true_pos as u32)));
+            let bv = grim.read_bitvector(&read.seq);
+            // An error-free read's span-bins jointly contain every one of
+            // its distinct tokens (duplicates collapse in the bitvector).
+            let distinct: u32 = bv.iter().map(|w| w.count_ones()).sum();
+            let first = read.true_pos / grim.bin_size();
+            let last = (read.true_pos + read.seq.len() - 1) / grim.bin_size();
+            let total: u32 = (first..=last.min(grim.bin_count() - 1))
+                .map(|b| grim.match_count(&bv, b))
+                .sum();
+            prop_assert!(total >= distinct, "tokens {total} < distinct {distinct}");
+        }
+    }
+
+    /// Graph CSR construction preserves the edge multiset.
+    #[test]
+    fn graph_preserves_edges(edges in prop::collection::vec((0u32..32, 0u32..32), 0..100)) {
+        let g = Graph::from_edges(32, &edges).unwrap();
+        prop_assert_eq!(g.edge_count(), edges.len());
+        let mut rebuilt: Vec<(u32, u32)> = (0..32u32)
+            .flat_map(|v| g.neighbors(v).iter().map(move |&w| (v, w)))
+            .collect();
+        let mut original = edges.clone();
+        rebuilt.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(rebuilt, original);
+    }
+
+    /// PageRank is always a probability distribution.
+    #[test]
+    fn pagerank_is_a_distribution(seed in any::<u64>(), iters in 1usize..30) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Graph::uniform_random(64, 256, &mut rng).unwrap();
+        let pr = g.pagerank(0.85, iters);
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// d(w) ≤ d(v) + 1 for every edge (v, w).
+    #[test]
+    fn bfs_distances_are_consistent(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Graph::uniform_random(48, 128, &mut rng).unwrap();
+        let d = g.bfs(0);
+        for v in 0..48u32 {
+            if d[v as usize] == u32::MAX {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                prop_assert!(d[w as usize] <= d[v as usize] + 1);
+            }
+        }
+    }
+}

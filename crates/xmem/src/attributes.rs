@@ -1,0 +1,175 @@
+//! The attribute vocabulary of Expressive Memory (Vijaykumar+, ISCA 2018):
+//! the semantic properties of data that are "invisible or unknown to
+//! modern hardware and thus need to be communicated or discovered".
+
+/// Expected compressibility of a data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compressibility {
+    /// Mostly zeros / repeated values (e.g., freshly allocated buffers).
+    High,
+    /// Narrow values or clustered pointers.
+    Medium,
+    /// High-entropy data (encrypted, compressed media).
+    Incompressible,
+    /// Not communicated; hardware must discover it.
+    #[default]
+    Unknown,
+}
+
+/// Performance/correctness criticality of a data region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Criticality {
+    /// Loss or delay is tolerable (prefetch buffers, decoded frames).
+    Tolerant,
+    /// Ordinary data.
+    #[default]
+    Normal,
+    /// On the critical path; latency and integrity matter most.
+    Critical,
+}
+
+/// Dominant access pattern of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessPattern {
+    /// Sequential streaming.
+    Sequential,
+    /// Fixed stride in bytes.
+    Strided(u32),
+    /// Irregular/random.
+    Random,
+    /// Dependent pointer chasing.
+    PointerChase,
+    /// Not communicated.
+    #[default]
+    Unknown,
+}
+
+/// Temporal reuse behaviour of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Locality {
+    /// Touched once (scans): caching it pollutes.
+    Streaming,
+    /// Re-referenced working set: caching pays.
+    Reuse,
+    /// Not communicated.
+    #[default]
+    Unknown,
+}
+
+/// The attribute bundle attached to an atom.
+///
+/// # Examples
+///
+/// ```
+/// use ia_xmem::{AccessPattern, Criticality, DataAttributes, Locality};
+/// let attrs = DataAttributes::new()
+///     .criticality(Criticality::Critical)
+///     .locality(Locality::Reuse)
+///     .pattern(AccessPattern::PointerChase);
+/// assert_eq!(attrs.criticality, Criticality::Critical);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DataAttributes {
+    /// Compressibility hint.
+    pub compressibility: Compressibility,
+    /// Criticality hint.
+    pub criticality: Criticality,
+    /// Access-pattern hint.
+    pub pattern: AccessPattern,
+    /// Locality hint.
+    pub locality: Locality,
+    /// Whether approximate storage/computation is acceptable (EDEN-style).
+    pub approximable: bool,
+    /// Error vulnerability in [0, 100]: 0 = fully masked, 100 = any bit
+    /// error is fatal (drives heterogeneous-reliability placement).
+    pub error_vulnerability: u8,
+}
+
+impl DataAttributes {
+    /// All-unknown attributes (what legacy software communicates: nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        DataAttributes::default()
+    }
+
+    /// Sets the compressibility hint.
+    #[must_use]
+    pub fn compressibility(mut self, c: Compressibility) -> Self {
+        self.compressibility = c;
+        self
+    }
+
+    /// Sets the criticality hint.
+    #[must_use]
+    pub fn criticality(mut self, c: Criticality) -> Self {
+        self.criticality = c;
+        self
+    }
+
+    /// Sets the access-pattern hint.
+    #[must_use]
+    pub fn pattern(mut self, p: AccessPattern) -> Self {
+        self.pattern = p;
+        self
+    }
+
+    /// Sets the locality hint.
+    #[must_use]
+    pub fn locality(mut self, l: Locality) -> Self {
+        self.locality = l;
+        self
+    }
+
+    /// Marks the data approximable.
+    #[must_use]
+    pub fn approximable(mut self, yes: bool) -> Self {
+        self.approximable = yes;
+        self
+    }
+
+    /// Sets the error vulnerability (clamped to 100).
+    #[must_use]
+    pub fn error_vulnerability(mut self, v: u8) -> Self {
+        self.error_vulnerability = v.min(100);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_unknown() {
+        let a = DataAttributes::new();
+        assert_eq!(a.compressibility, Compressibility::Unknown);
+        assert_eq!(a.criticality, Criticality::Normal);
+        assert_eq!(a.pattern, AccessPattern::Unknown);
+        assert_eq!(a.locality, Locality::Unknown);
+        assert!(!a.approximable);
+        assert_eq!(a.error_vulnerability, 0);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let a = DataAttributes::new()
+            .compressibility(Compressibility::High)
+            .criticality(Criticality::Tolerant)
+            .pattern(AccessPattern::Strided(128))
+            .locality(Locality::Streaming)
+            .approximable(true)
+            .error_vulnerability(250);
+        assert_eq!(a.compressibility, Compressibility::High);
+        assert_eq!(a.criticality, Criticality::Tolerant);
+        assert_eq!(a.pattern, AccessPattern::Strided(128));
+        assert_eq!(a.locality, Locality::Streaming);
+        assert!(a.approximable);
+        assert_eq!(a.error_vulnerability, 100, "vulnerability clamps at 100");
+    }
+
+    #[test]
+    fn criticality_is_ordered() {
+        assert!(Criticality::Tolerant < Criticality::Normal);
+        assert!(Criticality::Normal < Criticality::Critical);
+    }
+}

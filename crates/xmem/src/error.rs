@@ -1,0 +1,50 @@
+//! Error type for the Expressive Memory interface.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid atom registration or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmemError {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    Invalid(&'static str),
+    Overlap(u64),
+}
+
+impl XmemError {
+    pub(crate) fn invalid(msg: &'static str) -> Self {
+        XmemError { kind: Kind::Invalid(msg) }
+    }
+
+    pub(crate) fn overlap(at: u64) -> Self {
+        XmemError { kind: Kind::Overlap(at) }
+    }
+}
+
+impl fmt::Display for XmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Kind::Invalid(msg) => f.write_str(msg),
+            Kind::Overlap(at) => write!(f, "atom range overlaps an existing atom near {at:#x}"),
+        }
+    }
+}
+
+impl Error for XmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<XmemError>();
+        assert!(!XmemError::invalid("x").to_string().is_empty());
+        assert!(XmemError::overlap(0x40).to_string().contains("0x40"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The classic latency-vs-load curve: buffered XY mesh vs bufferless
+//! deflection routing, under uniform and hotspot traffic.
+//!
+//! Run with: `cargo run --release --example noc_latency_curve`
+
+use intelligent_arch::core::Table;
+use intelligent_arch::noc::{simulate, MeshConfig, RouterKind, Traffic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mesh = MeshConfig::new(8, 8)?;
+    let cycles = 20_000;
+
+    for (label, traffic) in [
+        ("uniform random", Traffic::UniformRandom),
+        ("hotspot (30% to node 27)", Traffic::Hotspot { node: 27, fraction: 0.3 }),
+    ] {
+        let mut table = Table::new(&[
+            "inj. rate",
+            "buffered lat",
+            "bufferless lat",
+            "deflections/pkt",
+            "bufferless delivered",
+        ]);
+        for rate in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
+            let b = simulate(RouterKind::Buffered, mesh, traffic, rate, cycles, 3)?;
+            let d = simulate(RouterKind::BufferlessDeflection, mesh, traffic, rate, cycles, 3)?;
+            table.row(&[
+                format!("{rate:.2}"),
+                format!("{:.1}", b.avg_latency),
+                format!("{:.1}", d.avg_latency),
+                format!("{:.2}", d.deflections as f64 / d.delivered.max(1) as f64),
+                format!("{:.0}%", 100.0 * d.delivered as f64 / d.injected.max(1) as f64),
+            ]);
+        }
+        println!("8x8 mesh, {label}, {cycles} cycles:\n{table}\n");
+    }
+    println!(
+        "the bufferless router needs no buffers at all (the dominant router cost),\n\
+         and matches the buffered design until the network approaches saturation."
+    );
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Drive the whole prefetcher lineage against four workload classes and
+//! print the coverage/accuracy matrix, plus a runahead-execution
+//! comparison on the same dependence spectrum.
+//!
+//! Run with: `cargo run --release --example prefetcher_shootout`
+
+use intelligent_arch::core::Table;
+use intelligent_arch::prefetch::runahead::{build_trace, execute, CoreModel};
+use intelligent_arch::prefetch::{
+    FeedbackDirected, GhbPrefetcher, NextLinePrefetcher, PerceptronFilter, PrefetchHarness,
+    Prefetcher, StridePrefetcher,
+};
+use intelligent_arch::workloads::{PointerChaseGen, StreamGen, TraceGenerator, ZipfGen};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    let n = 20_000;
+
+    let workloads: Vec<(&str, Vec<u64>)> = vec![
+        (
+            "stream",
+            StreamGen::new(0, 64, 4 << 20, 0.0)?.generate(n, &mut rng).iter().map(|r| r.addr).collect(),
+        ),
+        (
+            "strided(320B)",
+            StreamGen::new(1 << 26, 320, 4 << 20, 0.0)?
+                .generate(n, &mut rng)
+                .iter()
+                .map(|r| r.addr)
+                .collect(),
+        ),
+        (
+            "zipf",
+            ZipfGen::new(2 << 26, 8192, 4096, 1.0, 0.0)?
+                .generate(n, &mut rng)
+                .iter()
+                .map(|r| r.addr)
+                .collect(),
+        ),
+        (
+            "pointer-chase",
+            PointerChaseGen::new(3 << 26, 128 * 1024, 64, &mut rng)?
+                .generate(n, &mut rng)
+                .iter()
+                .map(|r| r.addr)
+                .collect(),
+        ),
+    ];
+
+    let mut table = Table::new(&["workload", "prefetcher", "coverage", "accuracy"]);
+    for (wname, addrs) in &workloads {
+        let prefetchers: Vec<Box<dyn Prefetcher>> = vec![
+            Box::new(NextLinePrefetcher::new(2)),
+            Box::new(StridePrefetcher::new(4)),
+            Box::new(GhbPrefetcher::new(256, 4)),
+            Box::new(FeedbackDirected::new(4)),
+            Box::new(PerceptronFilter::new(StridePrefetcher::new(4))),
+        ];
+        for p in prefetchers {
+            let name = p.name();
+            let mut h = PrefetchHarness::new(64 * 1024, 64, 8, p)?;
+            for &a in addrs {
+                h.demand(a);
+            }
+            table.row(&[
+                (*wname).to_owned(),
+                name.to_owned(),
+                format!("{:.1}%", h.metrics().coverage() * 100.0),
+                format!("{:.1}%", h.metrics().accuracy() * 100.0),
+            ]);
+        }
+    }
+    println!("{table}\n");
+
+    // Where prefetching ends, runahead begins — and where runahead ends,
+    // PIM begins.
+    let mut ra = Table::new(&["dependent loads", "stall core (kcy)", "runahead-64 (kcy)", "speedup"]);
+    for dep in [0u32, 250, 500, 750, 1000] {
+        let trace = build_trace(2000, 5, dep);
+        let stall = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 0 });
+        let run = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 64 });
+        ra.row(&[
+            format!("{:.0}%", f64::from(dep) / 10.0),
+            format!("{:.0}", stall as f64 / 1000.0),
+            format!("{:.0}", run as f64 / 1000.0),
+            format!("{:.2}x", stall as f64 / run as f64),
+        ]);
+    }
+    println!("runahead execution across the dependence spectrum:\n{ra}");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Mount double-sided RowHammer attacks against three device generations
+//! and evaluate the PARA and counter-TRR defenses — the "bottom-up push"
+//! for intelligent memory controllers.
+//!
+//! Run with: `cargo run --release --example rowhammer_defense`
+
+use intelligent_arch::core::Table;
+use intelligent_arch::reliability::{
+    double_sided_pattern, run_attack, CounterTrr, DeviceGeneration, Para, RowHammerModel,
+};
+use rand::SeedableRng;
+
+fn main() {
+    let rows = 1u64 << 14;
+    let hammers = 1_000_000;
+    let victim = 8000;
+    let pattern = double_sided_pattern(victim, hammers);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+
+    let mut table = Table::new(&[
+        "device",
+        "HC_first",
+        "no defense",
+        "PARA p=0.001",
+        "PARA p=0.01",
+        "counter-TRR",
+    ]);
+    for gen in DeviceGeneration::all() {
+        let unprotected = {
+            let mut m = RowHammerModel::new(gen, rows);
+            run_attack(&mut m, None, pattern.clone(), &mut rng).0
+        };
+        let para_weak = {
+            let mut m = RowHammerModel::new(gen, rows);
+            let mut d = Para::with_probability(0.001);
+            run_attack(&mut m, Some(&mut d), pattern.clone(), &mut rng).0
+        };
+        let para_strong = {
+            let mut m = RowHammerModel::new(gen, rows);
+            let mut d = Para::with_probability(0.01);
+            run_attack(&mut m, Some(&mut d), pattern.clone(), &mut rng).0
+        };
+        let trr = {
+            let mut m = RowHammerModel::new(gen, rows);
+            let mut d = CounterTrr::new(32, gen.hc_first() / 2);
+            run_attack(&mut m, Some(&mut d), pattern.clone(), &mut rng).0
+        };
+        table.row(&[
+            gen.label().to_owned(),
+            gen.hc_first().to_string(),
+            format!("{unprotected} flips"),
+            format!("{para_weak} flips"),
+            format!("{para_strong} flips"),
+            format!("{trr} flips"),
+        ]);
+    }
+    println!("double-sided RowHammer, {hammers} activations in one refresh window:\n{table}");
+    println!(
+        "\nnote the generational collapse of HC_first (139k -> 4.8k): the same access\n\
+         pattern that was harmless on 2013 devices is catastrophic on 2020 devices\n\
+         without an intelligent controller-level defense."
+    );
+}

@@ -1,0 +1,99 @@
+//! Watch the self-optimizing (Q-learning) memory controller learn: the
+//! same agent schedules consecutive workload segments, and its throughput
+//! is compared against the fixed FCFS and FR-FCFS policies.
+//!
+//! Run with: `cargo run --release --example self_optimizing_memctrl`
+
+use intelligent_arch::core::Table;
+use intelligent_arch::dram::DramConfig;
+use intelligent_arch::memctrl::{
+    run_closed_loop, Fcfs, FrFcfs, MemRequest, RlScheduler, RlSchedulerConfig, Scheduler,
+};
+use intelligent_arch::workloads::{
+    PointerChaseGen, RandomGen, StreamGen, TraceGenerator, ZipfGen,
+};
+use rand::SeedableRng;
+
+fn mix(per_thread: usize, seed: u64) -> Vec<Vec<MemRequest>> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let region: u64 = 64 << 20;
+    let to_reqs = |trace: Vec<intelligent_arch::workloads::TraceRequest>, t: usize| {
+        trace
+            .iter()
+            .map(|r| match r.op {
+                intelligent_arch::workloads::Op::Read => MemRequest::read(r.addr, t),
+                intelligent_arch::workloads::Op::Write => MemRequest::write(r.addr, t),
+            })
+            .collect::<Vec<_>>()
+    };
+    let stream = StreamGen::new(0, 64, 1 << 20, 0.1).expect("static").generate(per_thread, &mut rng);
+    let random =
+        RandomGen::new(region, 32 << 20, 64, 0.3).expect("static").generate(per_thread, &mut rng);
+    let zipf = ZipfGen::new(2 * region, 4096, 4096, 1.2, 0.2)
+        .expect("static")
+        .generate(per_thread, &mut rng);
+    let mut chase = PointerChaseGen::new(3 * region, 64 * 1024, 64, &mut rng).expect("static");
+    let chase = chase.generate(per_thread, &mut rng);
+    vec![to_reqs(stream, 0), to_reqs(random, 1), to_reqs(zipf, 2), to_reqs(chase, 3)]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let per_thread = 2000;
+
+    let mut summary = Table::new(&["scheduler", "req/kcycle", "avg latency (cy)", "row-hit rate"]);
+    for (name, sched) in [
+        ("FCFS (strict in-order)", Box::new(Fcfs::new()) as Box<dyn Scheduler>),
+        ("FR-FCFS", Box::new(FrFcfs::new())),
+        ("RL (self-optimizing)", Box::new(RlScheduler::new(RlSchedulerConfig::default()))),
+    ] {
+        let report =
+            run_closed_loop(DramConfig::ddr3_1600(), sched, &mix(per_thread, 7), 8, 500_000_000)?;
+        summary.row(&[
+            name.to_owned(),
+            format!("{:.1}", report.throughput_rpkc()),
+            format!("{:.1}", report.stats.avg_latency()),
+            format!("{:.1}%", report.row_hit_rate * 100.0),
+        ]);
+    }
+    println!("{summary}\n");
+
+    // Learning curve: share one agent across segments.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    #[derive(Debug)]
+    struct Shared(Rc<RefCell<RlScheduler>>);
+    impl Scheduler for Shared {
+        fn name(&self) -> &'static str {
+            "RL"
+        }
+        fn select(
+            &mut self,
+            q: &[intelligent_arch::memctrl::Pending],
+            d: &intelligent_arch::dram::DramModule,
+            now: intelligent_arch::dram::Cycle,
+        ) -> Option<usize> {
+            self.0.borrow_mut().select(q, d, now)
+        }
+        fn on_issue(&mut self, c: bool, now: intelligent_arch::dram::Cycle) {
+            self.0.borrow_mut().on_issue(c, now);
+        }
+    }
+    let agent = Rc::new(RefCell::new(RlScheduler::new(RlSchedulerConfig::default())));
+    let mut curve = Table::new(&["segment", "req/kcycle", "agent decisions"]);
+    for seg in 0..6u64 {
+        let report = run_closed_loop(
+            DramConfig::ddr3_1600(),
+            Box::new(Shared(agent.clone())),
+            &mix(per_thread / 2, 100 + seg),
+            8,
+            500_000_000,
+        )?;
+        curve.row(&[
+            seg.to_string(),
+            format!("{:.1}", report.throughput_rpkc()),
+            agent.borrow().decisions().to_string(),
+        ]);
+    }
+    println!("learning curve (same agent across segments):\n{curve}");
+    Ok(())
+}

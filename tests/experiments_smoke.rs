@@ -1,0 +1,38 @@
+//! Smoke tests for the experiment harness: every experiment's quick mode
+//! must produce its table. The quantitative shape assertions live in each
+//! experiment module's own tests; these guard the binary entry points.
+
+macro_rules! smoke {
+    ($name:ident, $module:ident, $marker:literal) => {
+        #[test]
+        fn $name() {
+            let out = ia_bench::$module::run(true);
+            assert!(out.contains($marker), "missing `{}` in:\n{out}", $marker);
+            assert!(out.lines().count() >= 5, "table too short:\n{out}");
+        }
+    };
+}
+
+smoke!(e01_renders, exp01_data_movement, "movement share");
+smoke!(e02_renders, exp02_rowclone, "FPM");
+smoke!(e03_renders, exp03_ambit, "geomean");
+smoke!(e04_renders, exp04_rl_memctrl, "RL");
+smoke!(e05_renders, exp05_scheduler_suite, "max slowdown");
+smoke!(e06_renders, exp06_raidr, "refresh reduction");
+smoke!(e07_renders, exp07_bdi, "compression ratio");
+smoke!(e08_renders, exp08_pnm_graph, "vaults");
+smoke!(e09_renders, exp09_pointer_chase, "streams");
+smoke!(e10_renders, exp10_rowhammer, "HC_first");
+smoke!(e11_renders, exp11_grim_filter, "eliminated");
+smoke!(e12_renders, exp12_xmem, "retention");
+smoke!(e13_renders, exp13_low_latency_dram, "ChargeCache");
+smoke!(e14_renders, exp14_hybrid_memory, "RBLA");
+smoke!(e15_renders, exp15_perceptron, "perceptron");
+smoke!(e16_renders, exp16_ablation, "baseline");
+smoke!(e17_renders, exp17_prefetchers, "coverage");
+smoke!(e18_renders, exp18_noc, "deflections");
+smoke!(e19_renders, exp19_salp, "SALP");
+smoke!(e20_renders, exp20_eden, "refresh savings");
+smoke!(e21_renders, exp21_memscale, "energy saved");
+smoke!(e22_renders, exp22_runahead, "runahead");
+smoke!(e23_renders, exp23_gsdram, "traffic cut");

@@ -1,0 +1,101 @@
+//! Integration tests spanning the PIM crates: RowClone/Ambit over the
+//! DRAM substrate, the PNM engines over the workload substrate, and the
+//! functional equivalence of in-memory and host execution.
+
+use intelligent_arch::dram::{DramConfig, DramModule, PhysAddr};
+use intelligent_arch::pnm::{
+    traverse_host, traverse_pnm, LinkedChain, PnmGraphEngine, StackConfig,
+};
+use intelligent_arch::pum::{bulk_copy, AmbitEngine, BitwiseOp, CopyMode};
+use intelligent_arch::workloads::Graph;
+use rand::SeedableRng;
+
+#[test]
+fn copy_mechanism_hierarchy_holds_across_sizes() {
+    // FPM < LISA < PSM < CPU in latency, at every size.
+    let stride = {
+        let d = DramModule::new(DramConfig::ddr3_1600()).expect("valid");
+        let g = d.config().geometry;
+        g.row_bytes * (g.banks_per_group * g.bank_groups * g.ranks * g.channels) as u64
+    };
+    for bytes in [8 << 10, 128 << 10, 1 << 20] {
+        let mut d = DramModule::new(DramConfig::ddr3_1600()).expect("valid");
+        let fpm = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), bytes, CopyMode::Fpm)
+            .expect("fpm");
+        let lisa = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(512 * 4 * stride),
+            bytes,
+            CopyMode::Lisa,
+        )
+        .expect("lisa");
+        let psm = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(8192), bytes, CopyMode::Psm)
+            .expect("psm");
+        let mut d2 = DramModule::new(DramConfig::ddr3_1600()).expect("valid");
+        let cpu = bulk_copy(&mut d2, PhysAddr::new(0), PhysAddr::new(stride), bytes, CopyMode::Cpu)
+            .expect("cpu");
+        assert!(fpm.ns < lisa.ns, "{bytes}: FPM {} vs LISA {}", fpm.ns, lisa.ns);
+        assert!(lisa.ns < cpu.ns, "{bytes}: LISA {} vs CPU {}", lisa.ns, cpu.ns);
+        assert!(psm.ns < cpu.ns, "{bytes}: PSM {} vs CPU {}", psm.ns, cpu.ns);
+    }
+}
+
+#[test]
+fn ambit_composition_computes_a_real_predicate() {
+    // Compute (a AND b) OR (NOT c) entirely in DRAM and check bit-exactly.
+    let mut e = AmbitEngine::new(&DramConfig::ddr3_1600());
+    let w = e.row_words();
+    let a = 0xF0F0_F0F0_F0F0_F0F0u64;
+    let b = 0xFF00_FF00_FF00_FF00u64;
+    let c = 0xAAAA_AAAA_AAAA_AAAAu64;
+    e.write_row(0, vec![a; w]).expect("row a");
+    e.write_row(1, vec![b; w]).expect("row b");
+    e.write_row(2, vec![c; w]).expect("row c");
+    e.execute(BitwiseOp::And, 10, 0, Some(1)).expect("and");
+    e.execute(BitwiseOp::Not, 11, 2, None).expect("not");
+    e.execute(BitwiseOp::Or, 12, 10, Some(11)).expect("or");
+    let expected = (a & b) | !c;
+    assert!(e.read_row(12).expect("result").iter().all(|&x| x == expected));
+    // The composition was costed: 4 + 2 + 4 AAPs.
+    assert_eq!(e.stats().aaps, 10);
+}
+
+#[test]
+fn pnm_graph_engine_agrees_with_host_on_every_kernel() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(33);
+    let g = Graph::rmat(512, 4096, &mut rng).expect("valid graph");
+    let engine = PnmGraphEngine::new(StackConfig::hmc_like(), &g).expect("valid stack");
+    let (pr, _) = engine.pagerank(0.85, 15);
+    let host_pr = g.pagerank(0.85, 15);
+    assert_eq!(pr, host_pr, "pagerank must be bit-identical");
+    let (bfs, _) = engine.bfs(3);
+    assert_eq!(bfs, g.bfs(3), "bfs must be identical");
+}
+
+#[test]
+fn pointer_chasing_is_functionally_identical_and_faster_in_memory() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(34);
+    let chain = LinkedChain::random_cycle(4096, &mut rng).expect("valid chain");
+    let stack = StackConfig::hmc_like();
+    for (start, hops) in [(0u32, 100u64), (17, 4096), (100, 10_000)] {
+        let h = traverse_host(&chain, &stack, start, hops);
+        let p = traverse_pnm(&chain, &stack, start, hops);
+        assert_eq!(h.end, p.end);
+        assert!(p.ns < h.ns);
+    }
+}
+
+#[test]
+fn in_dram_copy_charges_energy_on_the_shared_module() {
+    let mut d = DramModule::new(DramConfig::ddr3_1600()).expect("valid");
+    let before = d.energy().dynamic_pj();
+    let stride = {
+        let g = d.config().geometry;
+        g.row_bytes * (g.banks_per_group * g.bank_groups * g.ranks * g.channels) as u64
+    };
+    bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 64 << 10, CopyMode::Fpm)
+        .expect("fpm");
+    assert!(d.energy().dynamic_pj() > before, "copies must show up in module energy");
+    assert_eq!(d.energy().io_pj, 0.0, "in-DRAM copy crosses no chip boundary");
+}
