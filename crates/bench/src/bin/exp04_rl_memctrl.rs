@@ -1,6 +1,8 @@
-//! Experiment binary: prints the full-size table for `ia_bench::exp04_rl_memctrl`.
+//! Experiment binary for `ia_bench::exp04_rl_memctrl`.
+//!
+//! Prints the human-readable table; `--quick` shrinks the run, and
+//! `--json <path>` / `--csv <path>` write the machine-readable report.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", ia_bench::exp04_rl_memctrl::run(quick));
+    ia_bench::report::cli(ia_bench::exp04_rl_memctrl::run, ia_bench::exp04_rl_memctrl::report);
 }

@@ -75,6 +75,15 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp01_data_movement", quick)
+        .metric("movement_fraction", o.movement_fraction)
+        .metric("pim_reduction", o.pim_reduction)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

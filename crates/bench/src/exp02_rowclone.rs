@@ -108,6 +108,16 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp02_rowclone", quick)
+        .metric("fpm_speedup", o.fpm_speedup)
+        .metric("fpm_energy_gain", o.fpm_energy_gain)
+        .metric("psm_speedup", o.psm_speedup)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,16 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp03_ambit", quick)
+        .param("vector_bytes", if quick { 1u64 << 20 } else { 8 << 20 })
+        .metric("mean_throughput_gain", o.mean_throughput_gain)
+        .metric("mean_energy_gain", o.mean_energy_gain)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

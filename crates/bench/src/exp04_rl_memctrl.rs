@@ -114,6 +114,15 @@ impl ia_memctrl::Scheduler for SharedRl {
     }
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp04_rl_memctrl", quick)
+        .metric("rl_vs_fcfs", o.rl_vs_fcfs)
+        .metric("rl_vs_frfcfs", o.rl_vs_frfcfs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,6 +91,25 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let mut rep = crate::report::ExperimentReport::new("exp05_scheduler_suite", quick)
+        .columns(&["scheduler", "weighted_speedup", "max_slowdown", "req_per_kcycle"]);
+    for r in rows(quick) {
+        let key = r.name.to_lowercase().replace([' ', '-'], "_");
+        rep = rep
+            .metric(&format!("{key}_weighted_speedup"), r.weighted_speedup)
+            .row(&[
+                r.name.clone(),
+                format!("{:.3}", r.weighted_speedup),
+                format!("{:.3}", r.max_slowdown),
+                format!("{:.2}", r.throughput),
+            ]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -72,6 +72,15 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp06_raidr", quick)
+        .metric("refresh_reduction", o.reduction)
+        .metric("storage_bits", o.storage_bits as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -106,6 +106,15 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp07_bdi", quick)
+        .metric("mean_compression_ratio", o.mean_ratio)
+        .metric("hit_rate_gain", o.hit_rate_gain)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,20 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    let best = o.speedups.iter().fold(0.0f64, |a, &(_, s)| a.max(s));
+    let mut rep = crate::report::ExperimentReport::new("exp08_pnm_graph", quick)
+        .metric("best_speedup", best)
+        .columns(&["vaults", "speedup"]);
+    for (vaults, s) in &o.speedups {
+        rep = rep.row(&[vaults.to_string(), format!("{s:.2}")]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

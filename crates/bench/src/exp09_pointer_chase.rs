@@ -68,6 +68,15 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp09_pointer_chase", quick)
+        .metric("single_stream_speedup", o.single_stream_speedup)
+        .metric("multi_stream_speedup", o.multi_stream_speedup)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,22 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    let worst = o.unmitigated.iter().map(|&(_, f)| f).max().unwrap_or(0);
+    let mut rep = crate::report::ExperimentReport::new("exp10_rowhammer", quick)
+        .metric("worst_unmitigated_flips", worst as f64)
+        .metric("para_flips", o.para_flips as f64)
+        .metric("trr_flips", o.trr_flips as f64)
+        .columns(&["generation", "unmitigated_flips"]);
+    for (generation, flips) in &o.unmitigated {
+        rep = rep.row(&[format!("{generation:?}"), flips.to_string()]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

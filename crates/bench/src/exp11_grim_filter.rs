@@ -152,6 +152,16 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp11_grim_filter", quick)
+        .metric("candidates_eliminated", o.candidates_eliminated)
+        .metric("mapping_speedup", o.mapping_speedup)
+        .metric("lost_mappings", o.lost_mappings as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,17 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp12_xmem", quick)
+        .metric("oblivious_hit_rate", o.oblivious_hit_rate)
+        .metric("aware_hit_rate", o.aware_hit_rate)
+        .metric("oblivious_retention", o.oblivious_retention)
+        .metric("aware_retention", o.aware_retention)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

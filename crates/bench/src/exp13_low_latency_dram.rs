@@ -88,6 +88,17 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp13_low_latency_dram", quick)
+        .metric("standard_latency", o.standard_latency)
+        .metric("aldram_latency", o.aldram_latency)
+        .metric("chargecache_latency", o.chargecache_latency)
+        .metric("chargecache_hit_rate", o.chargecache_hit_rate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -95,6 +95,18 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let o = outcome(quick);
+    crate::report::ExperimentReport::new("exp14_hybrid_memory", quick)
+        .metric("all_pcm_avg_cost", o.all_pcm)
+        .metric("lru_avg_cost", o.lru)
+        .metric("rbla_avg_cost", o.rbla)
+        .metric("lru_migrations", o.lru_migrations as f64)
+        .metric("rbla_migrations", o.rbla_migrations as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,23 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let data = rows(quick);
+    let n = data.len().max(1) as f64;
+    let mean_bim = data.iter().map(|(_, b, _)| b).sum::<f64>() / n;
+    let mean_per = data.iter().map(|(_, _, p)| p).sum::<f64>() / n;
+    let mut rep = crate::report::ExperimentReport::new("exp15_perceptron", quick)
+        .metric("mean_bimodal_accuracy", mean_bim)
+        .metric("mean_perceptron_accuracy", mean_per)
+        .columns(&["branch_stream", "bimodal_accuracy", "perceptron_accuracy"]);
+    for (name, bim, per) in &data {
+        rep = rep.row(&[name.clone(), format!("{bim:.4}"), format!("{per:.4}")]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,6 +101,27 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let mut rep = crate::report::ExperimentReport::new("exp17_prefetchers", quick)
+        .columns(&["workload", "prefetcher", "coverage", "accuracy", "issued"]);
+    let mut best_coverage = 0.0f64;
+    for (workload, cells) in matrix(quick) {
+        for (prefetcher, m) in cells {
+            best_coverage = best_coverage.max(m.coverage());
+            rep = rep.row(&[
+                workload.clone(),
+                prefetcher,
+                format!("{:.4}", m.coverage()),
+                format!("{:.4}", m.accuracy()),
+                m.issued.to_string(),
+            ]);
+        }
+    }
+    rep.metric("best_coverage", best_coverage)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,33 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let data = sweep(quick);
+    let mut rep = crate::report::ExperimentReport::new("exp18_noc", quick)
+        .columns(&["injection_rate", "buffered_latency", "bufferless_latency", "deflections_per_packet"]);
+    for (rate, buffered, bufferless) in &data {
+        let defl = if bufferless.delivered == 0 {
+            0.0
+        } else {
+            bufferless.deflections as f64 / bufferless.delivered as f64
+        };
+        rep = rep.row(&[
+            format!("{rate:.2}"),
+            format!("{:.1}", buffered.avg_latency),
+            format!("{:.1}", bufferless.avg_latency),
+            format!("{defl:.2}"),
+        ]);
+    }
+    if let Some((_, buffered, bufferless)) = data.last() {
+        rep = rep
+            .metric("peak_buffered_latency", buffered.avg_latency)
+            .metric("peak_bufferless_latency", bufferless.avg_latency);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

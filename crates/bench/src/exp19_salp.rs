@@ -61,6 +61,24 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let mut rep = crate::report::ExperimentReport::new("exp19_salp", quick)
+        .columns(&["row_stream", "conventional_cycles", "salp_cycles", "speedup"]);
+    for (name, conv, salp) in rows(quick) {
+        let key = name.to_lowercase().replace([' ', '-'], "_");
+        let speedup = conv as f64 / salp.max(1) as f64;
+        rep = rep.metric(&format!("{key}_speedup"), speedup).row(&[
+            name.clone(),
+            conv.to_string(),
+            salp.to_string(),
+            format!("{speedup:.2}"),
+        ]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

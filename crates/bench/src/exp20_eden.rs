@@ -63,6 +63,32 @@ pub fn run(_quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let data = sweep();
+    let max_savings = data.iter().fold(0.0f64, |a, &(_, s, ..)| a.max(s));
+    let mut rep = crate::report::ExperimentReport::new("exp20_eden", quick)
+        .metric("max_refresh_savings", max_savings)
+        .columns(&[
+            "interval_multiplier",
+            "refresh_savings",
+            "row_error_exposure",
+            "robust_accuracy_loss",
+            "sensitive_accuracy_loss",
+        ]);
+    for (m, savings, err, robust, sensitive) in &data {
+        rep = rep.row(&[
+            m.to_string(),
+            format!("{savings:.4}"),
+            format!("{err:.6}"),
+            format!("{robust:.4}"),
+            format!("{sensitive:.4}"),
+        ]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

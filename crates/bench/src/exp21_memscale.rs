@@ -65,6 +65,24 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let data = sweep(quick);
+    let best_saving = data.iter().fold(0.0f64, |a, &(_, e, _)| a.max(1.0 - e));
+    let mut rep = crate::report::ExperimentReport::new("exp21_memscale", quick)
+        .metric("best_energy_saving", best_saving)
+        .columns(&["avg_utilization", "memory_energy_vs_full", "slowdown"]);
+    for (util, energy, slowdown) in &data {
+        rep = rep.row(&[
+            format!("{util:.2}"),
+            format!("{energy:.3}"),
+            format!("{slowdown:.3}"),
+        ]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,28 @@ pub fn run(quick: bool) -> String {
     )
 }
 
+/// Machine-readable report of the same run.
+#[must_use]
+pub fn report(quick: bool) -> crate::report::ExperimentReport {
+    let data = matrix(quick);
+    let max_speedup = data
+        .iter()
+        .fold(0.0f64, |a, &(_, _, stall, ra)| a.max(stall as f64 / ra.max(1) as f64));
+    let mut rep = crate::report::ExperimentReport::new("exp22_runahead", quick)
+        .metric("max_speedup", max_speedup)
+        .columns(&["dependent_load_permille", "runahead_window", "stall_cycles", "runahead_cycles", "speedup"]);
+    for (dep, window, stall, ra) in &data {
+        rep = rep.row(&[
+            dep.to_string(),
+            window.to_string(),
+            stall.to_string(),
+            ra.to_string(),
+            format!("{:.2}", *stall as f64 / (*ra).max(1) as f64),
+        ]);
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,8 +2,11 @@
 //!
 //! One module per experiment in DESIGN.md's index (E1–E16). Each module
 //! exposes `run(quick) -> String`, producing the table/series recorded in
-//! `EXPERIMENTS.md`; the `expNN_*` binaries print `run(false)`, and the
-//! integration tests assert the qualitative shape on `run(true)`.
+//! `EXPERIMENTS.md`, plus `report(quick) -> ExperimentReport` with the
+//! same results in machine-readable form. The `expNN_*` binaries route
+//! both through [`report::cli`] (`--quick`, `--json <path>`,
+//! `--csv <path>`), and the integration tests assert the qualitative
+//! shape on `run(true)`.
 
 #![warn(missing_docs)]
 
@@ -32,6 +35,7 @@ pub mod exp22_runahead;
 pub mod exp23_gsdram;
 
 pub mod mixes;
+pub mod report;
 
 /// Formats a ratio as `N.NNx`.
 #[must_use]

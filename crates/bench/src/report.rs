@@ -1,0 +1,264 @@
+//! Machine-readable experiment reports and the shared CLI runner.
+//!
+//! Every experiment module exposes `report(quick) -> ExperimentReport`
+//! next to its human-facing `run(quick) -> String`. The `expNN_*`
+//! binaries route both through [`cli`], which understands:
+//!
+//! * `--quick` — run the reduced-size configuration;
+//! * `--json <path>` — write the report as JSON;
+//! * `--csv <path>` — write the report's table (or metrics) as CSV.
+//!
+//! Reports round-trip through `ia-telemetry`'s own JSON parser — see
+//! [`ExperimentReport::from_json`] — so downstream tooling can consume
+//! `BENCH_PR.json` without serde (the build is offline by design).
+
+use ia_telemetry::{csv, JsonValue};
+
+/// A structured record of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment name (the module name, e.g. `exp02_rowclone`).
+    pub name: String,
+    /// Run parameters as key/value strings (`quick`, sizes, seeds…).
+    pub params: Vec<(String, String)>,
+    /// Headline scalar metrics (speedups, rates, energies).
+    pub metrics: Vec<(String, f64)>,
+    /// Column headers of the result table (may be empty).
+    pub headers: Vec<String>,
+    /// Result-table rows, one `Vec` of cells per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentReport {
+    /// Starts a report for `name`; records `quick` as the first param.
+    #[must_use]
+    pub fn new(name: &str, quick: bool) -> Self {
+        ExperimentReport {
+            name: name.to_owned(),
+            params: vec![("quick".to_owned(), quick.to_string())],
+            metrics: Vec::new(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a run parameter (chainable).
+    #[must_use]
+    pub fn param(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.params.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a headline metric (chainable).
+    #[must_use]
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.push((key.to_owned(), value));
+        self
+    }
+
+    /// Sets the result-table headers (chainable).
+    #[must_use]
+    pub fn columns(mut self, headers: &[&str]) -> Self {
+        self.headers = headers.iter().map(|h| (*h).to_owned()).collect();
+        self
+    }
+
+    /// Appends a result-table row (chainable).
+    #[must_use]
+    pub fn row(mut self, cells: &[String]) -> Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Looks up a headline metric by name.
+    #[must_use]
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the report as a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+            .collect();
+        let metrics =
+            self.metrics.iter().map(|(k, v)| (k.clone(), JsonValue::Num(*v))).collect();
+        let headers =
+            self.headers.iter().map(|h| JsonValue::Str(h.clone())).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| JsonValue::Arr(r.iter().map(|c| JsonValue::Str(c.clone())).collect()))
+            .collect();
+        JsonValue::obj(vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            ("params", JsonValue::Obj(params)),
+            ("metrics", JsonValue::Obj(metrics)),
+            ("headers", JsonValue::Arr(headers)),
+            ("rows", JsonValue::Arr(rows)),
+        ])
+    }
+
+    /// Reconstructs a report from the JSON emitted by
+    /// [`to_json`](ExperimentReport::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let name = match v.get("name") {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => return Err("missing string field `name`".to_owned()),
+        };
+        let params = match v.get("params") {
+            Some(JsonValue::Obj(entries)) => entries
+                .iter()
+                .map(|(k, v)| match v {
+                    JsonValue::Str(s) => Ok((k.clone(), s.clone())),
+                    _ => Err(format!("param `{k}` is not a string")),
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("missing object field `params`".to_owned()),
+        };
+        let metrics = match v.get("metrics") {
+            Some(JsonValue::Obj(entries)) => entries
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64().map(|n| (k.clone(), n)).ok_or_else(|| {
+                        format!("metric `{k}` is not a number")
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("missing object field `metrics`".to_owned()),
+        };
+        let headers = match v.get("headers") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|h| match h {
+                    JsonValue::Str(s) => Ok(s.clone()),
+                    _ => Err("non-string header".to_owned()),
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("missing array field `headers`".to_owned()),
+        };
+        let rows = match v.get("rows") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|r| match r {
+                    JsonValue::Arr(cells) => cells
+                        .iter()
+                        .map(|c| match c {
+                            JsonValue::Str(s) => Ok(s.clone()),
+                            _ => Err("non-string cell".to_owned()),
+                        })
+                        .collect::<Result<Vec<_>, _>>(),
+                    _ => Err("non-array row".to_owned()),
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err("missing array field `rows`".to_owned()),
+        };
+        Ok(ExperimentReport { name, params, metrics, headers, rows })
+    }
+
+    /// Renders the report as CSV: the result table when one is present,
+    /// otherwise the metrics as `metric,value` lines.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        if self.headers.is_empty() {
+            let headers = ["metric".to_owned(), "value".to_owned()];
+            let rows: Vec<Vec<String>> = self
+                .metrics
+                .iter()
+                .map(|(k, v)| vec![k.clone(), format!("{v}")])
+                .collect();
+            csv::render(&headers, &rows)
+        } else {
+            csv::render(&self.headers, &self.rows)
+        }
+    }
+}
+
+/// Returns the value following `flag` in `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Shared experiment-binary entry point: prints the human-readable run
+/// and, when `--json <path>` / `--csv <path>` are given, writes the
+/// machine-readable report. `--quick` selects the reduced configuration
+/// for both.
+///
+/// # Panics
+///
+/// Panics if a requested output file cannot be written — an experiment
+/// binary has nothing sensible to do with a dead output path.
+pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> ExperimentReport) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = flag_value(&args, "--json");
+    let csv_path = flag_value(&args, "--csv");
+    print!("{}", run(quick));
+    if json_path.is_none() && csv_path.is_none() {
+        return;
+    }
+    let rep = report(quick);
+    if let Some(path) = json_path {
+        let mut text = rep.to_json().render();
+        text.push('\n');
+        std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, rep.to_csv()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        ExperimentReport::new("exp99_sample", true)
+            .param("bytes", 4096)
+            .metric("speedup", 11.6)
+            .metric("energy_gain", 74.4)
+            .columns(&["size", "speedup"])
+            .row(&["4 KiB".to_owned(), "11.6x".to_owned()])
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let rep = sample();
+        let text = rep.to_json().render();
+        let parsed = JsonValue::parse(&text).expect("own output parses");
+        let back = ExperimentReport::from_json(&parsed).expect("well-formed");
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn metric_lookup_and_quick_param() {
+        let rep = sample();
+        assert_eq!(rep.metric_value("speedup"), Some(11.6));
+        assert_eq!(rep.metric_value("missing"), None);
+        assert!(rep.params.contains(&("quick".to_owned(), "true".to_owned())));
+    }
+
+    #[test]
+    fn csv_uses_table_when_present_and_metrics_otherwise() {
+        let with_table = sample().to_csv();
+        assert!(with_table.starts_with("size,speedup"));
+        let metrics_only = ExperimentReport::new("m", false).metric("x", 1.5).to_csv();
+        assert!(metrics_only.contains("metric,value"));
+        assert!(metrics_only.contains("x,1.5"));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        let v = JsonValue::parse("{\"name\": 3}").unwrap();
+        assert!(ExperimentReport::from_json(&v).is_err());
+        let v = JsonValue::parse("{\"name\": \"x\"}").unwrap();
+        assert!(ExperimentReport::from_json(&v).is_err());
+    }
+}

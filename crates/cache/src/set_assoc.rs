@@ -81,6 +81,25 @@ impl CacheStats {
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Merges another counter set into this one (e.g. to aggregate the
+    /// stats of several cache slices or epochs).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
+}
+
+impl ia_telemetry::MetricSource for CacheStats {
+    fn export_into(&self, scope: &mut ia_telemetry::Scope<'_>) {
+        scope.set_counter("hits", self.hits);
+        scope.set_counter("misses", self.misses);
+        scope.set_counter("evictions", self.evictions);
+        scope.set_counter("writebacks", self.writebacks);
+        scope.set_gauge("hit_rate", self.hit_rate());
+    }
 }
 
 /// A set-associative write-back cache.
@@ -315,6 +334,25 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_merge_and_export() {
+        let mut c = tiny();
+        c.access(0x0, CacheOp::Read);
+        c.access(0x0, CacheOp::Read);
+        c.access(0x40, CacheOp::Write);
+        let mut total = CacheStats::default();
+        total.merge(c.stats());
+        total.merge(c.stats());
+        assert_eq!(total.accesses(), 6);
+
+        let mut reg = ia_telemetry::Registry::new();
+        reg.collect("llc", c.stats());
+        let snap = reg.snapshot(0);
+        assert_eq!(snap.counter("llc.hits"), Some(1));
+        assert_eq!(snap.counter("llc.misses"), Some(2));
+        assert!((snap.gauge("llc.hit_rate").unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.

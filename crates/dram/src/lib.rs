@@ -57,7 +57,7 @@ pub use config::{DramConfig, DramConfigBuilder, EnergyParams, Geometry, TimingPa
 pub use energy::EnergyCounter;
 pub use error::{ConfigError, IssueError, IssueErrorReason};
 pub use latency::{ChargeCacheState, LatencyMode};
-pub use module::{AccessResult, DramModule};
+pub use module::{AccessResult, CommandEvent, DramModule};
 pub use rank::Rank;
 pub use salp::{serve_stream, BankOrganization, SalpBank};
 pub use stats::DramStats;

@@ -2,12 +2,29 @@
 //! Ramulator-style fine-grained command interface and an open-page
 //! convenience interface.
 
+use ia_telemetry::{MetricSource, Scope, TraceBuffer};
+
 use crate::error::{ConfigError, IssueError};
 use crate::latency::{ChargeCacheState, LatencyMode};
 use crate::{
     AccessKind, AddressMapping, Channel, Command, Cycle, DramConfig, DramStats, EnergyCounter,
     IssueOutcome, Location, PhysAddr, RowBufferOutcome, TimingParams,
 };
+
+/// One DRAM command as captured by the module's trace buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandEvent {
+    /// Cycle at which the command was issued.
+    pub at: Cycle,
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Flat bank index within the rank.
+    pub bank: usize,
+    /// The command itself.
+    pub cmd: Command,
+}
 
 /// Result of a full open-page access performed by [`DramModule::access`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +65,7 @@ pub struct DramModule {
     energy: EnergyCounter,
     latency: LatencyMode,
     charge_cache: ChargeCacheState,
+    trace: TraceBuffer<CommandEvent>,
 }
 
 impl DramModule {
@@ -69,7 +87,22 @@ impl DramModule {
             energy: EnergyCounter::new(),
             latency: LatencyMode::Standard,
             charge_cache: ChargeCacheState::new(),
+            trace: TraceBuffer::disabled(),
         })
+    }
+
+    /// Enables command-level tracing into a bounded ring of `capacity`
+    /// events (older events are overwritten and counted as dropped).
+    /// Tracing is off by default and costs one branch per issued command.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::new(capacity);
+    }
+
+    /// The command trace buffer (empty unless
+    /// [`enable_trace`](DramModule::enable_trace) was called).
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer<CommandEvent> {
+        &self.trace
     }
 
     /// Sets the address mapping (consumes and returns `self` for chaining).
@@ -209,6 +242,13 @@ impl DramModule {
         let bank_idx = self.bank_index(loc);
         let open_before = self.bank_of(loc).open_row();
         let out = self.channels[loc.channel].issue(loc.rank, bank_idx, cmd, now, &timing)?;
+        self.trace.record_with(|| CommandEvent {
+            at: now,
+            channel: loc.channel,
+            rank: loc.rank,
+            bank: bank_idx,
+            cmd,
+        });
         self.energy.record(&cmd, self.config.geometry.column_bytes, &self.config.energy);
         match cmd {
             Command::Activate { .. } => self.stats.activates += 1,
@@ -332,6 +372,18 @@ impl DramModule {
     }
 }
 
+impl MetricSource for DramModule {
+    /// Publishes command/locality counters at this scope, energy under an
+    /// `energy` child scope, and the trace-buffer occupancy counters.
+    fn export_into(&self, scope: &mut Scope<'_>) {
+        self.stats.export_into(scope);
+        scope.collect("energy", &self.energy);
+        scope.set_gauge("charge_cache_hit_rate", self.charge_cache.hit_rate());
+        scope.set_counter("trace_recorded", self.trace.recorded());
+        scope.set_counter("trace_dropped", self.trace.dropped());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +474,45 @@ mod tests {
         let reopen = dram.access(PhysAddr::new(0), AccessKind::Read, t0).unwrap();
         assert_eq!(reopen.outcome, RowBufferOutcome::Conflict);
         assert!(dram.charge_cache_hit_rate() > 0.0, "row 0 was recently closed");
+    }
+
+    #[test]
+    fn trace_captures_command_sequence_when_enabled() {
+        let mut dram = module();
+        dram.enable_trace(16);
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let cmds: Vec<Command> = dram.trace().iter().map(|e| e.cmd).collect();
+        assert_eq!(cmds.len(), 2, "miss = ACT then RD");
+        assert!(matches!(cmds[0], Command::Activate { .. }));
+        assert!(matches!(cmds[1], Command::Read { .. }));
+        assert_eq!(dram.trace().dropped(), 0);
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_bounded_when_on() {
+        let mut dram = module();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        assert!(dram.trace().is_empty());
+        dram.enable_trace(2);
+        for i in 0..8u64 {
+            dram.access(PhysAddr::new(i * 64), AccessKind::Read, Cycle::ZERO).unwrap();
+        }
+        assert_eq!(dram.trace().len(), 2, "ring stays bounded");
+        assert!(dram.trace().dropped() > 0, "overwrites are counted");
+    }
+
+    #[test]
+    fn module_exports_stats_energy_and_trace_counters() {
+        let mut dram = module();
+        dram.enable_trace(4);
+        dram.access(PhysAddr::new(0), AccessKind::Write, Cycle::ZERO).unwrap();
+        let mut reg = ia_telemetry::Registry::new();
+        reg.collect("dram", &dram);
+        let snap = reg.snapshot(0);
+        assert_eq!(snap.counter("dram.writes"), Some(1));
+        assert_eq!(snap.counter("dram.energy.bursts"), Some(1));
+        assert_eq!(snap.counter("dram.trace_recorded"), Some(2));
+        assert!(snap.gauge("dram.energy.io_pj").unwrap() > 0.0);
     }
 
     #[test]

@@ -1,12 +1,28 @@
 //! The memory controller: request queue, scheduler invocation, refresh
 //! engine, and a closed-loop multi-programmed run harness.
 
+use std::fmt;
+
 use ia_dram::{Command, ConfigError, Cycle, DramConfig, DramModule};
 use ia_reliability::Raidr;
+use ia_telemetry::{Histogram, MetricSource, Scope, TraceBuffer};
 
 use crate::error::CtrlError;
 use crate::request::{Completed, MemRequest, Pending};
 use crate::scheduler::Scheduler;
+
+/// One scheduler decision as captured by the controller's trace buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// Cycle of the decision.
+    pub at: Cycle,
+    /// Id of the request the command serves.
+    pub request: u64,
+    /// Thread that issued the request.
+    pub thread: usize,
+    /// The DRAM command issued on its behalf.
+    pub cmd: Command,
+}
 
 /// How the controller refreshes the devices.
 #[derive(Debug, Clone)]
@@ -132,6 +148,41 @@ impl CtrlStats {
             self.total_latency as f64 / self.completed as f64
         }
     }
+
+    /// Merges another counter set into this one (e.g. to aggregate the
+    /// stats of several controllers or epochs).
+    pub fn merge(&mut self, other: &CtrlStats) {
+        self.completed += other.completed;
+        self.total_latency += other.total_latency;
+        self.refreshes_issued += other.refreshes_issued;
+        self.refreshes_skipped += other.refreshes_skipped;
+        self.busy_cycles += other.busy_cycles;
+    }
+}
+
+impl fmt::Display for CtrlStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} completed, avg latency {:.1} cyc | REF {} issued / {} skipped | {} busy cycles",
+            self.completed,
+            self.avg_latency(),
+            self.refreshes_issued,
+            self.refreshes_skipped,
+            self.busy_cycles
+        )
+    }
+}
+
+impl MetricSource for CtrlStats {
+    fn export_into(&self, scope: &mut Scope<'_>) {
+        scope.set_counter("completed", self.completed);
+        scope.set_counter("total_latency", self.total_latency);
+        scope.set_counter("refreshes_issued", self.refreshes_issued);
+        scope.set_counter("refreshes_skipped", self.refreshes_skipped);
+        scope.set_counter("busy_cycles", self.busy_cycles);
+        scope.set_gauge("avg_latency", self.avg_latency());
+    }
 }
 
 /// A single-module memory controller driving [`DramModule`] through a
@@ -162,6 +213,12 @@ pub struct MemoryController {
     queue_capacity: usize,
     refresh: RefreshEngine,
     stats: CtrlStats,
+    latency: Histogram,
+    queue_depth: Histogram,
+    sched_column: u64,
+    sched_prep: u64,
+    sched_idle: u64,
+    trace: TraceBuffer<SchedEvent>,
 }
 
 impl MemoryController {
@@ -182,6 +239,12 @@ impl MemoryController {
             queue_capacity: 64,
             refresh,
             stats: CtrlStats::default(),
+            latency: Histogram::new(),
+            queue_depth: Histogram::new(),
+            sched_column: 0,
+            sched_prep: 0,
+            sched_idle: 0,
+            trace: TraceBuffer::disabled(),
         })
     }
 
@@ -236,6 +299,31 @@ impl MemoryController {
         &self.stats
     }
 
+    /// Request-latency distribution (one sample per completed request).
+    #[must_use]
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Queue-depth distribution (one sample per simulated cycle).
+    #[must_use]
+    pub fn queue_depth_histogram(&self) -> &Histogram {
+        &self.queue_depth
+    }
+
+    /// Enables scheduler-decision tracing into a bounded ring of
+    /// `capacity` events. Off by default; one branch per issued command.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::new(capacity);
+    }
+
+    /// The scheduler-decision trace (empty unless
+    /// [`enable_trace`](MemoryController::enable_trace) was called).
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer<SchedEvent> {
+        &self.trace
+    }
+
     /// The underlying DRAM module (timing/energy statistics).
     #[must_use]
     pub fn dram(&self) -> &DramModule {
@@ -284,8 +372,10 @@ impl MemoryController {
         for c in &done {
             self.stats.completed += 1;
             self.stats.total_latency += c.latency();
+            self.latency.record(c.latency());
             self.scheduler.on_complete(c, now);
         }
+        self.queue_depth.record(self.queue.len() as u64);
 
         // 2. Refresh engine.
         if let Some(must_issue) = self.refresh.due(self.now) {
@@ -305,6 +395,7 @@ impl MemoryController {
 
         // 3. Scheduling: one command per cycle.
         self.scheduler.prepare(&mut self.queue);
+        let mut issued_this_cycle = false;
         if let Some(i) = self.scheduler.select(&self.queue, &self.dram, self.now) {
             if i < self.queue.len() {
                 let p = self.queue[i];
@@ -319,6 +410,18 @@ impl MemoryController {
                     }
                     let column = matches!(cmd, Command::Read { .. } | Command::Write { .. });
                     if let Ok(out) = self.dram.issue(&p.loc, cmd, self.now) {
+                        issued_this_cycle = true;
+                        if column {
+                            self.sched_column += 1;
+                        } else {
+                            self.sched_prep += 1;
+                        }
+                        self.trace.record_with(|| SchedEvent {
+                            at: now,
+                            request: p.request.id,
+                            thread: p.request.thread,
+                            cmd,
+                        });
                         self.scheduler.on_issue(column, self.now);
                         if column {
                             self.stats.busy_cycles += 1;
@@ -329,6 +432,9 @@ impl MemoryController {
                     }
                 }
             }
+        }
+        if !issued_this_cycle && !self.queue.is_empty() {
+            self.sched_idle += 1;
         }
 
         self.now += 1;
@@ -344,6 +450,22 @@ impl MemoryController {
             all.extend(self.tick());
         }
         all
+    }
+}
+
+impl MetricSource for MemoryController {
+    /// Publishes controller counters and distributions at this scope and
+    /// the DRAM module's metrics under a `dram` child scope.
+    fn export_into(&self, scope: &mut Scope<'_>) {
+        self.stats.export_into(scope);
+        scope.set_histogram("latency_cycles", &self.latency);
+        scope.set_histogram("queue_depth", &self.queue_depth);
+        scope.set_counter("sched_column", self.sched_column);
+        scope.set_counter("sched_prep", self.sched_prep);
+        scope.set_counter("sched_stalled", self.sched_idle);
+        scope.set_counter("trace_recorded", self.trace.recorded());
+        scope.set_counter("trace_dropped", self.trace.dropped());
+        scope.collect("dram", &self.dram);
     }
 }
 
@@ -608,5 +730,71 @@ mod tests {
         let s = CtrlStats { completed: 4, total_latency: 100, ..CtrlStats::default() };
         assert!((s.avg_latency() - 25.0).abs() < 1e-12);
         assert_eq!(CtrlStats::default().avg_latency(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_and_display() {
+        let mut a = CtrlStats { completed: 4, total_latency: 100, ..CtrlStats::default() };
+        let b = CtrlStats {
+            completed: 6,
+            total_latency: 200,
+            refreshes_issued: 2,
+            refreshes_skipped: 1,
+            busy_cycles: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.completed, 10);
+        assert_eq!(a.total_latency, 300);
+        assert_eq!(a.refreshes_issued, 2);
+        assert!((a.avg_latency() - 30.0).abs() < 1e-12);
+        let shown = a.to_string();
+        assert!(shown.contains("10 completed"), "got: {shown}");
+        assert!(shown.contains("avg latency 30.0"), "got: {shown}");
+    }
+
+    #[test]
+    fn controller_exports_latency_histogram_and_dram_child() {
+        let mut ctrl =
+            MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new())).unwrap();
+        for i in 0..16u64 {
+            ctrl.enqueue(MemRequest::read(i * 64, 0)).unwrap();
+        }
+        let done = ctrl.run_until_drained(100_000);
+        assert_eq!(done.len(), 16);
+
+        let mut reg = ia_telemetry::Registry::new();
+        reg.collect("ctrl", &ctrl);
+        let snap = reg.snapshot(ctrl.now().as_u64());
+        assert_eq!(snap.counter("ctrl.completed"), Some(16));
+        assert_eq!(snap.counter("ctrl.dram.reads"), Some(16));
+        match snap.get("ctrl.latency_cycles") {
+            Some(ia_telemetry::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), 16, "one sample per completion");
+                assert!(h.p50() <= h.p99());
+                assert!(h.max() >= ctrl.stats().avg_latency() as u64);
+            }
+            other => panic!("expected latency histogram, got {other:?}"),
+        }
+        match snap.get("ctrl.queue_depth") {
+            Some(ia_telemetry::MetricValue::Histogram(h)) => {
+                assert!(h.count() > 0, "sampled every cycle");
+            }
+            other => panic!("expected queue-depth histogram, got {other:?}"),
+        }
+        assert!(snap.counter("ctrl.sched_column").unwrap() >= 16);
+    }
+
+    #[test]
+    fn scheduler_trace_records_decisions_when_enabled() {
+        let mut ctrl =
+            MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new())).unwrap();
+        ctrl.enable_trace(8);
+        ctrl.enqueue(MemRequest::read(0, 0)).unwrap();
+        ctrl.run_until_drained(10_000);
+        let cmds: Vec<Command> = ctrl.trace().iter().map(|e| e.cmd).collect();
+        assert_eq!(cmds.len(), 2, "miss = ACT then RD");
+        assert!(matches!(cmds[0], Command::Activate { .. }));
+        assert!(matches!(cmds[1], Command::Read { .. }));
+        assert!(ctrl.trace().iter().all(|e| e.request == 1));
     }
 }

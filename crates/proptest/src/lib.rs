@@ -1,0 +1,429 @@
+//! # ia-proptest — offline drop-in subset of the `proptest` API
+//!
+//! The build must work with **no registry access** (see README, "Offline
+//! builds"), so the workspace renames this crate to `proptest` via a path
+//! dependency. It implements the surface the in-tree property tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * range / tuple / `any::<T>()` / [`collection::vec`] strategies,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`sample::Index`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted
+//! regression files: each test runs `cases` deterministic random inputs
+//! (seeded from the test's module path, so failures reproduce exactly).
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Per-test configuration: number of random cases to run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic generator for one property test, seeded from
+/// the test's fully-qualified name so every test draws an independent,
+/// reproducible stream.
+#[must_use]
+pub fn rng_for(test_path: &str) -> SmallRng {
+    // FNV-1a over the path.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// A value generator. The subset of `proptest::strategy::Strategy` the
+/// in-tree tests need: plain generation, no shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate<R: RngCore>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate<R: RngCore>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! strategy_for_range_from {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate<R: RngCore>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+strategy_for_range_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types generatable over their whole domain via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary<R: RngCore>(rng: &mut R) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy producing any value of `T` (full domain for integers and
+/// `bool`, unit interval for floats — matching how the in-tree tests use
+/// `any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate<R: RngCore>(&self, rng: &mut R) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! strategy_for_tuples {
+    ($(($($n:ident $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Range, RngCore, Strategy};
+    use rand::Rng as _;
+
+    /// Vector lengths: a fixed size or a size range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// A uniformly drawn length in `[start, end)`.
+        Span(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Span(r.start, r.end)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange::Span(*r.start(), r.end().saturating_add(1))
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random or fixed length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy: `size` may be a `usize` or a `Range<usize>`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+            let len = match self.size {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Span(lo, hi) => {
+                    assert!(lo < hi, "empty vec size range");
+                    rng.gen_range(lo..hi)
+                }
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s: generates up to the requested number of
+    /// elements, deduplicated (the size bound is an upper bound, matching
+    /// proptest's semantics of "size" as a target, not a guarantee).
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        inner: VecStrategy<S>,
+    }
+
+    /// A `HashSet` strategy.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy { inner: vec(element, size) }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+            self.inner.generate(rng).into_iter().collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s; same size semantics as [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        inner: VecStrategy<S>,
+    }
+
+    /// A `BTreeSet` strategy.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { inner: vec(element, size) }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+            self.inner.generate(rng).into_iter().collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array::uniform32`).
+pub mod array {
+    use super::{RngCore, Strategy};
+
+    /// Strategy producing `[S::Value; N]`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn generate<R: RngCore>(&self, rng: &mut R) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_arrays {
+        ($($name:ident => $n:literal),*) => {$(
+            /// An array strategy of this fixed length.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+    uniform_arrays!(uniform4 => 4, uniform8 => 8, uniform16 => 16,
+                    uniform32 => 32, uniform64 => 64);
+}
+
+/// Sampling helpers (`prop::sample::Index`).
+pub mod sample {
+    use super::{Arbitrary, RngCore};
+    use rand::Rng as _;
+
+    /// An index into a collection of yet-unknown length, resolved with
+    /// [`Index::index`]. Mirrors `proptest::sample::Index`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index {
+        raw: usize,
+    }
+
+    impl Index {
+        /// Resolves against a collection of `len` elements (`len > 0`).
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.raw % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary<R: RngCore>(rng: &mut R) -> Self {
+            Index { raw: rng.gen::<usize>() }
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+    pub use rand::Rng as _;
+}
+
+/// Asserts a condition inside a property test (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    // The closure gives `prop_assume!` an early-exit that
+                    // skips just this case.
+                    let mut case = || $body;
+                    case();
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_hold(a in 3u64..10, b in -2i32..=2, f in 0.5f64..1.0) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+            prop_assert!((0.5..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u32..4, any::<bool>()), 2..6),
+            w in prop::collection::vec(0u8..8, 3),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(v.iter().all(|(x, _)| *x < 4));
+            prop_assert!(idx.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_for_is_deterministic_and_distinct() {
+        use rand::RngCore as _;
+        let mut a = crate::rng_for("x::y");
+        let mut b = crate::rng_for("x::y");
+        let mut c = crate::rng_for("x::z");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

@@ -1,0 +1,60 @@
+//! Minimal RFC-4180-style CSV rendering for experiment reports.
+
+/// Quotes a field when it contains a comma, quote, or newline.
+#[must_use]
+pub fn escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders a header row plus data rows as CSV text (trailing newline
+/// included). Rows shorter than the header are padded with empty fields;
+/// longer rows are emitted in full.
+#[must_use]
+pub fn render(headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    write_row(&mut out, headers.iter().map(String::as_str));
+    for row in rows {
+        let pad = headers.len().saturating_sub(row.len());
+        write_row(
+            &mut out,
+            row.iter().map(String::as_str).chain(std::iter::repeat_n("", pad)),
+        );
+    }
+    out
+}
+
+fn write_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&escape(f));
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_only_when_needed() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn renders_padded_rows() {
+        let headers = vec!["a".to_owned(), "b".to_owned()];
+        let rows = vec![vec!["1".to_owned()], vec!["2".to_owned(), "x,y".to_owned()]];
+        let out = render(&headers, &rows);
+        assert_eq!(out, "a,b\n1,\n2,\"x,y\"\n");
+    }
+}

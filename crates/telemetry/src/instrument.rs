@@ -1,0 +1,350 @@
+//! The three instrument kinds: [`Counter`], [`Gauge`], and a fixed-bucket
+//! log2 [`Histogram`]. All are plain cells — no atomics, no heap
+//! allocation, no branches beyond the arithmetic itself — so they are
+//! cheap enough to live inside cycle-level hot loops.
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `k >= 1` holds values in `[2^(k-1), 2^k - 1]`, so 65 buckets cover the
+/// whole `u64` domain with no saturation surprises.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing `u64` event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A last-written-wins measurement (queue depth, rate, ratio).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(f64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(0.0)
+    }
+
+    /// Overwrites the value.
+    pub fn set(&mut self, v: f64) {
+        self.0 = v;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub const fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples with quantile
+/// estimation.
+///
+/// Bucket `k >= 1` covers `[2^(k-1), 2^k - 1]`; bucket 0 covers exactly
+/// `{0}`. A quantile is reported as the **upper bound** of the bucket it
+/// falls in, so distributions concentrated on values of the form
+/// `2^k - 1` are reported exactly. Recording is two array index
+/// increments plus three scalar updates: suitable for per-request hot
+/// paths.
+///
+/// # Examples
+///
+/// ```
+/// use ia_telemetry::Histogram;
+/// let mut h = Histogram::new();
+/// for _ in 0..99 {
+///     h.record(7);
+/// }
+/// h.record(1023);
+/// assert_eq!(h.p50(), 7);
+/// assert_eq!(h.quantile(0.999), 1023);
+/// assert_eq!(h.count(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Bucket index for a sample.
+    #[must_use]
+    pub const fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Upper bound (largest representable sample) of bucket `k`.
+    #[must_use]
+    pub const fn bucket_upper(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. Returns 0 for an empty histogram. The estimate
+    /// never exceeds [`Histogram::max`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(k).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise saturating difference `self - earlier`, for epoch
+    /// deltas. `count` is recomputed from the subtracted buckets so the
+    /// bucket-sum == count invariant holds even when the operands are not
+    /// from the same run; `max` keeps the later histogram's value (a
+    /// high-water mark cannot be differenced).
+    #[must_use]
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (a, b)) in out.buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            *o = a.saturating_sub(*b);
+        }
+        out.count = out.buckets.iter().sum();
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = self.max;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::new();
+        g.set(2.5);
+        assert!((g.get() - 2.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(3), 7);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_exact_on_known_distribution() {
+        // 90 samples of 15 (bucket 4), 9 of 255 (bucket 8), 1 of 4095.
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(15);
+        }
+        for _ in 0..9 {
+            h.record(255);
+        }
+        h.record(4095);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.quantile(0.90), 15);
+        assert_eq!(h.p95(), 255);
+        assert_eq!(h.p99(), 255);
+        assert_eq!(h.quantile(1.0), 4095);
+        assert_eq!(h.max(), 4095);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 15 + 9 * 255 + 4095);
+    }
+
+    #[test]
+    fn quantile_saturates_at_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 5);
+        assert_eq!(h.bucket_count_at(64), 2);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    impl Histogram {
+        fn bucket_count_at(&self, k: usize) -> u64 {
+            self.buckets[k]
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = Histogram::new();
+        h.record(1000); // bucket 10 upper bound is 1023
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_and_delta_roundtrip() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 7, 100] {
+            a.record(v);
+        }
+        for v in [3, 3000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        let back = merged.delta(&a);
+        assert_eq!(back.count(), b.count());
+        assert_eq!(back.sum(), b.sum());
+        assert_eq!(back.buckets(), b.buckets());
+    }
+
+    #[test]
+    fn delta_never_underflows() {
+        let mut small = Histogram::new();
+        small.record(4);
+        let mut big = Histogram::new();
+        for _ in 0..10 {
+            big.record(4);
+        }
+        let d = small.delta(&big);
+        assert_eq!(d.count(), 0);
+        assert!(d.buckets().iter().all(|&n| n == 0));
+    }
+}

@@ -1,0 +1,312 @@
+//! The metrics [`Registry`]: named, hierarchically-scoped instruments.
+//!
+//! Registration allocates (name interning, index growth); every
+//! subsequent operation is an index into a flat `Vec` — no hashing, no
+//! atomics, no allocation — so handles can be used from cycle-level
+//! loops.
+
+use std::collections::BTreeMap;
+
+use crate::instrument::{Gauge, Histogram};
+
+/// A registered metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing event count.
+    Counter(u64),
+    /// Last-written measurement.
+    Gauge(f64),
+    /// Distribution of `u64` samples.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// The value as a single number for flat emitters: the count for
+    /// counters, the value for gauges, the mean for histograms.
+    #[must_use]
+    pub fn scalar(&self) -> f64 {
+        match self {
+            MetricValue::Counter(n) => *n as f64,
+            MetricValue::Gauge(g) => *g,
+            MetricValue::Histogram(h) => h.mean(),
+        }
+    }
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A registry of named instruments.
+///
+/// Names are dot-separated paths (`"dram.cmd.activate"`); the
+/// [`Registry::scope`] helper prefixes a subtree so exporters compose
+/// hierarchically. Re-registering an existing name returns the existing
+/// handle (idempotent), so exporters can run repeatedly.
+///
+/// # Examples
+///
+/// ```
+/// use ia_telemetry::Registry;
+/// let mut reg = Registry::new();
+/// let reads = reg.counter("dram.reads");
+/// reg.inc(reads, 3);
+/// let lat = reg.histogram("ctrl.latency");
+/// reg.observe(lat, 42);
+/// assert_eq!(reg.snapshot(0).counter("dram.reads"), Some(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    names: Vec<String>,
+    values: Vec<MetricValue>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&mut self, name: &str, init: MetricValue) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.values.len();
+        self.names.push(name.to_owned());
+        self.values.push(init);
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Registers (or finds) a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        CounterId(self.register(name, MetricValue::Counter(0)))
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        GaugeId(self.register(name, MetricValue::Gauge(0.0)))
+    }
+
+    /// Registers (or finds) a histogram.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        HistogramId(self.register(name, MetricValue::Histogram(Histogram::new())))
+    }
+
+    /// Adds `n` to a counter. No allocation; a single indexed add.
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        if let MetricValue::Counter(c) = &mut self.values[id.0] {
+            *c += n;
+        }
+    }
+
+    /// Overwrites a counter (for exporters copying an externally
+    /// maintained total).
+    pub fn set_counter(&mut self, id: CounterId, total: u64) {
+        if let MetricValue::Counter(c) = &mut self.values[id.0] {
+            *c = total;
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        if let MetricValue::Gauge(g) = &mut self.values[id.0] {
+            *g = v;
+        }
+    }
+
+    /// Records a histogram sample. No allocation; two indexed adds.
+    pub fn observe(&mut self, id: HistogramId, sample: u64) {
+        if let MetricValue::Histogram(h) = &mut self.values[id.0] {
+            h.record(sample);
+        }
+    }
+
+    /// Replaces a histogram wholesale (for exporters).
+    pub fn set_histogram(&mut self, id: HistogramId, h: &Histogram) {
+        self.values[id.0] = MetricValue::Histogram(h.clone());
+    }
+
+    /// Number of registered instruments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Looks up a metric by full name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.index.get(name).map(|&i| &self.values[i])
+    }
+
+    /// Iterates `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.names.iter().map(String::as_str).zip(self.values.iter())
+    }
+
+    /// A scoped view that prefixes every name with `prefix` plus a dot.
+    pub fn scope<'r>(&'r mut self, prefix: &str) -> Scope<'r> {
+        Scope { reg: self, prefix: prefix.to_owned() }
+    }
+
+    /// Runs an exporter under `prefix`.
+    pub fn collect(&mut self, prefix: &str, source: &dyn MetricSource) {
+        source.export_into(&mut self.scope(prefix));
+    }
+
+    /// Captures the registry's current values as an epoch snapshot
+    /// labelled `at` (typically the simulated cycle).
+    #[must_use]
+    pub fn snapshot(&self, at: u64) -> crate::Snapshot {
+        crate::Snapshot::from_iter(
+            at,
+            self.names.iter().cloned().zip(self.values.iter().cloned()),
+        )
+    }
+}
+
+/// A prefixed view of a [`Registry`], forming the hierarchy.
+///
+/// Exporters receive a `Scope` so they compose: a controller exports its
+/// own counters and hands `scope.child("dram")` to its DRAM module.
+#[derive(Debug)]
+pub struct Scope<'r> {
+    reg: &'r mut Registry,
+    prefix: String,
+}
+
+impl Scope<'_> {
+    fn full(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}.{}", self.prefix, name)
+        }
+    }
+
+    /// A child scope `prefix.name`.
+    pub fn child(&mut self, name: &str) -> Scope<'_> {
+        let prefix = self.full(name);
+        Scope { reg: self.reg, prefix }
+    }
+
+    /// Registers-or-updates a counter to `total`.
+    pub fn set_counter(&mut self, name: &str, total: u64) {
+        let id = self.reg.counter(&self.full(name));
+        self.reg.set_counter(id, total);
+    }
+
+    /// Registers-or-updates a gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        let id = self.reg.gauge(&self.full(name));
+        self.reg.set_gauge(id, v);
+    }
+
+    /// Registers-or-replaces a histogram.
+    pub fn set_histogram(&mut self, name: &str, h: &Histogram) {
+        let id = self.reg.histogram(&self.full(name));
+        self.reg.set_histogram(id, h);
+    }
+
+    /// Runs a nested exporter under `prefix.name`.
+    pub fn collect(&mut self, name: &str, source: &dyn MetricSource) {
+        source.export_into(&mut self.child(name));
+    }
+}
+
+/// Implemented by stats structs that can publish themselves into a
+/// registry scope. This is the uniform export path the whole workspace
+/// uses (`DramStats`, `CtrlStats`, `CacheStats`, `StackConfig`, …).
+pub trait MetricSource {
+    /// Writes every metric this source owns into `scope`.
+    fn export_into(&self, scope: &mut Scope<'_>);
+}
+
+/// Standalone gauges also export themselves (handy for ad-hoc sources).
+impl MetricSource for Gauge {
+    fn export_into(&self, scope: &mut Scope<'_>) {
+        scope.set_gauge("value", self.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        hits: u64,
+    }
+
+    impl MetricSource for Fake {
+        fn export_into(&self, scope: &mut Scope<'_>) {
+            scope.set_counter("hits", self.hits);
+            scope.set_gauge("ratio", 0.5);
+            let mut inner = scope.child("nested");
+            inner.set_counter("deep", 1);
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        assert_eq!(a, b);
+        reg.inc(a, 2);
+        reg.inc(b, 3);
+        assert_eq!(reg.get("x"), Some(&MetricValue::Counter(5)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn scoped_export_builds_hierarchy() {
+        let mut reg = Registry::new();
+        reg.collect("cache.l2", &Fake { hits: 7 });
+        assert_eq!(reg.get("cache.l2.hits"), Some(&MetricValue::Counter(7)));
+        assert_eq!(reg.get("cache.l2.nested.deep"), Some(&MetricValue::Counter(1)));
+        assert!(matches!(reg.get("cache.l2.ratio"), Some(MetricValue::Gauge(_))));
+        // Re-export overwrites in place without growing the registry.
+        let before = reg.len();
+        reg.collect("cache.l2", &Fake { hits: 9 });
+        assert_eq!(reg.len(), before);
+        assert_eq!(reg.get("cache.l2.hits"), Some(&MetricValue::Counter(9)));
+    }
+
+    #[test]
+    fn histogram_observe_through_handles() {
+        let mut reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [10, 10, 1000] {
+            reg.observe(h, v);
+        }
+        match reg.get("lat") {
+            Some(MetricValue::Histogram(hist)) => {
+                assert_eq!(hist.count(), 3);
+                assert_eq!(hist.p50(), 15); // bucket [8,15]
+            }
+            other => panic!("wrong metric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_projection() {
+        assert_eq!(MetricValue::Counter(4).scalar(), 4.0);
+        assert_eq!(MetricValue::Gauge(0.25).scalar(), 0.25);
+    }
+}

@@ -1,0 +1,227 @@
+//! Epoch [`Snapshot`]s of a registry, with delta and merge. Deltas give
+//! per-interval rates (row-hit rate per 100k cycles, requests per epoch)
+//! — the same windowed view a self-optimizing controller observes.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonValue;
+use crate::registry::MetricValue;
+
+/// An immutable capture of every registered metric at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Epoch label, typically the simulated cycle the capture was taken.
+    pub at: u64,
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// An empty snapshot labelled `at`.
+    #[must_use]
+    pub fn new(at: u64) -> Self {
+        Snapshot { at, values: BTreeMap::new() }
+    }
+
+    /// Builds a snapshot from `(name, value)` pairs.
+    pub fn from_iter(at: u64, pairs: impl IntoIterator<Item = (String, MetricValue)>) -> Self {
+        Snapshot { at, values: pairs.into_iter().collect() }
+    }
+
+    /// Number of metrics captured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing was captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Looks up a metric.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// Counter value by name, if the metric is a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, if the metric is a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The change since `earlier`: counters and histograms subtract
+    /// (saturating — a delta **never underflows**, even against a later
+    /// snapshot), gauges keep `self`'s value. Metrics present in only one
+    /// operand are kept as-is. The label becomes the epoch length
+    /// `self.at - earlier.at` (saturating).
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = BTreeMap::new();
+        for (name, v) in &self.values {
+            let dv = match (v, earlier.values.get(name)) {
+                (MetricValue::Counter(n), Some(MetricValue::Counter(m))) => {
+                    MetricValue::Counter(n.saturating_sub(*m))
+                }
+                (MetricValue::Histogram(h), Some(MetricValue::Histogram(g))) => {
+                    MetricValue::Histogram(h.delta(g))
+                }
+                // Gauges are instantaneous; mismatched kinds keep `self`.
+                (v, _) => v.clone(),
+            };
+            out.insert(name.clone(), dv);
+        }
+        Snapshot { at: self.at.saturating_sub(earlier.at), values: out }
+    }
+
+    /// Combines two snapshots: counters add, histograms merge bucket-wise,
+    /// gauges take `other`'s value when present (last-wins). All three
+    /// combinators are associative, so folding any number of per-shard
+    /// snapshots is order-safe. The label takes the max.
+    #[must_use]
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.values.clone();
+        for (name, v) in &other.values {
+            match (out.get_mut(name), v) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (slot, v) => {
+                    if let Some(slot) = slot {
+                        *slot = v.clone();
+                    } else {
+                        out.insert(name.clone(), v.clone());
+                    }
+                }
+            }
+        }
+        Snapshot { at: self.at.max(other.at), values: out }
+    }
+
+    /// Renders as a JSON object `{ "at": n, "metrics": { name: value } }`.
+    /// Histograms expand to `{count, sum, max, mean, p50, p95, p99}`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let metrics = self
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), metric_json(v)))
+            .collect();
+        JsonValue::Obj(vec![
+            ("at".to_owned(), JsonValue::Num(self.at as f64)),
+            ("metrics".to_owned(), JsonValue::Obj(metrics)),
+        ])
+    }
+
+    /// Renders as two-column CSV (`metric,value`), histograms flattened to
+    /// their summary statistics.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = vec![];
+        for (name, v) in &self.values {
+            match v {
+                MetricValue::Counter(n) => rows.push(vec![name.clone(), n.to_string()]),
+                MetricValue::Gauge(g) => rows.push(vec![name.clone(), format!("{g}")]),
+                MetricValue::Histogram(h) => {
+                    rows.push(vec![format!("{name}.count"), h.count().to_string()]);
+                    rows.push(vec![format!("{name}.mean"), format!("{}", h.mean())]);
+                    rows.push(vec![format!("{name}.p50"), h.p50().to_string()]);
+                    rows.push(vec![format!("{name}.p95"), h.p95().to_string()]);
+                    rows.push(vec![format!("{name}.p99"), h.p99().to_string()]);
+                }
+            }
+        }
+        crate::csv::render(&["metric".to_owned(), "value".to_owned()], &rows)
+    }
+}
+
+/// JSON encoding for one metric value.
+#[must_use]
+pub fn metric_json(v: &MetricValue) -> JsonValue {
+    match v {
+        MetricValue::Counter(n) => JsonValue::Num(*n as f64),
+        MetricValue::Gauge(g) => JsonValue::Num(*g),
+        MetricValue::Histogram(h) => JsonValue::Obj(vec![
+            ("count".to_owned(), JsonValue::Num(h.count() as f64)),
+            ("sum".to_owned(), JsonValue::Num(h.sum() as f64)),
+            ("max".to_owned(), JsonValue::Num(h.max() as f64)),
+            ("mean".to_owned(), JsonValue::Num(h.mean())),
+            ("p50".to_owned(), JsonValue::Num(h.p50() as f64)),
+            ("p95".to_owned(), JsonValue::Num(h.p95() as f64)),
+            ("p99".to_owned(), JsonValue::Num(h.p99() as f64)),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn snap(at: u64, pairs: &[(&str, u64)]) -> Snapshot {
+        Snapshot::from_iter(
+            at,
+            pairs.iter().map(|(k, v)| ((*k).to_owned(), MetricValue::Counter(*v))),
+        )
+    }
+
+    #[test]
+    fn delta_computes_epoch_rates() {
+        let a = snap(100_000, &[("reads", 400)]);
+        let b = snap(200_000, &[("reads", 1000)]);
+        let d = b.delta(&a);
+        assert_eq!(d.at, 100_000);
+        assert_eq!(d.counter("reads"), Some(600));
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let big = snap(0, &[("x", 10)]);
+        let small = snap(5, &[("x", 3)]);
+        let d = small.delta(&big);
+        assert_eq!(d.counter("x"), Some(0));
+        assert_eq!(d.at, 5);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let m = snap(1, &[("x", 2)]).merge(&snap(9, &[("x", 3), ("y", 1)]));
+        assert_eq!(m.counter("x"), Some(5));
+        assert_eq!(m.counter("y"), Some(1));
+        assert_eq!(m.at, 9);
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrip() {
+        let mut reg = Registry::new();
+        let c = reg.counter("a.b");
+        reg.inc(c, 4);
+        let h = reg.histogram("lat");
+        reg.observe(h, 31);
+        let s = reg.snapshot(77);
+        assert_eq!(s.at, 77);
+        assert_eq!(s.counter("a.b"), Some(4));
+        let json = s.to_json().render();
+        assert!(json.contains("\"a.b\""));
+        assert!(json.contains("\"p99\""));
+        let csv = s.to_csv();
+        assert!(csv.contains("lat.p50,31"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the telemetry algebra: snapshot delta + merge
+//! are associative, never underflow, and histogram quantiles stay within
+//! the recorded range.
+
+use ia_telemetry::{Histogram, MetricValue, Registry, Snapshot};
+use proptest::prelude::*;
+
+/// Builds a snapshot from generated counters, a gauge, and a histogram.
+fn build(at: u64, counters: &[(u8, u64)], gauge: f64, samples: &[u64]) -> Snapshot {
+    let mut reg = Registry::new();
+    for (slot, v) in counters {
+        let id = reg.counter(&format!("c{}", slot % 4));
+        reg.inc(id, *v);
+    }
+    let g = reg.gauge("g");
+    reg.set_gauge(g, gauge);
+    let h = reg.histogram("h");
+    for &s in samples {
+        reg.observe(h, s);
+    }
+    reg.snapshot(at)
+}
+
+fn counters_of(s: &Snapshot) -> Vec<(String, u64)> {
+    s.iter()
+        .filter_map(|(k, v)| match v {
+            MetricValue::Counter(n) => Some((k.to_owned(), *n)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        ca in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..6),
+        cb in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..6),
+        cc in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..6),
+        sa in prop::collection::vec(0u64..100_000, 0..20),
+        sb in prop::collection::vec(0u64..100_000, 0..20),
+        sc in prop::collection::vec(0u64..100_000, 0..20),
+        ta in 0u64..1000, tb in 0u64..1000, tc in 0u64..1000,
+    ) {
+        let a = build(ta, &ca, 0.25, &sa);
+        let b = build(tb, &cb, 0.50, &sb);
+        let c = build(tc, &cc, 0.75, &sc);
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    /// Delta of a merge against one operand recovers the other operand's
+    /// counters (delta is merge's inverse on counters).
+    #[test]
+    fn delta_inverts_merge_on_counters(
+        ca in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..6),
+        cb in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..6),
+        sa in prop::collection::vec(0u64..100_000, 0..20),
+    ) {
+        let a = build(10, &ca, 0.1, &sa);
+        let b = build(20, &cb, 0.2, &[]);
+        let recovered = a.merge(&b).delta(&a);
+        for (name, v) in counters_of(&b) {
+            prop_assert_eq!(recovered.counter(&name), Some(v), "counter {}", name);
+        }
+    }
+
+    /// Delta never underflows, even when the "later" snapshot is smaller
+    /// in every metric (e.g. snapshots taken from different runs).
+    #[test]
+    fn delta_never_underflows(
+        ca in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..8),
+        cb in prop::collection::vec((0u8..4, 0u64..1_000_000), 0..8),
+        sa in prop::collection::vec(0u64..100_000, 0..30),
+        sb in prop::collection::vec(0u64..100_000, 0..30),
+        ta in 0u64..5000, tb in 0u64..5000,
+    ) {
+        let a = build(ta, &ca, 0.0, &sa);
+        let b = build(tb, &cb, 1.0, &sb);
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            let d = x.delta(y);
+            for (name, v) in d.iter() {
+                match v {
+                    MetricValue::Counter(n) => prop_assert!(*n <= u64::MAX, "{}", name),
+                    MetricValue::Histogram(h) => {
+                        // Bucket-wise non-negative by construction; the
+                        // count must equal the bucket sum (consistency).
+                        let total: u64 = h.buckets().iter().sum();
+                        prop_assert_eq!(total, h.count(), "histogram {} inconsistent", name);
+                    }
+                    MetricValue::Gauge(_) => {}
+                }
+            }
+            // Counters in the delta never exceed the left operand.
+            for (name, v) in counters_of(x) {
+                prop_assert!(d.counter(&name).unwrap_or(0) <= v);
+            }
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by max().
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        qa in 0.0f64..1.0, qb in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(hi) <= h.max());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Histogram merge agrees with recording the concatenated stream.
+    #[test]
+    fn histogram_merge_matches_concatenation(
+        xs in prop::collection::vec(0u64..1_000_000, 0..50),
+        ys in prop::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &xs { a.record(v); }
+        let mut b = Histogram::new();
+        for &v in &ys { b.record(v); }
+        a.merge(&b);
+        let mut both = Histogram::new();
+        for &v in xs.iter().chain(&ys) { both.record(v); }
+        prop_assert_eq!(a, both);
+    }
+}

@@ -294,12 +294,24 @@ impl GrimIndex {
             .sum()
     }
 
-    /// Whether `candidate_pos` survives the filter: the bin containing it
-    /// must share at least `threshold` tokens with the read.
+    /// Whether `candidate_pos` survives the filter: the neighborhood of
+    /// the bin containing it must share at least `threshold` tokens with
+    /// the read. A read starting near the end of a bin spills its tokens
+    /// forward into the next bin, so the check matches against the union
+    /// of the two bins the read's span can overlap — the equivalent of
+    /// GRIM-Filter's overlapping-bin layout.
     #[must_use]
     pub fn accepts(&self, read_bv: &[u64], candidate_pos: u32, threshold: u32) -> bool {
         let bin = (candidate_pos as usize / self.bin_size).min(self.bins.len() - 1);
-        self.match_count(read_bv, bin) >= threshold
+        let empty: &[u64] = &[];
+        let next = if bin + 1 < self.bins.len() { &self.bins[bin + 1][..] } else { empty };
+        let matched: u32 = self.bins[bin]
+            .iter()
+            .zip(next.iter().chain(std::iter::repeat(&0)))
+            .zip(read_bv)
+            .map(|((a, b), r)| ((a | b) & r).count_ones())
+            .sum();
+        matched >= threshold
     }
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs every experiment binary in quick mode with --json and concatenates
+# the per-experiment reports into one JSON array, BENCH_PR.json, at the
+# repo root. Attach that file to a PR to snapshot the benchmark state.
+#
+# Usage: scripts/bench_snapshot.sh [output-path]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo_root/BENCH_PR.json}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+cd "$repo_root"
+cargo build --release -q -p ia-bench
+
+bins=()
+for src in crates/bench/src/bin/exp*.rs; do
+    bins+=("$(basename "$src" .rs)")
+done
+
+echo "[" > "$out.tmp"
+first=1
+for bin in "${bins[@]}"; do
+    echo "running $bin --quick" >&2
+    "target/release/$bin" --quick --json "$tmpdir/$bin.json" > /dev/null
+    if [ "$first" -eq 0 ]; then
+        echo "," >> "$out.tmp"
+    fi
+    first=0
+    # Each report is a single JSON object terminated by a newline.
+    printf '%s' "$(cat "$tmpdir/$bin.json")" >> "$out.tmp"
+done
+echo "" >> "$out.tmp"
+echo "]" >> "$out.tmp"
+mv "$out.tmp" "$out"
+
+echo "wrote $out (${#bins[@]} experiments)" >&2
