@@ -56,7 +56,9 @@ fn main() {
         let mut now = Cycle::ZERO;
         let mut addr = 0u64;
         move || {
-            let r = dram.access(PhysAddr::new(addr), AccessKind::Read, now).expect("access");
+            let r = dram
+                .access(PhysAddr::new(addr), AccessKind::Read, now)
+                .expect("access");
             now = r.data_ready;
             addr = addr.wrapping_add(64) % (1 << 30);
             black_box(r.data_ready);
@@ -66,8 +68,12 @@ fn main() {
     bench(filter, "ambit/and_row", {
         let mut engine = AmbitEngine::new(&DramConfig::ddr3_1600());
         let w = engine.row_words();
-        engine.write_row(0, vec![0xAAAA_5555_AAAA_5555; w]).expect("row");
-        engine.write_row(1, vec![0x1234_5678_9ABC_DEF0; w]).expect("row");
+        engine
+            .write_row(0, vec![0xAAAA_5555_AAAA_5555; w])
+            .expect("row");
+        engine
+            .write_row(1, vec![0x1234_5678_9ABC_DEF0; w])
+            .expect("row");
         move || {
             engine.execute(BitwiseOp::And, 2, 0, Some(1)).expect("and");
             black_box(engine.read_row(2).expect("result")[0]);
@@ -78,7 +84,7 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut block = [0u8; 64];
         for i in 0..8 {
-            let ptr = 0x7FFF_0000_0000u64 + rng.gen_range(0..4096);
+            let ptr = 0x7FFF_0000_0000u64 + rng.gen_range(0..4096u64);
             block[i * 8..][..8].copy_from_slice(&ptr.to_le_bytes());
         }
         move || {
@@ -87,7 +93,11 @@ fn main() {
     });
 
     let traces: Vec<Vec<MemRequest>> = (0..4)
-        .map(|t| (0..200u64).map(|i| MemRequest::read(((t as u64) << 26) | (i * 64), t)).collect())
+        .map(|t| {
+            (0..200u64)
+                .map(|i| MemRequest::read(((t as u64) << 26) | (i * 64), t))
+                .collect()
+        })
         .collect();
     bench(filter, "scheduler/frfcfs_800_reqs", {
         let traces = traces.clone();
@@ -140,9 +150,16 @@ fn main() {
         move || {
             seed += 1;
             black_box(
-                simulate(RouterKind::BufferlessDeflection, mesh, Traffic::UniformRandom, 0.1, 1000, seed)
-                    .expect("valid run")
-                    .delivered,
+                simulate(
+                    RouterKind::BufferlessDeflection,
+                    mesh,
+                    Traffic::UniformRandom,
+                    0.1,
+                    1000,
+                    seed,
+                )
+                .expect("valid run")
+                .delivered,
             );
         }
     });

@@ -4,5 +4,8 @@
 //! `--json <path>` / `--csv <path>` write the machine-readable report.
 
 fn main() {
-    ia_bench::report::cli(ia_bench::exp01_data_movement::run, ia_bench::exp01_data_movement::report);
+    ia_bench::report::cli(
+        ia_bench::exp01_data_movement::run,
+        ia_bench::exp01_data_movement::report,
+    );
 }

@@ -4,5 +4,8 @@
 //! `--json <path>` / `--csv <path>` write the machine-readable report.
 
 fn main() {
-    ia_bench::report::cli(ia_bench::exp04_rl_memctrl::run, ia_bench::exp04_rl_memctrl::report);
+    ia_bench::report::cli(
+        ia_bench::exp04_rl_memctrl::run,
+        ia_bench::exp04_rl_memctrl::report,
+    );
 }

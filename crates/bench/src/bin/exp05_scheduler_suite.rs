@@ -4,5 +4,8 @@
 //! `--json <path>` / `--csv <path>` write the machine-readable report.
 
 fn main() {
-    ia_bench::report::cli(ia_bench::exp05_scheduler_suite::run, ia_bench::exp05_scheduler_suite::report);
+    ia_bench::report::cli(
+        ia_bench::exp05_scheduler_suite::run,
+        ia_bench::exp05_scheduler_suite::report,
+    );
 }

@@ -4,5 +4,8 @@
 //! `--json <path>` / `--csv <path>` write the machine-readable report.
 
 fn main() {
-    ia_bench::report::cli(ia_bench::exp08_pnm_graph::run, ia_bench::exp08_pnm_graph::report);
+    ia_bench::report::cli(
+        ia_bench::exp08_pnm_graph::run,
+        ia_bench::exp08_pnm_graph::report,
+    );
 }

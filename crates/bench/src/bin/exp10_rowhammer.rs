@@ -4,5 +4,8 @@
 //! `--json <path>` / `--csv <path>` write the machine-readable report.
 
 fn main() {
-    ia_bench::report::cli(ia_bench::exp10_rowhammer::run, ia_bench::exp10_rowhammer::report);
+    ia_bench::report::cli(
+        ia_bench::exp10_rowhammer::run,
+        ia_bench::exp10_rowhammer::report,
+    );
 }

@@ -110,7 +110,12 @@ mod tests {
     #[test]
     fn table_renders_all_workloads() {
         let s = run(true);
-        for name in ["tensorflow-inference", "video-playback", "video-capture", "chrome-browsing"] {
+        for name in [
+            "tensorflow-inference",
+            "video-playback",
+            "video-capture",
+            "chrome-browsing",
+        ] {
             assert!(s.contains(name), "missing {name}:\n{s}");
         }
     }

@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn fpm_reproduces_paper_shape() {
         let o = outcome(true);
-        assert!(o.fpm_speedup > 8.0, "FPM speedup {:.1} should be ~11x", o.fpm_speedup);
+        assert!(
+            o.fpm_speedup > 8.0,
+            "FPM speedup {:.1} should be ~11x",
+            o.fpm_speedup
+        );
         assert!(
             o.fpm_energy_gain > 30.0,
             "FPM energy gain {:.0} should be tens of x",

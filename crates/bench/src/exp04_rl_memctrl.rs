@@ -35,8 +35,15 @@ pub fn outcome(quick: bool) -> Outcome {
     let n = if quick { 400 } else { 4000 };
     let fcfs = throughput_of(Box::new(Fcfs::new()), n, 7);
     let frfcfs = throughput_of(Box::new(FrFcfs::new()), n, 7);
-    let rl = throughput_of(Box::new(RlScheduler::new(RlSchedulerConfig::default())), n, 7);
-    Outcome { rl_vs_fcfs: rl / fcfs, rl_vs_frfcfs: rl / frfcfs }
+    let rl = throughput_of(
+        Box::new(RlScheduler::new(RlSchedulerConfig::default())),
+        n,
+        7,
+    );
+    Outcome {
+        rl_vs_fcfs: rl / fcfs,
+        rl_vs_frfcfs: rl / frfcfs,
+    }
 }
 
 /// Runs the experiment and renders the table.
@@ -50,7 +57,11 @@ pub fn run(quick: bool) -> String {
         ("FR-FCFS", throughput_of(Box::new(FrFcfs::new()), n, 7)),
         (
             "RL (self-optimizing)",
-            throughput_of(Box::new(RlScheduler::new(RlSchedulerConfig::default())), n, 7),
+            throughput_of(
+                Box::new(RlScheduler::new(RlSchedulerConfig::default())),
+                n,
+                7,
+            ),
         ),
     ] {
         table.row(&[name.to_owned(), format!("{tp:.2}"), ratio(tp, fcfs)]);
@@ -130,7 +141,11 @@ mod tests {
     #[test]
     fn rl_beats_fcfs_and_tracks_frfcfs() {
         let o = outcome(true);
-        assert!(o.rl_vs_fcfs > 1.02, "RL must beat naive FCFS, got {:.3}", o.rl_vs_fcfs);
+        assert!(
+            o.rl_vs_fcfs > 1.02,
+            "RL must beat naive FCFS, got {:.3}",
+            o.rl_vs_fcfs
+        );
         assert!(
             o.rl_vs_frfcfs > 0.9,
             "RL must be competitive with FR-FCFS, got {:.3}",

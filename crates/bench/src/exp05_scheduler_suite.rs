@@ -23,6 +23,8 @@ pub struct Row {
     pub max_slowdown: f64,
     /// Requests per kilo-cycle.
     pub throughput: f64,
+    /// Event-driven engine counters for the shared run.
+    pub engine: ia_sim::EngineStats,
 }
 
 /// Runs every scheduler over the mix and returns the rows.
@@ -67,6 +69,7 @@ pub fn rows(quick: bool) -> Vec<Row> {
                 weighted_speedup: weighted_speedup(&alone, &report),
                 max_slowdown: max_slowdown(&alone, &report),
                 throughput: report.throughput_rpkc(),
+                engine: report.engine,
             }
         })
         .collect()
@@ -76,7 +79,12 @@ pub fn rows(quick: bool) -> Vec<Row> {
 #[must_use]
 pub fn run(quick: bool) -> String {
     let rows = rows(quick);
-    let mut table = Table::new(&["scheduler", "weighted speedup", "max slowdown", "req/kcycle"]);
+    let mut table = Table::new(&[
+        "scheduler",
+        "weighted speedup",
+        "max slowdown",
+        "req/kcycle",
+    ]);
     for r in &rows {
         table.row(&[
             r.name.clone(),
@@ -94,10 +102,16 @@ pub fn run(quick: bool) -> String {
 /// Machine-readable report of the same run.
 #[must_use]
 pub fn report(quick: bool) -> crate::report::ExperimentReport {
-    let mut rep = crate::report::ExperimentReport::new("exp05_scheduler_suite", quick)
-        .columns(&["scheduler", "weighted_speedup", "max_slowdown", "req_per_kcycle"]);
+    let mut rep = crate::report::ExperimentReport::new("exp05_scheduler_suite", quick).columns(&[
+        "scheduler",
+        "weighted_speedup",
+        "max_slowdown",
+        "req_per_kcycle",
+    ]);
+    let mut engine = ia_sim::EngineStats::default();
     for r in rows(quick) {
         let key = r.name.to_lowercase().replace([' ', '-'], "_");
+        engine.merge(&r.engine);
         rep = rep
             .metric(&format!("{key}_weighted_speedup"), r.weighted_speedup)
             .row(&[
@@ -107,7 +121,12 @@ pub fn report(quick: bool) -> crate::report::ExperimentReport {
                 format!("{:.2}", r.throughput),
             ]);
     }
-    rep
+    // The cycle-skipping engine's aggregate work/savings over the seven
+    // shared runs: proof the event-driven refactor is actually engaged.
+    rep.metric("engine_events_processed", engine.events_processed as f64)
+        .metric("engine_cycles_skipped", engine.cycles_skipped as f64)
+        .metric("engine_skips", engine.skips as f64)
+        .metric("engine_sink_high_water", engine.sink_high_water as f64)
 }
 
 #[cfg(test)]

@@ -28,7 +28,10 @@ pub fn outcome(quick: bool) -> Outcome {
     let mut rng = SmallRng::seed_from_u64(23);
     let profile = RetentionModel::typical().profile(rows, &mut rng);
     let raidr = Raidr::from_profile(&profile).expect("non-empty profile");
-    Outcome { reduction: raidr.reduction_over(8), storage_bits: raidr.storage_bits() }
+    Outcome {
+        reduction: raidr.reduction_over(8),
+        storage_bits: raidr.storage_bits(),
+    }
 }
 
 /// Runs the experiment and renders the table.
@@ -98,7 +101,11 @@ mod tests {
     #[test]
     fn storage_stays_in_kilobits() {
         let o = outcome(true);
-        assert!(o.storage_bits < 1 << 20, "storage {} bits should be small", o.storage_bits);
+        assert!(
+            o.storage_bits < 1 << 20,
+            "storage {} bits should be small",
+            o.storage_bits
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ fn pattern_block(kind: &str, rng: &mut SmallRng) -> [u8; 64] {
 fn pattern_ratio(kind: &str, blocks: usize, rng: &mut SmallRng) -> f64 {
     let mut total = 0usize;
     for _ in 0..blocks {
-        total += bdi_compress(&pattern_block(kind, rng)).expect("64B block").bytes;
+        total += bdi_compress(&pattern_block(kind, rng))
+            .expect("64B block")
+            .bytes;
     }
     (blocks * 64) as f64 / total as f64
 }
@@ -63,8 +65,11 @@ pub fn outcome(quick: bool) -> Outcome {
     let blocks = if quick { 50 } else { 1000 };
     let mut rng = SmallRng::seed_from_u64(31);
     let kinds = ["zeros", "repeated", "narrow-ints", "pointers", "random"];
-    let mean: f64 =
-        kinds.iter().map(|k| pattern_ratio(k, blocks, &mut rng)).sum::<f64>() / kinds.len() as f64;
+    let mean: f64 = kinds
+        .iter()
+        .map(|k| pattern_ratio(k, blocks, &mut rng))
+        .sum::<f64>()
+        / kinds.len() as f64;
 
     // Effective capacity: a compressed cache vs. a plain one of equal
     // bytes, over a pointer-heavy working set 2x the plain capacity.
@@ -72,7 +77,11 @@ pub fn outcome(quick: bool) -> Outcome {
     let lines: Vec<u64> = (0..256u64).map(|i| i * 64).collect();
     let sizes: Vec<usize> = lines
         .iter()
-        .map(|_| bdi_compress(&pattern_block("pointers", &mut rng2)).expect("64B").bytes)
+        .map(|_| {
+            bdi_compress(&pattern_block("pointers", &mut rng2))
+                .expect("64B")
+                .bytes
+        })
         .collect();
     let mut plain = CompressedCache::new(8192, 8, 64).expect("valid");
     let mut compressed = CompressedCache::new(8192, 8, 64).expect("valid");
@@ -85,7 +94,10 @@ pub fn outcome(quick: bool) -> Outcome {
     }
     let plain_hr = plain.stats.hit_rate();
     let comp_hr = compressed.stats.hit_rate();
-    Outcome { mean_ratio: mean, hit_rate_gain: comp_hr - plain_hr }
+    Outcome {
+        mean_ratio: mean,
+        hit_rate_gain: comp_hr - plain_hr,
+    }
 }
 
 /// Runs the experiment and renders the table.
@@ -95,7 +107,10 @@ pub fn run(quick: bool) -> String {
     let mut rng = SmallRng::seed_from_u64(31);
     let mut table = Table::new(&["data pattern", "BDI compression ratio"]);
     for kind in ["zeros", "repeated", "narrow-ints", "pointers", "random"] {
-        table.row(&[kind.to_owned(), format!("{:.2}x", pattern_ratio(kind, blocks, &mut rng))]);
+        table.row(&[
+            kind.to_owned(),
+            format!("{:.2}x", pattern_ratio(kind, blocks, &mut rng)),
+        ]);
     }
     let o = outcome(quick);
     format!(
@@ -122,13 +137,21 @@ mod tests {
     #[test]
     fn mean_ratio_matches_paper_band() {
         let o = outcome(true);
-        assert!(o.mean_ratio > 1.4, "mean ratio {:.2} should be ≈1.5x+", o.mean_ratio);
+        assert!(
+            o.mean_ratio > 1.4,
+            "mean ratio {:.2} should be ≈1.5x+",
+            o.mean_ratio
+        );
     }
 
     #[test]
     fn compression_enlarges_effective_cache() {
         let o = outcome(true);
-        assert!(o.hit_rate_gain > 0.1, "hit-rate gain {:.3} should be substantial", o.hit_rate_gain);
+        assert!(
+            o.hit_rate_gain > 0.1,
+            "hit-rate gain {:.3} should be substantial",
+            o.hit_rate_gain
+        );
     }
 
     #[test]

@@ -23,17 +23,26 @@ pub struct Outcome {
 /// Computes the vault-scaling sweep.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
-    let (v, e) = if quick { (2048, 32 * 1024) } else { (16 * 1024, 512 * 1024) };
+    let (v, e) = if quick {
+        (2048, 32 * 1024)
+    } else {
+        (16 * 1024, 512 * 1024)
+    };
     let mut rng = SmallRng::seed_from_u64(41);
     let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
     let iterations = 10;
     let speedups = [1usize, 4, 16, 32]
         .into_iter()
         .map(|vaults| {
-            let stack = StackConfig::hmc_like().with_vaults(vaults).expect("non-zero");
+            let stack = StackConfig::hmc_like()
+                .with_vaults(vaults)
+                .expect("non-zero");
             let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
             let (_, report) = engine.pagerank(0.85, iterations);
-            (vaults, host_pagerank_ns(&stack, &g, iterations) / report.total_ns)
+            (
+                vaults,
+                host_pagerank_ns(&stack, &g, iterations) / report.total_ns,
+            )
         })
         .collect();
     Outcome { speedups }
@@ -42,7 +51,11 @@ pub fn outcome(quick: bool) -> Outcome {
 /// Runs the experiment and renders the table.
 #[must_use]
 pub fn run(quick: bool) -> String {
-    let (v, e) = if quick { (2048, 32 * 1024) } else { (16 * 1024, 512 * 1024) };
+    let (v, e) = if quick {
+        (2048, 32 * 1024)
+    } else {
+        (16 * 1024, 512 * 1024)
+    };
     let mut rng = SmallRng::seed_from_u64(41);
     let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
     let iterations = 10;
@@ -55,7 +68,9 @@ pub fn run(quick: bool) -> String {
         "remote edges",
     ]);
     for vaults in [1usize, 4, 16, 32] {
-        let stack = StackConfig::hmc_like().with_vaults(vaults).expect("non-zero");
+        let stack = StackConfig::hmc_like()
+            .with_vaults(vaults)
+            .expect("non-zero");
         let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
         let (ranks, report) = engine.pagerank(0.85, iterations);
         // Sanity: functional result matches the host reference.
@@ -105,7 +120,12 @@ mod tests {
     #[test]
     fn sixteen_vaults_reach_tesseract_band() {
         let o = outcome(true);
-        let s16 = o.speedups.iter().find(|&&(v, _)| v == 16).expect("16 vaults").1;
+        let s16 = o
+            .speedups
+            .iter()
+            .find(|&&(v, _)| v == 16)
+            .expect("16 vaults")
+            .1;
         assert!(s16 > 3.0, "16-vault speedup {s16:.1} should be several x");
     }
 

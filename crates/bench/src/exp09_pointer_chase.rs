@@ -31,7 +31,10 @@ pub fn outcome(quick: bool) -> Outcome {
     let h = traverse_host(&chain, &stack, 0, hops);
     let p = traverse_pnm(&chain, &stack, 0, hops);
     let (mh, mp) = concurrent_traversals(&stack, 64, hops);
-    Outcome { single_stream_speedup: h.ns / p.ns, multi_stream_speedup: mh / mp }
+    Outcome {
+        single_stream_speedup: h.ns / p.ns,
+        multi_stream_speedup: mh / mp,
+    }
 }
 
 /// Runs the experiment and renders the table.

@@ -50,7 +50,11 @@ pub fn outcome(quick: bool) -> Outcome {
     let mut trr = CounterTrr::new(32, newest.hc_first() / 2);
     let (trr_flips, _) = run_attack(&mut trr_model, Some(&mut trr), pattern, &mut rng);
 
-    Outcome { unmitigated, para_flips, trr_flips }
+    Outcome {
+        unmitigated,
+        para_flips,
+        trr_flips,
+    }
 }
 
 /// Runs the experiment and renders the tables.
@@ -60,7 +64,11 @@ pub fn run(quick: bool) -> String {
     let o = outcome(quick);
     let mut gen_table = Table::new(&["device generation", "HC_first", "flips (double-sided)"]);
     for &(g, flips) in &o.unmitigated {
-        gen_table.row(&[g.label().to_owned(), g.hc_first().to_string(), flips.to_string()]);
+        gen_table.row(&[
+            g.label().to_owned(),
+            g.hc_first().to_string(),
+            flips.to_string(),
+        ]);
     }
     let newest_flips = o.unmitigated.last().map_or(0, |&(_, f)| f);
     let mut mit_table = Table::new(&["mitigation (LPDDR4-2020)", "flips", "suppression"]);
@@ -114,8 +122,14 @@ mod tests {
     fn newer_devices_flip_more() {
         let o = outcome(true);
         let flips: Vec<u64> = o.unmitigated.iter().map(|&(_, f)| f).collect();
-        assert!(flips[2] > flips[1], "2020 device must flip more than 2017: {flips:?}");
-        assert!(flips[1] > flips[0], "2017 device must flip more than 2013: {flips:?}");
+        assert!(
+            flips[2] > flips[1],
+            "2020 device must flip more than 2017: {flips:?}"
+        );
+        assert!(
+            flips[1] > flips[0],
+            "2017 device must flip more than 2013: {flips:?}"
+        );
     }
 
     #[test]
@@ -123,8 +137,15 @@ mod tests {
         let o = outcome(true);
         let unmitigated = o.unmitigated.last().map(|&(_, f)| f).unwrap_or(0);
         assert!(unmitigated > 0);
-        assert!(o.para_flips < unmitigated / 5, "PARA: {} vs {unmitigated}", o.para_flips);
-        assert_eq!(o.trr_flips, 0, "counter-TRR below HC_first must stop the attack");
+        assert!(
+            o.para_flips < unmitigated / 5,
+            "PARA: {} vs {unmitigated}",
+            o.para_flips
+        );
+        assert_eq!(
+            o.trr_flips, 0,
+            "counter-TRR below HC_first must stop the attack"
+        );
     }
 
     #[test]

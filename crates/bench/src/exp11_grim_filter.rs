@@ -35,7 +35,11 @@ fn verify_cost_ns(read_len: usize, band: usize) -> f64 {
 /// Computes the outcome.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
-    let (genome_len, read_count) = if quick { (64 * 1024, 40) } else { (1 << 20, 400) };
+    let (genome_len, read_count) = if quick {
+        (64 * 1024, 40)
+    } else {
+        (1 << 20, 400)
+    };
     let read_len = 100;
     let band = 5;
     let token_len = 8; // 4^8 = 65536-token space: bins are sparse
@@ -58,7 +62,9 @@ pub fn outcome(quick: bool) -> Outcome {
         row
     };
     for bin in 0..grim.bin_count() {
-        engine.write_row(bin as u64, pad(grim.bin_bitvector(bin))).expect("row fits");
+        engine
+            .write_row(bin as u64, pad(grim.bin_bitvector(bin)))
+            .expect("row fits");
     }
     let read_row = grim.bin_count() as u64;
     let and_row = read_row + 1;
@@ -89,7 +95,10 @@ pub fn outcome(quick: bool) -> Outcome {
         let bins_of = |c: u32| -> (usize, usize) {
             let first = c as usize / grim.bin_size();
             let last = (c as usize + read_len - 1) / grim.bin_size();
-            (first.min(grim.bin_count() - 1), last.min(grim.bin_count() - 1))
+            (
+                first.min(grim.bin_count() - 1),
+                last.min(grim.bin_count() - 1),
+            )
         };
         let mut bins: Vec<usize> = candidates
             .iter()
@@ -105,8 +114,12 @@ pub fn outcome(quick: bool) -> Outcome {
             engine
                 .execute(BitwiseOp::And, and_row, bin as u64, Some(read_row))
                 .expect("operands loaded");
-            let matches: u32 =
-                engine.read_row(and_row).expect("result written").iter().map(|w| w.count_ones()).sum();
+            let matches: u32 = engine
+                .read_row(and_row)
+                .expect("result written")
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
             match_count.insert(bin, matches);
         }
         let survivors: Vec<u32> = candidates
@@ -114,7 +127,9 @@ pub fn outcome(quick: bool) -> Outcome {
             .copied()
             .filter(|&c| {
                 let (a, b) = bins_of(c);
-                let score: u32 = (a..=b).map(|bin| match_count.get(&bin).copied().unwrap_or(0)).sum();
+                let score: u32 = (a..=b)
+                    .map(|bin| match_count.get(&bin).copied().unwrap_or(0))
+                    .sum();
                 score >= threshold
             })
             .collect();
@@ -132,7 +147,8 @@ pub fn outcome(quick: bool) -> Outcome {
     let baseline_ns = baseline_verifications as f64 * v;
     let filtered_ns = filtered_verifications as f64 * v + filter_ns;
     Outcome {
-        candidates_eliminated: 1.0 - filtered_verifications as f64 / baseline_verifications.max(1) as f64,
+        candidates_eliminated: 1.0
+            - filtered_verifications as f64 / baseline_verifications.max(1) as f64,
         mapping_speedup: baseline_ns / filtered_ns,
         lost_mappings: baseline_found.saturating_sub(filtered_found),
     }
@@ -143,7 +159,10 @@ pub fn outcome(quick: bool) -> Outcome {
 pub fn run(quick: bool) -> String {
     let o = outcome(quick);
     let mut table = Table::new(&["metric", "value"]);
-    table.row(&["candidate locations eliminated", &pct(o.candidates_eliminated)]);
+    table.row(&[
+        "candidate locations eliminated",
+        &pct(o.candidates_eliminated),
+    ]);
     table.row(&["end-to-end mapping speedup", &ratio(o.mapping_speedup, 1.0)]);
     table.row(&["true mappings lost", &o.lost_mappings.to_string()]);
     format!(
@@ -174,13 +193,20 @@ mod tests {
             "filter should prune candidates, got {}",
             o.candidates_eliminated
         );
-        assert_eq!(o.lost_mappings, 0, "the filter must not reject true locations");
+        assert_eq!(
+            o.lost_mappings, 0,
+            "the filter must not reject true locations"
+        );
     }
 
     #[test]
     fn filtering_speeds_up_mapping() {
         let o = outcome(true);
-        assert!(o.mapping_speedup > 1.1, "speedup {:.2} should exceed 1x", o.mapping_speedup);
+        assert!(
+            o.mapping_speedup > 1.1,
+            "speedup {:.2} should exceed 1x",
+            o.mapping_speedup
+        );
     }
 
     #[test]

@@ -35,14 +35,18 @@ const STREAM_BYTES: u64 = 1 << 22;
 fn workload(quick: bool) -> Vec<(u64, Op)> {
     let n = if quick { 4_000 } else { 40_000 };
     let mut rng = SmallRng::seed_from_u64(71);
-    let mut hot = ZipfGen::new(HOT_REGION, (HOT_BYTES / 4096) as usize, 4096, 1.0, 0.1)
-        .expect("valid zipf");
+    let mut hot =
+        ZipfGen::new(HOT_REGION, (HOT_BYTES / 4096) as usize, 4096, 1.0, 0.1).expect("valid zipf");
     let mut stream = StreamGen::new(STREAM_REGION, 64, STREAM_BYTES, 0.0).expect("valid stream");
     // Interleave: 1 hot access per 3 stream accesses (a scan sweeping past
     // a latency-critical index structure).
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let r = if i % 4 == 0 { hot.next_request(&mut rng) } else { stream.next_request(&mut rng) };
+        let r = if i % 4 == 0 {
+            hot.next_request(&mut rng)
+        } else {
+            stream.next_request(&mut rng)
+        };
         out.push((r.addr, r.op));
     }
     out
@@ -52,7 +56,9 @@ fn registry() -> AtomRegistry {
     let mut reg = AtomRegistry::new();
     reg.register(
         HOT_REGION..HOT_REGION + HOT_BYTES,
-        DataAttributes::new().criticality(Criticality::Critical).locality(Locality::Reuse),
+        DataAttributes::new()
+            .criticality(Criticality::Critical)
+            .locality(Locality::Reuse),
     )
     .expect("disjoint");
     reg.register(
@@ -65,7 +71,9 @@ fn registry() -> AtomRegistry {
 
 fn retention(contains: impl Fn(u64) -> bool) -> f64 {
     let lines = HOT_BYTES / 64;
-    let kept = (0..lines).filter(|&l| contains(HOT_REGION + l * 64)).count();
+    let kept = (0..lines)
+        .filter(|&l| contains(HOT_REGION + l * 64))
+        .count();
     kept as f64 / lines as f64
 }
 
@@ -100,8 +108,16 @@ pub fn outcome(quick: bool) -> Outcome {
 pub fn run(quick: bool) -> String {
     let o = outcome(quick);
     let mut table = Table::new(&["cache", "LLC hit rate", "hot-set retention"]);
-    table.row(&["semantics-oblivious", &pct(o.oblivious_hit_rate), &pct(o.oblivious_retention)]);
-    table.row(&["X-Mem data-aware", &pct(o.aware_hit_rate), &pct(o.aware_retention)]);
+    table.row(&[
+        "semantics-oblivious",
+        &pct(o.oblivious_hit_rate),
+        &pct(o.oblivious_retention),
+    ]);
+    table.row(&[
+        "X-Mem data-aware",
+        &pct(o.aware_hit_rate),
+        &pct(o.aware_retention),
+    ]);
     format!(
         "E12: data-aware cache management (critical hot structure vs streaming scan)\n\
          (paper shape: attribute-guided insertion protects the hot set; hit rate rises)\n{table}\n"
@@ -143,7 +159,10 @@ mod tests {
             o.aware_retention,
             o.oblivious_retention
         );
-        assert!(o.aware_retention > 0.5, "most of the hot set should survive");
+        assert!(
+            o.aware_retention > 0.5,
+            "most of the hot set should survive"
+        );
     }
 
     #[test]

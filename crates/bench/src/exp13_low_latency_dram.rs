@@ -25,7 +25,7 @@ pub struct Outcome {
     pub chargecache_hit_rate: f64,
 }
 
-fn run_mode(mode: Option<LatencyMode>, quick: bool) -> (RunReport, f64) {
+fn run_mode(mode: Option<LatencyMode>, quick: bool) -> RunReport {
     let n = if quick { 400 } else { 4000 };
     let traces = interference_mix(n, 77);
     let mut ctrl = MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
@@ -33,39 +33,45 @@ fn run_mode(mode: Option<LatencyMode>, quick: bool) -> (RunReport, f64) {
     if let Some(mode) = mode {
         ctrl = ctrl.with_latency_mode(mode);
     }
-    let hit_rate_probe = matches!(mode, Some(LatencyMode::ChargeCache { .. }));
-    // run_closed_loop_with consumes the controller; for the charge-cache
-    // hit rate we recreate the run with a peeking loop below if needed.
-    let report = run_closed_loop_with(ctrl, &traces, 8, 500_000_000).expect("run completes");
-    let hr = if hit_rate_probe { f64::NAN } else { 0.0 };
-    (report, hr)
+    run_closed_loop_with(ctrl, &traces, 8, 500_000_000).expect("run completes")
 }
 
 /// Computes the outcome.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
-    let (std_r, _) = run_mode(None, quick);
-    let (al_r, _) = run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick);
-    let cc_mode = LatencyMode::ChargeCache { entries_per_bank: 16, window: 200_000, scale: 0.65 };
-    let (cc_r, _) = run_mode(Some(cc_mode), quick);
+    let std_r = run_mode(None, quick);
+    let al_r = run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick);
+    let cc_mode = LatencyMode::ChargeCache {
+        entries_per_bank: 16,
+        window: 200_000,
+        scale: 0.65,
+    };
+    let cc_r = run_mode(Some(cc_mode), quick);
     Outcome {
         standard_latency: std_r.stats.avg_latency(),
         aldram_latency: al_r.stats.avg_latency(),
         chargecache_latency: cc_r.stats.avg_latency(),
-        chargecache_hit_rate: f64::NAN,
+        chargecache_hit_rate: cc_r.charge_cache_hit_rate,
     }
 }
 
 /// Runs the experiment and renders the table.
 #[must_use]
 pub fn run(quick: bool) -> String {
-    let (std_r, _) = run_mode(None, quick);
-    let (al_r, _) = run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick);
-    let cc_mode = LatencyMode::ChargeCache { entries_per_bank: 16, window: 200_000, scale: 0.65 };
-    let (cc_r, _) = run_mode(Some(cc_mode), quick);
-    let tl_mode =
-        LatencyMode::TieredLatency { near_fraction: 0.25, near_scale: 0.6, far_scale: 1.1 };
-    let (tl_r, _) = run_mode(Some(tl_mode), quick);
+    let std_r = run_mode(None, quick);
+    let al_r = run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick);
+    let cc_mode = LatencyMode::ChargeCache {
+        entries_per_bank: 16,
+        window: 200_000,
+        scale: 0.65,
+    };
+    let cc_r = run_mode(Some(cc_mode), quick);
+    let tl_mode = LatencyMode::TieredLatency {
+        near_fraction: 0.25,
+        near_scale: 0.6,
+        far_scale: 1.1,
+    };
+    let tl_r = run_mode(Some(tl_mode), quick);
 
     let mut table = Table::new(&["DRAM mode", "avg latency (cy)", "req/kcycle", "speedup"]);
     let base_tp = std_r.throughput_rpkc();
@@ -122,6 +128,24 @@ mod tests {
             "ChargeCache {:.1} vs standard {:.1}",
             o.chargecache_latency,
             o.standard_latency
+        );
+    }
+
+    #[test]
+    fn chargecache_hit_rate_is_a_real_fraction() {
+        let o = outcome(true);
+        assert!(
+            o.chargecache_hit_rate.is_finite(),
+            "hit rate must be measured, not NaN"
+        );
+        assert!(
+            (0.0..=1.0).contains(&o.chargecache_hit_rate),
+            "hit rate {} outside [0, 1]",
+            o.chargecache_hit_rate
+        );
+        assert!(
+            o.chargecache_hit_rate > 0.0,
+            "the interference mix reopens rows inside the window; some hits must occur"
         );
     }
 

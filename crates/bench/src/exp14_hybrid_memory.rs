@@ -37,7 +37,10 @@ fn run_policy(policy: PlacementPolicy, dram_pages: usize, quick: bool) -> Hybrid
     // row-hit-friendly pages.
     let mut gen = ZipfGen::new(0, 4096, 4096, 1.2, 0.3).expect("valid zipf");
     // Page migration rides the in-package bus: ~4 KiB at burst rate.
-    let timing = HybridTiming { migration: 300, ..HybridTiming::default() };
+    let timing = HybridTiming {
+        migration: 300,
+        ..HybridTiming::default()
+    };
     let mut mem = HybridMemory::new(dram_pages, 4096, timing, policy).expect("valid hybrid");
     for r in gen.generate(n, &mut rng) {
         mem.access(r.addr, matches!(r.op, ia_workloads::Op::Write));
@@ -50,9 +53,19 @@ fn run_policy(policy: PlacementPolicy, dram_pages: usize, quick: bool) -> Hybrid
 pub fn outcome(quick: bool) -> Outcome {
     let dram_pages = 256;
     // "All-PCM": a 1-page DRAM tier with promotion disabled.
-    let all_pcm = run_policy(PlacementPolicy::Rbla { miss_threshold: u32::MAX }, 1, quick);
+    let all_pcm = run_policy(
+        PlacementPolicy::Rbla {
+            miss_threshold: u32::MAX,
+        },
+        1,
+        quick,
+    );
     let lru = run_policy(PlacementPolicy::Lru, dram_pages, quick);
-    let rbla = run_policy(PlacementPolicy::Rbla { miss_threshold: 2 }, dram_pages, quick);
+    let rbla = run_policy(
+        PlacementPolicy::Rbla { miss_threshold: 2 },
+        dram_pages,
+        quick,
+    );
     Outcome {
         all_pcm: all_pcm.avg_cost(),
         lru: lru.avg_cost(),
@@ -72,9 +85,19 @@ pub fn run(quick: bool) -> String {
         "DRAM serve rate",
         "migrations",
     ]);
-    let all_pcm = run_policy(PlacementPolicy::Rbla { miss_threshold: u32::MAX }, 1, quick);
+    let all_pcm = run_policy(
+        PlacementPolicy::Rbla {
+            miss_threshold: u32::MAX,
+        },
+        1,
+        quick,
+    );
     let lru = run_policy(PlacementPolicy::Lru, dram_pages, quick);
-    let rbla = run_policy(PlacementPolicy::Rbla { miss_threshold: 2 }, dram_pages, quick);
+    let rbla = run_policy(
+        PlacementPolicy::Rbla { miss_threshold: 2 },
+        dram_pages,
+        quick,
+    );
     let all_dram = run_policy(PlacementPolicy::Lru, 4096, quick);
     for (name, m) in [
         ("all-PCM (no DRAM tier)", &all_pcm),
@@ -114,7 +137,12 @@ mod tests {
     #[test]
     fn hybrid_beats_all_pcm() {
         let o = outcome(true);
-        assert!(o.lru < o.all_pcm, "LRU hybrid {:.1} must beat all-PCM {:.1}", o.lru, o.all_pcm);
+        assert!(
+            o.lru < o.all_pcm,
+            "LRU hybrid {:.1} must beat all-PCM {:.1}",
+            o.lru,
+            o.all_pcm
+        );
         assert!(o.rbla < o.all_pcm);
     }
 

@@ -22,7 +22,9 @@ impl BimodalPredictor {
     /// Creates a table of `entries` 2-bit counters.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        BimodalPredictor { counters: vec![0; entries.max(1)] }
+        BimodalPredictor {
+            counters: vec![0; entries.max(1)],
+        }
     }
 
     fn index(&self, key: u64) -> usize {
@@ -48,7 +50,9 @@ fn streams(quick: bool) -> Vec<(&'static str, Vec<bool>)> {
     let n = if quick { 4_000 } else { 40_000 };
     let mut rng = SmallRng::seed_from_u64(91);
     let biased: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.9)).collect();
-    let pattern: Vec<bool> = (0..n).map(|i| [true, true, false, true, false][i % 5]).collect();
+    let pattern: Vec<bool> = (0..n)
+        .map(|i| [true, true, false, true, false][i % 5])
+        .collect();
     // History-correlated: taken iff exactly one of the last two was taken.
     let mut corr = Vec::with_capacity(n);
     let (mut h1, mut h2) = (false, true);
@@ -144,14 +148,24 @@ mod tests {
             .find(|(n, _, _)| n.contains("XOR"))
             .expect("correlated stream present")
             .clone();
-        assert!(per > 0.95, "perceptron should nail the XOR pattern, got {per:.3}");
-        assert!(per > bim + 0.2, "perceptron {per:.3} must clearly beat bimodal {bim:.3}");
+        assert!(
+            per > 0.95,
+            "perceptron should nail the XOR pattern, got {per:.3}"
+        );
+        assert!(
+            per > bim + 0.2,
+            "perceptron {per:.3} must clearly beat bimodal {bim:.3}"
+        );
     }
 
     #[test]
     fn both_handle_biased_branches() {
         let rows = rows(true);
-        let (_, bim, per) = rows.iter().find(|(n, _, _)| n.contains("biased")).expect("present").clone();
+        let (_, bim, per) = rows
+            .iter()
+            .find(|(n, _, _)| n.contains("biased"))
+            .expect("present")
+            .clone();
         assert!(bim > 0.8);
         assert!(per > 0.8);
     }
@@ -159,7 +173,11 @@ mod tests {
     #[test]
     fn nobody_predicts_randomness() {
         let rows = rows(true);
-        let (_, bim, per) = rows.iter().find(|(n, _, _)| n.contains("random")).expect("present").clone();
+        let (_, bim, per) = rows
+            .iter()
+            .find(|(n, _, _)| n.contains("random"))
+            .expect("present")
+            .clone();
         assert!((0.4..0.6).contains(&bim));
         assert!((0.4..0.6).contains(&per));
     }

@@ -14,20 +14,29 @@ use rand::SeedableRng;
 
 use crate::pct;
 
+// The hot structure is 4x the experiment's 64 KiB LLC: plain LRU
+// thrashes under the streaming pollution, giving the cache-policy
+// principles (data-driven DIP, data-aware hints) real headroom, and the
+// Zipf-scattered misses span many DRAM rows, giving AL-DRAM activations
+// to accelerate. A hot set that fits in the LLC makes every rung tie at
+// the baseline (all misses compulsory + sequential), which is what this
+// experiment originally mismeasured.
 const HOT_REGION: u64 = 0;
-const HOT_BYTES: u64 = 64 * 1024;
+const HOT_BYTES: u64 = 256 * 1024;
 const STREAM_REGION: u64 = 1 << 26;
 const STREAM_BYTES: u64 = 1 << 22;
 
 fn workload(quick: bool) -> Vec<TraceRequest> {
-    let n = if quick { 3_000 } else { 30_000 };
+    let n = if quick { 6_000 } else { 30_000 };
     let mut rng = SmallRng::seed_from_u64(97);
     let mut hot =
-        ZipfGen::new(HOT_REGION, (HOT_BYTES / 4096) as usize, 4096, 1.1, 0.2).expect("valid zipf");
+        ZipfGen::new(HOT_REGION, (HOT_BYTES / 4096) as usize, 4096, 1.3, 0.2).expect("valid zipf");
     let mut stream = StreamGen::new(STREAM_REGION, 64, STREAM_BYTES, 0.1).expect("valid stream");
+    // Two hot accesses per stream access: the reusable structure carries
+    // the run, the stream pollutes it.
     (0..n)
         .map(|i| {
-            if i % 3 == 0 {
+            if i % 3 != 0 {
                 hot.next_request(&mut rng)
             } else {
                 stream.next_request(&mut rng).on_thread(1)
@@ -36,11 +45,22 @@ fn workload(quick: bool) -> Vec<TraceRequest> {
         .collect()
 }
 
+/// The system configuration all rungs share: a 64 KiB LLC the workload
+/// actually fills and overflows, so cache policy is on the critical path.
+fn config() -> SystemConfig {
+    SystemConfig {
+        llc_bytes: 64 * 1024,
+        ..SystemConfig::default()
+    }
+}
+
 fn registry() -> AtomRegistry {
     let mut reg = AtomRegistry::new();
     reg.register(
         HOT_REGION..HOT_REGION + HOT_BYTES,
-        DataAttributes::new().criticality(Criticality::Critical).locality(Locality::Reuse),
+        DataAttributes::new()
+            .criticality(Criticality::Critical)
+            .locality(Locality::Reuse),
     )
     .expect("disjoint");
     reg.register(
@@ -55,7 +75,7 @@ fn registry() -> AtomRegistry {
 #[must_use]
 pub fn speedups(quick: bool) -> Vec<f64> {
     let trace = workload(quick);
-    run_ablation(&SystemConfig::default(), &registry(), &trace)
+    run_ablation(&config(), &registry(), &trace)
         .expect("ablation runs")
         .into_iter()
         .map(|r| r.speedup)
@@ -66,7 +86,7 @@ pub fn speedups(quick: bool) -> Vec<f64> {
 #[must_use]
 pub fn run(quick: bool) -> String {
     let trace = workload(quick);
-    let rows = run_ablation(&SystemConfig::default(), &registry(), &trace).expect("ablation runs");
+    let rows = run_ablation(&config(), &registry(), &trace).expect("ablation runs");
     let mut table = Table::new(&[
         "configuration",
         "cycles",
@@ -111,27 +131,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn full_system_does_not_regress() {
+    fn full_system_is_fastest() {
         let s = speedups(true);
         assert_eq!(s.len(), 4);
         assert!((s[0] - 1.0).abs() < 1e-12);
         let best = s.iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(
-            s[3] >= best * 0.95,
+            s[3] >= best * 0.99,
             "full system {:.3} should be at or near the best rung {best:.3}",
             s[3]
         );
-        // The RL scheduler keeps exploring (ε > 0) and the quick workload is
-        // only 3k requests, so allow a sliver of noise around a tie; a
-        // regression beyond 2% would be a real composition bug.
-        assert!(s[3] >= 0.98, "full system must not regress vs baseline: {:.3}", s[3]);
+        assert!(
+            s[3] > 1.05,
+            "full system must clearly beat the baseline: {:.3}",
+            s[3]
+        );
     }
 
     #[test]
-    fn data_centric_rung_helps() {
+    fn every_rung_contributes() {
         let s = speedups(true);
-        // Same exploration-noise slack as `full_system_does_not_regress`.
-        assert!(s[1] >= 0.98, "data-centric rung {:.3} must not regress", s[1]);
+        // The workload is sized so each principle has headroom: AL-DRAM
+        // accelerates the Zipf-scattered activations, DIP resists the
+        // stream's pollution, and the data-aware hints protect the hot
+        // structure outright. A small slack absorbs scheduler
+        // interleaving shifts between rungs.
+        assert!(
+            s[1] > 1.0,
+            "data-centric rung {:.3} must beat baseline",
+            s[1]
+        );
+        assert!(
+            s[2] >= s[1] * 0.99,
+            "data-driven rung {:.3} must not undo {:.3}",
+            s[2],
+            s[1]
+        );
+        assert!(
+            s[3] >= s[2],
+            "data-aware rung {:.3} must not undo {:.3}",
+            s[3],
+            s[2]
+        );
     }
 
     #[test]

@@ -52,8 +52,17 @@ fn workloads(quick: bool) -> Vec<(&'static str, Vec<u64>)> {
         .map(|r| r.addr)
         .collect();
     let mut chase_gen = PointerChaseGen::new(3 << 26, 128 * 1024, 64, &mut rng).expect("static");
-    let chase = chase_gen.generate(n, &mut rng).into_iter().map(|r| r.addr).collect();
-    vec![("stream", stream), ("strided", strided), ("zipf", zipf), ("pointer-chase", chase)]
+    let chase = chase_gen
+        .generate(n, &mut rng)
+        .into_iter()
+        .map(|r| r.addr)
+        .collect();
+    vec![
+        ("stream", stream),
+        ("strided", strided),
+        ("zipf", zipf),
+        ("pointer-chase", chase),
+    ]
 }
 
 /// Metrics per (workload, prefetcher) cell.
@@ -66,8 +75,7 @@ pub fn matrix(quick: bool) -> Vec<(String, Vec<(String, PrefetchMetrics)>)> {
                 .into_iter()
                 .map(|p| {
                     let name = p.name().to_owned();
-                    let mut h =
-                        PrefetchHarness::new(64 * 1024, 64, 8, p).expect("valid harness");
+                    let mut h = PrefetchHarness::new(64 * 1024, 64, 8, p).expect("valid harness");
                     for &a in &addrs {
                         h.demand(a);
                     }
@@ -82,7 +90,13 @@ pub fn matrix(quick: bool) -> Vec<(String, Vec<(String, PrefetchMetrics)>)> {
 /// Runs the experiment and renders the table.
 #[must_use]
 pub fn run(quick: bool) -> String {
-    let mut table = Table::new(&["workload", "prefetcher", "coverage", "accuracy", "issued/kdemand"]);
+    let mut table = Table::new(&[
+        "workload",
+        "prefetcher",
+        "coverage",
+        "accuracy",
+        "issued/kdemand",
+    ]);
     for (wname, cells) in matrix(quick) {
         for (pname, m) in cells {
             table.row(&[
@@ -104,8 +118,13 @@ pub fn run(quick: bool) -> String {
 /// Machine-readable report of the same run.
 #[must_use]
 pub fn report(quick: bool) -> crate::report::ExperimentReport {
-    let mut rep = crate::report::ExperimentReport::new("exp17_prefetchers", quick)
-        .columns(&["workload", "prefetcher", "coverage", "accuracy", "issued"]);
+    let mut rep = crate::report::ExperimentReport::new("exp17_prefetchers", quick).columns(&[
+        "workload",
+        "prefetcher",
+        "coverage",
+        "accuracy",
+        "issued",
+    ]);
     let mut best_coverage = 0.0f64;
     for (workload, cells) in matrix(quick) {
         for (prefetcher, m) in cells {

@@ -17,8 +17,15 @@ pub fn sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
     [0.02f64, 0.05, 0.10, 0.20, 0.30]
         .into_iter()
         .map(|rate| {
-            let buffered = simulate(RouterKind::Buffered, mesh, Traffic::UniformRandom, rate, cycles, 11)
-                .expect("valid run");
+            let buffered = simulate(
+                RouterKind::Buffered,
+                mesh,
+                Traffic::UniformRandom,
+                rate,
+                cycles,
+                11,
+            )
+            .expect("valid run");
             let bufferless = simulate(
                 RouterKind::BufferlessDeflection,
                 mesh,
@@ -63,8 +70,12 @@ pub fn run(quick: bool) -> String {
 #[must_use]
 pub fn report(quick: bool) -> crate::report::ExperimentReport {
     let data = sweep(quick);
-    let mut rep = crate::report::ExperimentReport::new("exp18_noc", quick)
-        .columns(&["injection_rate", "buffered_latency", "bufferless_latency", "deflections_per_packet"]);
+    let mut rep = crate::report::ExperimentReport::new("exp18_noc", quick).columns(&[
+        "injection_rate",
+        "buffered_latency",
+        "bufferless_latency",
+        "deflections_per_packet",
+    ]);
     for (rate, buffered, bufferless) in &data {
         let defl = if bufferless.delivered == 0 {
             0.0
@@ -108,7 +119,10 @@ mod tests {
         let low = s[0].2.deflections as f64 / s[0].2.delivered.max(1) as f64;
         let high = s.last().expect("non-empty").2.deflections as f64
             / s.last().expect("non-empty").2.delivered.max(1) as f64;
-        assert!(high > low, "deflections/pkt must rise with load: {low:.3} -> {high:.3}");
+        assert!(
+            high > low,
+            "deflections/pkt must rise with load: {low:.3} -> {high:.3}"
+        );
     }
 
     #[test]

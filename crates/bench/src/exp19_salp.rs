@@ -23,12 +23,16 @@ pub fn rows(quick: bool) -> Vec<(String, u64, u64)> {
 
     // Workloads over one bank: row streams with varying conflict structure.
     let same_row = vec![3u64; n];
-    let two_subarrays: Vec<u64> = (0..n).map(|i| if i % 2 == 0 { 0 } else { rows_per }).collect();
-    let all_subarrays: Vec<u64> =
-        (0..n).map(|i| (i as u64 % subarrays as u64) * rows_per).collect();
+    let two_subarrays: Vec<u64> = (0..n)
+        .map(|i| if i % 2 == 0 { 0 } else { rows_per })
+        .collect();
+    let all_subarrays: Vec<u64> = (0..n)
+        .map(|i| (i as u64 % subarrays as u64) * rows_per)
+        .collect();
     let intra_subarray: Vec<u64> = (0..n).map(|i| (i % 4) as u64).collect();
-    let random: Vec<u64> =
-        (0..n).map(|_| rng.gen_range(0..subarrays as u64 * rows_per)).collect();
+    let random: Vec<u64> = (0..n)
+        .map(|_| rng.gen_range(0..subarrays as u64 * rows_per))
+        .collect();
 
     [
         ("single row (all hits)", same_row),
@@ -42,7 +46,11 @@ pub fn rows(quick: bool) -> Vec<(String, u64, u64)> {
         let timing = DramConfig::ddr3_1600().timing;
         let mut conv = SalpBank::new(BankOrganization::Conventional, timing, subarrays, rows_per);
         let mut salp = SalpBank::new(BankOrganization::Salp, timing, subarrays, rows_per);
-        (name.to_owned(), serve_stream(&mut conv, &stream), serve_stream(&mut salp, &stream))
+        (
+            name.to_owned(),
+            serve_stream(&mut conv, &stream),
+            serve_stream(&mut salp, &stream),
+        )
     })
     .collect()
 }
@@ -50,9 +58,19 @@ pub fn rows(quick: bool) -> Vec<(String, u64, u64)> {
 /// Runs the experiment and renders the table.
 #[must_use]
 pub fn run(quick: bool) -> String {
-    let mut table = Table::new(&["row stream", "conventional (cy)", "SALP/MASA (cy)", "speedup"]);
+    let mut table = Table::new(&[
+        "row stream",
+        "conventional (cy)",
+        "SALP/MASA (cy)",
+        "speedup",
+    ]);
     for (name, conv, salp) in rows(quick) {
-        table.row(&[name, conv.to_string(), salp.to_string(), ratio(conv as f64, salp as f64)]);
+        table.row(&[
+            name,
+            conv.to_string(),
+            salp.to_string(),
+            ratio(conv as f64, salp as f64),
+        ]);
     }
     format!(
         "E19: subarray-level parallelism within one bank\n\
@@ -64,8 +82,12 @@ pub fn run(quick: bool) -> String {
 /// Machine-readable report of the same run.
 #[must_use]
 pub fn report(quick: bool) -> crate::report::ExperimentReport {
-    let mut rep = crate::report::ExperimentReport::new("exp19_salp", quick)
-        .columns(&["row_stream", "conventional_cycles", "salp_cycles", "speedup"]);
+    let mut rep = crate::report::ExperimentReport::new("exp19_salp", quick).columns(&[
+        "row_stream",
+        "conventional_cycles",
+        "salp_cycles",
+        "speedup",
+    ]);
     for (name, conv, salp) in rows(quick) {
         let key = name.to_lowercase().replace([' ', '-'], "_");
         let speedup = conv as f64 / salp.max(1) as f64;
@@ -84,7 +106,10 @@ mod tests {
     use super::*;
 
     fn get(rows: &[(String, u64, u64)], name: &str) -> (u64, u64) {
-        let r = rows.iter().find(|(n, _, _)| n.contains(name)).expect("row present");
+        let r = rows
+            .iter()
+            .find(|(n, _, _)| n.contains(name))
+            .expect("row present");
         (r.1, r.2)
     }
 
@@ -97,7 +122,10 @@ mod tests {
             "ping-pong: SALP {salp} vs conventional {conv}"
         );
         let (conv, salp) = get(&rows, "round-robin");
-        assert!((salp as f64) < conv as f64 * 0.8, "round-robin: {salp} vs {conv}");
+        assert!(
+            (salp as f64) < conv as f64 * 0.8,
+            "round-robin: {salp} vs {conv}"
+        );
     }
 
     #[test]
@@ -114,7 +142,10 @@ mod tests {
         let rows = rows(true);
         let (conv, salp) = get(&rows, "random");
         assert!(salp <= conv);
-        assert!((salp as f64) > conv as f64 * 0.3, "random gains are bounded");
+        assert!(
+            (salp as f64) > conv as f64 * 0.3,
+            "random gains are bounded"
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ mod tests {
         let s = sweep();
         let at16 = s.iter().find(|r| r.0 == 16).expect("16x present");
         assert!(at16.1 > 0.9, "16x interval saves >90% of refreshes");
-        assert!(at16.3 < 0.02, "robust layer loses <2% accuracy at 16x, got {}", at16.3);
+        assert!(
+            at16.3 < 0.02,
+            "robust layer loses <2% accuracy at 16x, got {}",
+            at16.3
+        );
     }
 
     #[test]

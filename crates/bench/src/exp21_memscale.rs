@@ -20,10 +20,16 @@ pub fn sweep(quick: bool) -> Vec<(f64, f64, f64)> {
         .map(|base| {
             // Bursty trace around the base utilization.
             let trace: Vec<f64> = (0..epochs)
-                .map(|i| if i % 10 == 0 { (base * 2.5).min(0.95) } else { base * 0.8 })
+                .map(|i| {
+                    if i % 10 == 0 {
+                        (base * 2.5).min(0.95)
+                    } else {
+                        base * 0.8
+                    }
+                })
                 .collect();
-            let mut g = MemScaleGovernor::new(standard_points().to_vec(), 0.10)
-                .expect("valid governor");
+            let mut g =
+                MemScaleGovernor::new(standard_points().to_vec(), 0.10).expect("valid governor");
             let o = g.run(&trace).expect("trace runs");
             (base, o.energy, o.slowdown)
         })
@@ -98,13 +104,19 @@ mod tests {
         }
         assert!(s[0].1 < 0.5, "idle epochs save >50%: {}", s[0].1);
         let busy = s.last().expect("non-empty").1;
-        assert!(busy > 0.95, "a saturated channel cannot scale down: energy {busy:.2}");
+        assert!(
+            busy > 0.95,
+            "a saturated channel cannot scale down: energy {busy:.2}"
+        );
     }
 
     #[test]
     fn slowdown_budget_is_respected_everywhere() {
         for (u, _, slowdown) in sweep(true) {
-            assert!(slowdown <= 1.10 + 1e-9, "budget violated at {u}: {slowdown}");
+            assert!(
+                slowdown <= 1.10 + 1e-9,
+                "budget violated at {u}: {slowdown}"
+            );
         }
     }
 

@@ -19,8 +19,20 @@ pub fn matrix(quick: bool) -> Vec<(u32, usize, u64, u64)> {
     for dep in [0u32, 500, 1000] {
         for window in [16usize, 64, 256] {
             let trace = build_trace(loads, 5, dep);
-            let stall = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 0 });
-            let ra = execute(&trace, CoreModel { miss_latency: 200, runahead_window: window });
+            let stall = execute(
+                &trace,
+                CoreModel {
+                    miss_latency: 200,
+                    runahead_window: 0,
+                },
+            );
+            let ra = execute(
+                &trace,
+                CoreModel {
+                    miss_latency: 200,
+                    runahead_window: window,
+                },
+            );
             out.push((dep, window, stall, ra));
         }
     }
@@ -57,12 +69,18 @@ pub fn run(quick: bool) -> String {
 #[must_use]
 pub fn report(quick: bool) -> crate::report::ExperimentReport {
     let data = matrix(quick);
-    let max_speedup = data
-        .iter()
-        .fold(0.0f64, |a, &(_, _, stall, ra)| a.max(stall as f64 / ra.max(1) as f64));
+    let max_speedup = data.iter().fold(0.0f64, |a, &(_, _, stall, ra)| {
+        a.max(stall as f64 / ra.max(1) as f64)
+    });
     let mut rep = crate::report::ExperimentReport::new("exp22_runahead", quick)
         .metric("max_speedup", max_speedup)
-        .columns(&["dependent_load_permille", "runahead_window", "stall_cycles", "runahead_cycles", "speedup"]);
+        .columns(&[
+            "dependent_load_permille",
+            "runahead_window",
+            "stall_cycles",
+            "runahead_cycles",
+            "speedup",
+        ]);
     for (dep, window, stall, ra) in &data {
         rep = rep.row(&[
             dep.to_string(),
@@ -83,9 +101,16 @@ mod tests {
     fn independent_misses_speed_up_with_window() {
         let m = matrix(true);
         let at = |dep: u32, w: usize| {
-            m.iter().find(|r| r.0 == dep && r.1 == w).map(|r| r.2 as f64 / r.3 as f64).expect("cell")
+            m.iter()
+                .find(|r| r.0 == dep && r.1 == w)
+                .map(|r| r.2 as f64 / r.3 as f64)
+                .expect("cell")
         };
-        assert!(at(0, 64) > 3.0, "independent loads must overlap: {:.1}", at(0, 64));
+        assert!(
+            at(0, 64) > 3.0,
+            "independent loads must overlap: {:.1}",
+            at(0, 64)
+        );
         assert!(at(0, 256) >= at(0, 16), "bigger windows help");
     }
 
@@ -101,7 +126,10 @@ mod tests {
     fn half_dependent_sits_between() {
         let m = matrix(true);
         let s = |dep: u32| {
-            m.iter().find(|r| r.0 == dep && r.1 == 64).map(|r| r.2 as f64 / r.3 as f64).expect("cell")
+            m.iter()
+                .find(|r| r.0 == dep && r.1 == 64)
+                .map(|r| r.2 as f64 / r.3 as f64)
+                .expect("cell")
         };
         assert!(s(500) > s(1000) - 1e-9);
         assert!(s(500) < s(0));

@@ -74,7 +74,13 @@ pub fn report(quick: bool) -> crate::report::ExperimentReport {
     let max_cut = data.iter().fold(0.0f64, |a, &(_, _, _, cut, _)| a.max(cut));
     let mut rep = crate::report::ExperimentReport::new("exp23_gsdram", quick)
         .metric("max_traffic_cut", max_cut)
-        .columns(&["stride", "conventional_bytes", "gsdram_bytes", "traffic_cut", "efficiency_gain"]);
+        .columns(&[
+            "stride",
+            "conventional_bytes",
+            "gsdram_bytes",
+            "traffic_cut",
+            "efficiency_gain",
+        ]);
     for (stride, conv, gs, cut, eff) in &data {
         rep = rep.row(&[
             stride.to_string(),

@@ -73,7 +73,10 @@ impl ExperimentReport {
     /// Looks up a headline metric by name.
     #[must_use]
     pub fn metric_value(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
     }
 
     /// Renders the report as a JSON value.
@@ -84,10 +87,16 @@ impl ExperimentReport {
             .iter()
             .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
             .collect();
-        let metrics =
-            self.metrics.iter().map(|(k, v)| (k.clone(), JsonValue::Num(*v))).collect();
-        let headers =
-            self.headers.iter().map(|h| JsonValue::Str(h.clone())).collect();
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Num(*v)))
+            .collect();
+        let headers = self
+            .headers
+            .iter()
+            .map(|h| JsonValue::Str(h.clone()))
+            .collect();
         let rows = self
             .rows
             .iter()
@@ -127,9 +136,9 @@ impl ExperimentReport {
             Some(JsonValue::Obj(entries)) => entries
                 .iter()
                 .map(|(k, v)| {
-                    v.as_f64().map(|n| (k.clone(), n)).ok_or_else(|| {
-                        format!("metric `{k}` is not a number")
-                    })
+                    v.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("metric `{k}` is not a number"))
                 })
                 .collect::<Result<_, _>>()?,
             _ => return Err("missing object field `metrics`".to_owned()),
@@ -160,7 +169,13 @@ impl ExperimentReport {
                 .collect::<Result<_, _>>()?,
             _ => return Err("missing array field `rows`".to_owned()),
         };
-        Ok(ExperimentReport { name, params, metrics, headers, rows })
+        Ok(ExperimentReport {
+            name,
+            params,
+            metrics,
+            headers,
+            rows,
+        })
     }
 
     /// Renders the report as CSV: the result table when one is present,
@@ -183,7 +198,10 @@ impl ExperimentReport {
 
 /// Returns the value following `flag` in `args`, if present.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Shared experiment-binary entry point: prints the human-readable run
@@ -242,7 +260,9 @@ mod tests {
         let rep = sample();
         assert_eq!(rep.metric_value("speedup"), Some(11.6));
         assert_eq!(rep.metric_value("missing"), None);
-        assert!(rep.params.contains(&("quick".to_owned(), "true".to_owned())));
+        assert!(rep
+            .params
+            .contains(&("quick".to_owned(), "true".to_owned())));
     }
 
     #[test]

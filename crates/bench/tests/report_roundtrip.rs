@@ -24,12 +24,19 @@ fn exp02_report_round_trips_through_json_on_disk() {
 
     assert_eq!(back, rep);
     assert_eq!(back.name, "exp02_rowclone");
-    assert!(back.params.contains(&("quick".to_owned(), "true".to_owned())));
+    assert!(back
+        .params
+        .contains(&("quick".to_owned(), "true".to_owned())));
 
     // The headline RowClone result must survive the trip: in-DRAM copy
     // is an order of magnitude faster than copying over the channel.
-    let speedup = back.metric_value("fpm_speedup").expect("headline metric present");
-    assert!(speedup > 1.0, "FPM speedup should beat the channel: {speedup:.2}");
+    let speedup = back
+        .metric_value("fpm_speedup")
+        .expect("headline metric present");
+    assert!(
+        speedup > 1.0,
+        "FPM speedup should beat the channel: {speedup:.2}"
+    );
 }
 
 #[test]

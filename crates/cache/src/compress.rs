@@ -115,19 +115,34 @@ pub fn bdi_compress(block: &[u8]) -> Result<Compressed, CacheError> {
         return Err(CacheError::invalid("BDI operates on 64-byte blocks"));
     }
     if block.iter().all(|&b| b == 0) {
-        return Ok(Compressed { encoding: BdiEncoding::Zeros, bytes: 1 });
+        return Ok(Compressed {
+            encoding: BdiEncoding::Zeros,
+            bytes: 1,
+        });
     }
     let first = read_segment(block, 0, 8);
     if (0..8).all(|s| read_segment(block, s * 8, 8) == first) {
-        return Ok(Compressed { encoding: BdiEncoding::Repeated, bytes: 8 });
+        return Ok(Compressed {
+            encoding: BdiEncoding::Repeated,
+            bytes: 8,
+        });
     }
     // Candidate (base, delta) pairs in increasing compressed size.
-    let mut best = Compressed { encoding: BdiEncoding::Uncompressed, bytes: 64 };
+    let mut best = Compressed {
+        encoding: BdiEncoding::Uncompressed,
+        bytes: 64,
+    };
     for (base_w, delta_w) in [(8usize, 1usize), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1)] {
-        let enc = BdiEncoding::BaseDelta { base: base_w as u8, delta: delta_w as u8 };
+        let enc = BdiEncoding::BaseDelta {
+            base: base_w as u8,
+            delta: delta_w as u8,
+        };
         let size = enc.compressed_bytes();
         if size < best.bytes && try_base_delta(block, base_w, delta_w) {
-            best = Compressed { encoding: enc, bytes: size };
+            best = Compressed {
+                encoding: enc,
+                bytes: size,
+            };
         }
     }
     Ok(best)
@@ -168,9 +183,15 @@ pub fn fpc_compress(block: &[u8]) -> Result<Compressed, CacheError> {
     }
     let bytes = bits.div_ceil(8);
     if bytes >= 64 {
-        Ok(Compressed { encoding: BdiEncoding::Uncompressed, bytes: 64 })
+        Ok(Compressed {
+            encoding: BdiEncoding::Uncompressed,
+            bytes: 64,
+        })
     } else {
-        Ok(Compressed { encoding: BdiEncoding::Uncompressed, bytes })
+        Ok(Compressed {
+            encoding: BdiEncoding::Uncompressed,
+            bytes,
+        })
     }
 }
 
@@ -181,7 +202,9 @@ pub fn fpc_compress(block: &[u8]) -> Result<Compressed, CacheError> {
 /// Returns [`CacheError`] if `data` is not a multiple of 64 bytes or empty.
 pub fn average_bdi_ratio(data: &[u8]) -> Result<f64, CacheError> {
     if data.is_empty() || !data.len().is_multiple_of(64) {
-        return Err(CacheError::invalid("data must be a non-empty multiple of 64 bytes"));
+        return Err(CacheError::invalid(
+            "data must be a non-empty multiple of 64 bytes",
+        ));
     }
     let mut compressed = 0usize;
     for block in data.chunks_exact(64) {
@@ -214,7 +237,9 @@ impl CompressedCache {
     /// power of two.
     pub fn new(size_bytes: usize, sets: usize, line_bytes: u64) -> Result<Self, CacheError> {
         if size_bytes == 0 || sets == 0 || line_bytes == 0 {
-            return Err(CacheError::invalid("compressed cache dimensions must be non-zero"));
+            return Err(CacheError::invalid(
+                "compressed cache dimensions must be non-zero",
+            ));
         }
         if !sets.is_power_of_two() {
             return Err(CacheError::invalid("set count must be a power of two"));
@@ -325,7 +350,11 @@ mod tests {
             b[i * 4..(i + 1) * 4].copy_from_slice(&(i as u32 % 100).to_le_bytes());
         }
         let c = bdi_compress(&b).unwrap();
-        assert!(c.bytes < 32, "narrow data should compress >2x, got {} bytes", c.bytes);
+        assert!(
+            c.bytes < 32,
+            "narrow data should compress >2x, got {} bytes",
+            c.bytes
+        );
     }
 
     #[test]
@@ -334,7 +363,9 @@ mod tests {
         let mut b = [0u8; 64];
         let mut x = 0x0123_4567_89AB_CDEF_u64;
         for byte in &mut b {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *byte = (x >> 56) as u8;
         }
         let c = bdi_compress(&b).unwrap();
@@ -351,7 +382,11 @@ mod tests {
     #[test]
     fn fpc_compresses_zero_and_narrow_words() {
         let c = fpc_compress(&[0u8; 64]).unwrap();
-        assert!(c.bytes <= 8, "all-zero FPC block should be tiny, got {}", c.bytes);
+        assert!(
+            c.bytes <= 8,
+            "all-zero FPC block should be tiny, got {}",
+            c.bytes
+        );
         let mut b = [0u8; 64];
         b[0] = 42; // one narrow word, rest zero
         let c = fpc_compress(&b).unwrap();

@@ -133,7 +133,10 @@ pub fn static_policies() -> [(&'static str, InsertionPolicy); 3] {
     [
         ("MRU (LRU cache)", InsertionPolicy::Mru),
         ("LIP", InsertionPolicy::Lru),
-        ("BIP(ε=1/32)", InsertionPolicy::Bimodal { mru_per_mille: 32 }),
+        (
+            "BIP(ε=1/32)",
+            InsertionPolicy::Bimodal { mru_per_mille: 32 },
+        ),
     ]
 }
 
@@ -176,14 +179,19 @@ mod tests {
                 c.access(i * 64, CacheOp::Read);
             }
         }
-        assert!(!c.followers_use_bip(), "LRU-friendly workload should keep MRU insertion");
+        assert!(
+            !c.followers_use_bip(),
+            "LRU-friendly workload should keep MRU insertion"
+        );
     }
 
     #[test]
     fn dip_beats_worst_static_policy_under_thrash() {
         let lines: Vec<u64> = (0..4096 / 64 * 3).map(|i| i * 64).collect();
         let run_static = |policy| {
-            let mut c = Cache::new(4096, 64, 4).unwrap().with_insertion_policy(policy);
+            let mut c = Cache::new(4096, 64, 4)
+                .unwrap()
+                .with_insertion_policy(policy);
             for _ in 0..60 {
                 for &a in &lines {
                     c.access(a, CacheOp::Read);
@@ -199,7 +207,10 @@ mod tests {
             }
         }
         let dip_rate = dip.cache().stats().hit_rate();
-        assert!(dip_rate > mru, "DIP {dip_rate:.3} must beat MRU {mru:.3} under thrash");
+        assert!(
+            dip_rate > mru,
+            "DIP {dip_rate:.3} must beat MRU {mru:.3} under thrash"
+        );
     }
 
     #[test]

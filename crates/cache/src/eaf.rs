@@ -18,13 +18,21 @@ struct AddrBloom {
 
 impl AddrBloom {
     fn new(bits: usize, capacity: usize) -> Self {
-        AddrBloom { bits: vec![0; bits.div_ceil(64)], m: bits, insertions: 0, capacity }
+        AddrBloom {
+            bits: vec![0; bits.div_ceil(64)],
+            m: bits,
+            insertions: 0,
+            capacity,
+        }
     }
 
     fn positions(&self, key: u64) -> [usize; 2] {
         let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let h2 = key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
-        [(h1 % self.m as u64) as usize, (h1.wrapping_add(h2) % self.m as u64) as usize]
+        [
+            (h1 % self.m as u64) as usize,
+            (h1.wrapping_add(h2) % self.m as u64) as usize,
+        ]
     }
 
     fn insert(&mut self, key: u64) {
@@ -40,7 +48,9 @@ impl AddrBloom {
     }
 
     fn contains(&self, key: u64) -> bool {
-        self.positions(key).iter().all(|&p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+        self.positions(key)
+            .iter()
+            .all(|&p| self.bits[p / 64] & (1 << (p % 64)) != 0)
     }
 }
 
@@ -73,7 +83,12 @@ impl EafCache {
     pub fn new(cache: Cache) -> Self {
         let lines = cache.set_count() * cache.ways();
         let filter = AddrBloom::new((lines * 16).max(64), lines.max(8));
-        EafCache { cache, filter, reuse_fills: 0, pollution_fills: 0 }
+        EafCache {
+            cache,
+            filter,
+            reuse_fills: 0,
+            pollution_fills: 0,
+        }
     }
 
     /// Accesses the cache with EAF-guided insertion.
@@ -89,7 +104,8 @@ impl EafCache {
             } else {
                 self.pollution_fills += 1;
             }
-            self.cache.access_with_priority(addr, op, Some(predicted_reuse))
+            self.cache
+                .access_with_priority(addr, op, Some(predicted_reuse))
         };
         if let Some(evicted) = result.evicted {
             self.filter.insert(evicted / self.cache.line_bytes());
@@ -158,7 +174,10 @@ mod tests {
             c.cache().stats().hits - before
         };
 
-        assert!(run_eaf >= run_plain, "EAF {run_eaf} hits vs plain {run_plain}");
+        assert!(
+            run_eaf >= run_plain,
+            "EAF {run_eaf} hits vs plain {run_plain}"
+        );
         assert_eq!(run_eaf, 4, "all four hot lines must survive the scan");
     }
 
@@ -172,7 +191,10 @@ mod tests {
         let pollution_before = c.pollution_fills;
         // ...then refetch an evicted line: the filter recognises it.
         c.access(0, CacheOp::Read);
-        assert!(c.reuse_fills >= 1, "refetch of evicted line must be classified as reuse");
+        assert!(
+            c.reuse_fills >= 1,
+            "refetch of evicted line must be classified as reuse"
+        );
         assert_eq!(c.pollution_fills, pollution_before);
     }
 

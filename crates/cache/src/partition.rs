@@ -32,7 +32,9 @@ impl UtilityMonitor {
             return Err(CacheError::invalid("monitor dimensions must be non-zero"));
         }
         if !sets.is_power_of_two() {
-            return Err(CacheError::invalid("monitor set count must be a power of two"));
+            return Err(CacheError::invalid(
+                "monitor set count must be a power of two",
+            ));
         }
         Ok(UtilityMonitor {
             sets: vec![Vec::new(); sets],
@@ -154,7 +156,9 @@ impl PartitionedCache {
         quotas: Vec<usize>,
     ) -> Result<Self, CacheError> {
         if sets == 0 || ways == 0 || line_bytes == 0 || quotas.is_empty() {
-            return Err(CacheError::invalid("partitioned cache dimensions must be non-zero"));
+            return Err(CacheError::invalid(
+                "partitioned cache dimensions must be non-zero",
+            ));
         }
         if !sets.is_power_of_two() {
             return Err(CacheError::invalid("set count must be a power of two"));
@@ -181,7 +185,9 @@ impl PartitionedCache {
     /// change the thread count.
     pub fn set_quotas(&mut self, quotas: Vec<usize>) -> Result<(), CacheError> {
         if quotas.len() != self.quotas.len() {
-            return Err(CacheError::invalid("quota vector must keep the same thread count"));
+            return Err(CacheError::invalid(
+                "quota vector must keep the same thread count",
+            ));
         }
         if quotas.iter().sum::<usize>() != self.ways {
             return Err(CacheError::invalid("quotas must sum to the associativity"));
@@ -259,7 +265,11 @@ mod tests {
             m.record(64);
         }
         assert!(m.hits_with_ways(2) > m.hits_with_ways(1));
-        assert_eq!(m.hits_with_ways(4), m.hits_with_ways(2), "no deeper reuse exists");
+        assert_eq!(
+            m.hits_with_ways(4),
+            m.hits_with_ways(2),
+            "no deeper reuse exists"
+        );
         assert_eq!(m.accesses(), 20);
     }
 
@@ -284,7 +294,11 @@ mod tests {
             b.record(i * 64);
         }
         let alloc = partition_by_utility(&[a, b], 16).unwrap();
-        assert!(alloc[0] >= 8, "reuse thread should win ≥8 ways, got {:?}", alloc);
+        assert!(
+            alloc[0] >= 8,
+            "reuse thread should win ≥8 ways, got {:?}",
+            alloc
+        );
         assert_eq!(alloc.iter().sum::<usize>(), 16);
         assert!(alloc[1] >= 1, "every thread keeps at least one way");
     }
@@ -313,14 +327,24 @@ mod tests {
         for i in 0..3u64 {
             c.access(i * 64, 0, CacheOp::Read);
         }
-        assert_eq!(c.thread_stats[0].hits - before, 3, "quota protected thread 0");
+        assert_eq!(
+            c.thread_stats[0].hits - before,
+            3,
+            "quota protected thread 0"
+        );
     }
 
     #[test]
     fn partitioned_cache_validates() {
         assert!(PartitionedCache::new(0, 4, 64, vec![4]).is_err());
-        assert!(PartitionedCache::new(2, 4, 64, vec![3]).is_err(), "quota sum mismatch");
-        assert!(PartitionedCache::new(3, 4, 64, vec![4]).is_err(), "sets not power of two");
+        assert!(
+            PartitionedCache::new(2, 4, 64, vec![3]).is_err(),
+            "quota sum mismatch"
+        );
+        assert!(
+            PartitionedCache::new(3, 4, 64, vec![4]).is_err(),
+            "sets not power of two"
+        );
         assert!(PartitionedCache::new(2, 4, 64, vec![]).is_err());
     }
 

@@ -143,7 +143,9 @@ impl Cache {
         }
         let lines = size_bytes / line_bytes;
         if lines == 0 || !lines.is_multiple_of(ways as u64) {
-            return Err(CacheError::invalid("size must be divisible by line size × ways"));
+            return Err(CacheError::invalid(
+                "size must be divisible by line size × ways",
+            ));
         }
         let set_count = (lines / ways as u64) as usize;
         if !set_count.is_power_of_two() {
@@ -250,7 +252,11 @@ impl Cache {
                 line.dirty = true;
             }
             self.stats.hits += 1;
-            return CacheAccess { hit: true, writeback: None, evicted: None };
+            return CacheAccess {
+                hit: true,
+                writeback: None,
+                evicted: None,
+            };
         }
         self.stats.misses += 1;
 
@@ -298,10 +304,23 @@ impl Cache {
         } else {
             // One below the current minimum: next miss evicts this line
             // unless it is re-referenced (which promotes it).
-            set.iter().flatten().map(|l| l.stamp).min().unwrap_or(1).saturating_sub(1)
+            set.iter()
+                .flatten()
+                .map(|l| l.stamp)
+                .min()
+                .unwrap_or(1)
+                .saturating_sub(1)
         };
-        set[victim_way] = Some(Line { tag, dirty: op == CacheOp::Write, stamp });
-        CacheAccess { hit: false, writeback, evicted }
+        set[victim_way] = Some(Line {
+            tag,
+            dirty: op == CacheOp::Write,
+            stamp,
+        });
+        CacheAccess {
+            hit: false,
+            writeback,
+            evicted,
+        }
     }
 
     /// Invalidates `addr` if present; returns `true` if a dirty line was
@@ -365,7 +384,10 @@ mod tests {
         assert!(Cache::new(1024, 0, 4).is_err());
         assert!(Cache::new(1024, 64, 0).is_err());
         assert!(Cache::new(1024, 48, 4).is_err(), "line not power of two");
-        assert!(Cache::new(64 * 3, 64, 1).is_err(), "3 sets not a power of two");
+        assert!(
+            Cache::new(64 * 3, 64, 1).is_err(),
+            "3 sets not a power of two"
+        );
     }
 
     #[test]
@@ -416,7 +438,9 @@ mod tests {
         // Working set of 3 lines cycling through a 2-way set: MRU insertion
         // yields zero hits; LRU insertion lets part of the set stick.
         let run = |policy: InsertionPolicy| {
-            let mut c = Cache::new(128, 64, 2).unwrap().with_insertion_policy(policy);
+            let mut c = Cache::new(128, 64, 2)
+                .unwrap()
+                .with_insertion_policy(policy);
             for _ in 0..100 {
                 for addr in [0u64, 128, 256] {
                     c.access(addr, CacheOp::Read);
@@ -427,7 +451,10 @@ mod tests {
         let mru_hits = run(InsertionPolicy::Mru);
         let lip_hits = run(InsertionPolicy::Lru);
         assert_eq!(mru_hits, 0, "cyclic thrash defeats MRU insertion");
-        assert!(lip_hits > 50, "LIP must retain part of the working set: {lip_hits}");
+        assert!(
+            lip_hits > 50,
+            "LIP must retain part of the working set: {lip_hits}"
+        );
     }
 
     #[test]
@@ -449,7 +476,10 @@ mod tests {
         for i in 1..50u64 {
             c.access_with_priority(i * 128, CacheOp::Read, Some(false));
         }
-        assert!(c.contains(0), "high-priority line survived low-priority churn");
+        assert!(
+            c.contains(0),
+            "high-priority line survived low-priority churn"
+        );
     }
 
     #[test]

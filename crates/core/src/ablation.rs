@@ -34,7 +34,10 @@ pub fn run_ablation(
     let mut rows = Vec::new();
     let mut baseline_cycles = None;
     for principles in PrincipleSet::ladder() {
-        let config = SystemConfig { principles, ..base_config.clone() };
+        let config = SystemConfig {
+            principles,
+            ..base_config.clone()
+        };
         let system = IntelligentSystem::new(config).with_registry(registry.clone());
         let report = system.run(trace)?;
         let cycles = report.cycles().max(1);
@@ -67,7 +70,11 @@ mod tests {
         assert_eq!(rows[0].principles.count(), 0);
         assert_eq!(rows[3].principles.count(), 3);
         // The full system should not be slower than the baseline.
-        assert!(rows[3].speedup >= 0.95, "full system speedup {}", rows[3].speedup);
+        assert!(
+            rows[3].speedup >= 0.95,
+            "full system speedup {}",
+            rows[3].speedup
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ pub struct CoreError {
 
 impl CoreError {
     pub(crate) fn invalid(msg: &str) -> Self {
-        CoreError { msg: msg.to_owned() }
+        CoreError {
+            msg: msg.to_owned(),
+        }
     }
 
     pub(crate) fn config(msg: String) -> Self {

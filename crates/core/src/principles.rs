@@ -20,7 +20,11 @@ impl Principle {
     /// All three principles.
     #[must_use]
     pub fn all() -> [Principle; 3] {
-        [Principle::DataCentric, Principle::DataDriven, Principle::DataAware]
+        [
+            Principle::DataCentric,
+            Principle::DataDriven,
+            Principle::DataAware,
+        ]
     }
 }
 
@@ -62,7 +66,11 @@ impl PrincipleSet {
     /// The full intelligent architecture.
     #[must_use]
     pub fn all() -> Self {
-        PrincipleSet { centric: true, driven: true, aware: true }
+        PrincipleSet {
+            centric: true,
+            driven: true,
+            aware: true,
+        }
     }
 
     /// Adds a principle.
@@ -98,7 +106,9 @@ impl PrincipleSet {
         [
             PrincipleSet::none(),
             PrincipleSet::none().with(Principle::DataCentric),
-            PrincipleSet::none().with(Principle::DataCentric).with(Principle::DataDriven),
+            PrincipleSet::none()
+                .with(Principle::DataCentric)
+                .with(Principle::DataDriven),
             PrincipleSet::all(),
         ]
     }
@@ -145,7 +155,10 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(PrincipleSet::none().to_string(), "processor-centric baseline");
+        assert_eq!(
+            PrincipleSet::none().to_string(),
+            "processor-centric baseline"
+        );
         assert_eq!(
             PrincipleSet::all().to_string(),
             "data-centric+data-driven+data-aware"

@@ -171,7 +171,10 @@ impl IntelligentSystem {
     /// Creates a system from a configuration.
     #[must_use]
     pub fn new(config: SystemConfig) -> Self {
-        IntelligentSystem { config, registry: AtomRegistry::new() }
+        IntelligentSystem {
+            config,
+            registry: AtomRegistry::new(),
+        }
     }
 
     /// Attaches an X-Mem atom registry (used by the data-aware principle).
@@ -286,7 +289,12 @@ impl IntelligentSystem {
         let memory = run_closed_loop_with(ctrl, &miss_traces, cfg.window, cfg.max_cycles)
             .map_err(|e| CoreError::config(e.to_string()))?;
 
-        Ok(SystemReport { principles: p, llc_hit_rate, memory_requests, memory })
+        Ok(SystemReport {
+            principles: p,
+            llc_hit_rate,
+            memory_requests,
+            memory,
+        })
     }
 }
 
@@ -310,7 +318,9 @@ mod tests {
 
     fn zipf_trace(n: usize) -> Vec<TraceRequest> {
         let mut r = rng();
-        ZipfGen::new(0, 4096, 4096, 1.1, 0.2).unwrap().generate(n, &mut r)
+        ZipfGen::new(0, 4096, 4096, 1.1, 0.2)
+            .unwrap()
+            .generate(n, &mut r)
     }
 
     #[test]
@@ -331,16 +341,24 @@ mod tests {
     #[test]
     fn streaming_trace_hits_llc_heavily() {
         let mut r = rng();
-        let trace = StreamGen::new(0, 64, 16 * 1024, 0.0).unwrap().generate(5000, &mut r);
+        let trace = StreamGen::new(0, 64, 16 * 1024, 0.0)
+            .unwrap()
+            .generate(5000, &mut r);
         let sys = IntelligentSystem::new(SystemConfig::default());
         let report = sys.run(&trace).unwrap();
-        assert!(report.llc_hit_rate > 0.9, "small working set should hit: {}", report.llc_hit_rate);
+        assert!(
+            report.llc_hit_rate > 0.9,
+            "small working set should hit: {}",
+            report.llc_hit_rate
+        );
     }
 
     #[test]
     fn data_centric_system_is_no_slower() {
         let trace = zipf_trace(4000);
-        let base = IntelligentSystem::new(SystemConfig::default()).run(&trace).unwrap();
+        let base = IntelligentSystem::new(SystemConfig::default())
+            .run(&trace)
+            .unwrap();
         let centric = IntelligentSystem::new(SystemConfig {
             principles: PrincipleSet::none().with(Principle::DataCentric),
             ..SystemConfig::default()

@@ -26,14 +26,22 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells render empty, extras are dropped.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
         self.rows.push(
             (0..self.headers.len())
-                .map(|i| cells.get(i).map(|c| c.as_ref().to_owned()).unwrap_or_default())
+                .map(|i| {
+                    cells
+                        .get(i)
+                        .map(|c| c.as_ref().to_owned())
+                        .unwrap_or_default()
+                })
                 .collect(),
         );
         self
@@ -96,7 +104,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines.len() >= 4);
         let width = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == width), "all lines equal width:\n{s}");
+        assert!(
+            lines.iter().all(|l| l.len() == width),
+            "all lines equal width:\n{s}"
+        );
         assert!(!t.is_empty());
         assert_eq!(t.len(), 1);
     }

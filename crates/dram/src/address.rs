@@ -132,7 +132,10 @@ mod tests {
         let m = AddressMapping::BankInterleaved;
         let a = m.decode(PhysAddr::new(0), &g);
         let b = m.decode(PhysAddr::new(64), &g);
-        assert!(!a.same_bank(&b), "consecutive lines should hit different banks");
+        assert!(
+            !a.same_bank(&b),
+            "consecutive lines should hit different banks"
+        );
     }
 
     #[test]
@@ -168,7 +171,10 @@ mod tests {
     #[test]
     fn decode_respects_geometry_bounds() {
         let g = geo();
-        for m in [AddressMapping::RowInterleaved, AddressMapping::BankInterleaved] {
+        for m in [
+            AddressMapping::RowInterleaved,
+            AddressMapping::BankInterleaved,
+        ] {
             for addr in (0..(1u64 << 33)).step_by(1 << 27) {
                 let loc = m.decode(PhysAddr::new(addr), &g);
                 assert!(loc.channel < g.channels);

@@ -98,7 +98,12 @@ impl Bank {
         self.check(cmd, now, timing).is_ok()
     }
 
-    fn check(&self, cmd: &Command, now: Cycle, _timing: &TimingParams) -> Result<(), IssueErrorReason> {
+    fn check(
+        &self,
+        cmd: &Command,
+        now: Cycle,
+        _timing: &TimingParams,
+    ) -> Result<(), IssueErrorReason> {
         match cmd {
             Command::Activate { .. } => {
                 if self.open_row.is_some() {
@@ -159,30 +164,45 @@ impl Bank {
                 self.next_col = now + timing.t_rcd;
                 self.next_pre = now + timing.t_ras;
                 self.next_act = now + timing.t_rc();
-                Ok(IssueOutcome { data_ready: None, outcome: Some(outcome) })
+                Ok(IssueOutcome {
+                    data_ready: None,
+                    outcome: Some(outcome),
+                })
             }
             Command::Precharge => {
                 self.open_row = None;
                 self.next_act = self.next_act.max(now + timing.t_rp);
-                Ok(IssueOutcome { data_ready: None, outcome: None })
+                Ok(IssueOutcome {
+                    data_ready: None,
+                    outcome: None,
+                })
             }
             Command::Read { .. } => {
                 let data_ready = now + timing.t_cl + timing.t_bl;
                 self.next_col = now + timing.t_ccd;
                 self.next_pre = self.next_pre.max(now + timing.t_rtp);
-                Ok(IssueOutcome { data_ready: Some(data_ready), outcome: None })
+                Ok(IssueOutcome {
+                    data_ready: Some(data_ready),
+                    outcome: None,
+                })
             }
             Command::Write { .. } => {
                 let data_end = now + timing.t_cwl + timing.t_bl;
                 self.next_col = now + timing.t_ccd;
                 self.next_pre = self.next_pre.max(data_end + timing.t_wr);
-                Ok(IssueOutcome { data_ready: Some(data_end), outcome: None })
+                Ok(IssueOutcome {
+                    data_ready: Some(data_end),
+                    outcome: None,
+                })
             }
             Command::Refresh => {
                 // Refresh is rank-scoped; at the bank level it simply blocks
                 // the bank for tRFC.
                 self.next_act = now + timing.t_rfc;
-                Ok(IssueOutcome { data_ready: None, outcome: None })
+                Ok(IssueOutcome {
+                    data_ready: None,
+                    outcome: None,
+                })
             }
         }
     }
@@ -222,26 +242,42 @@ mod tests {
     fn activate_then_read_respects_trcd() {
         let timing = t();
         let mut bank = Bank::new();
-        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing)
+            .unwrap();
         assert_eq!(bank.open_row(), Some(1));
         // Read too early must fail with the correct ready time.
         let err = bank
-            .issue(Command::Read { column: 0 }, Cycle::new(timing.t_rcd - 1), &timing)
+            .issue(
+                Command::Read { column: 0 },
+                Cycle::new(timing.t_rcd - 1),
+                &timing,
+            )
             .unwrap_err();
         assert_eq!(err.ready_at(), Some(Cycle::new(timing.t_rcd)));
         // Read exactly at tRCD succeeds.
-        let out = bank.issue(Command::Read { column: 0 }, Cycle::new(timing.t_rcd), &timing).unwrap();
-        assert_eq!(out.data_ready, Some(Cycle::new(timing.t_rcd + timing.t_cl + timing.t_bl)));
+        let out = bank
+            .issue(
+                Command::Read { column: 0 },
+                Cycle::new(timing.t_rcd),
+                &timing,
+            )
+            .unwrap();
+        assert_eq!(
+            out.data_ready,
+            Some(Cycle::new(timing.t_rcd + timing.t_cl + timing.t_bl))
+        );
     }
 
     #[test]
     fn precharge_respects_tras() {
         let timing = t();
         let mut bank = Bank::new();
-        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing)
+            .unwrap();
         assert!(!bank.can_issue(&Command::Precharge, Cycle::new(timing.t_ras - 1), &timing));
         assert!(bank.can_issue(&Command::Precharge, Cycle::new(timing.t_ras), &timing));
-        bank.issue(Command::Precharge, Cycle::new(timing.t_ras), &timing).unwrap();
+        bank.issue(Command::Precharge, Cycle::new(timing.t_ras), &timing)
+            .unwrap();
         assert_eq!(bank.open_row(), None);
         // Next activate gated by tRP after the precharge.
         assert_eq!(
@@ -254,19 +290,27 @@ mod tests {
     fn write_recovery_delays_precharge() {
         let timing = t();
         let mut bank = Bank::new();
-        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing)
+            .unwrap();
         let wr_at = Cycle::new(timing.t_rcd);
-        bank.issue(Command::Write { column: 0 }, wr_at, &timing).unwrap();
+        bank.issue(Command::Write { column: 0 }, wr_at, &timing)
+            .unwrap();
         let expected_pre = wr_at + timing.t_cwl + timing.t_bl + timing.t_wr;
-        assert_eq!(bank.ready_at(&Command::Precharge, &timing), expected_pre.max(Cycle::new(timing.t_ras)));
+        assert_eq!(
+            bank.ready_at(&Command::Precharge, &timing),
+            expected_pre.max(Cycle::new(timing.t_ras))
+        );
     }
 
     #[test]
     fn double_activate_is_rejected() {
         let timing = t();
         let mut bank = Bank::new();
-        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing).unwrap();
-        let err = bank.issue(Command::Activate { row: 2 }, Cycle::new(1000), &timing).unwrap_err();
+        bank.issue(Command::Activate { row: 1 }, Cycle::ZERO, &timing)
+            .unwrap();
+        let err = bank
+            .issue(Command::Activate { row: 2 }, Cycle::new(1000), &timing)
+            .unwrap_err();
         assert_eq!(err.reason(), IssueErrorReason::BankAlreadyOpen);
     }
 
@@ -274,7 +318,9 @@ mod tests {
     fn column_to_closed_bank_is_rejected() {
         let timing = t();
         let mut bank = Bank::new();
-        let err = bank.issue(Command::Read { column: 0 }, Cycle::ZERO, &timing).unwrap_err();
+        let err = bank
+            .issue(Command::Read { column: 0 }, Cycle::ZERO, &timing)
+            .unwrap_err();
         assert_eq!(err.reason(), IssueErrorReason::BankClosed);
     }
 
@@ -283,7 +329,8 @@ mod tests {
         let timing = t();
         let mut bank = Bank::new();
         assert_eq!(bank.row_buffer_outcome(5), RowBufferOutcome::Miss);
-        bank.issue(Command::Activate { row: 5 }, Cycle::ZERO, &timing).unwrap();
+        bank.issue(Command::Activate { row: 5 }, Cycle::ZERO, &timing)
+            .unwrap();
         assert_eq!(bank.row_buffer_outcome(5), RowBufferOutcome::Hit);
         assert_eq!(bank.row_buffer_outcome(6), RowBufferOutcome::Conflict);
     }
@@ -294,7 +341,8 @@ mod tests {
         let mut bank = Bank::new();
         for i in 0..3u64 {
             let act_at = bank.ready_at(&Command::Activate { row: i }, &timing);
-            bank.issue(Command::Activate { row: i }, act_at, &timing).unwrap();
+            bank.issue(Command::Activate { row: i }, act_at, &timing)
+                .unwrap();
             let pre_at = bank.ready_at(&Command::Precharge, &timing);
             bank.issue(Command::Precharge, pre_at, &timing).unwrap();
         }
@@ -305,10 +353,16 @@ mod tests {
     fn consecutive_reads_respect_tccd() {
         let timing = t();
         let mut bank = Bank::new();
-        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing).unwrap();
+        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing)
+            .unwrap();
         let first = Cycle::new(timing.t_rcd);
-        bank.issue(Command::Read { column: 0 }, first, &timing).unwrap();
-        assert!(!bank.can_issue(&Command::Read { column: 1 }, first + (timing.t_ccd - 1), &timing));
+        bank.issue(Command::Read { column: 0 }, first, &timing)
+            .unwrap();
+        assert!(!bank.can_issue(
+            &Command::Read { column: 1 },
+            first + (timing.t_ccd - 1),
+            &timing
+        ));
         assert!(bank.can_issue(&Command::Read { column: 1 }, first + timing.t_ccd, &timing));
     }
 
@@ -316,9 +370,14 @@ mod tests {
     fn same_bank_act_to_act_is_trc() {
         let timing = t();
         let mut bank = Bank::new();
-        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing).unwrap();
-        bank.issue(Command::Precharge, Cycle::new(timing.t_ras), &timing).unwrap();
+        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing)
+            .unwrap();
+        bank.issue(Command::Precharge, Cycle::new(timing.t_ras), &timing)
+            .unwrap();
         // tRC = tRAS + tRP must be enforced even with the early precharge.
-        assert_eq!(bank.ready_at(&Command::Activate { row: 1 }, &timing), Cycle::new(timing.t_rc()));
+        assert_eq!(
+            bank.ready_at(&Command::Activate { row: 1 }, &timing),
+            Cycle::new(timing.t_rc())
+        );
     }
 }

@@ -65,6 +65,14 @@ impl Channel {
         &mut self.ranks[rank]
     }
 
+    /// Earliest cycle the shared data bus can accept another column
+    /// command (ignoring turnaround penalties). A next-event hint for the
+    /// simulation engine.
+    #[must_use]
+    pub fn bus_free_at(&self) -> Cycle {
+        self.next_col
+    }
+
     fn bus_gate(&self, cmd: &Command, timing: &TimingParams) -> Cycle {
         match cmd {
             Command::Read { .. } => {
@@ -82,7 +90,13 @@ impl Channel {
 
     /// Earliest cycle at which `cmd` satisfies bank, rank, and bus timing.
     #[must_use]
-    pub fn ready_at(&self, rank: usize, bank: usize, cmd: &Command, timing: &TimingParams) -> Cycle {
+    pub fn ready_at(
+        &self,
+        rank: usize,
+        bank: usize,
+        cmd: &Command,
+        timing: &TimingParams,
+    ) -> Cycle {
         self.ranks[rank]
             .ready_at(bank, cmd, timing)
             .max(self.bus_gate(cmd, timing))
@@ -153,31 +167,42 @@ mod tests {
     #[test]
     fn bus_serializes_reads_across_ranks() {
         let (mut ch, t) = setup();
-        ch.issue(0, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
-        ch.issue(1, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
+        ch.issue(0, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
+        ch.issue(1, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
         let rd0 = ch.ready_at(0, 0, &Command::Read { column: 0 }, &t);
-        ch.issue(0, 0, Command::Read { column: 0 }, rd0, &t).unwrap();
+        ch.issue(0, 0, Command::Read { column: 0 }, rd0, &t)
+            .unwrap();
         // Read on the other rank shares the data bus: must wait the burst gap.
         let rd1 = ch.ready_at(1, 0, &Command::Read { column: 0 }, &t);
         assert!(rd1 >= rd0 + t.t_bl.max(t.t_ccd));
-        ch.issue(1, 0, Command::Read { column: 0 }, rd1, &t).unwrap();
+        ch.issue(1, 0, Command::Read { column: 0 }, rd1, &t)
+            .unwrap();
     }
 
     #[test]
     fn write_to_read_turnaround() {
         let (mut ch, t) = setup();
-        ch.issue(0, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
+        ch.issue(0, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
         let wr = ch.ready_at(0, 0, &Command::Write { column: 0 }, &t);
-        let out = ch.issue(0, 0, Command::Write { column: 0 }, wr, &t).unwrap();
+        let out = ch
+            .issue(0, 0, Command::Write { column: 0 }, wr, &t)
+            .unwrap();
         let data_end = out.data_ready.unwrap();
         let rd = ch.ready_at(0, 0, &Command::Read { column: 1 }, &t);
-        assert!(rd >= data_end + t.t_wtr, "tWTR must separate WR data from the next RD");
+        assert!(
+            rd >= data_end + t.t_wtr,
+            "tWTR must separate WR data from the next RD"
+        );
     }
 
     #[test]
     fn activates_ignore_the_data_bus() {
         let (mut ch, t) = setup();
-        ch.issue(0, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
+        ch.issue(0, 0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
         let rd = ch.ready_at(0, 0, &Command::Read { column: 0 }, &t);
         ch.issue(0, 0, Command::Read { column: 0 }, rd, &t).unwrap();
         // An activate on the other rank can go immediately (no bus conflict).
@@ -187,7 +212,9 @@ mod tests {
     #[test]
     fn out_of_range_rank() {
         let (mut ch, t) = setup();
-        let err = ch.issue(9, 0, Command::Precharge, Cycle::ZERO, &t).unwrap_err();
+        let err = ch
+            .issue(9, 0, Command::Precharge, Cycle::ZERO, &t)
+            .unwrap_err();
         assert_eq!(err.reason(), IssueErrorReason::OutOfRange);
     }
 

@@ -103,11 +103,12 @@ impl Geometry {
             }
         }
         if self.column_bytes > self.row_bytes {
-            return Err(ConfigError::inconsistent(
-                "column_bytes exceeds row_bytes",
-            ));
+            return Err(ConfigError::inconsistent("column_bytes exceeds row_bytes"));
         }
-        if !self.rows_per_bank.is_multiple_of(self.subarrays_per_bank as u64) {
+        if !self
+            .rows_per_bank
+            .is_multiple_of(self.subarrays_per_bank as u64)
+        {
             return Err(ConfigError::inconsistent(
                 "rows_per_bank must be divisible by subarrays_per_bank",
             ));
@@ -547,8 +548,13 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for cfg in [DramConfig::ddr3_1600(), DramConfig::ddr4_2400(), DramConfig::lpddr4_3200()] {
-            cfg.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", cfg.name));
+        for cfg in [
+            DramConfig::ddr3_1600(),
+            DramConfig::ddr4_2400(),
+            DramConfig::lpddr4_3200(),
+        ] {
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", cfg.name));
         }
     }
 
@@ -588,7 +594,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_non_power_of_two_rows() {
-        let err = DramConfig::default().to_builder().rows_per_bank(3000).build();
+        let err = DramConfig::default()
+            .to_builder()
+            .rows_per_bank(3000)
+            .build();
         assert!(err.is_err());
     }
 
@@ -619,7 +628,10 @@ mod tests {
 
     #[test]
     fn geometry_rejects_indivisible_subarrays() {
-        let geo = Geometry { subarrays_per_bank: 3, ..Geometry::default() };
+        let geo = Geometry {
+            subarrays_per_bank: 3,
+            ..Geometry::default()
+        };
         assert!(geo.validate().is_err());
     }
 }

@@ -92,7 +92,12 @@ impl EnergyCounter {
 
     /// Background (standby) energy over an elapsed interval.
     #[must_use]
-    pub fn background_pj(elapsed: Cycle, ranks: usize, timing: &TimingParams, params: &EnergyParams) -> f64 {
+    pub fn background_pj(
+        elapsed: Cycle,
+        ranks: usize,
+        timing: &TimingParams,
+        params: &EnergyParams,
+    ) -> f64 {
         let seconds = elapsed.as_u64() as f64 * timing.tck_ns() * 1e-9;
         // mW × s = mJ = 1e9 pJ
         params.background_mw * seconds * ranks as f64 * 1e9
@@ -100,7 +105,13 @@ impl EnergyCounter {
 
     /// Total energy including background power over `elapsed`.
     #[must_use]
-    pub fn total_pj(&self, elapsed: Cycle, ranks: usize, timing: &TimingParams, params: &EnergyParams) -> f64 {
+    pub fn total_pj(
+        &self,
+        elapsed: Cycle,
+        ranks: usize,
+        timing: &TimingParams,
+        params: &EnergyParams,
+    ) -> f64 {
         self.dynamic_pj() + Self::background_pj(elapsed, ranks, timing, params)
     }
 
@@ -206,8 +217,10 @@ mod tests {
     #[test]
     fn background_scales_with_time_and_ranks() {
         let cfg = DramConfig::ddr3_1600();
-        let one = EnergyCounter::background_pj(Cycle::new(800_000_000), 1, &cfg.timing, &cfg.energy);
-        let two = EnergyCounter::background_pj(Cycle::new(800_000_000), 2, &cfg.timing, &cfg.energy);
+        let one =
+            EnergyCounter::background_pj(Cycle::new(800_000_000), 1, &cfg.timing, &cfg.energy);
+        let two =
+            EnergyCounter::background_pj(Cycle::new(800_000_000), 2, &cfg.timing, &cfg.energy);
         // 800M cycles at 1.25 ns = 1 second; 60 mW ≈ 60 mJ = 6e10 pJ.
         assert!((one - 6e10).abs() / 6e10 < 1e-6, "got {one}");
         assert!((two / one - 2.0).abs() < 1e-9);

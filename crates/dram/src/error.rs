@@ -20,15 +20,21 @@ enum ConfigErrorKind {
 
 impl ConfigError {
     pub(crate) fn zero_dimension(field: &'static str) -> Self {
-        ConfigError { kind: ConfigErrorKind::ZeroDimension(field) }
+        ConfigError {
+            kind: ConfigErrorKind::ZeroDimension(field),
+        }
     }
 
     pub(crate) fn not_power_of_two(field: &'static str, value: u64) -> Self {
-        ConfigError { kind: ConfigErrorKind::NotPowerOfTwo(field, value) }
+        ConfigError {
+            kind: ConfigErrorKind::NotPowerOfTwo(field, value),
+        }
     }
 
     pub(crate) fn inconsistent(msg: &'static str) -> Self {
-        ConfigError { kind: ConfigErrorKind::Inconsistent(msg) }
+        ConfigError {
+            kind: ConfigErrorKind::Inconsistent(msg),
+        }
     }
 }
 
@@ -39,7 +45,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "configuration field `{field}` must be non-zero")
             }
             ConfigErrorKind::NotPowerOfTwo(field, v) => {
-                write!(f, "configuration field `{field}` must be a power of two, got {v}")
+                write!(
+                    f,
+                    "configuration field `{field}` must be a power of two, got {v}"
+                )
             }
             ConfigErrorKind::Inconsistent(msg) => write!(f, "inconsistent configuration: {msg}"),
         }
@@ -74,7 +83,11 @@ pub enum IssueErrorReason {
 
 impl IssueError {
     pub(crate) fn new(command: Command, at: Cycle, reason: IssueErrorReason) -> Self {
-        IssueError { command, at, reason }
+        IssueError {
+            command,
+            at,
+            reason,
+        }
     }
 
     /// The offending command.
@@ -114,13 +127,25 @@ impl fmt::Display for IssueError {
                 self.command, self.at
             ),
             IssueErrorReason::BankClosed => {
-                write!(f, "command {} at {} targets a closed bank", self.command, self.at)
+                write!(
+                    f,
+                    "command {} at {} targets a closed bank",
+                    self.command, self.at
+                )
             }
             IssueErrorReason::BankAlreadyOpen => {
-                write!(f, "activate {} at {} but a row is already open", self.command, self.at)
+                write!(
+                    f,
+                    "activate {} at {} but a row is already open",
+                    self.command, self.at
+                )
             }
             IssueErrorReason::OutOfRange => {
-                write!(f, "command {} at {} addresses outside the device", self.command, self.at)
+                write!(
+                    f,
+                    "command {} at {} addresses outside the device",
+                    self.command, self.at
+                )
             }
             IssueErrorReason::RankNotIdle => {
                 write!(f, "refresh at {} while rank has open rows", self.at)
@@ -138,19 +163,29 @@ mod tests {
     #[test]
     fn config_error_messages() {
         assert!(ConfigError::zero_dimension("x").to_string().contains('x'));
-        assert!(ConfigError::not_power_of_two("y", 3).to_string().contains('3'));
+        assert!(ConfigError::not_power_of_two("y", 3)
+            .to_string()
+            .contains('3'));
         assert!(ConfigError::inconsistent("z").to_string().contains('z'));
     }
 
     #[test]
     fn issue_error_accessors() {
-        let e = IssueError::new(Command::Precharge, Cycle::new(5), IssueErrorReason::TooEarly(Cycle::new(9)));
+        let e = IssueError::new(
+            Command::Precharge,
+            Cycle::new(5),
+            IssueErrorReason::TooEarly(Cycle::new(9)),
+        );
         assert_eq!(e.command(), Command::Precharge);
         assert_eq!(e.at(), Cycle::new(5));
         assert_eq!(e.ready_at(), Some(Cycle::new(9)));
         assert!(e.to_string().contains("legal at"));
 
-        let e = IssueError::new(Command::Refresh, Cycle::new(1), IssueErrorReason::RankNotIdle);
+        let e = IssueError::new(
+            Command::Refresh,
+            Cycle::new(1),
+            IssueErrorReason::RankNotIdle,
+        );
         assert_eq!(e.ready_at(), None);
         assert!(!e.to_string().is_empty());
     }

@@ -14,8 +14,7 @@ use std::collections::HashMap;
 use crate::{Cycle, TimingParams};
 
 /// Latency mode applied on top of nominal device timing.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LatencyMode {
     /// Nominal datasheet timing.
     #[default]
@@ -49,7 +48,6 @@ pub enum LatencyMode {
         far_scale: f64,
     },
 }
-
 
 impl LatencyMode {
     /// Applies a uniform scale to the row-timing parameters.

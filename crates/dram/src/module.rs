@@ -206,11 +206,14 @@ impl DramModule {
                 }
             }
             (
-                LatencyMode::TieredLatency { near_fraction, near_scale, far_scale },
+                LatencyMode::TieredLatency {
+                    near_fraction,
+                    near_scale,
+                    far_scale,
+                },
                 Command::Activate { row },
             ) => {
-                let near_rows =
-                    (self.config.geometry.rows_per_bank as f64 * near_fraction) as u64;
+                let near_rows = (self.config.geometry.rows_per_bank as f64 * near_fraction) as u64;
                 if *row < near_rows {
                     LatencyMode::scaled(&nominal, near_scale)
                 } else {
@@ -224,7 +227,22 @@ impl DramModule {
     /// Earliest cycle at which `cmd` for `loc` satisfies all timing.
     #[must_use]
     pub fn ready_at(&self, loc: &Location, cmd: &Command) -> Cycle {
-        self.channels[loc.channel].ready_at(loc.rank, self.bank_index(loc), cmd, &self.config.timing)
+        self.channels[loc.channel].ready_at(
+            loc.rank,
+            self.bank_index(loc),
+            cmd,
+            &self.config.timing,
+        )
+    }
+
+    /// Earliest cycle at which *the next command needed* to serve an
+    /// access to `loc` becomes issuable. This is the per-request
+    /// next-event hint the simulation engine aggregates over the request
+    /// queue: while the controller sits idle, no queued request can make
+    /// progress before the minimum of these.
+    #[must_use]
+    pub fn next_ready_for(&self, loc: &Location, kind: AccessKind) -> Cycle {
+        self.ready_at(loc, &self.next_needed(loc, kind))
     }
 
     /// Issues `cmd` for `loc` at `now`, updating stats and energy.
@@ -249,16 +267,22 @@ impl DramModule {
             bank: bank_idx,
             cmd,
         });
-        self.energy.record(&cmd, self.config.geometry.column_bytes, &self.config.energy);
+        self.energy
+            .record(&cmd, self.config.geometry.column_bytes, &self.config.energy);
         match cmd {
             Command::Activate { .. } => self.stats.activates += 1,
             Command::Precharge => {
                 self.stats.precharges += 1;
-                if let (LatencyMode::ChargeCache { entries_per_bank, .. }, Some(row)) =
-                    (self.latency, open_before)
+                if let (
+                    LatencyMode::ChargeCache {
+                        entries_per_bank, ..
+                    },
+                    Some(row),
+                ) = (self.latency, open_before)
                 {
                     let bank = loc.flat_bank(&self.config.geometry);
-                    self.charge_cache.note_close(bank, row, now, entries_per_bank);
+                    self.charge_cache
+                        .note_close(bank, row, now, entries_per_bank);
                 }
             }
             Command::Read { .. } => self.stats.reads += 1,
@@ -304,7 +328,11 @@ impl DramModule {
             let at = self.ready_at(loc, &cmd).max(earliest);
             let out = self.issue(loc, cmd, at)?;
             if let Some(data_ready) = out.data_ready {
-                return Ok(AccessResult { issued_at: at, data_ready, outcome });
+                return Ok(AccessResult {
+                    issued_at: at,
+                    data_ready,
+                    outcome,
+                });
             }
         }
     }
@@ -326,7 +354,12 @@ impl DramModule {
         let banks = self.config.geometry.banks_per_rank();
         // Close any open banks.
         for bank in 0..banks {
-            if self.channels[channel].rank(rank).bank(bank).open_row().is_some() {
+            if self.channels[channel]
+                .rank(rank)
+                .bank(bank)
+                .open_row()
+                .is_some()
+            {
                 let at = self.channels[channel]
                     .ready_at(rank, bank, &Command::Precharge, &timing)
                     .max(earliest);
@@ -339,7 +372,8 @@ impl DramModule {
             .max(earliest);
         self.channels[channel].issue(rank, 0, Command::Refresh, at, &timing)?;
         self.stats.refreshes += 1;
-        self.energy.record(&Command::Refresh, 0, &self.config.energy);
+        self.energy
+            .record(&Command::Refresh, 0, &self.config.energy);
         Ok(at + timing.t_rfc)
     }
 
@@ -395,7 +429,9 @@ mod tests {
     #[test]
     fn first_access_is_a_row_miss() {
         let mut dram = module();
-        let r = dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let r = dram
+            .access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         assert_eq!(r.outcome, RowBufferOutcome::Miss);
         let t = dram.config().timing;
         assert_eq!(r.data_ready, Cycle::new(t.t_rcd + t.t_cl + t.t_bl));
@@ -406,8 +442,11 @@ mod tests {
     #[test]
     fn second_access_same_row_hits() {
         let mut dram = module();
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
-        let r = dram.access(PhysAddr::new(64), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        let r = dram
+            .access(PhysAddr::new(64), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         assert_eq!(r.outcome, RowBufferOutcome::Hit);
         assert_eq!(dram.stats().activates, 1, "no second activate");
     }
@@ -415,13 +454,16 @@ mod tests {
     #[test]
     fn conflicting_row_precharges_first() {
         let mut dram = module();
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         // Same bank, different row (row-interleaved: one full row stride × banks).
         let geo = dram.config().geometry;
         let row_stride = geo.row_bytes
             * (geo.banks_per_group * geo.bank_groups * geo.ranks) as u64
             * geo.channels as u64;
-        let r = dram.access(PhysAddr::new(row_stride), AccessKind::Read, Cycle::ZERO).unwrap();
+        let r = dram
+            .access(PhysAddr::new(row_stride), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         assert_eq!(r.outcome, RowBufferOutcome::Conflict);
         assert_eq!(dram.stats().precharges, 1);
         assert_eq!(dram.stats().activates, 2);
@@ -430,7 +472,8 @@ mod tests {
     #[test]
     fn writes_are_counted_and_charged() {
         let mut dram = module();
-        dram.access(PhysAddr::new(0), AccessKind::Write, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Write, Cycle::ZERO)
+            .unwrap();
         assert_eq!(dram.stats().writes, 1);
         assert!(dram.energy().io_pj > 0.0);
     }
@@ -438,12 +481,15 @@ mod tests {
     #[test]
     fn refresh_rank_closes_banks_and_blocks() {
         let mut dram = module();
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         let done = dram.refresh_rank(0, 0, Cycle::new(100)).unwrap();
         assert!(done > Cycle::new(100 + dram.config().timing.t_rfc - 1));
         assert_eq!(dram.stats().refreshes, 1);
         // Next access must be after the refresh completes.
-        let r = dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        let r = dram
+            .access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         assert!(r.issued_at >= done);
     }
 
@@ -453,34 +499,53 @@ mod tests {
         let mut fast = DramModule::new(DramConfig::ddr3_1600())
             .unwrap()
             .with_latency_mode(LatencyMode::AlDram { scale: 0.6 });
-        let a = nominal.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
-        let b = fast.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
-        assert!(b.data_ready < a.data_ready, "AL-DRAM must reduce miss latency");
+        let a = nominal
+            .access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        let b = fast
+            .access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        assert!(
+            b.data_ready < a.data_ready,
+            "AL-DRAM must reduce miss latency"
+        );
     }
 
     #[test]
     fn charge_cache_accelerates_reopened_rows() {
-        let mode = LatencyMode::ChargeCache { entries_per_bank: 8, window: 100_000, scale: 0.6 };
-        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap().with_latency_mode(mode);
+        let mode = LatencyMode::ChargeCache {
+            entries_per_bank: 8,
+            window: 100_000,
+            scale: 0.6,
+        };
+        let mut dram = DramModule::new(DramConfig::ddr3_1600())
+            .unwrap()
+            .with_latency_mode(mode);
         let geo = dram.config().geometry;
         let row_stride = geo.row_bytes
             * (geo.banks_per_group * geo.bank_groups * geo.ranks) as u64
             * geo.channels as u64;
 
         // Open row 0, conflict to row 1 (closing row 0), then re-open row 0.
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
-        dram.access(PhysAddr::new(row_stride), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        dram.access(PhysAddr::new(row_stride), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         let t0 = dram.ready_at(&dram.decode(PhysAddr::new(0)), &Command::Precharge);
         let reopen = dram.access(PhysAddr::new(0), AccessKind::Read, t0).unwrap();
         assert_eq!(reopen.outcome, RowBufferOutcome::Conflict);
-        assert!(dram.charge_cache_hit_rate() > 0.0, "row 0 was recently closed");
+        assert!(
+            dram.charge_cache_hit_rate() > 0.0,
+            "row 0 was recently closed"
+        );
     }
 
     #[test]
     fn trace_captures_command_sequence_when_enabled() {
         let mut dram = module();
         dram.enable_trace(16);
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         let cmds: Vec<Command> = dram.trace().iter().map(|e| e.cmd).collect();
         assert_eq!(cmds.len(), 2, "miss = ACT then RD");
         assert!(matches!(cmds[0], Command::Activate { .. }));
@@ -491,11 +556,13 @@ mod tests {
     #[test]
     fn trace_is_off_by_default_and_bounded_when_on() {
         let mut dram = module();
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         assert!(dram.trace().is_empty());
         dram.enable_trace(2);
         for i in 0..8u64 {
-            dram.access(PhysAddr::new(i * 64), AccessKind::Read, Cycle::ZERO).unwrap();
+            dram.access(PhysAddr::new(i * 64), AccessKind::Read, Cycle::ZERO)
+                .unwrap();
         }
         assert_eq!(dram.trace().len(), 2, "ring stays bounded");
         assert!(dram.trace().dropped() > 0, "overwrites are counted");
@@ -505,7 +572,8 @@ mod tests {
     fn module_exports_stats_energy_and_trace_counters() {
         let mut dram = module();
         dram.enable_trace(4);
-        dram.access(PhysAddr::new(0), AccessKind::Write, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Write, Cycle::ZERO)
+            .unwrap();
         let mut reg = ia_telemetry::Registry::new();
         reg.collect("dram", &dram);
         let snap = reg.snapshot(0);
@@ -527,7 +595,9 @@ mod tests {
         let mut dram = module();
         let addr = PhysAddr::new(0x12340);
         let loc = dram.decode(addr);
-        let a = dram.access_loc(&loc, AccessKind::Read, Cycle::ZERO).unwrap();
+        let a = dram
+            .access_loc(&loc, AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         assert!(a.data_ready > Cycle::ZERO);
         assert_eq!(dram.open_row(&loc), Some(loc.row));
     }

@@ -71,6 +71,14 @@ impl Rank {
         self.banks.iter().all(|b| b.open_row().is_none())
     }
 
+    /// The cycle until which the whole rank is blocked by an in-progress
+    /// refresh (`tRFC`). Used as a next-event hint by the simulation
+    /// engine: nothing on this rank can issue before it.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycle {
+        self.refresh_until
+    }
+
     fn faw_gate(&self, timing: &TimingParams) -> Cycle {
         // With 4 activates inside the window, the next is legal tFAW after
         // the oldest of the last 4.
@@ -85,7 +93,9 @@ impl Rank {
     /// Earliest cycle at which `cmd` to `bank` satisfies bank + rank timing.
     #[must_use]
     pub fn ready_at(&self, bank: usize, cmd: &Command, timing: &TimingParams) -> Cycle {
-        let base = self.banks[bank].ready_at(cmd, timing).max(self.refresh_until);
+        let base = self.banks[bank]
+            .ready_at(cmd, timing)
+            .max(self.refresh_until);
         match cmd {
             Command::Activate { .. } => base.max(self.next_act_rrd).max(self.faw_gate(timing)),
             Command::Refresh => {
@@ -137,7 +147,11 @@ impl Rank {
             return Err(IssueError::new(cmd, now, IssueErrorReason::OutOfRange));
         }
         if now < self.refresh_until {
-            return Err(IssueError::new(cmd, now, IssueErrorReason::TooEarly(self.refresh_until)));
+            return Err(IssueError::new(
+                cmd,
+                now,
+                IssueErrorReason::TooEarly(self.refresh_until),
+            ));
         }
         match cmd {
             Command::Activate { .. } => {
@@ -167,7 +181,10 @@ impl Rank {
                 }
                 self.refresh_until = until;
                 self.refreshes += 1;
-                Ok(IssueOutcome { data_ready: None, outcome: None })
+                Ok(IssueOutcome {
+                    data_ready: None,
+                    outcome: None,
+                })
             }
             _ => self.banks[bank].issue(cmd, now, timing),
         }
@@ -193,10 +210,14 @@ mod tests {
     fn trrd_gates_cross_bank_activates() {
         let t = timing();
         let mut rank = Rank::new(8);
-        rank.issue(0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
-        let err = rank.issue(1, Command::Activate { row: 0 }, Cycle::new(t.t_rrd - 1), &t).unwrap_err();
+        rank.issue(0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
+        let err = rank
+            .issue(1, Command::Activate { row: 0 }, Cycle::new(t.t_rrd - 1), &t)
+            .unwrap_err();
         assert_eq!(err.ready_at(), Some(Cycle::new(t.t_rrd)));
-        rank.issue(1, Command::Activate { row: 0 }, Cycle::new(t.t_rrd), &t).unwrap();
+        rank.issue(1, Command::Activate { row: 0 }, Cycle::new(t.t_rrd), &t)
+            .unwrap();
     }
 
     #[test]
@@ -206,7 +227,8 @@ mod tests {
         let mut now = Cycle::ZERO;
         for b in 0..4 {
             now = rank.ready_at(b, &Command::Activate { row: 0 }, &t);
-            rank.issue(b, Command::Activate { row: 0 }, now, &t).unwrap();
+            rank.issue(b, Command::Activate { row: 0 }, now, &t)
+                .unwrap();
         }
         // Fifth activate must wait until tFAW after the first.
         let fifth_ready = rank.ready_at(4, &Command::Activate { row: 0 }, &t);
@@ -218,11 +240,15 @@ mod tests {
     fn refresh_requires_closed_banks_and_blocks_rank() {
         let t = timing();
         let mut rank = Rank::new(2);
-        rank.issue(0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
-        let err = rank.issue(0, Command::Refresh, Cycle::new(1000), &t).unwrap_err();
+        rank.issue(0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
+        let err = rank
+            .issue(0, Command::Refresh, Cycle::new(1000), &t)
+            .unwrap_err();
         assert_eq!(err.reason(), IssueErrorReason::RankNotIdle);
 
-        rank.issue(0, Command::Precharge, Cycle::new(t.t_ras), &t).unwrap();
+        rank.issue(0, Command::Precharge, Cycle::new(t.t_ras), &t)
+            .unwrap();
         let ref_at = rank.ready_at(0, &Command::Refresh, &t);
         rank.issue(0, Command::Refresh, ref_at, &t).unwrap();
         assert_eq!(rank.refreshes(), 1);
@@ -235,7 +261,9 @@ mod tests {
     fn out_of_range_bank_is_reported() {
         let t = timing();
         let mut rank = Rank::new(2);
-        let err = rank.issue(5, Command::Precharge, Cycle::ZERO, &t).unwrap_err();
+        let err = rank
+            .issue(5, Command::Precharge, Cycle::ZERO, &t)
+            .unwrap_err();
         assert_eq!(err.reason(), IssueErrorReason::OutOfRange);
     }
 
@@ -252,9 +280,11 @@ mod tests {
     fn reads_in_different_banks_are_independent_of_trrd() {
         let t = timing();
         let mut rank = Rank::new(2);
-        rank.issue(0, Command::Activate { row: 0 }, Cycle::ZERO, &t).unwrap();
+        rank.issue(0, Command::Activate { row: 0 }, Cycle::ZERO, &t)
+            .unwrap();
         let act1 = rank.ready_at(1, &Command::Activate { row: 0 }, &t);
-        rank.issue(1, Command::Activate { row: 0 }, act1, &t).unwrap();
+        rank.issue(1, Command::Activate { row: 0 }, act1, &t)
+            .unwrap();
         let rd0 = rank.ready_at(0, &Command::Read { column: 0 }, &t);
         let rd1 = rank.ready_at(1, &Command::Read { column: 0 }, &t);
         rank.issue(0, Command::Read { column: 0 }, rd0, &t).unwrap();

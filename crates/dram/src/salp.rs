@@ -58,7 +58,10 @@ impl SalpBank {
         subarrays: usize,
         rows_per_subarray: u64,
     ) -> Self {
-        assert!(subarrays > 0 && rows_per_subarray > 0, "bank must have rows");
+        assert!(
+            subarrays > 0 && rows_per_subarray > 0,
+            "bank must have rows"
+        );
         SalpBank {
             organization,
             timing,
@@ -88,9 +91,7 @@ impl SalpBank {
     fn slot_of(&self, row: u64) -> usize {
         match self.organization {
             BankOrganization::Conventional => 0,
-            BankOrganization::Salp => {
-                ((row / self.rows_per_subarray) as usize) % self.subarrays
-            }
+            BankOrganization::Salp => ((row / self.rows_per_subarray) as usize) % self.subarrays,
         }
     }
 

@@ -142,8 +142,17 @@ mod tests {
 
     #[test]
     fn merge_sums_everything() {
-        let mut a = DramStats { activates: 1, reads: 2, ..DramStats::new() };
-        let b = DramStats { activates: 3, writes: 4, row_hits: 5, ..DramStats::new() };
+        let mut a = DramStats {
+            activates: 1,
+            reads: 2,
+            ..DramStats::new()
+        };
+        let b = DramStats {
+            activates: 3,
+            writes: 4,
+            row_hits: 5,
+            ..DramStats::new()
+        };
         a.merge(&b);
         assert_eq!(a.activates, 4);
         assert_eq!(a.reads, 2);

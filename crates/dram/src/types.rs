@@ -3,93 +3,14 @@
 //! Newtypes ([`Cycle`], [`PhysAddr`]) statically distinguish the two numeric
 //! domains the simulator juggles constantly — simulation time and memory
 //! addresses — so they can never be confused (C-NEWTYPE).
+//!
+//! [`Cycle`] itself lives in `ia-sim` (the simulation engine sits below
+//! every clocked component in the dependency graph); it is re-exported here
+//! so `ia_dram::Cycle` keeps working for downstream crates.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
 
-/// A point in simulated time, measured in DRAM clock cycles.
-///
-/// `Cycle` is ordered and supports saturating arithmetic with plain cycle
-/// counts (`u64`), which is how timing constraints are expressed.
-///
-/// # Examples
-///
-/// ```
-/// use ia_dram::Cycle;
-/// let t = Cycle::ZERO + 15;
-/// assert_eq!(t.as_u64(), 15);
-/// assert!(t < t + 1);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Cycle(u64);
-
-impl Cycle {
-    /// The origin of simulated time.
-    pub const ZERO: Cycle = Cycle(0);
-
-    /// Creates a cycle timestamp from a raw count.
-    pub const fn new(raw: u64) -> Self {
-        Cycle(raw)
-    }
-
-    /// Returns the raw cycle count.
-    pub const fn as_u64(self) -> u64 {
-        self.0
-    }
-
-    /// Returns the later of two timestamps.
-    #[must_use]
-    pub fn max(self, other: Cycle) -> Cycle {
-        Cycle(self.0.max(other.0))
-    }
-
-    /// Returns the number of cycles from `earlier` to `self`, or zero if
-    /// `earlier` is in the future.
-    #[must_use]
-    pub fn saturating_since(self, earlier: Cycle) -> u64 {
-        self.0.saturating_sub(earlier.0)
-    }
-
-    /// Converts this timestamp to nanoseconds given a clock period.
-    #[must_use]
-    pub fn to_ns(self, tck_ns: f64) -> f64 {
-        self.0 as f64 * tck_ns
-    }
-}
-
-impl Add<u64> for Cycle {
-    type Output = Cycle;
-    fn add(self, rhs: u64) -> Cycle {
-        Cycle(self.0 + rhs)
-    }
-}
-
-impl AddAssign<u64> for Cycle {
-    fn add_assign(&mut self, rhs: u64) {
-        self.0 += rhs;
-    }
-}
-
-impl Sub<Cycle> for Cycle {
-    type Output = u64;
-    /// Distance in cycles. Saturates at zero rather than panicking so that
-    /// "how long until" queries are total.
-    fn sub(self, rhs: Cycle) -> u64 {
-        self.0.saturating_sub(rhs.0)
-    }
-}
-
-impl From<u64> for Cycle {
-    fn from(raw: u64) -> Self {
-        Cycle(raw)
-    }
-}
-
-impl fmt::Display for Cycle {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}cy", self.0)
-    }
-}
+pub use ia_sim::Cycle;
 
 /// A physical memory byte address.
 ///
@@ -196,7 +117,13 @@ impl fmt::Display for Location {
         write!(
             f,
             "ch{}.rk{}.bg{}.bk{}.sa{}.row{}.col{}",
-            self.channel, self.rank, self.bank_group, self.bank, self.subarray, self.row, self.column
+            self.channel,
+            self.rank,
+            self.bank_group,
+            self.bank,
+            self.subarray,
+            self.row,
+            self.column
         )
     }
 }
@@ -308,24 +235,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cycle_arithmetic_is_ordered_and_saturating() {
-        let a = Cycle::new(10);
-        let b = a + 5;
-        assert_eq!(b.as_u64(), 15);
-        assert_eq!(b - a, 5);
-        assert_eq!(a - b, 0, "cycle subtraction saturates");
-        assert_eq!(a.max(b), b);
-        assert_eq!(Cycle::from(7u64).as_u64(), 7);
-    }
-
-    #[test]
-    fn cycle_to_ns_uses_clock_period() {
-        let t = Cycle::new(1000);
-        let ns = t.to_ns(1.25);
-        assert!((ns - 1250.0).abs() < 1e-9);
-    }
-
-    #[test]
     fn phys_addr_align_down() {
         let a = PhysAddr::new(0x1234);
         assert_eq!(a.align_down(64).as_u64(), 0x1200);
@@ -349,7 +258,6 @@ mod tests {
 
     #[test]
     fn display_impls_are_nonempty() {
-        assert!(!format!("{}", Cycle::new(1)).is_empty());
         assert!(!format!("{}", PhysAddr::new(1)).is_empty());
         assert!(!format!("{}", Location::default()).is_empty());
         assert!(!format!("{}", Command::Refresh).is_empty());
@@ -359,10 +267,22 @@ mod tests {
 
     #[test]
     fn same_bank_ignores_row_and_column() {
-        let a = Location { row: 1, column: 2, ..Location::default() };
-        let b = Location { row: 9, column: 7, subarray: 3, ..Location::default() };
+        let a = Location {
+            row: 1,
+            column: 2,
+            ..Location::default()
+        };
+        let b = Location {
+            row: 9,
+            column: 7,
+            subarray: 3,
+            ..Location::default()
+        };
         assert!(a.same_bank(&b));
-        let c = Location { bank: 1, ..Location::default() };
+        let c = Location {
+            bank: 1,
+            ..Location::default()
+        };
         assert!(!a.same_bank(&c));
     }
 }

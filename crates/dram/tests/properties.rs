@@ -103,6 +103,9 @@ proptest! {
 fn double_issue_is_rejected() {
     let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
     let loc = dram.decode(PhysAddr::new(0));
-    dram.issue(&loc, Command::Activate { row: loc.row }, Cycle::ZERO).unwrap();
-    assert!(dram.issue(&loc, Command::Activate { row: loc.row }, Cycle::ZERO).is_err());
+    dram.issue(&loc, Command::Activate { row: loc.row }, Cycle::ZERO)
+        .unwrap();
+    assert!(dram
+        .issue(&loc, Command::Activate { row: loc.row }, Cycle::ZERO)
+        .is_err());
 }

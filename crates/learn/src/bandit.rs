@@ -59,7 +59,10 @@ impl EpsilonGreedyBandit {
         if !(0.0..=1.0).contains(&epsilon) {
             return Err(LearnError::invalid("epsilon must be in [0, 1]"));
         }
-        Ok(EpsilonGreedyBandit { arms: vec![Arm::default(); arms], epsilon })
+        Ok(EpsilonGreedyBandit {
+            arms: vec![Arm::default(); arms],
+            epsilon,
+        })
     }
 
     /// Selects an arm.
@@ -150,9 +153,14 @@ impl UcbBandit {
             return Err(LearnError::invalid("bandit needs at least one arm"));
         }
         if c < 0.0 {
-            return Err(LearnError::invalid("exploration constant must be non-negative"));
+            return Err(LearnError::invalid(
+                "exploration constant must be non-negative",
+            ));
         }
-        Ok(UcbBandit { arms: vec![Arm::default(); arms], c })
+        Ok(UcbBandit {
+            arms: vec![Arm::default(); arms],
+            c,
+        })
     }
 
     /// Selects the arm with the highest upper confidence bound; unpulled

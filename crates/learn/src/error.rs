@@ -17,11 +17,15 @@ enum Kind {
 
 impl LearnError {
     pub(crate) fn invalid(msg: &'static str) -> Self {
-        LearnError { kind: Kind::Invalid(msg) }
+        LearnError {
+            kind: Kind::Invalid(msg),
+        }
     }
 
     pub(crate) fn dimension(expected: usize, got: usize) -> Self {
-        LearnError { kind: Kind::Dimension { expected, got } }
+        LearnError {
+            kind: Kind::Dimension { expected, got },
+        }
     }
 }
 

@@ -50,7 +50,10 @@ impl Perceptron {
         if inputs == 0 {
             return Err(LearnError::invalid("perceptron needs at least one input"));
         }
-        Ok(Perceptron { weights: vec![0; inputs], bias: 0 })
+        Ok(Perceptron {
+            weights: vec![0; inputs],
+            bias: 0,
+        })
     }
 
     /// Number of inputs.
@@ -75,7 +78,10 @@ impl Perceptron {
         for (w, &f) in self.weights.iter().zip(features) {
             sum += if f { *w } else { -*w };
         }
-        Prediction { taken: sum >= 0, output: sum }
+        Prediction {
+            taken: sum >= 0,
+            output: sum,
+        }
     }
 
     /// Trains on one example using the perceptron rule: update only on a

@@ -83,7 +83,12 @@ pub struct QConfig {
 impl Default for QConfig {
     fn default() -> Self {
         // Values from the self-optimizing memory controller paper's setup.
-        QConfig { alpha: 0.1, gamma: 0.95, epsilon: 0.05, tilings: 4 }
+        QConfig {
+            alpha: 0.1,
+            gamma: 0.95,
+            epsilon: 0.05,
+            tilings: 4,
+        }
     }
 }
 
@@ -202,7 +207,9 @@ impl QAgent {
     }
 
     fn tiled_indices(&self, state: &[f64]) -> Result<Vec<usize>, LearnError> {
-        (0..self.config.tilings).map(|t| self.state_index(state, t)).collect()
+        (0..self.config.tilings)
+            .map(|t| self.state_index(state, t))
+            .collect()
     }
 
     /// Q-value of `(state, action)`: the CMAC average across tilings.
@@ -345,7 +352,10 @@ mod tests {
         let f = vec![FeatureQuantizer::new(0.0, 1.0, 2).unwrap()];
         assert!(QAgent::new(vec![], 2, QConfig::default()).is_err());
         assert!(QAgent::new(f.clone(), 0, QConfig::default()).is_err());
-        let cfg = QConfig { tilings: 0, ..QConfig::default() };
+        let cfg = QConfig {
+            tilings: 0,
+            ..QConfig::default()
+        };
         assert!(QAgent::new(f, 2, cfg).is_err());
     }
 
@@ -369,7 +379,12 @@ mod tests {
         // State is constant; action 1 pays 1.0, action 0 pays 0.0. After
         // training, the greedy action must be 1.
         let f = vec![FeatureQuantizer::new(0.0, 1.0, 1).unwrap()];
-        let cfg = QConfig { alpha: 0.2, gamma: 0.0, epsilon: 0.2, tilings: 2 };
+        let cfg = QConfig {
+            alpha: 0.2,
+            gamma: 0.0,
+            epsilon: 0.2,
+            tilings: 2,
+        };
         let mut agent = QAgent::new(f, 2, cfg).unwrap();
         let mut r = rng();
         let s = [0.5];
@@ -389,7 +404,12 @@ mod tests {
     fn learns_state_dependent_policy() {
         // Action must match the (binary) state feature to earn reward.
         let f = vec![FeatureQuantizer::new(0.0, 1.0, 2).unwrap()];
-        let cfg = QConfig { alpha: 0.3, gamma: 0.0, epsilon: 0.3, tilings: 1 };
+        let cfg = QConfig {
+            alpha: 0.3,
+            gamma: 0.0,
+            epsilon: 0.3,
+            tilings: 1,
+        };
         let mut agent = QAgent::new(f, 2, cfg).unwrap();
         let mut r = rng();
         let mut state = [0.25];
@@ -430,7 +450,12 @@ mod tests {
         // Train only at 0.30; with 4 tilings the value should bleed into
         // 0.35 (same tiles in most tilings) but not into 0.95.
         let f = vec![FeatureQuantizer::new(0.0, 1.0, 10).unwrap()];
-        let cfg = QConfig { alpha: 0.5, gamma: 0.0, epsilon: 0.0, tilings: 4 };
+        let cfg = QConfig {
+            alpha: 0.5,
+            gamma: 0.0,
+            epsilon: 0.0,
+            tilings: 4,
+        };
         let mut agent = QAgent::new(f, 1, cfg).unwrap();
         let mut r = rng();
         agent.select_action(&[0.30], &mut r).unwrap();
@@ -439,7 +464,10 @@ mod tests {
         }
         let near = agent.value(&[0.33], 0).unwrap();
         let far = agent.value(&[0.95], 0).unwrap();
-        assert!(near > far, "CMAC should generalize locally: near={near} far={far}");
+        assert!(
+            near > far,
+            "CMAC should generalize locally: near={near} far={far}"
+        );
         assert!(near > 0.1);
         assert_eq!(far, 0.0);
     }

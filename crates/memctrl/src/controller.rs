@@ -1,10 +1,17 @@
 //! The memory controller: request queue, scheduler invocation, refresh
 //! engine, and a closed-loop multi-programmed run harness.
+//!
+//! The controller implements [`ia_sim::Clocked`], so the event-driven
+//! [`SimLoop`] can cycle-skip over idle spans (refresh gaps, long DRAM
+//! timing waits) with results numerically identical to per-cycle polling
+//! — see `crates/sim/src/lib.rs` for the contract and
+//! [`run_closed_loop_per_cycle`] for the differential-testing oracle.
 
 use std::fmt;
 
 use ia_dram::{Command, ConfigError, Cycle, DramConfig, DramModule};
 use ia_reliability::Raidr;
+use ia_sim::{Clocked, CompletionSink, EngineStats, SimLoop, StepOutcome};
 use ia_telemetry::{Histogram, MetricSource, Scope, TraceBuffer};
 
 use crate::error::CtrlError;
@@ -218,7 +225,14 @@ pub struct MemoryController {
     sched_column: u64,
     sched_prep: u64,
     sched_idle: u64,
+    engine: EngineStats,
     trace: TraceBuffer<SchedEvent>,
+    /// True when the last tick was provably idle (nothing retired, issued,
+    /// or refreshed) and nothing has been enqueued since. Gates the full
+    /// timing scan in `next_event_at`: while work is flowing, the next
+    /// event is simply "now", and computing anything more precise costs
+    /// more than it saves.
+    quiet: bool,
 }
 
 impl MemoryController {
@@ -244,7 +258,9 @@ impl MemoryController {
             sched_column: 0,
             sched_prep: 0,
             sched_idle: 0,
+            engine: EngineStats::default(),
             trace: TraceBuffer::disabled(),
+            quiet: false,
         })
     }
 
@@ -350,35 +366,61 @@ impl MemoryController {
             self.next_id += 1;
         }
         let loc = self.dram.decode(request.addr);
-        self.queue.push(Pending { request, loc, arrival: self.now, batched: false, started: false });
+        self.queue.push(Pending {
+            request,
+            loc,
+            arrival: self.now,
+            batched: false,
+            started: false,
+        });
+        self.quiet = false;
         Ok(request.id)
     }
 
-    /// Advances one cycle, returning any requests that completed.
-    pub fn tick(&mut self) -> Vec<Completed> {
+    /// Advances one cycle, delivering any completed requests into `sink`.
+    ///
+    /// This is the allocation-free core of the controller: the caller owns
+    /// the completion storage (a reused scratch `Vec`, or a closure via
+    /// [`ia_sim::FnSink`]), so the steady-state tick path never touches
+    /// the heap.
+    pub fn tick_into(&mut self, sink: &mut dyn CompletionSink<Completed>) {
         self.scheduler.on_tick(self.now);
 
-        // 1. Retire in-flight requests whose data burst has finished.
-        let mut done = Vec::new();
+        // 1. Retire in-flight requests whose data burst has finished,
+        //    compacting in place so retirement order (= insertion order)
+        //    is preserved.
         let now = self.now;
-        self.inflight.retain(|(p, ready)| {
-            if *ready <= now {
-                done.push(Completed { request: p.request, arrival: p.arrival, finished: *ready });
-                false
+        let had_inflight = self.inflight.len();
+        let mut kept = 0;
+        for i in 0..self.inflight.len() {
+            if self.inflight[i].1 <= now {
+                let (p, ready) = self.inflight[i];
+                let c = Completed {
+                    request: p.request,
+                    arrival: p.arrival,
+                    finished: ready,
+                };
+                self.stats.completed += 1;
+                self.stats.total_latency += c.latency();
+                self.latency.record(c.latency());
+                self.scheduler.on_complete(&c, now);
+                sink.complete(c);
             } else {
-                true
+                // Shift only once a gap exists, like `Vec::retain`: the
+                // common all-kept tick never copies an entry.
+                if kept != i {
+                    self.inflight[kept] = self.inflight[i];
+                }
+                kept += 1;
             }
-        });
-        for c in &done {
-            self.stats.completed += 1;
-            self.stats.total_latency += c.latency();
-            self.latency.record(c.latency());
-            self.scheduler.on_complete(c, now);
         }
+        self.inflight.truncate(kept);
         self.queue_depth.record(self.queue.len() as u64);
 
         // 2. Refresh engine.
+        let mut refresh_fired = false;
         if let Some(must_issue) = self.refresh.due(self.now) {
+            refresh_fired = true;
             if must_issue {
                 for ch in 0..self.dram.config().geometry.channels {
                     for rk in 0..self.dram.config().geometry.ranks {
@@ -426,8 +468,11 @@ impl MemoryController {
                         if column {
                             self.stats.busy_cycles += 1;
                             let ready = out.data_ready.unwrap_or(self.now);
-                            self.inflight.push((self.queue[i], ready));
-                            self.queue.remove(i);
+                            // Schedulers order by (…, arrival, id), never
+                            // by queue position, so O(1) swap_remove is
+                            // observationally identical to remove.
+                            let p = self.queue.swap_remove(i);
+                            self.inflight.push((p, ready));
                         }
                     }
                 }
@@ -436,20 +481,122 @@ impl MemoryController {
         if !issued_this_cycle && !self.queue.is_empty() {
             self.sched_idle += 1;
         }
+        // A tick that retired nothing, refreshed nothing, and issued
+        // nothing cannot have moved any event earlier: the timing scan in
+        // `next_event_at` is now worth its cost.
+        self.quiet = !issued_this_cycle && !refresh_fired && kept == had_inflight;
 
         self.now += 1;
+    }
+
+    /// Advances one cycle, returning any requests that completed.
+    ///
+    /// Compatibility wrapper over [`tick_into`](MemoryController::tick_into)
+    /// that allocates a fresh `Vec` per call; hot loops should pass a
+    /// reused sink to `tick_into` instead.
+    pub fn tick(&mut self) -> Vec<Completed> {
+        let mut done = Vec::new();
+        self.tick_into(&mut done);
         done
     }
 
     /// Runs until the queue and in-flight set drain or `max_cycles` pass.
     /// Returns all completions in retirement order.
+    ///
+    /// Driven by the event-skipping [`SimLoop`]; numerically identical to
+    /// ticking every cycle.
     pub fn run_until_drained(&mut self, max_cycles: u64) -> Vec<Completed> {
         let deadline = self.now + max_cycles;
+        let mut engine = SimLoop::new();
         let mut all = Vec::new();
-        while (self.outstanding() > 0) && self.now < deadline {
-            all.extend(self.tick());
-        }
+        engine.run_while(self, &mut all, deadline, |c| c.outstanding() > 0);
+        self.engine.merge(engine.stats());
         all
+    }
+
+    /// Simulation-engine counters accumulated by this controller's runs
+    /// (events processed, cycles skipped, sink high-water mark).
+    #[must_use]
+    pub fn engine_stats(&self) -> &EngineStats {
+        &self.engine
+    }
+
+    /// Folds an external driver's engine counters into this controller's
+    /// accumulated [`MemoryController::engine_stats`].
+    pub fn merge_engine_stats(&mut self, stats: &EngineStats) {
+        self.engine.merge(stats);
+    }
+}
+
+impl Clocked for MemoryController {
+    type Completion = Completed;
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn tick_into(&mut self, sink: &mut dyn CompletionSink<Completed>) {
+        MemoryController::tick_into(self, sink);
+    }
+
+    /// Earliest cycle at which anything observable can happen: an
+    /// in-flight burst retiring, a refresh slot falling due, or a queued
+    /// request's next DRAM command becoming issuable. While the
+    /// controller idles, all three sources are static, so skipping
+    /// straight to this cycle is exact.
+    fn next_event_at(&self) -> Option<Cycle> {
+        let refresh_on = !matches!(self.refresh.mode, RefreshMode::Disabled);
+        if self.inflight.is_empty() && self.queue.is_empty() && !refresh_on {
+            return None;
+        }
+        // While work is flowing (last tick did something observable, or a
+        // request arrived since), "now" is the conservative-early answer
+        // the contract allows — the engine simply ticks again, exactly as
+        // a per-cycle loop would, and the full timing scan below is saved
+        // for genuinely idle stretches where it pays for the skip.
+        if !self.quiet {
+            return Some(self.now);
+        }
+        // The result is clamped to `now`, so any candidate at or before
+        // `now` ends the scan immediately.
+        let mut next: Option<Cycle> = None;
+        for (_, ready) in &self.inflight {
+            if *ready <= self.now {
+                return Some(self.now);
+            }
+            next = Some(next.map_or(*ready, |n| n.min(*ready)));
+        }
+        if refresh_on {
+            let at = self.refresh.next_at;
+            if at <= self.now {
+                return Some(self.now);
+            }
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        for p in &self.queue {
+            let at = self.dram.next_ready_for(&p.loc, p.request.kind);
+            if at <= self.now {
+                return Some(self.now);
+            }
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next.map(|n| n.max(self.now))
+    }
+
+    /// Applies the bookkeeping the skipped idle ticks would have done, in
+    /// bulk: per-cycle queue-depth samples, the stalled-cycle counter, and
+    /// scheduler epoch housekeeping (via [`Scheduler::on_advance`]).
+    fn skip_to(&mut self, target: Cycle) {
+        if target <= self.now {
+            return;
+        }
+        let n = target - self.now;
+        self.scheduler.on_advance(self.now, target);
+        self.queue_depth.record_n(self.queue.len() as u64, n);
+        if !self.queue.is_empty() {
+            self.sched_idle += n;
+        }
+        self.now = target;
     }
 }
 
@@ -465,6 +612,7 @@ impl MetricSource for MemoryController {
         scope.set_counter("sched_stalled", self.sched_idle);
         scope.set_counter("trace_recorded", self.trace.recorded());
         scope.set_counter("trace_dropped", self.trace.dropped());
+        scope.collect("engine", &self.engine);
         scope.collect("dram", &self.dram);
     }
 }
@@ -493,10 +641,16 @@ pub struct RunReport {
     pub stats: CtrlStats,
     /// DRAM row-buffer hit rate over the run.
     pub row_hit_rate: f64,
+    /// ChargeCache hit rate (0 unless that latency mode is active).
+    pub charge_cache_hit_rate: f64,
     /// Dynamic DRAM energy consumed, picojoules.
     pub dynamic_energy_pj: f64,
     /// Off-chip I/O (data movement) energy, picojoules.
     pub io_energy_pj: f64,
+    /// Simulation-engine effort counters (events processed vs cycles
+    /// skipped). Describes how the run was *driven*, not what it
+    /// computed — excluded from [`RunReport::same_results`].
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -507,6 +661,23 @@ impl RunReport {
             return 0.0;
         }
         self.stats.completed as f64 / self.cycles as f64 * 1000.0
+    }
+
+    /// True if two runs produced identical simulated results — every
+    /// field except [`RunReport::engine`], which describes how the
+    /// simulation was driven rather than the simulated outcome. This is
+    /// the equality the event-driven engine guarantees against the
+    /// per-cycle oracle ([`run_closed_loop_per_cycle`]).
+    #[must_use]
+    pub fn same_results(&self, other: &RunReport) -> bool {
+        self.scheduler == other.scheduler
+            && self.cycles == other.cycles
+            && self.threads == other.threads
+            && self.stats == other.stats
+            && self.row_hit_rate == other.row_hit_rate
+            && self.charge_cache_hit_rate == other.charge_cache_hit_rate
+            && self.dynamic_energy_pj == other.dynamic_energy_pj
+            && self.io_energy_pj == other.io_energy_pj
     }
 }
 
@@ -553,12 +724,92 @@ pub fn run_closed_loop_with(
     let mut finish = vec![0u64; traces.len()];
 
     let all_done = |cursor: &[usize], outstanding: &[usize]| {
-        cursor.iter().zip(traces).all(|(&c, t)| c >= t.len())
-            && outstanding.iter().all(|&o| o == 0)
+        cursor.iter().zip(traces).all(|(&c, t)| c >= t.len()) && outstanding.iter().all(|&o| o == 0)
+    };
+
+    // Event-driven drive: feed, process exactly one event, account. The
+    // scratch buffer is reused across steps, so the steady-state loop
+    // performs no heap allocation. Feeding opportunities only arise after
+    // completions (the queue never rejects: capacity covers every
+    // window), so feeding once per processed event sees exactly the
+    // states the per-cycle loop would feed in.
+    let mut engine = SimLoop::new();
+    let deadline = Cycle::new(max_cycles);
+    let mut scratch: Vec<Completed> = Vec::new();
+    while !all_done(&cursor, &outstanding) && ctrl.now().as_u64() < max_cycles {
+        // Feed each thread up to its window.
+        for (t, trace) in traces.iter().enumerate() {
+            while outstanding[t] < window && cursor[t] < trace.len() {
+                let mut req = trace[cursor[t]];
+                req.thread = t;
+                if ctrl.enqueue(req).is_err() {
+                    break;
+                }
+                cursor[t] += 1;
+                outstanding[t] += 1;
+            }
+        }
+        scratch.clear();
+        if engine.step(&mut ctrl, &mut scratch, deadline) == StepOutcome::Drained {
+            // Degenerate case (window == 0): nothing can ever enter the
+            // controller. The per-cycle loop would idle-tick out the
+            // whole horizon; jump there with the same bookkeeping.
+            Clocked::skip_to(&mut ctrl, deadline);
+            break;
+        }
+        for c in &scratch {
+            let t = c.request.thread;
+            outstanding[t] -= 1;
+            completed[t] += 1;
+            latency[t] += c.latency();
+            finish[t] = c.finished.as_u64();
+        }
+    }
+    ctrl.merge_engine_stats(engine.stats());
+    let threads = (0..traces.len())
+        .map(|t| ThreadReport {
+            completed: completed[t],
+            avg_latency: if completed[t] == 0 {
+                0.0
+            } else {
+                latency[t] as f64 / completed[t] as f64
+            },
+            finish: finish[t],
+        })
+        .collect();
+    Ok(report_of(&ctrl, threads))
+}
+
+/// Per-cycle oracle for [`run_closed_loop_with`]: drives the controller
+/// with [`MemoryController::tick`] every single cycle instead of the
+/// event-skipping engine. Slow by design — kept public so differential
+/// tests (and skeptical users) can verify that the engine's reports are
+/// identical (`RunReport::same_results`).
+///
+/// # Errors
+///
+/// Returns [`CtrlError::EmptyTrace`] if any trace is empty.
+pub fn run_closed_loop_per_cycle(
+    ctrl: MemoryController,
+    traces: &[Vec<MemRequest>],
+    window: usize,
+    max_cycles: u64,
+) -> Result<RunReport, CtrlError> {
+    if traces.is_empty() || traces.iter().any(Vec::is_empty) {
+        return Err(CtrlError::EmptyTrace);
+    }
+    let mut ctrl = ctrl.with_queue_capacity(traces.len() * window.max(1) + 8);
+    let mut cursor = vec![0usize; traces.len()];
+    let mut outstanding = vec![0usize; traces.len()];
+    let mut completed = vec![0u64; traces.len()];
+    let mut latency = vec![0u64; traces.len()];
+    let mut finish = vec![0u64; traces.len()];
+
+    let all_done = |cursor: &[usize], outstanding: &[usize]| {
+        cursor.iter().zip(traces).all(|(&c, t)| c >= t.len()) && outstanding.iter().all(|&o| o == 0)
     };
 
     while !all_done(&cursor, &outstanding) && ctrl.now().as_u64() < max_cycles {
-        // Feed each thread up to its window.
         for (t, trace) in traces.iter().enumerate() {
             while outstanding[t] < window && cursor[t] < trace.len() {
                 let mut req = trace[cursor[t]];
@@ -581,19 +832,29 @@ pub fn run_closed_loop_with(
     let threads = (0..traces.len())
         .map(|t| ThreadReport {
             completed: completed[t],
-            avg_latency: if completed[t] == 0 { 0.0 } else { latency[t] as f64 / completed[t] as f64 },
+            avg_latency: if completed[t] == 0 {
+                0.0
+            } else {
+                latency[t] as f64 / completed[t] as f64
+            },
             finish: finish[t],
         })
         .collect();
-    Ok(RunReport {
+    Ok(report_of(&ctrl, threads))
+}
+
+fn report_of(ctrl: &MemoryController, threads: Vec<ThreadReport>) -> RunReport {
+    RunReport {
         scheduler: ctrl.scheduler_name().to_owned(),
         cycles: ctrl.now().as_u64(),
         threads,
         stats: ctrl.stats().clone(),
         row_hit_rate: ctrl.dram().stats().row_hit_rate(),
+        charge_cache_hit_rate: ctrl.dram().charge_cache_hit_rate(),
         dynamic_energy_pj: ctrl.dram().energy().dynamic_pj(),
         io_energy_pj: ctrl.dram().energy().io_pj,
-    })
+        engine: *ctrl.engine_stats(),
+    }
 }
 
 #[cfg(test)]
@@ -621,7 +882,10 @@ mod tests {
             .with_queue_capacity(2);
         ctrl.enqueue(MemRequest::read(0, 0)).unwrap();
         ctrl.enqueue(MemRequest::read(64, 0)).unwrap();
-        assert!(matches!(ctrl.enqueue(MemRequest::read(128, 0)), Err(CtrlError::QueueFull)));
+        assert!(matches!(
+            ctrl.enqueue(MemRequest::read(128, 0)),
+            Err(CtrlError::QueueFull)
+        ));
     }
 
     #[test]
@@ -688,7 +952,11 @@ mod tests {
     #[test]
     fn closed_loop_run_completes_all_requests() {
         let traces: Vec<Vec<MemRequest>> = (0..2)
-            .map(|t| (0..50u64).map(|i| MemRequest::read((t * (1 << 22)) as u64 + i * 64, t)).collect())
+            .map(|t| {
+                (0..50u64)
+                    .map(|i| MemRequest::read((t * (1 << 22)) as u64 + i * 64, t))
+                    .collect()
+            })
             .collect();
         let report = run_closed_loop(
             DramConfig::ddr3_1600(),
@@ -707,13 +975,7 @@ mod tests {
 
     #[test]
     fn closed_loop_rejects_empty_traces() {
-        let r = run_closed_loop(
-            DramConfig::ddr3_1600(),
-            Box::new(Fcfs::new()),
-            &[],
-            4,
-            1000,
-        );
+        let r = run_closed_loop(DramConfig::ddr3_1600(), Box::new(Fcfs::new()), &[], 4, 1000);
         assert!(r.is_err());
         let r = run_closed_loop(
             DramConfig::ddr3_1600(),
@@ -727,14 +989,22 @@ mod tests {
 
     #[test]
     fn stats_avg_latency() {
-        let s = CtrlStats { completed: 4, total_latency: 100, ..CtrlStats::default() };
+        let s = CtrlStats {
+            completed: 4,
+            total_latency: 100,
+            ..CtrlStats::default()
+        };
         assert!((s.avg_latency() - 25.0).abs() < 1e-12);
         assert_eq!(CtrlStats::default().avg_latency(), 0.0);
     }
 
     #[test]
     fn stats_merge_and_display() {
-        let mut a = CtrlStats { completed: 4, total_latency: 100, ..CtrlStats::default() };
+        let mut a = CtrlStats {
+            completed: 4,
+            total_latency: 100,
+            ..CtrlStats::default()
+        };
         let b = CtrlStats {
             completed: 6,
             total_latency: 200,

@@ -103,7 +103,9 @@ impl HybridMemory {
         policy: PlacementPolicy,
     ) -> Result<Self, CtrlError> {
         if dram_capacity_pages == 0 || page_bytes == 0 {
-            return Err(CtrlError::Invalid("hybrid memory needs capacity and page size"));
+            return Err(CtrlError::Invalid(
+                "hybrid memory needs capacity and page size",
+            ));
         }
         Ok(HybridMemory {
             dram_capacity_pages,
@@ -220,7 +222,10 @@ mod tests {
         let c1 = m.access(0, false);
         assert_eq!(c1, HybridTiming::default().pcm_read_miss);
         let c2 = m.access(0, false);
-        assert!(c2 <= HybridTiming::default().dram_miss, "promoted page serves from DRAM");
+        assert!(
+            c2 <= HybridTiming::default().dram_miss,
+            "promoted page serves from DRAM"
+        );
         assert_eq!(m.migrations, 1);
     }
 
@@ -257,7 +262,9 @@ mod tests {
 
     #[test]
     fn writes_cost_more_on_pcm() {
-        let mut m = mk(PlacementPolicy::Rbla { miss_threshold: 100 });
+        let mut m = mk(PlacementPolicy::Rbla {
+            miss_threshold: 100,
+        });
         let r = m.access(0, false);
         let w = m.access(8192, true);
         assert!(w > r);

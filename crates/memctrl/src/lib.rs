@@ -46,13 +46,13 @@ mod request;
 pub mod scheduler;
 
 pub use controller::{
-    run_closed_loop, run_closed_loop_with, CtrlStats, MemoryController, RefreshMode, RunReport,
-    SchedEvent, ThreadReport,
+    run_closed_loop, run_closed_loop_per_cycle, run_closed_loop_with, CtrlStats, MemoryController,
+    RefreshMode, RunReport, SchedEvent, ThreadReport,
 };
 pub use error::CtrlError;
 pub use hybrid::{HybridMemory, HybridTiming, PlacementPolicy};
-pub use power::{epoch_outcome, standard_points, EpochOutcome, FrequencyPoint, MemScaleGovernor};
 pub use metrics::{harmonic_speedup, max_slowdown, slowdowns, weighted_speedup};
+pub use power::{epoch_outcome, standard_points, EpochOutcome, FrequencyPoint, MemScaleGovernor};
 pub use request::{Completed, MemRequest, Pending};
 pub use scheduler::{
     Atlas, Bliss, Fcfs, FrFcfs, ParBs, RlScheduler, RlSchedulerConfig, Scheduler, Tcm,

@@ -30,7 +30,13 @@ pub fn slowdowns(alone_finish: &[u64], shared: &RunReport) -> Vec<f64> {
 pub fn weighted_speedup(alone_finish: &[u64], shared: &RunReport) -> f64 {
     slowdowns(alone_finish, shared)
         .iter()
-        .map(|s| if s.is_finite() && *s > 0.0 { 1.0 / s } else { 0.0 })
+        .map(|s| {
+            if s.is_finite() && *s > 0.0 {
+                1.0 / s
+            } else {
+                0.0
+            }
+        })
         .sum()
 }
 
@@ -38,7 +44,9 @@ pub fn weighted_speedup(alone_finish: &[u64], shared: &RunReport) -> f64 {
 /// interference).
 #[must_use]
 pub fn max_slowdown(alone_finish: &[u64], shared: &RunReport) -> f64 {
-    slowdowns(alone_finish, shared).into_iter().fold(1.0, f64::max)
+    slowdowns(alone_finish, shared)
+        .into_iter()
+        .fold(1.0, f64::max)
 }
 
 /// Harmonic mean of speedups: balances fairness and throughput.
@@ -65,12 +73,18 @@ mod tests {
             cycles: *finishes.iter().max().unwrap_or(&0),
             threads: finishes
                 .iter()
-                .map(|&f| ThreadReport { completed: 10, avg_latency: 10.0, finish: f })
+                .map(|&f| ThreadReport {
+                    completed: 10,
+                    avg_latency: 10.0,
+                    finish: f,
+                })
                 .collect(),
             stats: CtrlStats::default(),
             row_hit_rate: 0.0,
+            charge_cache_hit_rate: 0.0,
             dynamic_energy_pj: 0.0,
             io_energy_pj: 0.0,
+            engine: ia_sim::EngineStats::default(),
         }
     }
 

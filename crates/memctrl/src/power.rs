@@ -21,10 +21,22 @@ pub struct FrequencyPoint {
 #[must_use]
 pub fn standard_points() -> [FrequencyPoint; 4] {
     [
-        FrequencyPoint { speed: 1.0, power: 1.0 },
-        FrequencyPoint { speed: 0.75, power: 0.62 },
-        FrequencyPoint { speed: 0.625, power: 0.47 },
-        FrequencyPoint { speed: 0.5, power: 0.35 },
+        FrequencyPoint {
+            speed: 1.0,
+            power: 1.0,
+        },
+        FrequencyPoint {
+            speed: 0.75,
+            power: 0.62,
+        },
+        FrequencyPoint {
+            speed: 0.625,
+            power: 0.47,
+        },
+        FrequencyPoint {
+            speed: 0.5,
+            power: 0.35,
+        },
     ]
 }
 
@@ -52,7 +64,9 @@ pub fn epoch_outcome(utilization: f64, point: FrequencyPoint) -> Result<EpochOut
         return Err(CtrlError::Invalid("utilization must be in [0, 1]"));
     }
     if point.speed <= 0.0 {
-        return Err(CtrlError::Invalid("operating point must have positive speed"));
+        return Err(CtrlError::Invalid(
+            "operating point must have positive speed",
+        ));
     }
     let effective_load = utilization / point.speed;
     let slowdown = if effective_load <= 1.0 {
@@ -63,7 +77,10 @@ pub fn epoch_outcome(utilization: f64, point: FrequencyPoint) -> Result<EpochOut
         effective_load * 1.25
     };
     // Energy = power × time.
-    Ok(EpochOutcome { slowdown, energy: point.power * slowdown })
+    Ok(EpochOutcome {
+        slowdown,
+        energy: point.power * slowdown,
+    })
 }
 
 /// The MemScale governor: per epoch, choose the lowest-power point whose
@@ -92,7 +109,11 @@ impl MemScaleGovernor {
             return Err(CtrlError::Invalid("slowdown budget must be non-negative"));
         }
         let n = points.len();
-        Ok(MemScaleGovernor { points, budget, residency: vec![0; n] })
+        Ok(MemScaleGovernor {
+            points,
+            budget,
+            residency: vec![0; n],
+        })
     }
 
     /// Picks the operating point for an epoch with measured `utilization`.
@@ -134,7 +155,10 @@ impl MemScaleGovernor {
             energy += o.energy / full.energy;
         }
         let n = utilizations.len() as f64;
-        Ok(EpochOutcome { slowdown: slow / n, energy: energy / n })
+        Ok(EpochOutcome {
+            slowdown: slow / n,
+            energy: energy / n,
+        })
     }
 }
 
@@ -145,14 +169,25 @@ mod tests {
     #[test]
     fn outcome_validates_inputs() {
         assert!(epoch_outcome(1.5, standard_points()[0]).is_err());
-        assert!(epoch_outcome(0.5, FrequencyPoint { speed: 0.0, power: 0.1 }).is_err());
+        assert!(epoch_outcome(
+            0.5,
+            FrequencyPoint {
+                speed: 0.0,
+                power: 0.1
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn low_utilization_scales_almost_for_free() {
         let slow_point = standard_points()[3];
         let o = epoch_outcome(0.1, slow_point).unwrap();
-        assert!(o.slowdown < 1.05, "10% demand at half speed barely stretches: {}", o.slowdown);
+        assert!(
+            o.slowdown < 1.05,
+            "10% demand at half speed barely stretches: {}",
+            o.slowdown
+        );
         assert!(o.energy < 0.5, "but saves most of the power: {}", o.energy);
     }
 
@@ -160,7 +195,11 @@ mod tests {
     fn saturation_punishes_underprovisioning() {
         let slow_point = standard_points()[3];
         let o = epoch_outcome(0.9, slow_point).unwrap();
-        assert!(o.slowdown > 2.0, "90% demand cannot run at half speed: {}", o.slowdown);
+        assert!(
+            o.slowdown > 2.0,
+            "90% demand cannot run at half speed: {}",
+            o.slowdown
+        );
     }
 
     #[test]
@@ -177,10 +216,20 @@ mod tests {
     fn governor_saves_energy_within_budget_on_a_bursty_trace() {
         let mut g = MemScaleGovernor::new(standard_points().to_vec(), 0.10).unwrap();
         // Mostly-idle trace with busy bursts (the MemScale scenario).
-        let trace: Vec<f64> = (0..200).map(|i| if i % 10 == 0 { 0.9 } else { 0.08 }).collect();
+        let trace: Vec<f64> = (0..200)
+            .map(|i| if i % 10 == 0 { 0.9 } else { 0.08 })
+            .collect();
         let o = g.run(&trace).unwrap();
-        assert!(o.energy < 0.6, "expected >40% energy saving, got {:.2}", o.energy);
-        assert!(o.slowdown <= 1.10 + 1e-9, "budget respected: {:.3}", o.slowdown);
+        assert!(
+            o.energy < 0.6,
+            "expected >40% energy saving, got {:.2}",
+            o.energy
+        );
+        assert!(
+            o.slowdown <= 1.10 + 1e-9,
+            "budget respected: {:.3}",
+            o.slowdown
+        );
     }
 
     #[test]

@@ -19,13 +19,23 @@ impl MemRequest {
     /// Creates a read request.
     #[must_use]
     pub fn read(addr: u64, thread: usize) -> Self {
-        MemRequest { id: 0, addr: PhysAddr::new(addr), kind: AccessKind::Read, thread }
+        MemRequest {
+            id: 0,
+            addr: PhysAddr::new(addr),
+            kind: AccessKind::Read,
+            thread,
+        }
     }
 
     /// Creates a write request.
     #[must_use]
     pub fn write(addr: u64, thread: usize) -> Self {
-        MemRequest { id: 0, addr: PhysAddr::new(addr), kind: AccessKind::Write, thread }
+        MemRequest {
+            id: 0,
+            addr: PhysAddr::new(addr),
+            kind: AccessKind::Write,
+            thread,
+        }
     }
 }
 

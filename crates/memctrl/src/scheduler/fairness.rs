@@ -11,6 +11,24 @@ use ia_dram::{Cycle, DramModule};
 use super::{is_row_hit, issuable_open_page, Scheduler};
 use crate::request::{Completed, Pending};
 
+/// Number of per-cycle boundary triggers a `now / interval` epoch check
+/// fires over the cycle span whose epochs run `first..=last`, given the
+/// scheduler last reacted to epoch `prior`.
+///
+/// Per-cycle schedulers run `if epoch > prior { prior = epoch; ... }`
+/// every tick; over a skipped span the distinct epoch values are the
+/// consecutive integers `first..=last`, of which exactly those greater
+/// than `prior` trigger.
+fn epoch_crossings(first: u64, last: u64, prior: u64) -> u64 {
+    if last <= prior {
+        0
+    } else if first > prior {
+        last - first + 1
+    } else {
+        last - prior
+    }
+}
+
 /// Parallelism-Aware Batch Scheduling: requests are grouped into batches;
 /// all requests of the current batch are served before any newer request,
 /// with shortest-job-first thread ranking inside the batch (preserving
@@ -28,13 +46,18 @@ impl ParBs {
     /// Creates PAR-BS with the paper's marking cap of 5.
     #[must_use]
     pub fn new(threads: usize) -> Self {
-        ParBs { batch_cap: 5, rank: vec![0; threads] }
+        ParBs {
+            batch_cap: 5,
+            rank: vec![0; threads],
+        }
     }
 
     fn form_batch(&mut self, queue: &mut [Pending]) {
-        // Mark up to batch_cap oldest requests per (thread, bank).
+        // Mark up to batch_cap oldest requests per (thread, bank). The
+        // request id breaks arrival ties so the marking is independent of
+        // queue storage order (the controller compacts with swap_remove).
         let mut order: Vec<usize> = (0..queue.len()).collect();
-        order.sort_by_key(|&i| queue[i].arrival);
+        order.sort_by_key(|&i| (queue[i].arrival, queue[i].request.id));
         let mut marked: std::collections::HashMap<(usize, usize, usize), usize> =
             std::collections::HashMap::new();
         let mut per_thread = vec![0usize; self.rank.len()];
@@ -80,10 +103,22 @@ impl Scheduler for ParBs {
         let ready = issuable_open_page(queue, dram, now);
         ready.into_iter().min_by_key(|&i| {
             let p = &queue[i];
-            let rank = self.rank.get(p.request.thread).copied().unwrap_or(usize::MAX);
-            (!p.batched, !is_row_hit(p, dram), rank, p.arrival, p.request.id)
+            let rank = self
+                .rank
+                .get(p.request.thread)
+                .copied()
+                .unwrap_or(usize::MAX);
+            (
+                !p.batched,
+                !is_row_hit(p, dram),
+                rank,
+                p.arrival,
+                p.request.id,
+            )
         })
     }
+
+    fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
 }
 
 /// ATLAS: least-attained-service thread ranking over long epochs — threads
@@ -102,7 +137,12 @@ impl Atlas {
     /// cycles.
     #[must_use]
     pub fn new(threads: usize, epoch_len: u64) -> Self {
-        Atlas { attained: vec![0.0; threads], epoch_len: epoch_len.max(1), last_epoch: 0, alpha: 0.875 }
+        Atlas {
+            attained: vec![0.0; threads],
+            epoch_len: epoch_len.max(1),
+            last_epoch: 0,
+            alpha: 0.875,
+        }
     }
 }
 
@@ -122,7 +162,12 @@ impl Scheduler for Atlas {
                 .get(p.request.thread)
                 .copied()
                 .unwrap_or(f64::MAX);
-            ((attained * 1000.0) as u64, !is_row_hit(p, dram), p.arrival, p.request.id)
+            (
+                (attained * 1000.0) as u64,
+                !is_row_hit(p, dram),
+                p.arrival,
+                p.request.id,
+            )
         })
     }
 
@@ -136,6 +181,27 @@ impl Scheduler for Atlas {
         let epoch = now.as_u64() / self.epoch_len;
         if epoch > self.last_epoch {
             self.last_epoch = epoch;
+            for a in &mut self.attained {
+                *a *= self.alpha;
+            }
+        }
+    }
+
+    fn on_advance(&mut self, from: Cycle, to: Cycle) {
+        if to <= from {
+            return;
+        }
+        let first = from.as_u64() / self.epoch_len;
+        let last = (to.as_u64() - 1) / self.epoch_len;
+        let decays = epoch_crossings(first, last, self.last_epoch);
+        if decays == 0 {
+            return;
+        }
+        self.last_epoch = last;
+        // One multiplication per crossed epoch, exactly as the per-cycle
+        // ticks would apply it: repeated `*= alpha` is not bit-identical
+        // to a single `powi`, and select() quantizes these floats.
+        for _ in 0..decays {
             for a in &mut self.attained {
                 *a *= self.alpha;
             }
@@ -211,8 +277,18 @@ impl Scheduler for Tcm {
             let p = &queue[i];
             let t = p.request.thread;
             let latency = self.latency_cluster.get(t).copied().unwrap_or(false);
-            let rank = self.shuffle.iter().position(|&x| x == t).unwrap_or(usize::MAX);
-            (!latency, rank, !is_row_hit(p, dram), p.arrival, p.request.id)
+            let rank = self
+                .shuffle
+                .iter()
+                .position(|&x| x == t)
+                .unwrap_or(usize::MAX);
+            (
+                !latency,
+                rank,
+                !is_row_hit(p, dram),
+                p.arrival,
+                p.request.id,
+            )
         })
     }
 
@@ -232,6 +308,31 @@ impl Scheduler for Tcm {
         if shuffle > self.last_shuffle {
             self.last_shuffle = shuffle;
             self.shuffle.rotate_left(1);
+        }
+    }
+
+    fn on_advance(&mut self, from: Cycle, to: Cycle) {
+        if to <= from {
+            return;
+        }
+        let from_c = from.as_u64();
+        let last_c = to.as_u64() - 1;
+        let last_epoch = last_c / self.epoch_len;
+        if epoch_crossings(from_c / self.epoch_len, last_epoch, self.last_epoch) > 0 {
+            self.last_epoch = last_epoch;
+            // Only the first skipped boundary can do work: no completions
+            // land mid-skip, so later reclusters would see zero traffic
+            // and return unchanged.
+            self.recluster();
+        }
+        let last_shuffle = last_c / self.shuffle_len;
+        let rotations = epoch_crossings(from_c / self.shuffle_len, last_shuffle, self.last_shuffle);
+        if rotations > 0 {
+            self.last_shuffle = last_shuffle;
+            let len = self.shuffle.len();
+            if len > 0 {
+                self.shuffle.rotate_left((rotations % len as u64) as usize);
+            }
         }
     }
 }
@@ -317,6 +418,21 @@ impl Scheduler for Bliss {
             self.streak = 0;
         }
     }
+
+    fn on_advance(&mut self, from: Cycle, to: Cycle) {
+        if to <= from {
+            return;
+        }
+        let first = from.as_u64() / self.clear_interval;
+        let last = (to.as_u64() - 1) / self.clear_interval;
+        if epoch_crossings(first, last, self.last_clear) > 0 {
+            // Clearing twice is clearing once: nothing repopulates the
+            // blacklist mid-skip.
+            self.last_clear = last;
+            self.blacklist.clear();
+            self.streak = 0;
+        }
+    }
 }
 
 /// Extension trait giving [`Pending`]'s location a flat per-channel bank
@@ -343,7 +459,10 @@ mod tests {
 
     fn pending(id: u64, addr: u64, thread: usize, arrival: u64, dram: &DramModule) -> Pending {
         Pending {
-            request: MemRequest { id, ..MemRequest::read(addr, thread) },
+            request: MemRequest {
+                id,
+                ..MemRequest::read(addr, thread)
+            },
             loc: dram.decode(PhysAddr::new(addr)),
             arrival: Cycle::new(arrival),
             batched: false,
@@ -398,7 +517,10 @@ mod tests {
         }
         let queue = vec![pending(1, 0, 0, 0, &d), pending(2, 1 << 20, 1, 90, &d)];
         let pick = atlas.select(&queue, &d, Cycle::new(1000)).unwrap();
-        assert_eq!(queue[pick].request.thread, 1, "starved thread outranks heavy thread");
+        assert_eq!(
+            queue[pick].request.thread, 1,
+            "starved thread outranks heavy thread"
+        );
     }
 
     #[test]

@@ -38,6 +38,23 @@ pub trait Scheduler: std::fmt::Debug {
 
     /// Per-cycle housekeeping (epoch counters).
     fn on_tick(&mut self, _now: Cycle) {}
+
+    /// Bulk equivalent of calling [`Scheduler::on_tick`] once for every
+    /// cycle in `from..to` — the hook the cycle-skipping simulation engine
+    /// uses to fast-forward over idle spans without losing epoch state.
+    ///
+    /// The default implementation literally loops, which is correct for
+    /// any scheduler but no faster than polling. Schedulers with
+    /// per-cycle epoch state should override it with the closed form
+    /// (see [`Atlas`]/[`Tcm`]/[`Bliss`]); stateless-per-cycle schedulers
+    /// should override it with a no-op.
+    fn on_advance(&mut self, from: Cycle, to: Cycle) {
+        let mut n = from;
+        while n < to {
+            self.on_tick(n);
+            n += 1;
+        }
+    }
 }
 
 /// Indices of queued requests whose next command can issue at `now`.
@@ -108,6 +125,8 @@ impl Scheduler for Fcfs {
     fn select(&mut self, queue: &[Pending], _dram: &DramModule, _now: Cycle) -> Option<usize> {
         (0..queue.len()).min_by_key(|&i| (queue[i].arrival, queue[i].request.id))
     }
+
+    fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
 }
 
 /// First-ready FCFS (Rixner+, ISCA 2000): row-buffer hits first, then
@@ -130,13 +149,13 @@ impl Scheduler for FrFcfs {
 
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
         let ready = issuable_open_page(queue, dram, now);
-        ready
-            .into_iter()
-            .min_by_key(|&i| {
-                let hit = is_row_hit(&queue[i], dram);
-                (!hit, queue[i].arrival, queue[i].request.id)
-            })
+        ready.into_iter().min_by_key(|&i| {
+            let hit = is_row_hit(&queue[i], dram);
+            (!hit, queue[i].arrival, queue[i].request.id)
+        })
     }
+
+    fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
 }
 
 #[cfg(test)]
@@ -148,9 +167,13 @@ mod tests {
     fn setup() -> (DramModule, Vec<Pending>) {
         let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
         // Open row 0 of bank 0 by accessing address 0.
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         let mk = |id: u64, addr: u64, arrival: u64| Pending {
-            request: MemRequest { id, ..MemRequest::read(addr, 0) },
+            request: MemRequest {
+                id,
+                ..MemRequest::read(addr, 0)
+            },
             loc: dram.decode(PhysAddr::new(addr)),
             arrival: Cycle::new(arrival),
             batched: false,

@@ -30,7 +30,12 @@ impl Default for RlSchedulerConfig {
         // few thousand scheduling decisions, matching the fast online
         // adaptation the original controller demonstrates.
         RlSchedulerConfig {
-            q: QConfig { alpha: 0.15, gamma: 0.9, epsilon: 0.04, tilings: 2 },
+            q: QConfig {
+                alpha: 0.15,
+                gamma: 0.9,
+                epsilon: 0.04,
+                tilings: 2,
+            },
             queue_capacity: 64,
             update_interval: 1,
             seed: 0x5E1F_0B75,
@@ -126,11 +131,7 @@ impl RlScheduler {
         let n = queue.len().max(1) as f64;
         let occupancy = (queue.len() as f64 / self.config.queue_capacity as f64).min(1.0);
         let hits = queue.iter().filter(|p| is_row_hit(p, dram)).count() as f64 / n;
-        let writes = queue
-            .iter()
-            .filter(|p| !p.request.kind.is_read())
-            .count() as f64
-            / n;
+        let writes = queue.iter().filter(|p| !p.request.kind.is_read()).count() as f64 / n;
         [occupancy, hits, writes]
     }
 }
@@ -181,6 +182,10 @@ impl Scheduler for RlScheduler {
             self.pending_reward += 1.0;
         }
     }
+
+    // No per-cycle state: select() returns before touching the agent or
+    // RNG whenever nothing is issuable, so skipped idle cycles are no-ops.
+    fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
 }
 
 #[cfg(test)]
@@ -191,13 +196,17 @@ mod tests {
 
     fn dram_with_open_row() -> DramModule {
         let mut d = DramModule::new(DramConfig::ddr3_1600()).unwrap();
-        d.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO).unwrap();
+        d.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
         d
     }
 
     fn pending(id: u64, addr: u64, dram: &DramModule) -> Pending {
         Pending {
-            request: MemRequest { id, ..MemRequest::read(addr, 0) },
+            request: MemRequest {
+                id,
+                ..MemRequest::read(addr, 0)
+            },
             loc: dram.decode(PhysAddr::new(addr)),
             arrival: Cycle::new(id),
             batched: false,
@@ -239,7 +248,12 @@ mod tests {
         // Q-value of action 0 should dominate in the hit-rich state.
         let d = dram_with_open_row();
         let mut rl = RlScheduler::new(RlSchedulerConfig {
-            q: QConfig { alpha: 0.2, gamma: 0.5, epsilon: 0.2, tilings: 2 },
+            q: QConfig {
+                alpha: 0.2,
+                gamma: 0.5,
+                epsilon: 0.2,
+                tilings: 2,
+            },
             ..RlSchedulerConfig::default()
         });
         let queue = vec![pending(1, 64, &d), pending(2, 128, &d)];

@@ -3,8 +3,9 @@
 
 use ia_dram::DramConfig;
 use ia_memctrl::{
-    run_closed_loop, Atlas, Bliss, Fcfs, FrFcfs, MemRequest, ParBs, RlScheduler,
-    RlSchedulerConfig, Scheduler, Tcm,
+    run_closed_loop, run_closed_loop_per_cycle, run_closed_loop_with, Atlas, Bliss, Fcfs, FrFcfs,
+    MemRequest, MemoryController, ParBs, RefreshMode, RlScheduler, RlSchedulerConfig, Scheduler,
+    Tcm,
 };
 use proptest::prelude::*;
 
@@ -100,5 +101,112 @@ proptest! {
         let t = DramConfig::ddr3_1600().timing;
         let max_rpkc = 1000.0 / t.t_bl as f64;
         prop_assert!(report.throughput_rpkc() <= max_rpkc + 1e-9);
+    }
+
+    /// Accounting invariant: at every point of an arbitrary
+    /// enqueue/drain interleaving, `outstanding()` equals exactly the
+    /// number of accepted requests not yet returned as completions.
+    #[test]
+    fn outstanding_counts_queue_plus_inflight(
+        stream in prop::collection::vec((0u64..(1 << 20), 0u8..8), 1..60),
+    ) {
+        let mut ctrl =
+            MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new())).unwrap();
+        let mut accepted: u64 = 0;
+        let mut retired: u64 = 0;
+        for &(addr, gap) in &stream {
+            if ctrl.enqueue(MemRequest::read(addr & !63, 0)).is_ok() {
+                accepted += 1;
+            }
+            for _ in 0..gap {
+                retired += ctrl.tick().len() as u64;
+                prop_assert_eq!(ctrl.outstanding() as u64, accepted - retired);
+            }
+        }
+        retired += ctrl.run_until_drained(50_000_000).len() as u64;
+        prop_assert_eq!(retired, accepted, "drain completes everything");
+        prop_assert_eq!(ctrl.outstanding(), 0);
+    }
+
+    /// Completions retire in nondecreasing `finished` order, for every
+    /// scheduler: the controller retires bursts as their data arrives,
+    /// never out of time order.
+    #[test]
+    fn completions_retire_in_time_order(
+        addrs in prop::collection::vec(0u64..(1 << 22), 1..40),
+    ) {
+        for sched in schedulers(1) {
+            let name = sched.name();
+            let mut ctrl = MemoryController::new(DramConfig::ddr3_1600(), sched).unwrap()
+                .with_queue_capacity(64);
+            for &a in &addrs {
+                ctrl.enqueue(MemRequest::read(a & !63, 0)).unwrap();
+            }
+            let done = ctrl.run_until_drained(50_000_000);
+            prop_assert_eq!(done.len(), addrs.len());
+            for pair in done.windows(2) {
+                prop_assert!(
+                    pair[0].finished <= pair[1].finished,
+                    "{} retired out of order: {} after {}",
+                    name, pair[1].finished, pair[0].finished
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // The oracle ticks every cycle, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole guarantee: the event-skipping engine produces a
+    /// report identical (`same_results`) to the per-cycle oracle, for
+    /// every scheduler, with refresh enabled and disabled, on arbitrary
+    /// seeded multi-threaded workloads.
+    #[test]
+    fn cycle_skipping_matches_per_cycle_oracle(
+        traces in prop::collection::vec(
+            prop::collection::vec((0u64..(1 << 22), any::<bool>()), 1..25),
+            1..3,
+        ),
+        refresh in any::<bool>(),
+    ) {
+        let mem_traces: Vec<Vec<MemRequest>> = traces
+            .iter()
+            .enumerate()
+            .map(|(t, reqs)| {
+                reqs.iter()
+                    .map(|&(addr, w)| {
+                        if w {
+                            MemRequest::write(addr & !63, t)
+                        } else {
+                            MemRequest::read(addr & !63, t)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let threads = traces.len();
+        let mode = || if refresh { RefreshMode::AllBank } else { RefreshMode::Disabled };
+        for (fast_sched, slow_sched) in schedulers(threads).into_iter().zip(schedulers(threads)) {
+            let name = fast_sched.name();
+            let fast_ctrl = MemoryController::new(DramConfig::ddr3_1600(), fast_sched)
+                .unwrap()
+                .with_refresh_mode(mode());
+            let slow_ctrl = MemoryController::new(DramConfig::ddr3_1600(), slow_sched)
+                .unwrap()
+                .with_refresh_mode(mode());
+            let fast = run_closed_loop_with(fast_ctrl, &mem_traces, 4, 2_000_000).unwrap();
+            let slow = run_closed_loop_per_cycle(slow_ctrl, &mem_traces, 4, 2_000_000).unwrap();
+            prop_assert!(
+                fast.same_results(&slow),
+                "{} diverged under cycle skipping (refresh={}):\n event-driven: {:?}\n per-cycle:   {:?}",
+                name, refresh, fast, slow
+            );
+            prop_assert!(
+                fast.engine.events_processed <= slow.cycles + 1,
+                "engine did more ticks than cycles exist"
+            );
+        }
     }
 }

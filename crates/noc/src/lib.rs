@@ -34,4 +34,6 @@ mod sim;
 
 pub use error::NocError;
 pub use mesh::{Coord, MeshConfig, Port};
-pub use sim::{simulate, NocReport, RouterKind, Traffic};
+pub use sim::{
+    simulate, BufferedMeshSim, BufferlessMeshSim, Delivered, NocReport, RouterKind, Traffic,
+};

@@ -32,6 +32,96 @@ impl Port {
     }
 }
 
+/// A small ordered set of ports. A mesh router has at most four, so this
+/// lives entirely on the stack — the routing hot loops query port sets
+/// every cycle and must not allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ports {
+    slots: [Port; 4],
+    len: u8,
+}
+
+impl Default for Ports {
+    fn default() -> Self {
+        Ports {
+            slots: [Port::East; 4],
+            len: 0,
+        }
+    }
+}
+
+impl Ports {
+    /// Number of ports in the set.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the set holds no ports.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set already holds four ports.
+    #[inline]
+    pub fn push(&mut self, p: Port) {
+        self.slots[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    /// True when `p` is in the set.
+    #[must_use]
+    #[inline]
+    pub fn contains(&self, p: Port) -> bool {
+        self.as_slice().contains(&p)
+    }
+
+    /// The first port in insertion order, if any.
+    #[must_use]
+    #[inline]
+    pub fn first(&self) -> Option<Port> {
+        self.as_slice().first().copied()
+    }
+
+    /// The set's ports in insertion order.
+    #[must_use]
+    #[inline]
+    pub fn as_slice(&self) -> &[Port] {
+        &self.slots[..self.len as usize]
+    }
+
+    /// Iterates the ports in insertion order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = Port> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Removes the first occurrence of `p`, preserving order.
+    #[inline]
+    pub fn remove(&mut self, p: Port) {
+        if let Some(pos) = self.as_slice().iter().position(|&q| q == p) {
+            let n = self.len as usize;
+            self.slots.copy_within(pos + 1..n, pos);
+            self.len -= 1;
+        }
+    }
+}
+
+impl IntoIterator for Ports {
+    type Item = Port;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Port, 4>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.into_iter().take(self.len as usize)
+    }
+}
+
 /// Mesh dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MeshConfig {
@@ -74,7 +164,10 @@ impl MeshConfig {
     #[must_use]
     pub fn coord(&self, i: usize) -> Coord {
         assert!(i < self.nodes(), "node index out of range");
-        Coord { x: (i % self.width as usize) as u16, y: (i / self.width as usize) as u16 }
+        Coord {
+            x: (i % self.width as usize) as u16,
+            y: (i / self.width as usize) as u16,
+        }
     }
 
     /// The neighbor reached through `port`, if it exists.
@@ -90,8 +183,14 @@ impl MeshConfig {
 
     /// Ports that lead to existing neighbors from `c`.
     #[must_use]
-    pub fn valid_ports(&self, c: Coord) -> Vec<Port> {
-        Port::all().into_iter().filter(|&p| self.neighbor(c, p).is_some()).collect()
+    pub fn valid_ports(&self, c: Coord) -> Ports {
+        let mut out = Ports::default();
+        for p in Port::all() {
+            if self.neighbor(c, p).is_some() {
+                out.push(p);
+            }
+        }
+        out
     }
 
     /// XY dimension-order routing: the productive port toward `dst`
@@ -114,8 +213,8 @@ impl MeshConfig {
     /// Ports that reduce distance to `dst` (for deflection routing's
     /// preferred set).
     #[must_use]
-    pub fn productive_ports(&self, from: Coord, dst: Coord) -> Vec<Port> {
-        let mut out = Vec::new();
+    pub fn productive_ports(&self, from: Coord, dst: Coord) -> Ports {
+        let mut out = Ports::default();
         if from.x < dst.x {
             out.push(Port::East);
         }

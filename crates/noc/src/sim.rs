@@ -9,11 +9,19 @@
 //! The paper's data-centric lens: bufferless routing trades a little
 //! latency at high load for eliminating the buffers entirely — a
 //! hardware-cost-aware design the fixed "always buffer" mindset misses.
+//!
+//! Both meshes are [`Clocked`] components driven by the workspace-wide
+//! [`SimLoop`]. A synthetic-traffic mesh draws injection randomness every
+//! cycle, so — unlike the memory controller — there are no idle gaps to
+//! skip; the port buys the uniform component model and sink-based
+//! delivery, which lets a mesh be composed into larger clocked systems.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::mesh::{Coord, MeshConfig, Port};
+use ia_sim::{Clocked, CompletionSink, Cycle, FnSink, SimLoop};
+
+use crate::mesh::{Coord, MeshConfig, Port, Ports};
 use crate::NocError;
 
 /// Router microarchitecture under test.
@@ -49,6 +57,28 @@ struct Packet {
     injected_at: u64,
     hops: u32,
     deflections: u32,
+}
+
+impl Packet {
+    fn delivered(&self, now: u64) -> Delivered {
+        Delivered {
+            latency: now - self.injected_at,
+            hops: self.hops,
+            deflections: self.deflections,
+        }
+    }
+}
+
+/// A packet leaving the network: the [`Clocked::Completion`] type of both
+/// mesh simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// Cycles from injection to ejection.
+    pub latency: u64,
+    /// Links traversed.
+    pub hops: u32,
+    /// Times the packet was mis-routed (bufferless only).
+    pub deflections: u32,
 }
 
 /// Aggregate results of a simulation run.
@@ -98,21 +128,31 @@ pub fn simulate(
             return Err(NocError::invalid("hotspot fraction must be in [0, 1]"));
         }
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
     match kind {
-        RouterKind::Buffered => Ok(simulate_buffered(mesh, traffic, rate, cycles, &mut rng)),
+        RouterKind::Buffered => {
+            let mut sim = BufferedMeshSim::new(mesh, traffic, rate, cycles, seed);
+            let tally = drive(&mut sim, cycles);
+            Ok(tally.report(mesh, cycles, sim.injected(), sim.peak_buffering()))
+        }
         RouterKind::BufferlessDeflection => {
-            Ok(simulate_bufferless(mesh, traffic, rate, cycles, &mut rng))
+            let mut sim = BufferlessMeshSim::new(mesh, traffic, rate, cycles, seed);
+            let tally = drive(&mut sim, cycles);
+            Ok(tally.report(mesh, cycles, sim.injected(), 0))
         }
     }
 }
 
-fn pick_destination(
-    mesh: MeshConfig,
-    traffic: Traffic,
-    src: usize,
-    rng: &mut SmallRng,
-) -> Coord {
+/// Drives a mesh to its horizon through the event-driven engine,
+/// aggregating delivered packets.
+fn drive<C: Clocked<Completion = Delivered>>(sim: &mut C, cycles: u64) -> Tally {
+    let mut tally = Tally::default();
+    let mut engine = SimLoop::new();
+    let mut sink = FnSink(|d: Delivered| tally.add(d));
+    engine.run_while(sim, &mut sink, Cycle::new(cycles), |_| true);
+    tally
+}
+
+fn pick_destination(mesh: MeshConfig, traffic: Traffic, src: usize, rng: &mut SmallRng) -> Coord {
     match traffic {
         Traffic::UniformRandom => {
             let mut d = rng.gen_range(0..mesh.nodes());
@@ -138,7 +178,6 @@ fn pick_destination(
 #[derive(Debug, Default)]
 struct Tally {
     delivered: u64,
-    injected: u64,
     total_latency: u64,
     max_latency: u64,
     total_hops: u64,
@@ -146,19 +185,24 @@ struct Tally {
 }
 
 impl Tally {
-    fn deliver(&mut self, p: &Packet, now: u64) {
+    fn add(&mut self, d: Delivered) {
         self.delivered += 1;
-        let lat = now - p.injected_at;
-        self.total_latency += lat;
-        self.max_latency = self.max_latency.max(lat);
-        self.total_hops += u64::from(p.hops);
-        self.deflections += u64::from(p.deflections);
+        self.total_latency += d.latency;
+        self.max_latency = self.max_latency.max(d.latency);
+        self.total_hops += u64::from(d.hops);
+        self.deflections += u64::from(d.deflections);
     }
 
-    fn report(&self, mesh: MeshConfig, cycles: u64, peak_buffering: usize) -> NocReport {
+    fn report(
+        &self,
+        mesh: MeshConfig,
+        cycles: u64,
+        injected: u64,
+        peak_buffering: usize,
+    ) -> NocReport {
         NocReport {
             delivered: self.delivered,
-            injected: self.injected,
+            injected,
             avg_latency: if self.delivered == 0 {
                 0.0
             } else {
@@ -177,141 +221,267 @@ impl Tally {
     }
 }
 
-#[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
-fn simulate_buffered(
+/// An input-queued XY-routed mesh as a [`Clocked`] component.
+///
+/// `rate` must already be validated to [0, 1] (done by [`simulate`]).
+#[derive(Debug)]
+pub struct BufferedMeshSim {
     mesh: MeshConfig,
     traffic: Traffic,
     rate: f64,
-    cycles: u64,
-    rng: &mut SmallRng,
-) -> NocReport {
-    // Per-router input queue (shared FIFO; one packet per output per cycle).
-    let n = mesh.nodes();
-    let mut queues: Vec<Vec<Packet>> = vec![Vec::new(); n];
-    let mut tally = Tally::default();
-    let mut next_id = 0u64;
-    let mut peak = 0usize;
+    horizon: u64,
+    rng: SmallRng,
+    now: u64,
+    queues: Vec<Vec<Packet>>,
+    next_id: u64,
+    injected: u64,
+    peak: usize,
+    // Scratch buffers reused across ticks so the steady-state routing
+    // loop never allocates. Behaviorally inert: each is cleared before
+    // (or fully drained by) every use.
+    moves: Vec<(usize, Packet)>,
+    order: Vec<usize>,
+    taken: Vec<(usize, Port)>,
+}
 
-    for now in 0..cycles {
+impl BufferedMeshSim {
+    /// Creates a mesh that will accept injections for `horizon` cycles.
+    #[must_use]
+    pub fn new(mesh: MeshConfig, traffic: Traffic, rate: f64, horizon: u64, seed: u64) -> Self {
+        BufferedMeshSim {
+            mesh,
+            traffic,
+            rate,
+            horizon,
+            rng: SmallRng::seed_from_u64(seed),
+            now: 0,
+            queues: vec![Vec::new(); mesh.nodes()],
+            next_id: 0,
+            injected: 0,
+            peak: 0,
+            moves: Vec::new(),
+            order: Vec::new(),
+            taken: Vec::new(),
+        }
+    }
+
+    /// Packets injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Peak total buffer occupancy observed so far.
+    #[must_use]
+    pub fn peak_buffering(&self) -> usize {
+        self.peak
+    }
+}
+
+impl Clocked for BufferedMeshSim {
+    type Completion = Delivered;
+
+    fn now(&self) -> Cycle {
+        Cycle::new(self.now)
+    }
+
+    #[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
+    fn tick_into(&mut self, sink: &mut dyn CompletionSink<Delivered>) {
+        let now = self.now;
+        let n = self.mesh.nodes();
         // Inject.
         for src in 0..n {
-            if rng.gen::<f64>() < rate {
-                let dst = pick_destination(mesh, traffic, src, rng);
-                queues[src].push(Packet {
-                    id: next_id,
+            if self.rng.gen::<f64>() < self.rate {
+                let dst = pick_destination(self.mesh, self.traffic, src, &mut self.rng);
+                self.queues[src].push(Packet {
+                    id: self.next_id,
                     dst,
                     injected_at: now,
                     hops: 0,
                     deflections: 0,
                 });
-                next_id += 1;
-                tally.injected += 1;
+                self.next_id += 1;
+                self.injected += 1;
             }
         }
-        peak = peak.max(queues.iter().map(Vec::len).sum());
+        self.peak = self.peak.max(self.queues.iter().map(Vec::len).sum());
 
         // Route: each output port of each router carries one packet.
-        let mut moves: Vec<(usize, Packet)> = Vec::new();
         for node in 0..n {
-            let here = mesh.coord(node);
+            let here = self.mesh.coord(node);
             // Eject everything that has arrived.
-            queues[node].retain(|p| {
+            self.queues[node].retain(|p| {
                 if p.dst == here {
-                    tally.deliver(p, now);
+                    sink.complete(p.delivered(now));
                     false
                 } else {
                     true
                 }
             });
             // One packet per output port, oldest first.
-            let mut used: Vec<Port> = Vec::new();
-            let mut order: Vec<usize> = (0..queues[node].len()).collect();
-            order.sort_by_key(|&i| (queues[node][i].injected_at, queues[node][i].id));
-            let mut taken = Vec::new();
-            for i in order {
-                let p = queues[node][i];
-                let port = mesh.xy_route(here, p.dst).expect("non-local packet has a route");
-                if !used.contains(&port) {
+            let mut used = Ports::default();
+            self.order.clear();
+            self.order.extend(0..self.queues[node].len());
+            self.order
+                .sort_by_key(|&i| (self.queues[node][i].injected_at, self.queues[node][i].id));
+            self.taken.clear();
+            for &i in &self.order {
+                let p = self.queues[node][i];
+                let port = self
+                    .mesh
+                    .xy_route(here, p.dst)
+                    .expect("non-local packet has a route");
+                if !used.contains(port) {
                     used.push(port);
-                    taken.push((i, port));
+                    self.taken.push((i, port));
                 }
             }
-            taken.sort_by_key(|&(i, _)| std::cmp::Reverse(i));
-            for (i, port) in taken {
-                let mut p = queues[node].remove(i);
+            self.taken.sort_by_key(|&(i, _)| std::cmp::Reverse(i));
+            for &(i, port) in &self.taken {
+                let mut p = self.queues[node].remove(i);
                 p.hops += 1;
-                let next = mesh.neighbor(here, port).expect("xy routes stay in mesh");
-                moves.push((mesh.index(next), p));
+                let next = self
+                    .mesh
+                    .neighbor(here, port)
+                    .expect("xy routes stay in mesh");
+                self.moves.push((self.mesh.index(next), p));
             }
         }
-        for (node, p) in moves {
-            queues[node].push(p);
+        for (node, p) in self.moves.drain(..) {
+            self.queues[node].push(p);
         }
+        self.now += 1;
     }
-    tally.report(mesh, cycles, peak)
+
+    fn next_event_at(&self) -> Option<Cycle> {
+        // Injection draws randomness every cycle up to the horizon, so
+        // every cycle is an event; there is nothing to skip.
+        (self.now < self.horizon).then(|| Cycle::new(self.now))
+    }
 }
 
-#[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
-fn simulate_bufferless(
+/// A BLESS-style bufferless deflection mesh as a [`Clocked`] component.
+///
+/// `rate` must already be validated to [0, 1] (done by [`simulate`]).
+#[derive(Debug)]
+pub struct BufferlessMeshSim {
     mesh: MeshConfig,
     traffic: Traffic,
     rate: f64,
-    cycles: u64,
-    rng: &mut SmallRng,
-) -> NocReport {
-    // Flits in flight, grouped per router each cycle. No storage anywhere.
-    let n = mesh.nodes();
-    let mut at_router: Vec<Vec<Packet>> = vec![Vec::new(); n];
-    let mut tally = Tally::default();
-    let mut next_id = 0u64;
+    horizon: u64,
+    rng: SmallRng,
+    now: u64,
+    at_router: Vec<Vec<Packet>>,
+    next_id: u64,
+    injected: u64,
+    // Scratch buffers reused across ticks so the steady-state routing
+    // loop never allocates. `flits` swaps with each router's vec (both
+    // keep their capacity); `moves` is drained every tick.
+    moves: Vec<(usize, Packet)>,
+    flits: Vec<Packet>,
+}
 
-    for now in 0..cycles {
-        let mut moves: Vec<(usize, Packet)> = Vec::new();
+impl BufferlessMeshSim {
+    /// Creates a mesh that will accept injections for `horizon` cycles.
+    #[must_use]
+    pub fn new(mesh: MeshConfig, traffic: Traffic, rate: f64, horizon: u64, seed: u64) -> Self {
+        BufferlessMeshSim {
+            mesh,
+            traffic,
+            rate,
+            horizon,
+            rng: SmallRng::seed_from_u64(seed),
+            now: 0,
+            at_router: vec![Vec::new(); mesh.nodes()],
+            next_id: 0,
+            injected: 0,
+            moves: Vec::new(),
+            flits: Vec::new(),
+        }
+    }
+
+    /// Packets injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl Clocked for BufferlessMeshSim {
+    type Completion = Delivered;
+
+    fn now(&self) -> Cycle {
+        Cycle::new(self.now)
+    }
+
+    #[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
+    fn tick_into(&mut self, sink: &mut dyn CompletionSink<Delivered>) {
+        let now = self.now;
+        let n = self.mesh.nodes();
         for node in 0..n {
-            let here = mesh.coord(node);
-            let mut flits = std::mem::take(&mut at_router[node]);
+            let here = self.mesh.coord(node);
+            // Swap rather than take: the router keeps the scratch's old
+            // (empty) buffer, so capacities circulate instead of being
+            // freed and re-grown every cycle.
+            std::mem::swap(&mut self.flits, &mut self.at_router[node]);
 
             // Ejection: one flit per cycle may leave the network.
-            if let Some(pos) = flits.iter().position(|p| p.dst == here) {
-                let p = flits.remove(pos);
-                tally.deliver(&p, now);
+            if let Some(pos) = self.flits.iter().position(|p| p.dst == here) {
+                let p = self.flits.remove(pos);
+                sink.complete(p.delivered(now));
             }
 
             // Injection: allowed only if a free output slot will remain.
-            let valid = mesh.valid_ports(here);
-            if flits.len() < valid.len() && rng.gen::<f64>() < rate {
-                let dst = pick_destination(mesh, traffic, node, rng);
-                flits.push(Packet { id: next_id, dst, injected_at: now, hops: 0, deflections: 0 });
-                next_id += 1;
-                tally.injected += 1;
+            let valid = self.mesh.valid_ports(here);
+            if self.flits.len() < valid.len() && self.rng.gen::<f64>() < self.rate {
+                let dst = pick_destination(self.mesh, self.traffic, node, &mut self.rng);
+                self.flits.push(Packet {
+                    id: self.next_id,
+                    dst,
+                    injected_at: now,
+                    hops: 0,
+                    deflections: 0,
+                });
+                self.next_id += 1;
+                self.injected += 1;
             }
 
             // Age-ordered port allocation: oldest picks first (BLESS
             // "oldest-first" guarantees livelock freedom).
-            flits.sort_by_key(|p| (p.injected_at, p.id));
-            let mut free: Vec<Port> = valid.clone();
-            for mut p in flits {
-                let productive = mesh.productive_ports(here, p.dst);
+            self.flits.sort_by_key(|p| (p.injected_at, p.id));
+            let mut free = valid;
+            for k in 0..self.flits.len() {
+                let mut p = self.flits[k];
+                let productive = self.mesh.productive_ports(here, p.dst);
                 let port = productive
                     .iter()
-                    .copied()
-                    .find(|pp| free.contains(pp))
-                    .or_else(|| free.first().copied())
+                    .find(|&pp| free.contains(pp))
+                    .or_else(|| free.first())
                     .expect("flit count never exceeds port count");
-                if !productive.contains(&port) {
+                if !productive.contains(port) {
                     p.deflections += 1;
                 }
-                free.retain(|&f| f != port);
+                free.remove(port);
                 p.hops += 1;
-                let next = mesh.neighbor(here, port).expect("free ports are valid");
-                moves.push((mesh.index(next), p));
+                let next = self
+                    .mesh
+                    .neighbor(here, port)
+                    .expect("free ports are valid");
+                self.moves.push((self.mesh.index(next), p));
             }
+            self.flits.clear();
         }
-        for (node, p) in moves {
-            at_router[node].push(p);
+        for (node, p) in self.moves.drain(..) {
+            self.at_router[node].push(p);
         }
+        self.now += 1;
     }
-    tally.report(mesh, cycles, 0)
+
+    fn next_event_at(&self) -> Option<Cycle> {
+        // Injection draws randomness every cycle up to the horizon, so
+        // every cycle is an event; there is nothing to skip.
+        (self.now < self.horizon).then(|| Cycle::new(self.now))
+    }
 }
 
 #[cfg(test)]
@@ -324,11 +494,22 @@ mod tests {
 
     #[test]
     fn rate_validation() {
-        assert!(simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 1.5, 10, 0).is_err());
         assert!(simulate(
             RouterKind::Buffered,
             mesh(),
-            Traffic::Hotspot { node: 99, fraction: 0.5 },
+            Traffic::UniformRandom,
+            1.5,
+            10,
+            0
+        )
+        .is_err());
+        assert!(simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::Hotspot {
+                node: 99,
+                fraction: 0.5
+            },
             0.1,
             10,
             0
@@ -353,7 +534,15 @@ mod tests {
 
     #[test]
     fn bufferless_matches_buffered_latency_at_low_load() {
-        let b = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.02, 4000, 2).unwrap();
+        let b = simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::UniformRandom,
+            0.02,
+            4000,
+            2,
+        )
+        .unwrap();
         let d = simulate(
             RouterKind::BufferlessDeflection,
             mesh(),
@@ -373,7 +562,15 @@ mod tests {
 
     #[test]
     fn bufferless_deflects_under_load_buffered_queues() {
-        let b = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.35, 3000, 3).unwrap();
+        let b = simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::UniformRandom,
+            0.35,
+            3000,
+            3,
+        )
+        .unwrap();
         let d = simulate(
             RouterKind::BufferlessDeflection,
             mesh(),
@@ -392,11 +589,22 @@ mod tests {
     fn hotspot_traffic_is_harder_than_uniform() {
         // At this rate the 16 nodes offer ~2.8 packets/cycle to the
         // hotspot's ≤4 incoming links: the queues around it must grow.
-        let u = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.25, 3000, 4).unwrap();
+        let u = simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::UniformRandom,
+            0.25,
+            3000,
+            4,
+        )
+        .unwrap();
         let h = simulate(
             RouterKind::Buffered,
             mesh(),
-            Traffic::Hotspot { node: 5, fraction: 0.7 },
+            Traffic::Hotspot {
+                node: 5,
+                fraction: 0.7,
+            },
             0.25,
             3000,
             4,
@@ -412,14 +620,164 @@ mod tests {
 
     #[test]
     fn hops_are_at_least_distance_on_average() {
-        let r = simulate(RouterKind::Buffered, mesh(), Traffic::BitComplement, 0.05, 2000, 5).unwrap();
+        let r = simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::BitComplement,
+            0.05,
+            2000,
+            5,
+        )
+        .unwrap();
         // Bit-complement on a 4x4 mesh averages > 2 hops.
         assert!(r.avg_hops >= 2.0, "avg hops {:.2}", r.avg_hops);
     }
 
     #[test]
     fn throughput_reflects_injection_rate_below_saturation() {
-        let r = simulate(RouterKind::Buffered, mesh(), Traffic::UniformRandom, 0.05, 5000, 6).unwrap();
-        assert!((r.throughput - 0.05).abs() < 0.01, "throughput {:.3}", r.throughput);
+        let r = simulate(
+            RouterKind::Buffered,
+            mesh(),
+            Traffic::UniformRandom,
+            0.05,
+            5000,
+            6,
+        )
+        .unwrap();
+        assert!(
+            (r.throughput - 0.05).abs() < 0.01,
+            "throughput {:.3}",
+            r.throughput
+        );
+    }
+
+    /// Reports recorded from the pre-`Clocked` per-cycle loops. The port
+    /// transplanted the loop bodies verbatim (preserving RNG call order),
+    /// so results must be bit-identical, not just statistically close.
+    #[test]
+    fn clocked_port_is_bit_identical_to_the_legacy_loop() {
+        let m = mesh();
+        let b = simulate(
+            RouterKind::Buffered,
+            m,
+            Traffic::UniformRandom,
+            0.12,
+            2500,
+            42,
+        )
+        .unwrap();
+        assert_eq!(
+            b,
+            NocReport {
+                delivered: 4792,
+                injected: 4794,
+                avg_latency: 2.684474123539232,
+                max_latency: 6,
+                avg_hops: 2.6085141903171953,
+                deflections: 0,
+                peak_buffering: 18,
+                throughput: 0.1198,
+            }
+        );
+        let bh = simulate(
+            RouterKind::Buffered,
+            m,
+            Traffic::Hotspot {
+                node: 5,
+                fraction: 0.6,
+            },
+            0.2,
+            1500,
+            7,
+        )
+        .unwrap();
+        assert_eq!(
+            bh,
+            NocReport {
+                delivered: 4730,
+                injected: 4789,
+                avg_latency: 13.274207188160677,
+                max_latency: 64,
+                avg_hops: 2.3228329809725157,
+                deflections: 0,
+                peak_buffering: 77,
+                throughput: 0.19708333333333333,
+            }
+        );
+        let d = simulate(
+            RouterKind::BufferlessDeflection,
+            m,
+            Traffic::UniformRandom,
+            0.12,
+            2500,
+            42,
+        )
+        .unwrap();
+        assert_eq!(
+            d,
+            NocReport {
+                delivered: 4789,
+                injected: 4794,
+                avg_latency: 2.832950511589058,
+                max_latency: 8,
+                avg_hops: 2.832950511589058,
+                deflections: 514,
+                peak_buffering: 0,
+                throughput: 0.119725,
+            }
+        );
+        let dh = simulate(
+            RouterKind::BufferlessDeflection,
+            m,
+            Traffic::Hotspot {
+                node: 5,
+                fraction: 0.6,
+            },
+            0.2,
+            1500,
+            7,
+        )
+        .unwrap();
+        assert_eq!(
+            dh,
+            NocReport {
+                delivered: 2755,
+                injected: 2786,
+                avg_latency: 17.664609800362978,
+                max_latency: 107,
+                avg_hops: 17.664609800362978,
+                deflections: 21079,
+                peak_buffering: 0,
+                throughput: 0.11479166666666667,
+            }
+        );
+    }
+
+    /// The meshes honor the `Clocked` contract when driven by hand.
+    #[test]
+    fn mesh_sims_are_well_behaved_clocked_components() {
+        let mut sim = BufferedMeshSim::new(mesh(), Traffic::UniformRandom, 0.1, 100, 9);
+        assert_eq!(Clocked::now(&sim), Cycle::ZERO);
+        assert_eq!(sim.next_event_at(), Some(Cycle::ZERO));
+        let mut out: Vec<Delivered> = Vec::new();
+        let mut engine = SimLoop::new();
+        let outcome = engine.run_while(&mut sim, &mut out, Cycle::new(100), |_| true);
+        assert_eq!(outcome, ia_sim::RunOutcome::Drained);
+        assert_eq!(Clocked::now(&sim), Cycle::new(100));
+        assert_eq!(sim.next_event_at(), None, "horizon reached: drained");
+        assert_eq!(
+            engine.stats().events_processed,
+            100,
+            "every cycle is an event"
+        );
+        assert_eq!(
+            engine.stats().cycles_skipped,
+            0,
+            "injection leaves no idle gaps"
+        );
+        assert!(
+            out.len() as u64 <= sim.injected(),
+            "can't deliver more than injected"
+        );
     }
 }

@@ -90,7 +90,11 @@ impl<'g> PnmGraphEngine<'g> {
             load[vault] += graph.out_degree(v) as u64;
             count[vault] += 1;
         }
-        Ok(PnmGraphEngine { stack, graph, vault_of })
+        Ok(PnmGraphEngine {
+            stack,
+            graph,
+            vault_of,
+        })
     }
 
     /// Vault holding vertex `v`.
@@ -145,15 +149,18 @@ impl<'g> PnmGraphEngine<'g> {
         let step_ns = self.superstep_ns(&per_vault);
         // Remote messages ride the in-package network: charge an extra
         // latency proportional to remote traffic over aggregate bandwidth.
-        let network_ns =
-            remote as f64 * MESSAGE_BYTES / self.stack.internal_gbps_total();
+        let network_ns = remote as f64 * MESSAGE_BYTES / self.stack.internal_gbps_total();
         let total_ns = (step_ns + network_ns) * iterations as f64;
         (
             ranks,
             PnmRunReport {
                 total_ns,
                 supersteps: iterations,
-                remote_edge_fraction: if total == 0 { 0.0 } else { remote as f64 / total as f64 },
+                remote_edge_fraction: if total == 0 {
+                    0.0
+                } else {
+                    remote as f64 / total as f64
+                },
                 edges_processed: total * iterations as u64,
             },
         )
@@ -168,7 +175,12 @@ impl<'g> PnmGraphEngine<'g> {
     #[must_use]
     pub fn bfs(&self, source: u32) -> (Vec<u32>, PnmRunReport) {
         let dist = self.graph.bfs(source);
-        let levels = dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0) as usize;
+        let levels = dist
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0) as usize;
         let (per_vault, remote, total) = self.edge_distribution();
         let step_ns = self.superstep_ns(&per_vault) / levels.max(1) as f64;
         let network_ns = remote as f64 * MESSAGE_BYTES / self.stack.internal_gbps_total();
@@ -177,7 +189,11 @@ impl<'g> PnmGraphEngine<'g> {
             PnmRunReport {
                 total_ns: step_ns * levels as f64 + network_ns,
                 supersteps: levels,
-                remote_edge_fraction: if total == 0 { 0.0 } else { remote as f64 / total as f64 },
+                remote_edge_fraction: if total == 0 {
+                    0.0
+                } else {
+                    remote as f64 / total as f64
+                },
                 edges_processed: total,
             },
         )
@@ -214,7 +230,10 @@ mod tests {
         let (pnm_ranks, _) = engine.pagerank(0.85, 20);
         let host_ranks = g.pagerank(0.85, 20);
         for (a, b) in pnm_ranks.iter().zip(&host_ranks) {
-            assert!((a - b).abs() < 1e-12, "near-memory execution must not change results");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "near-memory execution must not change results"
+            );
         }
     }
 
@@ -261,14 +280,21 @@ mod tests {
         let many = PnmGraphEngine::new(StackConfig::hmc_like(), &g).unwrap();
         let (_, r1) = one.pagerank(0.85, 1);
         let (_, rn) = many.pagerank(0.85, 1);
-        assert_eq!(r1.remote_edge_fraction, 0.0, "single vault has no remote edges");
-        assert!(rn.remote_edge_fraction > 0.5, "round-robin spreads neighbours");
+        assert_eq!(
+            r1.remote_edge_fraction, 0.0,
+            "single vault has no remote edges"
+        );
+        assert!(
+            rn.remote_edge_fraction > 0.5,
+            "round-robin spreads neighbours"
+        );
     }
 
     #[test]
     fn round_robin_partitioning() {
         let g = Graph::from_edges(8, &[]).unwrap();
-        let engine = PnmGraphEngine::new(StackConfig::hmc_like().with_vaults(4).unwrap(), &g).unwrap();
+        let engine =
+            PnmGraphEngine::new(StackConfig::hmc_like().with_vaults(4).unwrap(), &g).unwrap();
         assert_eq!(engine.vault_of(0), 0);
         assert_eq!(engine.vault_of(5), 1);
         assert_eq!(engine.vault_of(7), 3);

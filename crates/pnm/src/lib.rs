@@ -14,6 +14,11 @@
 //! * [`PeiEngine`] — PIM-enabled instructions with locality-aware
 //!   host/memory offload.
 //!
+//! Unlike the DRAM/controller/NoC simulators, these models are
+//! *analytic*: they compute bandwidth-model timing in closed form rather
+//! than ticking a clock, so there is no per-cycle loop to port onto the
+//! workspace's `ia-sim` event-driven engine.
+//!
 //! ## Example
 //!
 //! ```

@@ -63,7 +63,11 @@ struct ResidencyTracker {
 
 impl ResidencyTracker {
     fn new(capacity: usize) -> Self {
-        ResidencyTracker { capacity, stamp: 0, lines: HashMap::new() }
+        ResidencyTracker {
+            capacity,
+            stamp: 0,
+            lines: HashMap::new(),
+        }
     }
 
     fn probe(&self, line: u64) -> bool {
@@ -102,7 +106,11 @@ impl PeiEngine {
     /// # Errors
     ///
     /// Returns [`PnmError`] if `cache_lines == 0`.
-    pub fn new(costs: PeiCosts, policy: OffloadPolicy, cache_lines: usize) -> Result<Self, PnmError> {
+    pub fn new(
+        costs: PeiCosts,
+        policy: OffloadPolicy,
+        cache_lines: usize,
+    ) -> Result<Self, PnmError> {
         if cache_lines == 0 {
             return Err(PnmError::invalid("cache model needs at least one line"));
         }
@@ -134,7 +142,11 @@ impl PeiEngine {
         match site {
             ExecSite::Host => {
                 self.host_ops += 1;
-                self.total_ns += if resident { self.costs.host_hit_ns } else { self.costs.host_miss_ns };
+                self.total_ns += if resident {
+                    self.costs.host_hit_ns
+                } else {
+                    self.costs.host_miss_ns
+                };
                 // Host execution fills the cache.
                 self.tracker.touch(line);
             }
@@ -221,7 +233,11 @@ mod tests {
     #[test]
     fn sites_are_recorded() {
         let mut e = PeiEngine::new(costs(), OffloadPolicy::LocalityAware, 16).unwrap();
-        assert_eq!(e.execute(1), ExecSite::Memory, "first touch is not resident");
+        assert_eq!(
+            e.execute(1),
+            ExecSite::Memory,
+            "first touch is not resident"
+        );
         // The locality monitor saw the touch: the repeat runs at the host.
         assert_eq!(e.execute(1), ExecSite::Host);
         assert_eq!(e.memory_ops, 1);

@@ -87,7 +87,12 @@ pub struct TraversalReport {
 /// Walks the chain from the host: every hop is a dependent external-memory
 /// round trip (caches are useless for a random cycle larger than they are).
 #[must_use]
-pub fn traverse_host(chain: &LinkedChain, stack: &StackConfig, start: u32, hops: u64) -> TraversalReport {
+pub fn traverse_host(
+    chain: &LinkedChain,
+    stack: &StackConfig,
+    start: u32,
+    hops: u64,
+) -> TraversalReport {
     TraversalReport {
         end: chain.walk(start, hops),
         ns: hops as f64 * stack.external_latency_ns,
@@ -98,7 +103,12 @@ pub fn traverse_host(chain: &LinkedChain, stack: &StackConfig, start: u32, hops:
 /// Walks the chain with an in-memory walker in the logic layer: hops pay
 /// only the internal latency, and only the final result crosses the link.
 #[must_use]
-pub fn traverse_pnm(chain: &LinkedChain, stack: &StackConfig, start: u32, hops: u64) -> TraversalReport {
+pub fn traverse_pnm(
+    chain: &LinkedChain,
+    stack: &StackConfig,
+    start: u32,
+    hops: u64,
+) -> TraversalReport {
     TraversalReport {
         end: chain.walk(start, hops),
         ns: hops as f64 * stack.internal_latency_ns + stack.external_latency_ns,
@@ -191,6 +201,9 @@ mod tests {
         let s = StackConfig::hmc_like();
         let (h1, p1) = concurrent_traversals(&s, 1, 1000);
         let (h16, p16) = concurrent_traversals(&s, 16, 1000);
-        assert!(h1 / p1 < h16 / p16, "vault-parallel walkers scale past host MSHRs");
+        assert!(
+            h1 / p1 < h16 / p16,
+            "vault-parallel walkers scale past host MSHRs"
+        );
     }
 }

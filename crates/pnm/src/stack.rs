@@ -124,7 +124,10 @@ mod tests {
         let s = StackConfig::hmc_like();
         s.validate().unwrap();
         assert!((s.internal_gbps_total() - 256.0).abs() < 1e-9);
-        assert!(s.bandwidth_ratio() > 6.0, "internal bandwidth should dwarf the link");
+        assert!(
+            s.bandwidth_ratio() > 6.0,
+            "internal bandwidth should dwarf the link"
+        );
         assert!(s.internal_latency_ns < s.external_latency_ns);
     }
 

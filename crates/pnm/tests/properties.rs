@@ -2,7 +2,7 @@
 
 use ia_pnm::{
     concurrent_traversals, host_pagerank_ns, traverse_host, traverse_pnm, LinkedChain,
-    PeiCosts, PeiEngine, OffloadPolicy, PnmGraphEngine, StackConfig,
+    OffloadPolicy, PeiCosts, PeiEngine, PnmGraphEngine, StackConfig,
 };
 use ia_workloads::Graph;
 use proptest::prelude::*;

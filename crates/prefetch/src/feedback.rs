@@ -105,7 +105,11 @@ mod tests {
         for i in 0..200 {
             p.feedback(i, true);
         }
-        assert!(p.degree() > 2, "high accuracy should raise degree, got {}", p.degree());
+        assert!(
+            p.degree() > 2,
+            "high accuracy should raise degree, got {}",
+            p.degree()
+        );
         assert!(p.adjustments() >= 1);
     }
 
@@ -115,7 +119,11 @@ mod tests {
         for i in 0..300 {
             p.feedback(i, false);
         }
-        assert!(p.degree() < 8, "low accuracy should cut degree, got {}", p.degree());
+        assert!(
+            p.degree() < 8,
+            "low accuracy should cut degree, got {}",
+            p.degree()
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 5, "delta correlation should fire regularly, got {correct}");
+        assert!(
+            correct > 5,
+            "delta correlation should fire regularly, got {correct}"
+        );
     }
 
     #[test]

@@ -130,7 +130,9 @@ impl PrefetchHarness {
             }
             self.metrics.issued += 1;
             self.prefetched.insert(target);
-            let fill = self.cache.access_with_priority(target_addr, CacheOp::Read, Some(false));
+            let fill = self
+                .cache
+                .access_with_priority(target_addr, CacheOp::Read, Some(false));
             self.note_evictions(fill.evicted);
         }
     }
@@ -178,7 +180,11 @@ mod tests {
         for _ in 0..4000 {
             h.demand(rng.gen_range(0u64..(1 << 24)) & !63);
         }
-        assert!(h.metrics().accuracy() < 0.2, "accuracy {:.2}", h.metrics().accuracy());
+        assert!(
+            h.metrics().accuracy() < 0.2,
+            "accuracy {:.2}",
+            h.metrics().accuracy()
+        );
         assert!(h.metrics().coverage() < 0.2);
     }
 

@@ -161,10 +161,17 @@ mod tests {
                 f.feedback(p, p == i * 2 + 1);
             }
         }
-        assert!(f.suppressed > 500, "filter should learn to drop the far line: {}", f.suppressed);
+        assert!(
+            f.suppressed > 500,
+            "filter should learn to drop the far line: {}",
+            f.suppressed
+        );
         // After training, a fresh observation should keep the near line.
         let kept = f.observe(1 << 20, true);
-        assert!(kept.contains(&((1 << 20) + 1)), "useful near prefetch survived: {kept:?}");
+        assert!(
+            kept.contains(&((1 << 20) + 1)),
+            "useful near prefetch survived: {kept:?}"
+        );
     }
 
     #[test]

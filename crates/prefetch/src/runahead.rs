@@ -100,8 +100,14 @@ pub fn build_trace(loads: usize, gap: usize, dependent_per_mille: u32) -> Vec<In
 mod tests {
     use super::*;
 
-    const CORE: CoreModel = CoreModel { miss_latency: 200, runahead_window: 64 };
-    const STALLING: CoreModel = CoreModel { miss_latency: 200, runahead_window: 0 };
+    const CORE: CoreModel = CoreModel {
+        miss_latency: 200,
+        runahead_window: 64,
+    };
+    const STALLING: CoreModel = CoreModel {
+        miss_latency: 200,
+        runahead_window: 0,
+    };
 
     #[test]
     fn stall_core_serializes_every_miss() {
@@ -146,8 +152,20 @@ mod tests {
     fn window_size_bounds_the_mlp() {
         // Misses spaced farther apart than a small window gain nothing.
         let trace = build_trace(50, 100, 0);
-        let small = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 10 });
-        let large = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 256 });
+        let small = execute(
+            &trace,
+            CoreModel {
+                miss_latency: 200,
+                runahead_window: 10,
+            },
+        );
+        let large = execute(
+            &trace,
+            CoreModel {
+                miss_latency: 200,
+                runahead_window: 256,
+            },
+        );
         assert!(large < small, "a larger window reaches the next miss");
     }
 

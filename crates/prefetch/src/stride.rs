@@ -13,7 +13,9 @@ impl NextLinePrefetcher {
     /// Creates a next-line prefetcher of the given degree (≥ 1).
     #[must_use]
     pub fn new(degree: u64) -> Self {
-        NextLinePrefetcher { degree: degree.max(1) }
+        NextLinePrefetcher {
+            degree: degree.max(1),
+        }
     }
 }
 
@@ -46,7 +48,11 @@ impl StridePrefetcher {
     /// Creates a stride prefetcher of the given degree.
     #[must_use]
     pub fn new(degree: u64) -> Self {
-        StridePrefetcher { degree: degree.max(1), table: std::collections::HashMap::new(), capacity: 256 }
+        StridePrefetcher {
+            degree: degree.max(1),
+            table: std::collections::HashMap::new(),
+            capacity: 256,
+        }
     }
 
     /// Current prefetch degree.

@@ -191,7 +191,10 @@ pub mod collection {
 
     /// A vector strategy: `size` may be a `usize` or a `Range<usize>`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -222,7 +225,9 @@ pub mod collection {
         S: Strategy,
         S::Value: std::hash::Hash + Eq,
     {
-        HashSetStrategy { inner: vec(element, size) }
+        HashSetStrategy {
+            inner: vec(element, size),
+        }
     }
 
     impl<S: Strategy> Strategy for HashSetStrategy<S>
@@ -247,7 +252,9 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { inner: vec(element, size) }
+        BTreeSetStrategy {
+            inner: vec(element, size),
+        }
     }
 
     impl<S: Strategy> Strategy for BTreeSetStrategy<S>
@@ -313,7 +320,9 @@ pub mod sample {
 
     impl Arbitrary for Index {
         fn arbitrary<R: RngCore>(rng: &mut R) -> Self {
-            Index { raw: rng.gen::<usize>() }
+            Index {
+                raw: rng.gen::<usize>(),
+            }
         }
     }
 }
@@ -368,7 +377,9 @@ macro_rules! proptest {
                 for _case in 0..config.cases {
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                     // The closure gives `prop_assume!` an early-exit that
-                    // skips just this case.
+                    // skips just this case. `mut` is only exercised when
+                    // the body mutates a capture, which varies per test.
+                    #[allow(unused_mut)]
                     let mut case = || $body;
                     case();
                 }

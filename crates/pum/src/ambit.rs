@@ -313,9 +313,15 @@ mod tests {
     #[test]
     fn missing_operands_are_errors() {
         let mut e = engine();
-        assert!(matches!(e.execute(BitwiseOp::Not, 1, 99, None), Err(PumError::MissingRow(99))));
+        assert!(matches!(
+            e.execute(BitwiseOp::Not, 1, 99, None),
+            Err(PumError::MissingRow(99))
+        ));
         e.write_row(0, row_of(&e, 1)).unwrap();
-        assert!(e.execute(BitwiseOp::And, 1, 0, None).is_err(), "AND needs two operands");
+        assert!(
+            e.execute(BitwiseOp::And, 1, 0, None).is_err(),
+            "AND needs two operands"
+        );
         assert!(e.execute(BitwiseOp::And, 1, 0, Some(42)).is_err());
     }
 

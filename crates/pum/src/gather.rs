@@ -157,7 +157,10 @@ mod tests {
     fn validation() {
         assert!(conventional_gather(&cfg(), 0, 8, 64).is_err());
         assert!(gs_dram_gather(&cfg(), 10, 8, 4).is_err());
-        assert!(gather_elements(&[0u8; 16], 4, 8, 8).is_err(), "pattern exceeds buffer");
+        assert!(
+            gather_elements(&[0u8; 16], 4, 8, 8).is_err(),
+            "pattern exceeds buffer"
+        );
     }
 
     #[test]
@@ -172,8 +175,16 @@ mod tests {
         // 8-byte field from a 64-byte struct: conventional drags 8x.
         let conv = conventional_gather(&cfg(), 10_000, 8, 64).unwrap();
         let gs = gs_dram_gather(&cfg(), 10_000, 8, 64).unwrap();
-        assert!(conv.efficiency() < 0.2, "conventional efficiency {:.2}", conv.efficiency());
-        assert!(gs.efficiency() > 0.9, "GS-DRAM efficiency {:.2}", gs.efficiency());
+        assert!(
+            conv.efficiency() < 0.2,
+            "conventional efficiency {:.2}",
+            conv.efficiency()
+        );
+        assert!(
+            gs.efficiency() > 0.9,
+            "GS-DRAM efficiency {:.2}",
+            gs.efficiency()
+        );
         let traffic_cut = conv.bytes_moved as f64 / gs.bytes_moved as f64;
         assert!(
             (6.0..9.0).contains(&traffic_cut),

@@ -126,7 +126,10 @@ mod tests {
         // per-access model with 4 cells should land in the >100 Mb/s range.
         let d = DRange::new(&DramConfig::ddr3_1600(), 4).unwrap();
         let t = d.throughput_mbps();
-        assert!(t > 50.0 && t < 5_000.0, "throughput {t:.0} Mb/s out of plausible range");
+        assert!(
+            t > 50.0 && t < 5_000.0,
+            "throughput {t:.0} Mb/s out of plausible range"
+        );
     }
 
     #[test]

@@ -105,7 +105,13 @@ pub fn bulk_copy(
             let e = dram.energy_mut();
             e.act_pre_pj += rows as f64 * 2.0 * energy.act_pre_pj;
             e.activates += 2 * rows;
-            CopyReport { mode, bytes, cycles, ns: cycles as f64 * timing.tck_ns(), energy_pj }
+            CopyReport {
+                mode,
+                bytes,
+                cycles,
+                ns: cycles as f64 * timing.tck_ns(),
+                energy_pj,
+            }
         }
         CopyMode::Lisa => {
             if !src_loc.same_bank(&dst_loc) {
@@ -121,7 +127,13 @@ pub fn bulk_copy(
             e.act_pre_pj += rows as f64 * 2.0 * energy.act_pre_pj;
             e.array_pj += rows as f64 * hops as f64 * 100.0;
             e.activates += 2 * rows;
-            CopyReport { mode, bytes, cycles, ns: cycles as f64 * timing.tck_ns(), energy_pj }
+            CopyReport {
+                mode,
+                bytes,
+                cycles,
+                ns: cycles as f64 * timing.tck_ns(),
+                energy_pj,
+            }
         }
         CopyMode::Psm => {
             if src_loc.same_bank(&dst_loc) {
@@ -130,8 +142,8 @@ pub fn bulk_copy(
             let lines = bytes.div_ceil(geo.column_bytes);
             // Open both rows once per row-sized chunk, then pipeline lines
             // over the internal bus (one tCCD per line, overlapped).
-            let cycles = rows * (2 * timing.t_rcd + timing.t_ras + timing.t_rp)
-                + lines * timing.t_ccd;
+            let cycles =
+                rows * (2 * timing.t_rcd + timing.t_ras + timing.t_rp) + lines * timing.t_ccd;
             // Internal array reads+writes, no off-chip I/O.
             let energy_pj = rows as f64 * 2.0 * energy.act_pre_pj
                 + lines as f64 * (energy.read_pj + energy.write_pj);
@@ -140,7 +152,13 @@ pub fn bulk_copy(
             e.array_pj += lines as f64 * (energy.read_pj + energy.write_pj);
             e.activates += 2 * rows;
             e.bursts += 2 * lines;
-            CopyReport { mode, bytes, cycles, ns: cycles as f64 * timing.tck_ns(), energy_pj }
+            CopyReport {
+                mode,
+                bytes,
+                cycles,
+                ns: cycles as f64 * timing.tck_ns(),
+                energy_pj,
+            }
         }
         CopyMode::Cpu => {
             // A real memcpy streams reads into the cache hierarchy, then
@@ -168,7 +186,13 @@ pub fn bulk_copy(
             let end = last + timing.t_wr;
             let cycles = end - start;
             let energy_pj = dram.energy().dynamic_pj() - before.dynamic_pj();
-            CopyReport { mode, bytes, cycles, ns: cycles as f64 * timing.tck_ns(), energy_pj }
+            CopyReport {
+                mode,
+                bytes,
+                cycles,
+                ns: cycles as f64 * timing.tck_ns(),
+                energy_pj,
+            }
         }
     };
     Ok(report)
@@ -212,7 +236,13 @@ mod tests {
         let mut d = dram();
         let stride = row_stride(&d);
         // Row 0 and row 1 share subarray 0 (512 rows per subarray).
-        let r = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 8192, CopyMode::Fpm);
+        let r = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            8192,
+            CopyMode::Fpm,
+        );
         assert!(r.is_ok());
         // Row 0 and row 600 are in different subarrays.
         let far = bulk_copy(
@@ -224,7 +254,13 @@ mod tests {
         );
         assert!(far.is_err());
         // Different banks are also rejected.
-        let other_bank = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(8192), 8192, CopyMode::Fpm);
+        let other_bank = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(8192),
+            8192,
+            CopyMode::Fpm,
+        );
         assert!(other_bank.is_err());
     }
 
@@ -232,8 +268,14 @@ mod tests {
     fn fpm_is_an_order_of_magnitude_faster_than_cpu_copy() {
         let stride = row_stride(&dram());
         let mut d1 = dram();
-        let fpm =
-            bulk_copy(&mut d1, PhysAddr::new(0), PhysAddr::new(stride), 8192, CopyMode::Fpm).unwrap();
+        let fpm = bulk_copy(
+            &mut d1,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            8192,
+            CopyMode::Fpm,
+        )
+        .unwrap();
         let mut d2 = dram();
         let cpu = bulk_copy(
             &mut d2,
@@ -252,32 +294,65 @@ mod tests {
     fn fpm_saves_more_energy_than_latency() {
         let stride = row_stride(&dram());
         let mut d1 = dram();
-        let fpm =
-            bulk_copy(&mut d1, PhysAddr::new(0), PhysAddr::new(stride), 8192, CopyMode::Fpm).unwrap();
+        let fpm = bulk_copy(
+            &mut d1,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            8192,
+            CopyMode::Fpm,
+        )
+        .unwrap();
         let mut d2 = dram();
-        let cpu =
-            bulk_copy(&mut d2, PhysAddr::new(0), PhysAddr::new(stride), 8192, CopyMode::Cpu).unwrap();
+        let cpu = bulk_copy(
+            &mut d2,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            8192,
+            CopyMode::Cpu,
+        )
+        .unwrap();
         let energy_ratio = cpu.energy_pj / fpm.energy_pj;
         let latency_ratio = cpu.ns / fpm.ns;
         assert!(
             energy_ratio > latency_ratio,
             "energy savings ({energy_ratio:.0}x) should exceed latency savings ({latency_ratio:.0}x)"
         );
-        assert!(energy_ratio > 30.0, "expected tens-of-x energy reduction, got {energy_ratio:.0}x");
+        assert!(
+            energy_ratio > 30.0,
+            "expected tens-of-x energy reduction, got {energy_ratio:.0}x"
+        );
     }
 
     #[test]
     fn psm_is_slower_than_fpm_but_faster_than_cpu() {
         let stride = row_stride(&dram());
         let mut d = dram();
-        let fpm =
-            bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 8192, CopyMode::Fpm).unwrap();
+        let fpm = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            8192,
+            CopyMode::Fpm,
+        )
+        .unwrap();
         // PSM: copy to a different bank (address 8192 lands in bank 1).
-        let psm =
-            bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(8192), 8192, CopyMode::Psm).unwrap();
+        let psm = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(8192),
+            8192,
+            CopyMode::Psm,
+        )
+        .unwrap();
         let mut d2 = dram();
-        let cpu =
-            bulk_copy(&mut d2, PhysAddr::new(0), PhysAddr::new(8192), 8192, CopyMode::Cpu).unwrap();
+        let cpu = bulk_copy(
+            &mut d2,
+            PhysAddr::new(0),
+            PhysAddr::new(8192),
+            8192,
+            CopyMode::Cpu,
+        )
+        .unwrap();
         assert!(fpm.cycles < psm.cycles);
         assert!(psm.cycles < cpu.cycles);
     }
@@ -286,7 +361,14 @@ mod tests {
     fn psm_rejects_same_bank() {
         let mut d = dram();
         let stride = row_stride(&d);
-        assert!(bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 64, CopyMode::Psm).is_err());
+        assert!(bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            64,
+            CopyMode::Psm
+        )
+        .is_err());
     }
 
     #[test]
@@ -315,29 +397,60 @@ mod tests {
     #[test]
     fn lisa_rejects_cross_bank() {
         let mut d = dram();
-        assert!(bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(8192), 64, CopyMode::Lisa).is_err());
+        assert!(bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(8192),
+            64,
+            CopyMode::Lisa
+        )
+        .is_err());
     }
 
     #[test]
     fn cpu_copy_pays_io_energy() {
         let mut d = dram();
         let before_io = d.energy().io_pj;
-        bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(1 << 22), 4096, CopyMode::Cpu).unwrap();
-        assert!(d.energy().io_pj > before_io, "CPU copy must cross the channel");
+        bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(1 << 22),
+            4096,
+            CopyMode::Cpu,
+        )
+        .unwrap();
+        assert!(
+            d.energy().io_pj > before_io,
+            "CPU copy must cross the channel"
+        );
     }
 
     #[test]
     fn in_dram_copies_pay_no_io_energy() {
         let mut d = dram();
         let stride = row_stride(&d);
-        bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 8192, CopyMode::Fpm).unwrap();
+        bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            8192,
+            CopyMode::Fpm,
+        )
+        .unwrap();
         assert_eq!(d.energy().io_pj, 0.0);
     }
 
     #[test]
     fn zero_bytes_is_an_error() {
         let mut d = dram();
-        assert!(bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(64), 0, CopyMode::Cpu).is_err());
+        assert!(bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(64),
+            0,
+            CopyMode::Cpu
+        )
+        .is_err());
         assert!(bulk_zero(&mut d, PhysAddr::new(0), 0).is_err());
     }
 
@@ -353,8 +466,17 @@ mod tests {
     fn bandwidth_reported() {
         let mut d = dram();
         let stride = row_stride(&d);
-        let r = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 64 * 1024, CopyMode::Fpm)
-            .unwrap();
-        assert!(r.bandwidth_gib_s() > 10.0, "in-DRAM copy should exceed 10 GiB/s");
+        let r = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            64 * 1024,
+            CopyMode::Fpm,
+        )
+        .unwrap();
+        assert!(
+            r.bandwidth_gib_s() > 10.0,
+            "in-DRAM copy should exceed 10 GiB/s"
+        );
     }
 }

@@ -29,7 +29,10 @@ pub struct ApproxDramPoint {
 /// that the weak-cell population grows roughly geometrically with the
 /// interval (the published retention-tail shape).
 #[must_use]
-pub fn sweep_refresh_multipliers(model: &RetentionModel, multipliers: &[u32]) -> Vec<ApproxDramPoint> {
+pub fn sweep_refresh_multipliers(
+    model: &RetentionModel,
+    multipliers: &[u32],
+) -> Vec<ApproxDramPoint> {
     multipliers
         .iter()
         .map(|&m| {
@@ -117,7 +120,10 @@ mod tests {
         let below = dnn_accuracy_loss(1e-4, knee);
         let above = dnn_accuracy_loss(1e-2, knee);
         assert!(below < 0.011, "sub-knee loss negligible: {below}");
-        assert!(above > 10.0 * below, "post-knee loss sharp: {above} vs {below}");
+        assert!(
+            above > 10.0 * below,
+            "post-knee loss sharp: {above} vs {below}"
+        );
         assert!(dnn_accuracy_loss(1.0, knee) <= 1.0);
     }
 
@@ -129,6 +135,9 @@ mod tests {
         // ...a sensitive layer (tiny knee) must stay near nominal.
         let sensitive = select_multiplier(&model, 1e-6, 0.001);
         assert!(robust >= 8, "robust layer should reach ≥8x, got {robust}");
-        assert!(sensitive <= 2, "sensitive layer must stay near 1x, got {sensitive}");
+        assert!(
+            sensitive <= 2,
+            "sensitive layer must stay near 1x, got {sensitive}"
+        );
     }
 }

@@ -107,7 +107,9 @@ pub fn decode(word: EccWord) -> DecodeOutcome {
     let mut syndrome = 0usize;
     for j in 0..7u32 {
         let p = 1usize << j;
-        let parity = (1..72).filter(|&i| i & p != 0).fold(false, |acc, i| acc ^ code[i]);
+        let parity = (1..72)
+            .filter(|&i| i & p != 0)
+            .fold(false, |acc, i| acc ^ code[i]);
         if parity {
             syndrome |= p;
         }
@@ -149,8 +151,19 @@ mod tests {
 
     #[test]
     fn clean_roundtrip() {
-        for data in [0u64, u64::MAX, 0xDEAD_BEEF, 0x5555_5555_5555_5555, 1, 1 << 63] {
-            assert_eq!(decode(encode(data)), DecodeOutcome::Clean(data), "{data:#x}");
+        for data in [
+            0u64,
+            u64::MAX,
+            0xDEAD_BEEF,
+            0x5555_5555_5555_5555,
+            1,
+            1 << 63,
+        ] {
+            assert_eq!(
+                decode(encode(data)),
+                DecodeOutcome::Clean(data),
+                "{data:#x}"
+            );
         }
     }
 

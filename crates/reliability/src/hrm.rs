@@ -19,9 +19,21 @@ pub struct MemoryTier {
 #[must_use]
 pub fn standard_tiers() -> [MemoryTier; 3] {
     [
-        MemoryTier { name: "ECC+chipkill", error_rate: 1e-6, relative_cost: 1.30 },
-        MemoryTier { name: "ECC", error_rate: 1e-5, relative_cost: 1.12 },
-        MemoryTier { name: "non-ECC", error_rate: 5e-4, relative_cost: 1.00 },
+        MemoryTier {
+            name: "ECC+chipkill",
+            error_rate: 1e-6,
+            relative_cost: 1.30,
+        },
+        MemoryTier {
+            name: "ECC",
+            error_rate: 1e-5,
+            relative_cost: 1.12,
+        },
+        MemoryTier {
+            name: "non-ECC",
+            error_rate: 5e-4,
+            relative_cost: 1.00,
+        },
     ]
 }
 
@@ -44,14 +56,22 @@ impl DataRegion {
     ///
     /// Returns [`ReliabilityError`] if the size is non-positive or the
     /// vulnerability is outside `[0, 1]`.
-    pub fn new(name: impl Into<String>, size_gib: f64, vulnerability: f64) -> Result<Self, ReliabilityError> {
+    pub fn new(
+        name: impl Into<String>,
+        size_gib: f64,
+        vulnerability: f64,
+    ) -> Result<Self, ReliabilityError> {
         if size_gib <= 0.0 {
             return Err(ReliabilityError::invalid("region size must be positive"));
         }
         if !(0.0..=1.0).contains(&vulnerability) {
             return Err(ReliabilityError::invalid("vulnerability must be in [0, 1]"));
         }
-        Ok(DataRegion { name: name.into(), size_gib, vulnerability })
+        Ok(DataRegion {
+            name: name.into(),
+            size_gib,
+            vulnerability,
+        })
     }
 }
 
@@ -83,11 +103,16 @@ pub fn place(
     failure_budget: f64,
 ) -> Result<Placement, ReliabilityError> {
     if regions.is_empty() || tiers.is_empty() {
-        return Err(ReliabilityError::invalid("need at least one region and one tier"));
+        return Err(ReliabilityError::invalid(
+            "need at least one region and one tier",
+        ));
     }
     let mut tier_order: Vec<usize> = (0..tiers.len()).collect();
     tier_order.sort_by(|&a, &b| {
-        tiers[a].error_rate.partial_cmp(&tiers[b].error_rate).unwrap_or(std::cmp::Ordering::Equal)
+        tiers[a]
+            .error_rate
+            .partial_cmp(&tiers[b].error_rate)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let best = tier_order[0];
     let cheapest = *tier_order
@@ -119,12 +144,18 @@ pub fn place(
     let mut i = 0;
     while failures(&assignment) > failure_budget {
         if i >= order.len() {
-            return Err(ReliabilityError::invalid("failure budget infeasible even with best tier"));
+            return Err(ReliabilityError::invalid(
+                "failure budget infeasible even with best tier",
+            ));
         }
         assignment[order[i]] = best;
         i += 1;
     }
-    let cost = regions.iter().zip(&assignment).map(|(r, &t)| r.size_gib * tiers[t].relative_cost).sum();
+    let cost = regions
+        .iter()
+        .zip(&assignment)
+        .map(|(r, &t)| r.size_gib * tiers[t].relative_cost)
+        .sum();
     Ok(Placement {
         assignments: assignment.iter().copied().enumerate().collect(),
         cost,
@@ -135,7 +166,10 @@ pub fn place(
 /// Cost of placing everything on the given tier (the homogeneous baseline).
 #[must_use]
 pub fn homogeneous_cost(regions: &[DataRegion], tier: &MemoryTier) -> f64 {
-    regions.iter().map(|r| r.size_gib * tier.relative_cost).sum()
+    regions
+        .iter()
+        .map(|r| r.size_gib * tier.relative_cost)
+        .sum()
 }
 
 #[cfg(test)]
@@ -162,7 +196,12 @@ mod tests {
         let tiers = standard_tiers();
         let all_best = homogeneous_cost(&regions(), &tiers[0]);
         let p = place(&regions(), &tiers, 1e-3).unwrap();
-        assert!(p.cost < all_best, "HRM {:.2} vs homogeneous {:.2}", p.cost, all_best);
+        assert!(
+            p.cost < all_best,
+            "HRM {:.2} vs homogeneous {:.2}",
+            p.cost,
+            all_best
+        );
         assert!(p.expected_failures <= 1e-3);
     }
 
@@ -179,7 +218,10 @@ mod tests {
     fn loose_budget_keeps_everything_cheap() {
         let tiers = standard_tiers();
         let p = place(&regions(), &tiers, 1.0).unwrap();
-        assert!((p.cost - 32.0).abs() < 1e-9, "all non-ECC: cost = total GiB");
+        assert!(
+            (p.cost - 32.0).abs() < 1e-9,
+            "all non-ECC: cost = total GiB"
+        );
     }
 
     #[test]

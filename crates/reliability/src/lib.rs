@@ -38,7 +38,9 @@ mod hrm;
 mod retention;
 mod rowhammer;
 
-pub use approx::{dnn_accuracy_loss, select_multiplier, sweep_refresh_multipliers, ApproxDramPoint};
+pub use approx::{
+    dnn_accuracy_loss, select_multiplier, sweep_refresh_multipliers, ApproxDramPoint,
+};
 pub use ecc::{decode, encode, inject_error, DecodeOutcome, EccWord};
 pub use error::ReliabilityError;
 pub use hrm::{homogeneous_cost, place, standard_tiers, DataRegion, MemoryTier, Placement};

@@ -56,7 +56,10 @@ impl RetentionModel {
     /// The default profile from the RAIDR evaluation's device assumptions.
     #[must_use]
     pub fn typical() -> Self {
-        RetentionModel { p_under_64ms: 3e-4, p_under_128ms: 1e-3 }
+        RetentionModel {
+            p_under_64ms: 3e-4,
+            p_under_128ms: 1e-3,
+        }
     }
 
     /// Creates a custom profile.
@@ -74,7 +77,10 @@ impl RetentionModel {
                 "require 0 <= p_under_64ms <= p_under_128ms <= 1",
             ));
         }
-        Ok(RetentionModel { p_under_64ms, p_under_128ms })
+        Ok(RetentionModel {
+            p_under_64ms,
+            p_under_128ms,
+        })
     }
 
     /// Samples a bin for one row.
@@ -100,7 +106,11 @@ impl RetentionModel {
                 RetentionBin::Ms256 => {}
             }
         }
-        RetentionProfile { rows, weak64, weak128 }
+        RetentionProfile {
+            rows,
+            weak64,
+            weak128,
+        }
     }
 }
 
@@ -163,16 +173,24 @@ impl BloomFilter {
     /// Returns [`ReliabilityError`] if `bits == 0` or `hashes == 0`.
     pub fn new(bits: usize, hashes: u32) -> Result<Self, ReliabilityError> {
         if bits == 0 || hashes == 0 {
-            return Err(ReliabilityError::invalid("bloom filter needs bits and hashes"));
+            return Err(ReliabilityError::invalid(
+                "bloom filter needs bits and hashes",
+            ));
         }
-        Ok(BloomFilter { bits: vec![0; bits.div_ceil(64)], m: bits, k: hashes, insertions: 0 })
+        Ok(BloomFilter {
+            bits: vec![0; bits.div_ceil(64)],
+            m: bits,
+            k: hashes,
+            insertions: 0,
+        })
     }
 
     fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
         // Double hashing with two independent multiplicative mixes.
         let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
         let h2 = key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) | 1;
-        (0..self.k).map(move |i| (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.m as u64) as usize)
+        (0..self.k)
+            .map(move |i| (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % self.m as u64) as usize)
     }
 
     /// Inserts a key.
@@ -187,7 +205,8 @@ impl BloomFilter {
     /// Tests membership (no false negatives; false positives possible).
     #[must_use]
     pub fn contains(&self, key: u64) -> bool {
-        self.positions(key).all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+        self.positions(key)
+            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
     }
 
     /// Number of insertions performed.
@@ -232,7 +251,11 @@ impl Raidr {
         for &r in &profile.weak128 {
             bloom128.insert(r);
         }
-        Ok(Raidr { bloom64, bloom128, rows: profile.rows })
+        Ok(Raidr {
+            bloom64,
+            bloom128,
+            rows: profile.rows,
+        })
     }
 
     /// Bin RAIDR assigns to a row (Bloom false positives demote a strong
@@ -264,7 +287,9 @@ impl Raidr {
     /// Row refreshes RAIDR performs over `windows` 64 ms windows.
     #[must_use]
     pub fn refreshes_over(&self, windows: u64) -> u64 {
-        (0..windows).map(|w| (0..self.rows).filter(|&r| self.needs_refresh(r, w)).count() as u64).sum()
+        (0..windows)
+            .map(|w| (0..self.rows).filter(|&r| self.needs_refresh(r, w)).count() as u64)
+            .sum()
     }
 
     /// Row refreshes the baseline (refresh-everything) performs.
@@ -318,13 +343,20 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let profile = RetentionModel::typical().profile(100_000, &mut rng);
         let weak = profile.weak64.len() + profile.weak128.len();
-        assert!(weak > 0, "some weak rows expected at 1e-3 rate over 100k rows");
+        assert!(
+            weak > 0,
+            "some weak rows expected at 1e-3 rate over 100k rows"
+        );
         assert!(weak < 1000, "weak tail must be tiny, got {weak}");
     }
 
     #[test]
     fn profile_bins_match_lists() {
-        let profile = RetentionProfile { rows: 10, weak64: vec![2], weak128: vec![5] };
+        let profile = RetentionProfile {
+            rows: 10,
+            weak64: vec![2],
+            weak128: vec![5],
+        };
         assert_eq!(profile.bin(2), RetentionBin::Ms64);
         assert_eq!(profile.bin(5), RetentionBin::Ms128);
         assert_eq!(profile.bin(7), RetentionBin::Ms256);
@@ -360,10 +392,17 @@ mod tests {
 
     #[test]
     fn raidr_never_underrefreshes_weak_rows() {
-        let profile = RetentionProfile { rows: 64, weak64: vec![3, 9], weak128: vec![20] };
+        let profile = RetentionProfile {
+            rows: 64,
+            weak64: vec![3, 9],
+            weak128: vec![20],
+        };
         let raidr = Raidr::from_profile(&profile).unwrap();
         for w in 0..8 {
-            assert!(raidr.needs_refresh(3, w), "64ms row must refresh every window");
+            assert!(
+                raidr.needs_refresh(3, w),
+                "64ms row must refresh every window"
+            );
             assert!(raidr.needs_refresh(9, w));
         }
         // 128ms rows refresh at least every other window.
@@ -389,12 +428,20 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(13);
         let profile = RetentionModel::typical().profile(32 * 1024, &mut rng);
         let raidr = Raidr::from_profile(&profile).unwrap();
-        assert!(raidr.storage_bits() < 64 * 1024, "got {} bits", raidr.storage_bits());
+        assert!(
+            raidr.storage_bits() < 64 * 1024,
+            "got {} bits",
+            raidr.storage_bits()
+        );
     }
 
     #[test]
     fn raidr_rejects_empty_profile() {
-        let profile = RetentionProfile { rows: 0, weak64: vec![], weak128: vec![] };
+        let profile = RetentionProfile {
+            rows: 0,
+            weak64: vec![],
+            weak128: vec![],
+        };
         assert!(Raidr::from_profile(&profile).is_err());
     }
 }

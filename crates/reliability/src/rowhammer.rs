@@ -49,7 +49,11 @@ impl DeviceGeneration {
     /// All presets, oldest first.
     #[must_use]
     pub fn all() -> [DeviceGeneration; 3] {
-        [DeviceGeneration::Ddr3Y2013, DeviceGeneration::Ddr4Y2017, DeviceGeneration::Lpddr4Y2020]
+        [
+            DeviceGeneration::Ddr3Y2013,
+            DeviceGeneration::Ddr4Y2017,
+            DeviceGeneration::Lpddr4Y2020,
+        ]
     }
 }
 
@@ -127,9 +131,12 @@ impl RowHammerModel {
     /// Physical neighbours of a row (blast radius 1).
     fn neighbors(&self, row: u64) -> impl Iterator<Item = u64> {
         let rows = self.rows;
-        [row.checked_sub(1), if row + 1 < rows { Some(row + 1) } else { None }]
-            .into_iter()
-            .flatten()
+        [
+            row.checked_sub(1),
+            if row + 1 < rows { Some(row + 1) } else { None },
+        ]
+        .into_iter()
+        .flatten()
     }
 
     /// Records an activation of `row`, returning any flips it caused.
@@ -145,7 +152,10 @@ impl RowHammerModel {
             *e += 1;
             if (*e).is_multiple_of(self.threshold) {
                 self.flips += 1;
-                flips.push(Flip { victim_row: victim, exposure: *e });
+                flips.push(Flip {
+                    victim_row: victim,
+                    exposure: *e,
+                });
             }
         }
         flips
@@ -200,7 +210,9 @@ impl Para {
     /// Creates PARA with an explicit probability.
     #[must_use]
     pub fn with_probability(probability: f64) -> Self {
-        Para { probability: probability.clamp(0.0, 1.0) }
+        Para {
+            probability: probability.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -213,9 +225,12 @@ impl Default for Para {
 impl Mitigation for Para {
     fn on_activate(&mut self, row: u64, rows: u64, rng: &mut dyn rand::RngCore) -> Vec<u64> {
         let mut refreshed = Vec::new();
-        for victim in [row.checked_sub(1), if row + 1 < rows { Some(row + 1) } else { None }]
-            .into_iter()
-            .flatten()
+        for victim in [
+            row.checked_sub(1),
+            if row + 1 < rows { Some(row + 1) } else { None },
+        ]
+        .into_iter()
+        .flatten()
         {
             if rng.gen_bool(self.probability) {
                 refreshed.push(victim);
@@ -269,10 +284,13 @@ impl Mitigation for CounterTrr {
         }
         if self.table.get(&row).copied().unwrap_or(0) >= self.action_threshold {
             self.table.remove(&row);
-            return [row.checked_sub(1), if row + 1 < rows { Some(row + 1) } else { None }]
-                .into_iter()
-                .flatten()
-                .collect();
+            return [
+                row.checked_sub(1),
+                if row + 1 < rows { Some(row + 1) } else { None },
+            ]
+            .into_iter()
+            .flatten()
+            .collect();
         }
         Vec::new()
     }
@@ -416,10 +434,14 @@ mod tests {
 
         let mut protected = RowHammerModel::with_threshold(4800, rows);
         let mut para = Para::with_probability(0.01);
-        let (para_flips, refreshes) = run_attack(&mut protected, Some(&mut para), pattern, &mut rng);
+        let (para_flips, refreshes) =
+            run_attack(&mut protected, Some(&mut para), pattern, &mut rng);
 
         assert!(base_flips > 0);
-        assert!(para_flips < base_flips / 10, "PARA should suppress flips: {para_flips} vs {base_flips}");
+        assert!(
+            para_flips < base_flips / 10,
+            "PARA should suppress flips: {para_flips} vs {base_flips}"
+        );
         assert!(refreshes > 0);
     }
 
@@ -431,7 +453,10 @@ mod tests {
         let mut model = RowHammerModel::with_threshold(4800, rows);
         let mut trr = CounterTrr::new(16, 2000);
         let (flips, _) = run_attack(&mut model, Some(&mut trr), pattern, &mut rng);
-        assert_eq!(flips, 0, "counter TRR acting below HC_first must prevent all flips");
+        assert_eq!(
+            flips, 0,
+            "counter TRR acting below HC_first must prevent all flips"
+        );
     }
 
     #[test]

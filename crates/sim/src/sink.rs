@@ -1,0 +1,104 @@
+//! Completion sinks: where a clocked component delivers finished work.
+//!
+//! A sink is caller-owned storage (or a callback), so the steady-state
+//! tick path performs no heap allocation: the driver hands the same
+//! scratch buffer to every tick and drains it between ticks.
+
+/// Receives the items a component completes during one tick.
+///
+/// Implemented for `Vec<T>` (caller-owned scratch buffer, capacity reused
+/// across ticks) and, via [`FnSink`], for closures.
+pub trait CompletionSink<T> {
+    /// Accepts one completed item.
+    fn complete(&mut self, item: T);
+}
+
+impl<T> CompletionSink<T> for Vec<T> {
+    fn complete(&mut self, item: T) {
+        self.push(item);
+    }
+}
+
+/// Adapts a closure into a [`CompletionSink`].
+///
+/// # Examples
+///
+/// ```
+/// use ia_sim::{CompletionSink, FnSink};
+/// let mut total = 0u64;
+/// let mut sink = FnSink(|latency: u64| total += latency);
+/// sink.complete(3);
+/// sink.complete(4);
+/// drop(sink);
+/// assert_eq!(total, 7);
+/// ```
+#[derive(Debug)]
+pub struct FnSink<F>(pub F);
+
+impl<T, F: FnMut(T)> CompletionSink<T> for FnSink<F> {
+    fn complete(&mut self, item: T) {
+        (self.0)(item);
+    }
+}
+
+/// Sink used while fast-forwarding over idle cycles: a component that
+/// completes work during a skip has a broken
+/// [`next_event_at`](crate::Clocked::next_event_at) contract, so this
+/// sink panics loudly instead of losing the completion.
+#[derive(Debug, Default)]
+pub struct DenyCompletions;
+
+impl<T> CompletionSink<T> for DenyCompletions {
+    fn complete(&mut self, _item: T) {
+        panic!(
+            "component completed work during a cycle skip: its next_event_at() \
+             promised no events before the skip target"
+        );
+    }
+}
+
+/// Counts deliveries on the way into an inner sink (the engine uses this
+/// to track the sink high-water mark).
+pub(crate) struct CountingSink<'a, T> {
+    pub(crate) inner: &'a mut dyn CompletionSink<T>,
+    pub(crate) delivered: u64,
+}
+
+impl<T> CompletionSink<T> for CountingSink<'_, T> {
+    fn complete(&mut self, item: T) {
+        self.delivered += 1;
+        self.inner.complete(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut v: Vec<u32> = Vec::new();
+        v.complete(1);
+        v.complete(2);
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "next_event_at")]
+    fn deny_sink_panics() {
+        DenyCompletions.complete(0u8);
+    }
+
+    #[test]
+    fn counting_sink_counts_and_forwards() {
+        let mut v: Vec<u32> = Vec::new();
+        let mut c = CountingSink {
+            inner: &mut v,
+            delivered: 0,
+        };
+        c.complete(9);
+        c.complete(8);
+        assert_eq!(c.delivered, 2);
+        assert_eq!(v, vec![9, 8]);
+    }
+}

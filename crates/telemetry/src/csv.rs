@@ -21,7 +21,9 @@ pub fn render(headers: &[String], rows: &[Vec<String>]) -> String {
         let pad = headers.len().saturating_sub(row.len());
         write_row(
             &mut out,
-            row.iter().map(String::as_str).chain(std::iter::repeat_n("", pad)),
+            row.iter()
+                .map(String::as_str)
+                .chain(std::iter::repeat_n("", pad)),
         );
     }
     out

@@ -100,7 +100,12 @@ impl Histogram {
     /// An empty histogram.
     #[must_use]
     pub const fn new() -> Self {
-        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Bucket index for a sample.
@@ -130,6 +135,21 @@ impl Histogram {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Records the same sample `n` times in O(1) — equivalent to calling
+    /// [`Histogram::record`] `n` times. Lets cycle-skipping simulators
+    /// account for a span of identical idle-cycle samples in bulk.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         if value > self.max {
             self.max = value;
         }
@@ -226,7 +246,11 @@ impl Histogram {
     #[must_use]
     pub fn delta(&self, earlier: &Histogram) -> Histogram {
         let mut out = Histogram::new();
-        for (o, (a, b)) in out.buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+        for (o, (a, b)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
             *o = a.saturating_sub(*b);
         }
         out.count = out.buckets.iter().sum();
@@ -262,6 +286,23 @@ mod tests {
         assert_eq!(Histogram::bucket_upper(0), 0);
         assert_eq!(Histogram::bucket_upper(3), 7);
         assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        let mut loops = Histogram::new();
+        for (value, n) in [(0u64, 3u64), (7, 10), (1000, 1), (42, 0)] {
+            bulk.record_n(value, n);
+            for _ in 0..n {
+                loops.record(value);
+            }
+        }
+        assert_eq!(bulk.buckets(), loops.buckets());
+        assert_eq!(bulk.count(), loops.count());
+        assert_eq!(bulk.sum(), loops.sum());
+        assert_eq!(bulk.max(), loops.max());
+        assert_eq!(bulk.p50(), loops.p50());
     }
 
     #[test]

@@ -127,7 +127,10 @@ impl JsonValue {
     ///
     /// Returns [`JsonError`] on malformed input or trailing garbage.
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -174,7 +177,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { at: self.pos, message: message.to_owned() }
+        JsonError {
+            at: self.pos,
+            message: message.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -336,7 +342,10 @@ impl Parser<'_> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         text.parse::<f64>()
             .map(JsonValue::Num)
-            .map_err(|_| JsonError { at: start, message: format!("bad number `{text}`") })
+            .map_err(|_| JsonError {
+                at: start,
+                message: format!("bad number `{text}`"),
+            })
     }
 }
 
@@ -372,8 +381,14 @@ mod tests {
     #[test]
     fn parses_whitespace_and_escapes() {
         let v = JsonValue::parse(" { \"a\\u0041\" : [ 1 , 2.5e1 , \"x\\ty\" ] } ").unwrap();
-        assert_eq!(v.get("aA").unwrap().as_array().unwrap()[1].as_f64(), Some(25.0));
-        assert_eq!(v.get("aA").unwrap().as_array().unwrap()[2].as_str(), Some("x\ty"));
+        assert_eq!(
+            v.get("aA").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(25.0)
+        );
+        assert_eq!(
+            v.get("aA").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\ty")
+        );
     }
 
     #[test]

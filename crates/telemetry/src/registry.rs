@@ -10,6 +10,11 @@ use std::collections::BTreeMap;
 use crate::instrument::{Gauge, Histogram};
 
 /// A registered metric's current value.
+//
+// The Histogram variant dominates the enum's size, but boxing it would
+// put a pointer chase on the per-sample record path — the exact hot loop
+// this registry is designed to keep flat.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
     /// Monotonically increasing event count.
@@ -157,12 +162,18 @@ impl Registry {
 
     /// Iterates `(name, value)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
-        self.names.iter().map(String::as_str).zip(self.values.iter())
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter())
     }
 
     /// A scoped view that prefixes every name with `prefix` plus a dot.
     pub fn scope<'r>(&'r mut self, prefix: &str) -> Scope<'r> {
-        Scope { reg: self, prefix: prefix.to_owned() }
+        Scope {
+            reg: self,
+            prefix: prefix.to_owned(),
+        }
     }
 
     /// Runs an exporter under `prefix`.
@@ -203,7 +214,10 @@ impl Scope<'_> {
     /// A child scope `prefix.name`.
     pub fn child(&mut self, name: &str) -> Scope<'_> {
         let prefix = self.full(name);
-        Scope { reg: self.reg, prefix }
+        Scope {
+            reg: self.reg,
+            prefix,
+        }
     }
 
     /// Registers-or-updates a counter to `total`.
@@ -279,8 +293,14 @@ mod tests {
         let mut reg = Registry::new();
         reg.collect("cache.l2", &Fake { hits: 7 });
         assert_eq!(reg.get("cache.l2.hits"), Some(&MetricValue::Counter(7)));
-        assert_eq!(reg.get("cache.l2.nested.deep"), Some(&MetricValue::Counter(1)));
-        assert!(matches!(reg.get("cache.l2.ratio"), Some(MetricValue::Gauge(_))));
+        assert_eq!(
+            reg.get("cache.l2.nested.deep"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert!(matches!(
+            reg.get("cache.l2.ratio"),
+            Some(MetricValue::Gauge(_))
+        ));
         // Re-export overwrites in place without growing the registry.
         let before = reg.len();
         reg.collect("cache.l2", &Fake { hits: 9 });

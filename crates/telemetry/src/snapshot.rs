@@ -19,12 +19,18 @@ impl Snapshot {
     /// An empty snapshot labelled `at`.
     #[must_use]
     pub fn new(at: u64) -> Self {
-        Snapshot { at, values: BTreeMap::new() }
+        Snapshot {
+            at,
+            values: BTreeMap::new(),
+        }
     }
 
     /// Builds a snapshot from `(name, value)` pairs.
     pub fn from_iter(at: u64, pairs: impl IntoIterator<Item = (String, MetricValue)>) -> Self {
-        Snapshot { at, values: pairs.into_iter().collect() }
+        Snapshot {
+            at,
+            values: pairs.into_iter().collect(),
+        }
     }
 
     /// Number of metrics captured.
@@ -89,7 +95,10 @@ impl Snapshot {
             };
             out.insert(name.clone(), dv);
         }
-        Snapshot { at: self.at.saturating_sub(earlier.at), values: out }
+        Snapshot {
+            at: self.at.saturating_sub(earlier.at),
+            values: out,
+        }
     }
 
     /// Combines two snapshots: counters add, histograms merge bucket-wise,
@@ -112,7 +121,10 @@ impl Snapshot {
                 }
             }
         }
-        Snapshot { at: self.at.max(other.at), values: out }
+        Snapshot {
+            at: self.at.max(other.at),
+            values: out,
+        }
     }
 
     /// Renders as a JSON object `{ "at": n, "metrics": { name: value } }`.
@@ -178,7 +190,9 @@ mod tests {
     fn snap(at: u64, pairs: &[(&str, u64)]) -> Snapshot {
         Snapshot::from_iter(
             at,
-            pairs.iter().map(|(k, v)| ((*k).to_owned(), MetricValue::Counter(*v))),
+            pairs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), MetricValue::Counter(*v))),
         )
     }
 

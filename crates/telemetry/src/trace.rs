@@ -57,7 +57,14 @@ impl<T> TraceBuffer<T> {
     /// allocates nothing, ever.
     #[must_use]
     pub fn disabled() -> Self {
-        TraceBuffer { buf: Vec::new(), head: 0, capacity: 0, enabled: false, dropped: 0, recorded: 0 }
+        TraceBuffer {
+            buf: Vec::new(),
+            head: 0,
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+            recorded: 0,
+        }
     }
 
     /// Whether events are currently captured. Check this before building

@@ -72,7 +72,8 @@ pub fn sample_reads<R: Rng + ?Sized>(
 #[must_use]
 pub fn pack_kmer(kmer: &[Base]) -> u64 {
     assert!(kmer.len() <= 32, "k-mer too long to pack");
-    kmer.iter().fold(0u64, |acc, &b| (acc << 2) | u64::from(b & 3))
+    kmer.iter()
+        .fold(0u64, |acc, &b| (acc << 2) | u64::from(b & 3))
 }
 
 /// Banded edit distance (Ukkonen): returns `Some(d)` if the edit distance
@@ -152,11 +153,15 @@ impl SeedIndex {
     /// shorter than `k`.
     pub fn build(genome: &[Base], k: usize) -> Result<Self, WorkloadError> {
         if k == 0 || k > 32 || genome.len() < k {
-            return Err(WorkloadError::invalid("seed length must be in 1..=32 and fit the genome"));
+            return Err(WorkloadError::invalid(
+                "seed length must be in 1..=32 and fit the genome",
+            ));
         }
         let mut map: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
         for pos in 0..=genome.len() - k {
-            map.entry(pack_kmer(&genome[pos..pos + k])).or_default().push(pos as u32);
+            map.entry(pack_kmer(&genome[pos..pos + k]))
+                .or_default()
+                .push(pos as u32);
         }
         Ok(SeedIndex { k, map })
     }
@@ -219,7 +224,11 @@ impl GrimIndex {
     ///
     /// Returns [`WorkloadError`] on a zero/oversized token length or zero
     /// bin size.
-    pub fn build(genome: &[Base], token_len: usize, bin_size: usize) -> Result<Self, WorkloadError> {
+    pub fn build(
+        genome: &[Base],
+        token_len: usize,
+        bin_size: usize,
+    ) -> Result<Self, WorkloadError> {
         if token_len == 0 || token_len > 12 {
             return Err(WorkloadError::invalid("token length must be in 1..=12"));
         }
@@ -240,7 +249,11 @@ impl GrimIndex {
                 bins[b][token / 64] |= 1 << (token % 64);
             }
         }
-        Ok(GrimIndex { token_len, bin_size, bins })
+        Ok(GrimIndex {
+            token_len,
+            bin_size,
+            bins,
+        })
     }
 
     /// Number of bins.
@@ -304,7 +317,11 @@ impl GrimIndex {
     pub fn accepts(&self, read_bv: &[u64], candidate_pos: u32, threshold: u32) -> bool {
         let bin = (candidate_pos as usize / self.bin_size).min(self.bins.len() - 1);
         let empty: &[u64] = &[];
-        let next = if bin + 1 < self.bins.len() { &self.bins[bin + 1][..] } else { empty };
+        let next = if bin + 1 < self.bins.len() {
+            &self.bins[bin + 1][..]
+        } else {
+            empty
+        };
         let matched: u32 = self.bins[bin]
             .iter()
             .zip(next.iter().chain(std::iter::repeat(&0)))

@@ -55,7 +55,10 @@ impl Graph {
             adj[cursor[u as usize]] = v;
             cursor[u as usize] += 1;
         }
-        Ok(Graph { offsets, edges: adj })
+        Ok(Graph {
+            offsets,
+            edges: adj,
+        })
     }
 
     /// Number of vertices.
@@ -124,7 +127,9 @@ impl Graph {
         rng: &mut R,
     ) -> Result<Self, WorkloadError> {
         if vertices == 0 || !vertices.is_power_of_two() {
-            return Err(WorkloadError::invalid("rmat needs a power-of-two vertex count"));
+            return Err(WorkloadError::invalid(
+                "rmat needs a power-of-two vertex count",
+            ));
         }
         let levels = vertices.trailing_zeros();
         let list: Vec<(u32, u32)> = (0..edges)
@@ -245,7 +250,10 @@ mod tests {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top = degrees[..10].iter().sum::<usize>();
         let avg10 = 10 * g.edge_count() / 1024;
-        assert!(top > 4 * avg10, "top-10 vertices should be far above average: {top} vs {avg10}");
+        assert!(
+            top > 4 * avg10,
+            "top-10 vertices should be far above average: {top} vs {avg10}"
+        );
     }
 
     #[test]
@@ -261,7 +269,10 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
         let pr = g.pagerank(0.85, 50);
         let sum: f64 = pr.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "ranks must be a distribution, sum={sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "ranks must be a distribution, sum={sum}"
+        );
         assert!(pr[2] > pr[0] && pr[2] > pr[1]);
     }
 

@@ -74,9 +74,18 @@ impl MobileWorkload {
         line_bytes: u64,
     ) -> Result<Self, WorkloadError> {
         if ops == 0 {
-            return Err(WorkloadError::invalid("workload must execute at least one op"));
+            return Err(WorkloadError::invalid(
+                "workload must execute at least one op",
+            ));
         }
-        Ok(MobileWorkload { name: name.into(), ops, l1_accesses, llc_accesses, dram_accesses, line_bytes })
+        Ok(MobileWorkload {
+            name: name.into(),
+            ops,
+            l1_accesses,
+            llc_accesses,
+            dram_accesses,
+            line_bytes,
+        })
     }
 
     /// The four consumer workload classes of the ASPLOS'18 study, with
@@ -164,7 +173,10 @@ pub fn energy_breakdown(w: &MobileWorkload, model: &SystemEnergyModel) -> Energy
     let interconnect_pj = (w.llc_accesses + w.dram_accesses) as f64
         * w.line_bytes as f64
         * model.interconnect_pj_per_byte;
-    EnergyBreakdown { compute_pj, movement_pj: cache_pj + dram_pj + interconnect_pj }
+    EnergyBreakdown {
+        compute_pj,
+        movement_pj: cache_pj + dram_pj + interconnect_pj,
+    }
 }
 
 /// Recomputes the breakdown assuming a fraction of DRAM traffic is served
@@ -247,7 +259,10 @@ mod tests {
 
     #[test]
     fn breakdown_handles_zero_division() {
-        let b = EnergyBreakdown { compute_pj: 0.0, movement_pj: 0.0 };
+        let b = EnergyBreakdown {
+            compute_pj: 0.0,
+            movement_pj: 0.0,
+        };
         assert_eq!(b.movement_fraction(), 0.0);
     }
 

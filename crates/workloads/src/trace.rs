@@ -34,13 +34,21 @@ impl TraceRequest {
     /// Creates a read request for thread 0.
     #[must_use]
     pub fn read(addr: u64) -> Self {
-        TraceRequest { addr, op: Op::Read, thread: 0 }
+        TraceRequest {
+            addr,
+            op: Op::Read,
+            thread: 0,
+        }
     }
 
     /// Creates a write request for thread 0.
     #[must_use]
     pub fn write(addr: u64) -> Self {
-        TraceRequest { addr, op: Op::Write, thread: 0 }
+        TraceRequest {
+            addr,
+            op: Op::Write,
+            thread: 0,
+        }
     }
 
     /// Returns the same request attributed to `thread`.
@@ -86,14 +94,27 @@ impl StreamGen {
     ///
     /// Returns [`WorkloadError`] if `stride == 0`, `length < stride`, or
     /// `write_ratio` is out of range.
-    pub fn new(base: u64, stride: u64, length: u64, write_ratio: f64) -> Result<Self, WorkloadError> {
+    pub fn new(
+        base: u64,
+        stride: u64,
+        length: u64,
+        write_ratio: f64,
+    ) -> Result<Self, WorkloadError> {
         if stride == 0 || length < stride {
-            return Err(WorkloadError::invalid("stream needs stride > 0 and length >= stride"));
+            return Err(WorkloadError::invalid(
+                "stream needs stride > 0 and length >= stride",
+            ));
         }
         if !(0.0..=1.0).contains(&write_ratio) {
             return Err(WorkloadError::invalid("write_ratio must be in [0, 1]"));
         }
-        Ok(StreamGen { base, stride, length, pos: 0, write_ratio })
+        Ok(StreamGen {
+            base,
+            stride,
+            length,
+            pos: 0,
+            write_ratio,
+        })
     }
 }
 
@@ -101,8 +122,16 @@ impl TraceGenerator for StreamGen {
     fn next_request<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TraceRequest {
         let addr = self.base + self.pos;
         self.pos = (self.pos + self.stride) % self.length;
-        let op = if rng.gen::<f64>() < self.write_ratio { Op::Write } else { Op::Read };
-        TraceRequest { addr, op, thread: 0 }
+        let op = if rng.gen::<f64>() < self.write_ratio {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        TraceRequest {
+            addr,
+            op,
+            thread: 0,
+        }
     }
 }
 
@@ -122,14 +151,26 @@ impl RandomGen {
     /// # Errors
     ///
     /// Returns [`WorkloadError`] on a zero granule/region or bad ratio.
-    pub fn new(base: u64, region: u64, granule: u64, write_ratio: f64) -> Result<Self, WorkloadError> {
+    pub fn new(
+        base: u64,
+        region: u64,
+        granule: u64,
+        write_ratio: f64,
+    ) -> Result<Self, WorkloadError> {
         if granule == 0 || region < granule {
-            return Err(WorkloadError::invalid("random gen needs granule > 0 and region >= granule"));
+            return Err(WorkloadError::invalid(
+                "random gen needs granule > 0 and region >= granule",
+            ));
         }
         if !(0.0..=1.0).contains(&write_ratio) {
             return Err(WorkloadError::invalid("write_ratio must be in [0, 1]"));
         }
-        Ok(RandomGen { base, region, granule, write_ratio })
+        Ok(RandomGen {
+            base,
+            region,
+            granule,
+            write_ratio,
+        })
     }
 }
 
@@ -137,8 +178,16 @@ impl TraceGenerator for RandomGen {
     fn next_request<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TraceRequest {
         let slots = self.region / self.granule;
         let addr = self.base + rng.gen_range(0..slots) * self.granule;
-        let op = if rng.gen::<f64>() < self.write_ratio { Op::Write } else { Op::Read };
-        TraceRequest { addr, op, thread: 0 }
+        let op = if rng.gen::<f64>() < self.write_ratio {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        TraceRequest {
+            addr,
+            op,
+            thread: 0,
+        }
     }
 }
 
@@ -168,7 +217,9 @@ impl PointerChaseGen {
         rng: &mut R,
     ) -> Result<Self, WorkloadError> {
         if nodes < 2 || node_bytes == 0 {
-            return Err(WorkloadError::invalid("pointer chase needs >= 2 nodes and node_bytes > 0"));
+            return Err(WorkloadError::invalid(
+                "pointer chase needs >= 2 nodes and node_bytes > 0",
+            ));
         }
         // Sattolo's algorithm: a uniformly random single cycle.
         let mut perm: Vec<u64> = (0..nodes).collect();
@@ -176,7 +227,12 @@ impl PointerChaseGen {
             let j = rng.gen_range(0..i);
             perm.swap(i, j);
         }
-        Ok(PointerChaseGen { next: perm, node_bytes, base, current: 0 })
+        Ok(PointerChaseGen {
+            next: perm,
+            node_bytes,
+            base,
+            current: 0,
+        })
     }
 
     /// Number of nodes in the chain.
@@ -190,7 +246,11 @@ impl TraceGenerator for PointerChaseGen {
     fn next_request<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> TraceRequest {
         let addr = self.base + self.current * self.node_bytes;
         self.current = self.next[self.current as usize];
-        TraceRequest { addr, op: Op::Read, thread: 0 }
+        TraceRequest {
+            addr,
+            op: Op::Read,
+            thread: 0,
+        }
     }
 }
 
@@ -220,7 +280,9 @@ impl ZipfGen {
         write_ratio: f64,
     ) -> Result<Self, WorkloadError> {
         if pages == 0 || page_bytes == 0 {
-            return Err(WorkloadError::invalid("zipf needs pages > 0 and page_bytes > 0"));
+            return Err(WorkloadError::invalid(
+                "zipf needs pages > 0 and page_bytes > 0",
+            ));
         }
         if alpha <= 0.0 {
             return Err(WorkloadError::invalid("zipf alpha must be positive"));
@@ -238,7 +300,12 @@ impl ZipfGen {
         for v in &mut cdf {
             *v /= total;
         }
-        Ok(ZipfGen { cdf, page_bytes, base, write_ratio })
+        Ok(ZipfGen {
+            cdf,
+            page_bytes,
+            base,
+            write_ratio,
+        })
     }
 }
 
@@ -249,8 +316,16 @@ impl TraceGenerator for ZipfGen {
         let page = rank.min(self.cdf.len() - 1) as u64;
         // Random line within the page keeps some intra-page variety.
         let line = rng.gen_range(0..self.page_bytes / 64) * 64;
-        let op = if rng.gen::<f64>() < self.write_ratio { Op::Write } else { Op::Read };
-        TraceRequest { addr: self.base + page * self.page_bytes + line, op, thread: 0 }
+        let op = if rng.gen::<f64>() < self.write_ratio {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        TraceRequest {
+            addr: self.base + page * self.page_bytes + line,
+            op,
+            thread: 0,
+        }
     }
 }
 
@@ -305,7 +380,9 @@ pub struct HeterogeneousMix {
 
 impl std::fmt::Debug for HeterogeneousMix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HeterogeneousMix").field("components", &self.components.len()).finish()
+        f.debug_struct("HeterogeneousMix")
+            .field("components", &self.components.len())
+            .finish()
     }
 }
 
@@ -319,7 +396,10 @@ impl HeterogeneousMix {
         if components.is_empty() {
             return Err(WorkloadError::invalid("mix needs at least one component"));
         }
-        Ok(HeterogeneousMix { components, turn: 0 })
+        Ok(HeterogeneousMix {
+            components,
+            turn: 0,
+        })
     }
 
     /// Produces the next request (round-robin across components).
@@ -395,7 +475,11 @@ mod tests {
         let mut seen: Vec<u64> = t.iter().map(|q| q.addr / 64).collect();
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen.len(), 64, "a single cycle visits all nodes exactly once");
+        assert_eq!(
+            seen.len(),
+            64,
+            "a single cycle visits all nodes exactly once"
+        );
         assert_eq!(g.nodes(), 64);
     }
 

@@ -17,11 +17,15 @@ enum Kind {
 
 impl XmemError {
     pub(crate) fn invalid(msg: &'static str) -> Self {
-        XmemError { kind: Kind::Invalid(msg) }
+        XmemError {
+            kind: Kind::Invalid(msg),
+        }
     }
 
     pub(crate) fn overlap(at: u64) -> Self {
-        XmemError { kind: Kind::Overlap(at) }
+        XmemError {
+            kind: Kind::Overlap(at),
+        }
     }
 }
 

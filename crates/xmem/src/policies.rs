@@ -88,7 +88,11 @@ impl<'a> DataAwareCache<'a> {
     /// Wraps `cache` with attribute lookups from `registry`.
     #[must_use]
     pub fn new(cache: Cache, registry: &'a AtomRegistry) -> Self {
-        DataAwareCache { cache, registry, hinted_fills: 0 }
+        DataAwareCache {
+            cache,
+            registry,
+            hinted_fills: 0,
+        }
     }
 
     /// Accesses `addr`, applying the atom's insertion priority if known.
@@ -147,8 +151,12 @@ mod tests {
     #[test]
     fn refresh_multiplier_rewards_approximable_data() {
         let precise = DataAttributes::new();
-        let approx = DataAttributes::new().approximable(true).error_vulnerability(10);
-        let approx_sensitive = DataAttributes::new().approximable(true).error_vulnerability(60);
+        let approx = DataAttributes::new()
+            .approximable(true)
+            .error_vulnerability(10);
+        let approx_sensitive = DataAttributes::new()
+            .approximable(true)
+            .error_vulnerability(60);
         assert_eq!(refresh_multiplier(&precise), 1);
         assert_eq!(refresh_multiplier(&approx), 4);
         assert_eq!(refresh_multiplier(&approx_sensitive), 2);
@@ -156,9 +164,18 @@ mod tests {
 
     #[test]
     fn reliability_tiers_track_vulnerability() {
-        assert_eq!(reliability_tier(&DataAttributes::new().error_vulnerability(90)), 0);
-        assert_eq!(reliability_tier(&DataAttributes::new().error_vulnerability(50)), 1);
-        assert_eq!(reliability_tier(&DataAttributes::new().error_vulnerability(5)), 2);
+        assert_eq!(
+            reliability_tier(&DataAttributes::new().error_vulnerability(90)),
+            0
+        );
+        assert_eq!(
+            reliability_tier(&DataAttributes::new().error_vulnerability(50)),
+            1
+        );
+        assert_eq!(
+            reliability_tier(&DataAttributes::new().error_vulnerability(5)),
+            2
+        );
     }
 
     #[test]
@@ -169,12 +186,16 @@ mod tests {
         let mut reg = AtomRegistry::new();
         reg.register(
             0..4 * 64,
-            DataAttributes::new().criticality(Criticality::Critical).locality(Locality::Reuse),
+            DataAttributes::new()
+                .criticality(Criticality::Critical)
+                .locality(Locality::Reuse),
         )
         .unwrap();
         reg.register(
             0x10_0000..0x20_0000,
-            DataAttributes::new().locality(Locality::Streaming).pattern(AccessPattern::Sequential),
+            DataAttributes::new()
+                .locality(Locality::Streaming)
+                .pattern(AccessPattern::Sequential),
         )
         .unwrap();
 
@@ -201,8 +222,14 @@ mod tests {
         }
         let aware_retained = hot.iter().filter(|&&a| aware.cache().contains(a)).count();
 
-        assert_eq!(plain_retained, 0, "oblivious cache loses the hot set to the stream");
-        assert_eq!(aware_retained, 4, "data-aware cache retains the whole hot set");
+        assert_eq!(
+            plain_retained, 0,
+            "oblivious cache loses the hot set to the stream"
+        );
+        assert_eq!(
+            aware_retained, 4,
+            "data-aware cache retains the whole hot set"
+        );
         assert!(aware.hinted_fills > 0);
     }
 }

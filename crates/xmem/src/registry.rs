@@ -89,7 +89,11 @@ impl AtomRegistry {
     ///
     /// Returns [`XmemError`] if the range is empty or overlaps an existing
     /// atom.
-    pub fn register(&mut self, range: Range<u64>, attrs: DataAttributes) -> Result<AtomId, XmemError> {
+    pub fn register(
+        &mut self,
+        range: Range<u64>,
+        attrs: DataAttributes,
+    ) -> Result<AtomId, XmemError> {
         if range.is_empty() {
             return Err(XmemError::invalid("atom range must be non-empty"));
         }
@@ -128,7 +132,8 @@ impl AtomRegistry {
     /// (legacy data has no hints — exactly the X-Mem compatibility story).
     #[must_use]
     pub fn attrs_at(&self, addr: u64) -> DataAttributes {
-        self.atom_at(addr).map_or_else(DataAttributes::new, |a| a.attrs)
+        self.atom_at(addr)
+            .map_or_else(DataAttributes::new, |a| a.attrs)
     }
 
     /// Iterates over atoms in address order.
@@ -155,7 +160,10 @@ mod tests {
         let mut reg = AtomRegistry::new();
         let a = reg.register(0..100, DataAttributes::new()).unwrap();
         let b = reg
-            .register(100..200, DataAttributes::new().criticality(Criticality::Critical))
+            .register(
+                100..200,
+                DataAttributes::new().criticality(Criticality::Critical),
+            )
             .unwrap();
         assert_ne!(a, b);
         assert_eq!(reg.len(), 2);
@@ -164,7 +172,11 @@ mod tests {
         assert_eq!(reg.atom_at(100).unwrap().id, b);
         assert!(reg.atom_at(200).is_none());
         assert_eq!(reg.attrs_at(150).criticality, Criticality::Critical);
-        assert_eq!(reg.attrs_at(500).criticality, Criticality::Normal, "default outside atoms");
+        assert_eq!(
+            reg.attrs_at(500).criticality,
+            Criticality::Normal,
+            "default outside atoms"
+        );
     }
 
     #[test]
@@ -174,7 +186,10 @@ mod tests {
         assert!(reg.register(150..250, DataAttributes::new()).is_err());
         assert!(reg.register(50..101, DataAttributes::new()).is_err());
         assert!(reg.register(100..200, DataAttributes::new()).is_err());
-        assert!(reg.register(0..100, DataAttributes::new()).is_ok(), "adjacent is fine");
+        assert!(
+            reg.register(0..100, DataAttributes::new()).is_ok(),
+            "adjacent is fine"
+        );
         assert!(reg.register(200..300, DataAttributes::new()).is_ok());
     }
 

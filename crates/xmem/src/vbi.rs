@@ -116,7 +116,11 @@ impl VblTable {
     /// # Errors
     ///
     /// Returns [`XmemError`] if the chosen tier is out of capacity.
-    pub fn allocate(&mut self, size: BlockSize, attrs: DataAttributes) -> Result<BlockId, XmemError> {
+    pub fn allocate(
+        &mut self,
+        size: BlockSize,
+        attrs: DataAttributes,
+    ) -> Result<BlockId, XmemError> {
         let tier = reliability_tier(&attrs);
         let base = self.next_phys[tier];
         if base + size.bytes() > self.capacity {
@@ -125,7 +129,16 @@ impl VblTable {
         self.next_phys[tier] += size.bytes();
         let id = BlockId(self.next_id);
         self.next_id += 1;
-        self.blocks.insert(id, VirtualBlock { id, size, attrs, phys_base: base, tier });
+        self.blocks.insert(
+            id,
+            VirtualBlock {
+                id,
+                size,
+                attrs,
+                phys_base: base,
+                tier,
+            },
+        );
         Ok(id)
     }
 
@@ -148,7 +161,10 @@ impl VblTable {
     /// Returns [`XmemError`] if the block does not exist or `offset` is
     /// outside it.
     pub fn translate(&self, id: BlockId, offset: u64) -> Result<u64, XmemError> {
-        let b = self.blocks.get(&id).ok_or(XmemError::invalid("no such block"))?;
+        let b = self
+            .blocks
+            .get(&id)
+            .ok_or(XmemError::invalid("no such block"))?;
         if offset >= b.size.bytes() {
             return Err(XmemError::invalid("offset outside block"));
         }
@@ -170,12 +186,17 @@ mod tests {
     #[test]
     fn allocate_translate_free() {
         let mut vbl = VblTable::new(16 << 20);
-        let id = vbl.allocate(BlockSize::Small, DataAttributes::new()).unwrap();
+        let id = vbl
+            .allocate(BlockSize::Small, DataAttributes::new())
+            .unwrap();
         assert_eq!(vbl.len(), 1);
         assert!(!vbl.is_empty());
         let pa = vbl.translate(id, 100).unwrap();
         assert_eq!(pa, vbl.block(id).unwrap().phys_base + 100);
-        assert!(vbl.translate(id, 4096).is_err(), "offset beyond a small block");
+        assert!(
+            vbl.translate(id, 4096).is_err(),
+            "offset beyond a small block"
+        );
         let freed = vbl.free(id).unwrap();
         assert_eq!(freed.id, id);
         assert!(vbl.translate(id, 0).is_err());
@@ -184,8 +205,12 @@ mod tests {
     #[test]
     fn blocks_do_not_overlap_within_a_tier() {
         let mut vbl = VblTable::new(16 << 20);
-        let a = vbl.allocate(BlockSize::Small, DataAttributes::new()).unwrap();
-        let b = vbl.allocate(BlockSize::Small, DataAttributes::new()).unwrap();
+        let a = vbl
+            .allocate(BlockSize::Small, DataAttributes::new())
+            .unwrap();
+        let b = vbl
+            .allocate(BlockSize::Small, DataAttributes::new())
+            .unwrap();
         let (ba, bb) = (vbl.block(a).unwrap(), vbl.block(b).unwrap());
         assert_eq!(ba.tier, bb.tier);
         assert!(bb.phys_base >= ba.phys_base + ba.size.bytes());
@@ -195,13 +220,27 @@ mod tests {
     fn vulnerability_directs_tier_placement() {
         let mut vbl = VblTable::new(16 << 20);
         let critical = vbl
-            .allocate(BlockSize::Small, DataAttributes::new().error_vulnerability(95))
+            .allocate(
+                BlockSize::Small,
+                DataAttributes::new().error_vulnerability(95),
+            )
             .unwrap();
         let tolerant = vbl
-            .allocate(BlockSize::Small, DataAttributes::new().error_vulnerability(5))
+            .allocate(
+                BlockSize::Small,
+                DataAttributes::new().error_vulnerability(5),
+            )
             .unwrap();
-        assert_eq!(vbl.block(critical).unwrap().tier, 0, "vulnerable data → reliable tier");
-        assert_eq!(vbl.block(tolerant).unwrap().tier, 2, "tolerant data → commodity tier");
+        assert_eq!(
+            vbl.block(critical).unwrap().tier,
+            0,
+            "vulnerable data → reliable tier"
+        );
+        assert_eq!(
+            vbl.block(tolerant).unwrap().tier,
+            2,
+            "tolerant data → commodity tier"
+        );
         let usage = vbl.tier_usage();
         assert!(usage[0] > 0 && usage[2] > 0 && usage[1] == 0);
     }
@@ -209,12 +248,19 @@ mod tests {
     #[test]
     fn capacity_is_enforced_per_tier() {
         let mut vbl = VblTable::new(8 << 10); // two small blocks per tier
-        vbl.allocate(BlockSize::Small, DataAttributes::new()).unwrap();
-        vbl.allocate(BlockSize::Small, DataAttributes::new()).unwrap();
-        assert!(vbl.allocate(BlockSize::Small, DataAttributes::new()).is_err());
+        vbl.allocate(BlockSize::Small, DataAttributes::new())
+            .unwrap();
+        vbl.allocate(BlockSize::Small, DataAttributes::new())
+            .unwrap();
+        assert!(vbl
+            .allocate(BlockSize::Small, DataAttributes::new())
+            .is_err());
         // A different tier still has room.
         assert!(vbl
-            .allocate(BlockSize::Small, DataAttributes::new().error_vulnerability(95))
+            .allocate(
+                BlockSize::Small,
+                DataAttributes::new().error_vulnerability(95)
+            )
             .is_ok());
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the Expressive Memory interface.
 
-use ia_xmem::{
-    AtomRegistry, BlockSize, Criticality, DataAttributes, Locality, VblTable,
-};
+use ia_xmem::{AtomRegistry, BlockSize, Criticality, DataAttributes, Locality, VblTable};
 use proptest::prelude::*;
 
 proptest! {

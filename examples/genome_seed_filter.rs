@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &cand in &candidates {
             // Score every bin the read's span touches with one in-DRAM AND.
             let first = cand as usize / grim.bin_size();
-            let last = ((cand as usize + read.seq.len() - 1) / grim.bin_size())
-                .min(grim.bin_count() - 1);
+            let last =
+                ((cand as usize + read.seq.len() - 1) / grim.bin_size()).min(grim.bin_count() - 1);
             let mut score = 0u32;
             for bin in first..=last {
                 engine.execute(BitwiseOp::And, and_row, bin as u64, Some(read_row))?;
@@ -74,8 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(&["metric", "value"]);
     table.row(&["reads mapped", &format!("{mapped}/{}", reads.len())]);
-    table.row(&["verifications without filter", &verifications_without.to_string()]);
-    table.row(&["verifications with GRIM-Filter", &verifications_with.to_string()]);
+    table.row(&[
+        "verifications without filter",
+        &verifications_without.to_string(),
+    ]);
+    table.row(&[
+        "verifications with GRIM-Filter",
+        &verifications_with.to_string(),
+    ]);
     table.row(&[
         "candidates eliminated",
         &format!(
@@ -85,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     table.row(&[
         "in-DRAM filter work",
-        &format!("{} AAP primitives, {:.1} us", engine.stats().aaps, engine.stats().cycles as f64 * 1.25 / 1000.0),
+        &format!(
+            "{} AAP primitives, {:.1} us",
+            engine.stats().aaps,
+            engine.stats().cycles as f64 * 1.25 / 1000.0
+        ),
     ]);
     println!("{table}");
     Ok(())

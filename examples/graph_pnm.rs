@@ -29,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.edge_count()
     );
 
-    let mut table = Table::new(&["vaults", "internal GB/s", "PNM (us)", "host (us)", "speedup"]);
+    let mut table = Table::new(&[
+        "vaults",
+        "internal GB/s",
+        "PNM (us)",
+        "host (us)",
+        "speedup",
+    ]);
     for vaults in [1usize, 2, 4, 8, 16, 32] {
         let stack = StackConfig::hmc_like().with_vaults(vaults)?;
         let engine = PnmGraphEngine::new(stack, &graph)?;

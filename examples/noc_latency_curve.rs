@@ -12,7 +12,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, traffic) in [
         ("uniform random", Traffic::UniformRandom),
-        ("hotspot (30% to node 27)", Traffic::Hotspot { node: 27, fraction: 0.3 }),
+        (
+            "hotspot (30% to node 27)",
+            Traffic::Hotspot {
+                node: 27,
+                fraction: 0.3,
+            },
+        ),
     ] {
         let mut table = Table::new(&[
             "inj. rate",
@@ -23,13 +29,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         for rate in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
             let b = simulate(RouterKind::Buffered, mesh, traffic, rate, cycles, 3)?;
-            let d = simulate(RouterKind::BufferlessDeflection, mesh, traffic, rate, cycles, 3)?;
+            let d = simulate(
+                RouterKind::BufferlessDeflection,
+                mesh,
+                traffic,
+                rate,
+                cycles,
+                3,
+            )?;
             table.row(&[
                 format!("{rate:.2}"),
                 format!("{:.1}", b.avg_latency),
                 format!("{:.1}", d.avg_latency),
                 format!("{:.2}", d.deflections as f64 / d.delivered.max(1) as f64),
-                format!("{:.0}%", 100.0 * d.delivered as f64 / d.injected.max(1) as f64),
+                format!(
+                    "{:.0}%",
+                    100.0 * d.delivered as f64 / d.injected.max(1) as f64
+                ),
             ]);
         }
         println!("8x8 mesh, {label}, {cycles} cycles:\n{table}\n");

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workloads: Vec<(&str, Vec<u64>)> = vec![
         (
             "stream",
-            StreamGen::new(0, 64, 4 << 20, 0.0)?.generate(n, &mut rng).iter().map(|r| r.addr).collect(),
+            StreamGen::new(0, 64, 4 << 20, 0.0)?
+                .generate(n, &mut rng)
+                .iter()
+                .map(|r| r.addr)
+                .collect(),
         ),
         (
             "strided(320B)",
@@ -75,11 +79,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Where prefetching ends, runahead begins — and where runahead ends,
     // PIM begins.
-    let mut ra = Table::new(&["dependent loads", "stall core (kcy)", "runahead-64 (kcy)", "speedup"]);
+    let mut ra = Table::new(&[
+        "dependent loads",
+        "stall core (kcy)",
+        "runahead-64 (kcy)",
+        "speedup",
+    ]);
     for dep in [0u32, 250, 500, 750, 1000] {
         let trace = build_trace(2000, 5, dep);
-        let stall = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 0 });
-        let run = execute(&trace, CoreModel { miss_latency: 200, runahead_window: 64 });
+        let stall = execute(
+            &trace,
+            CoreModel {
+                miss_latency: 200,
+                runahead_window: 0,
+            },
+        );
+        let run = execute(
+            &trace,
+            CoreModel {
+                miss_latency: 200,
+                runahead_window: 64,
+            },
+        );
         ra.row(&[
             format!("{:.0}%", f64::from(dep) / 10.0),
             format!("{:.0}", stall as f64 / 1000.0),

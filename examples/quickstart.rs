@@ -31,11 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = AtomRegistry::new();
     registry.register(
         0..hot_bytes as u64,
-        DataAttributes::new().criticality(Criticality::Critical).locality(Locality::Reuse),
+        DataAttributes::new()
+            .criticality(Criticality::Critical)
+            .locality(Locality::Reuse),
     )?;
-    registry.register((1 << 26)..(1 << 26) + (1 << 22), DataAttributes::new().locality(Locality::Streaming))?;
+    registry.register(
+        (1 << 26)..(1 << 26) + (1 << 22),
+        DataAttributes::new().locality(Locality::Streaming),
+    )?;
 
-    let mut table = Table::new(&["system", "cycles", "LLC hit rate", "DRAM row-hit rate", "speedup"]);
+    let mut table = Table::new(&[
+        "system",
+        "cycles",
+        "LLC hit rate",
+        "DRAM row-hit rate",
+        "speedup",
+    ]);
     let baseline = IntelligentSystem::new(SystemConfig::default()).run(&trace)?;
     let intelligent = IntelligentSystem::new(SystemConfig {
         principles: PrincipleSet::all(),
@@ -44,13 +55,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .with_registry(registry)
     .run(&trace)?;
 
-    for (name, r) in [("processor-centric", &baseline), ("intelligent (all 3 principles)", &intelligent)] {
+    for (name, r) in [
+        ("processor-centric", &baseline),
+        ("intelligent (all 3 principles)", &intelligent),
+    ] {
         table.row(&[
             name.to_owned(),
             r.cycles().to_string(),
             format!("{:.1}%", r.llc_hit_rate * 100.0),
             format!("{:.1}%", r.memory.row_hit_rate * 100.0),
-            format!("{:.2}x", baseline.cycles() as f64 / r.cycles().max(1) as f64),
+            format!(
+                "{:.2}x",
+                baseline.cycles() as f64 / r.cycles().max(1) as f64
+            ),
         ]);
     }
     println!("{table}");

@@ -9,9 +9,7 @@ use intelligent_arch::dram::DramConfig;
 use intelligent_arch::memctrl::{
     run_closed_loop, Fcfs, FrFcfs, MemRequest, RlScheduler, RlSchedulerConfig, Scheduler,
 };
-use intelligent_arch::workloads::{
-    PointerChaseGen, RandomGen, StreamGen, TraceGenerator, ZipfGen,
-};
+use intelligent_arch::workloads::{PointerChaseGen, RandomGen, StreamGen, TraceGenerator, ZipfGen};
 use rand::SeedableRng;
 
 fn mix(per_thread: usize, seed: u64) -> Vec<Vec<MemRequest>> {
@@ -26,28 +24,52 @@ fn mix(per_thread: usize, seed: u64) -> Vec<Vec<MemRequest>> {
             })
             .collect::<Vec<_>>()
     };
-    let stream = StreamGen::new(0, 64, 1 << 20, 0.1).expect("static").generate(per_thread, &mut rng);
-    let random =
-        RandomGen::new(region, 32 << 20, 64, 0.3).expect("static").generate(per_thread, &mut rng);
+    let stream = StreamGen::new(0, 64, 1 << 20, 0.1)
+        .expect("static")
+        .generate(per_thread, &mut rng);
+    let random = RandomGen::new(region, 32 << 20, 64, 0.3)
+        .expect("static")
+        .generate(per_thread, &mut rng);
     let zipf = ZipfGen::new(2 * region, 4096, 4096, 1.2, 0.2)
         .expect("static")
         .generate(per_thread, &mut rng);
     let mut chase = PointerChaseGen::new(3 * region, 64 * 1024, 64, &mut rng).expect("static");
     let chase = chase.generate(per_thread, &mut rng);
-    vec![to_reqs(stream, 0), to_reqs(random, 1), to_reqs(zipf, 2), to_reqs(chase, 3)]
+    vec![
+        to_reqs(stream, 0),
+        to_reqs(random, 1),
+        to_reqs(zipf, 2),
+        to_reqs(chase, 3),
+    ]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let per_thread = 2000;
 
-    let mut summary = Table::new(&["scheduler", "req/kcycle", "avg latency (cy)", "row-hit rate"]);
+    let mut summary = Table::new(&[
+        "scheduler",
+        "req/kcycle",
+        "avg latency (cy)",
+        "row-hit rate",
+    ]);
     for (name, sched) in [
-        ("FCFS (strict in-order)", Box::new(Fcfs::new()) as Box<dyn Scheduler>),
+        (
+            "FCFS (strict in-order)",
+            Box::new(Fcfs::new()) as Box<dyn Scheduler>,
+        ),
         ("FR-FCFS", Box::new(FrFcfs::new())),
-        ("RL (self-optimizing)", Box::new(RlScheduler::new(RlSchedulerConfig::default()))),
+        (
+            "RL (self-optimizing)",
+            Box::new(RlScheduler::new(RlSchedulerConfig::default())),
+        ),
     ] {
-        let report =
-            run_closed_loop(DramConfig::ddr3_1600(), sched, &mix(per_thread, 7), 8, 500_000_000)?;
+        let report = run_closed_loop(
+            DramConfig::ddr3_1600(),
+            sched,
+            &mix(per_thread, 7),
+            8,
+            500_000_000,
+        )?;
         summary.row(&[
             name.to_owned(),
             format!("{:.1}", report.throughput_rpkc()),

@@ -3,6 +3,10 @@
 # the per-experiment reports into one JSON array, BENCH_PR.json, at the
 # repo root. Attach that file to a PR to snapshot the benchmark state.
 #
+# The binaries are independent (each writes its own report file), so they
+# run concurrently; the concatenation order is still the sorted source
+# order, so the output is byte-identical to a serial run.
+#
 # Usage: scripts/bench_snapshot.sh [output-path]
 set -euo pipefail
 
@@ -19,11 +23,22 @@ for src in crates/bench/src/bin/exp*.rs; do
     bins+=("$(basename "$src" .rs)")
 done
 
+jobs="$(nproc 2>/dev/null || echo 4)"
+running=0
+for bin in "${bins[@]}"; do
+    echo "running $bin --quick" >&2
+    "target/release/$bin" --quick --json "$tmpdir/$bin.json" > /dev/null &
+    running=$((running + 1))
+    if [ "$running" -ge "$jobs" ]; then
+        wait -n
+        running=$((running - 1))
+    fi
+done
+wait
+
 echo "[" > "$out.tmp"
 first=1
 for bin in "${bins[@]}"; do
-    echo "running $bin --quick" >&2
-    "target/release/$bin" --quick --json "$tmpdir/$bin.json" > /dev/null
     if [ "$first" -eq 0 ]; then
         echo "," >> "$out.tmp"
     fi

@@ -5,9 +5,7 @@
 use intelligent_arch::core::{
     run_ablation, IntelligentSystem, Principle, PrincipleSet, SystemConfig,
 };
-use intelligent_arch::workloads::{
-    StreamGen, TraceGenerator, TraceRequest, ZipfGen,
-};
+use intelligent_arch::workloads::{StreamGen, TraceGenerator, TraceRequest, ZipfGen};
 use intelligent_arch::xmem::{AtomRegistry, Criticality, DataAttributes, Locality};
 use rand::SeedableRng;
 
@@ -16,7 +14,13 @@ fn mixed_trace(n: usize) -> Vec<TraceRequest> {
     let mut hot = ZipfGen::new(0, 16, 4096, 1.1, 0.2).expect("valid");
     let mut scan = StreamGen::new(1 << 26, 64, 1 << 21, 0.1).expect("valid");
     (0..n)
-        .map(|i| if i % 3 == 0 { hot.next_request(&mut rng) } else { scan.next_request(&mut rng).on_thread(1) })
+        .map(|i| {
+            if i % 3 == 0 {
+                hot.next_request(&mut rng)
+            } else {
+                scan.next_request(&mut rng).on_thread(1)
+            }
+        })
         .collect()
 }
 
@@ -24,18 +28,25 @@ fn registry() -> AtomRegistry {
     let mut reg = AtomRegistry::new();
     reg.register(
         0..64 * 1024,
-        DataAttributes::new().criticality(Criticality::Critical).locality(Locality::Reuse),
+        DataAttributes::new()
+            .criticality(Criticality::Critical)
+            .locality(Locality::Reuse),
     )
     .expect("disjoint");
-    reg.register((1 << 26)..(1 << 26) + (1 << 21), DataAttributes::new().locality(Locality::Streaming))
-        .expect("disjoint");
+    reg.register(
+        (1 << 26)..(1 << 26) + (1 << 21),
+        DataAttributes::new().locality(Locality::Streaming),
+    )
+    .expect("disjoint");
     reg
 }
 
 #[test]
 fn baseline_system_completes_every_memory_request() {
     let trace = mixed_trace(4000);
-    let report = IntelligentSystem::new(SystemConfig::default()).run(&trace).expect("runs");
+    let report = IntelligentSystem::new(SystemConfig::default())
+        .run(&trace)
+        .expect("runs");
     assert_eq!(
         report.memory.stats.completed, report.memory_requests,
         "every miss and writeback must retire"
@@ -46,7 +57,9 @@ fn baseline_system_completes_every_memory_request() {
 #[test]
 fn intelligent_system_beats_or_ties_baseline_end_to_end() {
     let trace = mixed_trace(5000);
-    let baseline = IntelligentSystem::new(SystemConfig::default()).run(&trace).expect("runs");
+    let baseline = IntelligentSystem::new(SystemConfig::default())
+        .run(&trace)
+        .expect("runs");
     let smart = IntelligentSystem::new(SystemConfig {
         principles: PrincipleSet::all(),
         ..SystemConfig::default()
@@ -68,7 +81,9 @@ fn intelligent_system_beats_or_ties_baseline_end_to_end() {
 #[test]
 fn data_awareness_reduces_offchip_traffic() {
     let trace = mixed_trace(5000);
-    let oblivious = IntelligentSystem::new(SystemConfig::default()).run(&trace).expect("runs");
+    let oblivious = IntelligentSystem::new(SystemConfig::default())
+        .run(&trace)
+        .expect("runs");
     let aware = IntelligentSystem::new(SystemConfig {
         principles: PrincipleSet::none().with(Principle::DataAware),
         ..SystemConfig::default()
@@ -102,7 +117,9 @@ fn ablation_ladder_runs_through_the_facade() {
 #[test]
 fn single_request_trace_works() {
     let trace = vec![TraceRequest::read(0x4000)];
-    let report = IntelligentSystem::new(SystemConfig::default()).run(&trace).expect("runs");
+    let report = IntelligentSystem::new(SystemConfig::default())
+        .run(&trace)
+        .expect("runs");
     assert_eq!(report.llc_hit_rate, 0.0, "one access cannot hit");
     assert!(report.memory.stats.completed >= 1);
 }
@@ -113,7 +130,9 @@ fn write_heavy_trace_generates_writebacks() {
     let trace = ZipfGen::new(0, 4096, 4096, 1.0, 0.9)
         .expect("valid")
         .generate(4000, &mut rng);
-    let report = IntelligentSystem::new(SystemConfig::default()).run(&trace).expect("runs");
+    let report = IntelligentSystem::new(SystemConfig::default())
+        .run(&trace)
+        .expect("runs");
     // Misses + dirty evictions: memory traffic exceeds pure miss count
     // would without writebacks; at minimum everything completes.
     assert_eq!(report.memory.stats.completed, report.memory_requests);

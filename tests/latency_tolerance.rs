@@ -19,19 +19,52 @@ fn the_latency_tolerance_handoff() {
     for i in 0..5000u64 {
         h.demand(i * 64);
     }
-    assert!(h.metrics().coverage() > 0.9, "streams belong to the prefetcher");
+    assert!(
+        h.metrics().coverage() > 0.9,
+        "streams belong to the prefetcher"
+    );
 
     // 2. Independent random misses: runahead overlaps them.
     let independent = build_trace(1000, 5, 0);
-    let stall = execute(&independent, CoreModel { miss_latency: 200, runahead_window: 0 });
-    let runahead = execute(&independent, CoreModel { miss_latency: 200, runahead_window: 64 });
-    assert!(stall as f64 / runahead as f64 > 4.0, "independent misses belong to runahead");
+    let stall = execute(
+        &independent,
+        CoreModel {
+            miss_latency: 200,
+            runahead_window: 0,
+        },
+    );
+    let runahead = execute(
+        &independent,
+        CoreModel {
+            miss_latency: 200,
+            runahead_window: 64,
+        },
+    );
+    assert!(
+        stall as f64 / runahead as f64 > 4.0,
+        "independent misses belong to runahead"
+    );
 
     // 3. Dependent chains: both core-side techniques fail...
     let dependent = build_trace(1000, 5, 1000);
-    let stall_dep = execute(&dependent, CoreModel { miss_latency: 200, runahead_window: 0 });
-    let runahead_dep = execute(&dependent, CoreModel { miss_latency: 200, runahead_window: 64 });
-    assert_eq!(stall_dep, runahead_dep, "runahead cannot touch dependent chains");
+    let stall_dep = execute(
+        &dependent,
+        CoreModel {
+            miss_latency: 200,
+            runahead_window: 0,
+        },
+    );
+    let runahead_dep = execute(
+        &dependent,
+        CoreModel {
+            miss_latency: 200,
+            runahead_window: 64,
+        },
+    );
+    assert_eq!(
+        stall_dep, runahead_dep,
+        "runahead cannot touch dependent chains"
+    );
 
     // ...and the near-memory walker picks them up.
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
@@ -39,14 +72,19 @@ fn the_latency_tolerance_handoff() {
     let stack = StackConfig::hmc_like();
     let host = traverse_host(&chain, &stack, 0, 10_000);
     let pnm = traverse_pnm(&chain, &stack, 0, 10_000);
-    assert!(host.ns / pnm.ns > 2.0, "dependent chains belong to the memory-side walker");
+    assert!(
+        host.ns / pnm.ns > 2.0,
+        "dependent chains belong to the memory-side walker"
+    );
 }
 
 #[test]
 fn salp_and_memscale_compose_in_the_same_story() {
     // SALP removes conflict serialization inside a bank...
     let timing = DramConfig::ddr3_1600().timing;
-    let stream: Vec<u64> = (0..2000).map(|i| if i % 2 == 0 { 0 } else { 512 }).collect();
+    let stream: Vec<u64> = (0..2000)
+        .map(|i| if i % 2 == 0 { 0 } else { 512 })
+        .collect();
     let mut conv = SalpBank::new(BankOrganization::Conventional, timing, 8, 512);
     let mut salp = SalpBank::new(BankOrganization::Salp, timing, 8, 512);
     let conv_cy = serve_stream(&mut conv, &stream);
@@ -69,21 +107,36 @@ fn vbi_blocks_feed_the_data_aware_hierarchy() {
     // placement honours attributes and translation stays injective.
     let mut vbl = VblTable::new(1 << 26);
     let critical = vbl
-        .allocate(BlockSize::Medium, DataAttributes::new().error_vulnerability(90))
+        .allocate(
+            BlockSize::Medium,
+            DataAttributes::new().error_vulnerability(90),
+        )
         .expect("capacity");
     let bulk = vbl
-        .allocate(BlockSize::Medium, DataAttributes::new().error_vulnerability(5))
+        .allocate(
+            BlockSize::Medium,
+            DataAttributes::new().error_vulnerability(5),
+        )
         .expect("capacity");
     let cb = vbl.block(critical).expect("present").clone();
     let bb = vbl.block(bulk).expect("present").clone();
     assert!(cb.tier < bb.tier, "critical data in the stronger tier");
     // Each tier is its own physical device: translation is exact within
     // the block, and a second block in the same tier never collides.
-    assert_eq!(vbl.translate(critical, 4096).expect("in range"), cb.phys_base + 4096);
+    assert_eq!(
+        vbl.translate(critical, 4096).expect("in range"),
+        cb.phys_base + 4096
+    );
     let bulk2 = vbl
-        .allocate(BlockSize::Medium, DataAttributes::new().error_vulnerability(5))
+        .allocate(
+            BlockSize::Medium,
+            DataAttributes::new().error_vulnerability(5),
+        )
         .expect("capacity");
     let b2 = vbl.block(bulk2).expect("present");
     assert_eq!(b2.tier, bb.tier);
-    assert!(b2.phys_base >= bb.phys_base + bb.size.bytes(), "same-tier blocks are disjoint");
+    assert!(
+        b2.phys_base >= bb.phys_base + bb.size.bytes(),
+        "same-tier blocks are disjoint"
+    );
 }

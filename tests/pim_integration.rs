@@ -20,8 +20,14 @@ fn copy_mechanism_hierarchy_holds_across_sizes() {
     };
     for bytes in [8 << 10, 128 << 10, 1 << 20] {
         let mut d = DramModule::new(DramConfig::ddr3_1600()).expect("valid");
-        let fpm = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), bytes, CopyMode::Fpm)
-            .expect("fpm");
+        let fpm = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            bytes,
+            CopyMode::Fpm,
+        )
+        .expect("fpm");
         let lisa = bulk_copy(
             &mut d,
             PhysAddr::new(0),
@@ -30,13 +36,35 @@ fn copy_mechanism_hierarchy_holds_across_sizes() {
             CopyMode::Lisa,
         )
         .expect("lisa");
-        let psm = bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(8192), bytes, CopyMode::Psm)
-            .expect("psm");
+        let psm = bulk_copy(
+            &mut d,
+            PhysAddr::new(0),
+            PhysAddr::new(8192),
+            bytes,
+            CopyMode::Psm,
+        )
+        .expect("psm");
         let mut d2 = DramModule::new(DramConfig::ddr3_1600()).expect("valid");
-        let cpu = bulk_copy(&mut d2, PhysAddr::new(0), PhysAddr::new(stride), bytes, CopyMode::Cpu)
-            .expect("cpu");
-        assert!(fpm.ns < lisa.ns, "{bytes}: FPM {} vs LISA {}", fpm.ns, lisa.ns);
-        assert!(lisa.ns < cpu.ns, "{bytes}: LISA {} vs CPU {}", lisa.ns, cpu.ns);
+        let cpu = bulk_copy(
+            &mut d2,
+            PhysAddr::new(0),
+            PhysAddr::new(stride),
+            bytes,
+            CopyMode::Cpu,
+        )
+        .expect("cpu");
+        assert!(
+            fpm.ns < lisa.ns,
+            "{bytes}: FPM {} vs LISA {}",
+            fpm.ns,
+            lisa.ns
+        );
+        assert!(
+            lisa.ns < cpu.ns,
+            "{bytes}: LISA {} vs CPU {}",
+            lisa.ns,
+            cpu.ns
+        );
         assert!(psm.ns < cpu.ns, "{bytes}: PSM {} vs CPU {}", psm.ns, cpu.ns);
     }
 }
@@ -56,7 +84,11 @@ fn ambit_composition_computes_a_real_predicate() {
     e.execute(BitwiseOp::Not, 11, 2, None).expect("not");
     e.execute(BitwiseOp::Or, 12, 10, Some(11)).expect("or");
     let expected = (a & b) | !c;
-    assert!(e.read_row(12).expect("result").iter().all(|&x| x == expected));
+    assert!(e
+        .read_row(12)
+        .expect("result")
+        .iter()
+        .all(|&x| x == expected));
     // The composition was costed: 4 + 2 + 4 AAPs.
     assert_eq!(e.stats().aaps, 10);
 }
@@ -94,8 +126,21 @@ fn in_dram_copy_charges_energy_on_the_shared_module() {
         let g = d.config().geometry;
         g.row_bytes * (g.banks_per_group * g.bank_groups * g.ranks * g.channels) as u64
     };
-    bulk_copy(&mut d, PhysAddr::new(0), PhysAddr::new(stride), 64 << 10, CopyMode::Fpm)
-        .expect("fpm");
-    assert!(d.energy().dynamic_pj() > before, "copies must show up in module energy");
-    assert_eq!(d.energy().io_pj, 0.0, "in-DRAM copy crosses no chip boundary");
+    bulk_copy(
+        &mut d,
+        PhysAddr::new(0),
+        PhysAddr::new(stride),
+        64 << 10,
+        CopyMode::Fpm,
+    )
+    .expect("fpm");
+    assert!(
+        d.energy().dynamic_pj() > before,
+        "copies must show up in module energy"
+    );
+    assert_eq!(
+        d.energy().io_pj,
+        0.0,
+        "in-DRAM copy crosses no chip boundary"
+    );
 }
