@@ -1,7 +1,9 @@
 //! Experiment binary for `ia_bench::exp17_prefetchers`.
 //!
-//! Prints the human-readable table; `--quick` shrinks the run, and
-//! `--json <path>` / `--csv <path>` write the machine-readable report.
+//! Prints the human-readable table; `--quick` shrinks the run,
+//! `--threads <n>` sets the parallel-sweep worker count (`1` = the
+//! exact serial path), and `--json <path>` / `--csv <path>` write the
+//! machine-readable report.
 
 fn main() {
     ia_bench::report::cli(

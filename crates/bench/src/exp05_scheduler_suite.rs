@@ -9,6 +9,7 @@
 use ia_core::{SchedulerKind, Table};
 use ia_dram::DramConfig;
 use ia_memctrl::{max_slowdown, run_closed_loop, weighted_speedup, MemRequest};
+use ia_par::{auto_threads, par_map};
 
 use crate::mixes::interference_mix;
 
@@ -35,44 +36,42 @@ pub fn rows(quick: bool) -> Vec<Row> {
 
     // Alone runs (per-thread baselines) are scheduler-independent:
     // a single thread cannot interfere with itself across schedulers in a
-    // way that changes the comparison, so use FR-FCFS.
-    let alone: Vec<u64> = traces
-        .iter()
-        .map(|t| {
-            let solo: Vec<Vec<MemRequest>> = vec![t.clone()];
-            run_closed_loop(
-                DramConfig::ddr3_1600(),
-                SchedulerKind::FrFcfs.build(1),
-                &solo,
-                8,
-                200_000_000,
-            )
-            .expect("solo run")
-            .threads[0]
-                .finish
-        })
-        .collect();
+    // way that changes the comparison, so use FR-FCFS. Each solo run is
+    // an independent simulation — fan them out on the worker pool.
+    let alone: Vec<u64> = par_map(auto_threads(), traces.clone(), |t| {
+        let solo: Vec<Vec<MemRequest>> = vec![t];
+        run_closed_loop(
+            DramConfig::ddr3_1600(),
+            SchedulerKind::FrFcfs.build(1),
+            &solo,
+            8,
+            200_000_000,
+        )
+        .expect("solo run")
+        .threads[0]
+            .finish
+    });
 
-    SchedulerKind::all()
-        .into_iter()
-        .map(|kind| {
-            let report = run_closed_loop(
-                DramConfig::ddr3_1600(),
-                kind.build(traces.len()),
-                &traces,
-                8,
-                500_000_000,
-            )
-            .expect("shared run");
-            Row {
-                name: kind.name().to_owned(),
-                weighted_speedup: weighted_speedup(&alone, &report),
-                max_slowdown: max_slowdown(&alone, &report),
-                throughput: report.throughput_rpkc(),
-                engine: report.engine,
-            }
-        })
-        .collect()
+    // The seven shared runs are likewise independent; `par_map` returns
+    // rows in `SchedulerKind::all()` order, so the table and every
+    // metric reduction downstream match the serial run byte-for-byte.
+    par_map(auto_threads(), SchedulerKind::all().to_vec(), |kind| {
+        let report = run_closed_loop(
+            DramConfig::ddr3_1600(),
+            kind.build(traces.len()),
+            &traces,
+            8,
+            500_000_000,
+        )
+        .expect("shared run");
+        Row {
+            name: kind.name().to_owned(),
+            weighted_speedup: weighted_speedup(&alone, &report),
+            max_slowdown: max_slowdown(&alone, &report),
+            throughput: report.throughput_rpkc(),
+            engine: report.engine,
+        }
+    })
 }
 
 /// Runs the experiment and renders the table.

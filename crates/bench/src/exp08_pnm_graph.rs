@@ -31,20 +31,19 @@ pub fn outcome(quick: bool) -> Outcome {
     let mut rng = SmallRng::seed_from_u64(41);
     let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
     let iterations = 10;
-    let speedups = [1usize, 4, 16, 32]
-        .into_iter()
-        .map(|vaults| {
-            let stack = StackConfig::hmc_like()
-                .with_vaults(vaults)
-                .expect("non-zero");
-            let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
-            let (_, report) = engine.pagerank(0.85, iterations);
-            (
-                vaults,
-                host_pagerank_ns(&stack, &g, iterations) / report.total_ns,
-            )
-        })
-        .collect();
+    // The graph is built once and shared read-only; each vault count is
+    // an independent PNM simulation over it.
+    let speedups = ia_par::par_map(ia_par::auto_threads(), vec![1usize, 4, 16, 32], |vaults| {
+        let stack = StackConfig::hmc_like()
+            .with_vaults(vaults)
+            .expect("non-zero");
+        let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
+        let (_, report) = engine.pagerank(0.85, iterations);
+        (
+            vaults,
+            host_pagerank_ns(&stack, &g, iterations) / report.total_ns,
+        )
+    });
     Outcome { speedups }
 }
 
@@ -67,7 +66,9 @@ pub fn run(quick: bool) -> String {
         "speedup",
         "remote edges",
     ]);
-    for vaults in [1usize, 4, 16, 32] {
+    // Same fan-out as `outcome`; each task returns its preformatted
+    // table cells, appended in vault order after the pool joins.
+    let rows = ia_par::par_map(ia_par::auto_threads(), vec![1usize, 4, 16, 32], |vaults| {
         let stack = StackConfig::hmc_like()
             .with_vaults(vaults)
             .expect("non-zero");
@@ -76,14 +77,17 @@ pub fn run(quick: bool) -> String {
         // Sanity: functional result matches the host reference.
         debug_assert_eq!(ranks.len(), g.vertex_count() as usize);
         let host = host_pagerank_ns(&stack, &g, iterations);
-        table.row(&[
+        [
             vaults.to_string(),
             format!("{:.0}", stack.internal_gbps_total()),
             format!("{:.1}", report.total_ns / 1000.0),
             format!("{:.1}", host / 1000.0),
             ratio(host, report.total_ns),
             pct(report.remote_edge_fraction),
-        ]);
+        ]
+    });
+    for cells in &rows {
+        table.row(cells);
     }
     format!(
         "E8: PageRank on an R-MAT graph ({v} vertices, {e} edges), near-memory vs host\n\

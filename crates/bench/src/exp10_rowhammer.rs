@@ -23,37 +23,62 @@ pub struct Outcome {
     pub trr_flips: u64,
 }
 
-/// Computes the outcome.
+/// One independent attack configuration.
+#[derive(Debug, Clone, Copy)]
+enum Attack {
+    /// No mitigation, on this generation.
+    Unmitigated(DeviceGeneration),
+    /// PARA (p = 0.01) on the newest generation.
+    Para,
+    /// Counter-based TRR on the newest generation.
+    Trr,
+}
+
+/// Computes the outcome. Every attack owns a seeded RNG derived from
+/// the base seed and its task index (instead of the pre-`ia-par`
+/// single stream threaded through all five runs), so the five
+/// configurations are independent and fan out on the worker pool with
+/// results identical at any `--threads` setting.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
     let hammers = if quick { 300_000 } else { 2_000_000 };
     let rows = 1 << 14;
     let victim = 5000;
     let pattern = double_sided_pattern(victim, hammers);
-    let mut rng = SmallRng::seed_from_u64(53);
-
-    let unmitigated = DeviceGeneration::all()
-        .into_iter()
-        .map(|g| {
-            let mut m = RowHammerModel::new(g, rows);
-            let (flips, _) = run_attack(&mut m, None, pattern.clone(), &mut rng);
-            (g, flips)
-        })
-        .collect();
-
     let newest = DeviceGeneration::Lpddr4Y2020;
-    let mut para_model = RowHammerModel::new(newest, rows);
-    let mut para = Para::with_probability(0.01);
-    let (para_flips, _) = run_attack(&mut para_model, Some(&mut para), pattern.clone(), &mut rng);
 
-    let mut trr_model = RowHammerModel::new(newest, rows);
-    let mut trr = CounterTrr::new(32, newest.hc_first() / 2);
-    let (trr_flips, _) = run_attack(&mut trr_model, Some(&mut trr), pattern, &mut rng);
+    let mut tasks: Vec<Attack> = DeviceGeneration::all()
+        .into_iter()
+        .map(Attack::Unmitigated)
+        .collect();
+    tasks.push(Attack::Para);
+    tasks.push(Attack::Trr);
 
+    let flips = ia_par::par_map_indexed(ia_par::auto_threads(), tasks, |i, attack| {
+        let mut rng = SmallRng::seed_from_u64(53 + i as u64);
+        match attack {
+            Attack::Unmitigated(g) => {
+                let mut m = RowHammerModel::new(g, rows);
+                run_attack(&mut m, None, pattern.clone(), &mut rng).0
+            }
+            Attack::Para => {
+                let mut m = RowHammerModel::new(newest, rows);
+                let mut para = Para::with_probability(0.01);
+                run_attack(&mut m, Some(&mut para), pattern.clone(), &mut rng).0
+            }
+            Attack::Trr => {
+                let mut m = RowHammerModel::new(newest, rows);
+                let mut trr = CounterTrr::new(32, newest.hc_first() / 2);
+                run_attack(&mut m, Some(&mut trr), pattern.clone(), &mut rng).0
+            }
+        }
+    });
+
+    let generations = DeviceGeneration::all();
     Outcome {
-        unmitigated,
-        para_flips,
-        trr_flips,
+        unmitigated: generations.into_iter().zip(flips.iter().copied()).collect(),
+        para_flips: flips[generations.len()],
+        trr_flips: flips[generations.len() + 1],
     }
 }
 

@@ -68,22 +68,29 @@ fn workloads(quick: bool) -> Vec<(&'static str, Vec<u64>)> {
 /// Metrics per (workload, prefetcher) cell.
 #[must_use]
 pub fn matrix(quick: bool) -> Vec<(String, Vec<(String, PrefetchMetrics)>)> {
-    workloads(quick)
-        .into_iter()
-        .map(|(wname, addrs)| {
-            let cells = prefetchers()
-                .into_iter()
-                .map(|p| {
-                    let name = p.name().to_owned();
-                    let mut h = PrefetchHarness::new(64 * 1024, 64, 8, p).expect("valid harness");
-                    for &a in &addrs {
-                        h.demand(a);
-                    }
-                    (name, *h.metrics())
-                })
-                .collect();
-            (wname.to_owned(), cells)
-        })
+    // Trace generation shares one RNG stream and stays serial; the 4×5
+    // (workload, prefetcher) harness runs are independent, so flatten
+    // the grid into tasks for the worker pool. `par_map` preserves the
+    // row-major task order, so the reassembled matrix is identical to
+    // the nested serial loops.
+    let workloads = workloads(quick);
+    let lanes = prefetchers().len();
+    let tasks: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..lanes).map(move |pi| (wi, pi)))
+        .collect();
+    let cells = ia_par::par_map(ia_par::auto_threads(), tasks, |(wi, pi)| {
+        let p = prefetchers().swap_remove(pi);
+        let name = p.name().to_owned();
+        let mut h = PrefetchHarness::new(64 * 1024, 64, 8, p).expect("valid harness");
+        for &a in &workloads[wi].1 {
+            h.demand(a);
+        }
+        (name, *h.metrics())
+    });
+    workloads
+        .iter()
+        .zip(cells.chunks(lanes))
+        .map(|((wname, _), row)| ((*wname).to_owned(), row.to_vec()))
         .collect()
 }
 

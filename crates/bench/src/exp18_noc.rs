@@ -14,29 +14,26 @@ use ia_noc::{simulate, MeshConfig, NocReport, RouterKind, Traffic};
 pub fn sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
     let mesh = MeshConfig::new(8, 8).expect("valid mesh");
     let cycles = if quick { 2_000 } else { 20_000 };
-    [0.02f64, 0.05, 0.10, 0.20, 0.30]
-        .into_iter()
-        .map(|rate| {
-            let buffered = simulate(
-                RouterKind::Buffered,
-                mesh,
-                Traffic::UniformRandom,
-                rate,
-                cycles,
-                11,
-            )
-            .expect("valid run");
-            let bufferless = simulate(
-                RouterKind::BufferlessDeflection,
-                mesh,
-                Traffic::UniformRandom,
-                rate,
-                cycles,
-                11,
-            )
-            .expect("valid run");
-            (rate, buffered, bufferless)
+    let rates = [0.02f64, 0.05, 0.10, 0.20, 0.30];
+    // 5 rates × 2 router kinds = 10 independent simulations, each with
+    // its own seeded RNG inside `simulate`; fan them out and zip the
+    // order-preserved results back into per-rate rows.
+    let tasks: Vec<(f64, RouterKind)> = rates
+        .iter()
+        .flat_map(|&rate| {
+            [
+                (rate, RouterKind::Buffered),
+                (rate, RouterKind::BufferlessDeflection),
+            ]
         })
+        .collect();
+    let reports = ia_par::par_map(ia_par::auto_threads(), tasks, |(rate, kind)| {
+        simulate(kind, mesh, Traffic::UniformRandom, rate, cycles, 11).expect("valid run")
+    });
+    rates
+        .iter()
+        .zip(reports.chunks(2))
+        .map(|(&rate, pair)| (rate, pair[0], pair[1]))
         .collect()
 }
 

@@ -19,9 +19,15 @@ use crate::pct;
 #[must_use]
 pub fn sweep() -> Vec<(u32, f64, f64, f64, f64)> {
     let model = RetentionModel::typical();
-    sweep_refresh_multipliers(&model, &[1, 2, 4, 8, 16, 32])
-        .into_iter()
-        .map(|p| {
+    // Each refresh-interval point is an independent evaluation of the
+    // retention model; fan the grid out on the worker pool.
+    ia_par::par_map(
+        ia_par::auto_threads(),
+        vec![1u32, 2, 4, 8, 16, 32],
+        |multiplier| {
+            let p = sweep_refresh_multipliers(&model, &[multiplier])
+                .pop()
+                .expect("one point per multiplier");
             (
                 p.multiplier,
                 p.refresh_savings,
@@ -29,8 +35,8 @@ pub fn sweep() -> Vec<(u32, f64, f64, f64, f64)> {
                 dnn_accuracy_loss(p.row_error_rate, 0.05),
                 dnn_accuracy_loss(p.row_error_rate, 1e-5),
             )
-        })
-        .collect()
+        },
+    )
 }
 
 /// Runs the experiment and renders the tables.

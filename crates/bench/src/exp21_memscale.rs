@@ -15,9 +15,12 @@ use crate::pct;
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<(f64, f64, f64)> {
     let epochs = if quick { 100 } else { 2000 };
-    [0.05f64, 0.15, 0.30, 0.50, 0.95]
-        .into_iter()
-        .map(|base| {
+    // Each utilization level owns its trace and governor — independent
+    // tasks for the worker pool, returned in grid order.
+    ia_par::par_map(
+        ia_par::auto_threads(),
+        vec![0.05f64, 0.15, 0.30, 0.50, 0.95],
+        |base| {
             // Bursty trace around the base utilization.
             let trace: Vec<f64> = (0..epochs)
                 .map(|i| {
@@ -32,8 +35,8 @@ pub fn sweep(quick: bool) -> Vec<(f64, f64, f64)> {
                 MemScaleGovernor::new(standard_points().to_vec(), 0.10).expect("valid governor");
             let o = g.run(&trace).expect("trace runs");
             (base, o.energy, o.slowdown)
-        })
-        .collect()
+        },
+    )
 }
 
 /// Runs the experiment and renders the table.

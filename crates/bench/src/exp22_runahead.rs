@@ -15,28 +15,31 @@ use crate::ratio;
 #[must_use]
 pub fn matrix(quick: bool) -> Vec<(u32, usize, u64, u64)> {
     let loads = if quick { 500 } else { 5000 };
-    let mut out = Vec::new();
-    for dep in [0u32, 500, 1000] {
-        for window in [16usize, 64, 256] {
-            let trace = build_trace(loads, 5, dep);
-            let stall = execute(
-                &trace,
-                CoreModel {
-                    miss_latency: 200,
-                    runahead_window: 0,
-                },
-            );
-            let ra = execute(
-                &trace,
-                CoreModel {
-                    miss_latency: 200,
-                    runahead_window: window,
-                },
-            );
-            out.push((dep, window, stall, ra));
-        }
-    }
-    out
+    // The 3×3 (dependence, window) grid: every cell builds its own
+    // trace and runs two core models — independent tasks for the
+    // worker pool, returned in row-major grid order.
+    let grid: Vec<(u32, usize)> = [0u32, 500, 1000]
+        .into_iter()
+        .flat_map(|dep| [16usize, 64, 256].into_iter().map(move |w| (dep, w)))
+        .collect();
+    ia_par::par_map(ia_par::auto_threads(), grid, |(dep, window)| {
+        let trace = build_trace(loads, 5, dep);
+        let stall = execute(
+            &trace,
+            CoreModel {
+                miss_latency: 200,
+                runahead_window: 0,
+            },
+        );
+        let ra = execute(
+            &trace,
+            CoreModel {
+                miss_latency: 200,
+                runahead_window: window,
+            },
+        );
+        (dep, window, stall, ra)
+    })
 }
 
 /// Runs the experiment and renders the table.

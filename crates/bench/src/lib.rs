@@ -4,9 +4,12 @@
 //! exposes `run(quick) -> String`, producing the table/series recorded in
 //! `EXPERIMENTS.md`, plus `report(quick) -> ExperimentReport` with the
 //! same results in machine-readable form. The `expNN_*` binaries route
-//! both through [`report::cli`] (`--quick`, `--json <path>`,
-//! `--csv <path>`), and the integration tests assert the qualitative
-//! shape on `run(true)`.
+//! both through [`report::cli`] (`--quick`, `--threads <n>`,
+//! `--json <path>`, `--csv <path>`), and the integration tests assert
+//! the qualitative shape on `run(true)`. Independent-configuration
+//! sweeps fan out on the `ia-par` worker pool; reports are
+//! byte-identical at every `--threads` setting (see
+//! `tests/parallel_determinism.rs`).
 
 #![warn(missing_docs)]
 

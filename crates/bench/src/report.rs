@@ -5,12 +5,24 @@
 //! binaries route both through [`cli`], which understands:
 //!
 //! * `--quick` — run the reduced-size configuration;
+//! * `--threads <n>` — worker count for parallel sweeps (`ia-par`);
+//!   `1` is the exact serial path, the default is the host's available
+//!   parallelism;
 //! * `--json <path>` — write the report as JSON;
 //! * `--csv <path>` — write the report's table (or metrics) as CSV.
 //!
 //! Reports round-trip through `ia-telemetry`'s own JSON parser — see
 //! [`ExperimentReport::from_json`] — so downstream tooling can consume
 //! `BENCH_PR.json` without serde (the build is offline by design).
+//!
+//! ## Determinism vs. observability
+//!
+//! Everything in the canonical report (params, metrics, table) must be
+//! byte-identical across `--threads` settings. Wall-clock-derived
+//! numbers — `par_threads`, `par_tasks`, `par_imbalance` — therefore
+//! live in a separate [`runtime`](ExperimentReport::runtime) section
+//! that is *excluded* from the JSON/CSV emitters and printed to stderr
+//! instead.
 
 use ia_telemetry::{csv, JsonValue};
 
@@ -27,6 +39,11 @@ pub struct ExperimentReport {
     pub headers: Vec<String>,
     /// Result-table rows, one `Vec` of cells per row.
     pub rows: Vec<Vec<String>>,
+    /// Runtime-only diagnostics (`par_threads`, `par_imbalance`, …):
+    /// wall-clock derived and nondeterministic, so excluded from
+    /// [`to_json`](ExperimentReport::to_json) /
+    /// [`to_csv`](ExperimentReport::to_csv) and reported on stderr.
+    pub runtime: Vec<(String, f64)>,
 }
 
 impl ExperimentReport {
@@ -39,6 +56,7 @@ impl ExperimentReport {
             metrics: Vec::new(),
             headers: Vec::new(),
             rows: Vec::new(),
+            runtime: Vec::new(),
         }
     }
 
@@ -53,6 +71,16 @@ impl ExperimentReport {
     #[must_use]
     pub fn metric(mut self, key: &str, value: f64) -> Self {
         self.metrics.push((key.to_owned(), value));
+        self
+    }
+
+    /// Adds a runtime-only diagnostic (chainable). Unlike
+    /// [`metric`](ExperimentReport::metric), the value never enters the
+    /// JSON/CSV output: it is timing-derived and would break the
+    /// byte-identity of reports across `--threads` settings.
+    #[must_use]
+    pub fn runtime_metric(mut self, key: &str, value: f64) -> Self {
+        self.runtime.push((key.to_owned(), value));
         self
     }
 
@@ -175,6 +203,9 @@ impl ExperimentReport {
             metrics,
             headers,
             rows,
+            // Runtime diagnostics are never serialized, so a parsed
+            // report always comes back without them.
+            runtime: Vec::new(),
         })
     }
 
@@ -207,22 +238,38 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// Shared experiment-binary entry point: prints the human-readable run
 /// and, when `--json <path>` / `--csv <path>` are given, writes the
 /// machine-readable report. `--quick` selects the reduced configuration
-/// for both.
+/// for both; `--threads <n>` sets the `ia-par` worker count for the
+/// whole process (`1` = the exact serial path, default = available
+/// parallelism). Parallel-execution diagnostics for the invocation are
+/// printed to stderr and attached to the report as
+/// [runtime metrics](ExperimentReport::runtime_metric).
 ///
 /// # Panics
 ///
-/// Panics if a requested output file cannot be written — an experiment
-/// binary has nothing sensible to do with a dead output path.
+/// Panics if `--threads` is not a positive integer or a requested
+/// output file cannot be written — an experiment binary has nothing
+/// sensible to do with either.
 pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> ExperimentReport) {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(t) = flag_value(&args, "--threads") {
+        let n: usize = t
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("--threads expects a positive integer, got `{t}`"));
+        ia_par::set_threads(n);
+    }
     let json_path = flag_value(&args, "--json");
     let csv_path = flag_value(&args, "--csv");
+    let _ = ia_par::ledger::take();
     print!("{}", run(quick));
     if json_path.is_none() && csv_path.is_none() {
+        eprintln!("{}", par_diagnostics_line());
         return;
     }
-    let rep = report(quick);
+    let rep = attach_par_diagnostics(report(quick));
+    eprintln!("{}", par_diagnostics_from(&rep));
     if let Some(path) = json_path {
         let mut text = rep.to_json().render();
         text.push('\n');
@@ -231,6 +278,46 @@ pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> Experi
     if let Some(path) = csv_path {
         std::fs::write(&path, rep.to_csv()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     }
+}
+
+/// Drains the `ia-par` ledger into the report's runtime section:
+/// `par_threads` (configured workers), `par_tasks` (tasks executed this
+/// invocation), `par_imbalance` (worst max/mean worker busy time, `1` =
+/// balanced or serial) and `par_busy_ms` (total worker busy time).
+#[must_use]
+pub fn attach_par_diagnostics(rep: ExperimentReport) -> ExperimentReport {
+    let ledger = ia_par::ledger::take();
+    let imbalance = if ledger.parallel_invocations == 0 {
+        1.0
+    } else {
+        ledger.worst_imbalance.max(1.0)
+    };
+    rep.runtime_metric("par_threads", ia_par::auto_threads() as f64)
+        .runtime_metric("par_tasks", ledger.tasks as f64)
+        .runtime_metric("par_imbalance", imbalance)
+        .runtime_metric("par_busy_ms", ledger.busy_total.as_secs_f64() * 1e3)
+}
+
+/// Renders the runtime diagnostics of `rep` as a one-line stderr note.
+fn par_diagnostics_from(rep: &ExperimentReport) -> String {
+    let get = |k: &str| {
+        rep.runtime
+            .iter()
+            .find(|(n, _)| n == k)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    format!(
+        "[par] threads={} tasks={} imbalance={:.2} busy={:.1}ms",
+        get("par_threads"),
+        get("par_tasks"),
+        get("par_imbalance"),
+        get("par_busy_ms"),
+    )
+}
+
+/// Diagnostics line for runs that never built a report.
+fn par_diagnostics_line() -> String {
+    par_diagnostics_from(&attach_par_diagnostics(ExperimentReport::new("", false)))
 }
 
 #[cfg(test)]
@@ -272,6 +359,21 @@ mod tests {
         let metrics_only = ExperimentReport::new("m", false).metric("x", 1.5).to_csv();
         assert!(metrics_only.contains("metric,value"));
         assert!(metrics_only.contains("x,1.5"));
+    }
+
+    #[test]
+    fn runtime_metrics_stay_out_of_json_and_csv() {
+        let rep = sample()
+            .runtime_metric("par_threads", 4.0)
+            .runtime_metric("par_imbalance", 1.31);
+        let json = rep.to_json().render();
+        assert!(!json.contains("par_threads"), "runtime leaked into JSON");
+        assert!(!rep.to_csv().contains("par_imbalance"));
+        let parsed = JsonValue::parse(&json).unwrap();
+        let back = ExperimentReport::from_json(&parsed).unwrap();
+        assert!(back.runtime.is_empty());
+        // Byte-identity: the canonical output ignores runtime entirely.
+        assert_eq!(json, sample().to_json().render());
     }
 
     #[test]

@@ -23,32 +23,46 @@ pub struct AblationRow {
 /// Runs the ablation ladder (baseline → +centric → +driven → all) over the
 /// same trace and registry, returning one row per rung.
 ///
+/// The four rungs are independent full-system simulations, so they fan
+/// out on the `ia-par` worker pool (ambient `--threads` setting); the
+/// pool returns reports in ladder order, so speedups — all relative to
+/// the rung-0 baseline — are identical to the serial run.
+///
 /// # Errors
 ///
-/// Propagates [`CoreError`] from the underlying runs.
+/// Propagates [`CoreError`] from the underlying runs (the error of the
+/// lowest failing rung when several fail).
 pub fn run_ablation(
     base_config: &SystemConfig,
     registry: &AtomRegistry,
     trace: &[TraceRequest],
 ) -> Result<Vec<AblationRow>, CoreError> {
-    let mut rows = Vec::new();
-    let mut baseline_cycles = None;
-    for principles in PrincipleSet::ladder() {
-        let config = SystemConfig {
+    let reports = ia_par::par_map(
+        ia_par::auto_threads(),
+        PrincipleSet::ladder().to_vec(),
+        |principles| {
+            let config = SystemConfig {
+                principles,
+                ..base_config.clone()
+            };
+            let system = IntelligentSystem::new(config).with_registry(registry.clone());
+            system.run(trace).map(|report| (principles, report))
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+
+    let baseline_cycles = reports
+        .first()
+        .map_or(1, |(_, report)| report.cycles().max(1));
+    Ok(reports
+        .into_iter()
+        .map(|(principles, report)| AblationRow {
             principles,
-            ..base_config.clone()
-        };
-        let system = IntelligentSystem::new(config).with_registry(registry.clone());
-        let report = system.run(trace)?;
-        let cycles = report.cycles().max(1);
-        let base = *baseline_cycles.get_or_insert(cycles);
-        rows.push(AblationRow {
-            principles,
-            speedup: base as f64 / cycles as f64,
+            speedup: baseline_cycles as f64 / report.cycles().max(1) as f64,
             report,
-        });
-    }
-    Ok(rows)
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! Process-wide accounting of parallel work, for observability.
+//!
+//! Every [`par_map`](crate::par_map) invocation records how many tasks
+//! it ran and, for parallel invocations, each worker's busy time. The
+//! bench CLI drains the ledger once per experiment ([`take`]) and
+//! reports the totals as *runtime diagnostics* on stderr. The numbers
+//! are wall-clock derived, hence nondeterministic — they must never be
+//! folded into a canonical report (`BENCH_PR.json` stays byte-identical
+//! across `--threads` values precisely because they are not).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Aggregated parallel-execution accounting since the last [`take`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ParLedger {
+    /// `par_map` invocations that ran on the inline serial path.
+    pub serial_invocations: u64,
+    /// `par_map` invocations that spawned a worker pool.
+    pub parallel_invocations: u64,
+    /// Total tasks executed (serial + parallel).
+    pub tasks: u64,
+    /// Largest worker-pool size observed.
+    pub max_workers: usize,
+    /// Sum of all workers' busy time.
+    pub busy_total: Duration,
+    /// Worst per-invocation imbalance: max worker busy time divided by
+    /// mean worker busy time (`1.0` = perfectly balanced or serial).
+    pub worst_imbalance: f64,
+}
+
+impl ParLedger {
+    /// Folds one parallel invocation into the totals.
+    fn absorb(&mut self, workers: usize, tasks: u64, busy: &[Duration]) {
+        self.parallel_invocations += 1;
+        self.tasks += tasks;
+        self.max_workers = self.max_workers.max(workers);
+        let total: Duration = busy.iter().sum();
+        self.busy_total += total;
+        let mean = total.as_secs_f64() / busy.len().max(1) as f64;
+        if mean > 0.0 {
+            let max = busy.iter().max().copied().unwrap_or_default().as_secs_f64();
+            self.worst_imbalance = self.worst_imbalance.max(max / mean);
+        }
+    }
+}
+
+static LEDGER: Mutex<ParLedger> = Mutex::new(ParLedger {
+    serial_invocations: 0,
+    parallel_invocations: 0,
+    tasks: 0,
+    max_workers: 0,
+    busy_total: Duration::ZERO,
+    worst_imbalance: 0.0,
+});
+
+fn with_ledger<R>(f: impl FnOnce(&mut ParLedger) -> R) -> R {
+    f(&mut LEDGER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+/// Records a serial (inline) invocation of `tasks` tasks.
+pub(crate) fn record_serial(tasks: usize) {
+    with_ledger(|l| {
+        l.serial_invocations += 1;
+        l.tasks += tasks as u64;
+    });
+}
+
+/// Records a pooled invocation: `workers` threads, per-worker busy time.
+pub(crate) fn record_parallel(workers: usize, tasks: usize, busy: &[Duration]) {
+    with_ledger(|l| l.absorb(workers, tasks as u64, busy));
+}
+
+/// Returns the accounting accumulated since the previous `take` and
+/// resets it — call once per experiment to scope the diagnostics.
+#[must_use]
+pub fn take() -> ParLedger {
+    with_ledger(std::mem::take)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_counts_serial_and_parallel_work() {
+        // Other unit tests in this binary also feed the global ledger,
+        // so assert lower bounds, not exact counts.
+        let before = take();
+        let out = crate::par_map(1, vec![1u32, 2, 3], |x| x);
+        assert_eq!(out.len(), 3);
+        let out = crate::par_map(2, (0..10u32).collect(), |x| x);
+        assert_eq!(out.len(), 10);
+        let ledger = take();
+        assert!(
+            ledger.serial_invocations >= 1,
+            "{ledger:?} after {before:?}"
+        );
+        assert!(ledger.parallel_invocations >= 1, "{ledger:?}");
+        assert!(ledger.tasks >= 13, "{ledger:?}");
+        assert!(ledger.max_workers >= 2, "{ledger:?}");
+        assert!(ledger.worst_imbalance >= 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests: `par_map` must be observationally identical to the
+//! serial `map` for every task count, thread count, and closure —
+//! including panicking closures, whose panic must propagate after a
+//! clean pool shutdown.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_equals_serial_map(
+        items in prop::collection::vec(0u64..1_000_000, 0..64),
+        threads in 1usize..=8,
+    ) {
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) ^ x).collect();
+        let got = ia_par::par_map(threads, items, |x| x.wrapping_mul(2654435761) ^ x);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_map_indexed_equals_serial_enumerate(
+        items in prop::collection::vec(0u32..1_000, 0..48),
+        threads in 1usize..=8,
+    ) {
+        let expect: Vec<(usize, u32)> = items.iter().copied().enumerate().collect();
+        let got = ia_par::par_map_indexed(threads, items, |i, x| (i, x));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn panicking_closure_propagates_and_pool_survives(
+        len in 1usize..32,
+        panic_at in any::<prop::sample::Index>(),
+        threads in 1usize..=8,
+    ) {
+        let bad = panic_at.index(len);
+        let items: Vec<usize> = (0..len).collect();
+        let result = std::panic::catch_unwind(|| {
+            ia_par::par_map(threads, items, |x| {
+                assert!(x != bad, "task {x} failed");
+                x
+            })
+        });
+        let payload = result.expect_err("the panic must reach the caller");
+        let msg = payload.downcast_ref::<String>().expect("assert! payload");
+        prop_assert!(msg.contains(&format!("task {bad} failed")), "got: {msg}");
+        // The pool shut down cleanly: the very next call works and is
+        // still order-preserving.
+        let ok = ia_par::par_map(threads, (0..len).collect::<Vec<_>>(), |x| x + 1);
+        prop_assert_eq!(ok, (1..=len).collect::<Vec<_>>());
+    }
+}

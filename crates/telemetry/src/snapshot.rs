@@ -101,10 +101,15 @@ impl Snapshot {
         }
     }
 
-    /// Combines two snapshots: counters add, histograms merge bucket-wise,
-    /// gauges take `other`'s value when present (last-wins). All three
-    /// combinators are associative, so folding any number of per-shard
-    /// snapshots is order-safe. The label takes the max.
+    /// Combines two snapshots: counters add, histograms merge
+    /// bucket-wise, gauges take the max. All three combinators are
+    /// associative **and commutative**, so reducing any number of
+    /// per-worker snapshots gives the same result in any order — the
+    /// property a parallel sweep needs for its merged report to be
+    /// byte-identical to the serial run (see `ia-par`). The label takes
+    /// the max. A name bound to different metric kinds in the two
+    /// operands keeps `other`'s value (last-wins) — per-worker
+    /// registries built by the same code never hit that case.
     #[must_use]
     pub fn merge(&self, other: &Snapshot) -> Snapshot {
         let mut out = self.values.clone();
@@ -112,6 +117,7 @@ impl Snapshot {
             match (out.get_mut(name), v) {
                 (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
                 (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = a.max(*b),
                 (slot, v) => {
                     if let Some(slot) = slot {
                         *slot = v.clone();
@@ -125,6 +131,18 @@ impl Snapshot {
             at: self.at.max(other.at),
             values: out,
         }
+    }
+
+    /// Reduces per-worker snapshots into one, folding left in iteration
+    /// order. [`merge`](Snapshot::merge) is order-insensitive, so any
+    /// fixed order works; callers conventionally pass snapshots in
+    /// worker-index order (which `ia_par::par_map` already guarantees
+    /// for its output) to make the reduction auditable.
+    #[must_use]
+    pub fn merge_all(snapshots: impl IntoIterator<Item = Snapshot>) -> Snapshot {
+        snapshots
+            .into_iter()
+            .fold(Snapshot::default(), |acc, s| acc.merge(&s))
     }
 
     /// Renders as a JSON object `{ "at": n, "metrics": { name: value } }`.
@@ -220,6 +238,28 @@ mod tests {
         assert_eq!(m.counter("x"), Some(5));
         assert_eq!(m.counter("y"), Some(1));
         assert_eq!(m.at, 9);
+    }
+
+    #[test]
+    fn merge_takes_gauge_max_commutatively() {
+        let a = Snapshot::from_iter(1, [("g".to_owned(), MetricValue::Gauge(2.5))]);
+        let b = Snapshot::from_iter(2, [("g".to_owned(), MetricValue::Gauge(7.0))]);
+        assert_eq!(a.merge(&b).gauge("g"), Some(7.0));
+        assert_eq!(b.merge(&a).gauge("g"), Some(7.0));
+    }
+
+    #[test]
+    fn merge_all_reduces_worker_snapshots_in_order() {
+        let workers = vec![
+            snap(10, &[("reads", 4)]),
+            snap(30, &[("reads", 6), ("writes", 1)]),
+            snap(20, &[("writes", 2)]),
+        ];
+        let m = Snapshot::merge_all(workers);
+        assert_eq!(m.counter("reads"), Some(10));
+        assert_eq!(m.counter("writes"), Some(3));
+        assert_eq!(m.at, 30);
+        assert!(Snapshot::merge_all(std::iter::empty()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Property tests for [`Snapshot::merge`]: the reduction a parallel
+//! sweep folds over per-worker registries must be associative and
+//! commutative, or merge order would leak into the experiment report
+//! and break the `--threads N` byte-identity guarantee.
+//!
+//! Names are drawn from a fixed pool where each name is permanently
+//! bound to one metric kind — exactly the shape per-worker registries
+//! built by the same experiment code produce.
+
+use ia_telemetry::{Histogram, MetricValue, Snapshot};
+use proptest::prelude::*;
+
+/// One generated metric entry: `(name index, value, histogram extras)`.
+type Entry = (u8, u64, u64);
+
+/// Builds a snapshot from generated entries. `name_idx % 3` fixes the
+/// kind (counter / gauge / histogram), so a name never changes kind
+/// across workers.
+fn build(at: u64, entries: &[Entry]) -> Snapshot {
+    let mut pairs: Vec<(String, MetricValue)> = Vec::new();
+    for &(name_idx, value, extra) in entries {
+        let slot = name_idx % 12;
+        let (prefix, metric) = match slot % 3 {
+            0 => ("counter", MetricValue::Counter(value)),
+            1 => ("gauge", MetricValue::Gauge(value as f64)),
+            _ => {
+                let mut h = Histogram::new();
+                h.record(value);
+                h.record_n(extra, extra % 5);
+                ("hist", MetricValue::Histogram(h))
+            }
+        };
+        pairs.push((format!("{prefix}.{slot}"), metric));
+    }
+    Snapshot::from_iter(at, pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec((0u8..24, 0u64..100_000, 0u64..64), 0..10),
+        b in prop::collection::vec((0u8..24, 0u64..100_000, 0u64..64), 0..10),
+        (at_a, at_b) in (0u64..1000, 0u64..1000),
+    ) {
+        let (a, b) = (build(at_a, &a), build(at_b, &b));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec((0u8..24, 0u64..100_000, 0u64..64), 0..8),
+        b in prop::collection::vec((0u8..24, 0u64..100_000, 0u64..64), 0..8),
+        c in prop::collection::vec((0u8..24, 0u64..100_000, 0u64..64), 0..8),
+    ) {
+        let (a, b, c) = (build(1, &a), build(2, &b), build(3, &c));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    #[test]
+    fn merge_all_matches_any_pairing(
+        workers in prop::collection::vec(
+            prop::collection::vec((0u8..24, 0u64..100_000, 0u64..64), 0..6),
+            0..6,
+        ),
+    ) {
+        let snaps: Vec<Snapshot> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| build(i as u64, w))
+            .collect();
+        let folded = Snapshot::merge_all(snaps.clone());
+        // Reverse reduction order: identical result.
+        let reversed = Snapshot::merge_all(snaps.into_iter().rev());
+        prop_assert_eq!(folded, reversed);
+    }
+}

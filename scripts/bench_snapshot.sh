@@ -3,9 +3,12 @@
 # the per-experiment reports into one JSON array, BENCH_PR.json, at the
 # repo root. Attach that file to a PR to snapshot the benchmark state.
 #
-# The binaries are independent (each writes its own report file), so they
-# run concurrently; the concatenation order is still the sorted source
-# order, so the output is byte-identical to a serial run.
+# Parallelism lives *inside* each binary now (the ia-par worker pool,
+# exposed as --threads): the binaries run one at a time, each using every
+# core, and the report bytes are identical at any thread count — so the
+# output is byte-identical to a fully serial run. Each binary's exit code
+# is checked individually: one crashing experiment fails the whole script
+# instead of silently truncating the snapshot.
 #
 # Usage: scripts/bench_snapshot.sh [output-path]
 set -euo pipefail
@@ -23,18 +26,20 @@ for src in crates/bench/src/bin/exp*.rs; do
     bins+=("$(basename "$src" .rs)")
 done
 
-jobs="$(nproc 2>/dev/null || echo 4)"
-running=0
+threads="$(nproc 2>/dev/null || echo 1)"
+failed=()
 for bin in "${bins[@]}"; do
-    echo "running $bin --quick" >&2
-    "target/release/$bin" --quick --json "$tmpdir/$bin.json" > /dev/null &
-    running=$((running + 1))
-    if [ "$running" -ge "$jobs" ]; then
-        wait -n
-        running=$((running - 1))
+    echo "running $bin --quick --threads $threads" >&2
+    if ! "target/release/$bin" --quick --threads "$threads" \
+            --json "$tmpdir/$bin.json" > /dev/null; then
+        echo "FAILED: $bin" >&2
+        failed+=("$bin")
     fi
 done
-wait
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "aborting: ${#failed[@]} experiment(s) failed: ${failed[*]}" >&2
+    exit 1
+fi
 
 echo "[" > "$out.tmp"
 first=1
@@ -50,4 +55,4 @@ echo "" >> "$out.tmp"
 echo "]" >> "$out.tmp"
 mv "$out.tmp" "$out"
 
-echo "wrote $out (${#bins[@]} experiments)" >&2
+echo "wrote $out (${#bins[@]} experiments, --threads $threads)" >&2

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== parallel determinism (--threads 1 vs --threads 4 byte-identity)"
+cargo test -q --test parallel_determinism
+
+echo "== --threads 2 smoke run (exercises the multi-worker pool on any host)"
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- --quick --threads 2 > /dev/null
+
 echo "CI gate passed."

@@ -1,0 +1,45 @@
+//! The `ia-par` determinism contract, end to end: a representative
+//! experiment's machine-readable report must be **byte-identical**
+//! between `--threads 1` (the exact serial path) and `--threads 4`
+//! (multi-worker pool on any host, including single-core CI).
+//!
+//! The thread count is process-global (`ia_par::set_threads`), so each
+//! test holds a lock while it flips the setting; the lock also keeps
+//! the comparison honest — no other thread can change the worker count
+//! between the two runs.
+
+use std::sync::Mutex;
+
+static THREADS_GUARD: Mutex<()> = Mutex::new(());
+
+/// Renders `report(quick)` at `--threads 1` and `--threads 4` and
+/// asserts the JSON bytes match.
+fn assert_byte_identical(name: &str, report: impl Fn(bool) -> ia_bench::report::ExperimentReport) {
+    let _guard = THREADS_GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    ia_par::set_threads(1);
+    let serial = report(true).to_json().render();
+    ia_par::set_threads(4);
+    let parallel = report(true).to_json().render();
+    ia_par::set_threads(0);
+    assert_eq!(
+        serial, parallel,
+        "{name}: report bytes differ between --threads 1 and --threads 4"
+    );
+}
+
+#[test]
+fn exp05_scheduler_suite_is_thread_count_invariant() {
+    assert_byte_identical("exp05", ia_bench::exp05_scheduler_suite::report);
+}
+
+#[test]
+fn exp17_prefetchers_is_thread_count_invariant() {
+    assert_byte_identical("exp17", ia_bench::exp17_prefetchers::report);
+}
+
+#[test]
+fn exp18_noc_is_thread_count_invariant() {
+    assert_byte_identical("exp18", ia_bench::exp18_noc::report);
+}
