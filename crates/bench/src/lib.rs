@@ -36,6 +36,7 @@ pub mod exp20_eden;
 pub mod exp21_memscale;
 pub mod exp22_runahead;
 pub mod exp23_gsdram;
+pub mod exp24_fault_injection;
 
 pub mod mixes;
 pub mod report;

@@ -244,20 +244,24 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// printed to stderr and attached to the report as
 /// [runtime metrics](ExperimentReport::runtime_metric).
 ///
-/// # Panics
+/// # Exits
 ///
-/// Panics if `--threads` is not a positive integer or a requested
-/// output file cannot be written — an experiment binary has nothing
-/// sensible to do with either.
+/// Exits with status `2` (after a message on stderr, no backtrace) if
+/// `--threads` is not a positive integer or a requested output file
+/// cannot be written — an experiment binary has nothing sensible to do
+/// with either, and callers (CI, sweep scripts) key off the exit code.
 pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> ExperimentReport) {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     if let Some(t) = flag_value(&args, "--threads") {
-        let n: usize = t
-            .parse()
+        let n = t
+            .parse::<usize>()
             .ok()
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| panic!("--threads expects a positive integer, got `{t}`"));
+            .unwrap_or_else(|| {
+                eprintln!("error: --threads expects a positive integer, got `{t}`");
+                std::process::exit(2);
+            });
         ia_par::set_threads(n);
     }
     let json_path = flag_value(&args, "--json");
@@ -273,10 +277,20 @@ pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> Experi
     if let Some(path) = json_path {
         let mut text = rep.to_json().render();
         text.push('\n');
-        std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        write_or_exit(&path, &text);
     }
     if let Some(path) = csv_path {
-        std::fs::write(&path, rep.to_csv()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        write_or_exit(&path, &rep.to_csv());
+    }
+}
+
+/// Writes `text` to `path`, or reports the failure on stderr and exits
+/// with status `2` — a clean error for callers instead of a panic
+/// backtrace.
+fn write_or_exit(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(2);
     }
 }
 

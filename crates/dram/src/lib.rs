@@ -43,6 +43,7 @@ mod channel;
 mod config;
 mod energy;
 mod error;
+mod inject;
 mod latency;
 mod module;
 mod rank;
@@ -56,6 +57,7 @@ pub use channel::Channel;
 pub use config::{DramConfig, DramConfigBuilder, EnergyParams, Geometry, TimingParams};
 pub use energy::EnergyCounter;
 pub use error::{ConfigError, IssueError, IssueErrorReason};
+pub use inject::InjectEvent;
 pub use latency::{ChargeCacheState, LatencyMode};
 pub use module::{AccessResult, CommandEvent, DramModule};
 pub use rank::Rank;

@@ -5,6 +5,7 @@
 use ia_telemetry::{MetricSource, Scope, TraceBuffer};
 
 use crate::error::{ConfigError, IssueError};
+use crate::inject::{InjectEvent, InjectLog};
 use crate::latency::{ChargeCacheState, LatencyMode};
 use crate::{
     AccessKind, AddressMapping, Channel, Command, Cycle, DramConfig, DramStats, EnergyCounter,
@@ -66,6 +67,7 @@ pub struct DramModule {
     latency: LatencyMode,
     charge_cache: ChargeCacheState,
     trace: TraceBuffer<CommandEvent>,
+    inject: InjectLog,
 }
 
 impl DramModule {
@@ -88,6 +90,7 @@ impl DramModule {
             latency: LatencyMode::Standard,
             charge_cache: ChargeCacheState::new(),
             trace: TraceBuffer::disabled(),
+            inject: InjectLog::default(),
         })
     }
 
@@ -103,6 +106,27 @@ impl DramModule {
     #[must_use]
     pub fn trace(&self) -> &TraceBuffer<CommandEvent> {
         &self.trace
+    }
+
+    /// Enables the fault-injection observation point: activates, column
+    /// reads/writes, and rank refreshes are recorded as [`InjectEvent`]s
+    /// for the controller to drain via
+    /// [`drain_inject_events`](DramModule::drain_inject_events) and feed
+    /// to its fault model. Off by default; one branch per command when
+    /// off.
+    pub fn enable_injection(&mut self) {
+        self.inject.enable();
+    }
+
+    /// Whether the injection observation point is recording.
+    #[must_use]
+    pub fn injection_enabled(&self) -> bool {
+        self.inject.is_enabled()
+    }
+
+    /// Moves all pending injection events into `out` in issue order.
+    pub fn drain_inject_events(&mut self, out: &mut Vec<InjectEvent>) {
+        self.inject.drain_into(out);
     }
 
     /// Sets the address mapping (consumes and returns `self` for chaining).
@@ -267,6 +291,37 @@ impl DramModule {
             bank: bank_idx,
             cmd,
         });
+        match cmd {
+            Command::Activate { row } => self.inject.record_with(|| InjectEvent::Activate {
+                at: now,
+                channel: loc.channel,
+                rank: loc.rank,
+                bank: bank_idx,
+                row,
+            }),
+            Command::Read { column } => self.inject.record_with(|| InjectEvent::Read {
+                at: now,
+                channel: loc.channel,
+                rank: loc.rank,
+                bank: bank_idx,
+                row: loc.row,
+                column,
+            }),
+            Command::Write { column } => self.inject.record_with(|| InjectEvent::Write {
+                at: now,
+                channel: loc.channel,
+                rank: loc.rank,
+                bank: bank_idx,
+                row: loc.row,
+                column,
+            }),
+            Command::Refresh => self.inject.record_with(|| InjectEvent::Refresh {
+                at: now,
+                channel: loc.channel,
+                rank: loc.rank,
+            }),
+            Command::Precharge => {}
+        }
         self.energy
             .record(&cmd, self.config.geometry.column_bytes, &self.config.energy);
         match cmd {
@@ -371,6 +426,8 @@ impl DramModule {
             .ready_at(rank, 0, &Command::Refresh, &timing)
             .max(earliest);
         self.channels[channel].issue(rank, 0, Command::Refresh, at, &timing)?;
+        self.inject
+            .record_with(|| InjectEvent::Refresh { at, channel, rank });
         self.stats.refreshes += 1;
         self.energy
             .record(&Command::Refresh, 0, &self.config.energy);
@@ -566,6 +623,51 @@ mod tests {
         }
         assert_eq!(dram.trace().len(), 2, "ring stays bounded");
         assert!(dram.trace().dropped() > 0, "overwrites are counted");
+    }
+
+    #[test]
+    fn injection_log_captures_activate_read_write_refresh() {
+        let mut dram = module();
+        assert!(!dram.injection_enabled());
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        let mut events = Vec::new();
+        dram.drain_inject_events(&mut events);
+        assert!(events.is_empty(), "off by default");
+
+        dram.enable_injection();
+        dram.access(PhysAddr::new(64), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        dram.access(PhysAddr::new(128), AccessKind::Write, Cycle::ZERO)
+            .unwrap();
+        dram.refresh_rank(0, 0, Cycle::new(10_000)).unwrap();
+        dram.drain_inject_events(&mut events);
+        assert!(
+            matches!(
+                events[0],
+                InjectEvent::Read {
+                    row: 0,
+                    column: 1,
+                    ..
+                }
+            ),
+            "row already open: read only — got {:?}",
+            events[0]
+        );
+        assert!(matches!(
+            events[1],
+            InjectEvent::Write {
+                row: 0,
+                column: 2,
+                ..
+            }
+        ));
+        assert!(matches!(events.last(), Some(InjectEvent::Refresh { .. })));
+        let drained = events.len();
+        let mut again = Vec::new();
+        dram.drain_inject_events(&mut again);
+        assert!(again.is_empty(), "drain is destructive");
+        assert!(drained >= 3);
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! The injector: executes a [`FaultPlan`] against the stream of DRAM
+//! events and answers "which bits of this codeword are wrong right now?"
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::plan::{FaultKind, FaultPlan};
+use crate::rng::{
+    chance, fold, hash, unit, STREAM_DECAY, STREAM_HAMMER, STREAM_STUCK, STREAM_TRANSIENT,
+    STREAM_WEAK,
+};
+
+/// Bits per protected word: 64 data + 8 SECDED check bits. Flip masks
+/// index the same 0..72 space as `ia_reliability::ecc::inject_error`.
+pub const CODEWORD_BITS: u32 = 72;
+
+/// Identity of one DRAM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowSite {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+impl RowSite {
+    fn key(&self) -> RowKey {
+        (self.channel, self.rank, self.bank, self.row)
+    }
+
+    fn folded(&self) -> u64 {
+        fold(self.channel, self.rank, self.bank, self.row)
+    }
+}
+
+type RowKey = (usize, usize, usize, u64);
+type WordKey = (RowKey, u64);
+
+/// Which bits of a 72-bit codeword read back flipped, and which of those
+/// are transient (absent on a retry of the same read).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlipMask {
+    /// Every flipped bit, persistent and transient combined.
+    pub bits: u128,
+    /// The subset of `bits` that a retry does not see.
+    pub transient: u128,
+}
+
+impl FlipMask {
+    /// No flips at all.
+    pub const CLEAN: FlipMask = FlipMask {
+        bits: 0,
+        transient: 0,
+    };
+
+    /// True when nothing flipped.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The bits a retry still sees: stuck-at and uncorrected soft flips.
+    #[must_use]
+    pub fn persistent(&self) -> u128 {
+        self.bits & !self.transient
+    }
+
+    /// Number of flipped bits.
+    #[must_use]
+    pub fn flipped(&self) -> u32 {
+        self.bits.count_ones()
+    }
+}
+
+/// Lifetime counters for one injector, broken out per mechanism.
+/// `ia-memctrl` mirrors these into its telemetry scope.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// RowHammer victim bits newly flipped.
+    pub rowhammer_flips: u64,
+    /// Retention bits newly flipped after a refresh-interval overrun.
+    pub retention_flips: u64,
+    /// Transient bus/command errors raised.
+    pub transient_flips: u64,
+    /// Stuck-at cells discovered (counted once each).
+    pub stuck_cells: u64,
+    /// Scripted faults that have manifested.
+    pub scripted_applied: u64,
+    /// Scrub writes observed (soft-flip clears).
+    pub scrubs: u64,
+    /// Targeted per-row refreshes observed (escalation/quarantine hook).
+    pub row_refreshes: u64,
+    /// Reads that returned a non-clean mask.
+    pub reads_faulted: u64,
+}
+
+impl FaultStats {
+    /// Total bits injected across every mechanism.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.rowhammer_flips
+            + self.retention_flips
+            + self.transient_flips
+            + self.stuck_cells
+            + self.scripted_applied
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} injected (rh {}, ret {}, bus {}, stuck {}, scripted {}), {} faulted reads, {} scrubs, {} row refreshes",
+            self.injected(),
+            self.rowhammer_flips,
+            self.retention_flips,
+            self.transient_flips,
+            self.stuck_cells,
+            self.scripted_applied,
+            self.reads_faulted,
+            self.scrubs,
+            self.row_refreshes,
+        )
+    }
+}
+
+/// The hook a fault model exposes to the memory stack. `ia-dram` emits
+/// the events; `ia-memctrl`'s reliability pipeline forwards them and
+/// consumes the returned flip masks on reads.
+///
+/// The contract mirrors device physics:
+///
+/// * **activate** restores the opened row's charge (any overdue decay
+///   materializes as flips *first*, because the decayed value is what
+///   the sense amps latch) and disturbs the two neighbor rows.
+/// * **read** returns the current flip mask for one codeword.
+/// * **write** rewrites one codeword — the scrub path — clearing soft
+///   flips but never stuck-at cells.
+/// * **refresh** is the rank-level auto-refresh command stream.
+/// * **row_refresh** is a targeted refresh of one row — the mitigation
+///   feedback edge: refresh-rate escalation and victim-row care use it
+///   to reset that row's decay clock and disturbance exposure.
+pub trait Inject: fmt::Debug + Send {
+    /// A row was activated at cycle `now`.
+    fn on_activate(&mut self, site: &RowSite, now: u64);
+    /// Word `word` of the given row is being read at cycle `now`.
+    fn on_read(&mut self, site: &RowSite, word: u64, now: u64) -> FlipMask;
+    /// Word `word` of the given row is being (re)written at cycle `now`.
+    fn on_write(&mut self, site: &RowSite, word: u64, now: u64);
+    /// A rank-level refresh command executed at cycle `now`.
+    fn on_refresh(&mut self, channel: usize, rank: usize, now: u64);
+    /// A targeted single-row refresh executed at cycle `now`.
+    fn on_row_refresh(&mut self, site: &RowSite, now: u64);
+    /// Lifetime injection counters.
+    fn stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// A hook that never injects anything — the "fault-free device".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl Inject for NoFaults {
+    fn on_activate(&mut self, _site: &RowSite, _now: u64) {}
+    fn on_read(&mut self, _site: &RowSite, _word: u64, _now: u64) -> FlipMask {
+        FlipMask::CLEAN
+    }
+    fn on_write(&mut self, _site: &RowSite, _word: u64, _now: u64) {}
+    fn on_refresh(&mut self, _channel: usize, _rank: usize, _now: u64) {}
+    fn on_row_refresh(&mut self, _site: &RowSite, _now: u64) {}
+}
+
+/// Executes a [`FaultPlan`]: tracks per-row disturbance exposure and
+/// decay clocks, materializes flips per the plan's probabilistic model
+/// plus its scripted list, and serves flip masks on reads.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Soft (scrubbable) flips per codeword: RowHammer, retention,
+    /// scripted soft faults.
+    soft: HashMap<WordKey, u128>,
+    /// Stuck-at masks per codeword, materialized lazily on first touch
+    /// (`None` entries are never stored — absence means "not yet
+    /// examined", zero means "examined, not stuck").
+    stuck: HashMap<WordKey, u128>,
+    /// Aggressor activations absorbed per victim row since its last
+    /// refresh.
+    exposure: HashMap<RowKey, u64>,
+    /// Last cycle each row was individually restored (activate, write,
+    /// or targeted refresh).
+    row_restored: HashMap<RowKey, u64>,
+    /// Last cycle a full refresh pass completed, per (channel, rank).
+    rank_epoch: HashMap<(usize, usize), u64>,
+    /// Rank-refresh commands seen so far, per (channel, rank).
+    refresh_calls: HashMap<(usize, usize), u64>,
+    /// Monotonic read counter — the transient-error decision key.
+    reads: u64,
+    /// Which scripted faults have manifested.
+    scripted_done: Vec<bool>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector for the given plan (see [`FaultPlan::build`]).
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let scripted_done = vec![false; plan.scripted.len()];
+        FaultInjector {
+            plan,
+            soft: HashMap::new(),
+            stuck: HashMap::new(),
+            exposure: HashMap::new(),
+            row_restored: HashMap::new(),
+            rank_epoch: HashMap::new(),
+            refresh_calls: HashMap::new(),
+            reads: 0,
+            scripted_done,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The campaign this injector executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True for rows in the fault-immune spare pool.
+    fn immune(&self, row: u64) -> bool {
+        self.plan.spare_floor.is_some_and(|floor| row >= floor)
+    }
+
+    /// Last cycle this row's charge was known-good: the later of its
+    /// individual restore and the last full rank refresh pass.
+    fn last_restored(&self, key: RowKey) -> u64 {
+        let rank_pass = self.rank_epoch.get(&(key.0, key.1)).copied().unwrap_or(0);
+        let row = self.row_restored.get(&key).copied().unwrap_or(0);
+        rank_pass.max(row)
+    }
+
+    /// The row's hash-drawn retention limit in cycles, or `None` if the
+    /// row is not retention-weak (or retention is disabled).
+    fn retention_limit(&self, site: &RowSite) -> Option<u64> {
+        if self.plan.retention_weak_prob <= 0.0 || self.plan.refresh_window == 0 {
+            return None;
+        }
+        let folded = site.folded();
+        if !chance(
+            hash(self.plan.seed, STREAM_WEAK, folded, 0),
+            self.plan.retention_weak_prob,
+        ) {
+            return None;
+        }
+        // Weak limits span 25–90% of the nominal window: short enough to
+        // overrun under baseline refresh, long enough that a 2x–4x
+        // escalated rate always covers them.
+        let frac = 0.25 + 0.65 * unit(hash(self.plan.seed, STREAM_WEAK, folded, 1));
+        Some(((self.plan.refresh_window as f64 * frac) as u64).max(1))
+    }
+
+    /// Sets one soft flip bit, counting it only if newly set. Returns
+    /// true when the bit was new.
+    fn set_soft(&mut self, key: WordKey, bit: u32) -> bool {
+        let slot = self.soft.entry(key).or_insert(0);
+        let mask = 1u128 << bit;
+        if *slot & mask == 0 {
+            *slot |= mask;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Materializes (or recalls) the stuck-at mask for one codeword.
+    fn stuck_mask(&mut self, site: &RowSite, word: u64) -> u128 {
+        if self.plan.stuck_prob <= 0.0 {
+            return self.stuck.get(&(site.key(), word)).copied().unwrap_or(0);
+        }
+        let key = (site.key(), word);
+        if let Some(&mask) = self.stuck.get(&key) {
+            return mask;
+        }
+        let folded = site.folded();
+        let h = hash(self.plan.seed, STREAM_STUCK, folded, word);
+        let mask = if chance(h, self.plan.stuck_prob) {
+            let bit =
+                hash(self.plan.seed, STREAM_STUCK, folded ^ h, word) % u64::from(CODEWORD_BITS);
+            self.stats.stuck_cells += 1;
+            1u128 << bit
+        } else {
+            0
+        };
+        self.stuck.insert(key, mask);
+        mask
+    }
+
+    /// Applies any scripted faults targeting this codeword that are due.
+    fn apply_scripted(&mut self, site: &RowSite, word: u64, now: u64) -> u128 {
+        let mut transient = 0u128;
+        for i in 0..self.plan.scripted.len() {
+            if self.scripted_done[i] {
+                continue;
+            }
+            let f = self.plan.scripted[i];
+            let matches = f.channel == site.channel
+                && f.rank == site.rank
+                && f.bank == site.bank
+                && f.row == site.row
+                && f.word == word
+                && now >= f.at;
+            if !matches {
+                continue;
+            }
+            self.scripted_done[i] = true;
+            self.stats.scripted_applied += 1;
+            let bit = u32::from(f.bit) % CODEWORD_BITS;
+            match f.kind {
+                FaultKind::StuckAt => {
+                    *self.stuck.entry((site.key(), word)).or_insert(0) |= 1u128 << bit;
+                }
+                FaultKind::TransientBus => {
+                    transient |= 1u128 << bit;
+                }
+                FaultKind::RowHammer | FaultKind::Retention => {
+                    self.set_soft((site.key(), word), bit);
+                }
+            }
+        }
+        transient
+    }
+
+    /// Disturbs one neighbor of an activated aggressor row.
+    fn hammer(&mut self, victim: RowSite) {
+        if self.immune(victim.row) {
+            return;
+        }
+        let key = victim.key();
+        let count = self.exposure.entry(key).or_insert(0);
+        *count += 1;
+        if !(*count).is_multiple_of(self.plan.rowhammer_threshold) {
+            return;
+        }
+        let trip = *count / self.plan.rowhammer_threshold;
+        let folded = victim.folded();
+        let h = hash(self.plan.seed, STREAM_HAMMER, folded, trip);
+        if !chance(h, self.plan.rowhammer_flip_prob) {
+            return;
+        }
+        let word = hash(self.plan.seed, STREAM_HAMMER, folded ^ h, trip) % self.plan.words_per_row;
+        let bit = (hash(self.plan.seed, STREAM_HAMMER, folded.wrapping_add(h), trip)
+            % u64::from(CODEWORD_BITS)) as u32;
+        if self.set_soft((key, word), bit) {
+            self.stats.rowhammer_flips += 1;
+        }
+    }
+}
+
+impl Inject for FaultInjector {
+    fn on_activate(&mut self, site: &RowSite, now: u64) {
+        if self.immune(site.row) {
+            return;
+        }
+        let key = site.key();
+        // Retention: the decayed value is latched before the activate
+        // restores charge, so an overrun materializes a flip first.
+        if let Some(limit) = self.retention_limit(site) {
+            let restored = self.last_restored(key);
+            if now.saturating_sub(restored) > limit {
+                let folded = site.folded();
+                let word =
+                    hash(self.plan.seed, STREAM_DECAY, folded, restored) % self.plan.words_per_row;
+                let bit = (hash(
+                    self.plan.seed,
+                    STREAM_DECAY,
+                    folded ^ restored.wrapping_add(1),
+                    1,
+                ) % u64::from(CODEWORD_BITS)) as u32;
+                if self.set_soft((key, word), bit) {
+                    self.stats.retention_flips += 1;
+                }
+            }
+        }
+        self.row_restored.insert(key, now);
+        // Disturbance: both physical neighbors absorb one exposure hit.
+        if self.plan.rowhammer_threshold > 0 {
+            if site.row > 0 {
+                self.hammer(RowSite {
+                    row: site.row - 1,
+                    ..*site
+                });
+            }
+            if site.row + 1 < self.plan.rows_per_bank {
+                self.hammer(RowSite {
+                    row: site.row + 1,
+                    ..*site
+                });
+            }
+        }
+    }
+
+    fn on_read(&mut self, site: &RowSite, word: u64, now: u64) -> FlipMask {
+        if self.immune(site.row) {
+            return FlipMask::CLEAN;
+        }
+        self.reads += 1;
+        let mut transient = self.apply_scripted(site, word, now);
+        let mut bits = self.stuck_mask(site, word);
+        bits |= self.soft.get(&(site.key(), word)).copied().unwrap_or(0);
+        if self.plan.transient_prob > 0.0 {
+            let h = hash(self.plan.seed, STREAM_TRANSIENT, self.reads, 0);
+            if chance(h, self.plan.transient_prob) {
+                let bit = hash(self.plan.seed, STREAM_TRANSIENT, self.reads, 1)
+                    % u64::from(CODEWORD_BITS);
+                transient |= 1u128 << bit;
+                self.stats.transient_flips += 1;
+            }
+        }
+        bits |= transient;
+        if bits != 0 {
+            self.stats.reads_faulted += 1;
+        }
+        FlipMask { bits, transient }
+    }
+
+    fn on_write(&mut self, site: &RowSite, word: u64, now: u64) {
+        if self.immune(site.row) {
+            return;
+        }
+        let key = site.key();
+        if self.soft.remove(&(key, word)).is_some() {
+            self.stats.scrubs += 1;
+        }
+        // Writing implies the row is open: its charge is restored.
+        self.row_restored.insert(key, now);
+    }
+
+    fn on_refresh(&mut self, channel: usize, rank: usize, now: u64) {
+        let calls = self.refresh_calls.entry((channel, rank)).or_insert(0);
+        *calls += 1;
+        if (*calls).is_multiple_of(self.plan.slots_per_window) {
+            // A full pass completed: every row in the rank is restored
+            // and its disturbance exposure cleared.
+            self.rank_epoch.insert((channel, rank), now);
+            self.exposure
+                .retain(|key, _| !(key.0 == channel && key.1 == rank));
+        }
+    }
+
+    fn on_row_refresh(&mut self, site: &RowSite, now: u64) {
+        self.row_restored.insert(site.key(), now);
+        self.exposure.remove(&site.key());
+        self.stats.row_refreshes += 1;
+    }
+
+    fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScriptedFault;
+
+    fn site(row: u64) -> RowSite {
+        RowSite {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row,
+        }
+    }
+
+    #[test]
+    fn unconfigured_plan_injects_nothing() {
+        let mut inj = FaultPlan::new(1).build();
+        for row in 0..64 {
+            inj.on_activate(&site(row), row * 10);
+            for word in 0..8 {
+                assert!(inj.on_read(&site(row), word, row * 10 + 1).is_clean());
+            }
+        }
+        assert_eq!(inj.stats().injected(), 0);
+    }
+
+    #[test]
+    fn rowhammer_flips_keyed_to_activation_counts() {
+        let mut inj = FaultPlan::new(7)
+            .geometry(1 << 10, 8)
+            .rowhammer(100, 1.0)
+            .build();
+        // Hammer row 5: rows 4 and 6 are the victims.
+        for n in 0..1_000u64 {
+            inj.on_activate(&site(5), n);
+        }
+        // 1000 activations / threshold 100 = 10 trips per victim at
+        // p=1.0; each trip flips one (possibly repeated) bit.
+        assert!(inj.stats().rowhammer_flips >= 2, "{}", inj.stats());
+        // Flips land in the victims, not the aggressor.
+        let mut victim_hit = false;
+        for word in 0..8 {
+            assert!(inj.on_read(&site(5), word, 1_000).is_clean());
+            victim_hit |= !inj.on_read(&site(4), word, 1_000).is_clean();
+            victim_hit |= !inj.on_read(&site(6), word, 1_000).is_clean();
+        }
+        assert!(victim_hit, "victim rows carry the flips");
+    }
+
+    #[test]
+    fn rowhammer_exposure_resets_on_row_refresh() {
+        let mut a = FaultPlan::new(7)
+            .geometry(1 << 10, 8)
+            .rowhammer(100, 1.0)
+            .build();
+        let mut b = FaultPlan::new(7)
+            .geometry(1 << 10, 8)
+            .rowhammer(100, 1.0)
+            .build();
+        for n in 0..990u64 {
+            a.on_activate(&site(5), n);
+            b.on_activate(&site(5), n);
+            if n % 50 == 0 {
+                // b's victims get targeted refreshes well under the
+                // threshold cadence: exposure never reaches 100.
+                b.on_row_refresh(&site(4), n);
+                b.on_row_refresh(&site(6), n);
+            }
+        }
+        assert!(a.stats().rowhammer_flips > 0);
+        assert_eq!(b.stats().rowhammer_flips, 0, "quarantined victims survive");
+    }
+
+    #[test]
+    fn retention_flip_requires_an_overrun_and_scrub_clears_it() {
+        // weak_prob 1.0: every row is weak, limit in 25–90% of 1000.
+        let plan = FaultPlan::new(3)
+            .geometry(1 << 10, 4)
+            .retention(1.0, 1000, 1);
+        let mut inj = plan.build();
+        inj.on_activate(&site(9), 0); // restore at t=0
+        inj.on_activate(&site(9), 100); // 100 < limit: no decay
+        assert_eq!(inj.stats().retention_flips, 0);
+        inj.on_activate(&site(9), 5_000); // way past any limit: flip
+        assert_eq!(inj.stats().retention_flips, 1);
+        let flipped: Vec<u64> = (0..4)
+            .filter(|&w| !inj.on_read(&site(9), w, 5_001).is_clean())
+            .collect();
+        assert_eq!(flipped.len(), 1);
+        // Scrub the word: the flip is gone and the clock reset.
+        inj.on_write(&site(9), flipped[0], 5_002);
+        assert!(inj.on_read(&site(9), flipped[0], 5_003).is_clean());
+        inj.on_activate(&site(9), 5_100); // fresh again: no new flip
+        assert_eq!(inj.stats().retention_flips, 1);
+    }
+
+    #[test]
+    fn escalated_row_refresh_prevents_retention_overruns() {
+        let mut inj = FaultPlan::new(3)
+            .geometry(1 << 10, 4)
+            .retention(1.0, 1000, 1)
+            .build();
+        // Refresh row 9 every 200 cycles (< 250, the minimum limit):
+        // even a 10-window idle stretch decays nothing.
+        for t in (0..10_000u64).step_by(200) {
+            inj.on_row_refresh(&site(9), t);
+        }
+        inj.on_activate(&site(9), 10_050);
+        assert_eq!(inj.stats().retention_flips, 0);
+    }
+
+    #[test]
+    fn transient_errors_vanish_on_retry_semantics() {
+        let mut inj = FaultPlan::new(11)
+            .geometry(1 << 10, 8)
+            .transient(1.0)
+            .build();
+        let mask = inj.on_read(&site(0), 0, 10);
+        assert!(!mask.is_clean());
+        assert_eq!(mask.bits, mask.transient, "pure transient");
+        assert_eq!(mask.persistent(), 0);
+    }
+
+    #[test]
+    fn stuck_cells_survive_scrubbing() {
+        // stuck_prob 1.0: every word has a stuck bit.
+        let mut inj = FaultPlan::new(5).geometry(1 << 10, 8).stuck(1.0).build();
+        let before = inj.on_read(&site(3), 2, 10);
+        assert!(!before.is_clean());
+        assert_eq!(before.transient, 0);
+        inj.on_write(&site(3), 2, 11);
+        let after = inj.on_read(&site(3), 2, 12);
+        assert_eq!(after.bits, before.bits, "write does not heal stuck-at");
+        assert_eq!(inj.stats().stuck_cells, 1, "counted once");
+    }
+
+    #[test]
+    fn spare_rows_are_immune() {
+        let mut inj = FaultPlan::new(9)
+            .geometry(1 << 10, 8)
+            .spare_floor(1000)
+            .rowhammer(1, 1.0)
+            .retention(1.0, 100, 1)
+            .transient(1.0)
+            .stuck(1.0)
+            .build();
+        inj.on_activate(&site(1001), 50_000);
+        for word in 0..8 {
+            assert!(inj.on_read(&site(1000), word, 50_001).is_clean());
+            assert!(inj.on_read(&site(1023), word, 50_001).is_clean());
+        }
+        assert_eq!(inj.stats().injected(), 0);
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_at_their_cycle() {
+        let fault = ScriptedFault {
+            at: 100,
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 7,
+            word: 3,
+            bit: 42,
+            kind: FaultKind::Retention,
+        };
+        let mut inj = FaultPlan::new(1).geometry(1 << 10, 8).script(fault).build();
+        assert!(inj.on_read(&site(7), 3, 50).is_clean(), "not due yet");
+        let mask = inj.on_read(&site(7), 3, 150);
+        assert_eq!(mask.bits, 1u128 << 42);
+        assert_eq!(inj.stats().scripted_applied, 1);
+        inj.on_write(&site(7), 3, 160);
+        assert!(inj.on_read(&site(7), 3, 170).is_clean(), "soft kind scrubs");
+    }
+
+    #[test]
+    fn decisions_are_order_independent() {
+        // Same plan, rows touched in opposite orders: each row's fate is
+        // identical because decisions key on identity, not sequence.
+        let plan = FaultPlan::new(42)
+            .geometry(1 << 10, 8)
+            .rowhammer(10, 0.5)
+            .stuck(0.1);
+        let mut fwd = plan.clone().build();
+        let mut rev = plan.build();
+        let rows: Vec<u64> = (0..50).collect();
+        for &r in &rows {
+            for n in 0..30u64 {
+                fwd.on_activate(&site(r), n);
+            }
+        }
+        for &r in rows.iter().rev() {
+            for n in 0..30u64 {
+                rev.on_activate(&site(r), n);
+            }
+        }
+        for &r in &rows {
+            for w in 0..8 {
+                assert_eq!(
+                    fwd.on_read(&site(r), w, 10_000).bits,
+                    rev.on_read(&site(r), w, 10_000).bits,
+                    "row {r} word {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_refresh_pass_restores_rows() {
+        let mut inj = FaultPlan::new(3)
+            .geometry(1 << 10, 4)
+            .retention(1.0, 1000, 4)
+            .build();
+        // 4 slots per window: passes complete on calls 4, 8, ...
+        for (i, t) in (0..8u64).map(|i| (i, i * 250)).collect::<Vec<_>>() {
+            inj.on_refresh(0, 0, t);
+            let _ = i;
+        }
+        // Last pass completed at t=1750; an activate at 2000 is only 250
+        // cycles later — under every possible limit, so no flip.
+        inj.on_activate(&site(77), 2_000);
+        assert_eq!(inj.stats().retention_flips, 0);
+        // But 5000 cycles after the pass is past every limit (max 900).
+        let mut stale = FaultPlan::new(3)
+            .geometry(1 << 10, 4)
+            .retention(1.0, 1000, 4)
+            .build();
+        for t in 0..8u64 {
+            stale.on_refresh(0, 0, t * 250);
+        }
+        stale.on_activate(&site(77), 6_750);
+        assert_eq!(stale.stats().retention_flips, 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Campaign description: which faults exist, at what rates, where.
+
+/// The physical mechanism behind an injected fault. Mitigations key off
+/// this: RowHammer flips respond to quarantine, retention flips to
+/// refresh-rate escalation, transient errors to retry, stuck-at cells
+/// only to remapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Disturbance flip in a victim row caused by aggressor activations.
+    RowHammer,
+    /// Charge-leak flip in a weak cell whose refresh interval was
+    /// overrun.
+    Retention,
+    /// One-shot bus/command error: corrupts a single transfer, gone on
+    /// retry.
+    TransientBus,
+    /// Permanently defective cell: reads wrong on every access, immune
+    /// to scrubbing — only remapping helps.
+    StuckAt,
+}
+
+/// One scripted fault: a deterministic event placed by hand rather than
+/// drawn from the probabilistic model. Applied the first time the target
+/// word is read at or after `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Earliest cycle the fault may manifest.
+    pub at: u64,
+    /// Channel of the target row.
+    pub channel: usize,
+    /// Rank of the target row.
+    pub rank: usize,
+    /// Bank of the target row.
+    pub bank: usize,
+    /// Row index inside the bank.
+    pub row: u64,
+    /// Word index inside the row (one word = one 72-bit SECDED codeword).
+    pub word: u64,
+    /// Which codeword bit flips (0..72; 64+ are check bits).
+    pub bit: u8,
+    /// Mechanism — decides persistence semantics (see [`FaultKind`]).
+    pub kind: FaultKind,
+}
+
+/// A seed-deterministic fault campaign: geometry, per-mechanism rates,
+/// and an optional scripted fault list. `build()` produces the
+/// [`FaultInjector`](crate::FaultInjector) that executes it.
+///
+/// All rates default to zero — an unconfigured plan injects nothing —
+/// so callers opt into exactly the mechanisms a campaign studies.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Campaign seed: every probabilistic decision is a pure function of
+    /// this plus the decision's identity.
+    pub seed: u64,
+    /// Rows per bank (faultable address space per bank).
+    pub rows_per_bank: u64,
+    /// 64-bit words per row (each word carries its own SECDED codeword).
+    pub words_per_row: u64,
+    /// Rows at or above this index are fault-immune: the controller's
+    /// spare-row pool, provisioned from screened strong cells.
+    pub spare_floor: Option<u64>,
+    /// Aggressor activations per victim before a flip opportunity
+    /// (`0` disables RowHammer).
+    pub rowhammer_threshold: u64,
+    /// Probability a threshold trip actually flips a victim bit.
+    pub rowhammer_flip_prob: f64,
+    /// Probability any given row is retention-weak (`0` disables).
+    pub retention_weak_prob: f64,
+    /// Cycles for one full refresh pass over the array (the nominal
+    /// retention window every cell must survive).
+    pub refresh_window: u64,
+    /// Rank-refresh commands per full pass; the injector counts
+    /// `on_refresh` calls and completes a pass every this-many.
+    pub slots_per_window: u64,
+    /// Per-read probability of a transient bus/command error.
+    pub transient_prob: f64,
+    /// Per-(row, word) probability of a stuck-at cell.
+    pub stuck_prob: f64,
+    /// Hand-placed faults, applied on top of the probabilistic model.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all mechanisms disabled.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rows_per_bank: 1 << 15,
+            words_per_row: 1024,
+            spare_floor: None,
+            rowhammer_threshold: 0,
+            rowhammer_flip_prob: 0.0,
+            retention_weak_prob: 0.0,
+            refresh_window: 0,
+            slots_per_window: 1,
+            transient_prob: 0.0,
+            stuck_prob: 0.0,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// Sets the faultable geometry: rows per bank and words per row.
+    #[must_use]
+    pub fn geometry(mut self, rows_per_bank: u64, words_per_row: u64) -> Self {
+        self.rows_per_bank = rows_per_bank;
+        self.words_per_row = words_per_row.max(1);
+        self
+    }
+
+    /// Marks rows at or above `floor` as the fault-immune spare pool.
+    #[must_use]
+    pub fn spare_floor(mut self, floor: u64) -> Self {
+        self.spare_floor = Some(floor);
+        self
+    }
+
+    /// Enables RowHammer: every `threshold` aggressor activations give
+    /// each neighbor a `flip_prob` chance of one bit flip.
+    #[must_use]
+    pub fn rowhammer(mut self, threshold: u64, flip_prob: f64) -> Self {
+        self.rowhammer_threshold = threshold;
+        self.rowhammer_flip_prob = flip_prob;
+        self
+    }
+
+    /// Enables retention faults: each row is weak with probability
+    /// `weak_prob`; weak rows leak a bit whenever their refresh interval
+    /// overruns their (hash-drawn, 25–90% of `refresh_window`) limit.
+    /// `slots_per_window` rank-refresh commands complete one full pass.
+    #[must_use]
+    pub fn retention(mut self, weak_prob: f64, refresh_window: u64, slots_per_window: u64) -> Self {
+        self.retention_weak_prob = weak_prob;
+        self.refresh_window = refresh_window;
+        self.slots_per_window = slots_per_window.max(1);
+        self
+    }
+
+    /// Enables transient bus/command errors at `prob` per read.
+    #[must_use]
+    pub fn transient(mut self, prob: f64) -> Self {
+        self.transient_prob = prob;
+        self
+    }
+
+    /// Enables stuck-at cells at `prob` per (row, word).
+    #[must_use]
+    pub fn stuck(mut self, prob: f64) -> Self {
+        self.stuck_prob = prob;
+        self
+    }
+
+    /// Appends one scripted fault.
+    #[must_use]
+    pub fn script(mut self, fault: ScriptedFault) -> Self {
+        self.scripted.push(fault);
+        self
+    }
+
+    /// Builds the injector that executes this campaign.
+    #[must_use]
+    pub fn build(self) -> crate::FaultInjector {
+        crate::FaultInjector::new(self)
+    }
+}

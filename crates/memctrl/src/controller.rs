@@ -15,6 +15,7 @@ use ia_sim::{Clocked, CompletionSink, EngineStats, SimLoop, StepOutcome};
 use ia_telemetry::{Histogram, MetricSource, Scope, TraceBuffer};
 
 use crate::error::CtrlError;
+use crate::reliability::{ReliabilityPipeline, ReliabilityReport};
 use crate::request::{Completed, MemRequest, Pending};
 use crate::scheduler::Scheduler;
 
@@ -227,6 +228,7 @@ pub struct MemoryController {
     sched_idle: u64,
     engine: EngineStats,
     trace: TraceBuffer<SchedEvent>,
+    reliability: Option<ReliabilityPipeline>,
     /// True when the last tick was provably idle (nothing retired, issued,
     /// or refreshed) and nothing has been enqueued since. Gates the full
     /// timing scan in `next_event_at`: while work is flowing, the next
@@ -260,6 +262,7 @@ impl MemoryController {
             sched_idle: 0,
             engine: EngineStats::default(),
             trace: TraceBuffer::disabled(),
+            reliability: None,
             quiet: false,
         })
     }
@@ -276,6 +279,23 @@ impl MemoryController {
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
         self
+    }
+
+    /// Attaches a reliability pipeline (chainable). Turns on the DRAM
+    /// module's injection event log; from then on every activate, read,
+    /// write, and refresh flows through the pipeline's closed
+    /// detect → correct → degrade loop at the end of each tick.
+    #[must_use]
+    pub fn with_reliability(mut self, pipeline: ReliabilityPipeline) -> Self {
+        self.dram.enable_injection();
+        self.reliability = Some(pipeline);
+        self
+    }
+
+    /// The attached reliability pipeline, if any.
+    #[must_use]
+    pub fn reliability(&self) -> Option<&ReliabilityPipeline> {
+        self.reliability.as_ref()
     }
 
     /// Sets the DRAM latency mode (AL-DRAM / ChargeCache) (chainable).
@@ -486,6 +506,10 @@ impl MemoryController {
         // `next_event_at` is now worth its cost.
         self.quiet = !issued_this_cycle && !refresh_fired && kept == had_inflight;
 
+        if let Some(rel) = &mut self.reliability {
+            rel.process(&mut self.dram);
+        }
+
         self.now += 1;
     }
 
@@ -614,6 +638,9 @@ impl MetricSource for MemoryController {
         scope.set_counter("trace_dropped", self.trace.dropped());
         scope.collect("engine", &self.engine);
         scope.collect("dram", &self.dram);
+        if let Some(rel) = &self.reliability {
+            scope.collect("reliability", rel);
+        }
     }
 }
 
@@ -651,6 +678,9 @@ pub struct RunReport {
     /// skipped). Describes how the run was *driven*, not what it
     /// computed — excluded from [`RunReport::same_results`].
     pub engine: EngineStats,
+    /// Reliability outcome (fault and mitigation counters); `None`
+    /// unless the controller ran with a reliability pipeline attached.
+    pub reliability: Option<ReliabilityReport>,
 }
 
 impl RunReport {
@@ -678,6 +708,7 @@ impl RunReport {
             && self.charge_cache_hit_rate == other.charge_cache_hit_rate
             && self.dynamic_energy_pj == other.dynamic_energy_pj
             && self.io_energy_pj == other.io_energy_pj
+            && self.reliability == other.reliability
     }
 }
 
@@ -750,12 +781,17 @@ pub fn run_closed_loop_with(
             }
         }
         scratch.clear();
-        if engine.step(&mut ctrl, &mut scratch, deadline) == StepOutcome::Drained {
-            // Degenerate case (window == 0): nothing can ever enter the
-            // controller. The per-cycle loop would idle-tick out the
-            // whole horizon; jump there with the same bookkeeping.
-            Clocked::skip_to(&mut ctrl, deadline);
-            break;
+        match engine.step(&mut ctrl, &mut scratch, deadline) {
+            StepOutcome::Drained => {
+                // Degenerate case (window == 0): nothing can ever enter
+                // the controller. The per-cycle loop would idle-tick out
+                // the whole horizon; jump there with the same
+                // bookkeeping.
+                Clocked::skip_to(&mut ctrl, deadline);
+                break;
+            }
+            StepOutcome::Stalled(report) => return Err(CtrlError::Stalled(report)),
+            _ => {}
         }
         for c in &scratch {
             let t = c.request.thread;
@@ -854,6 +890,7 @@ fn report_of(ctrl: &MemoryController, threads: Vec<ThreadReport>) -> RunReport {
         dynamic_energy_pj: ctrl.dram().energy().dynamic_pj(),
         io_energy_pj: ctrl.dram().energy().io_pj,
         engine: *ctrl.engine_stats(),
+        reliability: ctrl.reliability().map(ReliabilityPipeline::report),
     }
 }
 
@@ -1052,6 +1089,81 @@ mod tests {
             other => panic!("expected queue-depth histogram, got {other:?}"),
         }
         assert!(snap.counter("ctrl.sched_column").unwrap() >= 16);
+    }
+
+    #[test]
+    fn reliability_pipeline_detects_corrects_and_exports_through_a_real_run() {
+        use crate::reliability::ReliabilityConfig;
+        use ia_faults::FaultPlan;
+
+        let config = DramConfig::ddr3_1600();
+        let plan = FaultPlan::new(7).transient(0.2).stuck(0.002);
+        let pipeline =
+            ReliabilityPipeline::new(ReliabilityConfig::full(100_000), plan, &config.geometry);
+        let mut ctrl = MemoryController::new(config, Box::new(FrFcfs::new()))
+            .unwrap()
+            .with_refresh_mode(RefreshMode::AllBank)
+            .with_queue_capacity(512)
+            .with_reliability(pipeline);
+        for i in 0..256u64 {
+            ctrl.enqueue(MemRequest::read(i * 64, 0)).unwrap();
+        }
+        let done = ctrl.run_until_drained(1_000_000);
+        assert_eq!(done.len(), 256);
+
+        let rel = ctrl.reliability().expect("pipeline attached");
+        assert_eq!(
+            rel.stats().reads_checked,
+            256,
+            "every read went through ECC"
+        );
+        let faults = rel.fault_stats();
+        assert!(faults.injected() > 0, "fault model was active: {faults:?}");
+        assert!(
+            rel.stats().corrected > 0,
+            "single-bit flips get corrected: {:?}",
+            rel.stats()
+        );
+
+        let mut reg = ia_telemetry::Registry::new();
+        reg.collect("ctrl", &ctrl);
+        let snap = reg.snapshot(ctrl.now().as_u64());
+        assert!(snap.counter("ctrl.reliability.faults_injected").unwrap() > 0);
+        for key in [
+            "ctrl.reliability.corrected",
+            "ctrl.reliability.uncorrected",
+            "ctrl.reliability.remaps",
+            "ctrl.reliability.quarantines",
+            "ctrl.reliability.scrubs",
+            "ctrl.reliability.retries",
+        ] {
+            assert!(snap.counter(key).is_some(), "missing counter {key}");
+        }
+    }
+
+    #[test]
+    fn reliability_report_is_deterministic_and_part_of_same_results() {
+        use crate::reliability::ReliabilityConfig;
+        use ia_faults::FaultPlan;
+
+        let run = || {
+            let config = DramConfig::ddr3_1600();
+            let plan = FaultPlan::new(11).transient(0.1);
+            let pipeline =
+                ReliabilityPipeline::new(ReliabilityConfig::full(100_000), plan, &config.geometry);
+            let ctrl = MemoryController::new(config, Box::new(FrFcfs::new()))
+                .unwrap()
+                .with_refresh_mode(RefreshMode::AllBank)
+                .with_reliability(pipeline);
+            let trace: Vec<MemRequest> = (0..64).map(|i| MemRequest::read(i * 64, 0)).collect();
+            run_closed_loop_with(ctrl, &[trace], 8, 1_000_000).unwrap()
+        };
+        let a = run();
+        let b = run();
+        let rel = a.reliability.as_ref().expect("report carries reliability");
+        assert!(rel.stats.reads_checked > 0);
+        assert_eq!(a.reliability, b.reliability, "same seed, same outcome");
+        assert!(a.same_results(&b));
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum CtrlError {
     Config(ConfigError),
     /// Invalid argument.
     Invalid(&'static str),
+    /// The simulation engine's watchdog detected a component that
+    /// stopped making forward progress.
+    Stalled(ia_sim::StallReport),
 }
 
 impl fmt::Display for CtrlError {
@@ -25,6 +28,7 @@ impl fmt::Display for CtrlError {
             CtrlError::EmptyTrace => f.write_str("trace must contain at least one request"),
             CtrlError::Config(e) => write!(f, "dram configuration error: {e}"),
             CtrlError::Invalid(msg) => f.write_str(msg),
+            CtrlError::Stalled(report) => write!(f, "{report}"),
         }
     }
 }

@@ -42,6 +42,7 @@ mod error;
 mod hybrid;
 mod metrics;
 mod power;
+mod reliability;
 mod request;
 pub mod scheduler;
 
@@ -53,6 +54,9 @@ pub use error::CtrlError;
 pub use hybrid::{HybridMemory, HybridTiming, PlacementPolicy};
 pub use metrics::{harmonic_speedup, max_slowdown, slowdowns, weighted_speedup};
 pub use power::{epoch_outcome, standard_points, EpochOutcome, FrequencyPoint, MemScaleGovernor};
+pub use reliability::{
+    Mitigation, ReliabilityConfig, ReliabilityPipeline, ReliabilityReport, ReliabilityStats,
+};
 pub use request::{Completed, MemRequest, Pending};
 pub use scheduler::{
     Atlas, Bliss, Fcfs, FrFcfs, ParBs, RlScheduler, RlSchedulerConfig, Scheduler, Tcm,

@@ -85,6 +85,7 @@ mod tests {
             dynamic_energy_pj: 0.0,
             io_energy_pj: 0.0,
             engine: ia_sim::EngineStats::default(),
+            reliability: None,
         }
     }
 

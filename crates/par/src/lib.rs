@@ -83,7 +83,9 @@ where
 /// # Panics
 ///
 /// Re-raises the panic of the lowest-indexed panicking task after the
-/// pool has shut down cleanly.
+/// pool has shut down cleanly. String payloads are prefixed with
+/// `task <index> of <count>:` so the failing sweep cell is identifiable
+/// from the panic message alone.
 pub fn par_map_indexed<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -154,8 +156,20 @@ where
         (collected, busy)
     });
 
-    if let Some((_, payload)) = lock_unpoisoned(&first_panic).take() {
-        resume_unwind(payload);
+    if let Some((index, payload)) = lock_unpoisoned(&first_panic).take() {
+        // Label string payloads with the task coordinates: "which of the
+        // N sweep cells died" is exactly what the caller needs and is
+        // otherwise lost with the worker's stack. Non-string payloads
+        // are re-raised untouched.
+        let labelled = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .map(|m| format!("task {index} of {tasks}: {m}"));
+        match labelled {
+            Some(m) => resume_unwind(Box::new(m)),
+            None => resume_unwind(payload),
+        }
     }
 
     // Reassemble in input order. Sorting by index is equivalent to
@@ -207,6 +221,10 @@ mod tests {
             .downcast_ref::<String>()
             .expect("assert! payload is a String");
         assert!(msg.contains("boom at 7"), "lowest-index panic wins: {msg}");
+        assert!(
+            msg.starts_with("task 7 of 32: "),
+            "payload carries the task coordinates: {msg}"
+        );
     }
 
     #[test]

@@ -33,6 +33,36 @@ proptest! {
         prop_assert_eq!(decode(encode(data)), DecodeOutcome::Clean(data));
     }
 
+    /// Flipping the same bit twice cancels exactly: the codeword is
+    /// pristine again, not merely correctable.
+    #[test]
+    fn ecc_same_bit_twice_is_clean(data in any::<u64>(), bit in 0u32..72) {
+        let w = encode(data);
+        let back = inject_error(inject_error(w, bit).unwrap(), bit).unwrap();
+        prop_assert_eq!(back, w);
+        prop_assert_eq!(decode(back), DecodeOutcome::Clean(data));
+    }
+
+    /// Correction restores the *entire* codeword, check bits included:
+    /// re-encoding the corrected data reproduces the pristine word, so a
+    /// scrub write-back fully heals the array (the property the memory
+    /// controller's reliability pipeline depends on).
+    #[test]
+    fn ecc_correction_heals_the_whole_codeword(data in any::<u64>(), bit in 0u32..72) {
+        let corrupted = inject_error(encode(data), bit).unwrap();
+        match decode(corrupted) {
+            DecodeOutcome::Corrected(d) => prop_assert_eq!(encode(d), encode(data)),
+            other => prop_assert!(false, "expected correction, got {:?}", other),
+        }
+    }
+
+    /// Injection refuses out-of-range bit positions instead of silently
+    /// wrapping onto a valid bit.
+    #[test]
+    fn ecc_rejects_out_of_range_bits(data in any::<u64>(), bit in 72u32..512) {
+        prop_assert!(inject_error(encode(data), bit).is_err());
+    }
+
     /// Bloom filters have no false negatives under any insertion set.
     #[test]
     fn bloom_no_false_negatives(keys in prop::collection::hash_set(0u64..1_000_000, 0..200)) {

@@ -54,6 +54,33 @@ impl MetricSource for EngineStats {
     }
 }
 
+/// Structured evidence of a no-progress stall: a component kept claiming
+/// a next event (so the engine kept ticking) while its clock never
+/// advanced. This is always a [`Clocked`] contract violation — the
+/// watchdog converts what used to be a silent infinite spin into data a
+/// harness can report and exit on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallReport {
+    /// The cycle the component was frozen at.
+    pub at: Cycle,
+    /// Consecutive ticks executed without the clock advancing.
+    pub stuck_steps: u64,
+    /// The watchdog bound that was exceeded.
+    pub bound: u64,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "component stalled at cycle {}: {} consecutive ticks without progress (watchdog bound {})",
+            self.at, self.stuck_steps, self.bound
+        )
+    }
+}
+
+impl std::error::Error for StallReport {}
+
 /// What one [`SimLoop::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -65,6 +92,10 @@ pub enum StepOutcome {
     /// `next_event_at()` returned `None`: the component is drained and the
     /// clock was left untouched.
     Drained,
+    /// The no-progress watchdog fired: the component kept reporting an
+    /// imminent event but its clock has not advanced for the configured
+    /// number of ticks.
+    Stalled(StallReport),
 }
 
 /// Why a [`SimLoop::run_while`] call returned.
@@ -76,6 +107,23 @@ pub enum RunOutcome {
     Drained,
     /// The deadline was reached.
     DeadlineReached,
+    /// The no-progress watchdog fired (see [`StallReport`]).
+    Stalled(StallReport),
+}
+
+impl RunOutcome {
+    /// Converts the outcome into a `Result`, turning a watchdog trip into
+    /// the structured [`StallReport`] error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StallReport`] if the run stalled.
+    pub fn into_result(self) -> Result<RunOutcome, StallReport> {
+        match self {
+            RunOutcome::Stalled(report) => Err(report),
+            other => Ok(other),
+        }
+    }
 }
 
 /// The event-driven simulation driver.
@@ -84,16 +132,50 @@ pub enum RunOutcome {
 /// component for its next event and jumps the clock straight there via
 /// [`Clocked::skip_to`]. Results are bit-identical to a per-cycle polling
 /// loop as long as the component honors the [`Clocked`] contract.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimLoop {
     stats: EngineStats,
+    /// No-progress watchdog bound: the maximum number of consecutive
+    /// ticks the component may execute without `now()` advancing before
+    /// [`StepOutcome::Stalled`] is reported.
+    watchdog_bound: u64,
+    /// Consecutive ticks observed with a frozen clock, and the cycle the
+    /// clock froze at.
+    stuck_steps: u64,
+    stuck_at: Cycle,
 }
 
+impl Default for SimLoop {
+    fn default() -> Self {
+        SimLoop::new()
+    }
+}
+
+/// Default watchdog bound. A correct [`Clocked`] component advances its
+/// clock on *every* tick, so any value > 0 would do; the default leaves
+/// generous headroom for exotic-but-legal implementations while still
+/// tripping in well under a millisecond of wall time.
+pub const DEFAULT_WATCHDOG_BOUND: u64 = 10_000;
+
 impl SimLoop {
-    /// Creates an engine with zeroed counters.
+    /// Creates an engine with zeroed counters and the default no-progress
+    /// watchdog ([`DEFAULT_WATCHDOG_BOUND`] ticks).
     #[must_use]
     pub fn new() -> Self {
-        SimLoop::default()
+        SimLoop::with_watchdog(DEFAULT_WATCHDOG_BOUND)
+    }
+
+    /// Creates an engine whose watchdog trips after `bound` consecutive
+    /// ticks without clock progress. `bound == 0` disables the watchdog
+    /// (restoring the historical spin-forever behavior).
+    #[must_use]
+    pub fn with_watchdog(bound: u64) -> Self {
+        SimLoop {
+            stats: EngineStats::default(),
+            watchdog_bound: bound,
+            stuck_steps: 0,
+            stuck_at: Cycle::ZERO,
+        }
     }
 
     /// The engine's work/savings counters.
@@ -138,9 +220,33 @@ impl SimLoop {
             inner: sink,
             delivered: 0,
         };
+        let before = component.now();
         component.tick_into(&mut counting);
         self.stats.sink_high_water = self.stats.sink_high_water.max(counting.delivered);
         self.stats.events_processed += 1;
+        if self.watchdog_bound > 0 {
+            // A tick that leaves the clock where it was makes no forward
+            // progress; enough of them in a row is a stall, not a
+            // simulation. (A healthy component resets the streak on every
+            // tick, so this costs one comparison in the common case.)
+            if component.now() > before {
+                self.stuck_steps = 0;
+            } else {
+                if self.stuck_steps == 0 {
+                    self.stuck_at = before;
+                }
+                self.stuck_steps += 1;
+                if self.stuck_steps >= self.watchdog_bound {
+                    let report = StallReport {
+                        at: self.stuck_at,
+                        stuck_steps: self.stuck_steps,
+                        bound: self.watchdog_bound,
+                    };
+                    self.stuck_steps = 0;
+                    return StepOutcome::Stalled(report);
+                }
+            }
+        }
         StepOutcome::Ticked
     }
 
@@ -161,6 +267,7 @@ impl SimLoop {
                 StepOutcome::Ticked => {}
                 StepOutcome::Drained => return RunOutcome::Drained,
                 StepOutcome::DeadlineReached => return RunOutcome::DeadlineReached,
+                StepOutcome::Stalled(report) => return RunOutcome::Stalled(report),
             }
         }
     }
@@ -339,6 +446,101 @@ mod tests {
         assert_eq!(out, RunOutcome::Drained);
         assert_eq!(done.len(), 1);
         assert_eq!(engine.stats().cycles_skipped, 40);
+    }
+
+    /// A broken component: `next_event_at()` always promises an imminent
+    /// event, but `tick_into` never advances the clock — the classic
+    /// silent-spin bug the watchdog exists to catch.
+    #[derive(Debug)]
+    struct Liar {
+        now: Cycle,
+        ticked: u64,
+    }
+
+    impl Clocked for Liar {
+        type Completion = ();
+        fn now(&self) -> Cycle {
+            self.now
+        }
+        fn tick_into(&mut self, _sink: &mut dyn CompletionSink<()>) {
+            self.ticked += 1; // clock deliberately frozen
+        }
+        fn next_event_at(&self) -> Option<Cycle> {
+            Some(self.now) // "an event is due right now" — forever
+        }
+        fn skip_to(&mut self, target: Cycle) {
+            if target > self.now {
+                self.now = target;
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_silent_spin_into_structured_stall() {
+        let mut engine = SimLoop::with_watchdog(64);
+        let mut done: Vec<()> = Vec::new();
+        let mut liar = Liar {
+            now: Cycle::new(17),
+            ticked: 0,
+        };
+        let out = engine.run_while(&mut liar, &mut done, Cycle::new(1_000_000), |_| true);
+        let RunOutcome::Stalled(report) = out else {
+            panic!("expected Stalled, got {out:?}");
+        };
+        assert_eq!(
+            report.at,
+            Cycle::new(17),
+            "stall pinned to the frozen cycle"
+        );
+        assert_eq!(report.stuck_steps, 64);
+        assert_eq!(report.bound, 64);
+        assert!(
+            liar.ticked <= 64,
+            "watchdog fired within the bound, not after {} ticks",
+            liar.ticked
+        );
+        // Structured error propagation: the report is a std::error::Error.
+        let err = out.into_result().expect_err("stall is an error");
+        assert!(err.to_string().contains("stalled at cycle 17"));
+    }
+
+    #[test]
+    fn watchdog_fires_with_default_bound() {
+        let mut engine = SimLoop::new();
+        let mut done: Vec<()> = Vec::new();
+        let mut liar = Liar {
+            now: Cycle::ZERO,
+            ticked: 0,
+        };
+        let out = engine.run_while(&mut liar, &mut done, Cycle::new(u64::MAX), |_| true);
+        assert!(matches!(out, RunOutcome::Stalled(r) if r.bound == DEFAULT_WATCHDOG_BOUND));
+    }
+
+    #[test]
+    fn watchdog_never_trips_on_healthy_components() {
+        // A tight watchdog bound against a long healthy run: the streak
+        // resets on every tick, so the run drains normally.
+        let mut engine = SimLoop::with_watchdog(2);
+        let mut done: Vec<Cycle> = Vec::new();
+        let mut pulse = Pulse::new(3, 500);
+        let out = engine.run_while(&mut pulse, &mut done, Cycle::new(100_000), |_| true);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(done.len(), 500);
+    }
+
+    #[test]
+    fn watchdog_zero_disables_the_bound() {
+        let mut engine = SimLoop::with_watchdog(0);
+        let mut done: Vec<()> = Vec::new();
+        let mut liar = Liar {
+            now: Cycle::ZERO,
+            ticked: 0,
+        };
+        // Bounded by the predicate instead; 100k frozen ticks draw no stall.
+        let out = engine.run_while(&mut liar, &mut done, Cycle::new(u64::MAX), |l| {
+            l.ticked < 100_000
+        });
+        assert_eq!(out, RunOutcome::Stopped);
     }
 
     #[test]

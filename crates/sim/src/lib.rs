@@ -41,6 +41,13 @@
 //! skipped, sink high-water mark — is tracked in [`EngineStats`] and
 //! exported through `ia-telemetry`.
 //!
+//! A no-progress **watchdog** guards against components that violate the
+//! contract by reporting an imminent event while never advancing their
+//! clock: after [`DEFAULT_WATCHDOG_BOUND`] consecutive frozen ticks
+//! (configurable via [`SimLoop::with_watchdog`]), the engine returns a
+//! structured [`StallReport`] — [`StepOutcome::Stalled`] /
+//! [`RunOutcome::Stalled`] — instead of spinning silently forever.
+//!
 //! ## Completion sinks instead of returned Vecs
 //!
 //! `tick_into` writes completions into a sink owned by the caller rather
@@ -85,5 +92,7 @@ mod sink;
 
 pub use clocked::Clocked;
 pub use cycle::Cycle;
-pub use engine::{EngineStats, RunOutcome, SimLoop, StepOutcome};
+pub use engine::{
+    EngineStats, RunOutcome, SimLoop, StallReport, StepOutcome, DEFAULT_WATCHDOG_BOUND,
+};
 pub use sink::{CompletionSink, DenyCompletions, FnSink};

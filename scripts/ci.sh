@@ -19,4 +19,10 @@ cargo test -q --test parallel_determinism
 echo "== --threads 2 smoke run (exercises the multi-worker pool on any host)"
 cargo run -q -p ia-bench --bin exp05_scheduler_suite -- --quick --threads 2 > /dev/null
 
+echo "== fault-injection campaign (detect -> correct -> degrade loop)"
+cargo run -q -p ia-bench --bin exp24_fault_injection -- --quick > /dev/null
+
+echo "== SimLoop watchdog (stalled components become structured errors)"
+cargo test -q -p ia-sim watchdog
+
 echo "CI gate passed."

@@ -36,3 +36,4 @@ smoke!(e20_renders, exp20_eden, "refresh savings");
 smoke!(e21_renders, exp21_memscale, "energy saved");
 smoke!(e22_renders, exp22_runahead, "runahead");
 smoke!(e23_renders, exp23_gsdram, "traffic cut");
+smoke!(e24_renders, exp24_fault_injection, "uncorrected rate");

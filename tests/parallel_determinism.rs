@@ -43,3 +43,8 @@ fn exp17_prefetchers_is_thread_count_invariant() {
 fn exp18_noc_is_thread_count_invariant() {
     assert_byte_identical("exp18", ia_bench::exp18_noc::report);
 }
+
+#[test]
+fn exp24_fault_injection_is_thread_count_invariant() {
+    assert_byte_identical("exp24", ia_bench::exp24_fault_injection::report);
+}
