@@ -109,7 +109,7 @@ pub fn outcome(quick: bool) -> Outcome {
             .collect();
         bins.sort_unstable();
         bins.dedup();
-        let mut match_count = std::collections::HashMap::new();
+        let mut match_count = std::collections::BTreeMap::new();
         for bin in bins {
             engine
                 .execute(BitwiseOp::And, and_row, bin as u64, Some(read_row))

@@ -11,6 +11,7 @@
 //! byte-identical at every `--threads` setting (see
 //! `tests/parallel_determinism.rs`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exp01_data_movement;

@@ -275,6 +275,7 @@ impl CompressedCache {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, _, stamp))| *stamp)
+                // lint: allow(P001, loop guard checks !lines.is_empty())
                 .expect("non-empty");
             used -= lines[idx].1;
             lines.swap_remove(idx);

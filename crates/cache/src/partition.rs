@@ -238,6 +238,7 @@ impl PartitionedCache {
                         .enumerate()
                         .min_by_key(|(_, (_, _, stamp))| *stamp)
                         .map(|(i, _)| i)
+                        // lint: allow(P001, eviction only runs on a full, non-empty set)
                         .expect("full set")
                 });
             self.thread_stats[victim_thread(set, victim)].evictions += 1;

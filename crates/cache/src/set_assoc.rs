@@ -269,6 +269,7 @@ impl Cache {
                     .enumerate()
                     .filter_map(|(i, l)| l.map(|l| (i, l.stamp)))
                     .min_by_key(|&(_, stamp)| stamp)
+                    // lint: allow(P001, position() found no empty way, so every way is Some)
                     .expect("full set has lines");
                 w
             }

@@ -1,0 +1,251 @@
+//! The `lint.baseline` ratchet: grandfathered findings, counted per
+//! `(file, lint)` pair so the gate is green from day one and can only
+//! ratchet down.
+//!
+//! Semantics per `(file, lint)` group, with `b` the baselined count and
+//! `c` the count found now:
+//!
+//! * `c == b` — clean: the findings stay grandfathered.
+//! * `c > b` — regression: every current finding in the group is listed
+//!   (new code must not add violations).
+//! * `c < b` — **stale entry**: progress! The baseline must be
+//!   regenerated (`--write-baseline`) so the ratchet locks in the lower
+//!   count. Stale entries are reported and fail the gate rather than
+//!   being silently kept.
+
+use crate::lints::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Grandfathered counts, keyed by `(file, lint-id)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// A baseline entry whose count no longer matches reality downward.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaleEntry {
+    /// File the entry refers to.
+    pub file: String,
+    /// Lint ID.
+    pub id: String,
+    /// Count recorded in the baseline.
+    pub baseline: usize,
+    /// Count found in the current scan (strictly lower).
+    pub found: usize,
+}
+
+/// Outcome of gating a scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Gated {
+    /// Findings not covered by the baseline (regressed groups list every
+    /// current occurrence), sorted.
+    pub new: Vec<Finding>,
+    /// Baseline entries that over-count current findings.
+    pub stale: Vec<StaleEntry>,
+    /// Number of findings suppressed by the baseline.
+    pub grandfathered: usize,
+}
+
+impl Gated {
+    /// True when the gate passes: nothing new, nothing stale.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline file format: one `<file> <LINT-ID> <count>`
+    /// per line; `#` comments and blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(file), Some(id), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<file> <LINT-ID> <count>`, got `{line}`",
+                    i + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            if entries
+                .insert((file.to_owned(), id.to_owned()), count)
+                .is_some()
+            {
+                return Err(format!(
+                    "baseline line {}: duplicate entry for {file} {id}",
+                    i + 1
+                ));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders a baseline covering `findings`, ready to check in.
+    #[must_use]
+    pub fn render(findings: &[Finding]) -> String {
+        let counts = count_groups(findings);
+        let mut out = String::from(
+            "# ia-lint baseline — grandfathered findings, counted per (file, lint).\n\
+             # Regenerate with `cargo run -p ia-lint -- --write-baseline` after a\n\
+             # burn-down; the gate fails if any count rises OR falls without a\n\
+             # regeneration, so the total only ratchets toward zero.\n",
+        );
+        for ((file, id), count) in counts {
+            let _ = writeln!(out, "{file} {id} {count}");
+        }
+        out
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no findings are grandfathered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Gates `findings` (already allow-filtered and sorted) against this
+    /// baseline.
+    #[must_use]
+    pub fn apply(&self, findings: &[Finding]) -> Gated {
+        let counts = count_groups(findings);
+        let mut gated = Gated::default();
+        for ((file, id), found) in &counts {
+            let b = self
+                .entries
+                .get(&(file.clone(), id.clone()))
+                .copied()
+                .unwrap_or(0);
+            if *found > b {
+                gated.new.extend(
+                    findings
+                        .iter()
+                        .filter(|f| f.file == *file && f.id == *id)
+                        .cloned(),
+                );
+            } else {
+                gated.grandfathered += found;
+                if *found < b {
+                    gated.stale.push(StaleEntry {
+                        file: file.clone(),
+                        id: id.clone(),
+                        baseline: b,
+                        found: *found,
+                    });
+                }
+            }
+        }
+        // Entries for files that now have zero findings of that lint.
+        for ((file, id), b) in &self.entries {
+            if *b > 0 && !counts.contains_key(&(file.clone(), id.clone())) {
+                gated.stale.push(StaleEntry {
+                    file: file.clone(),
+                    id: id.clone(),
+                    baseline: *b,
+                    found: 0,
+                });
+            }
+        }
+        gated.new.sort();
+        gated.stale.sort();
+        gated
+    }
+}
+
+fn count_groups(findings: &[Finding]) -> BTreeMap<(String, String), usize> {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry((f.file.clone(), f.id.to_owned())).or_default() += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, id: &'static str) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            col: 1,
+            id,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("# comment\n\ncrates/a.rs P001 3\n").is_ok());
+        assert!(Baseline::parse("crates/a.rs P001").is_err());
+        assert!(Baseline::parse("crates/a.rs P001 x").is_err());
+        assert!(Baseline::parse("a P001 1 extra").is_err());
+        assert!(Baseline::parse("a P001 1\na P001 2").is_err());
+    }
+
+    #[test]
+    fn exact_match_is_clean_and_grandfathered() {
+        let fs = [finding("a.rs", 1, "P001"), finding("a.rs", 9, "P001")];
+        let b = Baseline::parse("a.rs P001 2").unwrap();
+        let g = b.apply(&fs);
+        assert!(g.is_clean());
+        assert_eq!(g.grandfathered, 2);
+    }
+
+    #[test]
+    fn count_increase_lists_all_group_findings() {
+        let fs = [
+            finding("a.rs", 1, "P001"),
+            finding("a.rs", 9, "P001"),
+            finding("b.rs", 2, "D001"),
+        ];
+        let b = Baseline::parse("a.rs P001 1").unwrap();
+        let g = b.apply(&fs);
+        assert_eq!(g.new.len(), 3, "regressed group + unbaselined finding");
+        assert!(!g.is_clean());
+    }
+
+    #[test]
+    fn count_decrease_and_vanished_entries_are_stale() {
+        let fs = [finding("a.rs", 1, "P001")];
+        let b = Baseline::parse("a.rs P001 2\ngone.rs D002 1").unwrap();
+        let g = b.apply(&fs);
+        assert!(g.new.is_empty());
+        assert_eq!(g.stale.len(), 2);
+        assert_eq!(g.stale[0].found, 1);
+        assert_eq!(g.stale[1].found, 0);
+        assert!(!g.is_clean(), "stale entries must fail the gate");
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let fs = [
+            finding("a.rs", 1, "P001"),
+            finding("a.rs", 9, "P001"),
+            finding("b.rs", 2, "D001"),
+        ];
+        let text = Baseline::render(&fs);
+        let b = Baseline::parse(&text).unwrap();
+        assert!(b.apply(&fs).is_clean());
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-file analysis context: which tokens are test-only code, and which
+//! lines carry `// lint: allow(ID, reason)` waivers.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The tokens of one file, split into code and comment streams, with a
+/// test-context flag per code token and the allow-comment line map.
+pub struct FileContext {
+    /// Non-comment tokens, in source order.
+    pub code: Vec<Tok>,
+    /// `is_test[i]` — `code[i]` sits inside a `#[test]` / `#[cfg(test)]`
+    /// item or the file is wholly test-like (`tests/`, `benches/`,
+    /// `examples/`).
+    pub is_test: Vec<bool>,
+    /// Line → lint IDs waived by a `lint: allow(…)` comment on that line.
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+/// True when `path` (workspace-relative, `/`-separated) is test-like as a
+/// whole: integration tests, benches, examples, and build scripts never
+/// feed report bytes.
+#[must_use]
+pub fn path_is_testlike(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples") || seg == "build.rs")
+}
+
+impl FileContext {
+    /// Builds the context for one tokenized file.
+    #[must_use]
+    pub fn build(path: &str, toks: Vec<Tok>) -> FileContext {
+        let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        let mut code = Vec::with_capacity(toks.len());
+        for t in toks {
+            if t.kind == TokKind::Comment {
+                for id in parse_allow_ids(&t.text) {
+                    allows.entry(t.line).or_default().insert(id);
+                }
+            } else {
+                code.push(t);
+            }
+        }
+        let is_test = if path_is_testlike(path) {
+            vec![true; code.len()]
+        } else {
+            mark_test_items(&code)
+        };
+        FileContext {
+            code,
+            is_test,
+            allows,
+        }
+    }
+
+    /// True when lint `id` is waived for a finding on `line` — the allow
+    /// comment may trail the offending line or sit on the line above.
+    #[must_use]
+    pub fn allowed(&self, id: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allows.get(l).is_some_and(|ids| ids.contains(id)))
+    }
+}
+
+/// Extracts lint IDs from a comment body containing `lint: allow(A, B)`.
+/// Everything after the IDs (a free-form reason) is ignored.
+fn parse_allow_ids(comment: &str) -> Vec<String> {
+    let Some(at) = comment.find("lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &comment[at + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| {
+            // A lint ID is a letter plus three digits (`P001`); anything
+            // else inside the parens is part of the reason.
+            s.len() == 4
+                && s.starts_with(|c: char| c.is_ascii_uppercase())
+                && s[1..].chars().all(|c| c.is_ascii_digit())
+        })
+        .collect()
+}
+
+/// Marks tokens inside `#[test]`-like items. An attribute whose token
+/// list contains the identifier `test` (not as `not(test)`) makes the
+/// next braced item — `mod tests { … }`, `fn case() { … }` — test
+/// context. Attributes ending in `;` before any `{` (e.g. on a `use`)
+/// mark nothing.
+fn mark_test_items(code: &[Tok]) -> Vec<bool> {
+    let mut is_test = vec![false; code.len()];
+    let mut depth = 0i32;
+    let mut pending = false;
+    let mut test_floor: Option<i32> = None;
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if test_floor.is_none() && t.is_punct('#') {
+            // Scan the attribute `#[…]` / `#![…]` for a `test` marker.
+            let mut j = i + 1;
+            if j < code.len() && code[j].is_punct('!') {
+                j += 1;
+            }
+            if j < code.len() && code[j].is_punct('[') {
+                let mut brackets = 1i32;
+                let mut k = j + 1;
+                let mut found = false;
+                while k < code.len() && brackets > 0 {
+                    if code[k].is_punct('[') {
+                        brackets += 1;
+                    } else if code[k].is_punct(']') {
+                        brackets -= 1;
+                    } else if code[k].is_ident("test") {
+                        let negated =
+                            k >= 2 && code[k - 1].is_punct('(') && code[k - 2].is_ident("not");
+                        if !negated {
+                            found = true;
+                        }
+                    }
+                    k += 1;
+                }
+                if found {
+                    pending = true;
+                    // The attribute tokens themselves are test context.
+                    for slot in is_test.iter_mut().take(k).skip(i) {
+                        *slot = true;
+                    }
+                }
+                i = k;
+                continue;
+            }
+        }
+        if t.is_punct('{') {
+            if pending {
+                test_floor = Some(depth);
+                pending = false;
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if test_floor == Some(depth) {
+                is_test[i] = true;
+                test_floor = None;
+                i += 1;
+                continue;
+            }
+        } else if t.is_punct(';') && pending && test_floor.is_none() {
+            // `#[cfg(test)] use …;` — nothing braced to mark.
+            pending = false;
+        }
+        if test_floor.is_some() || pending {
+            is_test[i] = true;
+        }
+        i += 1;
+    }
+    is_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn ctx(src: &str) -> FileContext {
+        FileContext::build("crates/x/src/lib.rs", tokenize(src))
+    }
+
+    fn test_idents(c: &FileContext) -> Vec<&str> {
+        c.code
+            .iter()
+            .zip(&c.is_test)
+            .filter(|(t, flag)| **flag && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_context() {
+        let c = ctx("fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\nfn live2() {}");
+        let inside = test_idents(&c);
+        assert!(inside.contains(&"helper"));
+        assert!(!inside.contains(&"live"));
+        assert!(!inside.contains(&"live2"));
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_only_that_fn() {
+        let c = ctx("#[test]\nfn case() { body(); }\nfn live() {}");
+        let inside = test_idents(&c);
+        assert!(inside.contains(&"body"));
+        assert!(!inside.contains(&"live"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let c = ctx("#[cfg(not(test))]\nfn live() { body(); }");
+        assert!(test_idents(&c).is_empty());
+    }
+
+    #[test]
+    fn attribute_on_use_marks_nothing_after_semicolon() {
+        let c = ctx("#[cfg(test)]\nuse std::fmt;\nfn live() {}");
+        assert!(!test_idents(&c).contains(&"live"));
+    }
+
+    #[test]
+    fn testlike_paths_mark_whole_file() {
+        let c = FileContext::build("crates/x/tests/it.rs", tokenize("fn anything() {}"));
+        assert!(c.is_test.iter().all(|&b| b));
+        assert!(path_is_testlike("crates/bench/benches/kernels.rs"));
+        assert!(path_is_testlike("examples/quickstart.rs"));
+        assert!(!path_is_testlike("crates/bench/src/report.rs"));
+    }
+
+    #[test]
+    fn allow_comments_cover_same_and_next_line() {
+        let c = ctx("// lint: allow(P001, startup cannot fail)\nfn f() {}\nfn g() {}");
+        assert!(c.allowed("P001", 1));
+        assert!(c.allowed("P001", 2));
+        assert!(!c.allowed("P001", 3));
+        assert!(!c.allowed("D001", 2));
+    }
+
+    #[test]
+    fn allow_parses_multiple_ids_and_ignores_reason() {
+        let ids = parse_allow_ids(" lint: allow(D002, M001) wall clock feeds stderr only");
+        assert_eq!(ids, ["D002", "M001"]);
+        assert!(parse_allow_ids("plain comment").is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! A lightweight Rust token scanner: string/char/comment-aware, no `syn`.
+//!
+//! The lexer does just enough to make the lint catalog sound: it never
+//! confuses the word `HashMap` inside a string literal, a doc comment, or
+//! a `#[cfg(test)]` block with real non-test code. It is *not* a full
+//! Rust lexer — numbers are consumed greedily and never inspected, and
+//! tokens carry only their text and position.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#async`, …).
+    Ident,
+    /// String literal (`"…"`, `r#"…"#`, `b"…"`); `text` is the raw
+    /// *inner* content, escapes not processed.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal, consumed greedily (suffixes included).
+    Num,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// Line or block comment; `text` is the comment's full body.
+    Comment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply consume to
+/// end of input — the linter reports on what it can see.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        chars: src.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = s.peek() {
+        let (line, col) = (s.line, s.col);
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+        if c == '/' {
+            s.bump();
+            match s.peek() {
+                Some('/') => {
+                    let mut text = String::new();
+                    while let Some(c) = s.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        text.push(c);
+                        s.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Comment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('*') => {
+                    s.bump();
+                    let mut text = String::new();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match s.bump() {
+                            Some('*') if s.peek() == Some('/') => {
+                                s.bump();
+                                depth -= 1;
+                                if depth > 0 {
+                                    text.push_str("*/");
+                                }
+                            }
+                            Some('/') if s.peek() == Some('*') => {
+                                s.bump();
+                                depth += 1;
+                                text.push_str("/*");
+                            }
+                            Some(c) => text.push(c),
+                            None => break,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Comment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                _ => toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "/".to_owned(),
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+        if c == '"' {
+            s.bump();
+            toks.push(scan_string_body(&mut s, line, col));
+            continue;
+        }
+        if c == '\'' {
+            s.bump();
+            toks.push(scan_quote(&mut s, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = s.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                s.bump();
+            }
+            // Raw strings / raw identifiers / byte strings: the prefix we
+            // just consumed may belong to a literal.
+            match (text.as_str(), s.peek()) {
+                ("r" | "br" | "b", Some('"')) => {
+                    s.bump();
+                    toks.push(scan_string_body(&mut s, line, col));
+                }
+                ("r" | "br", Some('#')) => {
+                    // Raw string `r#..#"…"#..#` or raw identifier `r#name`.
+                    let mut hashes = 0usize;
+                    while s.peek() == Some('#') {
+                        s.bump();
+                        hashes += 1;
+                    }
+                    if s.peek() == Some('"') {
+                        s.bump();
+                        toks.push(scan_raw_string(&mut s, hashes, line, col));
+                    } else {
+                        // `r#ident` (hashes == 1 in valid Rust).
+                        let mut name = String::new();
+                        while let Some(c) = s.peek() {
+                            if !is_ident_continue(c) {
+                                break;
+                            }
+                            name.push(c);
+                            s.bump();
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: name,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                ("b", Some('\'')) => {
+                    s.bump();
+                    toks.push(scan_quote(&mut s, line, col));
+                }
+                _ => toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(c) = s.peek() {
+                if !(is_ident_continue(c)) {
+                    // Consume `1.5` / `1e-5` continuations, but not the
+                    // `..` of a range expression like `0..n`.
+                    if c == '.' {
+                        let mut ahead = s.chars.clone();
+                        ahead.next();
+                        match ahead.next() {
+                            Some(d) if d.is_ascii_digit() => {}
+                            _ => break,
+                        }
+                    } else if (c == '+' || c == '-')
+                        && matches!(text.chars().next_back(), Some('e' | 'E'))
+                    {
+                        // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                text.push(c);
+                s.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        s.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// Scans a (non-raw) string body after the opening quote.
+fn scan_string_body(s: &mut Scanner<'_>, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = s.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(e) = s.bump() {
+                    text.push(e);
+                }
+            }
+            c => text.push(c),
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Scans a raw string body after `r#…#"`; `hashes` is the guard count.
+fn scan_raw_string(s: &mut Scanner<'_>, hashes: usize, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    'outer: while let Some(c) = s.bump() {
+        if c == '"' {
+            // Potential terminator: need `hashes` consecutive `#`.
+            let mut seen = 0usize;
+            while seen < hashes && s.peek() == Some('#') {
+                s.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break 'outer;
+            }
+            text.push('"');
+            for _ in 0..seen {
+                text.push('#');
+            }
+            continue;
+        }
+        text.push(c);
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Scans after a `'`: a char literal or a lifetime.
+fn scan_quote(s: &mut Scanner<'_>, line: u32, col: u32) -> Tok {
+    match s.peek() {
+        Some('\\') => {
+            // Escaped char literal.
+            s.bump();
+            let mut text = String::from("\\");
+            if let Some(e) = s.bump() {
+                text.push(e);
+                if e == 'u' {
+                    // `\u{…}`
+                    while let Some(c) = s.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                } else if e == 'x' {
+                    for _ in 0..2 {
+                        if let Some(c) = s.bump() {
+                            text.push(c);
+                        }
+                    }
+                }
+            }
+            if s.peek() == Some('\'') {
+                s.bump();
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` (no closing quote) is a lifetime.
+            let mut text = String::new();
+            text.push(c);
+            s.bump();
+            if s.peek() == Some('\'') {
+                s.bump();
+                return Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                };
+            }
+            while let Some(c) = s.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                s.bump();
+            }
+            Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) => {
+            // Single-char literal like `' '` or `'.'`.
+            s.bump();
+            let text = c.to_string();
+            if s.peek() == Some('\'') {
+                s.bump();
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Tok {
+            kind: TokKind::Char,
+            text: String::new(),
+            line,
+            col,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_in_strings_and_comments_are_not_idents() {
+        let toks = kinds("let x = \"HashMap\"; // HashMap\n/* HashMap */ y");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(t == "HashMap" && *k == TokKind::Ident)));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "HashMap"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+        // The `str` after `&'a` must survive as an identifier.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "str"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds("r#\"a \"quoted\" b\"# end");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[0].1, "a \"quoted\" b");
+        assert!(toks[1].1 == "end");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert!(toks[1].1 == "after");
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let toks = kinds(r#""say \"hi\"" next"#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[1].1 == "next");
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let toks = kinds("0..10 1.5e-3 0xFF_u64");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "0xFF_u64"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = tokenize("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ia-lint — workspace determinism & invariant checker
+//!
+//! Every headline number in this reproduction rests on one property:
+//! reports are byte-identical across `--threads`, seeds, and hosts.
+//! `ia-lint` enforces that property (and a few adjacent invariants)
+//! *statically*, with its own lightweight string/char/comment-aware Rust
+//! token scanner — no `syn`, no dependencies, consistent with the
+//! offline-build policy.
+//!
+//! The catalog (see `crates/lint/LINTS.md` for rationale and examples):
+//!
+//! * **D-series — determinism.** No hash-ordered collections in report
+//!   paths (D001), no wall-clock reads in simulator code (D002), no
+//!   environment-dependent inputs (D003), no RNGs without an explicit
+//!   seed (D004).
+//! * **P-series — panic policy.** No `.unwrap()`/`.expect()` (P001) or
+//!   `panic!`-family macros (P002) in non-test library code.
+//! * **M-series — metrics.** Registered metric names follow the
+//!   `crate.section.name` convention (M001) and never collide across
+//!   crates (M002).
+//! * **S-series — safety.** Every crate root forbids `unsafe_code`
+//!   (S001) and every experiment binary routes through
+//!   `ia_bench::report::cli` (S002).
+//!
+//! Violations print as `file:line:col: LINT-ID: message` (or JSON with
+//! `--json`). Pre-existing findings are grandfathered by the checked-in
+//! `lint.baseline`, which only ratchets toward zero: a count that rises
+//! fails the gate, and a count that falls is reported as stale until the
+//! baseline is regenerated. Individual sites can be waived in place with
+//! `// lint: allow(ID, reason)` on (or directly above) the line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod context;
+pub mod lexer;
+pub mod lints;
+pub mod output;
+pub mod scan;
+
+pub use baseline::{Baseline, Gated, StaleEntry};
+pub use lints::{Finding, CATALOG};
+pub use scan::{analyze, analyze_source, Analysis};

@@ -1,0 +1,406 @@
+//! The lint catalog: D-series (determinism), P-series (panic policy),
+//! M-series (metric naming), S-series (safety / CLI routing).
+//!
+//! Every lint is identified by a stable `X000` ID. Findings print as
+//! `file:line:col: LINT-ID: message`; the catalog with rationale and
+//! waiver guidance lives in `crates/lint/LINTS.md`.
+
+use crate::context::FileContext;
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// One catalog entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// Stable ID (`D001`, `P001`, …).
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description shown by `--list`.
+    pub summary: &'static str,
+}
+
+/// The full catalog, in ID order.
+pub const CATALOG: &[LintInfo] = &[
+    LintInfo {
+        id: "D001",
+        name: "hash-collection-in-report-path",
+        summary: "HashMap/HashSet in report-building code (ia-bench, ia-telemetry) — \
+                  iteration order could reach report bytes; use BTreeMap/BTreeSet or sort",
+    },
+    LintInfo {
+        id: "D002",
+        name: "wall-clock-in-simulator",
+        summary: "std::time::Instant/SystemTime outside ia-par — simulated time must come \
+                  from engine cycles, never the host clock",
+    },
+    LintInfo {
+        id: "D003",
+        name: "environment-dependent-input",
+        summary: "std::env::var/vars or RandomState — results must be a pure function of \
+                  CLI flags and seeds, not the host environment",
+    },
+    LintInfo {
+        id: "D004",
+        name: "rng-without-explicit-seed",
+        summary: "from_entropy()/thread_rng() — stateful RNGs must be built via \
+                  SmallRng::seed_from_u64 with an explicit seed",
+    },
+    LintInfo {
+        id: "M001",
+        name: "metric-name-convention",
+        summary: "metric names must be dot-separated lowercase paths with >= 2 segments \
+                  (`crate.section.name`), each segment `[a-z0-9_]+`",
+    },
+    LintInfo {
+        id: "M002",
+        name: "metric-name-collision",
+        summary: "the same metric name is registered from two different crates — rename, \
+                  or waive the consumer site with `// lint: allow(M002, why)`",
+    },
+    LintInfo {
+        id: "P001",
+        name: "unwrap-in-library-code",
+        summary: ".unwrap()/.expect() in non-test code — return a Result, or justify with \
+                  `// lint: allow(P001, why)` / a baseline entry",
+    },
+    LintInfo {
+        id: "P002",
+        name: "panic-in-library-code",
+        summary: "panic!/todo!/unimplemented! in non-test code — return an error, or \
+                  justify with `// lint: allow(P002, why)` / a baseline entry",
+    },
+    LintInfo {
+        id: "S001",
+        name: "missing-forbid-unsafe",
+        summary: "every crate root must declare `#![forbid(unsafe_code)]`",
+    },
+    LintInfo {
+        id: "S002",
+        name: "bin-bypasses-cli",
+        summary: "every experiment binary must route through ia_bench::report::cli \
+                  (shared flags, error handling, exit codes)",
+    },
+];
+
+/// Looks up a catalog entry by ID.
+#[must_use]
+pub fn info(id: &str) -> Option<&'static LintInfo> {
+    CATALOG.iter().find(|l| l.id == id)
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Catalog ID.
+    pub id: &'static str,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.id, self.message
+        )
+    }
+}
+
+/// A metric-name registration site, recorded for the cross-file M002 pass.
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    /// Metric name literal.
+    pub name: String,
+    /// Crate the registration lives in (`bench`, `dram`, root = `intelligent-arch`).
+    pub krate: String,
+    /// Registration site.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// File-path prefixes whose sources build report/metric bytes: hash-ordered
+/// collections are banned outright there (D001).
+const REPORT_PATHS: &[&str] = &["crates/bench/src/", "crates/telemetry/src/"];
+
+/// `ia-par` measures wall-clock worker time by design; its numbers are
+/// runtime diagnostics excluded from every report (see ia-bench docs).
+const WALL_CLOCK_EXEMPT: &[&str] = &["crates/par/"];
+
+/// The in-tree `rand` shim defines the seeding API itself.
+const RNG_EXEMPT: &[&str] = &["crates/rand/"];
+
+/// Extracts the crate name from a workspace-relative path.
+#[must_use]
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("?").to_owned(),
+        _ => "intelligent-arch".to_owned(),
+    }
+}
+
+fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Runs all single-file lints on one file. Cross-file facts (metric
+/// registrations for M002) are appended to `metrics`; S-series runs in
+/// the workspace passes ([`check_crate_root`], [`check_bench_bin`]).
+#[must_use]
+pub fn check_file(path: &str, ctx: &FileContext, metrics: &mut Vec<MetricSite>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let code = &ctx.code;
+    let mut push = |id: &'static str, t: &Tok, message: String| {
+        if !ctx.allowed(id, t.line) {
+            out.push(Finding {
+                file: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                id,
+                message,
+            });
+        }
+    };
+
+    let in_report_path = starts_with_any(path, REPORT_PATHS);
+    let wall_clock_exempt = starts_with_any(path, WALL_CLOCK_EXEMPT);
+    let rng_exempt = starts_with_any(path, RNG_EXEMPT);
+
+    for (i, t) in code.iter().enumerate() {
+        if ctx.is_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &code[j]);
+        let prev_is_dot = prev.is_some_and(|p| p.is_punct('.'));
+        let next_is_open = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_is_bang = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if in_report_path => push(
+                "D001",
+                t,
+                format!(
+                    "`{}` in a report path — iteration order can reach report bytes; \
+                     use BTreeMap/BTreeSet or sort before emitting",
+                    t.text
+                ),
+            ),
+            "Instant" | "SystemTime" if !wall_clock_exempt => push(
+                "D002",
+                t,
+                format!(
+                    "wall-clock type `{}` in simulator code — derive time from engine \
+                     cycles, not the host clock",
+                    t.text
+                ),
+            ),
+            "RandomState" => push(
+                "D003",
+                t,
+                "`RandomState` seeds hashing from the OS — results would vary per process"
+                    .to_owned(),
+            ),
+            // `env::var`, `env::var_os`, `env::vars` (not `env::args`,
+            // which feeds the shared CLI).
+            "env"
+                if code.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|a| a.is_punct(':')) =>
+            {
+                if let Some(m) = code.get(i + 3) {
+                    if matches!(m.text.as_str(), "var" | "var_os" | "vars" | "vars_os") {
+                        push(
+                            "D003",
+                            t,
+                            format!(
+                                "environment read `env::{}` — results must be a pure \
+                                 function of CLI flags and seeds",
+                                m.text
+                            ),
+                        );
+                    }
+                }
+            }
+            "from_entropy" | "thread_rng"
+                if !rng_exempt && !prev.is_some_and(|p| p.is_ident("fn")) =>
+            {
+                push(
+                    "D004",
+                    t,
+                    format!(
+                        "`{}` constructs an RNG without an explicit seed — use \
+                         `SmallRng::seed_from_u64(seed)`",
+                        t.text
+                    ),
+                );
+            }
+            "unwrap" | "expect" if prev_is_dot && next_is_open => push(
+                "P001",
+                t,
+                format!("`.{}()` in non-test code — return a Result instead", t.text),
+            ),
+            "panic" | "todo" | "unimplemented" if next_is_bang => push(
+                "P002",
+                t,
+                format!("`{}!` in non-test code — return an error instead", t.text),
+            ),
+            "counter" | "gauge" | "histogram" if prev_is_dot && next_is_open => {
+                if let Some(lit) = code.get(i + 2).filter(|l| l.kind == TokKind::Str) {
+                    if !metric_name_ok(&lit.text) {
+                        push(
+                            "M001",
+                            lit,
+                            format!(
+                                "metric name `{}` violates the `crate.section.name` \
+                                 convention (>= 2 dot-separated `[a-z0-9_]+` segments)",
+                                lit.text
+                            ),
+                        );
+                    }
+                    if !ctx.allowed("M002", lit.line) {
+                        metrics.push(MetricSite {
+                            name: lit.text.clone(),
+                            krate: crate_of(path),
+                            file: path.to_owned(),
+                            line: lit.line,
+                            col: lit.col,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// M001 shape: `seg(.seg)+` with every segment a non-empty `[a-z0-9_]+`.
+#[must_use]
+pub fn metric_name_ok(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// M002: the same metric name registered from two or more crates. The
+/// first site (in path order) is treated as the owner; every site in a
+/// different crate is a finding.
+#[must_use]
+pub fn check_metric_collisions(metrics: &[MetricSite]) -> Vec<Finding> {
+    let mut by_name: BTreeMap<&str, Vec<&MetricSite>> = BTreeMap::new();
+    for m in metrics {
+        by_name.entry(&m.name).or_default().push(m);
+    }
+    let mut out = Vec::new();
+    for (name, mut sites) in by_name {
+        sites.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        let owner = &sites[0];
+        for s in &sites[1..] {
+            if s.krate != owner.krate {
+                out.push(Finding {
+                    file: s.file.clone(),
+                    line: s.line,
+                    col: s.col,
+                    id: "M002",
+                    message: format!(
+                        "metric `{name}` is already registered by crate `{}` \
+                         ({}:{}) — cross-crate names must be unique",
+                        owner.krate, owner.file, owner.line
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// S001: a crate root must carry the inner attribute
+/// `#![forbid(unsafe_code)]`.
+#[must_use]
+pub fn check_crate_root(path: &str, ctx: &FileContext) -> Vec<Finding> {
+    let code = &ctx.code;
+    let found = code.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if found || ctx.allowed("S001", 1) {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: path.to_owned(),
+            line: 1,
+            col: 1,
+            id: "S001",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        }]
+    }
+}
+
+/// S002: an experiment binary must call through `report::cli` so every
+/// bin shares flags, error handling, and exit codes.
+#[must_use]
+pub fn check_bench_bin(path: &str, ctx: &FileContext) -> Vec<Finding> {
+    let code = &ctx.code;
+    let found = code.windows(4).any(|w| {
+        w[0].is_ident("report") && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident("cli")
+    });
+    if found || ctx.allowed("S002", 1) {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: path.to_owned(),
+            line: 1,
+            col: 1,
+            id: "S002",
+            message: "experiment binary does not route through `ia_bench::report::cli`".to_owned(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_shapes() {
+        assert!(metric_name_ok("dram.reads"));
+        assert!(metric_name_ok("ctrl.reliability.faults_injected"));
+        assert!(metric_name_ok("cache.l2.hits"));
+        assert!(!metric_name_ok("reads"));
+        assert!(!metric_name_ok("Dram.reads"));
+        assert!(!metric_name_ok("dram..reads"));
+        assert!(!metric_name_ok("dram.reads "));
+        assert!(!metric_name_ok(""));
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_sorted() {
+        let ids: Vec<&str> = CATALOG.iter().map(|l| l.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "catalog must stay in unique ID order");
+        assert!(info("P001").is_some());
+        assert!(info("Z999").is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! `ia-lint` CLI: the workspace determinism & invariant gate.
+//!
+//! ```text
+//! cargo run -q -p ia-lint -- --check            # CI gate (text output)
+//! cargo run -q -p ia-lint -- --json             # machine-readable output
+//! cargo run -q -p ia-lint -- --write-baseline   # ratchet after a burn-down
+//! cargo run -q -p ia-lint -- --list             # print the lint catalog
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new findings or stale baseline entries,
+//! `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use ia_lint::{analyze, Baseline, CATALOG};
+use std::path::PathBuf;
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: ia-lint [--check] [--json] [--write-baseline] [--list] \
+     [--root <dir>] [--baseline <file>]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        write_baseline: false,
+        list: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {}
+            "--json" => opts.json = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list" => opts.list = true,
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root expects a directory")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--baseline" => {
+                i += 1;
+                let file = args.get(i).ok_or("--baseline expects a file")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(run(&opts));
+}
+
+fn run(opts: &Options) -> i32 {
+    if opts.list {
+        for l in CATALOG {
+            println!("{}  {:32} {}", l.id, l.name, normalize_ws(l.summary));
+        }
+        return 0;
+    }
+    if !opts.root.join("crates").is_dir() {
+        eprintln!(
+            "error: `{}` does not look like the workspace root (no crates/ directory); \
+             pass --root",
+            opts.root.display()
+        );
+        return 2;
+    }
+    let analysis = match analyze(&opts.root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: scanning workspace: {e}");
+            return 2;
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.baseline"));
+
+    if opts.write_baseline {
+        let text = Baseline::render(&analysis.findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return 2;
+        }
+        println!(
+            "ia-lint: wrote {} covering {} finding(s) across {} file(s) scanned",
+            baseline_path.display(),
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+        return 0;
+    }
+
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let gated = baseline.apply(&analysis.findings);
+    if opts.json {
+        print!("{}", ia_lint::output::json(&gated, analysis.files_scanned));
+    } else {
+        print!("{}", ia_lint::output::text(&gated, analysis.files_scanned));
+    }
+    i32::from(!gated.is_clean())
+}
+
+/// Loads the baseline; a missing file means "nothing grandfathered".
+fn load_baseline(path: &std::path::Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+/// Collapses the multi-line catalog summaries for one-line `--list` rows.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

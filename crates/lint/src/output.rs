@@ -1,0 +1,144 @@
+//! Rendering: human-readable `file:line:col: ID: message` lines and the
+//! machine-readable JSON document (hand-rolled — ia-lint is
+//! zero-dependency by design, like the rest of the offline build).
+
+use crate::baseline::Gated;
+use crate::lints::Finding;
+use std::fmt::Write as _;
+
+/// Renders the gate outcome as text for humans/CI logs.
+#[must_use]
+pub fn text(gated: &Gated, files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in &gated.new {
+        let _ = writeln!(out, "{f}");
+    }
+    for s in &gated.stale {
+        let _ = writeln!(
+            out,
+            "{}: stale baseline entry for {}: baseline says {}, found {} — run \
+             `cargo run -p ia-lint -- --write-baseline` to ratchet down",
+            s.file, s.id, s.baseline, s.found
+        );
+    }
+    let _ = writeln!(
+        out,
+        "ia-lint: {} file(s) scanned, {} new finding(s), {} stale baseline entr{}, \
+         {} grandfathered",
+        files_scanned,
+        gated.new.len(),
+        gated.stale.len(),
+        if gated.stale.len() == 1 { "y" } else { "ies" },
+        gated.grandfathered
+    );
+    out
+}
+
+/// Renders the gate outcome as a stable JSON document: findings and
+/// stale entries in sorted order, suitable for diffing across runs.
+#[must_use]
+pub fn json(gated: &Gated, files_scanned: usize) -> String {
+    let mut out = String::from("{\"version\":1");
+    let _ = write!(out, ",\"files_scanned\":{files_scanned}");
+    let _ = write!(out, ",\"grandfathered\":{}", gated.grandfathered);
+    out.push_str(",\"findings\":[");
+    for (i, f) in gated.new.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_finding(&mut out, f);
+    }
+    out.push_str("],\"stale\":[");
+    for (i, s) in gated.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"id\":{},\"baseline\":{},\"found\":{}}}",
+            quote(&s.file),
+            quote(&s.id),
+            s.baseline,
+            s.found
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn write_finding(out: &mut String, f: &Finding) {
+    let _ = write!(
+        out,
+        "{{\"file\":{},\"line\":{},\"col\":{},\"id\":{},\"message\":{}}}",
+        quote(&f.file),
+        f.line,
+        f.col,
+        quote(f.id),
+        quote(&f.message)
+    );
+}
+
+/// Minimal JSON string quoting.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::StaleEntry;
+
+    fn gated() -> Gated {
+        Gated {
+            new: vec![Finding {
+                file: "crates/x/src/lib.rs".to_owned(),
+                line: 3,
+                col: 7,
+                id: "P001",
+                message: "`.unwrap()` in non-test code — return a Result instead".to_owned(),
+            }],
+            stale: vec![StaleEntry {
+                file: "crates/y/src/lib.rs".to_owned(),
+                id: "P001".to_owned(),
+                baseline: 4,
+                found: 2,
+            }],
+            grandfathered: 10,
+        }
+    }
+
+    #[test]
+    fn text_lists_findings_in_grep_friendly_form() {
+        let t = text(&gated(), 5);
+        assert!(t.contains("crates/x/src/lib.rs:3:7: P001:"));
+        assert!(t.contains("stale baseline entry"));
+        assert!(t.contains("5 file(s) scanned, 1 new finding(s)"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let j = json(&gated(), 5);
+        assert!(j.contains("\"files_scanned\":5"));
+        assert!(j.contains("\"id\":\"P001\""));
+        assert!(j.contains("\"baseline\":4"));
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        // Byte-stable: rendering twice is identical.
+        assert_eq!(j, json(&gated(), 5));
+    }
+}

@@ -1,0 +1,154 @@
+//! Workspace traversal: find every `.rs` source, run the per-file lints,
+//! then the cross-file passes.
+
+use crate::context::FileContext;
+use crate::lexer::tokenize;
+use crate::lints::{
+    check_bench_bin, check_crate_root, check_file, check_metric_collisions, Finding, MetricSite,
+};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned under the workspace root.
+const SCAN_DIRS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Path prefixes excluded from the scan: build output, and the lint
+/// fixture corpus (which contains violations on purpose).
+const SKIP_PREFIXES: &[&str] = &["target/", "crates/lint/tests/fixtures/"];
+
+/// Result of a full workspace scan.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings surviving `lint: allow` waivers, sorted by
+    /// `(file, line, col, id)`. Baseline gating happens separately.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// True when `path` is a crate root that must carry
+/// `#![forbid(unsafe_code)]` (S001): `src/lib.rs` / `src/main.rs` of the
+/// facade crate or of any `crates/<name>` member.
+#[must_use]
+pub fn is_crate_root(path: &str) -> bool {
+    if path == "src/lib.rs" || path == "src/main.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = path.split('/').collect();
+    matches!(parts.as_slice(), ["crates", _, "src", "lib.rs" | "main.rs"])
+}
+
+/// True when `path` is an experiment binary that must route through
+/// `ia_bench::report::cli` (S002).
+#[must_use]
+pub fn is_bench_bin(path: &str) -> bool {
+    path.starts_with("crates/bench/src/bin/") && path.ends_with(".rs")
+}
+
+/// Recursively collects workspace-relative `.rs` paths, sorted so the
+/// scan (and therefore every report) is order-deterministic.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for dir in SCAN_DIRS {
+        let d = root.join(dir);
+        if d.is_dir() {
+            walk(root, &d, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(rel) = relative(root, &path) else {
+            continue;
+        };
+        if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Renders `path` relative to `root` with `/` separators.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Lints one already-loaded source file. Exposed for fixture tests.
+#[must_use]
+pub fn analyze_source(path: &str, src: &str, metrics: &mut Vec<MetricSite>) -> Vec<Finding> {
+    let ctx = FileContext::build(path, tokenize(src));
+    let mut findings = check_file(path, &ctx, metrics);
+    if is_crate_root(path) {
+        findings.extend(check_crate_root(path, &ctx));
+    }
+    if is_bench_bin(path) {
+        findings.extend(check_bench_bin(path, &ctx));
+    }
+    findings
+}
+
+/// Scans the workspace under `root` and runs the full catalog.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree.
+pub fn analyze(root: &Path) -> io::Result<Analysis> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    let mut metrics: Vec<MetricSite> = Vec::new();
+    for rel in &sources {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        findings.extend(analyze_source(rel, &src, &mut metrics));
+    }
+    findings.extend(check_metric_collisions(&metrics));
+    findings.sort();
+    Ok(Analysis {
+        findings,
+        files_scanned: sources.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_and_bin_classification() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/dram/src/lib.rs"));
+        assert!(is_crate_root("crates/lint/src/main.rs"));
+        assert!(!is_crate_root("crates/dram/src/module.rs"));
+        assert!(!is_crate_root("crates/bench/src/bin/exp02_rowclone.rs"));
+        assert!(is_bench_bin("crates/bench/src/bin/exp02_rowclone.rs"));
+        assert!(!is_bench_bin("crates/bench/src/report.rs"));
+    }
+
+    #[test]
+    fn analyze_source_flags_and_waives() {
+        let mut m = Vec::new();
+        let bad = "fn f() { x.unwrap(); }";
+        let f = analyze_source("crates/x/src/util.rs", bad, &mut m);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, "P001");
+        let waived = "fn f() { x.unwrap(); // lint: allow(P001, test helper)\n}";
+        assert!(analyze_source("crates/x/src/util.rs", waived, &mut m).is_empty());
+    }
+}

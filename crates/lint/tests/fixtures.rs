@@ -1,0 +1,129 @@
+//! Fixture-corpus tests: every LINT-ID has a positive (`_bad`) and a
+//! negative (`_ok`) fixture under `tests/fixtures/`, linted *as if* it
+//! lived at the workspace path named by its `// path:` header.
+
+use ia_lint::lints::{check_metric_collisions, MetricSite};
+use ia_lint::{analyze_source, CATALOG};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Loads a fixture, returning its pretend workspace path and source.
+fn load(name: &str) -> (String, String) {
+    let src = std::fs::read_to_string(fixture_dir().join(name))
+        .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+    let header = src.lines().next().unwrap_or_default();
+    let path = header
+        .strip_prefix("// path: ")
+        .unwrap_or_else(|| panic!("fixture {name} must start with `// path: <path>`"))
+        .trim()
+        .to_owned();
+    (path, src)
+}
+
+/// Lints one fixture, returning the IDs of its findings (sorted, deduped).
+fn lint_ids(name: &str, metrics: &mut Vec<MetricSite>) -> Vec<&'static str> {
+    let (path, src) = load(name);
+    let mut ids: Vec<&'static str> = analyze_source(&path, &src, metrics)
+        .into_iter()
+        .map(|f| f.id)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// IDs exercised by plain single-file fixture pairs (M002 is cross-file
+/// and has its own test below).
+const PAIRED_IDS: &[&str] = &[
+    "D001", "D002", "D003", "D004", "M001", "P001", "P002", "S001", "S002",
+];
+
+#[test]
+fn every_catalog_id_has_fixture_coverage() {
+    for l in CATALOG {
+        assert!(
+            PAIRED_IDS.contains(&l.id) || l.id == "M002",
+            "lint {} has no fixture coverage — add {}_bad.rs / {}_ok.rs",
+            l.id,
+            l.id.to_lowercase(),
+            l.id.to_lowercase()
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_trigger_exactly_their_lint() {
+    for id in PAIRED_IDS {
+        let mut metrics = Vec::new();
+        let ids = lint_ids(&format!("{}_bad.rs", id.to_lowercase()), &mut metrics);
+        assert_eq!(
+            ids,
+            vec![*id],
+            "{id}_bad.rs must produce {id} findings and nothing else"
+        );
+    }
+}
+
+#[test]
+fn ok_fixtures_are_clean() {
+    for id in PAIRED_IDS {
+        let mut metrics = Vec::new();
+        let name = format!("{}_ok.rs", id.to_lowercase());
+        let ids = lint_ids(&name, &mut metrics);
+        assert!(ids.is_empty(), "{name} must be clean, got {ids:?}");
+    }
+}
+
+#[test]
+fn m002_cross_crate_collision_fires_and_same_crate_does_not() {
+    // Two crates registering the same name: the non-owner site is flagged.
+    let mut metrics = Vec::new();
+    assert!(lint_ids("m002_peer.rs", &mut metrics).is_empty());
+    assert!(lint_ids("m002_bad.rs", &mut metrics).is_empty());
+    let collisions = check_metric_collisions(&metrics);
+    assert_eq!(collisions.len(), 1);
+    assert_eq!(collisions[0].id, "M002");
+    // The first site in path order (`cache` < `dram`) owns the name;
+    // the other crate's site is the finding.
+    assert_eq!(collisions[0].file, "crates/dram/src/fake_metrics.rs");
+    assert!(collisions[0].message.contains("crate `cache`"));
+
+    // The same name twice within one crate is not a collision.
+    let mut metrics = Vec::new();
+    assert!(lint_ids("m002_ok.rs", &mut metrics).is_empty());
+    assert!(check_metric_collisions(&metrics).is_empty());
+}
+
+#[test]
+fn waiver_suppresses_each_lint_in_bad_fixtures() {
+    // Appending a trailing waiver to every offending line silences the
+    // fixture entirely — proving `lint: allow` works for every ID.
+    for id in PAIRED_IDS {
+        let (path, src) = load(&format!("{}_bad.rs", id.to_lowercase()));
+        let mut metrics = Vec::new();
+        let offending: Vec<u32> = analyze_source(&path, &src, &mut metrics)
+            .iter()
+            .map(|f| f.line)
+            .collect();
+        let waived: String = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if offending.contains(&(i as u32 + 1)) {
+                    format!("{l} // lint: allow({id}, fixture waiver)\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let mut metrics = Vec::new();
+        let left = analyze_source(&path, &waived, &mut metrics);
+        assert!(
+            left.is_empty(),
+            "waivers must silence {id}_bad.rs, got {left:?}"
+        );
+    }
+}

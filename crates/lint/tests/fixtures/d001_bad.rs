@@ -1,0 +1,11 @@
+// path: crates/bench/src/fake_report.rs
+// D001: hash-ordered collections in a report path.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn build_rows() -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    counts.entry("reads".to_owned()).or_insert(1);
+    let seen: HashSet<u64> = HashSet::new();
+    let _ = seen;
+    counts.into_iter().collect()
+}

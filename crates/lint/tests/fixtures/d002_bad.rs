@@ -1,0 +1,7 @@
+// path: crates/dram/src/fake_timing.rs
+// D002: wall-clock reads in simulator code.
+fn measure() -> u64 {
+    let start = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// path: crates/bench/src/fake_env.rs
+// D003: environment-dependent inputs.
+use std::collections::hash_map::RandomState;
+
+fn configure() -> Option<String> {
+    let _state = RandomState::new();
+    std::env::var("IA_THREADS").ok()
+}

@@ -1,0 +1,6 @@
+// path: crates/bench/src/fake_env.rs
+// OK: CLI arguments feed the shared flag parser; only env *reads* are
+// environment-dependent.
+fn configure() -> Vec<String> {
+    std::env::args().skip(1).collect()
+}

@@ -1,0 +1,6 @@
+// path: crates/workloads/src/fake_gen.rs
+// D004: RNG construction without an explicit seed.
+fn make_rngs() {
+    let _a = rand::thread_rng();
+    let _b = SmallRng::from_entropy();
+}

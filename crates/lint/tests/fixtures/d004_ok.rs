@@ -1,0 +1,6 @@
+// path: crates/workloads/src/fake_gen.rs
+// OK: explicitly seeded construction; defining a fn named from_entropy
+// (as the in-tree rand shim does) is not a call site.
+fn make_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

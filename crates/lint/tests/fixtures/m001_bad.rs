@@ -1,0 +1,7 @@
+// path: crates/dram/src/fake_metrics.rs
+// M001: metric names off the crate.section.name convention.
+fn export(reg: &mut Registry) {
+    reg.counter("reads", 1);
+    reg.gauge("Dram.Util", 0.5);
+    reg.histogram("dram..latency", 9);
+}

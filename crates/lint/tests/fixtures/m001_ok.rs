@@ -1,0 +1,7 @@
+// path: crates/dram/src/fake_metrics.rs
+// OK: dot-separated lowercase paths with >= 2 segments.
+fn export(reg: &mut Registry) {
+    reg.counter("dram.reads", 1);
+    reg.gauge("dram.bank.util", 0.5);
+    reg.histogram("dram.latency_cycles", 9);
+}

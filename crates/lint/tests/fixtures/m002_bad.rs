@@ -1,0 +1,7 @@
+// path: crates/cache/src/fake_metrics.rs
+// M002: registers the same metric name as m002_peer.rs (crate `dram`).
+// The driver lints both files together; the first site in path order
+// (`cache` here) owns the name, so the collision lands on the peer.
+fn export(reg: &mut Registry) {
+    reg.counter("shared.reads", 1);
+}

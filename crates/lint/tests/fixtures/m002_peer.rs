@@ -1,0 +1,5 @@
+// path: crates/dram/src/fake_metrics.rs
+// Owner site for the M002 collision exercised by m002_bad.rs.
+fn export(reg: &mut Registry) {
+    reg.counter("shared.reads", 1);
+}

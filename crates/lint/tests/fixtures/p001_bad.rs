@@ -1,0 +1,6 @@
+// path: crates/cache/src/fake_lru.rs
+// P001: unwrap/expect in live library code.
+fn victim(stamps: &[u64]) -> usize {
+    let min = stamps.iter().min().unwrap();
+    stamps.iter().position(|s| s == min).expect("present")
+}

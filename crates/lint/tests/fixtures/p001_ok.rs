@@ -1,0 +1,17 @@
+// path: crates/cache/src/fake_lru.rs
+// OK: errors propagate; a justified waiver covers a provable invariant;
+// tests may unwrap freely.
+fn victim(stamps: &[u64]) -> Option<usize> {
+    let min = stamps.iter().min()?;
+    // lint: allow(P001, position of the min we just found always exists)
+    let at = stamps.iter().position(|s| s == min).expect("present");
+    Some(at)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        super::victim(&[3, 1, 2]).unwrap();
+    }
+}

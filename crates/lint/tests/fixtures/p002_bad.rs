@@ -1,0 +1,8 @@
+// path: crates/noc/src/fake_router.rs
+// P002: panic-family macros in live library code.
+fn route(port: usize) -> usize {
+    if port > 4 {
+        panic!("bad port {port}");
+    }
+    todo!()
+}

@@ -1,0 +1,17 @@
+// path: crates/noc/src/fake_router.rs
+// OK: errors are returned; #[test] fns may panic; the word panic! in a
+// string or comment is not a macro invocation.
+fn route(port: usize) -> Result<usize, String> {
+    if port > 4 {
+        return Err(format!("bad port {port} — would panic!"));
+    }
+    Ok(port)
+}
+
+#[test]
+fn asserts_are_fine() {
+    assert!(route(1).is_ok());
+    if route(9).is_ok() {
+        panic!("expected an error");
+    }
+}

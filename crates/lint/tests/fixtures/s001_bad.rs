@@ -1,0 +1,5 @@
+// path: crates/fakecrate/src/lib.rs
+// S001: crate root without #![forbid(unsafe_code)].
+#![warn(missing_docs)]
+
+pub fn live() {}

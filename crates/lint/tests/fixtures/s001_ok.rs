@@ -1,0 +1,6 @@
+// path: crates/fakecrate/src/lib.rs
+// OK: the root forbids unsafe code.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn live() {}

@@ -1,0 +1,147 @@
+//! The gate, end to end: ia-lint runs clean on its own workspace (with
+//! the checked-in baseline), fails loudly on injected violations, and
+//! reports stale baseline entries instead of silently keeping them.
+
+use ia_lint::{analyze, Baseline};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ia-lint"))
+        .args(args)
+        .output()
+        .expect("spawn ia-lint")
+}
+
+#[test]
+fn workspace_is_clean_under_the_checked_in_baseline() {
+    let root = workspace_root();
+    let analysis = analyze(&root).expect("scan workspace");
+    let text = std::fs::read_to_string(root.join("lint.baseline")).expect("baseline exists");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let gated = baseline.apply(&analysis.findings);
+    assert!(
+        gated.is_clean(),
+        "workspace gate must be green: new={:?} stale={:?}",
+        gated.new,
+        gated.stale
+    );
+    // The ratchet only grandfathers the panic-policy lint: determinism
+    // (D), metric (M), and safety (S) findings are never baselined.
+    for line in text.lines().filter(|l| !l.trim_start().starts_with('#')) {
+        if let Some(id) = line.split_whitespace().nth(1) {
+            assert!(
+                id.starts_with('P'),
+                "baseline may only carry P-series entries, found `{line}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn ia_lint_runs_clean_on_its_own_source() {
+    let analysis = analyze(&workspace_root()).expect("scan workspace");
+    let own: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(own.is_empty(), "ia-lint must lint itself clean: {own:?}");
+}
+
+/// Builds a minimal fake workspace containing one crate root with the
+/// given source, returning its path.
+fn mini_workspace(tag: &str, lib_rs: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("ws_{tag}"));
+    let src = root.join("crates/fake/src");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(src.join("lib.rs"), lib_rs).expect("write lib.rs");
+    root
+}
+
+const CLEAN_LIB: &str = "#![forbid(unsafe_code)]\npub fn f() -> Option<u32> { Some(1) }\n";
+const DIRTY_LIB: &str = "#![forbid(unsafe_code)]\npub fn f() -> u32 { g().unwrap() }\n";
+
+#[test]
+fn injected_violation_fails_the_gate_with_file_line_id() {
+    let root = mini_workspace("inject", DIRTY_LIB);
+    let out = run_lint(&["--check", "--root", root.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        stdout.contains("crates/fake/src/lib.rs:2:25: P001:"),
+        "must list file:line:col: LINT-ID, got:\n{stdout}"
+    );
+
+    let clean = mini_workspace("clean", CLEAN_LIB);
+    let out = run_lint(&["--check", "--root", clean.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+}
+
+#[test]
+fn baseline_ratchet_round_trips_and_reports_stale_entries() {
+    let root = mini_workspace("ratchet", DIRTY_LIB);
+    let rootarg = root.to_str().expect("utf-8 path");
+
+    // Grandfather the finding: the gate goes green.
+    let out = run_lint(&["--write-baseline", "--root", rootarg]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = run_lint(&["--check", "--root", rootarg]);
+    assert_eq!(out.status.code(), Some(0), "baselined finding must pass");
+
+    // Burn the finding down: the stale entry is reported, not kept.
+    std::fs::write(root.join("crates/fake/src/lib.rs"), CLEAN_LIB).expect("write");
+    let out = run_lint(&["--check", "--root", rootarg]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale entries must fail the gate"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        stdout.contains("stale baseline entry") && stdout.contains("--write-baseline"),
+        "stale report must say how to ratchet, got:\n{stdout}"
+    );
+
+    // Regenerating locks in the lower count.
+    let out = run_lint(&["--write-baseline", "--root", rootarg]);
+    assert_eq!(out.status.code(), Some(0));
+    let out = run_lint(&["--check", "--root", rootarg]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn json_output_is_byte_stable_across_runs() {
+    let root = mini_workspace("json", DIRTY_LIB);
+    let rootarg = root.to_str().expect("utf-8 path");
+    let a = run_lint(&["--json", "--root", rootarg]);
+    let b = run_lint(&["--json", "--root", rootarg]);
+    assert_eq!(a.status.code(), Some(1));
+    assert_eq!(a.stdout, b.stdout, "--json must be byte-stable for diffing");
+    let doc = String::from_utf8(a.stdout).expect("utf-8");
+    assert!(doc.starts_with("{\"version\":1"));
+    assert!(doc.contains("\"id\":\"P001\""));
+}
+
+#[test]
+fn list_prints_the_full_catalog() {
+    let out = run_lint(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    for l in ia_lint::CATALOG {
+        assert!(stdout.contains(l.id), "--list must mention {}", l.id);
+    }
+}
+
+#[test]
+fn bad_root_and_bad_flags_exit_2() {
+    let out = run_lint(&["--check", "--root", "/nonexistent-ia-lint"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -305,6 +305,7 @@ impl MemoryController {
         // mode to future commands only, which is exactly what we want.
         let dram = std::mem::replace(
             &mut self.dram,
+            // lint: allow(P001, the ddr3_1600 preset is statically valid)
             DramModule::new(DramConfig::ddr3_1600()).expect("preset is valid"),
         );
         self.dram = dram.with_latency_mode(mode);

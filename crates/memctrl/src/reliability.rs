@@ -541,6 +541,7 @@ fn corrupt(word: EccWord, mask: u128) -> EccWord {
     let mut m = mask;
     while m != 0 {
         let bit = m.trailing_zeros();
+        // lint: allow(P001, FlipMask construction masks to the 72-bit codeword)
         out = inject_error(out, bit).expect("flip masks only carry bits < 72");
         m &= m - 1;
     }

@@ -94,13 +94,15 @@ impl RlScheduler {
     #[must_use]
     pub fn new(config: RlSchedulerConfig) -> Self {
         let features = vec![
-            FeatureQuantizer::new(0.0, 1.0, 4).expect("static range"), // occupancy
-            FeatureQuantizer::new(0.0, 1.0, 4).expect("static range"), // row-hit fraction
-            FeatureQuantizer::new(0.0, 1.0, 2).expect("static range"), // write fraction
+            FeatureQuantizer::new(0.0, 1.0, 4).expect("static range"), // occupancy — lint: allow(P001, static feature range)
+            FeatureQuantizer::new(0.0, 1.0, 4).expect("static range"), // row-hit fraction — lint: allow(P001, static feature range)
+            FeatureQuantizer::new(0.0, 1.0, 2).expect("static range"), // write fraction — lint: allow(P001, static feature range)
         ];
+        // lint: allow(P001, feature table and action count are static)
         let mut agent = QAgent::new(features, ACTIONS, config.q).expect("static agent config");
         // Designer prior: start from the row-hit-first policy (the known
         // good default) and let experience reshape it.
+        // lint: allow(P001, ACTIONS is a non-empty static table)
         agent.seed_action_value(0, 0.5).expect("action 0 exists");
         RlScheduler {
             agent,

@@ -330,6 +330,7 @@ impl Clocked for BufferedMeshSim {
                 let port = self
                     .mesh
                     .xy_route(here, p.dst)
+                    // lint: allow(P001, queued packets are never at their destination)
                     .expect("non-local packet has a route");
                 if !used.contains(port) {
                     used.push(port);
@@ -343,6 +344,7 @@ impl Clocked for BufferedMeshSim {
                 let next = self
                     .mesh
                     .neighbor(here, port)
+                    // lint: allow(P001, xy_route only returns in-mesh ports)
                     .expect("xy routes stay in mesh");
                 self.moves.push((self.mesh.index(next), p));
             }
@@ -457,6 +459,7 @@ impl Clocked for BufferlessMeshSim {
                     .iter()
                     .find(|&pp| free.contains(pp))
                     .or_else(|| free.first())
+                    // lint: allow(P001, bufferless injection caps flits at the port count)
                     .expect("flit count never exceeds port count");
                 if !productive.contains(port) {
                     p.deflections += 1;
@@ -466,6 +469,7 @@ impl Clocked for BufferlessMeshSim {
                 let next = self
                     .mesh
                     .neighbor(here, port)
+                    // lint: allow(P001, the free-port set only holds valid mesh ports)
                     .expect("free ports are valid");
                 self.moves.push((self.mesh.index(next), p));
             }

@@ -149,6 +149,7 @@ where
         for h in handles {
             // Workers never unwind — panics are captured above — so
             // join can only fail if the runtime itself is broken.
+            // lint: allow(P001, worker closures catch_unwind every task; join failure means a broken runtime)
             let (local, worker_busy) = h.join().expect("ia-par worker never unwinds");
             collected.extend(local);
             busy.push(worker_busy);

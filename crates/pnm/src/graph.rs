@@ -85,6 +85,7 @@ impl<'g> PnmGraphEngine<'g> {
         for v in order {
             let vault = (0..stack.vaults)
                 .min_by_key(|&k| (load[k], count[k], k))
+                // lint: allow(P001, StackConfig validation rejects vaults == 0)
                 .expect("at least one vault");
             vault_of[v as usize] = vault;
             load[vault] += graph.out_degree(v) as u64;

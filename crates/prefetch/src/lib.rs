@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -83,6 +84,7 @@ impl<P: Prefetcher> PerceptronFilter<P> {
     pub fn new(inner: P) -> Self {
         PerceptronFilter {
             inner,
+            // lint: allow(P001, static width 8 is always a valid perceptron size)
             perceptron: Perceptron::new(8).expect("static width"),
             suppressed: 0,
             inflight: std::collections::HashMap::new(),

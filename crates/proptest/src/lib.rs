@@ -14,6 +14,7 @@
 //! regression files: each test runs `cases` deterministic random inputs
 //! (seeded from the test's module path, so failures reproduce exactly).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::marker::PhantomData;

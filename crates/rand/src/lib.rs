@@ -16,6 +16,7 @@
 //! crates.io implementation; all in-tree tests assert distributional
 //! properties, not exact draws.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

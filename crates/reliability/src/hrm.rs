@@ -115,15 +115,16 @@ pub fn place(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let best = tier_order[0];
-    let cheapest = *tier_order
+    let cheapest = tier_order
         .iter()
-        .min_by(|&&a, &&b| {
+        .copied()
+        .min_by(|&a, &b| {
             tiers[a]
                 .relative_cost
                 .partial_cmp(&tiers[b].relative_cost)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
-        .expect("non-empty");
+        .unwrap_or(best);
 
     // Start everything on the cheapest tier, then promote regions in
     // decreasing vulnerability×size order until within budget.

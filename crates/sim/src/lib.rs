@@ -85,6 +85,8 @@
 //! `Clocked` impl for a worked example of all four steps, including exact
 //! scheduler-epoch fast-forwarding.
 
+#![forbid(unsafe_code)]
+
 mod clocked;
 mod cycle;
 mod engine;

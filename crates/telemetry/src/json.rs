@@ -339,7 +339,10 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            at: start,
+            message: "non-UTF-8 bytes in number".to_owned(),
+        })?;
         text.parse::<f64>()
             .map(JsonValue::Num)
             .map_err(|_| JsonError {

@@ -46,6 +46,7 @@
 //! assert!(snap.to_json().render().contains("\"cache.l1.hit_rate\":0.9"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

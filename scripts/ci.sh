@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== ia-lint (determinism & invariant gate)"
+cargo run -q -p ia-lint -- --check
+
 echo "== cargo test"
 cargo test -q --workspace
 

@@ -34,6 +34,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Cycle-level DRAM timing and energy simulation ([`ia_dram`]).
