@@ -24,6 +24,8 @@ pub struct Row {
     pub max_slowdown: f64,
     /// Requests per kilo-cycle.
     pub throughput: f64,
+    /// Total simulated cycles of the shared run.
+    pub cycles: u64,
     /// Event-driven engine counters for the shared run.
     pub engine: ia_sim::EngineStats,
 }
@@ -47,6 +49,7 @@ pub fn rows(quick: bool) -> Vec<Row> {
             8,
             200_000_000,
         )
+        // lint: allow(P001, config is a valid preset and every mix trace is non-empty)
         .expect("solo run")
         .threads[0]
             .finish
@@ -55,23 +58,38 @@ pub fn rows(quick: bool) -> Vec<Row> {
     // The seven shared runs are likewise independent; `par_map` returns
     // rows in `SchedulerKind::all()` order, so the table and every
     // metric reduction downstream match the serial run byte-for-byte.
-    par_map(auto_threads(), SchedulerKind::all().to_vec(), |kind| {
-        let report = run_closed_loop(
+    // Each run carries its `ia-trace` log (when capture is on) back to
+    // this thread, where the logs are submitted in input order — the
+    // session trace is therefore byte-identical across `--threads`.
+    let runs = par_map(auto_threads(), SchedulerKind::all().to_vec(), |kind| {
+        let mut report = run_closed_loop(
             DramConfig::ddr3_1600(),
             kind.build(traces.len()),
             &traces,
             8,
             500_000_000,
         )
+        // lint: allow(P001, config is a valid preset and every mix trace is non-empty)
         .expect("shared run");
-        Row {
+        let trace = report.trace.take();
+        let row = Row {
             name: kind.name().to_owned(),
             weighted_speedup: weighted_speedup(&alone, &report),
             max_slowdown: max_slowdown(&alone, &report),
             throughput: report.throughput_rpkc(),
+            cycles: report.cycles,
             engine: report.engine,
-        }
-    })
+        };
+        (row, trace)
+    });
+    runs.into_iter()
+        .map(|(row, trace)| {
+            if let Some(log) = trace {
+                ia_trace::submit(log.prefixed(&row.name));
+            }
+            row
+        })
+        .collect()
 }
 
 /// Runs the experiment and renders the table.

@@ -29,10 +29,12 @@ fn run_mode(mode: Option<LatencyMode>, quick: bool) -> RunReport {
     let n = if quick { 400 } else { 4000 };
     let traces = interference_mix(n, 77);
     let mut ctrl = MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
+        // lint: allow(P001, ddr3_1600 is a valid preset)
         .expect("valid config");
     if let Some(mode) = mode {
         ctrl = ctrl.with_latency_mode(mode);
     }
+    // lint: allow(P001, interference_mix traces are non-empty by construction)
     run_closed_loop_with(ctrl, &traces, 8, 500_000_000).expect("run completes")
 }
 

@@ -7,17 +7,23 @@
 //! cost; the price is deflections and earlier saturation at high load.
 
 use ia_core::Table;
-use ia_noc::{simulate, MeshConfig, NocReport, RouterKind, Traffic};
+use ia_noc::{simulate, simulate_traced, MeshConfig, NocReport, RouterKind, Traffic};
 
 /// Latency-vs-load series for both routers.
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
+    // lint: allow(P001, 8x8 are compile-time dims MeshConfig::new accepts)
     let mesh = MeshConfig::new(8, 8).expect("valid mesh");
     let cycles = if quick { 2_000 } else { 20_000 };
     let rates = [0.02f64, 0.05, 0.10, 0.20, 0.30];
     // 5 rates × 2 router kinds = 10 independent simulations, each with
     // its own seeded RNG inside `simulate`; fan them out and zip the
-    // order-preserved results back into per-rate rows.
+    // order-preserved results back into per-rate rows. When the bench
+    // CLI's `--trace`/`--profile` session capture is on, each task also
+    // records a mesh-activity trace; the logs ride back with the
+    // results and are submitted here in input order, keeping the
+    // session trace byte-identical across `--threads`.
+    let tracing = ia_trace::capture_enabled();
     let tasks: Vec<(f64, RouterKind)> = rates
         .iter()
         .flat_map(|&rate| {
@@ -27,9 +33,33 @@ pub fn sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
             ]
         })
         .collect();
-    let reports = ia_par::par_map(ia_par::auto_threads(), tasks, |(rate, kind)| {
-        simulate(kind, mesh, Traffic::UniformRandom, rate, cycles, 11).expect("valid run")
+    let runs = ia_par::par_map(ia_par::auto_threads(), tasks, |(rate, kind)| {
+        if tracing {
+            let (report, log) =
+                simulate_traced(kind, mesh, Traffic::UniformRandom, rate, cycles, 11)
+                    // lint: allow(P001, swept rates are constants inside [0, 1])
+                    .expect("valid run");
+            (report, Some(log), rate, kind)
+        } else {
+            let report = simulate(kind, mesh, Traffic::UniformRandom, rate, cycles, 11)
+                // lint: allow(P001, swept rates are constants inside [0, 1])
+                .expect("valid run");
+            (report, None, rate, kind)
+        }
     });
+    let reports: Vec<NocReport> = runs
+        .into_iter()
+        .map(|(report, log, rate, kind)| {
+            if let Some(log) = log {
+                let label = match kind {
+                    RouterKind::Buffered => format!("buffered@{rate:.2}"),
+                    RouterKind::BufferlessDeflection => format!("bufferless@{rate:.2}"),
+                };
+                ia_trace::submit(log.prefixed(&label));
+            }
+            report
+        })
+        .collect();
     rates
         .iter()
         .zip(reports.chunks(2))

@@ -27,6 +27,7 @@ pub fn sweep() -> Vec<(u32, f64, f64, f64, f64)> {
         |multiplier| {
             let p = sweep_refresh_multipliers(&model, &[multiplier])
                 .pop()
+                // lint: allow(P001, the sweep returns exactly one point per multiplier)
                 .expect("one point per multiplier");
             (
                 p.multiplier,

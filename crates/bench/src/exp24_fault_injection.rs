@@ -134,8 +134,15 @@ fn plan(rate: f64, rate_idx: usize) -> FaultPlan {
         .stuck(0.000_2 * rate)
 }
 
-/// Runs one sweep cell.
-fn cell(rate: f64, rate_idx: usize, mitigation: Mitigation, quick: bool) -> Cell {
+/// Runs one sweep cell. The optional `ia-trace` log (captured when the
+/// bench CLI's `--trace`/`--profile` session is on) rides back with the
+/// cell so [`cells`] can submit it on the calling thread in input order.
+fn cell(
+    rate: f64,
+    rate_idx: usize,
+    mitigation: Mitigation,
+    quick: bool,
+) -> (Cell, Option<ia_trace::TraceLog>) {
     let config = DramConfig::ddr3_1600();
     let reliability = ReliabilityConfig {
         mitigation,
@@ -157,13 +164,18 @@ fn cell(rate: f64, rate_idx: usize, mitigation: Mitigation, quick: bool) -> Cell
         .build();
     let pipeline = ReliabilityPipeline::with_hook(reliability, Box::new(injector), rows);
     let ctrl = MemoryController::new(config.clone(), Box::new(Fcfs::new()))
+        // lint: allow(P001, ddr3_1600 is a valid preset)
         .expect("valid config")
         .with_refresh_mode(RefreshMode::AllBank)
         .with_reliability(pipeline);
     let trace = trace(&config, quick);
-    let report = run_closed_loop_with(ctrl, &[trace], 4, 50_000_000).expect("run completes");
+    let mut report = run_closed_loop_with(ctrl, &[trace], 4, 50_000_000)
+        // lint: allow(P001, the trace is non-empty by construction)
+        .expect("run completes");
+    let log = report.trace.take();
+    // lint: allow(P001, with_reliability attached a pipeline two statements up)
     let rel = report.reliability.expect("pipeline attached");
-    Cell {
+    let cell = Cell {
         rate,
         mitigation,
         injected: rel.faults.injected(),
@@ -173,12 +185,13 @@ fn cell(rate: f64, rate_idx: usize, mitigation: Mitigation, quick: bool) -> Cell
         remaps: rel.stats.remaps,
         quarantines: rel.stats.quarantines,
         escalated_refreshes: rel.stats.escalated_refreshes,
-    }
+    };
+    (cell, log)
 }
 
 /// Runs the full sweep. Cells are independent simulations; `par_map`
-/// returns them in input order, so results are identical at any thread
-/// count.
+/// returns them in input order, so results — and any submitted traces —
+/// are identical at any thread count.
 #[must_use]
 pub fn cells(quick: bool) -> Vec<Cell> {
     let jobs: Vec<(usize, f64, Mitigation)> = rates(quick)
@@ -186,7 +199,19 @@ pub fn cells(quick: bool) -> Vec<Cell> {
         .enumerate()
         .flat_map(|(i, &r)| TIERS.iter().map(move |&m| (i, r, m)))
         .collect();
-    par_map(auto_threads(), jobs, move |(i, r, m)| cell(r, i, m, quick))
+    let runs = par_map(auto_threads(), jobs, move |(i, r, m)| cell(r, i, m, quick));
+    runs.into_iter()
+        .map(|(cell, log)| {
+            if let Some(log) = log {
+                ia_trace::submit(log.prefixed(&format!(
+                    "{:.0}x-{}",
+                    cell.rate,
+                    cell.mitigation.label()
+                )));
+            }
+            cell
+        })
+        .collect()
 }
 
 /// Headline numbers at the highest swept rate.
@@ -206,6 +231,7 @@ pub fn outcome(cells: &[Cell]) -> Outcome {
         cells
             .iter()
             .find(|c| c.rate == max_rate && c.mitigation == m)
+            // lint: allow(P001, the sweep crosses every rate with every tier)
             .expect("cell present")
             .uncorrected_rate
     };

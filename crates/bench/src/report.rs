@@ -9,7 +9,15 @@
 //!   `1` is the exact serial path, the default is the host's available
 //!   parallelism;
 //! * `--json <path>` — write the report as JSON;
-//! * `--csv <path>` — write the report's table (or metrics) as CSV.
+//! * `--csv <path>` — write the report's table (or metrics) as CSV;
+//! * `--trace <path>` — write an `ia-trace` Chrome trace-event JSON
+//!   file of the run (cycle-exact, byte-identical across `--threads`);
+//! * `--profile` — print the cycle-attribution profile and a `trace.*`
+//!   telemetry snapshot to stderr.
+//!
+//! Unknown flags and flags missing their value are rejected with exit
+//! status `2`, so sweep scripts fail loudly instead of silently running
+//! a default configuration.
 //!
 //! Reports round-trip through `ia-telemetry`'s own JSON parser — see
 //! [`ExperimentReport::from_json`] — so downstream tooling can consume
@@ -227,12 +235,51 @@ impl ExperimentReport {
     }
 }
 
-/// Returns the value following `flag` in `args`, if present.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct CliOptions {
+    quick: bool,
+    threads: Option<String>,
+    json: Option<String>,
+    csv: Option<String>,
+    trace: Option<String>,
+    profile: bool,
+}
+
+/// Strictly parses `args` (`args[0]` is the binary name). Every flag
+/// must be recognized and every value-taking flag must have a value —
+/// anything else is an error, so a typo can't silently run a default
+/// configuration.
+fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--profile" => opts.profile = true,
+            flag @ ("--threads" | "--json" | "--csv" | "--trace") => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return Err(format!("{flag} expects a value"));
+                };
+                let slot = match flag {
+                    "--threads" => &mut opts.threads,
+                    "--json" => &mut opts.json,
+                    "--csv" => &mut opts.csv,
+                    _ => &mut opts.trace,
+                };
+                *slot = Some(value.clone());
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --quick, --threads <n>, \
+                     --json <path>, --csv <path>, --trace <path>, --profile)"
+                ))
+            }
+        }
+        i += 1;
+    }
+    Ok(opts)
 }
 
 /// Shared experiment-binary entry point: prints the human-readable run
@@ -240,20 +287,27 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// machine-readable report. `--quick` selects the reduced configuration
 /// for both; `--threads <n>` sets the `ia-par` worker count for the
 /// whole process (`1` = the exact serial path, default = available
-/// parallelism). Parallel-execution diagnostics for the invocation are
-/// printed to stderr and attached to the report as
+/// parallelism). `--trace <path>` records an `ia-trace` session during
+/// the run and writes it as Chrome trace-event JSON; `--profile`
+/// additionally prints the cycle-attribution profile to stderr.
+/// Parallel-execution diagnostics for the invocation are printed to
+/// stderr and attached to the report as
 /// [runtime metrics](ExperimentReport::runtime_metric).
 ///
 /// # Exits
 ///
 /// Exits with status `2` (after a message on stderr, no backtrace) if
-/// `--threads` is not a positive integer or a requested output file
-/// cannot be written — an experiment binary has nothing sensible to do
-/// with either, and callers (CI, sweep scripts) key off the exit code.
+/// an argument is not recognized, `--threads` is not a positive
+/// integer, or a requested output file cannot be written — an
+/// experiment binary has nothing sensible to do with any of those, and
+/// callers (CI, sweep scripts) key off the exit code.
 pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> ExperimentReport) {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    if let Some(t) = flag_value(&args, "--threads") {
+    let opts = parse_cli(&args).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    });
+    if let Some(t) = &opts.threads {
         let n = t
             .parse::<usize>()
             .ok()
@@ -264,24 +318,52 @@ pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> Experi
             });
         ia_par::set_threads(n);
     }
-    let json_path = flag_value(&args, "--json");
-    let csv_path = flag_value(&args, "--csv");
+    let tracing = opts.trace.is_some() || opts.profile;
     let _ = ia_par::ledger::take();
-    print!("{}", run(quick));
-    if json_path.is_none() && csv_path.is_none() {
+    if tracing {
+        let _ = ia_trace::session::take();
+        ia_trace::set_capture(true);
+    }
+    print!("{}", run(opts.quick));
+    if tracing {
+        // Capture must be off before `report(quick)` re-runs the
+        // experiment below, or the session would hold everything twice.
+        ia_trace::set_capture(false);
+        let log = ia_trace::session::take();
+        if let Some(path) = &opts.trace {
+            write_or_exit(path, &ia_trace::chrome::render_chrome(&log));
+        }
+        if opts.profile {
+            eprint!("{}", profile_text(&log));
+        }
+    }
+    if opts.json.is_none() && opts.csv.is_none() {
         eprintln!("{}", par_diagnostics_line());
         return;
     }
-    let rep = attach_par_diagnostics(report(quick));
+    let rep = attach_par_diagnostics(report(opts.quick));
     eprintln!("{}", par_diagnostics_from(&rep));
-    if let Some(path) = json_path {
+    if let Some(path) = opts.json {
         let mut text = rep.to_json().render();
         text.push('\n');
         write_or_exit(&path, &text);
     }
-    if let Some(path) = csv_path {
+    if let Some(path) = opts.csv {
         write_or_exit(&path, &rep.to_csv());
     }
+}
+
+/// Renders the cycle-attribution profile of `log` plus a `trace.*`
+/// telemetry snapshot, for the `--profile` stderr block.
+fn profile_text(log: &ia_trace::TraceLog) -> String {
+    let profile = ia_trace::Profile::from_log(log);
+    let mut reg = ia_telemetry::Registry::new();
+    reg.collect("trace.profile", &profile);
+    let mut out = profile.to_text();
+    for (name, value) in reg.iter() {
+        out.push_str(&format!("[trace] {name}={}\n", value.scalar()));
+    }
+    out
 }
 
 /// Writes `text` to `path`, or reports the failure on stderr and exits
@@ -297,7 +379,9 @@ fn write_or_exit(path: &str, text: &str) {
 /// Drains the `ia-par` ledger into the report's runtime section:
 /// `par_threads` (configured workers), `par_tasks` (tasks executed this
 /// invocation), `par_imbalance` (worst max/mean worker busy time, `1` =
-/// balanced or serial) and `par_busy_ms` (total worker busy time).
+/// balanced or serial), `par_busy_ms` (total worker busy time) and
+/// `par_slowest_ms` (longest single task — the wall-clock floor of the
+/// sweep no matter how many workers are added).
 #[must_use]
 pub fn attach_par_diagnostics(rep: ExperimentReport) -> ExperimentReport {
     let ledger = ia_par::ledger::take();
@@ -310,6 +394,7 @@ pub fn attach_par_diagnostics(rep: ExperimentReport) -> ExperimentReport {
         .runtime_metric("par_tasks", ledger.tasks as f64)
         .runtime_metric("par_imbalance", imbalance)
         .runtime_metric("par_busy_ms", ledger.busy_total.as_secs_f64() * 1e3)
+        .runtime_metric("par_slowest_ms", ledger.slowest_task.as_secs_f64() * 1e3)
 }
 
 /// Renders the runtime diagnostics of `rep` as a one-line stderr note.
@@ -321,11 +406,12 @@ fn par_diagnostics_from(rep: &ExperimentReport) -> String {
             .map_or(0.0, |(_, v)| *v)
     };
     format!(
-        "[par] threads={} tasks={} imbalance={:.2} busy={:.1}ms",
+        "[par] threads={} tasks={} imbalance={:.2} busy={:.1}ms slowest={:.1}ms",
         get("par_threads"),
         get("par_tasks"),
         get("par_imbalance"),
         get("par_busy_ms"),
+        get("par_slowest_ms"),
     )
 }
 
@@ -388,6 +474,66 @@ mod tests {
         assert!(back.runtime.is_empty());
         // Byte-identity: the canonical output ignores runtime entirely.
         assert_eq!(json, sample().to_json().render());
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        std::iter::once("exp99_sample")
+            .chain(parts.iter().copied())
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn parse_cli_accepts_every_documented_flag() {
+        let opts = parse_cli(&argv(&[
+            "--quick",
+            "--threads",
+            "4",
+            "--json",
+            "a.json",
+            "--csv",
+            "b.csv",
+            "--trace",
+            "t.json",
+            "--profile",
+        ]))
+        .expect("all flags are valid");
+        assert!(opts.quick && opts.profile);
+        assert_eq!(opts.threads.as_deref(), Some("4"));
+        assert_eq!(opts.json.as_deref(), Some("a.json"));
+        assert_eq!(opts.csv.as_deref(), Some("b.csv"));
+        assert_eq!(opts.trace.as_deref(), Some("t.json"));
+        assert_eq!(parse_cli(&argv(&[])).unwrap(), CliOptions::default());
+    }
+
+    #[test]
+    fn parse_cli_rejects_unknown_flags_and_missing_values() {
+        let err = parse_cli(&argv(&["--qiuck"])).unwrap_err();
+        assert!(err.contains("unknown flag `--qiuck`"), "{err}");
+        for flag in ["--threads", "--json", "--csv", "--trace"] {
+            let err = parse_cli(&argv(&[flag])).unwrap_err();
+            assert!(err.contains("expects a value"), "{flag}: {err}");
+        }
+        // A stray positional argument is as suspect as a typoed flag.
+        assert!(parse_cli(&argv(&["quick"])).is_err());
+    }
+
+    #[test]
+    fn profile_text_reports_attribution_and_telemetry() {
+        let mut tracer = ia_trace::Tracer::new("ctrl", 16);
+        tracer.mark("sched.issue", 0);
+        tracer.mark_n("dram.burst", 1, 9);
+        let mut log = ia_trace::TraceLog::new();
+        log.push(tracer.take());
+        let text = profile_text(&log);
+        assert!(
+            text.contains("[profile] attributed 10 simulated cycles"),
+            "{text}"
+        );
+        assert!(
+            text.contains("[trace] trace.profile.attributed_cycles=10"),
+            "{text}"
+        );
     }
 
     #[test]

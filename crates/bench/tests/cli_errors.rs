@@ -1,0 +1,105 @@
+//! The shared experiment CLI's error contract, tested against a real
+//! binary (`exp05_scheduler_suite` stands in for all 24): bad arguments
+//! and unwritable output paths must exit with status `2` and a message
+//! on stderr — never a panic backtrace, never a silent default run —
+//! and the happy-path `--trace` output must be valid Chrome trace-event
+//! JSON.
+
+use std::process::{Command, Output};
+
+fn exp05(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_exp05_scheduler_suite"))
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn exp05: {e}"))
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = exp05(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{args:?}: stderr missing `{needle}`:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} must not panic:\n{stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?} must not run the experiment before failing"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_error(&["--qiuck"], "unknown flag `--qiuck`");
+    assert_usage_error(&["--quick", "extra"], "unknown flag `extra`");
+}
+
+#[test]
+fn value_flags_require_a_value() {
+    assert_usage_error(&["--threads"], "--threads expects a value");
+    assert_usage_error(&["--quick", "--trace"], "--trace expects a value");
+    assert_usage_error(&["--json"], "--json expects a value");
+    assert_usage_error(&["--csv"], "--csv expects a value");
+}
+
+#[test]
+fn threads_must_be_a_positive_integer() {
+    assert_usage_error(&["--threads", "0"], "positive integer");
+    assert_usage_error(&["--threads", "lots"], "positive integer");
+}
+
+#[test]
+fn unwritable_output_paths_exit_2_consistently() {
+    // The run itself succeeds (stdout has the table); the write fails
+    // afterwards, uniformly for every output kind.
+    for flag in ["--json", "--csv", "--trace"] {
+        let out = exp05(&["--quick", flag, "/nonexistent-dir/out.file"]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} to unwritable path must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error: writing /nonexistent-dir/out.file"),
+            "{flag}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn trace_smoke_writes_valid_chrome_json() {
+    let dir = std::env::temp_dir().join(format!("ia-cli-errors-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir: {e}"));
+    let path = dir.join("exp05.trace.json");
+    let out = exp05(&["--quick", "--trace", path.to_str().unwrap_or("bad-path")]);
+    assert!(out.status.success(), "trace run failed: {:?}", out.status);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read trace: {e}"));
+    let json = ia_telemetry::JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("trace output must parse as JSON: {e:?}"));
+    let events = match json.get("traceEvents") {
+        Some(ia_telemetry::JsonValue::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty(), "trace must contain events");
+    // Spot-check the Chrome trace-event shape: every event has a name
+    // and a phase, and the first events are thread-name metadata.
+    for ev in events {
+        assert!(ev.get("name").is_some() && ev.get("ph").is_some());
+    }
+    assert_eq!(
+        events[0].get("ph"),
+        Some(&ia_telemetry::JsonValue::Str("M".to_owned()))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,6 +3,7 @@
 //! convenience interface.
 
 use ia_telemetry::{MetricSource, Scope, TraceBuffer};
+use ia_trace::{ComponentTrace, Tracer};
 
 use crate::error::{ConfigError, IssueError};
 use crate::inject::{InjectEvent, InjectLog};
@@ -68,6 +69,7 @@ pub struct DramModule {
     charge_cache: ChargeCacheState,
     trace: TraceBuffer<CommandEvent>,
     inject: InjectLog,
+    tracer: Tracer,
 }
 
 impl DramModule {
@@ -91,6 +93,7 @@ impl DramModule {
             charge_cache: ChargeCacheState::new(),
             trace: TraceBuffer::disabled(),
             inject: InjectLog::default(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -106,6 +109,20 @@ impl DramModule {
     #[must_use]
     pub fn trace(&self) -> &TraceBuffer<CommandEvent> {
         &self.trace
+    }
+
+    /// Enables `ia-trace` instant recording of issued commands
+    /// (`bank.act`/`bank.pre`/`bank.rd`/`bank.wr`/`bank.ref`) on track
+    /// `"dram"`. Off by default; one branch per issued command.
+    pub fn enable_cycle_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::new("dram", capacity);
+    }
+
+    /// Drains the module's `ia-trace` recording (empty unless
+    /// [`enable_cycle_trace`](DramModule::enable_cycle_trace) was called).
+    #[must_use]
+    pub fn take_cycle_trace(&mut self) -> ComponentTrace {
+        self.tracer.take()
     }
 
     /// Enables the fault-injection observation point: activates, column
@@ -291,6 +308,16 @@ impl DramModule {
             bank: bank_idx,
             cmd,
         });
+        if self.tracer.is_enabled() {
+            let name = match cmd {
+                Command::Activate { .. } => "bank.act",
+                Command::Read { .. } => "bank.rd",
+                Command::Write { .. } => "bank.wr",
+                Command::Refresh => "bank.ref",
+                Command::Precharge => "bank.pre",
+            };
+            self.tracer.instant(name, now.as_u64());
+        }
         match cmd {
             Command::Activate { row } => self.inject.record_with(|| InjectEvent::Activate {
                 at: now,

@@ -13,6 +13,7 @@ use ia_dram::{Command, ConfigError, Cycle, DramConfig, DramModule};
 use ia_reliability::Raidr;
 use ia_sim::{Clocked, CompletionSink, EngineStats, SimLoop, StepOutcome};
 use ia_telemetry::{Histogram, MetricSource, Scope, TraceBuffer};
+use ia_trace::{TraceLog, Tracer};
 
 use crate::error::CtrlError;
 use crate::reliability::{ReliabilityPipeline, ReliabilityReport};
@@ -228,6 +229,11 @@ pub struct MemoryController {
     sched_idle: u64,
     engine: EngineStats,
     trace: TraceBuffer<SchedEvent>,
+    /// Cycle-attribution tracer (track `"ctrl"`): every simulated cycle
+    /// is classified into exactly one phase, so the profile partition
+    /// sums to the run's total cycles. Disabled by default — each trace
+    /// point costs one branch.
+    tracer: Tracer,
     reliability: Option<ReliabilityPipeline>,
     /// True when the last tick was provably idle (nothing retired, issued,
     /// or refreshed) and nothing has been enqueued since. Gates the full
@@ -262,6 +268,7 @@ impl MemoryController {
             sched_idle: 0,
             engine: EngineStats::default(),
             trace: TraceBuffer::disabled(),
+            tracer: Tracer::disabled(),
             reliability: None,
             quiet: false,
         })
@@ -359,6 +366,31 @@ impl MemoryController {
     #[must_use]
     pub fn trace(&self) -> &TraceBuffer<SchedEvent> {
         &self.trace
+    }
+
+    /// Enables cycle-attribution tracing on this controller (track
+    /// `"ctrl"`) and its DRAM module (track `"dram"`): each simulated
+    /// cycle is classified into exactly one phase
+    /// (`sched.issue_column`, `sched.issue_prep`, `refresh.auto`,
+    /// `dram.burst_retire`, `dram.timing_stall`, `dram.data_burst`,
+    /// `idle.empty`), and reliability-ladder activity is recorded as
+    /// instant deltas. Off by default; one branch per cycle.
+    pub fn enable_cycle_tracing(&mut self, capacity: usize) {
+        self.tracer = Tracer::new("ctrl", capacity);
+        self.dram.enable_cycle_trace(capacity);
+    }
+
+    /// Drains the controller's and DRAM module's cycle traces into a
+    /// [`TraceLog`]; `None` if cycle tracing was never enabled.
+    #[must_use]
+    pub fn take_trace_log(&mut self) -> Option<TraceLog> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let mut log = TraceLog::new();
+        log.push(self.tracer.take());
+        log.push(self.dram.take_cycle_trace());
+        Some(log)
     }
 
     /// The underlying DRAM module (timing/energy statistics).
@@ -459,6 +491,7 @@ impl MemoryController {
         // 3. Scheduling: one command per cycle.
         self.scheduler.prepare(&mut self.queue);
         let mut issued_this_cycle = false;
+        let mut column_issued = false;
         if let Some(i) = self.scheduler.select(&self.queue, &self.dram, self.now) {
             if i < self.queue.len() {
                 let p = self.queue[i];
@@ -474,6 +507,7 @@ impl MemoryController {
                     let column = matches!(cmd, Command::Read { .. } | Command::Write { .. });
                     if let Ok(out) = self.dram.issue(&p.loc, cmd, self.now) {
                         issued_this_cycle = true;
+                        column_issued = column;
                         if column {
                             self.sched_column += 1;
                         } else {
@@ -507,8 +541,70 @@ impl MemoryController {
         // `next_event_at` is now worth its cost.
         self.quiet = !issued_this_cycle && !refresh_fired && kept == had_inflight;
 
+        // Cycle attribution: classify this cycle into exactly one phase
+        // (highest-priority activity wins) so the per-phase totals
+        // partition the run's cycles exactly.
+        if self.tracer.is_enabled() {
+            let phase = if column_issued {
+                "sched.issue_column"
+            } else if issued_this_cycle {
+                "sched.issue_prep"
+            } else if refresh_fired {
+                "refresh.auto"
+            } else if kept != had_inflight {
+                "dram.burst_retire"
+            } else if !self.queue.is_empty() {
+                "dram.timing_stall"
+            } else if !self.inflight.is_empty() {
+                "dram.data_burst"
+            } else {
+                "idle.empty"
+            };
+            self.tracer.mark(phase, now.as_u64());
+        }
+
         if let Some(rel) = &mut self.reliability {
-            rel.process(&mut self.dram);
+            if self.tracer.is_enabled() {
+                // Record the reliability ladder's per-tick activity as
+                // instant deltas (counts since the previous tick).
+                let stats_before = *rel.stats();
+                let faults_before = rel.fault_stats().injected();
+                rel.process(&mut self.dram);
+                let s = *rel.stats();
+                let at = now.as_u64();
+                for (name, before, after) in [
+                    ("reliability.corrected", stats_before.corrected, s.corrected),
+                    (
+                        "reliability.uncorrected",
+                        stats_before.uncorrected,
+                        s.uncorrected,
+                    ),
+                    ("reliability.scrubs", stats_before.scrubs, s.scrubs),
+                    ("reliability.remaps", stats_before.remaps, s.remaps),
+                    (
+                        "reliability.quarantines",
+                        stats_before.quarantines,
+                        s.quarantines,
+                    ),
+                    (
+                        "reliability.escalated_refreshes",
+                        stats_before.escalated_refreshes,
+                        s.escalated_refreshes,
+                    ),
+                ] {
+                    let delta = after.saturating_sub(before);
+                    if delta > 0 {
+                        self.tracer.instant_value(name, at, delta as f64);
+                    }
+                }
+                let injected = rel.fault_stats().injected().saturating_sub(faults_before);
+                if injected > 0 {
+                    self.tracer
+                        .instant_value("faults.injected", at, injected as f64);
+                }
+            } else {
+                rel.process(&mut self.dram);
+            }
         }
 
         self.now += 1;
@@ -621,6 +717,18 @@ impl Clocked for MemoryController {
         if !self.queue.is_empty() {
             self.sched_idle += n;
         }
+        if self.tracer.is_enabled() {
+            // Bulk-attribute the skipped idle span with the same
+            // classification a per-cycle loop would have produced.
+            let phase = if !self.queue.is_empty() {
+                "dram.timing_stall"
+            } else if !self.inflight.is_empty() {
+                "dram.data_burst"
+            } else {
+                "idle.empty"
+            };
+            self.tracer.mark_n(phase, self.now.as_u64(), n);
+        }
         self.now = target;
     }
 }
@@ -682,6 +790,11 @@ pub struct RunReport {
     /// Reliability outcome (fault and mitigation counters); `None`
     /// unless the controller ran with a reliability pipeline attached.
     pub reliability: Option<ReliabilityReport>,
+    /// Cycle-attribution trace of the run (`None` unless tracing was
+    /// enabled — see [`MemoryController::enable_cycle_tracing`]).
+    /// Describes how the run was *observed*, not what it computed, so
+    /// it is excluded from [`RunReport::same_results`].
+    pub trace: Option<TraceLog>,
 }
 
 impl RunReport {
@@ -749,6 +862,13 @@ pub fn run_closed_loop_with(
         return Err(CtrlError::EmptyTrace);
     }
     let mut ctrl = ctrl.with_queue_capacity(traces.len() * window.max(1) + 8);
+    // Session capture (the bench CLI's `--trace`/`--profile`) turns on
+    // cycle tracing for every closed-loop run; the trace rides back on
+    // the report so parallel sweeps can submit it in task order.
+    let tracing = ia_trace::capture_enabled();
+    if tracing {
+        ctrl.enable_cycle_tracing(ia_trace::DEFAULT_EVENT_CAPACITY);
+    }
     let mut cursor = vec![0usize; traces.len()];
     let mut outstanding = vec![0usize; traces.len()];
     let mut completed = vec![0u64; traces.len()];
@@ -766,6 +886,10 @@ pub fn run_closed_loop_with(
     // window), so feeding once per processed event sees exactly the
     // states the per-cycle loop would feed in.
     let mut engine = SimLoop::new();
+    if tracing {
+        engine.enable_tracing(ia_trace::DEFAULT_EVENT_CAPACITY);
+        engine.tracer_mut().begin("run", 0);
+    }
     let deadline = Cycle::new(max_cycles);
     let mut scratch: Vec<Completed> = Vec::new();
     while !all_done(&cursor, &outstanding) && ctrl.now().as_u64() < max_cycles {
@@ -814,7 +938,15 @@ pub fn run_closed_loop_with(
             finish: finish[t],
         })
         .collect();
-    Ok(report_of(&ctrl, threads))
+    let mut report = report_of(&mut ctrl, threads);
+    if tracing {
+        let now = report.cycles;
+        engine.tracer_mut().end(now);
+        if let Some(log) = &mut report.trace {
+            log.components.insert(0, engine.take_trace());
+        }
+    }
+    Ok(report)
 }
 
 /// Per-cycle oracle for [`run_closed_loop_with`]: drives the controller
@@ -877,10 +1009,11 @@ pub fn run_closed_loop_per_cycle(
             finish: finish[t],
         })
         .collect();
-    Ok(report_of(&ctrl, threads))
+    Ok(report_of(&mut ctrl, threads))
 }
 
-fn report_of(ctrl: &MemoryController, threads: Vec<ThreadReport>) -> RunReport {
+fn report_of(ctrl: &mut MemoryController, threads: Vec<ThreadReport>) -> RunReport {
+    let trace = ctrl.take_trace_log();
     RunReport {
         scheduler: ctrl.scheduler_name().to_owned(),
         cycles: ctrl.now().as_u64(),
@@ -892,6 +1025,7 @@ fn report_of(ctrl: &MemoryController, threads: Vec<ThreadReport>) -> RunReport {
         io_energy_pj: ctrl.dram().energy().io_pj,
         engine: *ctrl.engine_stats(),
         reliability: ctrl.reliability().map(ReliabilityPipeline::report),
+        trace,
     }
 }
 
@@ -1165,6 +1299,92 @@ mod tests {
         assert!(rel.stats.reads_checked > 0);
         assert_eq!(a.reliability, b.reliability, "same seed, same outcome");
         assert!(a.same_results(&b));
+    }
+
+    #[test]
+    fn cycle_trace_partitions_every_simulated_cycle() {
+        let traces: Vec<Vec<MemRequest>> = (0..2)
+            .map(|t| {
+                (0..40u64)
+                    .map(|i| MemRequest::read((t * (1 << 22)) as u64 + i * 64, t))
+                    .collect()
+            })
+            .collect();
+        let mut ctrl = MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
+            .unwrap()
+            .with_refresh_mode(RefreshMode::AllBank);
+        ctrl.enable_cycle_tracing(1024);
+        let report = run_closed_loop_with(ctrl, &traces, 4, 1_000_000).unwrap();
+        let log = report.trace.as_ref().expect("tracing was enabled");
+        let ctrl_trace = log
+            .components
+            .iter()
+            .find(|c| c.track == "ctrl")
+            .expect("ctrl track present");
+        assert_eq!(
+            ctrl_trace.attributed(),
+            report.cycles,
+            "per-phase attribution must partition the run exactly: {:?}",
+            ctrl_trace.marks
+        );
+        assert!(
+            ctrl_trace
+                .marks
+                .iter()
+                .any(|&(p, _)| p == "sched.issue_column"),
+            "column issues attributed"
+        );
+        let dram_trace = log
+            .components
+            .iter()
+            .find(|c| c.track == "dram")
+            .expect("dram track present");
+        assert!(
+            dram_trace.instants.iter().any(|i| i.name == "bank.act"),
+            "activates recorded"
+        );
+        let reads = dram_trace
+            .instants
+            .iter()
+            .find(|i| i.name == "bank.rd")
+            .expect("reads recorded");
+        assert_eq!(
+            reads.count, report.stats.completed,
+            "one bank.rd instant per completed read"
+        );
+    }
+
+    #[test]
+    fn cycle_trace_is_identical_between_engine_and_per_cycle_oracle() {
+        let traces: Vec<Vec<MemRequest>> =
+            vec![(0..32u64).map(|i| MemRequest::read(i * 64, 0)).collect()];
+        let run = |per_cycle: bool| {
+            let mut ctrl =
+                MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new())).unwrap();
+            ctrl.enable_cycle_tracing(4096);
+            if per_cycle {
+                run_closed_loop_per_cycle(ctrl, &traces, 4, 100_000).unwrap()
+            } else {
+                run_closed_loop_with(ctrl, &traces, 4, 100_000).unwrap()
+            }
+        };
+        let engine = run(false);
+        let oracle = run(true);
+        assert!(engine.same_results(&oracle));
+        let et = engine.trace.expect("engine run traced");
+        let ot = oracle.trace.expect("oracle run traced");
+        let phase_totals = |log: &TraceLog| {
+            log.components
+                .iter()
+                .find(|c| c.track == "ctrl")
+                .map(|c| c.marks.clone())
+                .expect("ctrl track")
+        };
+        assert_eq!(
+            phase_totals(&et),
+            phase_totals(&ot),
+            "skip bulk-marks must attribute exactly what per-cycle marks do"
+        );
     }
 
     #[test]

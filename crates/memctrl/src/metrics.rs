@@ -86,6 +86,7 @@ mod tests {
             io_energy_pj: 0.0,
             engine: ia_sim::EngineStats::default(),
             reliability: None,
+            trace: None,
         }
     }
 

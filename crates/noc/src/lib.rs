@@ -36,5 +36,6 @@ mod sim;
 pub use error::NocError;
 pub use mesh::{Coord, MeshConfig, Port};
 pub use sim::{
-    simulate, BufferedMeshSim, BufferlessMeshSim, Delivered, NocReport, RouterKind, Traffic,
+    simulate, simulate_traced, BufferedMeshSim, BufferlessMeshSim, Delivered, NocReport,
+    RouterKind, Traffic,
 };

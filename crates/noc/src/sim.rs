@@ -20,6 +20,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use ia_sim::{Clocked, CompletionSink, Cycle, FnSink, SimLoop};
+use ia_trace::{ComponentTrace, TraceLog, Tracer};
 
 use crate::mesh::{Coord, MeshConfig, Port, Ports};
 use crate::NocError;
@@ -117,6 +118,43 @@ pub fn simulate(
     cycles: u64,
     seed: u64,
 ) -> Result<NocReport, NocError> {
+    run_mesh(kind, mesh, traffic, rate, cycles, seed, false).map(|(report, _)| report)
+}
+
+/// [`simulate`], additionally recording an `ia-trace` log of per-cycle
+/// mesh activity (`noc.active`/`noc.idle` marks, `noc.deflect`
+/// instants) on track `"noc"`. Tracing never touches the RNG stream, so
+/// the [`NocReport`] is bit-identical to [`simulate`]'s.
+///
+/// # Errors
+///
+/// Returns [`NocError`] under the same conditions as [`simulate`].
+pub fn simulate_traced(
+    kind: RouterKind,
+    mesh: MeshConfig,
+    traffic: Traffic,
+    rate: f64,
+    cycles: u64,
+    seed: u64,
+) -> Result<(NocReport, TraceLog), NocError> {
+    run_mesh(kind, mesh, traffic, rate, cycles, seed, true).map(|(report, log)| {
+        (
+            report,
+            // lint: allow(P001, run_mesh(traced=true) always yields a log)
+            log.expect("traced run yields a log"),
+        )
+    })
+}
+
+fn run_mesh(
+    kind: RouterKind,
+    mesh: MeshConfig,
+    traffic: Traffic,
+    rate: f64,
+    cycles: u64,
+    seed: u64,
+    traced: bool,
+) -> Result<(NocReport, Option<TraceLog>), NocError> {
     if !(0.0..=1.0).contains(&rate) {
         return Err(NocError::invalid("injection rate must be in [0, 1]"));
     }
@@ -128,16 +166,32 @@ pub fn simulate(
             return Err(NocError::invalid("hotspot fraction must be in [0, 1]"));
         }
     }
+    let log_of = |trace: ComponentTrace| {
+        let mut log = TraceLog::new();
+        log.push(trace);
+        log
+    };
     match kind {
         RouterKind::Buffered => {
             let mut sim = BufferedMeshSim::new(mesh, traffic, rate, cycles, seed);
+            if traced {
+                sim.enable_cycle_trace(ia_trace::DEFAULT_EVENT_CAPACITY);
+            }
             let tally = drive(&mut sim, cycles);
-            Ok(tally.report(mesh, cycles, sim.injected(), sim.peak_buffering()))
+            let log = traced.then(|| log_of(sim.take_cycle_trace()));
+            Ok((
+                tally.report(mesh, cycles, sim.injected(), sim.peak_buffering()),
+                log,
+            ))
         }
         RouterKind::BufferlessDeflection => {
             let mut sim = BufferlessMeshSim::new(mesh, traffic, rate, cycles, seed);
+            if traced {
+                sim.enable_cycle_trace(ia_trace::DEFAULT_EVENT_CAPACITY);
+            }
             let tally = drive(&mut sim, cycles);
-            Ok(tally.report(mesh, cycles, sim.injected(), 0))
+            let log = traced.then(|| log_of(sim.take_cycle_trace()));
+            Ok((tally.report(mesh, cycles, sim.injected(), 0), log))
         }
     }
 }
@@ -242,6 +296,7 @@ pub struct BufferedMeshSim {
     moves: Vec<(usize, Packet)>,
     order: Vec<usize>,
     taken: Vec<(usize, Port)>,
+    tracer: Tracer,
 }
 
 impl BufferedMeshSim {
@@ -262,6 +317,7 @@ impl BufferedMeshSim {
             moves: Vec::new(),
             order: Vec::new(),
             taken: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -275,6 +331,18 @@ impl BufferedMeshSim {
     #[must_use]
     pub fn peak_buffering(&self) -> usize {
         self.peak
+    }
+
+    /// Enables per-cycle activity tracing (track `"noc"`). Off by
+    /// default; one branch per cycle, no effect on the RNG stream.
+    pub fn enable_cycle_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::new("noc", capacity);
+    }
+
+    /// Drains the recorded trace.
+    #[must_use]
+    pub fn take_cycle_trace(&mut self) -> ComponentTrace {
+        self.tracer.take()
     }
 }
 
@@ -304,7 +372,16 @@ impl Clocked for BufferedMeshSim {
                 self.injected += 1;
             }
         }
-        self.peak = self.peak.max(self.queues.iter().map(Vec::len).sum());
+        let occupancy: usize = self.queues.iter().map(Vec::len).sum();
+        self.peak = self.peak.max(occupancy);
+        if self.tracer.is_enabled() {
+            let phase = if occupancy > 0 {
+                "noc.active"
+            } else {
+                "noc.idle"
+            };
+            self.tracer.mark(phase, now);
+        }
 
         // Route: each output port of each router carries one packet.
         for node in 0..n {
@@ -381,6 +458,7 @@ pub struct BufferlessMeshSim {
     // keep their capacity); `moves` is drained every tick.
     moves: Vec<(usize, Packet)>,
     flits: Vec<Packet>,
+    tracer: Tracer,
 }
 
 impl BufferlessMeshSim {
@@ -399,6 +477,7 @@ impl BufferlessMeshSim {
             injected: 0,
             moves: Vec::new(),
             flits: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -406,6 +485,18 @@ impl BufferlessMeshSim {
     #[must_use]
     pub fn injected(&self) -> u64 {
         self.injected
+    }
+
+    /// Enables per-cycle activity tracing (track `"noc"`). Off by
+    /// default; one branch per cycle, no effect on the RNG stream.
+    pub fn enable_cycle_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::new("noc", capacity);
+    }
+
+    /// Drains the recorded trace.
+    #[must_use]
+    pub fn take_cycle_trace(&mut self) -> ComponentTrace {
+        self.tracer.take()
     }
 }
 
@@ -420,6 +511,16 @@ impl Clocked for BufferlessMeshSim {
     fn tick_into(&mut self, sink: &mut dyn CompletionSink<Delivered>) {
         let now = self.now;
         let n = self.mesh.nodes();
+        if self.tracer.is_enabled() {
+            let occupancy: usize = self.at_router.iter().map(Vec::len).sum();
+            let phase = if occupancy > 0 {
+                "noc.active"
+            } else {
+                "noc.idle"
+            };
+            self.tracer.mark(phase, now);
+        }
+        let mut deflected_this_cycle = 0u64;
         for node in 0..n {
             let here = self.mesh.coord(node);
             // Swap rather than take: the router keeps the scratch's old
@@ -463,6 +564,7 @@ impl Clocked for BufferlessMeshSim {
                     .expect("flit count never exceeds port count");
                 if !productive.contains(port) {
                     p.deflections += 1;
+                    deflected_this_cycle += 1;
                 }
                 free.remove(port);
                 p.hops += 1;
@@ -477,6 +579,10 @@ impl Clocked for BufferlessMeshSim {
         }
         for (node, p) in self.moves.drain(..) {
             self.at_router[node].push(p);
+        }
+        if self.tracer.is_enabled() && deflected_this_cycle > 0 {
+            self.tracer
+                .instant_value("noc.deflect", now, deflected_this_cycle as f64);
         }
         self.now += 1;
     }
@@ -494,6 +600,45 @@ mod tests {
 
     fn mesh() -> MeshConfig {
         MeshConfig::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_report_exactly() {
+        for kind in [RouterKind::Buffered, RouterKind::BufferlessDeflection] {
+            let plain = simulate(kind, mesh(), Traffic::UniformRandom, 0.3, 400, 7).unwrap();
+            let (traced, log) =
+                simulate_traced(kind, mesh(), Traffic::UniformRandom, 0.3, 400, 7).unwrap();
+            assert_eq!(plain, traced, "tracing must not perturb the simulation");
+            assert_eq!(log.components.len(), 1);
+            let noc = &log.components[0];
+            assert_eq!(noc.track, "noc");
+            assert_eq!(
+                noc.attributed(),
+                400,
+                "every simulated cycle lands in exactly one mark phase"
+            );
+            assert!(
+                noc.marks.iter().any(|(phase, _)| *phase == "noc.active"),
+                "a loaded mesh must show active cycles"
+            );
+            if kind == RouterKind::BufferlessDeflection {
+                let deflects: f64 = noc
+                    .instants
+                    .iter()
+                    .filter(|i| i.name == "noc.deflect")
+                    .map(|i| i.sum)
+                    .sum();
+                // The report tallies deflections of *delivered* packets
+                // only; instants also see flits still in flight at the
+                // horizon, so the trace is an upper bound.
+                assert!(
+                    deflects as u64 >= traced.deflections && traced.deflections > 0,
+                    "deflect instants ({deflects}) must cover the report's \
+                     delivered-packet deflections ({})",
+                    traced.deflections
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,12 +27,16 @@ pub struct ParLedger {
     /// Worst per-invocation imbalance: max worker busy time divided by
     /// mean worker busy time (`1.0` = perfectly balanced or serial).
     pub worst_imbalance: f64,
+    /// Longest single task observed across all parallel invocations —
+    /// the lower bound on any sweep's wall-clock, however many workers.
+    pub slowest_task: Duration,
 }
 
 impl ParLedger {
     /// Folds one parallel invocation into the totals.
-    fn absorb(&mut self, workers: usize, tasks: u64, busy: &[Duration]) {
+    fn absorb(&mut self, workers: usize, tasks: u64, busy: &[Duration], slowest: Duration) {
         self.parallel_invocations += 1;
+        self.slowest_task = self.slowest_task.max(slowest);
         self.tasks += tasks;
         self.max_workers = self.max_workers.max(workers);
         let total: Duration = busy.iter().sum();
@@ -52,6 +56,7 @@ static LEDGER: Mutex<ParLedger> = Mutex::new(ParLedger {
     max_workers: 0,
     busy_total: Duration::ZERO,
     worst_imbalance: 0.0,
+    slowest_task: Duration::ZERO,
 });
 
 fn with_ledger<R>(f: impl FnOnce(&mut ParLedger) -> R) -> R {
@@ -68,9 +73,10 @@ pub(crate) fn record_serial(tasks: usize) {
     });
 }
 
-/// Records a pooled invocation: `workers` threads, per-worker busy time.
-pub(crate) fn record_parallel(workers: usize, tasks: usize, busy: &[Duration]) {
-    with_ledger(|l| l.absorb(workers, tasks as u64, busy));
+/// Records a pooled invocation: `workers` threads, per-worker busy
+/// time, and the longest single task.
+pub(crate) fn record_parallel(workers: usize, tasks: usize, busy: &[Duration], slowest: Duration) {
+    with_ledger(|l| l.absorb(workers, tasks as u64, busy, slowest));
 }
 
 /// Returns the accounting accumulated since the previous `take` and
@@ -102,5 +108,9 @@ mod tests {
         assert!(ledger.tasks >= 13, "{ledger:?}");
         assert!(ledger.max_workers >= 2, "{ledger:?}");
         assert!(ledger.worst_imbalance >= 0.0);
+        assert!(
+            ledger.slowest_task <= ledger.busy_total,
+            "one task cannot exceed total busy time: {ledger:?}"
+        );
     }
 }

@@ -112,12 +112,13 @@ where
     let poisoned = AtomicBool::new(false);
     let first_panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
 
-    let (mut collected, busy) = std::thread::scope(|s| {
+    let (mut collected, busy, slowest) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     let mut busy = Duration::ZERO;
+                    let mut slowest = Duration::ZERO;
                     loop {
                         if poisoned.load(Ordering::Relaxed) {
                             break;
@@ -127,7 +128,9 @@ where
                         let start = Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
                             Ok(result) => {
-                                busy += start.elapsed();
+                                let took = start.elapsed();
+                                busy += took;
+                                slowest = slowest.max(took);
                                 local.push((index, result));
                             }
                             Err(payload) => {
@@ -140,21 +143,24 @@ where
                             }
                         }
                     }
-                    (local, busy)
+                    (local, busy, slowest)
                 })
             })
             .collect();
         let mut collected: Vec<(usize, R)> = Vec::with_capacity(tasks);
         let mut busy: Vec<Duration> = Vec::with_capacity(workers);
+        let mut slowest = Duration::ZERO;
         for h in handles {
             // Workers never unwind — panics are captured above — so
             // join can only fail if the runtime itself is broken.
-            // lint: allow(P001, worker closures catch_unwind every task; join failure means a broken runtime)
-            let (local, worker_busy) = h.join().expect("ia-par worker never unwinds");
+            let (local, worker_busy, worker_slowest) =
+                // lint: allow(P001, worker closures catch_unwind every task; join failure means a broken runtime)
+                h.join().expect("ia-par worker never unwinds");
             collected.extend(local);
             busy.push(worker_busy);
+            slowest = slowest.max(worker_slowest);
         }
-        (collected, busy)
+        (collected, busy, slowest)
     });
 
     if let Some((index, payload)) = lock_unpoisoned(&first_panic).take() {
@@ -180,7 +186,7 @@ where
         .iter()
         .enumerate()
         .all(|(slot, &(i, _))| slot == i));
-    ledger::record_parallel(workers, tasks, &busy);
+    ledger::record_parallel(workers, tasks, &busy, slowest);
     collected.into_iter().map(|(_, r)| r).collect()
 }
 

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use ia_telemetry::{MetricSource, Scope};
+use ia_trace::{ComponentTrace, Tracer};
 
 use crate::clocked::Clocked;
 use crate::cycle::Cycle;
@@ -143,6 +144,9 @@ pub struct SimLoop {
     /// clock froze at.
     stuck_steps: u64,
     stuck_at: Cycle,
+    /// Trace recorder for engine-level events (`engine.skip` instants).
+    /// Disabled by default: each trace point costs one branch.
+    tracer: Tracer,
 }
 
 impl Default for SimLoop {
@@ -175,6 +179,7 @@ impl SimLoop {
             watchdog_bound: bound,
             stuck_steps: 0,
             stuck_at: Cycle::ZERO,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -182,6 +187,25 @@ impl SimLoop {
     #[must_use]
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Enables trace recording of engine events (`engine.skip` instants
+    /// whose value is the number of cycles jumped) on track `"engine"`,
+    /// ringing at most `capacity` events.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Tracer::new("engine", capacity);
+    }
+
+    /// The engine's tracer — the harness uses it to wrap a run in a
+    /// `"run"` span (`begin`/`end` with the component's clock).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Drains the engine's trace (empty if tracing was never enabled).
+    #[must_use]
+    pub fn take_trace(&mut self) -> ComponentTrace {
+        self.tracer.take()
     }
 
     /// Advances the component by exactly one *processed* tick: skips idle
@@ -207,6 +231,8 @@ impl SimLoop {
                 component.skip_to(deadline);
                 self.stats.skips += 1;
                 self.stats.cycles_skipped += deadline - now;
+                self.tracer
+                    .instant_value("engine.skip", now.as_u64(), (deadline - now) as f64);
             }
             return StepOutcome::DeadlineReached;
         }
@@ -215,6 +241,8 @@ impl SimLoop {
             component.skip_to(event);
             self.stats.skips += 1;
             self.stats.cycles_skipped += event - now;
+            self.tracer
+                .instant_value("engine.skip", now.as_u64(), (event - now) as f64);
         }
         let mut counting = CountingSink {
             inner: sink,
@@ -562,6 +590,31 @@ mod tests {
         assert_eq!(a.cycles_skipped, 15);
         assert_eq!(a.sink_high_water, 7);
         assert!(a.to_string().contains("5 events"));
+    }
+
+    #[test]
+    fn tracing_records_skip_instants() {
+        let mut engine = SimLoop::new();
+        engine.enable_tracing(64);
+        let mut done: Vec<Cycle> = Vec::new();
+        let mut pulse = Pulse::new(100, 3);
+        engine.tracer_mut().begin("run", 0);
+        let out = engine.run_while(&mut pulse, &mut done, Cycle::new(10_000), |_| true);
+        assert_eq!(out, RunOutcome::Drained);
+        let now = pulse.now().as_u64();
+        engine.tracer_mut().end(now);
+        let trace = engine.take_trace();
+        assert_eq!(trace.track, "engine");
+        let skip = trace
+            .instants
+            .iter()
+            .find(|i| i.name == "engine.skip")
+            .expect("skip instants recorded");
+        assert_eq!(skip.count, engine.stats().skips);
+        assert_eq!(skip.sum as u64, engine.stats().cycles_skipped);
+        assert_eq!(trace.spans[0].phase, "run");
+        // Disabled engines record nothing (take() drains, so retake is empty).
+        assert!(engine.take_trace().instants.is_empty());
     }
 
     #[test]

@@ -211,4 +211,57 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.recorded(), 2);
     }
+
+    #[test]
+    fn refill_after_wrap_and_clear_iterates_in_order() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.push(i); // wraps: head is mid-buffer
+        }
+        t.clear();
+        assert!(t.is_empty());
+        // A refill after clearing a wrapped buffer must start from a
+        // reset head, not the stale wrap point.
+        for i in 10..15u64 {
+            t.push(i);
+        }
+        assert_eq!(t.iter().copied().collect::<Vec<_>>(), vec![12, 13, 14]);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 4, "2 before clear + 2 after");
+    }
+
+    #[test]
+    fn iteration_at_exactly_full_boundary_is_in_order() {
+        // Exactly full, head still at 0: the split-at-head iterator must
+        // yield all elements once, oldest first, with zero drops.
+        let mut t = TraceBuffer::new(4);
+        for i in 0..4u64 {
+            t.push(i);
+        }
+        assert_eq!(t.len(), t.capacity());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // One more push tips it over: exactly one drop, order preserved.
+        t.push(4);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_accounting_survives_disable_and_reenable() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5u64 {
+            t.push(i); // 3 drops
+        }
+        t.set_enabled(false);
+        t.push(99); // ignored: neither recorded nor dropped
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 3);
+        t.set_enabled(true);
+        t.push(6);
+        t.push(7);
+        assert_eq!(t.recorded(), 7);
+        assert_eq!(t.dropped(), 5, "totals keep accumulating after re-enable");
+        assert_eq!(t.iter().copied().collect::<Vec<_>>(), vec![6, 7]);
+    }
 }

@@ -1,0 +1,160 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Emits the classic `{"traceEvents": [...]}` format understood by
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev):
+//! one metadata (`"M"`) thread-name event per track, then every ring
+//! event as a complete (`"X"`) or instant (`"i"`) event. Timestamps are
+//! **simulated cycles**, not microseconds — the timeline shows simulated
+//! time, which is exactly what makes the file byte-identical across
+//! `--threads` settings and hosts. Field order is fixed, so rendering is
+//! byte-stable.
+
+use ia_telemetry::JsonValue;
+
+use crate::log::TraceLog;
+use crate::tracer::TraceEvent;
+
+fn event_obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::obj(fields)
+}
+
+/// Converts `log` to a Chrome trace-event JSON value. Track order in
+/// the log fixes the `tid` assignment (first track = tid 1).
+#[must_use]
+pub fn to_chrome_json(log: &TraceLog) -> JsonValue {
+    let mut events = Vec::new();
+    for (i, c) in log.components.iter().enumerate() {
+        let tid = (i + 1) as f64;
+        events.push(event_obj(vec![
+            ("name", JsonValue::Str("thread_name".to_owned())),
+            ("ph", JsonValue::Str("M".to_owned())),
+            ("pid", JsonValue::Num(0.0)),
+            ("tid", JsonValue::Num(tid)),
+            (
+                "args",
+                JsonValue::obj(vec![("name", JsonValue::Str(c.track.clone()))]),
+            ),
+        ]));
+    }
+    for (i, c) in log.components.iter().enumerate() {
+        let tid = (i + 1) as f64;
+        for e in &c.events {
+            events.push(match *e {
+                TraceEvent::Span {
+                    phase,
+                    begin,
+                    end,
+                    depth,
+                } => event_obj(vec![
+                    ("name", JsonValue::Str(phase.to_owned())),
+                    ("ph", JsonValue::Str("X".to_owned())),
+                    ("ts", JsonValue::Num(begin as f64)),
+                    ("dur", JsonValue::Num(end.saturating_sub(begin) as f64)),
+                    ("pid", JsonValue::Num(0.0)),
+                    ("tid", JsonValue::Num(tid)),
+                    (
+                        "args",
+                        JsonValue::obj(vec![("depth", JsonValue::Num(f64::from(depth)))]),
+                    ),
+                ]),
+                TraceEvent::Mark {
+                    phase,
+                    begin,
+                    cycles,
+                } => event_obj(vec![
+                    ("name", JsonValue::Str(phase.to_owned())),
+                    ("ph", JsonValue::Str("X".to_owned())),
+                    ("ts", JsonValue::Num(begin as f64)),
+                    ("dur", JsonValue::Num(cycles as f64)),
+                    ("pid", JsonValue::Num(0.0)),
+                    ("tid", JsonValue::Num(tid)),
+                ]),
+                // lint: allow(D002, a Chrome "instant" event stamped with a simulated cycle, not std::time)
+                TraceEvent::Instant { name, at, value } => event_obj(vec![
+                    ("name", JsonValue::Str(name.to_owned())),
+                    ("ph", JsonValue::Str("i".to_owned())),
+                    ("ts", JsonValue::Num(at as f64)),
+                    ("pid", JsonValue::Num(0.0)),
+                    ("tid", JsonValue::Num(tid)),
+                    ("s", JsonValue::Str("t".to_owned())),
+                    (
+                        "args",
+                        JsonValue::obj(vec![("value", JsonValue::Num(value))]),
+                    ),
+                ]),
+            });
+        }
+    }
+    JsonValue::obj(vec![
+        ("traceEvents", JsonValue::Arr(events)),
+        (
+            "displayTimeUnit",
+            JsonValue::Str("ns".to_owned()), // cycles rendered at the finest unit
+        ),
+    ])
+}
+
+/// Renders `log` as a Chrome trace-event JSON string (newline
+/// terminated), ready to write to the `--trace <path>` file.
+#[must_use]
+pub fn render_chrome(log: &TraceLog) -> String {
+    let mut text = to_chrome_json(log).render();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample() -> TraceLog {
+        let mut log = TraceLog::new();
+        let mut t = Tracer::new("ctrl", 8);
+        t.begin("run", 0);
+        t.mark_n("sched.issue", 0, 3);
+        t.instant_value("engine.skip", 3, 40.0);
+        t.end(43);
+        log.push(t.take());
+        log
+    }
+
+    #[test]
+    fn round_trips_through_own_parser() {
+        let text = render_chrome(&sample());
+        let v = JsonValue::parse(&text).expect("exporter output parses");
+        let Some(JsonValue::Arr(events)) = v.get("traceEvents") else {
+            panic!("missing traceEvents array");
+        };
+        // 1 metadata + 1 mark + 1 instant + 1 span.
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0].get("ph"),
+            Some(&JsonValue::Str("M".to_owned())),
+            "metadata first"
+        );
+    }
+
+    #[test]
+    fn rendering_is_byte_stable() {
+        assert_eq!(render_chrome(&sample()), render_chrome(&sample()));
+        let text = render_chrome(&sample());
+        assert!(text.starts_with("{\"traceEvents\":[{\"name\":\"thread_name\""));
+        assert!(text.ends_with("\n"));
+    }
+
+    #[test]
+    fn timestamps_are_simulated_cycles() {
+        let text = render_chrome(&sample());
+        let v = JsonValue::parse(&text).expect("parses");
+        let Some(JsonValue::Arr(events)) = v.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        let span = events
+            .iter()
+            .find(|e| e.get("name") == Some(&JsonValue::Str("run".to_owned())))
+            .expect("span event present");
+        assert_eq!(span.get("ts").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(span.get("dur").and_then(JsonValue::as_f64), Some(43.0));
+    }
+}

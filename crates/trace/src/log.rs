@@ -1,0 +1,148 @@
+//! Drained trace data: [`ComponentTrace`] (one tracer's output) and
+//! [`TraceLog`] (every component of a run, merged in a deterministic
+//! order).
+//!
+//! A `TraceLog` travels *with* run results — e.g. inside a scheduler
+//! run report — so parallel sweeps can collect per-task traces in task
+//! order and merge them on the main thread, keeping the merged log
+//! byte-identical across `--threads` settings.
+
+use crate::tracer::TraceEvent;
+
+/// Per-phase span totals for one component (cycles are simulated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStat {
+    /// Phase label.
+    pub phase: &'static str,
+    /// Total cycles inside the span, children included.
+    pub inclusive: u64,
+    /// Total cycles inside the span minus cycles inside child spans.
+    pub exclusive: u64,
+    /// Number of closed spans with this label.
+    pub count: u64,
+}
+
+/// Per-name instant-event totals for one component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstantStat {
+    /// Event name.
+    pub name: &'static str,
+    /// Number of events recorded.
+    pub count: u64,
+    /// Sum of the event values.
+    pub sum: f64,
+}
+
+/// Everything one [`Tracer`](crate::Tracer) recorded: the (bounded)
+/// event ring plus the exact aggregated totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ComponentTrace {
+    /// Track label, possibly path-prefixed (`"FR-FCFS/ctrl"`).
+    pub track: String,
+    /// Ring contents, oldest → newest (bounded; see `dropped`).
+    pub events: Vec<TraceEvent>,
+    /// Exact per-phase attributed cycles, sorted by phase label.
+    pub marks: Vec<(&'static str, u64)>,
+    /// Exact per-phase span totals, sorted by phase label.
+    pub spans: Vec<SpanStat>,
+    /// Exact per-name instant totals, sorted by name.
+    pub instants: Vec<InstantStat>,
+    /// Total ring events ever recorded (kept + dropped).
+    pub recorded: u64,
+    /// Ring events overwritten because the ring was full.
+    pub dropped: u64,
+    /// Spans still open when the tracer was drained.
+    pub truncated_spans: u64,
+}
+
+impl ComponentTrace {
+    /// Total simulated cycles attributed by this component's marks.
+    #[must_use]
+    pub fn attributed(&self) -> u64 {
+        self.marks.iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// The merged trace of one run (or one suite of runs): an ordered list
+/// of component traces. Order is meaningful — it is the deterministic
+/// submission order, and the Chrome exporter assigns `tid`s from it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceLog {
+    /// Component traces in submission order.
+    pub components: Vec<ComponentTrace>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Appends one component's trace.
+    pub fn push(&mut self, component: ComponentTrace) {
+        self.components.push(component);
+    }
+
+    /// Appends every component of `other`, preserving order.
+    pub fn merge(&mut self, other: TraceLog) {
+        self.components.extend(other.components);
+    }
+
+    /// Returns the log with every track renamed to `label/track` — how
+    /// a sweep scopes per-task traces ("FR-FCFS/ctrl", "ATLAS/ctrl").
+    #[must_use]
+    pub fn prefixed(mut self, label: &str) -> TraceLog {
+        for c in &mut self.components {
+            c.track = format!("{label}/{}", c.track);
+        }
+        self
+    }
+
+    /// True when no component traces were collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Total attributed cycles across every component.
+    #[must_use]
+    pub fn attributed(&self) -> u64 {
+        self.components.iter().map(ComponentTrace::attributed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn trace_of(track: &str, phase: &'static str, cycles: u64) -> ComponentTrace {
+        let mut t = Tracer::new(track, 8);
+        t.mark_n(phase, 0, cycles);
+        t.take()
+    }
+
+    #[test]
+    fn merge_preserves_submission_order() {
+        let mut log = TraceLog::new();
+        log.push(trace_of("ctrl", "busy", 10));
+        let mut other = TraceLog::new();
+        other.push(trace_of("dram", "act", 5));
+        other.push(trace_of("engine", "run", 1));
+        log.merge(other);
+        let tracks: Vec<&str> = log.components.iter().map(|c| c.track.as_str()).collect();
+        assert_eq!(tracks, ["ctrl", "dram", "engine"]);
+        assert_eq!(log.attributed(), 16);
+    }
+
+    #[test]
+    fn prefixed_scopes_every_track() {
+        let mut log = TraceLog::new();
+        log.push(trace_of("ctrl", "busy", 1));
+        log.push(trace_of("dram", "act", 1));
+        let log = log.prefixed("FR-FCFS");
+        assert_eq!(log.components[0].track, "FR-FCFS/ctrl");
+        assert_eq!(log.components[1].track, "FR-FCFS/dram");
+    }
+}

@@ -1,0 +1,80 @@
+//! Process-wide trace session: a capture flag plus an ordered sink.
+//!
+//! The bench CLI turns capture on when `--trace`/`--profile` is given;
+//! library code checks [`capture_enabled`] before paying for tracers.
+//! Component traces are [`submit`]ted **from the main thread, in
+//! deterministic (input) order** — parallel sweeps return each task's
+//! [`TraceLog`] with the task result and submit after the join, which is
+//! what keeps the merged session log byte-identical across `--threads`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::log::TraceLog;
+
+static CAPTURE: AtomicBool = AtomicBool::new(false);
+static SESSION: Mutex<Vec<TraceLog>> = Mutex::new(Vec::new());
+
+/// Turns session-wide trace capture on or off.
+pub fn set_capture(on: bool) {
+    CAPTURE.store(on, Ordering::Relaxed);
+}
+
+/// Whether components should construct enabled tracers.
+#[must_use]
+pub fn capture_enabled() -> bool {
+    CAPTURE.load(Ordering::Relaxed)
+}
+
+/// Appends `log` to the session, preserving submission order. Call from
+/// the main thread in deterministic order (see module docs).
+pub fn submit(log: TraceLog) {
+    if log.is_empty() {
+        return;
+    }
+    SESSION
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(log);
+}
+
+/// Drains every submitted log into one merged [`TraceLog`] and resets
+/// the session.
+#[must_use]
+pub fn take() -> TraceLog {
+    let logs = std::mem::take(&mut *SESSION.lock().unwrap_or_else(PoisonError::into_inner));
+    let mut merged = TraceLog::new();
+    for log in logs {
+        merged.merge(log);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn session_accumulates_in_submission_order() {
+        // One test owns the global session (tests run in one process);
+        // drain first so a previous test's leftovers cannot interfere.
+        let _ = take();
+        assert!(!capture_enabled());
+        set_capture(true);
+        assert!(capture_enabled());
+        for track in ["a", "b", "c"] {
+            let mut t = Tracer::new(track, 4);
+            t.mark("busy", 0);
+            let mut log = TraceLog::new();
+            log.push(t.take());
+            submit(log);
+        }
+        submit(TraceLog::new()); // empty logs are ignored
+        set_capture(false);
+        let merged = take();
+        let tracks: Vec<&str> = merged.components.iter().map(|c| c.track.as_str()).collect();
+        assert_eq!(tracks, ["a", "b", "c"]);
+        assert!(take().is_empty(), "take drains the session");
+    }
+}

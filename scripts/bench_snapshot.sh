@@ -10,6 +10,10 @@
 # is checked individually: one crashing experiment fails the whole script
 # instead of silently truncating the snapshot.
 #
+# Per-binary wall-clock goes into a *separate* side file, BENCH_WALL.json
+# next to the output: timing is host-dependent and must never contaminate
+# the canonical, byte-stable BENCH_PR.json.
+#
 # Usage: scripts/bench_snapshot.sh [output-path]
 set -euo pipefail
 
@@ -27,14 +31,19 @@ for src in crates/bench/src/bin/exp*.rs; do
 done
 
 threads="$(nproc 2>/dev/null || echo 1)"
+wall="$(dirname "$out")/BENCH_WALL.json"
 failed=()
+wall_entries=()
 for bin in "${bins[@]}"; do
     echo "running $bin --quick --threads $threads" >&2
+    start_ms="$(date +%s%3N)"
     if ! "target/release/$bin" --quick --threads "$threads" \
             --json "$tmpdir/$bin.json" > /dev/null; then
         echo "FAILED: $bin" >&2
         failed+=("$bin")
     fi
+    end_ms="$(date +%s%3N)"
+    wall_entries+=("  {\"bin\": \"$bin\", \"wall_ms\": $((end_ms - start_ms))}")
 done
 if [ "${#failed[@]}" -gt 0 ]; then
     echo "aborting: ${#failed[@]} experiment(s) failed: ${failed[*]}" >&2
@@ -55,4 +64,20 @@ echo "" >> "$out.tmp"
 echo "]" >> "$out.tmp"
 mv "$out.tmp" "$out"
 
+# Wall-clock side file: nondeterministic by nature, so it is written
+# separately and must never be folded into BENCH_PR.json.
+{
+    echo "["
+    sep=""
+    for entry in "${wall_entries[@]}"; do
+        printf '%s%s' "$sep" "$entry"
+        sep=",
+"
+    done
+    echo ""
+    echo "]"
+} > "$wall.tmp"
+mv "$wall.tmp" "$wall"
+
 echo "wrote $out (${#bins[@]} experiments, --threads $threads)" >&2
+echo "wrote $wall (per-binary wall-clock, host-dependent)" >&2

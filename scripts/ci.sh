@@ -22,6 +22,15 @@ cargo test -q --test parallel_determinism
 echo "== --threads 2 smoke run (exercises the multi-worker pool on any host)"
 cargo run -q -p ia-bench --bin exp05_scheduler_suite -- --quick --threads 2 > /dev/null
 
+echo "== trace smoke (--trace output byte-identical across --threads)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
+    --quick --threads 1 --trace "$trace_dir/t1.json" > /dev/null
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
+    --quick --threads 4 --trace "$trace_dir/t4.json" > /dev/null
+diff "$trace_dir/t1.json" "$trace_dir/t4.json"
+
 echo "== fault-injection campaign (detect -> correct -> degrade loop)"
 cargo run -q -p ia-bench --bin exp24_fault_injection -- --quick > /dev/null
 

@@ -48,3 +48,32 @@ fn exp18_noc_is_thread_count_invariant() {
 fn exp24_fault_injection_is_thread_count_invariant() {
     assert_byte_identical("exp24", ia_bench::exp24_fault_injection::report);
 }
+
+/// The same contract for the `ia-trace` session: parallel sweeps carry
+/// each task's trace back to the submitting thread and submit in input
+/// order, so the rendered Chrome trace must be byte-identical between
+/// the exact serial path and a multi-worker pool.
+#[test]
+fn exp05_trace_is_thread_count_invariant() {
+    let _guard = THREADS_GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let render = |threads: usize| {
+        ia_par::set_threads(threads);
+        let _ = ia_trace::session::take();
+        ia_trace::set_capture(true);
+        let rows = ia_bench::exp05_scheduler_suite::rows(true);
+        ia_trace::set_capture(false);
+        let log = ia_trace::session::take();
+        (rows, ia_trace::chrome::render_chrome(&log))
+    };
+    let (serial_rows, serial) = render(1);
+    let (parallel_rows, parallel) = render(4);
+    ia_par::set_threads(0);
+    assert_eq!(serial_rows, parallel_rows);
+    assert_eq!(
+        serial, parallel,
+        "exp05: trace bytes differ between --threads 1 and --threads 4"
+    );
+    assert!(serial.starts_with("{\"traceEvents\":["));
+}
