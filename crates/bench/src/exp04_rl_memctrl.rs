@@ -29,17 +29,29 @@ fn throughput_of(scheduler: Box<dyn Scheduler>, per_thread: usize, seed: u64) ->
         .throughput_rpkc()
 }
 
+/// The FCFS / FR-FCFS / RL throughputs shared by the table and the
+/// headline ratios (memoized: each scheduler simulates once per
+/// process, per `quick` flag).
+fn baseline_throughputs(quick: bool) -> (f64, f64, f64) {
+    static CACHE: crate::report::OutcomeCache<(f64, f64, f64)> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || {
+        let n = if quick { 400 } else { 4000 };
+        (
+            throughput_of(Box::new(Fcfs::new()), n, 7),
+            throughput_of(Box::new(FrFcfs::new()), n, 7),
+            throughput_of(
+                Box::new(RlScheduler::new(RlSchedulerConfig::default())),
+                n,
+                7,
+            ),
+        )
+    })
+}
+
 /// Computes the outcome.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
-    let n = if quick { 400 } else { 4000 };
-    let fcfs = throughput_of(Box::new(Fcfs::new()), n, 7);
-    let frfcfs = throughput_of(Box::new(FrFcfs::new()), n, 7);
-    let rl = throughput_of(
-        Box::new(RlScheduler::new(RlSchedulerConfig::default())),
-        n,
-        7,
-    );
+    let (fcfs, frfcfs, rl) = baseline_throughputs(quick);
     Outcome {
         rl_vs_fcfs: rl / fcfs,
         rl_vs_frfcfs: rl / frfcfs,
@@ -51,18 +63,11 @@ pub fn outcome(quick: bool) -> Outcome {
 pub fn run(quick: bool) -> String {
     let n = if quick { 400 } else { 4000 };
     let mut table = Table::new(&["scheduler", "req/kcycle", "vs FCFS"]);
-    let fcfs = throughput_of(Box::new(Fcfs::new()), n, 7);
+    let (fcfs, frfcfs, rl_tp) = baseline_throughputs(quick);
     for (name, tp) in [
         ("FCFS", fcfs),
-        ("FR-FCFS", throughput_of(Box::new(FrFcfs::new()), n, 7)),
-        (
-            "RL (self-optimizing)",
-            throughput_of(
-                Box::new(RlScheduler::new(RlSchedulerConfig::default())),
-                n,
-                7,
-            ),
-        ),
+        ("FR-FCFS", frfcfs),
+        ("RL (self-optimizing)", rl_tp),
     ] {
         table.row(&[name.to_owned(), format!("{tp:.2}"), ratio(tp, fcfs)]);
     }
@@ -71,7 +76,7 @@ pub fn run(quick: bool) -> String {
     // workload segments — throughput should not degrade, and typically
     // rises as the policy converges.
     let mut curve = Table::new(&["segment", "RL req/kcycle"]);
-    let rl = std::rc::Rc::new(std::cell::RefCell::new(RlScheduler::new(
+    let rl = std::sync::Arc::new(std::sync::Mutex::new(RlScheduler::new(
         RlSchedulerConfig::default(),
     )));
     let segments = if quick { 3 } else { 6 };
@@ -98,13 +103,26 @@ pub fn run(quick: bool) -> String {
 }
 
 /// A scheduler handle that shares one learning agent across several runs
-/// (the harness takes ownership of its scheduler per run).
+/// (the harness takes ownership of its scheduler per run). `Arc<Mutex>`
+/// rather than `Rc<RefCell>` because `Scheduler` is `Send`; the runs are
+/// serial, so the lock is never contended.
 #[derive(Debug)]
-struct SharedRl(std::rc::Rc<std::cell::RefCell<RlScheduler>>);
+struct SharedRl(std::sync::Arc<std::sync::Mutex<RlScheduler>>);
+
+impl SharedRl {
+    fn agent(&self) -> std::sync::MutexGuard<'_, RlScheduler> {
+        // lint: allow(P001, single-threaded use - the lock cannot be poisoned)
+        self.0.lock().expect("uncontended")
+    }
+}
 
 impl ia_memctrl::Scheduler for SharedRl {
     fn name(&self) -> &'static str {
         "RL (self-optimizing)"
+    }
+    fn clone_box(&self) -> Box<dyn ia_memctrl::Scheduler> {
+        // A "clone" shares the same live agent: that is the type's point.
+        Box::new(SharedRl(self.0.clone()))
     }
     fn select(
         &mut self,
@@ -112,16 +130,16 @@ impl ia_memctrl::Scheduler for SharedRl {
         dram: &ia_dram::DramModule,
         now: ia_dram::Cycle,
     ) -> Option<usize> {
-        self.0.borrow_mut().select(queue, dram, now)
+        self.agent().select(queue, dram, now)
     }
     fn on_issue(&mut self, column: bool, now: ia_dram::Cycle) {
-        self.0.borrow_mut().on_issue(column, now);
+        self.agent().on_issue(column, now);
     }
     fn on_complete(&mut self, c: &ia_memctrl::Completed, now: ia_dram::Cycle) {
-        self.0.borrow_mut().on_complete(c, now);
+        self.agent().on_complete(c, now);
     }
     fn on_tick(&mut self, now: ia_dram::Cycle) {
-        self.0.borrow_mut().on_tick(now);
+        self.agent().on_tick(now);
     }
 }
 

@@ -24,6 +24,11 @@ pub struct Outcome {
 /// Computes the outcome.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
+    static CACHE: crate::report::OutcomeCache<Outcome> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_outcome(quick))
+}
+
+fn compute_outcome(quick: bool) -> Outcome {
     let rows = if quick { 64 * 1024 } else { 1024 * 1024 };
     let mut rng = SmallRng::seed_from_u64(23);
     let profile = RetentionModel::typical().profile(rows, &mut rng);

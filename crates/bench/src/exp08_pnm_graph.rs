@@ -23,6 +23,11 @@ pub struct Outcome {
 /// Computes the vault-scaling sweep.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
+    static CACHE: crate::report::OutcomeCache<Outcome> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_outcome(quick))
+}
+
+fn compute_outcome(quick: bool) -> Outcome {
     let (v, e) = if quick {
         (2048, 32 * 1024)
     } else {

@@ -41,6 +41,11 @@ enum Attack {
 /// results identical at any `--threads` setting.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
+    static CACHE: crate::report::OutcomeCache<Outcome> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_outcome(quick))
+}
+
+fn compute_outcome(quick: bool) -> Outcome {
     let hammers = if quick { 300_000 } else { 2_000_000 };
     let rows = 1 << 14;
     let victim = 5000;

@@ -35,6 +35,11 @@ fn verify_cost_ns(read_len: usize, band: usize) -> f64 {
 /// Computes the outcome.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
+    static CACHE: crate::report::OutcomeCache<Outcome> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_outcome(quick))
+}
+
+fn compute_outcome(quick: bool) -> Outcome {
     let (genome_len, read_count) = if quick {
         (64 * 1024, 40)
     } else {

@@ -38,17 +38,30 @@ fn run_mode(mode: Option<LatencyMode>, quick: bool) -> RunReport {
     run_closed_loop_with(ctrl, &traces, 8, 500_000_000).expect("run completes")
 }
 
+/// The standard / AL-DRAM / ChargeCache runs shared by the table and the
+/// machine-readable report (memoized: each mode simulates once per
+/// process, per `quick` flag).
+fn shared_runs(quick: bool) -> (RunReport, RunReport, RunReport) {
+    static CACHE: crate::report::OutcomeCache<(RunReport, RunReport, RunReport)> =
+        crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || {
+        let cc_mode = LatencyMode::ChargeCache {
+            entries_per_bank: 16,
+            window: 200_000,
+            scale: 0.65,
+        };
+        (
+            run_mode(None, quick),
+            run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick),
+            run_mode(Some(cc_mode), quick),
+        )
+    })
+}
+
 /// Computes the outcome.
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
-    let std_r = run_mode(None, quick);
-    let al_r = run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick);
-    let cc_mode = LatencyMode::ChargeCache {
-        entries_per_bank: 16,
-        window: 200_000,
-        scale: 0.65,
-    };
-    let cc_r = run_mode(Some(cc_mode), quick);
+    let (std_r, al_r, cc_r) = shared_runs(quick);
     Outcome {
         standard_latency: std_r.stats.avg_latency(),
         aldram_latency: al_r.stats.avg_latency(),
@@ -60,14 +73,7 @@ pub fn outcome(quick: bool) -> Outcome {
 /// Runs the experiment and renders the table.
 #[must_use]
 pub fn run(quick: bool) -> String {
-    let std_r = run_mode(None, quick);
-    let al_r = run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick);
-    let cc_mode = LatencyMode::ChargeCache {
-        entries_per_bank: 16,
-        window: 200_000,
-        scale: 0.65,
-    };
-    let cc_r = run_mode(Some(cc_mode), quick);
+    let (std_r, al_r, cc_r) = shared_runs(quick);
     let tl_mode = LatencyMode::TieredLatency {
         near_fraction: 0.25,
         near_scale: 0.6,

@@ -51,6 +51,11 @@ fn run_policy(policy: PlacementPolicy, dram_pages: usize, quick: bool) -> Hybrid
 /// Computes the outcome (DRAM tier = 1/16 of the pages).
 #[must_use]
 pub fn outcome(quick: bool) -> Outcome {
+    static CACHE: crate::report::OutcomeCache<Outcome> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_outcome(quick))
+}
+
+fn compute_outcome(quick: bool) -> Outcome {
     let dram_pages = 256;
     // "All-PCM": a 1-page DRAM tier with promotion disabled.
     let all_pcm = run_policy(

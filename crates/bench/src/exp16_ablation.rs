@@ -6,7 +6,7 @@
 //! +data-centric → +data-driven → +data-aware on one mixed data-intensive
 //! workload.
 
-use ia_core::{run_ablation, SystemConfig, Table};
+use ia_core::{run_ablation, AblationRow, SystemConfig, Table};
 use ia_workloads::{StreamGen, TraceGenerator, TraceRequest, ZipfGen};
 use ia_xmem::{AtomRegistry, Criticality, DataAttributes, Locality};
 use rand::rngs::SmallRng;
@@ -71,22 +71,28 @@ fn registry() -> AtomRegistry {
     reg
 }
 
+/// The ablation ladder's rows (memoized: `run`, `report`, and
+/// `speedups` share one simulation per process).
+fn rows(quick: bool) -> Vec<AblationRow> {
+    static CACHE: crate::report::OutcomeCache<Vec<AblationRow>> =
+        crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || {
+        let trace = workload(quick);
+        // lint: allow(P001, the ladder configs are static and the trace is non-empty)
+        run_ablation(&config(), &registry(), &trace).expect("ablation runs")
+    })
+}
+
 /// The ladder's speedups (baseline = 1.0).
 #[must_use]
 pub fn speedups(quick: bool) -> Vec<f64> {
-    let trace = workload(quick);
-    run_ablation(&config(), &registry(), &trace)
-        .expect("ablation runs")
-        .into_iter()
-        .map(|r| r.speedup)
-        .collect()
+    rows(quick).into_iter().map(|r| r.speedup).collect()
 }
 
 /// Runs the experiment and renders the table.
 #[must_use]
 pub fn run(quick: bool) -> String {
-    let trace = workload(quick);
-    let rows = run_ablation(&config(), &registry(), &trace).expect("ablation runs");
+    let rows = rows(quick);
     let mut table = Table::new(&[
         "configuration",
         "cycles",

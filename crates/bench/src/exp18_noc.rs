@@ -9,9 +9,16 @@
 use ia_core::Table;
 use ia_noc::{simulate, simulate_traced, MeshConfig, NocReport, RouterKind, Traffic};
 
-/// Latency-vs-load series for both routers.
+/// Latency-vs-load series for both routers (memoized: `run` and
+/// `report` share one simulation per process).
 #[must_use]
 pub fn sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
+    static CACHE: crate::report::OutcomeCache<Vec<(f64, NocReport, NocReport)>> =
+        crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_sweep(quick))
+}
+
+fn compute_sweep(quick: bool) -> Vec<(f64, NocReport, NocReport)> {
     // lint: allow(P001, 8x8 are compile-time dims MeshConfig::new accepts)
     let mesh = MeshConfig::new(8, 8).expect("valid mesh");
     let cycles = if quick { 2_000 } else { 20_000 };

@@ -32,6 +32,7 @@ use ia_memctrl::{
     ReliabilityConfig, ReliabilityPipeline,
 };
 use ia_par::{auto_threads, par_map};
+use ia_sim::SnapshotState;
 
 use crate::pct;
 
@@ -134,16 +135,19 @@ fn plan(rate: f64, rate_idx: usize) -> FaultPlan {
         .stuck(0.000_2 * rate)
 }
 
-/// Runs one sweep cell. The optional `ia-trace` log (captured when the
-/// bench CLI's `--trace`/`--profile` session is on) rides back with the
-/// cell so [`cells`] can submit it on the calling thread in input order.
+/// Runs one sweep cell from a warm-forked base controller and the
+/// shared workload trace. The optional `ia-trace` log (captured when
+/// the bench CLI's `--trace`/`--profile` session is on) rides back with
+/// the cell so [`cells`] can submit it on the calling thread in input
+/// order.
 fn cell(
+    base: MemoryController,
+    config: &DramConfig,
+    trace: &[Vec<MemRequest>],
     rate: f64,
     rate_idx: usize,
     mitigation: Mitigation,
-    quick: bool,
 ) -> (Cell, Option<ia_trace::TraceLog>) {
-    let config = DramConfig::ddr3_1600();
     let reliability = ReliabilityConfig {
         mitigation,
         spare_rows_per_bank: 8,
@@ -163,13 +167,8 @@ fn cell(
         .spare_floor(rows - reliability.spare_rows_per_bank)
         .build();
     let pipeline = ReliabilityPipeline::with_hook(reliability, Box::new(injector), rows);
-    let ctrl = MemoryController::new(config.clone(), Box::new(Fcfs::new()))
-        // lint: allow(P001, ddr3_1600 is a valid preset)
-        .expect("valid config")
-        .with_refresh_mode(RefreshMode::AllBank)
-        .with_reliability(pipeline);
-    let trace = trace(&config, quick);
-    let mut report = run_closed_loop_with(ctrl, &[trace], 4, 50_000_000)
+    let ctrl = base.with_reliability(pipeline);
+    let mut report = run_closed_loop_with(ctrl, trace, 4, 50_000_000)
         // lint: allow(P001, the trace is non-empty by construction)
         .expect("run completes");
     let log = report.trace.take();
@@ -191,15 +190,36 @@ fn cell(
 
 /// Runs the full sweep. Cells are independent simulations; `par_map`
 /// returns them in input order, so results — and any submitted traces —
-/// are identical at any thread count.
+/// are identical at any thread count. Memoized: `run` and `report`
+/// share one sweep per process.
 #[must_use]
 pub fn cells(quick: bool) -> Vec<Cell> {
-    let jobs: Vec<(usize, f64, Mitigation)> = rates(quick)
+    static CACHE: crate::report::OutcomeCache<Vec<Cell>> = crate::report::OutcomeCache::new();
+    CACHE.get_or_compute(quick, || compute_cells(quick))
+}
+
+fn compute_cells(quick: bool) -> Vec<Cell> {
+    // Warm-fork: the DRAM config, the workload trace, and the base
+    // controller (scheduler + refresh mode) are identical across every
+    // cell — build and decode them once, snapshot the warm controller,
+    // and fork one copy per cell. Only the reliability pipeline (the
+    // swept variable) is built per fork, so the reports stay
+    // byte-identical to the build-everything-per-cell path.
+    let config = DramConfig::ddr3_1600();
+    let base = MemoryController::new(config.clone(), Box::new(Fcfs::new()))
+        // lint: allow(P001, ddr3_1600 is a valid preset)
+        .expect("valid config")
+        .with_refresh_mode(RefreshMode::AllBank);
+    let shared_trace = vec![trace(&config, quick)];
+    let jobs: Vec<(usize, f64, Mitigation, MemoryController)> = rates(quick)
         .iter()
         .enumerate()
         .flat_map(|(i, &r)| TIERS.iter().map(move |&m| (i, r, m)))
+        .map(|(i, r, m)| (i, r, m, base.fork()))
         .collect();
-    let runs = par_map(auto_threads(), jobs, move |(i, r, m)| cell(r, i, m, quick));
+    let runs = par_map(auto_threads(), jobs, |(i, r, m, ctrl)| {
+        cell(ctrl, &config, &shared_trace, r, i, m)
+    });
     runs.into_iter()
         .map(|(cell, log)| {
             if let Some(log) = log {

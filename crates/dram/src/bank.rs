@@ -4,8 +4,14 @@
 //! command class becomes legal, exactly the information a memory controller
 //! needs to schedule commands (and the information Ramulator-class
 //! simulators keep per bank).
+//!
+//! Since the struct-of-arrays refactor the transition logic lives in
+//! [`crate::BankStates`] (the flat storage a [`crate::Rank`] walks on the
+//! hot path); `Bank` is a thin single-bank view over it, kept as the
+//! public teaching/testing interface.
 
-use crate::error::{IssueError, IssueErrorReason};
+use crate::error::IssueError;
+use crate::flat::BankStates;
 use crate::{Command, Cycle, RowBufferOutcome, TimingParams};
 
 /// Result of successfully issuing a command to a bank.
@@ -35,12 +41,7 @@ pub struct IssueOutcome {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bank {
-    open_row: Option<u64>,
-    next_act: Cycle,
-    next_pre: Cycle,
-    next_col: Cycle,
-    /// Total activates, for RowHammer accounting hooks.
-    activations: u64,
+    state: BankStates,
 }
 
 impl Bank {
@@ -48,34 +49,33 @@ impl Bank {
     #[must_use]
     pub fn new() -> Self {
         Bank {
-            open_row: None,
-            next_act: Cycle::ZERO,
-            next_pre: Cycle::ZERO,
-            next_col: Cycle::ZERO,
-            activations: 0,
+            state: BankStates::new(1),
+        }
+    }
+
+    /// A view over one bank of a flat [`BankStates`] store.
+    pub(crate) fn from_states(states: &BankStates, bank: usize) -> Self {
+        Bank {
+            state: states.extract(bank),
         }
     }
 
     /// The currently open row, if any.
     #[must_use]
     pub fn open_row(&self) -> Option<u64> {
-        self.open_row
+        self.state.open_row(0)
     }
 
     /// Lifetime activate count (consumed by the RowHammer model).
     #[must_use]
     pub fn activations(&self) -> u64 {
-        self.activations
+        self.state.activations(0)
     }
 
     /// Classifies a prospective access to `row` against the row buffer.
     #[must_use]
     pub fn row_buffer_outcome(&self, row: u64) -> RowBufferOutcome {
-        match self.open_row {
-            Some(open) if open == row => RowBufferOutcome::Hit,
-            Some(_) => RowBufferOutcome::Conflict,
-            None => RowBufferOutcome::Miss,
-        }
+        self.state.row_buffer_outcome(0, row)
     }
 
     /// Earliest cycle at which `cmd` satisfies this bank's local timing.
@@ -84,61 +84,13 @@ impl Bank {
     /// which the [`crate::Rank`] and [`crate::Channel`] layers add on top.
     #[must_use]
     pub fn ready_at(&self, cmd: &Command, _timing: &TimingParams) -> Cycle {
-        match cmd {
-            Command::Activate { .. } => self.next_act,
-            Command::Precharge => self.next_pre,
-            Command::Read { .. } | Command::Write { .. } => self.next_col,
-            Command::Refresh => self.next_act,
-        }
+        self.state.ready_at(0, cmd)
     }
 
     /// True if `cmd` is legal at `now` with respect to bank state + timing.
     #[must_use]
-    pub fn can_issue(&self, cmd: &Command, now: Cycle, timing: &TimingParams) -> bool {
-        self.check(cmd, now, timing).is_ok()
-    }
-
-    fn check(
-        &self,
-        cmd: &Command,
-        now: Cycle,
-        _timing: &TimingParams,
-    ) -> Result<(), IssueErrorReason> {
-        match cmd {
-            Command::Activate { .. } => {
-                if self.open_row.is_some() {
-                    return Err(IssueErrorReason::BankAlreadyOpen);
-                }
-                if now < self.next_act {
-                    return Err(IssueErrorReason::TooEarly(self.next_act));
-                }
-            }
-            Command::Precharge => {
-                if self.open_row.is_none() {
-                    return Err(IssueErrorReason::BankClosed);
-                }
-                if now < self.next_pre {
-                    return Err(IssueErrorReason::TooEarly(self.next_pre));
-                }
-            }
-            Command::Read { .. } | Command::Write { .. } => {
-                if self.open_row.is_none() {
-                    return Err(IssueErrorReason::BankClosed);
-                }
-                if now < self.next_col {
-                    return Err(IssueErrorReason::TooEarly(self.next_col));
-                }
-            }
-            Command::Refresh => {
-                if self.open_row.is_some() {
-                    return Err(IssueErrorReason::RankNotIdle);
-                }
-                if now < self.next_act {
-                    return Err(IssueErrorReason::TooEarly(self.next_act));
-                }
-            }
-        }
-        Ok(())
+    pub fn can_issue(&self, cmd: &Command, now: Cycle, _timing: &TimingParams) -> bool {
+        self.state.can_issue(0, cmd, now)
     }
 
     /// Issues `cmd` at `now`, updating the bank state and timing windows.
@@ -153,65 +105,14 @@ impl Bank {
         now: Cycle,
         timing: &TimingParams,
     ) -> Result<IssueOutcome, IssueError> {
-        if let Err(reason) = self.check(&cmd, now, timing) {
-            return Err(IssueError::new(cmd, now, reason));
-        }
-        match cmd {
-            Command::Activate { row } => {
-                let outcome = self.row_buffer_outcome(row);
-                self.open_row = Some(row);
-                self.activations += 1;
-                self.next_col = now + timing.t_rcd;
-                self.next_pre = now + timing.t_ras;
-                self.next_act = now + timing.t_rc();
-                Ok(IssueOutcome {
-                    data_ready: None,
-                    outcome: Some(outcome),
-                })
-            }
-            Command::Precharge => {
-                self.open_row = None;
-                self.next_act = self.next_act.max(now + timing.t_rp);
-                Ok(IssueOutcome {
-                    data_ready: None,
-                    outcome: None,
-                })
-            }
-            Command::Read { .. } => {
-                let data_ready = now + timing.t_cl + timing.t_bl;
-                self.next_col = now + timing.t_ccd;
-                self.next_pre = self.next_pre.max(now + timing.t_rtp);
-                Ok(IssueOutcome {
-                    data_ready: Some(data_ready),
-                    outcome: None,
-                })
-            }
-            Command::Write { .. } => {
-                let data_end = now + timing.t_cwl + timing.t_bl;
-                self.next_col = now + timing.t_ccd;
-                self.next_pre = self.next_pre.max(data_end + timing.t_wr);
-                Ok(IssueOutcome {
-                    data_ready: Some(data_end),
-                    outcome: None,
-                })
-            }
-            Command::Refresh => {
-                // Refresh is rank-scoped; at the bank level it simply blocks
-                // the bank for tRFC.
-                self.next_act = now + timing.t_rfc;
-                Ok(IssueOutcome {
-                    data_ready: None,
-                    outcome: None,
-                })
-            }
-        }
+        self.state.issue(0, cmd, now, timing)
     }
 
     /// Forces the bank closed and blocks it until `until` (used by the rank
     /// when a rank-wide refresh is in flight).
+    #[cfg(test)]
     pub(crate) fn block_until(&mut self, until: Cycle) {
-        self.open_row = None;
-        self.next_act = self.next_act.max(until);
+        self.state.block_until(0, until);
     }
 }
 
@@ -224,6 +125,7 @@ impl Default for Bank {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::IssueErrorReason;
     use crate::DramConfig;
 
     fn t() -> TimingParams {
@@ -378,6 +280,20 @@ mod tests {
         assert_eq!(
             bank.ready_at(&Command::Activate { row: 1 }, &timing),
             Cycle::new(timing.t_rc())
+        );
+    }
+
+    #[test]
+    fn block_until_closes_and_blocks() {
+        let timing = t();
+        let mut bank = Bank::new();
+        bank.issue(Command::Activate { row: 0 }, Cycle::ZERO, &timing)
+            .unwrap();
+        bank.block_until(Cycle::new(50_000));
+        assert_eq!(bank.open_row(), None);
+        assert_eq!(
+            bank.ready_at(&Command::Activate { row: 1 }, &timing),
+            Cycle::new(50_000)
         );
     }
 }

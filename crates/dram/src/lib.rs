@@ -9,8 +9,10 @@
 //!
 //! ## Layering
 //!
+//! * [`BankStates`] — flat struct-of-arrays per-bank state (open rows,
+//!   timing deadlines, activate counters) walked by the hot timing checks.
 //! * [`Bank`] — open-row state machine, per-bank timing windows
-//!   (tRCD/tRAS/tRP/tWR/tRTP/tCCD).
+//!   (tRCD/tRAS/tRP/tWR/tRTP/tCCD); a single-bank view over the flat state.
 //! * [`Rank`] — activate throttling (tRRD, tFAW) and rank-wide refresh
 //!   (tRFC).
 //! * [`Channel`] — shared data-bus serialization and write→read turnaround.
@@ -44,6 +46,7 @@ mod channel;
 mod config;
 mod energy;
 mod error;
+mod flat;
 mod inject;
 mod latency;
 mod module;
@@ -58,6 +61,7 @@ pub use channel::Channel;
 pub use config::{DramConfig, DramConfigBuilder, EnergyParams, Geometry, TimingParams};
 pub use energy::EnergyCounter;
 pub use error::{ConfigError, IssueError, IssueErrorReason};
+pub use flat::BankStates;
 pub use inject::InjectEvent;
 pub use latency::{ChargeCacheState, LatencyMode};
 pub use module::{AccessResult, CommandEvent, DramModule};

@@ -199,13 +199,9 @@ impl DramModule {
     /// The open row in the bank addressed by `loc`, if any.
     #[must_use]
     pub fn open_row(&self, loc: &Location) -> Option<u64> {
-        self.bank_of(loc).open_row()
-    }
-
-    fn bank_of(&self, loc: &Location) -> &crate::Bank {
         self.channels[loc.channel]
             .rank(loc.rank)
-            .bank(loc.bank_group * self.config.geometry.banks_per_group + loc.bank)
+            .open_row(self.bank_index(loc))
     }
 
     fn bank_index(&self, loc: &Location) -> usize {
@@ -216,7 +212,7 @@ impl DramModule {
     /// open-page bank management.
     #[must_use]
     pub fn next_needed(&self, loc: &Location, kind: AccessKind) -> Command {
-        match self.bank_of(loc).row_buffer_outcome(loc.row) {
+        match self.row_buffer_outcome(loc) {
             RowBufferOutcome::Hit => match kind {
                 AccessKind::Read => Command::Read { column: loc.column },
                 AccessKind::Write => Command::Write { column: loc.column },
@@ -229,7 +225,9 @@ impl DramModule {
     /// Row-buffer classification of a prospective access to `loc`.
     #[must_use]
     pub fn row_buffer_outcome(&self, loc: &Location) -> RowBufferOutcome {
-        self.bank_of(loc).row_buffer_outcome(loc.row)
+        self.channels[loc.channel]
+            .rank(loc.rank)
+            .row_buffer_outcome(self.bank_index(loc), loc.row)
     }
 
     /// Timing parameters in effect for an activate of `loc.row` at `now`
@@ -299,7 +297,7 @@ impl DramModule {
     ) -> Result<IssueOutcome, IssueError> {
         let timing = self.effective_timing(loc, &cmd, now);
         let bank_idx = self.bank_index(loc);
-        let open_before = self.bank_of(loc).open_row();
+        let open_before = self.channels[loc.channel].rank(loc.rank).open_row(bank_idx);
         let out = self.channels[loc.channel].issue(loc.rank, bank_idx, cmd, now, &timing)?;
         self.trace.record_with(|| CommandEvent {
             at: now,
@@ -436,12 +434,7 @@ impl DramModule {
         let banks = self.config.geometry.banks_per_rank();
         // Close any open banks.
         for bank in 0..banks {
-            if self.channels[channel]
-                .rank(rank)
-                .bank(bank)
-                .open_row()
-                .is_some()
-            {
+            if self.channels[channel].rank(rank).open_row(bank).is_some() {
                 let at = self.channels[channel]
                     .ready_at(rank, bank, &Command::Precharge, &timing)
                     .max(earliest);

@@ -1,11 +1,46 @@
 //! Rank-level constraints: activate throttling (tRRD, tFAW) and refresh.
 
-use std::collections::VecDeque;
-
 use crate::error::{IssueError, IssueErrorReason};
+use crate::flat::BankStates;
 use crate::{Bank, Command, Cycle, IssueOutcome, TimingParams};
 
+/// Fixed-size ring of the most recent activate issue times, sized to the
+/// tFAW window (four activates). Replaces an unbounded `VecDeque`: the
+/// gate only ever needs the oldest of the last four activates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ActWindow {
+    slots: [Cycle; 4],
+    total: u64,
+}
+
+impl ActWindow {
+    fn new() -> Self {
+        ActWindow {
+            slots: [Cycle::ZERO; 4],
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, now: Cycle) {
+        self.slots[(self.total % 4) as usize] = now;
+        self.total += 1;
+    }
+
+    /// With 4 activates inside the window, the next is legal tFAW after
+    /// the oldest of the last 4.
+    fn gate(&self, timing: &TimingParams) -> Cycle {
+        if self.total >= 4 {
+            self.slots[(self.total % 4) as usize] + timing.t_faw
+        } else {
+            Cycle::ZERO
+        }
+    }
+}
+
 /// A rank: a set of banks sharing activate-rate limits and refresh.
+///
+/// Bank state is stored struct-of-arrays (see [`BankStates`]) so the
+/// controller's per-cycle timing queries walk contiguous memory.
 ///
 /// # Examples
 ///
@@ -20,9 +55,9 @@ use crate::{Bank, Command, Cycle, IssueOutcome, TimingParams};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rank {
-    banks: Vec<Bank>,
-    /// Issue times of recent activates (pruned to the tFAW window).
-    recent_acts: VecDeque<Cycle>,
+    banks: BankStates,
+    /// Issue times of recent activates (the tFAW window).
+    recent_acts: ActWindow,
     /// Earliest next activate due to tRRD.
     next_act_rrd: Cycle,
     /// Rank busy (refreshing) until this cycle.
@@ -35,8 +70,8 @@ impl Rank {
     #[must_use]
     pub fn new(banks: usize) -> Self {
         Rank {
-            banks: (0..banks).map(|_| Bank::new()).collect(),
-            recent_acts: VecDeque::new(),
+            banks: BankStates::new(banks),
+            recent_acts: ActWindow::new(),
             next_act_rrd: Cycle::ZERO,
             refresh_until: Cycle::ZERO,
             refreshes: 0,
@@ -49,14 +84,43 @@ impl Rank {
         self.banks.len()
     }
 
-    /// Immutable view of a bank.
+    /// Snapshot view of a bank (a copy of its state; cold path — hot
+    /// callers use [`Rank::open_row`] / [`Rank::row_buffer_outcome`]
+    /// directly on the flat state).
     ///
     /// # Panics
     ///
     /// Panics if `bank` is out of range.
     #[must_use]
-    pub fn bank(&self, bank: usize) -> &Bank {
-        &self.banks[bank]
+    pub fn bank(&self, bank: usize) -> Bank {
+        Bank::from_states(&self.banks, bank)
+    }
+
+    /// The flat per-bank state store.
+    #[must_use]
+    pub fn bank_states(&self) -> &BankStates {
+        &self.banks
+    }
+
+    /// The open row in `bank`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn open_row(&self, bank: usize) -> Option<u64> {
+        self.banks.open_row(bank)
+    }
+
+    /// Row-buffer classification of a prospective access to `row` of
+    /// `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[must_use]
+    pub fn row_buffer_outcome(&self, bank: usize, row: u64) -> crate::RowBufferOutcome {
+        self.banks.row_buffer_outcome(bank, row)
     }
 
     /// Lifetime refresh command count.
@@ -68,7 +132,7 @@ impl Rank {
     /// True if no bank has an open row.
     #[must_use]
     pub fn all_banks_closed(&self) -> bool {
-        self.banks.iter().all(|b| b.open_row().is_none())
+        self.banks.all_closed()
     }
 
     /// The cycle until which the whole rank is blocked by an in-progress
@@ -79,33 +143,16 @@ impl Rank {
         self.refresh_until
     }
 
-    fn faw_gate(&self, timing: &TimingParams) -> Cycle {
-        // With 4 activates inside the window, the next is legal tFAW after
-        // the oldest of the last 4.
-        if self.recent_acts.len() >= 4 {
-            let oldest = self.recent_acts[self.recent_acts.len() - 4];
-            oldest + timing.t_faw
-        } else {
-            Cycle::ZERO
-        }
-    }
-
     /// Earliest cycle at which `cmd` to `bank` satisfies bank + rank timing.
     #[must_use]
     pub fn ready_at(&self, bank: usize, cmd: &Command, timing: &TimingParams) -> Cycle {
-        let base = self.banks[bank]
-            .ready_at(cmd, timing)
-            .max(self.refresh_until);
+        let base = self.banks.ready_at(bank, cmd).max(self.refresh_until);
         match cmd {
-            Command::Activate { .. } => base.max(self.next_act_rrd).max(self.faw_gate(timing)),
-            Command::Refresh => {
-                // Must wait until all banks are closed and past their own gates.
-                let mut t = base;
-                for b in &self.banks {
-                    t = t.max(b.ready_at(&Command::Refresh, timing));
-                }
-                t
-            }
+            Command::Activate { .. } => base
+                .max(self.next_act_rrd)
+                .max(self.recent_acts.gate(timing)),
+            // Refresh must wait until every bank is past its own gate.
+            Command::Refresh => base.max(self.banks.refresh_gate()),
             _ => base,
         }
     }
@@ -119,11 +166,11 @@ impl Rank {
         match cmd {
             Command::Activate { .. } => {
                 now >= self.next_act_rrd
-                    && now >= self.faw_gate(timing)
-                    && self.banks[bank].can_issue(cmd, now, timing)
+                    && now >= self.recent_acts.gate(timing)
+                    && self.banks.can_issue(bank, cmd, now)
             }
             Command::Refresh => self.all_banks_closed() && now >= self.ready_at(bank, cmd, timing),
-            _ => self.banks[bank].can_issue(cmd, now, timing),
+            _ => self.banks.can_issue(bank, cmd, now),
         }
     }
 
@@ -155,16 +202,13 @@ impl Rank {
         }
         match cmd {
             Command::Activate { .. } => {
-                let gate = self.next_act_rrd.max(self.faw_gate(timing));
+                let gate = self.next_act_rrd.max(self.recent_acts.gate(timing));
                 if now < gate {
                     return Err(IssueError::new(cmd, now, IssueErrorReason::TooEarly(gate)));
                 }
-                let out = self.banks[bank].issue(cmd, now, timing)?;
+                let out = self.banks.issue(bank, cmd, now, timing)?;
                 self.next_act_rrd = now + timing.t_rrd;
-                self.recent_acts.push_back(now);
-                while self.recent_acts.len() > 8 {
-                    self.recent_acts.pop_front();
-                }
+                self.recent_acts.push(now);
                 Ok(out)
             }
             Command::Refresh => {
@@ -176,9 +220,7 @@ impl Rank {
                     return Err(IssueError::new(cmd, now, IssueErrorReason::TooEarly(ready)));
                 }
                 let until = now + timing.t_rfc;
-                for b in &mut self.banks {
-                    b.block_until(until);
-                }
+                self.banks.block_all_until(until);
                 self.refresh_until = until;
                 self.refreshes += 1;
                 Ok(IssueOutcome {
@@ -186,14 +228,14 @@ impl Rank {
                     outcome: None,
                 })
             }
-            _ => self.banks[bank].issue(cmd, now, timing),
+            _ => self.banks.issue(bank, cmd, now, timing),
         }
     }
 
     /// Per-bank lifetime activate counts (RowHammer accounting).
     #[must_use]
     pub fn activation_counts(&self) -> Vec<u64> {
-        self.banks.iter().map(Bank::activations).collect()
+        self.banks.activation_counts()
     }
 }
 
@@ -237,6 +279,20 @@ mod tests {
     }
 
     #[test]
+    fn tfaw_window_slides_past_the_oldest_activate() {
+        let t = timing();
+        let mut rank = Rank::new(8);
+        for b in 0..6 {
+            let at = rank.ready_at(b, &Command::Activate { row: 0 }, &t);
+            rank.issue(b, Command::Activate { row: 0 }, at, &t).unwrap();
+        }
+        // The seventh activate is gated by the fourth-most-recent (index
+        // 3), not the very first: the fixed ring must slide.
+        let gate = rank.ready_at(6, &Command::Activate { row: 0 }, &t);
+        assert!(gate > Cycle::new(t.t_faw), "window must keep sliding");
+    }
+
+    #[test]
     fn refresh_requires_closed_banks_and_blocks_rank() {
         let t = timing();
         let mut rank = Rank::new(2);
@@ -274,6 +330,9 @@ mod tests {
         let at = rank.ready_at(1, &Command::Activate { row: 4 }, &t);
         rank.issue(1, Command::Activate { row: 4 }, at, &t).unwrap();
         assert_eq!(rank.activation_counts(), vec![0, 1, 0]);
+        assert_eq!(rank.bank(1).activations(), 1);
+        assert_eq!(rank.bank(1).open_row(), Some(4));
+        assert_eq!(rank.open_row(0), None);
     }
 
     #[test]

@@ -159,6 +159,16 @@ pub trait Inject: fmt::Debug + Send {
     fn stats(&self) -> FaultStats {
         FaultStats::default()
     }
+    /// Boxed deep copy — everything a fault process tracks (exposure,
+    /// decay clocks, materialized flips, RNG position) — so the owning
+    /// pipeline and controller can be snapshot/forked deterministically.
+    fn clone_box(&self) -> Box<dyn Inject>;
+}
+
+impl Clone for Box<dyn Inject> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A hook that never injects anything — the "fault-free device".
@@ -173,12 +183,15 @@ impl Inject for NoFaults {
     fn on_write(&mut self, _site: &RowSite, _word: u64, _now: u64) {}
     fn on_refresh(&mut self, _channel: usize, _rank: usize, _now: u64) {}
     fn on_row_refresh(&mut self, _site: &RowSite, _now: u64) {}
+    fn clone_box(&self) -> Box<dyn Inject> {
+        Box::new(*self)
+    }
 }
 
 /// Executes a [`FaultPlan`]: tracks per-row disturbance exposure and
 /// decay clocks, materializes flips per the plan's probabilistic model
 /// plus its scripted list, and serves flip masks on reads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
     /// Soft (scrubbable) flips per codeword: RowHammer, retention,
@@ -361,6 +374,10 @@ impl FaultInjector {
 }
 
 impl Inject for FaultInjector {
+    fn clone_box(&self) -> Box<dyn Inject> {
+        Box::new(self.clone())
+    }
+
     fn on_activate(&mut self, site: &RowSite, now: u64) {
         if self.immune(site.row) {
             return;

@@ -45,7 +45,7 @@ pub enum RefreshMode {
     Raidr(Raidr),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RefreshEngine {
     mode: RefreshMode,
     next_at: Cycle,
@@ -211,7 +211,7 @@ impl MetricSource for CtrlStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     dram: DramModule,
     scheduler: Box<dyn Scheduler>,
@@ -285,6 +285,18 @@ impl MemoryController {
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Replaces the scheduling policy (chainable) — the fork-side half
+    /// of a warm sweep: construct and warm one controller, fork it per
+    /// configuration ([`ia_sim::SnapshotState::fork`]), and hand each
+    /// fork its own policy. Construction is scheduler-independent, so a
+    /// fork with a swapped scheduler is bit-identical to a controller
+    /// built fresh with that scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -730,6 +742,24 @@ impl Clocked for MemoryController {
             self.tracer.mark_n(phase, self.now.as_u64(), n);
         }
         self.now = target;
+    }
+}
+
+impl ia_sim::SnapshotState for MemoryController {
+    type Snapshot = MemoryController;
+
+    /// The snapshot is a deep copy of the whole controller: DRAM timing
+    /// and row-buffer state, queue and in-flight requests, refresh
+    /// engine position, scheduler state (via [`Scheduler::clone_box`]),
+    /// reliability pipeline (fault-hook state included), and every
+    /// statistic. A restored controller is bit-identical to the donor —
+    /// the warm-fork guarantee parameter sweeps rely on.
+    fn snapshot(&self) -> MemoryController {
+        self.clone()
+    }
+
+    fn restore(&mut self, saved: &MemoryController) {
+        *self = saved.clone();
     }
 }
 

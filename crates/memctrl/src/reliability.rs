@@ -152,7 +152,9 @@ pub struct ReliabilityReport {
 }
 
 /// The controller-side reliability pipeline (see module docs).
-#[derive(Debug)]
+/// `Clone` is a deep copy — including the boxed fault hook's full state —
+/// so a warm controller carrying a pipeline can be forked mid-campaign.
+#[derive(Debug, Clone)]
 pub struct ReliabilityPipeline {
     config: ReliabilityConfig,
     injector: Box<dyn Inject>,
@@ -563,7 +565,7 @@ mod tests {
     }
 
     /// A scripted hook that returns queued masks for reads in order.
-    #[derive(Debug, Default)]
+    #[derive(Debug, Clone, Default)]
     struct QueuedMasks {
         masks: std::collections::VecDeque<FlipMask>,
         writes: Vec<(u64, u64)>,
@@ -581,6 +583,9 @@ mod tests {
         fn on_refresh(&mut self, _channel: usize, _rank: usize, _now: u64) {}
         fn on_row_refresh(&mut self, site: &RowSite, _now: u64) {
             self.row_refreshes.push(site.row);
+        }
+        fn clone_box(&self) -> Box<dyn Inject> {
+            Box::new(self.clone())
         }
     }
 

@@ -8,7 +8,7 @@ use std::collections::HashSet;
 
 use ia_dram::{Cycle, DramModule};
 
-use super::{is_row_hit, issuable_open_page, Scheduler};
+use super::{issue_view, Scheduler};
 use crate::request::{Completed, Pending};
 
 /// Number of per-cycle boundary triggers a `now / interval` epoch check
@@ -95,27 +95,28 @@ impl Scheduler for ParBs {
         "PAR-BS"
     }
 
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
     fn prepare(&mut self, queue: &mut [Pending]) {
         self.maybe_form_batch(queue);
     }
 
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let ready = issuable_open_page(queue, dram, now);
-        ready.into_iter().min_by_key(|&i| {
-            let p = &queue[i];
-            let rank = self
-                .rank
-                .get(p.request.thread)
-                .copied()
-                .unwrap_or(usize::MAX);
-            (
-                !p.batched,
-                !is_row_hit(p, dram),
-                rank,
-                p.arrival,
-                p.request.id,
-            )
-        })
+        let view = issue_view(queue, dram, now);
+        view.ready
+            .into_iter()
+            .min_by_key(|&(i, hit)| {
+                let p = &queue[i];
+                let rank = self
+                    .rank
+                    .get(p.request.thread)
+                    .copied()
+                    .unwrap_or(usize::MAX);
+                (!p.batched, !hit, rank, p.arrival, p.request.id)
+            })
+            .map(|(i, _)| i)
     }
 
     fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
@@ -151,24 +152,26 @@ impl Scheduler for Atlas {
         "ATLAS"
     }
 
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let ready = issuable_open_page(queue, dram, now);
-        ready.into_iter().min_by_key(|&i| {
-            let p = &queue[i];
-            // Order by attained service (scaled to integer for Ord), then
-            // row hit, then age.
-            let attained = self
-                .attained
-                .get(p.request.thread)
-                .copied()
-                .unwrap_or(f64::MAX);
-            (
-                (attained * 1000.0) as u64,
-                !is_row_hit(p, dram),
-                p.arrival,
-                p.request.id,
-            )
-        })
+        let view = issue_view(queue, dram, now);
+        view.ready
+            .into_iter()
+            .min_by_key(|&(i, hit)| {
+                let p = &queue[i];
+                // Order by attained service (scaled to integer for Ord),
+                // then row hit, then age.
+                let attained = self
+                    .attained
+                    .get(p.request.thread)
+                    .copied()
+                    .unwrap_or(f64::MAX);
+                ((attained * 1000.0) as u64, !hit, p.arrival, p.request.id)
+            })
+            .map(|(i, _)| i)
     }
 
     fn on_complete(&mut self, completed: &Completed, _now: Cycle) {
@@ -271,25 +274,26 @@ impl Scheduler for Tcm {
         "TCM"
     }
 
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let ready = issuable_open_page(queue, dram, now);
-        ready.into_iter().min_by_key(|&i| {
-            let p = &queue[i];
-            let t = p.request.thread;
-            let latency = self.latency_cluster.get(t).copied().unwrap_or(false);
-            let rank = self
-                .shuffle
-                .iter()
-                .position(|&x| x == t)
-                .unwrap_or(usize::MAX);
-            (
-                !latency,
-                rank,
-                !is_row_hit(p, dram),
-                p.arrival,
-                p.request.id,
-            )
-        })
+        let view = issue_view(queue, dram, now);
+        view.ready
+            .into_iter()
+            .min_by_key(|&(i, hit)| {
+                let p = &queue[i];
+                let t = p.request.thread;
+                let latency = self.latency_cluster.get(t).copied().unwrap_or(false);
+                let rank = self
+                    .shuffle
+                    .iter()
+                    .position(|&x| x == t)
+                    .unwrap_or(usize::MAX);
+                (!latency, rank, !hit, p.arrival, p.request.id)
+            })
+            .map(|(i, _)| i)
     }
 
     fn on_complete(&mut self, completed: &Completed, _now: Cycle) {
@@ -384,17 +388,24 @@ impl Scheduler for Bliss {
         "BLISS"
     }
 
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let ready = issuable_open_page(queue, dram, now);
-        ready.into_iter().min_by_key(|&i| {
-            let p = &queue[i];
-            (
-                self.blacklist.contains(&p.request.thread),
-                !is_row_hit(p, dram),
-                p.arrival,
-                p.request.id,
-            )
-        })
+        let view = issue_view(queue, dram, now);
+        view.ready
+            .into_iter()
+            .min_by_key(|&(i, hit)| {
+                let p = &queue[i];
+                (
+                    self.blacklist.contains(&p.request.thread),
+                    !hit,
+                    p.arrival,
+                    p.request.id,
+                )
+            })
+            .map(|(i, _)| i)
     }
 
     fn on_complete(&mut self, completed: &Completed, _now: Cycle) {

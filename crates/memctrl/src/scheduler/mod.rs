@@ -18,9 +18,15 @@ use crate::request::{Completed, Pending};
 /// the index of the request whose next command should issue. Implementors
 /// should choose among *issuable* requests (see [`issuable_now`]) — the
 /// controller ignores selections that cannot issue this cycle.
-pub trait Scheduler: std::fmt::Debug {
+pub trait Scheduler: std::fmt::Debug + Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Boxed deep copy of the full policy state (epoch counters, batch
+    /// marks, learned tables, RNG position), so a warm controller can be
+    /// snapshot/forked for sweeps. `Box<dyn Scheduler>` implements
+    /// `Clone` through this hook.
+    fn clone_box(&self) -> Box<dyn Scheduler>;
 
     /// Picks a queued request to serve, or `None` to idle this cycle.
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize>;
@@ -80,25 +86,81 @@ pub fn is_row_hit(p: &Pending, dram: &DramModule) -> bool {
     )
 }
 
-/// [`issuable_now`] minus row-closing precharges to banks that still have
-/// pending row hits in the queue — the open-page rule every
-/// locality-respecting scheduler follows (a row with outstanding hits is
-/// not closed just because its next burst is a few cycles away).
+/// Per-cycle scheduling facts for one queue, computed in a single pass
+/// over the DRAM timing state.
+///
+/// Every policy needs the same two facts per queued request — "can its
+/// next command issue now?" and "is it a row hit?" — and the open-page
+/// precharge rule additionally needs "does any request hit this bank's
+/// open row?". Computing them entry-by-entry inside each policy's sort
+/// key re-walked the channel/rank/bank hierarchy O(n²) times per cycle;
+/// this view walks it exactly once per entry.
+#[derive(Debug, Clone)]
+pub struct IssueView {
+    /// Issuable request indices under the open-page rule (ascending),
+    /// each with its row-hit flag.
+    pub ready: Vec<(usize, bool)>,
+    /// Number of queued requests (issuable or not) whose next command is
+    /// a column command — the occupancy signal RL-class policies use.
+    pub row_hits: usize,
+}
+
+/// Builds the [`IssueView`] for `queue` at `now`: [`issuable_now`] minus
+/// row-closing precharges to banks that still have pending row hits in
+/// the queue — the open-page rule every locality-respecting scheduler
+/// follows (a row with outstanding hits is not closed just because its
+/// next burst is a few cycles away).
+#[must_use]
+pub fn issue_view(queue: &[Pending], dram: &DramModule, now: Cycle) -> IssueView {
+    let geo = &dram.config().geometry;
+    let mut ready: Vec<(usize, bool)> = Vec::with_capacity(queue.len());
+    // Flat bank keys with at least one queued row hit; a handful of
+    // entries at most, so a linear `contains` beats any hashing.
+    let mut hit_banks: Vec<usize> = Vec::new();
+    let mut row_hits = 0usize;
+    // Pass 1: classify every entry once (issuable? hit? precharge?).
+    let mut pending_pre: Vec<(usize, usize)> = Vec::new(); // (index, flat bank)
+    for (i, p) in queue.iter().enumerate() {
+        let cmd = dram.next_needed(&p.loc, p.request.kind);
+        let issuable = dram.ready_at(&p.loc, &cmd) <= now;
+        match cmd {
+            Command::Read { .. } | Command::Write { .. } => {
+                row_hits += 1;
+                let bank = p.loc.flat_bank(geo);
+                if !hit_banks.contains(&bank) {
+                    hit_banks.push(bank);
+                }
+                if issuable {
+                    ready.push((i, true));
+                }
+            }
+            Command::Precharge if issuable => pending_pre.push((i, p.loc.flat_bank(geo))),
+            _ => {
+                if issuable {
+                    ready.push((i, false));
+                }
+            }
+        }
+    }
+    // Pass 2: closing a bank is allowed only if no queued request hits
+    // its currently-open row.
+    for (i, bank) in pending_pre {
+        if !hit_banks.contains(&bank) {
+            ready.push((i, false));
+        }
+    }
+    ready.sort_unstable_by_key(|&(i, _)| i);
+    IssueView { ready, row_hits }
+}
+
+/// [`issue_view`]'s issuable indices alone, for callers that do not need
+/// the row-hit flags.
 #[must_use]
 pub fn issuable_open_page(queue: &[Pending], dram: &DramModule, now: Cycle) -> Vec<usize> {
-    issuable_now(queue, dram, now)
+    issue_view(queue, dram, now)
+        .ready
         .into_iter()
-        .filter(|&i| {
-            let p = &queue[i];
-            if !matches!(dram.next_needed(&p.loc, p.request.kind), Command::Precharge) {
-                return true;
-            }
-            // Closing this bank is allowed only if no queued request hits
-            // its currently-open row.
-            !queue
-                .iter()
-                .any(|q| q.loc.same_bank(&p.loc) && is_row_hit(q, dram))
-        })
+        .map(|(i, _)| i)
         .collect()
 }
 
@@ -117,9 +179,19 @@ impl Fcfs {
     }
 }
 
+impl Clone for Box<dyn Scheduler> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 impl Scheduler for Fcfs {
     fn name(&self) -> &'static str {
         "FCFS"
+    }
+
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
     }
 
     fn select(&mut self, queue: &[Pending], _dram: &DramModule, _now: Cycle) -> Option<usize> {
@@ -147,12 +219,16 @@ impl Scheduler for FrFcfs {
         "FR-FCFS"
     }
 
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let ready = issuable_open_page(queue, dram, now);
-        ready.into_iter().min_by_key(|&i| {
-            let hit = is_row_hit(&queue[i], dram);
-            (!hit, queue[i].arrival, queue[i].request.id)
-        })
+        let view = issue_view(queue, dram, now);
+        view.ready
+            .into_iter()
+            .min_by_key(|&(i, hit)| (!hit, queue[i].arrival, queue[i].request.id))
+            .map(|(i, _)| i)
     }
 
     fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}

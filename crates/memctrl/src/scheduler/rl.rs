@@ -8,7 +8,7 @@ use ia_learn::{FeatureQuantizer, QAgent, QConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use super::{is_row_hit, issuable_open_page, Scheduler};
+use super::{issue_view, Scheduler};
 use crate::request::Pending;
 
 /// Configuration for [`RlScheduler`].
@@ -74,7 +74,7 @@ impl Action {
 ///
 /// Reward: +1 whenever a column command issues (a cycle of useful data-bus
 /// work), 0 otherwise — the utilization signal of the original design.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RlScheduler {
     agent: QAgent,
     rng: SmallRng,
@@ -129,10 +129,10 @@ impl RlScheduler {
             .collect()
     }
 
-    fn state_of(&self, queue: &[Pending], dram: &DramModule) -> [f64; 3] {
+    fn state_with_hits(&self, queue: &[Pending], row_hits: usize) -> [f64; 3] {
         let n = queue.len().max(1) as f64;
         let occupancy = (queue.len() as f64 / self.config.queue_capacity as f64).min(1.0);
-        let hits = queue.iter().filter(|p| is_row_hit(p, dram)).count() as f64 / n;
+        let hits = row_hits as f64 / n;
         let writes = queue.iter().filter(|p| !p.request.kind.is_read()).count() as f64 / n;
         [occupancy, hits, writes]
     }
@@ -143,12 +143,16 @@ impl Scheduler for RlScheduler {
         "RL (self-optimizing)"
     }
 
+    fn clone_box(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+
     fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let ready = issuable_open_page(queue, dram, now);
-        if ready.is_empty() {
+        let view = issue_view(queue, dram, now);
+        if view.ready.is_empty() {
             return None;
         }
-        let state = self.state_of(queue, dram);
+        let state = self.state_with_hits(queue, view.row_hits);
 
         // SARSA step: credit the reward accumulated since the last
         // decision, then pick the next action.
@@ -166,17 +170,19 @@ impl Scheduler for RlScheduler {
         self.last_state = state;
 
         let action = Action::from_index(action_idx);
-        ready.into_iter().min_by_key(|&i| {
-            let p = &queue[i];
-            let hit = is_row_hit(p, dram);
-            let read = p.request.kind.is_read();
-            match action {
-                Action::RowHitFirst => (!hit, p.arrival, p.request.id),
-                Action::OldestFirst => (false, p.arrival, p.request.id),
-                Action::ReadsFirst => (!read, p.arrival, p.request.id),
-                Action::WritesFirst => (read, p.arrival, p.request.id),
-            }
-        })
+        view.ready
+            .into_iter()
+            .min_by_key(|&(i, hit)| {
+                let p = &queue[i];
+                let read = p.request.kind.is_read();
+                match action {
+                    Action::RowHitFirst => (!hit, p.arrival, p.request.id),
+                    Action::OldestFirst => (false, p.arrival, p.request.id),
+                    Action::ReadsFirst => (!read, p.arrival, p.request.id),
+                    Action::WritesFirst => (read, p.arrival, p.request.id),
+                }
+            })
+            .map(|(i, _)| i)
     }
 
     fn on_issue(&mut self, column: bool, _now: Cycle) {
@@ -260,7 +266,8 @@ mod tests {
         });
         let queue = vec![pending(1, 64, &d), pending(2, 128, &d)];
         for _ in 0..2000 {
-            let state = rl.state_of(&queue, &d);
+            let view = issue_view(&queue, &d, Cycle::new(10_000));
+            let state = rl.state_with_hits(&queue, view.row_hits);
             let _ = rl.select(&queue, &d, Cycle::new(10_000));
             // Manually reward only when the last action was row-hit-first.
             // (In the real controller the reward comes from bus activity.)

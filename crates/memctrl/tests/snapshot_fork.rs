@@ -1,0 +1,170 @@
+//! The `SnapshotState` bit-identity contract on the full controller:
+//! save → mutate (keep simulating) → restore → re-run must reproduce the
+//! exact completion stream and statistics, and a warm fork must be
+//! indistinguishable from cold construction.
+
+use ia_dram::DramConfig;
+use ia_memctrl::{
+    run_closed_loop, run_closed_loop_with, Completed, FrFcfs, MemRequest, MemoryController,
+    Mitigation, RefreshMode, ReliabilityConfig, ReliabilityPipeline,
+};
+use ia_sim::{Cycle, SimLoop, SnapshotState, StepOutcome};
+
+/// A deterministic read-heavy request pattern spanning several banks and
+/// rows (hits, misses, and conflicts).
+fn requests(n: u64) -> Vec<MemRequest> {
+    (0..n)
+        .map(|i| {
+            let addr = (i % 7) * 0x4_0000 + (i % 13) * 0x100 + i * 64;
+            if i % 5 == 0 {
+                MemRequest::write(addr, 0)
+            } else {
+                MemRequest::read(addr, 0)
+            }
+        })
+        .collect()
+}
+
+fn controller() -> MemoryController {
+    MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
+        .expect("valid preset")
+        .with_refresh_mode(RefreshMode::AllBank)
+        .with_queue_capacity(64)
+}
+
+/// Drains the controller, returning every completion in retirement order.
+fn drain(ctrl: &mut MemoryController) -> Vec<Completed> {
+    let mut engine = SimLoop::new();
+    let mut done: Vec<Completed> = Vec::new();
+    let deadline = Cycle::new(50_000_000);
+    loop {
+        match engine.step(ctrl, &mut done, deadline) {
+            StepOutcome::Drained | StepOutcome::DeadlineReached => break,
+            StepOutcome::Stalled(report) => panic!("controller stalled: {report}"),
+            StepOutcome::Ticked => {}
+        }
+    }
+    done
+}
+
+#[test]
+fn restore_rewinds_to_a_bit_identical_controller() {
+    let mut ctrl = controller();
+    for req in requests(48) {
+        ctrl.enqueue(req).expect("capacity fits");
+    }
+
+    // Warm up: retire roughly half the work, then save.
+    let mut engine = SimLoop::new();
+    let mut warmup: Vec<Completed> = Vec::new();
+    let deadline = Cycle::new(50_000_000);
+    while warmup.len() < 24 {
+        match engine.step(&mut ctrl, &mut warmup, deadline) {
+            StepOutcome::Ticked => {}
+            other => panic!("warm-up ended early: {other:?}"),
+        }
+    }
+    let saved = ctrl.snapshot();
+    let saved_now = ctrl.now();
+
+    // Mutate: run the tail to completion.
+    let first_tail = drain(&mut ctrl);
+    assert!(!first_tail.is_empty());
+    let first_stats = ctrl.stats().clone();
+    assert!(ctrl.now() > saved_now);
+
+    // Restore and re-run: the replay must be byte-identical.
+    ctrl.restore(&saved);
+    assert_eq!(ctrl.now(), saved_now);
+    let second_tail = drain(&mut ctrl);
+    assert_eq!(first_tail, second_tail);
+    assert_eq!(&first_stats, ctrl.stats());
+}
+
+#[test]
+fn forks_diverge_without_disturbing_the_parent() {
+    let mut parent = controller();
+    for req in requests(32) {
+        parent.enqueue(req).expect("capacity fits");
+    }
+    // Warm the parent a little so the fork copies non-trivial state.
+    let mut engine = SimLoop::new();
+    let mut sink: Vec<Completed> = Vec::new();
+    for _ in 0..64 {
+        engine.step(&mut parent, &mut sink, Cycle::new(50_000_000));
+    }
+
+    let mut fork_a = parent.fork();
+    let mut fork_b = parent.fork();
+    let tail_a = drain(&mut fork_a);
+    // Extra traffic makes fork B genuinely diverge from A.
+    fork_b
+        .enqueue(MemRequest::read(0x7000, 0))
+        .expect("capacity fits");
+    let tail_b = drain(&mut fork_b);
+    assert_eq!(tail_a.len() + 1, tail_b.len());
+
+    // The parent was not disturbed: its own continuation still retires
+    // everything the forks saw from the shared prefix.
+    let tail_parent = drain(&mut parent);
+    assert_eq!(tail_parent, tail_a);
+}
+
+/// The warm-fork pattern the bench sweeps use: one warm base controller,
+/// forked per configuration with a swapped scheduler / attached
+/// pipeline, must report exactly what cold per-config construction
+/// reports.
+#[test]
+fn warm_fork_matches_cold_construction() {
+    let traces = vec![requests(40), requests(40)];
+
+    let warm = MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
+        .expect("valid preset");
+    let warm_report = run_closed_loop_with(warm.fork(), &traces, 8, 50_000_000).expect("runs");
+    let cold_report = run_closed_loop(
+        DramConfig::ddr3_1600(),
+        Box::new(FrFcfs::new()),
+        &traces,
+        8,
+        50_000_000,
+    )
+    .expect("runs");
+    assert!(warm_report.same_results(&cold_report));
+
+    // With a reliability pipeline attached post-fork (the exp24 shape).
+    let config = DramConfig::ddr3_1600();
+    let reliability = ReliabilityConfig {
+        mitigation: Mitigation::Full,
+        spare_rows_per_bank: 4,
+        quarantine_threshold: 0,
+    };
+    let pipeline = |cfg: &DramConfig| {
+        ReliabilityPipeline::new(
+            reliability,
+            ia_faults::FaultPlan::new(7).transient(0.01),
+            &cfg.geometry,
+        )
+    };
+    let base = MemoryController::new(config.clone(), Box::new(FrFcfs::new()))
+        .expect("valid preset")
+        .with_refresh_mode(RefreshMode::AllBank);
+    let warm_rel = run_closed_loop_with(
+        base.fork().with_reliability(pipeline(&config)),
+        &traces,
+        8,
+        50_000_000,
+    )
+    .expect("runs");
+    let cold_rel = run_closed_loop_with(
+        MemoryController::new(config.clone(), Box::new(FrFcfs::new()))
+            .expect("valid preset")
+            .with_refresh_mode(RefreshMode::AllBank)
+            .with_reliability(pipeline(&config)),
+        &traces,
+        8,
+        50_000_000,
+    )
+    .expect("runs");
+    assert!(warm_rel.same_results(&cold_rel));
+    assert_eq!(warm_rel.reliability, cold_rel.reliability);
+}

@@ -10,8 +10,6 @@
 //! adjacent-row activation (PARA) and a counter-based target-row-refresh
 //! (the Graphene/TRR family).
 
-use std::collections::HashMap;
-
 use rand::Rng;
 
 /// Device vulnerability presets: the minimum hammer count that flips a bit.
@@ -83,8 +81,10 @@ pub struct Flip {
 pub struct RowHammerModel {
     threshold: u64,
     rows: u64,
-    /// Victim-row exposure since that victim was last refreshed.
-    exposure: HashMap<u64, u64>,
+    /// Victim-row exposure since that victim was last refreshed, as a
+    /// flat per-row array: the hammer loop touches two neighbours per
+    /// activation, and a direct index beats hashing the row id.
+    exposure: Vec<u64>,
     /// Total flips observed.
     flips: u64,
     /// Extra refreshes performed by mitigations.
@@ -104,7 +104,7 @@ impl RowHammerModel {
         RowHammerModel {
             threshold: threshold.max(1),
             rows,
-            exposure: HashMap::new(),
+            exposure: vec![0; rows as usize],
             flips: 0,
             mitigation_refreshes: 0,
         }
@@ -148,7 +148,7 @@ impl RowHammerModel {
     pub fn record_activation(&mut self, row: u64) -> Vec<Flip> {
         let mut flips = Vec::new();
         for victim in self.neighbors(row) {
-            let e = self.exposure.entry(victim).or_insert(0);
+            let e = &mut self.exposure[victim as usize];
             *e += 1;
             if (*e).is_multiple_of(self.threshold) {
                 self.flips += 1;
@@ -164,19 +164,21 @@ impl RowHammerModel {
     /// Refreshes a single row, resetting its exposure (used by targeted
     /// mitigations).
     pub fn refresh_row(&mut self, row: u64) {
-        self.exposure.remove(&row);
+        if let Some(e) = self.exposure.get_mut(row as usize) {
+            *e = 0;
+        }
         self.mitigation_refreshes += 1;
     }
 
     /// Periodic refresh of the whole bank: all exposure resets.
     pub fn refresh_all(&mut self) {
-        self.exposure.clear();
+        self.exposure.fill(0);
     }
 
     /// Current exposure of a row.
     #[must_use]
     pub fn exposure(&self, row: u64) -> u64 {
-        self.exposure.get(&row).copied().unwrap_or(0)
+        self.exposure.get(row as usize).copied().unwrap_or(0)
     }
 }
 
@@ -250,7 +252,10 @@ impl Mitigation for Para {
 /// refreshed and the counter resets.
 #[derive(Debug, Clone)]
 pub struct CounterTrr {
-    table: HashMap<u64, u64>,
+    /// `(row, count)` pairs. The table holds at most a few dozen
+    /// counters (that is the hardware budget being modelled), so a
+    /// linear scan per activate beats hashing the row id.
+    table: Vec<(u64, u64)>,
     capacity: usize,
     action_threshold: u64,
 }
@@ -261,7 +266,7 @@ impl CounterTrr {
     #[must_use]
     pub fn new(capacity: usize, action_threshold: u64) -> Self {
         CounterTrr {
-            table: HashMap::new(),
+            table: Vec::new(),
             capacity: capacity.max(1),
             action_threshold: action_threshold.max(1),
         }
@@ -272,18 +277,21 @@ impl Mitigation for CounterTrr {
     fn on_activate(&mut self, row: u64, rows: u64, _rng: &mut dyn rand::RngCore) -> Vec<u64> {
         // Misra–Gries: increment if present or table has room; otherwise
         // decrement everyone (evicting zeros).
-        if let Some(c) = self.table.get_mut(&row) {
+        let mut count = 0;
+        if let Some(&mut (_, ref mut c)) = self.table.iter_mut().find(|&&mut (r, _)| r == row) {
             *c += 1;
+            count = *c;
         } else if self.table.len() < self.capacity {
-            self.table.insert(row, 1);
+            self.table.push((row, 1));
+            count = 1;
         } else {
-            self.table.retain(|_, c| {
+            self.table.retain_mut(|&mut (_, ref mut c)| {
                 *c -= 1;
                 *c > 0
             });
         }
-        if self.table.get(&row).copied().unwrap_or(0) >= self.action_threshold {
-            self.table.remove(&row);
+        if count >= self.action_threshold {
+            self.table.retain(|&(r, _)| r != row);
             return [
                 row.checked_sub(1),
                 if row + 1 < rows { Some(row + 1) } else { None },

@@ -55,28 +55,54 @@ impl MetricSource for EngineStats {
     }
 }
 
-/// Structured evidence of a no-progress stall: a component kept claiming
-/// a next event (so the engine kept ticking) while its clock never
-/// advanced. This is always a [`Clocked`] contract violation — the
-/// watchdog converts what used to be a silent infinite spin into data a
-/// harness can report and exit on.
+/// Which [`Clocked`] contract violation the engine detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// The component kept claiming an imminent event while its clock
+    /// never advanced (the watchdog bound was exceeded).
+    NoProgress,
+    /// `next_event_at()` returned a cycle *behind* the component's own
+    /// clock — an event in the past the engine can never reach.
+    TimeTravel {
+        /// The past cycle the component promised an event at.
+        event: Cycle,
+    },
+}
+
+/// Structured evidence of a [`Clocked`] contract violation: either a
+/// no-progress spin (the component kept claiming a next event while its
+/// clock never advanced) or a time-traveling `next_event_at()` (an
+/// event promised behind the clock). Both used to be silent — an
+/// infinite spin and a `debug_assert!` compiled out of release builds —
+/// and are now data a harness can report and exit on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StallReport {
-    /// The cycle the component was frozen at.
+    /// The detected violation.
+    pub kind: StallKind,
+    /// The cycle the component's clock was at when the violation was
+    /// detected.
     pub at: Cycle,
-    /// Consecutive ticks executed without the clock advancing.
+    /// Consecutive ticks executed without the clock advancing (zero for
+    /// [`StallKind::TimeTravel`], which is detected immediately).
     pub stuck_steps: u64,
-    /// The watchdog bound that was exceeded.
+    /// The configured watchdog bound.
     pub bound: u64,
 }
 
 impl fmt::Display for StallReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "component stalled at cycle {}: {} consecutive ticks without progress (watchdog bound {})",
-            self.at, self.stuck_steps, self.bound
-        )
+        match self.kind {
+            StallKind::NoProgress => write!(
+                f,
+                "component stalled at cycle {}: {} consecutive ticks without progress (watchdog bound {})",
+                self.at, self.stuck_steps, self.bound
+            ),
+            StallKind::TimeTravel { event } => write!(
+                f,
+                "component time-traveled at cycle {}: next_event_at() returned {event}, which is in the past",
+                self.at
+            ),
+        }
     }
 }
 
@@ -222,7 +248,19 @@ impl SimLoop {
         let Some(event) = component.next_event_at() else {
             return StepOutcome::Drained;
         };
-        debug_assert!(event >= component.now(), "next_event_at() must be >= now()");
+        if event < component.now() {
+            // An event promised in the past can never be reached: ticking
+            // would simulate the wrong cycle and skipping goes backwards.
+            // This used to be a debug_assert! (silent in release builds);
+            // it is the same class of contract violation as a no-progress
+            // spin, so it reports through the watchdog's stall path.
+            return StepOutcome::Stalled(StallReport {
+                kind: StallKind::TimeTravel { event },
+                at: component.now(),
+                stuck_steps: 0,
+                bound: self.watchdog_bound,
+            });
+        }
         if event >= deadline {
             // A per-cycle loop would idle-tick up to the deadline; jump
             // there so time-bounded runs report identical final clocks.
@@ -266,6 +304,7 @@ impl SimLoop {
                 self.stuck_steps += 1;
                 if self.stuck_steps >= self.watchdog_bound {
                     let report = StallReport {
+                        kind: StallKind::NoProgress,
                         at: self.stuck_at,
                         stuck_steps: self.stuck_steps,
                         bound: self.watchdog_bound,
@@ -530,6 +569,68 @@ mod tests {
         // Structured error propagation: the report is a std::error::Error.
         let err = out.into_result().expect_err("stall is an error");
         assert!(err.to_string().contains("stalled at cycle 17"));
+    }
+
+    /// A component whose `next_event_at()` falls *behind* its clock — the
+    /// contract violation the old `debug_assert!` only caught in debug
+    /// builds.
+    #[derive(Debug)]
+    struct TimeTraveler {
+        now: Cycle,
+    }
+
+    impl Clocked for TimeTraveler {
+        type Completion = ();
+        fn now(&self) -> Cycle {
+            self.now
+        }
+        fn tick_into(&mut self, _sink: &mut dyn CompletionSink<()>) {
+            self.now += 1;
+        }
+        fn next_event_at(&self) -> Option<Cycle> {
+            // Promises an event 10 cycles in the past, forever.
+            Some(Cycle::new(self.now.as_u64().saturating_sub(10)))
+        }
+        fn skip_to(&mut self, target: Cycle) {
+            if target > self.now {
+                self.now = target;
+            }
+        }
+    }
+
+    #[test]
+    fn time_traveling_component_stalls_in_release_builds_too() {
+        // This check must not depend on debug_assert!: it is compiled
+        // unconditionally, so the test is meaningful under --release.
+        let mut engine = SimLoop::new();
+        let mut done: Vec<()> = Vec::new();
+        let mut tt = TimeTraveler {
+            now: Cycle::new(50),
+        };
+        let out = engine.step(&mut tt, &mut done, Cycle::new(1_000));
+        let StepOutcome::Stalled(report) = out else {
+            panic!("expected Stalled, got {out:?}");
+        };
+        assert_eq!(
+            report.kind,
+            StallKind::TimeTravel {
+                event: Cycle::new(40)
+            }
+        );
+        assert_eq!(report.at, Cycle::new(50));
+        assert_eq!(report.stuck_steps, 0);
+        assert!(report.to_string().contains("time-traveled at cycle 50"));
+        assert!(report.to_string().contains("returned 40"));
+        // Nothing was executed or skipped: the violation is detected
+        // before the engine touches the component.
+        assert_eq!(engine.stats().events_processed, 0);
+        assert_eq!(engine.stats().skips, 0);
+        // The run-level driver surfaces it the same way.
+        let out = engine.run_while(&mut tt, &mut done, Cycle::new(1_000), |_| true);
+        assert!(matches!(
+            out,
+            RunOutcome::Stalled(r) if matches!(r.kind, StallKind::TimeTravel { .. })
+        ));
     }
 
     #[test]

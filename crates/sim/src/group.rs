@@ -1,0 +1,316 @@
+//! Driving a population of clocked components as one component.
+//!
+//! [`SimGroup`] owns a set of [`Clocked`] components and implements
+//! `Clocked` itself, so one [`SimLoop`](crate::SimLoop) drives them all.
+//! The classic way to find the group's next event is a min-scan over
+//! every member — O(n) per step, and the dominant cost once populations
+//! grow. The group instead keeps each member's next event in an
+//! [`EventWheel`] calendar queue, making `next_event_at` O(1): members
+//! are re-scheduled only when they are ticked (or explicitly refreshed
+//! after external input), never polled.
+//!
+//! Equivalence: the group's completion stream is identical to a
+//! per-cycle reference loop that ticks every due member in index order
+//! each cycle — same completions, same order, same final clocks. The
+//! property test in `tests/wheel_equivalence.rs` drives randomized
+//! populations through both and asserts exactly that.
+
+use crate::clocked::Clocked;
+use crate::cycle::Cycle;
+use crate::sink::CompletionSink;
+use crate::wheel::EventWheel;
+
+/// A population of [`Clocked`] components driven on one shared clock.
+///
+/// Members lag the group clock while idle and are fast-forwarded (via
+/// their own [`Clocked::skip_to`] bulk bookkeeping) immediately before
+/// each tick, so per-member skip work is done exactly once per event
+/// rather than once per group step.
+///
+/// After mutating a member from outside (injecting work between engine
+/// steps), call [`SimGroup::refresh`] so the wheel learns the member's
+/// new next event.
+#[derive(Debug)]
+pub struct SimGroup<C: Clocked> {
+    members: Vec<C>,
+    wheel: EventWheel,
+    now: Cycle,
+    /// Scratch buffer of member ids due at the current cycle.
+    due: Vec<u32>,
+}
+
+impl<C: Clocked> SimGroup<C> {
+    /// Creates a group over `members`, all expected to start at the same
+    /// clock (cycle zero for freshly built components). Initial events
+    /// are scheduled immediately.
+    #[must_use]
+    pub fn new(members: Vec<C>) -> Self {
+        Self::with_wheel_slots(members, crate::wheel::DEFAULT_WHEEL_SLOTS)
+    }
+
+    /// Creates a group with an explicit wheel size (power of two;
+    /// smaller wheels rotate more, larger wheels scan more words).
+    #[must_use]
+    pub fn with_wheel_slots(members: Vec<C>, slots: usize) -> Self {
+        let mut group = SimGroup {
+            wheel: EventWheel::new(slots),
+            now: members.first().map_or(Cycle::ZERO, Clocked::now),
+            members,
+            due: Vec::new(),
+        };
+        for i in 0..group.members.len() {
+            group.refresh(i);
+        }
+        group
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the group has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Shared view of a member.
+    #[must_use]
+    pub fn member(&self, i: usize) -> &C {
+        &self.members[i]
+    }
+
+    /// Mutable access to a member. After mutating it in a way that can
+    /// change its next event (injecting a request, closing a queue),
+    /// call [`SimGroup::refresh`]`(i)`.
+    pub fn member_mut(&mut self, i: usize) -> &mut C {
+        &mut self.members[i]
+    }
+
+    /// Consumes the group, returning the members (e.g. to collect final
+    /// per-member reports).
+    #[must_use]
+    pub fn into_members(self) -> Vec<C> {
+        self.members
+    }
+
+    /// Re-reads member `i`'s `next_event_at` and schedules it on the
+    /// wheel. A stale earlier entry may remain; it pops as a harmless
+    /// conservative-early wake-up (the member simply has nothing to do
+    /// that cycle), which the `Clocked` contract explicitly permits.
+    pub fn refresh(&mut self, i: usize) {
+        if let Some(event) = self.members[i].next_event_at() {
+            // Clamp: a member's event can never be behind the group
+            // clock it is driven on.
+            self.wheel.schedule(event.max(self.now), i as u32);
+        }
+    }
+}
+
+impl<C: Clocked> Clocked for SimGroup<C> {
+    type Completion = C::Completion;
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn tick_into(&mut self, sink: &mut dyn CompletionSink<Self::Completion>) {
+        let t = self.now;
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        self.wheel.take_due(t, &mut due);
+        // Tick due members in ascending index order — the order a
+        // per-cycle reference loop visits them — not wheel insertion
+        // order, so the completion stream is scan-identical.
+        due.sort_unstable();
+        for &id in &due {
+            let member = &mut self.members[id as usize];
+            // Dedup: `refresh` may have scheduled this member at `t`
+            // while an earlier wake-up already ticked it past `t`.
+            if member.now() > t {
+                continue;
+            }
+            if member.now() < t {
+                member.skip_to(t);
+            }
+            member.tick_into(sink);
+            if let Some(event) = member.next_event_at() {
+                self.wheel.schedule(event.max(member.now()), id);
+            }
+        }
+        due.clear();
+        self.due = due;
+        self.now = t + 1;
+    }
+
+    fn next_event_at(&self) -> Option<Cycle> {
+        self.wheel.next_event_at().map(|t| t.max(self.now))
+    }
+
+    fn skip_to(&mut self, target: Cycle) {
+        // Members are fast-forwarded lazily at their next tick; the
+        // group clock alone jumps now. Members that never tick again
+        // are synced when the group is torn down via `into_members` —
+        // callers needing exact final member clocks should drive the
+        // group to its deadline (the engine's DeadlineReached step does
+        // exactly this).
+        if target > self.now {
+            self.now = target;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RunOutcome, SimLoop};
+
+    /// Emits `(id, cycle)` every `period` cycles, `count` times.
+    #[derive(Debug)]
+    struct Pulse {
+        id: u32,
+        now: Cycle,
+        period: u64,
+        next_fire: Cycle,
+        remaining: u32,
+    }
+
+    impl Pulse {
+        fn new(id: u32, period: u64, phase: u64, count: u32) -> Self {
+            Pulse {
+                id,
+                now: Cycle::ZERO,
+                period,
+                next_fire: Cycle::new(phase),
+                remaining: count,
+            }
+        }
+    }
+
+    impl Clocked for Pulse {
+        type Completion = (u32, Cycle);
+
+        fn now(&self) -> Cycle {
+            self.now
+        }
+
+        fn tick_into(&mut self, sink: &mut dyn CompletionSink<(u32, Cycle)>) {
+            if self.remaining > 0 && self.now >= self.next_fire {
+                sink.complete((self.id, self.now));
+                self.remaining -= 1;
+                self.next_fire = self.now + self.period;
+            }
+            self.now += 1;
+        }
+
+        fn next_event_at(&self) -> Option<Cycle> {
+            (self.remaining > 0).then(|| self.next_fire.max(self.now))
+        }
+
+        fn skip_to(&mut self, target: Cycle) {
+            if target > self.now {
+                self.now = target;
+            }
+        }
+    }
+
+    /// The reference the wheel must match: tick every member in index
+    /// order, every cycle, until all are drained.
+    fn scan_reference(mut members: Vec<Pulse>) -> Vec<(u32, Cycle)> {
+        let mut done = Vec::new();
+        while members.iter().any(|m| m.next_event_at().is_some()) {
+            for m in &mut members {
+                m.tick_into(&mut done);
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn group_matches_scan_reference_on_a_fixed_population() {
+        let build = || {
+            vec![
+                Pulse::new(0, 7, 3, 5),
+                Pulse::new(1, 100, 0, 2),
+                Pulse::new(2, 7, 3, 5), // identical twin of 0: exercises ties
+                Pulse::new(3, 1, 50, 10),
+            ]
+        };
+        let expected = scan_reference(build());
+
+        let mut group = SimGroup::with_wheel_slots(build(), 16);
+        let mut engine = SimLoop::new();
+        let mut got: Vec<(u32, Cycle)> = Vec::new();
+        let out = engine.run_while(&mut group, &mut got, Cycle::new(100_000), |_| true);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(got, expected);
+        // The wheel-driven engine processed far fewer ticks than the
+        // reference's cycles x members.
+        assert!(engine.stats().cycles_skipped > 0);
+    }
+
+    #[test]
+    fn refresh_picks_up_externally_injected_work() {
+        let mut group = SimGroup::new(vec![Pulse::new(0, 10, 5, 1), Pulse::new(1, 10, 9, 0)]);
+        let mut engine = SimLoop::new();
+        let mut got: Vec<(u32, Cycle)> = Vec::new();
+        // Drain the initial event.
+        let out = engine.run_while(&mut group, &mut got, Cycle::new(1_000), |_| true);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(got, vec![(0, Cycle::new(5))]);
+        // Inject new work into the idle member 1, then refresh it.
+        let now = group.now();
+        let m = group.member_mut(1);
+        m.remaining = 1;
+        m.next_fire = now + 7;
+        group.refresh(1);
+        got.clear();
+        let out = engine.run_while(&mut group, &mut got, Cycle::new(1_000), |_| true);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(got, vec![(1, now + 7)]);
+    }
+
+    #[test]
+    fn stale_wheel_entries_are_harmless() {
+        // Schedule member 0, then refresh it twice more: duplicates at
+        // the same or later cycles pop as no-op wake-ups.
+        let mut group = SimGroup::new(vec![Pulse::new(0, 4, 2, 3)]);
+        group.refresh(0);
+        group.refresh(0);
+        let mut engine = SimLoop::new();
+        let mut got: Vec<(u32, Cycle)> = Vec::new();
+        let out = engine.run_while(&mut group, &mut got, Cycle::new(1_000), |_| true);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(
+            got,
+            vec![(0, Cycle::new(2)), (0, Cycle::new(6)), (0, Cycle::new(10))]
+        );
+    }
+
+    #[test]
+    fn empty_group_is_drained_immediately() {
+        let mut group: SimGroup<Pulse> = SimGroup::new(Vec::new());
+        assert!(group.is_empty());
+        assert_eq!(group.next_event_at(), None);
+        let mut engine = SimLoop::new();
+        let mut got: Vec<(u32, Cycle)> = Vec::new();
+        assert_eq!(
+            engine.run_while(&mut group, &mut got, Cycle::new(10), |_| true),
+            RunOutcome::Drained
+        );
+    }
+
+    #[test]
+    fn members_are_recoverable_with_final_state() {
+        let mut group = SimGroup::new(vec![Pulse::new(0, 3, 0, 4)]);
+        let mut engine = SimLoop::new();
+        let mut got: Vec<(u32, Cycle)> = Vec::new();
+        engine.run_while(&mut group, &mut got, Cycle::new(1_000), |_| true);
+        assert_eq!(group.len(), 1);
+        assert_eq!(group.member(0).remaining, 0);
+        let members = group.into_members();
+        assert_eq!(members[0].remaining, 0);
+    }
+}

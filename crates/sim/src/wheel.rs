@@ -1,0 +1,352 @@
+//! A calendar-queue event wheel: O(1) next-event lookup for a
+//! population of scheduled events.
+//!
+//! The classic way to drive many clocked components is a min-scan —
+//! every step, ask each component for its next event and take the
+//! minimum, O(n) per step. [`EventWheel`] replaces the scan with the
+//! calendar-queue structure of fast discrete-event simulators: events
+//! within a near-future *horizon* live in a ring of single-cycle
+//! buckets, so finding the next event is a word-scan of an occupancy
+//! bitmap (constant for any fixed wheel size) and popping is O(1)
+//! amortized. Events beyond the horizon wait in an overflow list (with
+//! a cached minimum) and are re-bucketed in bulk when the wheel rotates
+//! past them.
+//!
+//! Determinism: entries scheduled for the same cycle pop in insertion
+//! (FIFO) order — ties never depend on hashing or pointer identity, so
+//! a driver built on the wheel replays byte-identically.
+
+use crate::cycle::Cycle;
+
+/// Default number of single-cycle buckets (must be a power of two).
+///
+/// The horizon should cover the common inter-event gap of the workload:
+/// DRAM timing parameters are tens of cycles and refresh intervals a
+/// few thousand, so 4 KiC keeps virtually every reschedule inside the
+/// ring (the overflow path stays correct either way).
+pub const DEFAULT_WHEEL_SLOTS: usize = 4096;
+
+/// A scheduled entry: the event cycle and the caller's id for it.
+type Entry = (Cycle, u32);
+
+/// A calendar-queue priority queue of `(cycle, id)` events with O(1)
+/// next-event lookup and FIFO ordering within a cycle.
+///
+/// The wheel tracks a monotone *floor*: popping events at cycle `t`
+/// raises the floor to `t`, and scheduling below the floor is clamped
+/// up to it (a conservative-early event is legal for the engine, an
+/// event in the unreachable past is not).
+///
+/// # Examples
+///
+/// ```
+/// use ia_sim::{Cycle, EventWheel};
+/// let mut wheel = EventWheel::new(16);
+/// wheel.schedule(Cycle::new(40), 1);
+/// wheel.schedule(Cycle::new(7), 0);
+/// wheel.schedule(Cycle::new(7), 2);
+/// assert_eq!(wheel.next_event_at(), Some(Cycle::new(7)));
+/// let mut due = Vec::new();
+/// wheel.take_due(Cycle::new(7), &mut due);
+/// assert_eq!(due, vec![0, 2], "same-cycle events pop in FIFO order");
+/// assert_eq!(wheel.next_event_at(), Some(Cycle::new(40)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    /// Ring of single-cycle buckets; `slots[t & mask]` holds every
+    /// pending entry at cycle `t` for `t` within the horizon
+    /// `[floor, floor + slots.len())`. Within the horizon a slot maps
+    /// to exactly one cycle, so a bucket never mixes cycles.
+    slots: Vec<Vec<Entry>>,
+    /// `slots.len() - 1`; the length is a power of two.
+    mask: u64,
+    /// One bit per slot: set iff the slot is non-empty. The next-event
+    /// query scans words, not buckets.
+    occupied: Vec<u64>,
+    /// Entries at or beyond `floor + slots.len()`.
+    overflow: Vec<Entry>,
+    /// Cached minimum cycle in `overflow` (`Cycle::MAX`-like sentinel
+    /// when empty), kept on push and rebuilt on rotation.
+    overflow_min: Option<Cycle>,
+    /// Lower bound on every pending event; advances as events pop.
+    floor: Cycle,
+    /// Total pending entries.
+    len: usize,
+}
+
+impl EventWheel {
+    /// Creates a wheel with at least `slots` single-cycle buckets
+    /// (rounded up to a power of two, minimum 2).
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        let n = slots.max(2).next_power_of_two();
+        EventWheel {
+            slots: vec![Vec::new(); n],
+            mask: (n - 1) as u64,
+            occupied: vec![0; n.div_ceil(64)],
+            overflow: Vec::new(),
+            overflow_min: None,
+            floor: Cycle::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's monotone lower bound on pending events.
+    #[must_use]
+    pub fn floor(&self) -> Cycle {
+        self.floor
+    }
+
+    /// Schedules `id` at cycle `at`. Scheduling below the current floor
+    /// clamps to the floor: the past is unreachable, and "due
+    /// immediately" is the closest legal meaning.
+    pub fn schedule(&mut self, at: Cycle, id: u32) {
+        let at = at.max(self.floor);
+        self.len += 1;
+        if at - self.floor < self.slots.len() as u64 {
+            let slot = (at.as_u64() & self.mask) as usize;
+            self.slots[slot].push((at, id));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.overflow_min = Some(match self.overflow_min {
+                Some(m) => m.min(at),
+                None => at,
+            });
+            self.overflow.push((at, id));
+        }
+    }
+
+    /// The earliest pending event cycle, or `None` when empty. O(1):
+    /// a word-scan of the occupancy bitmap, never a walk of the events.
+    #[must_use]
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.scan_ring() {
+            Some(slot) => Some(self.slot_cycle(slot)),
+            None => self.overflow_min,
+        }
+    }
+
+    /// Pops every entry scheduled at exactly `at` into `out` (appending,
+    /// FIFO order) and raises the floor to `at`.
+    ///
+    /// `at` must not be *beyond* the earliest pending event (the same
+    /// shape as the engine's skip contract: jumping over an event would
+    /// strand it behind the floor). Callers drive the wheel with
+    /// `take_due(next_event_at())`; calling it for a cycle with no
+    /// entries is legal and appends nothing.
+    pub fn take_due(&mut self, at: Cycle, out: &mut Vec<u32>) {
+        if at < self.floor {
+            return;
+        }
+        debug_assert!(
+            self.next_event_at().is_none_or(|t| at <= t),
+            "take_due({at}) would jump past the earliest pending event"
+        );
+        self.rotate_to(at);
+        self.floor = at;
+        let slot = (at.as_u64() & self.mask) as usize;
+        let bucket = &mut self.slots[slot];
+        if bucket.is_empty() {
+            return;
+        }
+        // Within the horizon a bucket holds a single cycle, which after
+        // the rotation above can only be `at` itself.
+        debug_assert!(bucket.iter().all(|&(t, _)| t == at));
+        self.len -= bucket.len();
+        out.extend(bucket.drain(..).map(|(_, id)| id));
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Moves the floor's horizon forward to cover `at`, re-bucketing any
+    /// overflow entries that fall inside the new horizon.
+    fn rotate_to(&mut self, at: Cycle) {
+        let horizon = self.slots.len() as u64;
+        if self.overflow.is_empty() {
+            return;
+        }
+        // Only rotate when the new horizon can actually admit overflow
+        // entries; rebuilding the cached minimum then costs one pass.
+        match self.overflow_min {
+            Some(m) if m - at < horizon => {}
+            _ => return,
+        }
+        let mut kept = Vec::with_capacity(self.overflow.len());
+        let mut kept_min: Option<Cycle> = None;
+        for (t, id) in std::mem::take(&mut self.overflow) {
+            if t - at < horizon {
+                let slot = (t.as_u64() & self.mask) as usize;
+                self.slots[slot].push((t, id));
+                self.occupied[slot / 64] |= 1 << (slot % 64);
+            } else {
+                kept_min = Some(match kept_min {
+                    Some(m) => m.min(t),
+                    None => t,
+                });
+                kept.push((t, id));
+            }
+        }
+        self.overflow = kept;
+        self.overflow_min = kept_min;
+    }
+
+    /// Index of the first occupied slot at or after the floor (wrapping
+    /// once around the ring), or `None` if the ring is empty.
+    fn scan_ring(&self) -> Option<usize> {
+        let start = (self.floor.as_u64() & self.mask) as usize;
+        let words = self.occupied.len();
+        // First word: mask off bits before the floor's slot.
+        let mut idx = start / 64;
+        let mut word = self.occupied[idx] & !((1u64 << (start % 64)) - 1);
+        for step in 0..=words {
+            if word != 0 {
+                let slot = idx * 64 + word.trailing_zeros() as usize;
+                return Some(slot);
+            }
+            idx = (idx + 1) % words;
+            word = self.occupied[idx];
+            // After wrapping past the start word once, restrict it to the
+            // bits *before* the floor to avoid double-visiting.
+            if step == words - 1 {
+                word &= (1u64 << (start % 64)) - 1;
+            }
+        }
+        None
+    }
+
+    /// The cycle a (non-empty) slot currently represents: the unique
+    /// `t >= floor` within the horizon with `t & mask == slot`.
+    fn slot_cycle(&self, slot: usize) -> Cycle {
+        let base = self.floor.as_u64() & !self.mask;
+        let f = self.floor.as_u64() & self.mask;
+        let t = if (slot as u64) >= f {
+            base + slot as u64
+        } else {
+            base + self.mask + 1 + slot as u64
+        };
+        Cycle::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut w = EventWheel::new(8);
+        w.schedule(Cycle::new(5), 10);
+        w.schedule(Cycle::new(3), 20);
+        w.schedule(Cycle::new(5), 30);
+        w.schedule(Cycle::new(3), 40);
+        assert_eq!(w.len(), 4);
+        let mut out = Vec::new();
+        let t = w.next_event_at().unwrap();
+        assert_eq!(t, Cycle::new(3));
+        w.take_due(t, &mut out);
+        assert_eq!(out, vec![20, 40]);
+        out.clear();
+        let t = w.next_event_at().unwrap();
+        assert_eq!(t, Cycle::new(5));
+        w.take_due(t, &mut out);
+        assert_eq!(out, vec![10, 30]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_event_at(), None);
+    }
+
+    #[test]
+    fn overflow_entries_surface_after_rotation() {
+        let mut w = EventWheel::new(4);
+        // Far beyond the 4-cycle horizon.
+        w.schedule(Cycle::new(1000), 1);
+        w.schedule(Cycle::new(1002), 2);
+        w.schedule(Cycle::new(2), 3);
+        assert_eq!(w.next_event_at(), Some(Cycle::new(2)));
+        let mut out = Vec::new();
+        w.take_due(Cycle::new(2), &mut out);
+        assert_eq!(out, vec![3]);
+        // Ring now empty; the overflow minimum is the next event.
+        assert_eq!(w.next_event_at(), Some(Cycle::new(1000)));
+        out.clear();
+        w.take_due(Cycle::new(1000), &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(w.next_event_at(), Some(Cycle::new(1002)));
+        out.clear();
+        w.take_due(Cycle::new(1002), &mut out);
+        assert_eq!(out, vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn floor_clamps_past_schedules() {
+        let mut w = EventWheel::new(8);
+        w.schedule(Cycle::new(6), 1);
+        let mut out = Vec::new();
+        w.take_due(Cycle::new(6), &mut out);
+        assert_eq!(w.floor(), Cycle::new(6));
+        // Scheduling "in the past" becomes "due at the floor".
+        w.schedule(Cycle::new(2), 9);
+        assert_eq!(w.next_event_at(), Some(Cycle::new(6)));
+        out.clear();
+        w.take_due(Cycle::new(6), &mut out);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn take_due_on_empty_cycle_is_a_no_op() {
+        let mut w = EventWheel::new(8);
+        w.schedule(Cycle::new(9), 1);
+        let mut out = Vec::new();
+        w.take_due(Cycle::new(4), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(w.next_event_at(), Some(Cycle::new(9)));
+    }
+
+    #[test]
+    fn wrap_around_keeps_cycle_mapping_unique() {
+        let mut w = EventWheel::new(4);
+        let mut out = Vec::new();
+        // Drive the floor around the ring several times.
+        for lap in 0u64..10 {
+            let t = Cycle::new(3 + lap * 3);
+            w.schedule(t, lap as u32);
+            assert_eq!(w.next_event_at(), Some(t), "lap {lap}");
+            out.clear();
+            w.take_due(t, &mut out);
+            assert_eq!(out, vec![lap as u32]);
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_horizon_and_overflow_stay_ordered() {
+        let mut w = EventWheel::new(8);
+        for (t, id) in [(100u64, 1u32), (3, 2), (9, 3), (4, 4), (101, 5), (4, 6)] {
+            w.schedule(Cycle::new(t), id);
+        }
+        let mut popped = Vec::new();
+        while let Some(t) = w.next_event_at() {
+            let mut out = Vec::new();
+            w.take_due(t, &mut out);
+            popped.extend(out.into_iter().map(|id| (t.as_u64(), id)));
+        }
+        assert_eq!(
+            popped,
+            vec![(3, 2), (4, 4), (4, 6), (9, 3), (100, 1), (101, 5)]
+        );
+    }
+}

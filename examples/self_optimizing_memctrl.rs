@@ -79,14 +79,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{summary}\n");
 
-    // Learning curve: share one agent across segments.
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    // Learning curve: share one agent across segments. `Arc<Mutex>`
+    // because `Scheduler` is `Send` (runs are serial, never contended),
+    // and `clone_box` shares the same live agent — that is the point.
+    use std::sync::{Arc, Mutex};
     #[derive(Debug)]
-    struct Shared(Rc<RefCell<RlScheduler>>);
+    struct Shared(Arc<Mutex<RlScheduler>>);
     impl Scheduler for Shared {
         fn name(&self) -> &'static str {
             "RL"
+        }
+        fn clone_box(&self) -> Box<dyn Scheduler> {
+            Box::new(Shared(self.0.clone()))
         }
         fn select(
             &mut self,
@@ -94,13 +98,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d: &intelligent_arch::dram::DramModule,
             now: intelligent_arch::dram::Cycle,
         ) -> Option<usize> {
-            self.0.borrow_mut().select(q, d, now)
+            self.0.lock().expect("uncontended").select(q, d, now)
         }
         fn on_issue(&mut self, c: bool, now: intelligent_arch::dram::Cycle) {
-            self.0.borrow_mut().on_issue(c, now);
+            self.0.lock().expect("uncontended").on_issue(c, now);
         }
     }
-    let agent = Rc::new(RefCell::new(RlScheduler::new(RlSchedulerConfig::default())));
+    let agent = Arc::new(Mutex::new(RlScheduler::new(RlSchedulerConfig::default())));
     let mut curve = Table::new(&["segment", "req/kcycle", "agent decisions"]);
     for seg in 0..6u64 {
         let report = run_closed_loop(
@@ -113,7 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         curve.row(&[
             seg.to_string(),
             format!("{:.1}", report.throughput_rpkc()),
-            agent.borrow().decisions().to_string(),
+            agent.lock().expect("uncontended").decisions().to_string(),
         ]);
     }
     println!("learning curve (same agent across segments):\n{curve}");

@@ -37,4 +37,19 @@ cargo run -q -p ia-bench --bin exp24_fault_injection -- --quick > /dev/null
 echo "== SimLoop watchdog (stalled components become structured errors)"
 cargo test -q -p ia-sim watchdog
 
+echo "== event wheel vs per-cycle scan (order-equivalence property)"
+cargo test -q -p ia-sim --test wheel_equivalence
+
+echo "== warm-fork vs cold construction (snapshot bit-identity)"
+cargo test -q -p ia-memctrl --test snapshot_fork
+fork_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$fork_dir"' EXIT
+# The warm-forked exp05 must emit byte-identical reports on back-to-back
+# runs (fork determinism is what makes the sweep's memoization sound).
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
+    --quick --json "$fork_dir/a.json" > /dev/null
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
+    --quick --json "$fork_dir/b.json" > /dev/null
+diff "$fork_dir/a.json" "$fork_dir/b.json"
+
 echo "CI gate passed."
