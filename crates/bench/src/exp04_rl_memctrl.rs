@@ -8,7 +8,10 @@
 
 use ia_core::Table;
 use ia_dram::DramConfig;
-use ia_memctrl::{run_closed_loop, Fcfs, FrFcfs, RlScheduler, RlSchedulerConfig, Scheduler};
+use ia_memctrl::{
+    run_closed_loop_with, Fcfs, FrFcfs, MemoryController, RlScheduler, RlSchedulerConfig, Scheduler,
+};
+use ia_sim::SnapshotState;
 
 use crate::mixes::interference_mix;
 use crate::ratio;
@@ -22,11 +25,15 @@ pub struct Outcome {
     pub rl_vs_frfcfs: f64,
 }
 
-fn throughput_of(scheduler: Box<dyn Scheduler>, per_thread: usize, seed: u64) -> f64 {
-    let traces = interference_mix(per_thread, seed);
-    run_closed_loop(DramConfig::ddr3_1600(), scheduler, &traces, 8, 200_000_000)
-        .expect("run completes")
-        .throughput_rpkc()
+/// The scheduler-independent warm substrate every run in this experiment
+/// forks from ([`SnapshotState`]): one controller construction, one
+/// fork per run, no cold re-warm. A fork with a swapped policy is
+/// bit-identical to a cold-built controller (see
+/// [`MemoryController::with_scheduler`]).
+fn warm_substrate() -> MemoryController {
+    MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
+        // lint: allow(P001, ddr3_1600 is a valid preset)
+        .expect("valid config")
 }
 
 /// The FCFS / FR-FCFS / RL throughputs shared by the table and the
@@ -36,14 +43,23 @@ fn baseline_throughputs(quick: bool) -> (f64, f64, f64) {
     static CACHE: crate::report::OutcomeCache<(f64, f64, f64)> = crate::report::OutcomeCache::new();
     CACHE.get_or_compute(quick, || {
         let n = if quick { 400 } else { 4000 };
+        let traces = interference_mix(n, 7);
+        let warm = warm_substrate();
+        let throughput_of = |scheduler: Box<dyn Scheduler>| {
+            run_closed_loop_with(
+                warm.fork().with_scheduler(scheduler),
+                &traces,
+                8,
+                200_000_000,
+            )
+            // lint: allow(P001, interference_mix traces are non-empty by construction)
+            .expect("run completes")
+            .throughput_rpkc()
+        };
         (
-            throughput_of(Box::new(Fcfs::new()), n, 7),
-            throughput_of(Box::new(FrFcfs::new()), n, 7),
-            throughput_of(
-                Box::new(RlScheduler::new(RlSchedulerConfig::default())),
-                n,
-                7,
-            ),
+            throughput_of(Box::new(Fcfs::new())),
+            throughput_of(Box::new(FrFcfs::new())),
+            throughput_of(Box::new(RlScheduler::new(RlSchedulerConfig::default()))),
         )
     })
 }
@@ -79,18 +95,15 @@ pub fn run(quick: bool) -> String {
     let rl = std::sync::Arc::new(std::sync::Mutex::new(RlScheduler::new(
         RlSchedulerConfig::default(),
     )));
+    let warm = warm_substrate();
     let segments = if quick { 3 } else { 6 };
     for seg in 0..segments {
         let traces = interference_mix(n / 2, 100 + seg as u64);
-        let tp = run_closed_loop(
-            DramConfig::ddr3_1600(),
-            Box::new(SharedRl(rl.clone())),
-            &traces,
-            8,
-            200_000_000,
-        )
-        .expect("run completes")
-        .throughput_rpkc();
+        let ctrl = warm.fork().with_scheduler(Box::new(SharedRl(rl.clone())));
+        let tp = run_closed_loop_with(ctrl, &traces, 8, 200_000_000)
+            // lint: allow(P001, interference_mix traces are non-empty by construction)
+            .expect("run completes")
+            .throughput_rpkc();
         curve.row(&[format!("{seg}"), format!("{tp:.2}")]);
     }
     let o = outcome(quick);
@@ -124,13 +137,15 @@ impl ia_memctrl::Scheduler for SharedRl {
         // A "clone" shares the same live agent: that is the type's point.
         Box::new(SharedRl(self.0.clone()))
     }
+    fn view_mode(&self) -> ia_memctrl::ViewMode {
+        self.agent().view_mode()
+    }
     fn select(
         &mut self,
-        queue: &[ia_memctrl::Pending],
-        dram: &ia_dram::DramModule,
-        now: ia_dram::Cycle,
-    ) -> Option<usize> {
-        self.agent().select(queue, dram, now)
+        queue: &ia_memctrl::RequestQueue,
+        view: &ia_memctrl::IssueView,
+    ) -> Option<ia_memctrl::ReqId> {
+        self.agent().select(queue, view)
     }
     fn on_issue(&mut self, column: bool, now: ia_dram::Cycle) {
         self.agent().on_issue(column, now);

@@ -7,7 +7,8 @@
 
 use ia_core::Table;
 use ia_dram::{DramConfig, LatencyMode};
-use ia_memctrl::{run_closed_loop_with, FrFcfs, MemoryController, RunReport};
+use ia_memctrl::{run_closed_loop_with, FrFcfs, MemRequest, MemoryController, RunReport};
+use ia_sim::SnapshotState;
 
 use crate::mixes::interference_mix;
 use crate::ratio;
@@ -25,17 +26,29 @@ pub struct Outcome {
     pub chargecache_hit_rate: f64,
 }
 
-fn run_mode(mode: Option<LatencyMode>, quick: bool) -> RunReport {
+/// The warm controller and trace set every mode run forks from: one
+/// construction per sweep instead of one per mode. `with_latency_mode`
+/// applies to future commands only, so a fork with a mode swapped in is
+/// bit-identical to a cold-built controller with that mode.
+fn substrate(quick: bool) -> (MemoryController, Vec<Vec<MemRequest>>) {
     let n = if quick { 400 } else { 4000 };
-    let traces = interference_mix(n, 77);
-    let mut ctrl = MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
+    let warm = MemoryController::new(DramConfig::ddr3_1600(), Box::new(FrFcfs::new()))
         // lint: allow(P001, ddr3_1600 is a valid preset)
         .expect("valid config");
+    (warm, interference_mix(n, 77))
+}
+
+fn run_mode(
+    warm: &MemoryController,
+    traces: &[Vec<MemRequest>],
+    mode: Option<LatencyMode>,
+) -> RunReport {
+    let mut ctrl = warm.fork();
     if let Some(mode) = mode {
         ctrl = ctrl.with_latency_mode(mode);
     }
     // lint: allow(P001, interference_mix traces are non-empty by construction)
-    run_closed_loop_with(ctrl, &traces, 8, 500_000_000).expect("run completes")
+    run_closed_loop_with(ctrl, traces, 8, 500_000_000).expect("run completes")
 }
 
 /// The standard / AL-DRAM / ChargeCache runs shared by the table and the
@@ -45,15 +58,16 @@ fn shared_runs(quick: bool) -> (RunReport, RunReport, RunReport) {
     static CACHE: crate::report::OutcomeCache<(RunReport, RunReport, RunReport)> =
         crate::report::OutcomeCache::new();
     CACHE.get_or_compute(quick, || {
+        let (warm, traces) = substrate(quick);
         let cc_mode = LatencyMode::ChargeCache {
             entries_per_bank: 16,
             window: 200_000,
             scale: 0.65,
         };
         (
-            run_mode(None, quick),
-            run_mode(Some(LatencyMode::AlDram { scale: 0.7 }), quick),
-            run_mode(Some(cc_mode), quick),
+            run_mode(&warm, &traces, None),
+            run_mode(&warm, &traces, Some(LatencyMode::AlDram { scale: 0.7 })),
+            run_mode(&warm, &traces, Some(cc_mode)),
         )
     })
 }
@@ -79,7 +93,8 @@ pub fn run(quick: bool) -> String {
         near_scale: 0.6,
         far_scale: 1.1,
     };
-    let tl_r = run_mode(Some(tl_mode), quick);
+    let (warm, traces) = substrate(quick);
+    let tl_r = run_mode(&warm, &traces, Some(tl_mode));
 
     let mut table = Table::new(&["DRAM mode", "avg latency (cy)", "req/kcycle", "speedup"]);
     let base_tp = std_r.throughput_rpkc();

@@ -1,7 +1,7 @@
 //! Channel-level constraints: the shared command/data bus.
 
 use crate::error::{IssueError, IssueErrorReason};
-use crate::{AccessKind, Command, Cycle, IssueOutcome, Rank, TimingParams};
+use crate::{AccessKind, BankGates, Command, Cycle, IssueOutcome, Rank, TimingParams};
 
 /// A channel: ranks sharing one command/address/data bus.
 ///
@@ -100,6 +100,32 @@ impl Channel {
         self.ranks[rank]
             .ready_at(bank, cmd, timing)
             .max(self.bus_gate(cmd, timing))
+    }
+
+    /// The open row and every command gate of `(rank, bank)` in one
+    /// hierarchy walk, bus constraints included. Gate for gate equal to
+    /// [`Channel::ready_at`] per command kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` or `bank` is out of range.
+    #[must_use]
+    pub fn bank_gates(&self, rank: usize, bank: usize, timing: &TimingParams) -> BankGates {
+        let (open_row, activate, precharge, col) = self.ranks[rank].bank_gates(bank, timing);
+        let write = col.max(self.next_col);
+        let read = if self.last_col == Some(AccessKind::Write) {
+            // Write data must drain, then tWTR, before a read command.
+            write.max(self.last_data_end + timing.t_wtr)
+        } else {
+            write
+        };
+        BankGates {
+            open_row,
+            read,
+            write,
+            activate,
+            precharge,
+        }
     }
 
     /// True if `cmd` is legal at `now` across all levels.

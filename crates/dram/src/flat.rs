@@ -115,6 +115,17 @@ impl BankStates {
         }
     }
 
+    /// All three bank-local command gates of `bank` in one indexed
+    /// load: `(activate, precharge, column)`.
+    #[must_use]
+    pub fn command_gates(&self, bank: usize) -> (Cycle, Cycle, Cycle) {
+        (
+            self.next_act[bank],
+            self.next_pre[bank],
+            self.next_col[bank],
+        )
+    }
+
     /// The latest per-bank refresh gate: no rank refresh may issue
     /// before every bank is past its activate window.
     #[must_use]

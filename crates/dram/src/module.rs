@@ -9,8 +9,8 @@ use crate::error::{ConfigError, IssueError};
 use crate::inject::{InjectEvent, InjectLog};
 use crate::latency::{ChargeCacheState, LatencyMode};
 use crate::{
-    AccessKind, AddressMapping, Channel, Command, Cycle, DramConfig, DramStats, EnergyCounter,
-    IssueOutcome, Location, PhysAddr, RowBufferOutcome, TimingParams,
+    AccessKind, AddressMapping, BankGates, Channel, Command, Cycle, DramConfig, DramStats,
+    EnergyCounter, IssueOutcome, Location, PhysAddr, RowBufferOutcome, TimingParams,
 };
 
 /// One DRAM command as captured by the module's trace buffer.
@@ -272,6 +272,16 @@ impl DramModule {
             cmd,
             &self.config.timing,
         )
+    }
+
+    /// The open row and every command gate of the bank addressed by
+    /// `loc`, in one walk of the channel/rank/bank hierarchy. Gate for
+    /// gate equal to [`DramModule::ready_at`] per command kind and to
+    /// [`DramModule::open_row`] — the scheduler's per-bank fast path:
+    /// one probe answers what would otherwise take four.
+    #[must_use]
+    pub fn bank_gates(&self, loc: &Location) -> BankGates {
+        self.channels[loc.channel].bank_gates(loc.rank, self.bank_index(loc), &self.config.timing)
     }
 
     /// Earliest cycle at which *the next command needed* to serve an

@@ -157,6 +157,29 @@ impl Rank {
         }
     }
 
+    /// The open row and all rank-level command gates of `bank` in one
+    /// walk: `(open_row, activate, precharge, column)`. Each gate equals
+    /// the corresponding [`Rank::ready_at`] — the activate gate folds in
+    /// tRRD and the tFAW window, and every gate respects the refresh
+    /// blackout.
+    #[must_use]
+    pub fn bank_gates(
+        &self,
+        bank: usize,
+        timing: &TimingParams,
+    ) -> (Option<u64>, Cycle, Cycle, Cycle) {
+        let (act, pre, col) = self.banks.command_gates(bank);
+        let r = self.refresh_until;
+        (
+            self.banks.open_row(bank),
+            act.max(r)
+                .max(self.next_act_rrd)
+                .max(self.recent_acts.gate(timing)),
+            pre.max(r),
+            col.max(r),
+        )
+    }
+
     /// True if `cmd` to `bank` is legal at `now`.
     #[must_use]
     pub fn can_issue(&self, bank: usize, cmd: &Command, now: Cycle, timing: &TimingParams) -> bool {

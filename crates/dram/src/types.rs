@@ -230,6 +230,30 @@ impl fmt::Display for RowBufferOutcome {
     }
 }
 
+/// Every command gate of one bank plus its open row, gathered in a
+/// single walk of the channel/rank/bank hierarchy (see
+/// [`crate::DramModule::bank_gates`]).
+///
+/// Each gate is the earliest legal issue cycle for that command kind at
+/// the bank, with every level's constraint already folded in: bank-local
+/// timing, the rank's refresh window and activate throttles (tRRD,
+/// tFAW), and the channel's bus serialization and write-to-read
+/// turnaround. Gate for gate equal to [`crate::DramModule::ready_at`] —
+/// timing depends on the command kind, never its row/column operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankGates {
+    /// The open row, `None` when the bank is closed.
+    pub open_row: Option<u64>,
+    /// Earliest legal `Read`.
+    pub read: Cycle,
+    /// Earliest legal `Write`.
+    pub write: Cycle,
+    /// Earliest legal `Activate`.
+    pub activate: Cycle,
+    /// Earliest legal `Precharge`.
+    pub precharge: Cycle,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,10 @@ pub struct FileContext {
     /// item or the file is wholly test-like (`tests/`, `benches/`,
     /// `examples/`).
     pub is_test: Vec<bool>,
+    /// `is_hot[i]` — `code[i]` sits inside the braced item following a
+    /// `// lint: hot-path` marker (per-cycle code held to the
+    /// no-allocation rule, D005).
+    pub is_hot: Vec<bool>,
     /// Line → lint IDs waived by a `lint: allow(…)` comment on that line.
     pub allows: BTreeMap<u32, BTreeSet<String>>,
 }
@@ -31,11 +35,15 @@ impl FileContext {
     #[must_use]
     pub fn build(path: &str, toks: Vec<Tok>) -> FileContext {
         let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        let mut hot_lines: BTreeSet<u32> = BTreeSet::new();
         let mut code = Vec::with_capacity(toks.len());
         for t in toks {
             if t.kind == TokKind::Comment {
                 for id in parse_allow_ids(&t.text) {
                     allows.entry(t.line).or_default().insert(id);
+                }
+                if t.text.contains("lint: hot-path") {
+                    hot_lines.insert(t.line);
                 }
             } else {
                 code.push(t);
@@ -46,9 +54,11 @@ impl FileContext {
         } else {
             mark_test_items(&code)
         };
+        let is_hot = mark_hot_items(&code, &hot_lines);
         FileContext {
             code,
             is_test,
+            is_hot,
             allows,
         }
     }
@@ -160,6 +170,46 @@ fn mark_test_items(code: &[Tok]) -> Vec<bool> {
     is_test
 }
 
+/// Marks tokens inside the braced item following a `// lint: hot-path`
+/// marker comment — the same next-braced-item binding as test
+/// attributes, so the marker sits right above the `fn` it governs. A
+/// `;` before any `{` (marker above a declaration) marks nothing.
+fn mark_hot_items(code: &[Tok], hot_lines: &BTreeSet<u32>) -> Vec<bool> {
+    let mut is_hot = vec![false; code.len()];
+    let mut markers = hot_lines.iter().copied().peekable();
+    let mut depth = 0i32;
+    let mut pending = false;
+    let mut hot_floor: Option<i32> = None;
+    for (i, t) in code.iter().enumerate() {
+        if hot_floor.is_none() {
+            while markers.peek().is_some_and(|&h| h <= t.line) {
+                markers.next();
+                pending = true;
+            }
+        }
+        if t.is_punct('{') {
+            if pending {
+                hot_floor = Some(depth);
+                pending = false;
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if hot_floor == Some(depth) {
+                is_hot[i] = true;
+                hot_floor = None;
+                continue;
+            }
+        } else if t.is_punct(';') && pending && hot_floor.is_none() {
+            pending = false;
+        }
+        if hot_floor.is_some() || pending {
+            is_hot[i] = true;
+        }
+    }
+    is_hot
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +264,36 @@ mod tests {
         assert!(path_is_testlike("crates/bench/benches/kernels.rs"));
         assert!(path_is_testlike("examples/quickstart.rs"));
         assert!(!path_is_testlike("crates/bench/src/report.rs"));
+    }
+
+    #[test]
+    fn hot_path_marker_covers_only_the_next_braced_item() {
+        let c =
+            ctx("fn cold() { a(); }\n// lint: hot-path\nfn hot() { b(); }\nfn cold2() { c(); }");
+        let hot: Vec<&str> = c
+            .code
+            .iter()
+            .zip(&c.is_hot)
+            .filter(|(t, flag)| **flag && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(hot.contains(&"b"));
+        assert!(!hot.contains(&"a"));
+        assert!(!hot.contains(&"c"));
+    }
+
+    #[test]
+    fn hot_path_marker_above_declaration_does_not_leak_past_it() {
+        let c = ctx("// lint: hot-path\nuse std::fmt;\nfn live() { body(); }");
+        let hot: Vec<&str> = c
+            .code
+            .iter()
+            .zip(&c.is_hot)
+            .filter(|(t, flag)| **flag && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(!hot.contains(&"live"));
+        assert!(!hot.contains(&"body"));
     }
 
     #[test]

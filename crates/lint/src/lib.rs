@@ -12,7 +12,8 @@
 //! * **D-series — determinism.** No hash-ordered collections in report
 //!   paths (D001), no wall-clock reads in simulator code (D002), no
 //!   environment-dependent inputs (D003), no RNGs without an explicit
-//!   seed (D004).
+//!   seed (D004), no per-call allocation in functions marked
+//!   `// lint: hot-path` (D005).
 //! * **P-series — panic policy.** No `.unwrap()`/`.expect()` (P001) or
 //!   `panic!`-family macros (P002) in non-test library code.
 //! * **M-series — metrics.** Registered metric names follow the

@@ -47,6 +47,12 @@ pub const CATALOG: &[LintInfo] = &[
                   SmallRng::seed_from_u64 with an explicit seed",
     },
     LintInfo {
+        id: "D005",
+        name: "allocation-in-hot-path",
+        summary: "Vec::new()/.collect()/.to_vec()/.clone() inside a `// lint: hot-path` \
+                  function — per-cycle code must reuse scratch buffers, not allocate",
+    },
+    LintInfo {
         id: "M001",
         name: "metric-name-convention",
         summary: "metric names must be dot-separated lowercase paths with >= 2 segments \
@@ -244,6 +250,29 @@ pub fn check_file(path: &str, ctx: &FileContext, metrics: &mut Vec<MetricSite>) 
                     ),
                 );
             }
+            "Vec"
+                if ctx.is_hot[i]
+                    && code.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|a| a.is_ident("new")) =>
+            {
+                push(
+                    "D005",
+                    t,
+                    "`Vec::new()` in a `// lint: hot-path` function — reuse a caller-owned \
+                     scratch buffer instead of allocating per call"
+                        .to_owned(),
+                );
+            }
+            "collect" | "to_vec" | "clone" if ctx.is_hot[i] && prev_is_dot && next_is_open => push(
+                "D005",
+                t,
+                format!(
+                    "`.{}()` in a `// lint: hot-path` function — per-cycle code must not \
+                     allocate; borrow or reuse a scratch buffer",
+                    t.text
+                ),
+            ),
             "unwrap" | "expect" if prev_is_dot && next_is_open => push(
                 "P001",
                 t,
@@ -391,6 +420,50 @@ mod tests {
         assert!(!metric_name_ok("dram..reads"));
         assert!(!metric_name_ok("dram.reads "));
         assert!(!metric_name_ok(""));
+    }
+
+    #[test]
+    fn d005_fires_only_inside_hot_path_functions() {
+        let src = "\
+fn cold() -> Vec<u32> { Vec::new() }
+// lint: hot-path
+fn hot(xs: &[u32], ys: &[u32]) -> Vec<u32> {
+    let a = Vec::new();
+    let b: Vec<u32> = xs.iter().copied().collect();
+    let c = xs.to_vec();
+    let d = ys.clone();
+    a
+}
+fn cold2(xs: &[u32]) -> Vec<u32> { xs.to_vec() }
+";
+        let ctx = FileContext::build("crates/x/src/lib.rs", crate::lexer::tokenize(src));
+        let mut metrics = Vec::new();
+        let found = check_file("crates/x/src/lib.rs", &ctx, &mut metrics);
+        let d005: Vec<u32> = found
+            .iter()
+            .filter(|f| f.id == "D005")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            d005,
+            vec![4, 5, 6, 7],
+            "one finding per allocation, hot fn only"
+        );
+    }
+
+    #[test]
+    fn d005_respects_allow_waivers() {
+        let src = "\
+// lint: hot-path
+fn hot(xs: &[u32]) -> Vec<u32> {
+    // lint: allow(D005, cold slow path of the fast function)
+    xs.to_vec()
+}
+";
+        let ctx = FileContext::build("crates/x/src/lib.rs", crate::lexer::tokenize(src));
+        let mut metrics = Vec::new();
+        let found = check_file("crates/x/src/lib.rs", &ctx, &mut metrics);
+        assert!(found.iter().all(|f| f.id != "D005"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn lint_ids(name: &str, metrics: &mut Vec<MetricSite>) -> Vec<&'static str> {
 /// IDs exercised by plain single-file fixture pairs (M002 is cross-file
 /// and has its own test below).
 const PAIRED_IDS: &[&str] = &[
-    "D001", "D002", "D003", "D004", "M001", "P001", "P002", "S001", "S002",
+    "D001", "D002", "D003", "D004", "D005", "M001", "P001", "P002", "S001", "S002",
 ];
 
 #[test]

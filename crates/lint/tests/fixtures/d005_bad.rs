@@ -1,0 +1,10 @@
+// path: crates/noc/src/fake_route.rs
+// D005: allocations inside a `// lint: hot-path` function.
+// lint: hot-path
+fn route_one(xs: &[u32]) -> Vec<u32> {
+    let mut grown: Vec<u32> = Vec::new();
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    grown.extend_from_slice(&xs.to_vec());
+    grown.extend_from_slice(&doubled.clone());
+    grown
+}

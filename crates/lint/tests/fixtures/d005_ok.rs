@@ -1,0 +1,12 @@
+// path: crates/noc/src/fake_route.rs
+// OK: the hot path reuses a caller-owned scratch buffer; the cold
+// helper below allocates freely because it carries no marker.
+// lint: hot-path
+fn route_one(xs: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.extend_from_slice(xs);
+}
+
+fn build_table(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

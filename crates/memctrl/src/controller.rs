@@ -16,6 +16,7 @@ use ia_telemetry::{Histogram, MetricSource, Scope, TraceBuffer};
 use ia_trace::{TraceLog, Tracer};
 
 use crate::error::CtrlError;
+use crate::pool::{IssueView, RequestQueue, ViewMode};
 use crate::reliability::{ReliabilityPipeline, ReliabilityReport};
 use crate::request::{Completed, MemRequest, Pending};
 use crate::scheduler::Scheduler;
@@ -215,7 +216,9 @@ impl MetricSource for CtrlStats {
 pub struct MemoryController {
     dram: DramModule,
     scheduler: Box<dyn Scheduler>,
-    queue: Vec<Pending>,
+    queue: RequestQueue,
+    /// Reused per-cycle scheduling view (capacity persists across ticks).
+    view: IssueView,
     inflight: Vec<(Pending, Cycle)>,
     now: Cycle,
     next_id: u64,
@@ -241,6 +244,11 @@ pub struct MemoryController {
     /// event is simply "now", and computing anything more precise costs
     /// more than it saves.
     quiet: bool,
+    /// True when the most recent tick validated the queue's per-bank
+    /// tags (i.e. built a non-[`ViewMode::Skip`] view). Gates the
+    /// O(occupied-banks) timing bound in `next_event_at`; Skip-mode
+    /// schedulers fall back to the per-request scan.
+    tags_current: bool,
 }
 
 impl MemoryController {
@@ -254,7 +262,8 @@ impl MemoryController {
         Ok(MemoryController {
             dram: DramModule::new(config)?,
             scheduler,
-            queue: Vec::new(),
+            queue: RequestQueue::new(),
+            view: IssueView::default(),
             inflight: Vec::new(),
             now: Cycle::ZERO,
             next_id: 1,
@@ -271,6 +280,7 @@ impl MemoryController {
             tracer: Tracer::disabled(),
             reliability: None,
             quiet: false,
+            tags_current: false,
         })
     }
 
@@ -431,13 +441,16 @@ impl MemoryController {
             self.next_id += 1;
         }
         let loc = self.dram.decode(request.addr);
-        self.queue.push(Pending {
-            request,
-            loc,
-            arrival: self.now,
-            batched: false,
-            started: false,
-        });
+        self.queue.insert(
+            Pending {
+                request,
+                loc,
+                arrival: self.now,
+                batched: false,
+                started: false,
+            },
+            &self.dram,
+        );
         self.quiet = false;
         Ok(request.id)
     }
@@ -500,13 +513,18 @@ impl MemoryController {
             self.refresh.advance(must_issue);
         }
 
-        // 3. Scheduling: one command per cycle.
+        // 3. Scheduling: one command per cycle. The view is built from
+        //    the queue's indexed per-bank ready lists at the depth the
+        //    policy asks for — O(occupied banks), not O(queue depth).
         self.scheduler.prepare(&mut self.queue);
         let mut issued_this_cycle = false;
         let mut column_issued = false;
-        if let Some(i) = self.scheduler.select(&self.queue, &self.dram, self.now) {
-            if i < self.queue.len() {
-                let p = self.queue[i];
+        let mode = self.scheduler.view_mode();
+        self.queue
+            .build_view(&self.dram, self.now, mode, &mut self.view);
+        self.tags_current = mode != ViewMode::Skip;
+        if let Some(h) = self.scheduler.select(&self.queue, &self.view) {
+            if let Some(&p) = self.queue.get(h) {
                 let cmd = self.dram.next_needed(&p.loc, p.request.kind);
                 if self.dram.ready_at(&p.loc, &cmd) <= self.now {
                     // Classify the row-buffer outcome once, when the
@@ -514,7 +532,7 @@ impl MemoryController {
                     if !p.started {
                         let outcome = self.dram.row_buffer_outcome(&p.loc);
                         self.dram.stats_mut().record_outcome(outcome);
-                        self.queue[i].started = true;
+                        self.queue.set_started(h);
                     }
                     let column = matches!(cmd, Command::Read { .. } | Command::Write { .. });
                     if let Ok(out) = self.dram.issue(&p.loc, cmd, self.now) {
@@ -535,10 +553,7 @@ impl MemoryController {
                         if column {
                             self.stats.busy_cycles += 1;
                             let ready = out.data_ready.unwrap_or(self.now);
-                            // Schedulers order by (…, arrival, id), never
-                            // by queue position, so O(1) swap_remove is
-                            // observationally identical to remove.
-                            let p = self.queue.swap_remove(i);
+                            let p = self.queue.remove(h);
                             self.inflight.push((p, ready));
                         }
                     }
@@ -706,12 +721,26 @@ impl Clocked for MemoryController {
             }
             next = Some(next.map_or(at, |n| n.min(at)));
         }
-        for p in &self.queue {
-            let at = self.dram.next_ready_for(&p.loc, p.request.kind);
-            if at <= self.now {
-                return Some(self.now);
+        if self.tags_current {
+            // The queue's (bank, class) buckets are current — the quiet
+            // tick that got us here validated them against this exact
+            // DRAM state — and timing gates ignore row/column operands,
+            // so the per-request minimum collapses to one bound per
+            // occupied bank class: identical value, O(occupied banks).
+            if let Some(at) = self.queue.next_ready_min(&self.dram) {
+                if at <= self.now {
+                    return Some(self.now);
+                }
+                next = Some(next.map_or(at, |n| n.min(at)));
             }
-            next = Some(next.map_or(at, |n| n.min(at)));
+        } else {
+            for (_, p) in &self.queue {
+                let at = self.dram.next_ready_for(&p.loc, p.request.kind);
+                if at <= self.now {
+                    return Some(self.now);
+                }
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
         }
         next.map(|n| n.max(self.now))
     }

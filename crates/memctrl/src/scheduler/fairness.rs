@@ -3,13 +3,21 @@
 //! Kim+ HPCA'10, MICRO'10; Subramanian+ ICCD'14) that the paper holds up
 //! as evidence that each fixed heuristic handles some workloads and
 //! mishandles others.
+//!
+//! All four rank by thread-keyed state, so their sort keys vary within a
+//! (bank, class) ready list — they keep the default [`ViewMode::Full`]
+//! view and pick among every issuable request, but the view itself is
+//! now built from the indexed queue instead of a linear scan.
+//!
+//! [`ViewMode::Full`]: crate::pool::ViewMode::Full
 
 use std::collections::HashSet;
 
-use ia_dram::{Cycle, DramModule};
+use ia_dram::Cycle;
 
-use super::{issue_view, Scheduler};
-use crate::request::{Completed, Pending};
+use super::Scheduler;
+use crate::pool::{IssueView, ReqId, RequestQueue};
+use crate::request::Completed;
 
 /// Number of per-cycle boundary triggers a `now / interval` epoch check
 /// fires over the cycle span whose epochs run `first..=last`, given the
@@ -52,27 +60,27 @@ impl ParBs {
         }
     }
 
-    fn form_batch(&mut self, queue: &mut [Pending]) {
+    fn form_batch(&mut self, queue: &mut RequestQueue) {
         // Mark up to batch_cap oldest requests per (thread, bank). The
-        // request id breaks arrival ties so the marking is independent of
-        // queue storage order (the controller compacts with swap_remove).
-        let mut order: Vec<usize> = (0..queue.len()).collect();
-        order.sort_by_key(|&i| (queue[i].arrival, queue[i].request.id));
+        // queue's global list is already in (arrival, id) order, so the
+        // marking walk needs no sort and is independent of slab layout.
         let mut marked: std::collections::HashMap<(usize, usize, usize), usize> =
             std::collections::HashMap::new();
         let mut per_thread = vec![0usize; self.rank.len()];
-        for i in order {
-            let p = &mut queue[i];
+        let cap = self.batch_cap;
+        queue.mark_batch(|p| {
             let key = (p.request.thread, p.loc.channel, p.loc.flat_bank_key());
             let count = marked.entry(key).or_insert(0);
-            if *count < self.batch_cap {
+            if *count < cap {
                 *count += 1;
-                p.batched = true;
                 if p.request.thread < per_thread.len() {
                     per_thread[p.request.thread] += 1;
                 }
+                true
+            } else {
+                false
             }
-        }
+        });
         // Shortest job first: fewest marked requests → best (lowest) rank.
         let mut threads: Vec<usize> = (0..self.rank.len()).collect();
         threads.sort_by_key(|&t| per_thread[t]);
@@ -83,8 +91,8 @@ impl ParBs {
 
     /// Called by the controller before selection so batching can mutate
     /// queue marks.
-    pub fn maybe_form_batch(&mut self, queue: &mut [Pending]) {
-        if !queue.is_empty() && queue.iter().all(|p| !p.batched) {
+    pub fn maybe_form_batch(&mut self, queue: &mut RequestQueue) {
+        if !queue.is_empty() && queue.all_unbatched() {
             self.form_batch(queue);
         }
     }
@@ -99,16 +107,16 @@ impl Scheduler for ParBs {
         Box::new(self.clone())
     }
 
-    fn prepare(&mut self, queue: &mut [Pending]) {
+    fn prepare(&mut self, queue: &mut RequestQueue) {
         self.maybe_form_batch(queue);
     }
 
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let view = issue_view(queue, dram, now);
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId> {
         view.ready
-            .into_iter()
-            .min_by_key(|&(i, hit)| {
-                let p = &queue[i];
+            .iter()
+            .min_by_key(|&&(h, hit)| {
+                let p = queue.req(h);
                 let rank = self
                     .rank
                     .get(p.request.thread)
@@ -116,7 +124,7 @@ impl Scheduler for ParBs {
                     .unwrap_or(usize::MAX);
                 (!p.batched, !hit, rank, p.arrival, p.request.id)
             })
-            .map(|(i, _)| i)
+            .map(|&(h, _)| h)
     }
 
     fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
@@ -156,12 +164,12 @@ impl Scheduler for Atlas {
         Box::new(self.clone())
     }
 
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let view = issue_view(queue, dram, now);
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId> {
         view.ready
-            .into_iter()
-            .min_by_key(|&(i, hit)| {
-                let p = &queue[i];
+            .iter()
+            .min_by_key(|&&(h, hit)| {
+                let p = queue.req(h);
                 // Order by attained service (scaled to integer for Ord),
                 // then row hit, then age.
                 let attained = self
@@ -171,7 +179,7 @@ impl Scheduler for Atlas {
                     .unwrap_or(f64::MAX);
                 ((attained * 1000.0) as u64, !hit, p.arrival, p.request.id)
             })
-            .map(|(i, _)| i)
+            .map(|&(h, _)| h)
     }
 
     fn on_complete(&mut self, completed: &Completed, _now: Cycle) {
@@ -278,12 +286,12 @@ impl Scheduler for Tcm {
         Box::new(self.clone())
     }
 
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let view = issue_view(queue, dram, now);
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId> {
         view.ready
-            .into_iter()
-            .min_by_key(|&(i, hit)| {
-                let p = &queue[i];
+            .iter()
+            .min_by_key(|&&(h, hit)| {
+                let p = queue.req(h);
                 let t = p.request.thread;
                 let latency = self.latency_cluster.get(t).copied().unwrap_or(false);
                 let rank = self
@@ -293,7 +301,7 @@ impl Scheduler for Tcm {
                     .unwrap_or(usize::MAX);
                 (!latency, rank, !hit, p.arrival, p.request.id)
             })
-            .map(|(i, _)| i)
+            .map(|&(h, _)| h)
     }
 
     fn on_complete(&mut self, completed: &Completed, _now: Cycle) {
@@ -392,12 +400,12 @@ impl Scheduler for Bliss {
         Box::new(self.clone())
     }
 
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let view = issue_view(queue, dram, now);
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId> {
         view.ready
-            .into_iter()
-            .min_by_key(|&(i, hit)| {
-                let p = &queue[i];
+            .iter()
+            .min_by_key(|&&(h, hit)| {
+                let p = queue.req(h);
                 (
                     self.blacklist.contains(&p.request.thread),
                     !hit,
@@ -405,7 +413,7 @@ impl Scheduler for Bliss {
                     p.request.id,
                 )
             })
-            .map(|(i, _)| i)
+            .map(|&(h, _)| h)
     }
 
     fn on_complete(&mut self, completed: &Completed, _now: Cycle) {
@@ -448,6 +456,8 @@ impl Scheduler for Bliss {
 
 /// Extension trait giving [`Pending`]'s location a flat per-channel bank
 /// key for batching maps.
+///
+/// [`Pending`]: crate::request::Pending
 trait FlatBankKey {
     fn flat_bank_key(&self) -> usize;
 }
@@ -461,7 +471,8 @@ impl FlatBankKey for ia_dram::Location {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::MemRequest;
+    use crate::pool::ViewMode;
+    use crate::request::{MemRequest, Pending};
     use ia_dram::{DramConfig, DramModule, PhysAddr};
 
     fn dram() -> DramModule {
@@ -481,34 +492,61 @@ mod tests {
         }
     }
 
+    fn queue_of(d: &DramModule, ps: &[Pending]) -> RequestQueue {
+        let mut q = RequestQueue::new();
+        for &p in ps {
+            q.insert(p, d);
+        }
+        q
+    }
+
+    fn full_view(q: &mut RequestQueue, d: &DramModule, now: Cycle) -> IssueView {
+        let mut v = IssueView::default();
+        q.build_view(d, now, ViewMode::Full, &mut v);
+        v
+    }
+
     #[test]
     fn parbs_batches_and_ranks_shortest_job_first() {
         let d = dram();
-        let mut queue = vec![
-            pending(1, 0, 0, 0, &d),
-            pending(2, 64, 0, 1, &d),
-            pending(3, 128, 0, 2, &d),
-            pending(4, 1 << 20, 1, 3, &d),
-        ];
+        let mut queue = queue_of(
+            &d,
+            &[
+                pending(1, 0, 0, 0, &d),
+                pending(2, 64, 0, 1, &d),
+                pending(3, 128, 0, 2, &d),
+                pending(4, 1 << 20, 1, 3, &d),
+            ],
+        );
         let mut parbs = ParBs::new(2);
         parbs.maybe_form_batch(&mut queue);
-        assert!(queue.iter().all(|p| p.batched));
+        assert!(queue.iter().all(|(_, p)| p.batched));
         // Thread 1 has fewer requests → better rank.
         assert!(parbs.rank[1] < parbs.rank[0]);
-        let pick = parbs.select(&queue, &d, Cycle::new(1000)).unwrap();
-        assert_eq!(queue[pick].request.thread, 1, "shortest job served first");
+        let view = full_view(&mut queue, &d, Cycle::new(1000));
+        let pick = parbs.select(&queue, &view).unwrap();
+        assert_eq!(
+            queue.req(pick).request.thread,
+            1,
+            "shortest job served first"
+        );
     }
 
     #[test]
     fn parbs_serves_batch_before_new_arrivals() {
         let d = dram();
-        let mut queue = vec![pending(1, 0, 0, 0, &d)];
+        let mut queue = queue_of(&d, &[pending(1, 0, 0, 0, &d)]);
         let mut parbs = ParBs::new(2);
         parbs.maybe_form_batch(&mut queue);
         // A newer unbatched request from another thread arrives.
-        queue.push(pending(2, 1 << 20, 1, 50, &d));
-        let pick = parbs.select(&queue, &d, Cycle::new(1000)).unwrap();
-        assert_eq!(pick, 0, "batched request outranks unbatched");
+        queue.insert(pending(2, 1 << 20, 1, 50, &d), &d);
+        let view = full_view(&mut queue, &d, Cycle::new(1000));
+        let pick = parbs.select(&queue, &view).unwrap();
+        assert_eq!(
+            queue.req(pick).request.id,
+            1,
+            "batched request outranks unbatched"
+        );
     }
 
     #[test]
@@ -526,10 +564,15 @@ mod tests {
                 Cycle::new(10),
             );
         }
-        let queue = vec![pending(1, 0, 0, 0, &d), pending(2, 1 << 20, 1, 90, &d)];
-        let pick = atlas.select(&queue, &d, Cycle::new(1000)).unwrap();
+        let mut queue = queue_of(
+            &d,
+            &[pending(1, 0, 0, 0, &d), pending(2, 1 << 20, 1, 90, &d)],
+        );
+        let view = full_view(&mut queue, &d, Cycle::new(1000));
+        let pick = atlas.select(&queue, &view).unwrap();
         assert_eq!(
-            queue[pick].request.thread, 1,
+            queue.req(pick).request.thread,
+            1,
             "starved thread outranks heavy thread"
         );
     }
@@ -578,9 +621,13 @@ mod tests {
         tcm.on_tick(Cycle::new(150)); // epoch boundary → recluster
         assert!(tcm.latency_cluster[0]);
         assert!(!tcm.latency_cluster[1]);
-        let queue = vec![pending(1, 0, 1, 0, &d), pending(2, 1 << 20, 0, 90, &d)];
-        let pick = tcm.select(&queue, &d, Cycle::new(1000)).unwrap();
-        assert_eq!(queue[pick].request.thread, 0, "latency cluster wins");
+        let mut queue = queue_of(
+            &d,
+            &[pending(1, 0, 1, 0, &d), pending(2, 1 << 20, 0, 90, &d)],
+        );
+        let view = full_view(&mut queue, &d, Cycle::new(1000));
+        let pick = tcm.select(&queue, &view).unwrap();
+        assert_eq!(queue.req(pick).request.thread, 0, "latency cluster wins");
     }
 
     #[test]
@@ -598,9 +645,17 @@ mod tests {
             );
         }
         assert!(bliss.blacklisted().contains(&0));
-        let queue = vec![pending(1, 0, 0, 0, &d), pending(2, 1 << 20, 1, 90, &d)];
-        let pick = bliss.select(&queue, &d, Cycle::new(1000)).unwrap();
-        assert_eq!(queue[pick].request.thread, 1, "non-blacklisted thread wins");
+        let mut queue = queue_of(
+            &d,
+            &[pending(1, 0, 0, 0, &d), pending(2, 1 << 20, 1, 90, &d)],
+        );
+        let view = full_view(&mut queue, &d, Cycle::new(1000));
+        let pick = bliss.select(&queue, &view).unwrap();
+        assert_eq!(
+            queue.req(pick).request.thread,
+            1,
+            "non-blacklisted thread wins"
+        );
         // Clearing interval resets the blacklist.
         bliss.on_tick(Cycle::new(20_000));
         assert!(bliss.blacklisted().is_empty());

@@ -1,6 +1,14 @@
 //! Memory-request schedulers: the fixed heuristic policies the paper
 //! criticizes as "rigid and hardcoded by a human", plus the learning
 //! alternative ([`rl::RlScheduler`]) it advocates.
+//!
+//! Since the indexed-queue refactor, schedulers no longer scan the raw
+//! queue: the controller builds an [`IssueView`] from the slab-backed
+//! [`RequestQueue`]'s per-bank ready lists (at the depth the policy's
+//! [`Scheduler::view_mode`] asks for) and the policy picks among the
+//! view's candidates by stable [`ReqId`] handle. The legacy linear scan
+//! survives as [`linear_issue_view`] — the differential oracle the
+//! queue-equivalence proptest replays both paths through.
 
 mod fairness;
 mod rl;
@@ -10,14 +18,17 @@ pub use rl::{RlScheduler, RlSchedulerConfig};
 
 use ia_dram::{Command, Cycle, DramModule};
 
+use crate::pool::{IssueView, ReqId, RequestQueue, ViewMode};
 use crate::request::{Completed, Pending};
 
 /// A command scheduler for one memory channel.
 ///
-/// Every cycle the controller presents the queue; the scheduler returns
-/// the index of the request whose next command should issue. Implementors
-/// should choose among *issuable* requests (see [`issuable_now`]) — the
-/// controller ignores selections that cannot issue this cycle.
+/// Every cycle the controller builds an [`IssueView`] at the depth
+/// requested by [`Scheduler::view_mode`] and presents it together with
+/// the queue; the scheduler returns the handle of the request whose next
+/// command should issue. Implementors should choose among the view's
+/// candidates — the controller ignores selections that cannot issue this
+/// cycle.
 pub trait Scheduler: std::fmt::Debug + Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
@@ -28,12 +39,22 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// `Clone` through this hook.
     fn clone_box(&self) -> Box<dyn Scheduler>;
 
+    /// How much of an [`IssueView`] this policy needs per decision.
+    ///
+    /// [`ViewMode::Frontier`] (class-list heads only) is exact for any
+    /// policy whose sort key is constant within a (bank, row-hit/miss,
+    /// read/write) class; thread-keyed fairness policies need
+    /// [`ViewMode::Full`].
+    fn view_mode(&self) -> ViewMode {
+        ViewMode::Full
+    }
+
     /// Picks a queued request to serve, or `None` to idle this cycle.
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize>;
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId>;
 
     /// Pre-selection hook that may mutate queue metadata (PAR-BS batch
     /// marking). Called once per cycle before [`Scheduler::select`].
-    fn prepare(&mut self, _queue: &mut [Pending]) {}
+    fn prepare(&mut self, _queue: &mut RequestQueue) {}
 
     /// Notification that a command issued (and whether it was a column
     /// command, i.e. made data-bus progress).
@@ -86,17 +107,15 @@ pub fn is_row_hit(p: &Pending, dram: &DramModule) -> bool {
     )
 }
 
-/// Per-cycle scheduling facts for one queue, computed in a single pass
-/// over the DRAM timing state.
+/// Per-cycle scheduling facts for one queue as a flat slice, computed by
+/// the legacy linear scan ([`linear_issue_view`]).
 ///
-/// Every policy needs the same two facts per queued request — "can its
-/// next command issue now?" and "is it a row hit?" — and the open-page
-/// precharge rule additionally needs "does any request hit this bank's
-/// open row?". Computing them entry-by-entry inside each policy's sort
-/// key re-walked the channel/rank/bank hierarchy O(n²) times per cycle;
-/// this view walks it exactly once per entry.
+/// Superseded in the hot path by [`IssueView`] built from the indexed
+/// [`RequestQueue`]; retained as the reference implementation that the
+/// `scheduler_queue_equivalence` proptest checks the indexed path
+/// against, decision by decision.
 #[derive(Debug, Clone)]
-pub struct IssueView {
+pub struct LinearIssueView {
     /// Issuable request indices under the open-page rule (ascending),
     /// each with its row-hit flag.
     pub ready: Vec<(usize, bool)>,
@@ -105,13 +124,13 @@ pub struct IssueView {
     pub row_hits: usize,
 }
 
-/// Builds the [`IssueView`] for `queue` at `now`: [`issuable_now`] minus
-/// row-closing precharges to banks that still have pending row hits in
-/// the queue — the open-page rule every locality-respecting scheduler
+/// Builds the [`LinearIssueView`] for `queue` at `now`: [`issuable_now`]
+/// minus row-closing precharges to banks that still have pending row hits
+/// in the queue — the open-page rule every locality-respecting scheduler
 /// follows (a row with outstanding hits is not closed just because its
 /// next burst is a few cycles away).
 #[must_use]
-pub fn issue_view(queue: &[Pending], dram: &DramModule, now: Cycle) -> IssueView {
+pub fn linear_issue_view(queue: &[Pending], dram: &DramModule, now: Cycle) -> LinearIssueView {
     let geo = &dram.config().geometry;
     let mut ready: Vec<(usize, bool)> = Vec::with_capacity(queue.len());
     // Flat bank keys with at least one queued row hit; a handful of
@@ -150,14 +169,14 @@ pub fn issue_view(queue: &[Pending], dram: &DramModule, now: Cycle) -> IssueView
         }
     }
     ready.sort_unstable_by_key(|&(i, _)| i);
-    IssueView { ready, row_hits }
+    LinearIssueView { ready, row_hits }
 }
 
-/// [`issue_view`]'s issuable indices alone, for callers that do not need
-/// the row-hit flags.
+/// [`linear_issue_view`]'s issuable indices alone, for callers that do
+/// not need the row-hit flags.
 #[must_use]
 pub fn issuable_open_page(queue: &[Pending], dram: &DramModule, now: Cycle) -> Vec<usize> {
-    issue_view(queue, dram, now)
+    linear_issue_view(queue, dram, now)
         .ready
         .into_iter()
         .map(|(i, _)| i)
@@ -194,8 +213,14 @@ impl Scheduler for Fcfs {
         Box::new(self.clone())
     }
 
-    fn select(&mut self, queue: &[Pending], _dram: &DramModule, _now: Cycle) -> Option<usize> {
-        (0..queue.len()).min_by_key(|&i| (queue[i].arrival, queue[i].request.id))
+    fn view_mode(&self) -> ViewMode {
+        // FCFS is the global list head; it needs no view at all.
+        ViewMode::Skip
+    }
+
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, _view: &IssueView) -> Option<ReqId> {
+        queue.head()
     }
 
     fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
@@ -223,12 +248,21 @@ impl Scheduler for FrFcfs {
         Box::new(self.clone())
     }
 
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let view = issue_view(queue, dram, now);
+    fn view_mode(&self) -> ViewMode {
+        // (!hit, arrival, id) is constant within a (bank, class) list, so
+        // the class heads contain the winner.
+        ViewMode::Frontier
+    }
+
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId> {
         view.ready
-            .into_iter()
-            .min_by_key(|&(i, hit)| (!hit, queue[i].arrival, queue[i].request.id))
-            .map(|(i, _)| i)
+            .iter()
+            .min_by_key(|&&(h, hit)| {
+                let p = queue.req(h);
+                (!hit, p.arrival, p.request.id)
+            })
+            .map(|&(h, _)| h)
     }
 
     fn on_advance(&mut self, _from: Cycle, _to: Cycle) {}
@@ -240,12 +274,8 @@ mod tests {
     use crate::request::MemRequest;
     use ia_dram::{AccessKind, DramConfig, PhysAddr};
 
-    fn setup() -> (DramModule, Vec<Pending>) {
-        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
-        // Open row 0 of bank 0 by accessing address 0.
-        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
-            .unwrap();
-        let mk = |id: u64, addr: u64, arrival: u64| Pending {
+    fn mk(dram: &DramModule, id: u64, addr: u64, arrival: u64) -> Pending {
+        Pending {
             request: MemRequest {
                 id,
                 ..MemRequest::read(addr, 0)
@@ -254,47 +284,104 @@ mod tests {
             arrival: Cycle::new(arrival),
             batched: false,
             started: false,
-        };
-        // Request 0: old, different row in same bank (conflict).
-        // Request 1: newer, hits the open row.
+        }
+    }
+
+    fn setup() -> (DramModule, RequestQueue) {
+        let mut dram = DramModule::new(DramConfig::ddr3_1600()).unwrap();
+        // Open row 0 of bank 0 by accessing address 0.
+        dram.access(PhysAddr::new(0), AccessKind::Read, Cycle::ZERO)
+            .unwrap();
+        // Request 1: old, different row in same bank (conflict).
+        // Request 2: newer, hits the open row.
         let geo = dram.config().geometry;
         let row_stride = geo.row_bytes
             * (geo.banks_per_group * geo.bank_groups * geo.ranks * geo.channels) as u64;
-        let queue = vec![mk(1, row_stride, 0), mk(2, 128, 5)];
+        let mut queue = RequestQueue::new();
+        queue.insert(mk(&dram, 1, row_stride, 0), &dram);
+        queue.insert(mk(&dram, 2, 128, 5), &dram);
         (dram, queue)
+    }
+
+    fn view_of(
+        queue: &mut RequestQueue,
+        dram: &DramModule,
+        now: Cycle,
+        mode: ViewMode,
+    ) -> IssueView {
+        let mut v = IssueView::default();
+        queue.build_view(dram, now, mode, &mut v);
+        v
     }
 
     #[test]
     fn fcfs_picks_oldest() {
-        let (dram, queue) = setup();
-        let now = Cycle::new(100);
-        let pick = Fcfs::new().select(&queue, &dram, now).unwrap();
-        assert_eq!(pick, 0, "FCFS serves the older conflicting request first");
+        let (dram, mut queue) = setup();
+        let view = view_of(&mut queue, &dram, Cycle::new(100), ViewMode::Skip);
+        let pick = Fcfs::new().select(&queue, &view).unwrap();
+        assert_eq!(
+            queue.req(pick).request.id,
+            1,
+            "FCFS serves the older conflicting request first"
+        );
     }
 
     #[test]
     fn frfcfs_prefers_row_hit() {
-        let (dram, queue) = setup();
-        let now = Cycle::new(100);
-        let pick = FrFcfs::new().select(&queue, &dram, now).unwrap();
-        assert_eq!(pick, 1, "FR-FCFS serves the row hit first");
-        assert!(is_row_hit(&queue[1], &dram));
-        assert!(!is_row_hit(&queue[0], &dram));
+        let (dram, mut queue) = setup();
+        let view = view_of(&mut queue, &dram, Cycle::new(100), ViewMode::Frontier);
+        let pick = FrFcfs::new().select(&queue, &view).unwrap();
+        let p = *queue.req(pick);
+        assert_eq!(p.request.id, 2, "FR-FCFS serves the row hit first");
+        assert!(is_row_hit(&p, &dram));
+        let other = queue.iter().find(|(_, q)| q.request.id == 1).unwrap();
+        assert!(!is_row_hit(other.1, &dram));
     }
 
     #[test]
     fn empty_queue_selects_nothing() {
         let (dram, _) = setup();
-        assert!(Fcfs::new().select(&[], &dram, Cycle::ZERO).is_none());
-        assert!(FrFcfs::new().select(&[], &dram, Cycle::ZERO).is_none());
+        let mut empty = RequestQueue::new();
+        let view = view_of(&mut empty, &dram, Cycle::ZERO, ViewMode::Frontier);
+        assert!(Fcfs::new().select(&empty, &view).is_none());
+        assert!(FrFcfs::new().select(&empty, &view).is_none());
     }
 
     #[test]
     fn issuable_now_respects_timing() {
-        let (dram, queue) = setup();
+        let (dram, _) = setup();
+        let geo = dram.config().geometry;
+        let row_stride = geo.row_bytes
+            * (geo.banks_per_group * geo.bank_groups * geo.ranks * geo.channels) as u64;
+        let queue = vec![mk(&dram, 1, row_stride, 0), mk(&dram, 2, 128, 5)];
         // Immediately after the warm-up access, the bank is still within
         // tRAS/tRTP windows; at a late cycle everything is issuable.
         let late = issuable_now(&queue, &dram, Cycle::new(10_000));
         assert_eq!(late.len(), 2);
+    }
+
+    #[test]
+    fn indexed_view_matches_linear_scan() {
+        let (dram, mut queue) = setup();
+        let linear: Vec<Pending> = queue.iter().map(|(_, p)| *p).collect();
+        for now in [0u64, 20, 100, 10_000] {
+            let now = Cycle::new(now);
+            let want = linear_issue_view(&linear, &dram, now);
+            let got = view_of(&mut queue, &dram, now, ViewMode::Full);
+            let mut got_ids: Vec<(u64, bool)> = got
+                .ready
+                .iter()
+                .map(|&(h, hit)| (queue.req(h).request.id, hit))
+                .collect();
+            got_ids.sort_unstable();
+            let mut want_ids: Vec<(u64, bool)> = want
+                .ready
+                .iter()
+                .map(|&(i, hit)| (linear[i].request.id, hit))
+                .collect();
+            want_ids.sort_unstable();
+            assert_eq!(got_ids, want_ids, "candidate sets diverge at {now:?}");
+            assert_eq!(got.row_hits, want.row_hits);
+        }
     }
 }

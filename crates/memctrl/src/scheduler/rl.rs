@@ -3,13 +3,13 @@
 //! scheduling action, and is rewarded for data-bus utilization, learning
 //! a far-sighted policy online instead of executing a fixed heuristic.
 
-use ia_dram::{Cycle, DramModule};
+use ia_dram::Cycle;
 use ia_learn::{FeatureQuantizer, QAgent, QConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use super::{issue_view, Scheduler};
-use crate::request::Pending;
+use super::Scheduler;
+use crate::pool::{IssueView, ReqId, RequestQueue, ViewMode};
 
 /// Configuration for [`RlScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,11 +129,13 @@ impl RlScheduler {
             .collect()
     }
 
-    fn state_with_hits(&self, queue: &[Pending], row_hits: usize) -> [f64; 3] {
+    fn state_with_hits(&self, queue: &RequestQueue, row_hits: usize) -> [f64; 3] {
+        // Occupancy and write fraction come from the queue's O(1) live
+        // counters; the row-hit count comes from the view.
         let n = queue.len().max(1) as f64;
         let occupancy = (queue.len() as f64 / self.config.queue_capacity as f64).min(1.0);
         let hits = row_hits as f64 / n;
-        let writes = queue.iter().filter(|p| !p.request.kind.is_read()).count() as f64 / n;
+        let writes = queue.writes() as f64 / n;
         [occupancy, hits, writes]
     }
 }
@@ -147,8 +149,15 @@ impl Scheduler for RlScheduler {
         Box::new(self.clone())
     }
 
-    fn select(&mut self, queue: &[Pending], dram: &DramModule, now: Cycle) -> Option<usize> {
-        let view = issue_view(queue, dram, now);
+    fn view_mode(&self) -> ViewMode {
+        // Every action's key is (flag, arrival, id) with the flag constant
+        // within a (bank, hit/other, read/write) class, so the class heads
+        // always contain the winner.
+        ViewMode::Frontier
+    }
+
+    // lint: hot-path
+    fn select(&mut self, queue: &RequestQueue, view: &IssueView) -> Option<ReqId> {
         if view.ready.is_empty() {
             return None;
         }
@@ -171,9 +180,9 @@ impl Scheduler for RlScheduler {
 
         let action = Action::from_index(action_idx);
         view.ready
-            .into_iter()
-            .min_by_key(|&(i, hit)| {
-                let p = &queue[i];
+            .iter()
+            .min_by_key(|&&(h, hit)| {
+                let p = queue.req(h);
                 let read = p.request.kind.is_read();
                 match action {
                     Action::RowHitFirst => (!hit, p.arrival, p.request.id),
@@ -182,7 +191,7 @@ impl Scheduler for RlScheduler {
                     Action::WritesFirst => (read, p.arrival, p.request.id),
                 }
             })
-            .map(|(i, _)| i)
+            .map(|&(h, _)| h)
     }
 
     fn on_issue(&mut self, column: bool, _now: Cycle) {
@@ -199,7 +208,7 @@ impl Scheduler for RlScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::MemRequest;
+    use crate::request::{MemRequest, Pending};
     use ia_dram::{AccessKind, DramConfig, DramModule, PhysAddr};
 
     fn dram_with_open_row() -> DramModule {
@@ -222,12 +231,27 @@ mod tests {
         }
     }
 
+    fn queue_of(d: &DramModule, ps: &[Pending]) -> RequestQueue {
+        let mut q = RequestQueue::new();
+        for &p in ps {
+            q.insert(p, d);
+        }
+        q
+    }
+
+    fn frontier(q: &mut RequestQueue, d: &DramModule, now: Cycle) -> IssueView {
+        let mut v = IssueView::default();
+        q.build_view(d, now, ViewMode::Frontier, &mut v);
+        v
+    }
+
     #[test]
     fn selects_something_from_nonempty_queue() {
         let d = dram_with_open_row();
         let mut rl = RlScheduler::new(RlSchedulerConfig::default());
-        let queue = vec![pending(1, 64, &d), pending(2, 128, &d)];
-        let pick = rl.select(&queue, &d, Cycle::new(1000));
+        let mut queue = queue_of(&d, &[pending(1, 64, &d), pending(2, 128, &d)]);
+        let view = frontier(&mut queue, &d, Cycle::new(1000));
+        let pick = rl.select(&queue, &view);
         assert!(pick.is_some());
         assert_eq!(rl.decisions(), 1);
     }
@@ -236,7 +260,9 @@ mod tests {
     fn empty_queue_is_none_and_costs_no_decision() {
         let d = dram_with_open_row();
         let mut rl = RlScheduler::new(RlSchedulerConfig::default());
-        assert!(rl.select(&[], &d, Cycle::ZERO).is_none());
+        let mut empty = RequestQueue::new();
+        let view = frontier(&mut empty, &d, Cycle::ZERO);
+        assert!(rl.select(&empty, &view).is_none());
         assert_eq!(rl.decisions(), 0);
     }
 
@@ -264,11 +290,11 @@ mod tests {
             },
             ..RlSchedulerConfig::default()
         });
-        let queue = vec![pending(1, 64, &d), pending(2, 128, &d)];
+        let mut queue = queue_of(&d, &[pending(1, 64, &d), pending(2, 128, &d)]);
         for _ in 0..2000 {
-            let view = issue_view(&queue, &d, Cycle::new(10_000));
+            let view = frontier(&mut queue, &d, Cycle::new(10_000));
             let state = rl.state_with_hits(&queue, view.row_hits);
-            let _ = rl.select(&queue, &d, Cycle::new(10_000));
+            let _ = rl.select(&queue, &view);
             // Manually reward only when the last action was row-hit-first.
             // (In the real controller the reward comes from bus activity.)
             let q = rl.q_values(state);

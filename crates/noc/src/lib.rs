@@ -34,7 +34,7 @@ mod mesh;
 mod sim;
 
 pub use error::NocError;
-pub use mesh::{Coord, MeshConfig, Port};
+pub use mesh::{Coord, MeshConfig, Port, Ports, PortsIter, RouteTable};
 pub use sim::{
     simulate, simulate_traced, BufferedMeshSim, BufferlessMeshSim, Delivered, NocReport,
     RouterKind, Traffic,

@@ -13,41 +13,55 @@ pub struct Coord {
 
 /// An output port of a router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
 pub enum Port {
     /// +x.
-    East,
+    East = 0,
     /// −x.
-    West,
+    West = 1,
     /// +y.
-    North,
+    North = 2,
     /// −y.
-    South,
+    South = 3,
 }
 
 impl Port {
-    /// All ports.
+    /// All ports, in canonical (East, West, North, South) order.
     #[must_use]
     pub fn all() -> [Port; 4] {
         [Port::East, Port::West, Port::North, Port::South]
     }
-}
 
-/// A small ordered set of ports. A mesh router has at most four, so this
-/// lives entirely on the stack — the routing hot loops query port sets
-/// every cycle and must not allocate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Ports {
-    slots: [Port; 4],
-    len: u8,
-}
-
-impl Default for Ports {
-    fn default() -> Self {
-        Ports {
-            slots: [Port::East; 4],
-            len: 0,
+    /// The port with canonical index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[must_use]
+    #[inline]
+    pub fn from_index(i: u8) -> Port {
+        match i {
+            0 => Port::East,
+            1 => Port::West,
+            2 => Port::North,
+            3 => Port::South,
+            // lint: allow(P002, index > 3 is a table-construction bug, not a runtime input)
+            _ => panic!("port index out of range"),
         }
     }
+}
+
+/// A small set of ports, packed into one bit per port. A mesh router has
+/// at most four, so this is a single byte — the routing hot loops query
+/// port sets every cycle and must not allocate or scan.
+///
+/// Iteration yields ports in canonical (East, West, North, South) order,
+/// which is also the order every constructor in this crate inserts them,
+/// so replacing the former insertion-ordered array changes no observable
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ports {
+    mask: u8,
 }
 
 impl Ports {
@@ -55,70 +69,91 @@ impl Ports {
     #[must_use]
     #[inline]
     pub fn len(&self) -> usize {
-        self.len as usize
+        self.mask.count_ones() as usize
     }
 
     /// True when the set holds no ports.
     #[must_use]
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.mask == 0
     }
 
-    /// Appends a port.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the set already holds four ports.
+    /// Inserts a port (idempotent).
     #[inline]
     pub fn push(&mut self, p: Port) {
-        self.slots[self.len as usize] = p;
-        self.len += 1;
+        self.mask |= 1 << (p as u8);
     }
 
     /// True when `p` is in the set.
     #[must_use]
     #[inline]
     pub fn contains(&self, p: Port) -> bool {
-        self.as_slice().contains(&p)
+        self.mask & (1 << (p as u8)) != 0
     }
 
-    /// The first port in insertion order, if any.
+    /// The raw occupancy bits, one per [`Port`] discriminant — a compact
+    /// stable encoding of the whole set (checksums, debugging).
+    #[must_use]
+    #[inline]
+    pub fn mask(&self) -> u8 {
+        self.mask
+    }
+
+    /// The first port in canonical order, if any.
     #[must_use]
     #[inline]
     pub fn first(&self) -> Option<Port> {
-        self.as_slice().first().copied()
+        if self.mask == 0 {
+            None
+        } else {
+            Some(Port::from_index(self.mask.trailing_zeros() as u8))
+        }
     }
 
-    /// The set's ports in insertion order.
-    #[must_use]
+    /// Iterates the ports in canonical order.
     #[inline]
-    pub fn as_slice(&self) -> &[Port] {
-        &self.slots[..self.len as usize]
+    pub fn iter(&self) -> PortsIter {
+        PortsIter { mask: self.mask }
     }
 
-    /// Iterates the ports in insertion order.
-    #[inline]
-    pub fn iter(&self) -> impl Iterator<Item = Port> + '_ {
-        self.as_slice().iter().copied()
-    }
-
-    /// Removes the first occurrence of `p`, preserving order.
+    /// Removes `p` if present.
     #[inline]
     pub fn remove(&mut self, p: Port) {
-        if let Some(pos) = self.as_slice().iter().position(|&q| q == p) {
-            let n = self.len as usize;
-            self.slots.copy_within(pos + 1..n, pos);
-            self.len -= 1;
-        }
+        self.mask &= !(1 << (p as u8));
     }
 }
 
 impl IntoIterator for Ports {
     type Item = Port;
-    type IntoIter = std::iter::Take<std::array::IntoIter<Port, 4>>;
+    type IntoIter = PortsIter;
     fn into_iter(self) -> Self::IntoIter {
-        self.slots.into_iter().take(self.len as usize)
+        PortsIter { mask: self.mask }
+    }
+}
+
+/// Iterator over a [`Ports`] set, in canonical port order.
+#[derive(Debug, Clone)]
+pub struct PortsIter {
+    mask: u8,
+}
+
+impl Iterator for PortsIter {
+    type Item = Port;
+
+    #[inline]
+    fn next(&mut self) -> Option<Port> {
+        if self.mask == 0 {
+            return None;
+        }
+        let i = self.mask.trailing_zeros() as u8;
+        self.mask &= self.mask - 1;
+        Some(Port::from_index(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.mask.count_ones() as usize;
+        (n, Some(n))
     }
 }
 
@@ -237,6 +272,149 @@ impl MeshConfig {
     }
 }
 
+/// Largest node count for which [`RouteTable`] materializes the O(n²)
+/// per-(source, destination) tables. Bigger meshes fall back to the
+/// arithmetic routing functions, which are exact but slower per lookup.
+const QUADRATIC_TABLE_MAX_NODES: usize = 4096;
+
+/// Sentinel for "source equals destination" in the packed XY table.
+const XY_LOCAL: u8 = 0xFF;
+
+/// Precomputed routing state for one mesh: flat-index coordinates, valid
+/// port masks, neighbor indices, and (for meshes up to
+/// 4096 nodes) dense per-(source, destination) XY and productive-port
+/// tables. Every accessor returns exactly what the corresponding
+/// [`MeshConfig`] arithmetic would — the table is a cache, not a policy
+/// change — so simulators built on it stay bit-identical to the
+/// arithmetic path.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    mesh: MeshConfig,
+    coords: Vec<Coord>,
+    valid: Vec<Ports>,
+    /// `neighbor[node * 4 + port]`; `u32::MAX` when the port exits the mesh.
+    neighbor: Vec<u32>,
+    /// `xy[src * nodes + dst]`: canonical port index, or [`XY_LOCAL`].
+    xy: Option<Vec<u8>>,
+    /// `productive[src * nodes + dst]`: ports that shrink the distance.
+    productive: Option<Vec<Ports>>,
+}
+
+impl RouteTable {
+    /// Builds the tables for `mesh`.
+    #[must_use]
+    pub fn new(mesh: MeshConfig) -> Self {
+        let n = mesh.nodes();
+        let coords: Vec<Coord> = (0..n).map(|i| mesh.coord(i)).collect();
+        let valid: Vec<Ports> = coords.iter().map(|&c| mesh.valid_ports(c)).collect();
+        let mut neighbor = vec![u32::MAX; n * 4];
+        for (i, &c) in coords.iter().enumerate() {
+            for p in Port::all() {
+                if let Some(nb) = mesh.neighbor(c, p) {
+                    neighbor[i * 4 + p as usize] = mesh.index(nb) as u32;
+                }
+            }
+        }
+        let (xy, productive) = if n <= QUADRATIC_TABLE_MAX_NODES {
+            let mut xy = vec![XY_LOCAL; n * n];
+            let mut productive = vec![Ports::default(); n * n];
+            for (s, &from) in coords.iter().enumerate() {
+                for (d, &dst) in coords.iter().enumerate() {
+                    if let Some(p) = mesh.xy_route(from, dst) {
+                        xy[s * n + d] = p as u8;
+                    }
+                    productive[s * n + d] = mesh.productive_ports(from, dst);
+                }
+            }
+            (Some(xy), Some(productive))
+        } else {
+            (None, None)
+        };
+        RouteTable {
+            mesh,
+            coords,
+            valid,
+            neighbor,
+            xy,
+            productive,
+        }
+    }
+
+    /// The mesh these tables were built for.
+    #[must_use]
+    pub fn mesh(&self) -> MeshConfig {
+        self.mesh
+    }
+
+    /// Coordinate of flat index `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn coord(&self, node: usize) -> Coord {
+        self.coords[node]
+    }
+
+    /// Ports that lead to existing neighbors from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn valid_ports(&self, node: usize) -> Ports {
+        self.valid[node]
+    }
+
+    /// Flat index of the neighbor reached through `port`, if it exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn neighbor_index(&self, node: usize, port: Port) -> Option<usize> {
+        let nb = self.neighbor[node * 4 + port as usize];
+        (nb != u32::MAX).then_some(nb as usize)
+    }
+
+    /// XY dimension-order route from `src` toward `dst` (flat indices),
+    /// or `None` when they coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    #[inline]
+    pub fn xy_port(&self, src: usize, dst: usize) -> Option<Port> {
+        match &self.xy {
+            Some(t) => {
+                let p = t[src * self.coords.len() + dst];
+                (p != XY_LOCAL).then(|| Port::from_index(p))
+            }
+            None => self.mesh.xy_route(self.coords[src], self.coords[dst]),
+        }
+    }
+
+    /// Ports that reduce the distance from `src` to `dst` (flat indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    #[inline]
+    pub fn productive_ports(&self, src: usize, dst: usize) -> Ports {
+        match &self.productive {
+            Some(t) => t[src * self.coords.len() + dst],
+            None => self
+                .mesh
+                .productive_ports(self.coords[src], self.coords[dst]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +469,49 @@ mod tests {
         }
         assert_eq!(cur, dst);
         assert_eq!(hops, m.distance(Coord { x: 0, y: 4 }, dst));
+    }
+
+    #[test]
+    fn ports_iterate_in_canonical_order_and_dedupe() {
+        let mut s = Ports::default();
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        s.push(Port::South);
+        s.push(Port::East);
+        s.push(Port::East);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), Some(Port::East));
+        let got: Vec<Port> = s.iter().collect();
+        assert_eq!(got, vec![Port::East, Port::South]);
+        s.remove(Port::East);
+        assert_eq!(s.first(), Some(Port::South));
+        s.remove(Port::East);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![Port::South]);
+    }
+
+    #[test]
+    fn route_table_matches_arithmetic_everywhere() {
+        for (w, h) in [(2, 2), (4, 3), (8, 8)] {
+            let m = MeshConfig::new(w, h).unwrap();
+            let t = RouteTable::new(m);
+            for s in 0..m.nodes() {
+                let from = m.coord(s);
+                assert_eq!(t.coord(s), from);
+                assert_eq!(t.valid_ports(s), m.valid_ports(from));
+                for p in Port::all() {
+                    assert_eq!(
+                        t.neighbor_index(s, p),
+                        m.neighbor(from, p).map(|c| m.index(c))
+                    );
+                }
+                for d in 0..m.nodes() {
+                    let dst = m.coord(d);
+                    assert_eq!(t.xy_port(s, d), m.xy_route(from, dst), "{s}->{d}");
+                    assert_eq!(t.productive_ports(s, d), m.productive_ports(from, dst));
+                }
+            }
+        }
     }
 
     #[test]

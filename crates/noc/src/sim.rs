@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use ia_sim::{Clocked, CompletionSink, Cycle, FnSink, SimLoop};
 use ia_trace::{ComponentTrace, TraceLog, Tracer};
 
-use crate::mesh::{Coord, MeshConfig, Port, Ports};
+use crate::mesh::{MeshConfig, Port, Ports, RouteTable};
 use crate::NocError;
 
 /// Router microarchitecture under test.
@@ -50,11 +50,12 @@ pub enum Traffic {
     BitComplement,
 }
 
-/// A single-flit packet.
+/// A single-flit packet. The destination is a flat node index so the
+/// routing hot loops index the precomputed [`RouteTable`] directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Packet {
     id: u64,
-    dst: Coord,
+    dst: u32,
     injected_at: u64,
     hops: u32,
     deflections: u32,
@@ -69,6 +70,49 @@ impl Packet {
         }
     }
 }
+
+/// A slab arena of in-flight flits. Router queues hold `u32` handles into
+/// it; freed slots are recycled through a free list, so the steady state
+/// allocates nothing and moving a flit between routers copies four bytes
+/// instead of the whole packet.
+#[derive(Debug, Default)]
+struct FlitArena {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+}
+
+impl FlitArena {
+    fn alloc(&mut self, p: Packet) -> u32 {
+        if let Some(h) = self.free.pop() {
+            self.slots[h as usize] = p;
+            h
+        } else {
+            self.slots.push(p);
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, h: u32) {
+        self.free.push(h);
+    }
+}
+
+/// One input-queue slot of a buffered router: the flit's handle plus two
+/// facts that are invariant while it waits here — its age-ordering id and
+/// its routing class at THIS node (output port, or "eject"). Caching them
+/// means the per-cycle allocation pass reads only this 16-byte entry for
+/// flits that stay put; the arena is touched just when a flit ejects or
+/// moves.
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    id: u64,
+    h: u32,
+    class: u8,
+}
+
+/// [`QEntry::class`] value for "this node is the destination".
+const CLASS_EJECT: u8 = 4;
 
 /// A packet leaving the network: the [`Clocked::Completion`] type of both
 /// mesh simulators.
@@ -206,25 +250,32 @@ fn drive<C: Clocked<Completion = Delivered>>(sim: &mut C, cycles: u64) -> Tally 
     tally
 }
 
-fn pick_destination(mesh: MeshConfig, traffic: Traffic, src: usize, rng: &mut SmallRng) -> Coord {
+/// Picks a destination node (flat index) for a packet injected at `src`.
+/// The RNG draw sequence is identical per traffic pattern regardless of
+/// how the caller stores destinations.
+fn pick_destination(mesh: MeshConfig, traffic: Traffic, src: usize, rng: &mut SmallRng) -> usize {
     match traffic {
         Traffic::UniformRandom => {
             let mut d = rng.gen_range(0..mesh.nodes());
             if d == src {
                 d = (d + 1) % mesh.nodes();
             }
-            mesh.coord(d)
+            d
         }
         Traffic::Hotspot { node, fraction } => {
             if rng.gen::<f64>() < fraction && node != src {
-                mesh.coord(node)
+                node
             } else {
                 pick_destination(mesh, Traffic::UniformRandom, src, rng)
             }
         }
         Traffic::BitComplement => {
             let d = (mesh.nodes() - 1 - src) % mesh.nodes();
-            mesh.coord(if d == src { (d + 1) % mesh.nodes() } else { d })
+            if d == src {
+                (d + 1) % mesh.nodes()
+            } else {
+                d
+            }
         }
     }
 }
@@ -286,16 +337,23 @@ pub struct BufferedMeshSim {
     horizon: u64,
     rng: SmallRng,
     now: u64,
-    queues: Vec<Vec<Packet>>,
+    table: RouteTable,
+    arena: FlitArena,
+    queues: Vec<Vec<QEntry>>,
+    /// One bit per node, set while its input queue is non-empty: the
+    /// routing loop visits only occupied routers instead of scanning the
+    /// whole mesh every cycle.
+    occupied: Vec<u64>,
+    /// Live total queue occupancy (maintained incrementally; equals the
+    /// per-cycle sum the former code recomputed).
+    occupancy: usize,
     next_id: u64,
     injected: u64,
     peak: usize,
     // Scratch buffers reused across ticks so the steady-state routing
     // loop never allocates. Behaviorally inert: each is cleared before
     // (or fully drained by) every use.
-    moves: Vec<(usize, Packet)>,
-    order: Vec<usize>,
-    taken: Vec<(usize, Port)>,
+    moves: Vec<(u32, u32)>,
     tracer: Tracer,
 }
 
@@ -310,13 +368,15 @@ impl BufferedMeshSim {
             horizon,
             rng: SmallRng::seed_from_u64(seed),
             now: 0,
+            table: RouteTable::new(mesh),
+            arena: FlitArena::default(),
             queues: vec![Vec::new(); mesh.nodes()],
+            occupied: vec![0; mesh.nodes().div_ceil(64)],
+            occupancy: 0,
             next_id: 0,
             injected: 0,
             peak: 0,
             moves: Vec::new(),
-            order: Vec::new(),
-            taken: Vec::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -353,29 +413,41 @@ impl Clocked for BufferedMeshSim {
         Cycle::new(self.now)
     }
 
-    #[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
+    // lint: hot-path
     fn tick_into(&mut self, sink: &mut dyn CompletionSink<Delivered>) {
         let now = self.now;
         let n = self.mesh.nodes();
-        // Inject.
+        // Inject. Every node draws injection randomness every cycle, so
+        // this loop cannot skip nodes without changing the RNG stream.
         for src in 0..n {
             if self.rng.gen::<f64>() < self.rate {
-                let dst = pick_destination(self.mesh, self.traffic, src, &mut self.rng);
-                self.queues[src].push(Packet {
+                let dst = pick_destination(self.mesh, self.traffic, src, &mut self.rng) as u32;
+                let h = self.arena.alloc(Packet {
                     id: self.next_id,
                     dst,
                     injected_at: now,
                     hops: 0,
                     deflections: 0,
                 });
+                let class = self
+                    .table
+                    .xy_port(src, dst as usize)
+                    // lint: allow(P001, pick_destination never picks the source)
+                    .expect("injected packets are never local") as u8;
+                self.queues[src].push(QEntry {
+                    id: self.next_id,
+                    h,
+                    class,
+                });
+                self.occupied[src / 64] |= 1 << (src % 64);
+                self.occupancy += 1;
                 self.next_id += 1;
                 self.injected += 1;
             }
         }
-        let occupancy: usize = self.queues.iter().map(Vec::len).sum();
-        self.peak = self.peak.max(occupancy);
+        self.peak = self.peak.max(self.occupancy);
         if self.tracer.is_enabled() {
-            let phase = if occupancy > 0 {
+            let phase = if self.occupancy > 0 {
                 "noc.active"
             } else {
                 "noc.idle"
@@ -383,51 +455,65 @@ impl Clocked for BufferedMeshSim {
             self.tracer.mark(phase, now);
         }
 
-        // Route: each output port of each router carries one packet.
-        for node in 0..n {
-            let here = self.mesh.coord(node);
-            // Eject everything that has arrived.
-            self.queues[node].retain(|p| {
-                if p.dst == here {
-                    sink.complete(p.delivered(now));
-                    false
-                } else {
-                    true
-                }
-            });
-            // One packet per output port, oldest first.
-            let mut used = Ports::default();
-            self.order.clear();
-            self.order.extend(0..self.queues[node].len());
-            self.order
-                .sort_by_key(|&i| (self.queues[node][i].injected_at, self.queues[node][i].id));
-            self.taken.clear();
-            for &i in &self.order {
-                let p = self.queues[node][i];
-                let port = self
-                    .mesh
-                    .xy_route(here, p.dst)
-                    // lint: allow(P001, queued packets are never at their destination)
-                    .expect("non-local packet has a route");
-                if !used.contains(port) {
+        // Route: each output port of each router carries one packet,
+        // oldest first. Queues are kept in age order (flit ids are
+        // allocated monotonically, so id order IS age order: injections
+        // append, arrivals binary-insert below), which lets ejection and
+        // port allocation share one in-place compaction pass with no
+        // per-cycle sort. Only occupied routers are visited; an empty
+        // router has nothing to eject or forward.
+        let arena = &mut self.arena;
+        for w in 0..self.occupied.len() {
+            let mut word = self.occupied[w];
+            while word != 0 {
+                let node = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let q = &mut self.queues[node];
+                let mut used = Ports::default();
+                let mut write = 0;
+                for read in 0..q.len() {
+                    let e = q[read];
+                    // Eject everything that has arrived.
+                    if e.class == CLASS_EJECT {
+                        let p = &arena.slots[e.h as usize];
+                        sink.complete(p.delivered(now));
+                        arena.free.push(e.h);
+                        self.occupancy -= 1;
+                        continue;
+                    }
+                    let port = Port::from_index(e.class);
+                    if used.contains(port) {
+                        // Port taken by an older packet: wait in place.
+                        q[write] = e;
+                        write += 1;
+                        continue;
+                    }
                     used.push(port);
-                    self.taken.push((i, port));
+                    arena.slots[e.h as usize].hops += 1;
+                    let next = self
+                        .table
+                        .neighbor_index(node, port)
+                        // lint: allow(P001, xy_route only returns in-mesh ports)
+                        .expect("xy routes stay in mesh");
+                    self.moves.push((next as u32, e.h));
                 }
-            }
-            self.taken.sort_by_key(|&(i, _)| std::cmp::Reverse(i));
-            for &(i, port) in &self.taken {
-                let mut p = self.queues[node].remove(i);
-                p.hops += 1;
-                let next = self
-                    .mesh
-                    .neighbor(here, port)
-                    // lint: allow(P001, xy_route only returns in-mesh ports)
-                    .expect("xy routes stay in mesh");
-                self.moves.push((self.mesh.index(next), p));
+                q.truncate(write);
+                if q.is_empty() {
+                    self.occupied[w] &= !(1 << (node % 64));
+                }
             }
         }
-        for (node, p) in self.moves.drain(..) {
-            self.queues[node].push(p);
+        for (node, h) in self.moves.drain(..) {
+            let p = &arena.slots[h as usize];
+            let class = match self.table.xy_port(node as usize, p.dst as usize) {
+                Some(port) => port as u8,
+                None => CLASS_EJECT,
+            };
+            let e = QEntry { id: p.id, h, class };
+            let q = &mut self.queues[node as usize];
+            let pos = q.partition_point(|&e2| e2.id < e.id);
+            q.insert(pos, e);
+            self.occupied[node as usize / 64] |= 1 << (node % 64);
         }
         self.now += 1;
     }
@@ -450,14 +536,16 @@ pub struct BufferlessMeshSim {
     horizon: u64,
     rng: SmallRng,
     now: u64,
-    at_router: Vec<Vec<Packet>>,
+    table: RouteTable,
+    arena: FlitArena,
+    at_router: Vec<Vec<u32>>,
     next_id: u64,
     injected: u64,
     // Scratch buffers reused across ticks so the steady-state routing
     // loop never allocates. `flits` swaps with each router's vec (both
     // keep their capacity); `moves` is drained every tick.
-    moves: Vec<(usize, Packet)>,
-    flits: Vec<Packet>,
+    moves: Vec<(u32, u32)>,
+    flits: Vec<u32>,
     tracer: Tracer,
 }
 
@@ -472,6 +560,8 @@ impl BufferlessMeshSim {
             horizon,
             rng: SmallRng::seed_from_u64(seed),
             now: 0,
+            table: RouteTable::new(mesh),
+            arena: FlitArena::default(),
             at_router: vec![Vec::new(); mesh.nodes()],
             next_id: 0,
             injected: 0,
@@ -507,7 +597,7 @@ impl Clocked for BufferlessMeshSim {
         Cycle::new(self.now)
     }
 
-    #[allow(clippy::needless_range_loop)] // node ids index parallel per-router state
+    // lint: hot-path
     fn tick_into(&mut self, sink: &mut dyn CompletionSink<Delivered>) {
         let now = self.now;
         let n = self.mesh.nodes();
@@ -521,47 +611,64 @@ impl Clocked for BufferlessMeshSim {
             self.tracer.mark(phase, now);
         }
         let mut deflected_this_cycle = 0u64;
+        let arena = &mut self.arena;
+        // Every node is visited: the injection gate below conditions the
+        // RNG draw on local occupancy, so even idle nodes participate in
+        // the random stream. Idle nodes fall through in a few branches.
         for node in 0..n {
-            let here = self.mesh.coord(node);
             // Swap rather than take: the router keeps the scratch's old
             // (empty) buffer, so capacities circulate instead of being
             // freed and re-grown every cycle.
             std::mem::swap(&mut self.flits, &mut self.at_router[node]);
 
             // Ejection: one flit per cycle may leave the network.
-            if let Some(pos) = self.flits.iter().position(|p| p.dst == here) {
-                let p = self.flits.remove(pos);
-                sink.complete(p.delivered(now));
+            if let Some(pos) = self
+                .flits
+                .iter()
+                .position(|&h| arena.slots[h as usize].dst == node as u32)
+            {
+                let h = self.flits.remove(pos);
+                sink.complete(arena.slots[h as usize].delivered(now));
+                arena.release(h);
             }
 
             // Injection: allowed only if a free output slot will remain.
-            let valid = self.mesh.valid_ports(here);
+            let valid = self.table.valid_ports(node);
             if self.flits.len() < valid.len() && self.rng.gen::<f64>() < self.rate {
-                let dst = pick_destination(self.mesh, self.traffic, node, &mut self.rng);
-                self.flits.push(Packet {
+                let dst = pick_destination(self.mesh, self.traffic, node, &mut self.rng) as u32;
+                let h = arena.alloc(Packet {
                     id: self.next_id,
                     dst,
                     injected_at: now,
                     hops: 0,
                     deflections: 0,
                 });
+                self.flits.push(h);
                 self.next_id += 1;
                 self.injected += 1;
+            }
+            if self.flits.is_empty() {
+                continue;
             }
 
             // Age-ordered port allocation: oldest picks first (BLESS
             // "oldest-first" guarantees livelock freedom).
-            self.flits.sort_by_key(|p| (p.injected_at, p.id));
+            // Ids are allocated monotonically, so id order is age order.
+            self.flits
+                .sort_unstable_by_key(|&h| arena.slots[h as usize].id);
             let mut free = valid;
             for k in 0..self.flits.len() {
-                let mut p = self.flits[k];
-                let productive = self.mesh.productive_ports(here, p.dst);
+                let h = self.flits[k];
+                let productive = self
+                    .table
+                    .productive_ports(node, arena.slots[h as usize].dst as usize);
                 let port = productive
                     .iter()
                     .find(|&pp| free.contains(pp))
                     .or_else(|| free.first())
                     // lint: allow(P001, bufferless injection caps flits at the port count)
                     .expect("flit count never exceeds port count");
+                let p = &mut arena.slots[h as usize];
                 if !productive.contains(port) {
                     p.deflections += 1;
                     deflected_this_cycle += 1;
@@ -569,16 +676,16 @@ impl Clocked for BufferlessMeshSim {
                 free.remove(port);
                 p.hops += 1;
                 let next = self
-                    .mesh
-                    .neighbor(here, port)
+                    .table
+                    .neighbor_index(node, port)
                     // lint: allow(P001, the free-port set only holds valid mesh ports)
                     .expect("free ports are valid");
-                self.moves.push((self.mesh.index(next), p));
+                self.moves.push((next as u32, h));
             }
             self.flits.clear();
         }
-        for (node, p) in self.moves.drain(..) {
-            self.at_router[node].push(p);
+        for (node, h) in self.moves.drain(..) {
+            self.at_router[node as usize].push(h);
         }
         if self.tracer.is_enabled() && deflected_this_cycle > 0 {
             self.tracer

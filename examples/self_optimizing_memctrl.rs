@@ -92,16 +92,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fn clone_box(&self) -> Box<dyn Scheduler> {
             Box::new(Shared(self.0.clone()))
         }
+        fn view_mode(&self) -> intelligent_arch::memctrl::ViewMode {
+            self.0.lock().expect("uncontended").view_mode()
+        }
         fn select(
             &mut self,
-            q: &[intelligent_arch::memctrl::Pending],
-            d: &intelligent_arch::dram::DramModule,
-            now: intelligent_arch::dram::Cycle,
-        ) -> Option<usize> {
-            self.0.lock().expect("uncontended").select(q, d, now)
+            q: &intelligent_arch::memctrl::RequestQueue,
+            view: &intelligent_arch::memctrl::IssueView,
+        ) -> Option<intelligent_arch::memctrl::ReqId> {
+            self.0.lock().expect("uncontended").select(q, view)
         }
         fn on_issue(&mut self, c: bool, now: intelligent_arch::dram::Cycle) {
             self.0.lock().expect("uncontended").on_issue(c, now);
+        }
+        fn on_complete(
+            &mut self,
+            completed: &intelligent_arch::memctrl::Completed,
+            now: intelligent_arch::dram::Cycle,
+        ) {
+            self.0
+                .lock()
+                .expect("uncontended")
+                .on_complete(completed, now);
+        }
+        fn on_tick(&mut self, now: intelligent_arch::dram::Cycle) {
+            self.0.lock().expect("uncontended").on_tick(now);
+        }
+        fn on_advance(
+            &mut self,
+            from: intelligent_arch::dram::Cycle,
+            to: intelligent_arch::dram::Cycle,
+        ) {
+            self.0.lock().expect("uncontended").on_advance(from, to);
         }
     }
     let agent = Arc::new(Mutex::new(RlScheduler::new(RlSchedulerConfig::default())));

@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# Runs every experiment binary in quick mode with --json and concatenates
-# the per-experiment reports into one JSON array, BENCH_PR.json, at the
-# repo root. Attach that file to a PR to snapshot the benchmark state.
+# Runs every experiment in quick mode via the single-process bench_suite
+# runner and concatenates the per-experiment reports into one JSON array,
+# BENCH_PR.json, at the repo root. Attach that file to a PR to snapshot
+# the benchmark state.
 #
-# Parallelism lives *inside* each binary now (the ia-par worker pool,
-# exposed as --threads): the binaries run one at a time, each using every
-# core, and the report bytes are identical at any thread count — so the
-# output is byte-identical to a fully serial run. Each binary's exit code
-# is checked individually: one crashing experiment fails the whole script
-# instead of silently truncating the snapshot.
+# One process instead of one per experiment: fork+exec costs ~2 ms per
+# binary on a loaded host, ~50 ms of pure churn across the suite. The
+# runner writes byte-for-byte the same per-experiment JSON the
+# standalone exp* binaries write (runtime diagnostics never enter the
+# report), so the concatenated snapshot is unchanged. Parallelism lives
+# *inside* the run (the ia-par worker pool, exposed as --threads) and
+# the report bytes are identical at any thread count — byte-identical
+# to a fully serial run.
 #
 # Per-binary wall-clock goes into a *separate* side file, BENCH_WALL.json
 # next to the output: timing is host-dependent and must never contaminate
-# the canonical, byte-stable BENCH_PR.json.
+# the canonical, byte-stable BENCH_PR.json. Timestamps come from bash's
+# $EPOCHREALTIME builtin — forking `date` twice per bin used to charge
+# the suite ~150 ms of measurement overhead on a loaded host.
+#
+# The wall trajectory is self-auditing: each run prints a per-bin delta
+# column against the *previous* BENCH_WALL.json and exits non-zero with
+# a warning list if any bin regressed by more than 25% (bins below a
+# 5 ms absolute delta are exempt — at 2-4 ms per bin, scheduler jitter
+# alone crosses any percentage threshold).
+#
+# The per-op microbenchmarks ride along: after the suite, the
+# ia-microbench harness writes its byte-stable BENCH_MICRO.json next to
+# the output (deterministic checksums only — its wall numbers stay in
+# its stdout table). Its wall time is recorded as its own row, after
+# suite_total, so the suite number stays comparable across PRs.
 #
 # Usage: scripts/bench_snapshot.sh [output-path]
 set -euo pipefail
@@ -23,7 +40,13 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
 cd "$repo_root"
-cargo build --release -q -p ia-bench
+cargo build --release -q -p ia-bench -p ia-microbench
+
+# Millisecond timestamp from the shell builtin: no fork, ~30 µs.
+now_ms() {
+    local t=$EPOCHREALTIME
+    echo $(( ${t%.*} * 1000 + 10#${t#*.} / 1000 ))
+}
 
 bins=()
 for src in crates/bench/src/bin/exp*.rs; do
@@ -32,26 +55,70 @@ done
 
 threads="$(nproc 2>/dev/null || echo 1)"
 wall="$(dirname "$out")/BENCH_WALL.json"
+micro="$(dirname "$out")/BENCH_MICRO.json"
+
+# Previous per-bin walls, for the delta column (missing file = no deltas).
+declare -A prev_wall=()
+if [ -f "$wall" ]; then
+    while IFS=' ' read -r bin ms; do
+        prev_wall["$bin"]="$ms"
+    done < <(sed -n 's/.*"bin": "\([^"]*\)", "wall_ms": \([0-9]*\).*/\1 \2/p' "$wall")
+fi
+
 failed=()
-wall_entries=()
-suite_start_ms="$(date +%s%3N)"
-for bin in "${bins[@]}"; do
-    echo "running $bin --quick --threads $threads" >&2
-    start_ms="$(date +%s%3N)"
-    if ! "target/release/$bin" --quick --threads "$threads" \
-            --json "$tmpdir/$bin.json" > /dev/null; then
-        echo "FAILED: $bin" >&2
-        failed+=("$bin")
+regressed=()
+names=()
+walls=()
+
+record() {
+    local bin="$1" ms="$2"
+    names+=("$bin")
+    walls+=("$ms")
+    local prev="${prev_wall[$bin]:-}"
+    local delta="n/a"
+    if [ -n "$prev" ] && [ "$prev" -gt 0 ]; then
+        # Pure-builtin percent (tenths, truncated): record() runs inside
+        # the timed suite window, so it must not fork.
+        local dt=$(( (ms - prev) * 1000 / prev )) sign="+"
+        if [ "$dt" -lt 0 ]; then sign="-"; dt=$(( -dt )); fi
+        delta="${sign}$(( dt / 10 )).$(( dt % 10 ))%"
+        if [ "$ms" -gt $(( prev + prev / 4 )) ] && [ $(( ms - prev )) -ge 5 ]; then
+            regressed+=("$bin: ${prev} ms -> ${ms} ms ($delta)")
+        fi
     fi
-    end_ms="$(date +%s%3N)"
-    wall_entries+=("  {\"bin\": \"$bin\", \"wall_ms\": $((end_ms - start_ms))}")
-done
+    printf '%-28s %5d ms   %s\n' "$bin" "$ms" "$delta" >&2
+}
+
+suite_start_ms="$(now_ms)"
+if ! target/release/bench_suite --quick --threads "$threads" \
+        --json-dir "$tmpdir" > "$tmpdir/walls.txt"; then
+    echo "FAILED: bench_suite" >&2
+    failed+=("bench_suite")
+fi
+suite_end_ms="$(now_ms)"
+# Per-experiment rows come from the runner's own stopwatch (fork-free);
+# they are recorded here, outside the timed window.
+while IFS=' ' read -r bin ms; do
+    record "$bin" "$ms"
+done < "$tmpdir/walls.txt"
 # The headline row perf work optimizes against: one number for the whole
-# suite, same units and file as the per-binary rows.
-suite_end_ms="$(date +%s%3N)"
-wall_entries+=("  {\"bin\": \"suite_total\", \"wall_ms\": $((suite_end_ms - suite_start_ms))}")
+# suite, same units and file as the per-experiment rows.
+record "suite_total" $(( suite_end_ms - suite_start_ms ))
+
+# Per-op microbenches: byte-stable JSON (checksums, no timing) to
+# BENCH_MICRO.json; the ns/op table goes to stderr for humans.
+micro_start_ms="$(now_ms)"
+if ! target/release/microbench --iters 4096 --k 5 --json "$micro.tmp" >&2; then
+    echo "FAILED: microbench" >&2
+    failed+=("microbench")
+else
+    mv "$micro.tmp" "$micro"
+fi
+micro_end_ms="$(now_ms)"
+record "microbench" $(( micro_end_ms - micro_start_ms ))
+
 if [ "${#failed[@]}" -gt 0 ]; then
-    echo "aborting: ${#failed[@]} experiment(s) failed: ${failed[*]}" >&2
+    echo "aborting: ${#failed[@]} step(s) failed: ${failed[*]}" >&2
     exit 1
 fi
 
@@ -74,8 +141,8 @@ mv "$out.tmp" "$out"
 {
     echo "["
     sep=""
-    for entry in "${wall_entries[@]}"; do
-        printf '%s%s' "$sep" "$entry"
+    for i in "${!names[@]}"; do
+        printf '%s  {"bin": "%s", "wall_ms": %d}' "$sep" "${names[$i]}" "${walls[$i]}"
         sep=",
 "
     done
@@ -86,3 +153,13 @@ mv "$wall.tmp" "$wall"
 
 echo "wrote $out (${#bins[@]} experiments, --threads $threads)" >&2
 echo "wrote $wall (per-binary wall-clock, host-dependent)" >&2
+echo "wrote $micro (deterministic per-op checksums)" >&2
+
+if [ "${#regressed[@]}" -gt 0 ]; then
+    echo "" >&2
+    echo "WALL REGRESSION: ${#regressed[@]} bin(s) regressed >25% vs the previous BENCH_WALL.json:" >&2
+    for r in "${regressed[@]}"; do
+        echo "  $r" >&2
+    done
+    exit 1
+fi

@@ -40,10 +40,24 @@ cargo test -q -p ia-sim watchdog
 echo "== event wheel vs per-cycle scan (order-equivalence property)"
 cargo test -q -p ia-sim --test wheel_equivalence
 
+echo "== indexed ready-lists vs linear scan (scheduler pick equivalence)"
+cargo test -q -p ia-memctrl --test scheduler_queue_equivalence
+
+echo "== microbench smoke (--iters 1 run + JSON schema check)"
+micro_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$micro_dir"' EXIT
+cargo run -q -p ia-microbench --bin microbench -- \
+    --iters 1 --k 2 --json "$micro_dir/micro.json" > /dev/null
+# Schema: a non-empty array of {bench, iters, ops, checksum} objects.
+for key in bench iters ops checksum; do
+    grep -q "\"$key\":" "$micro_dir/micro.json" \
+        || { echo "BENCH_MICRO schema: missing key $key"; exit 1; }
+done
+
 echo "== warm-fork vs cold construction (snapshot bit-identity)"
 cargo test -q -p ia-memctrl --test snapshot_fork
 fork_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir" "$fork_dir"' EXIT
+trap 'rm -rf "$trace_dir" "$micro_dir" "$fork_dir"' EXIT
 # The warm-forked exp05 must emit byte-identical reports on back-to-back
 # runs (fork determinism is what makes the sweep's memoization sound).
 cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
