@@ -210,7 +210,9 @@ fn compute_cells(quick: bool) -> Vec<Cell> {
         // lint: allow(P001, ddr3_1600 is a valid preset)
         .expect("valid config")
         .with_refresh_mode(RefreshMode::AllBank);
-    let shared_trace = vec![trace(&config, quick)];
+    // Routed through the record/replay session so `--record-trace` /
+    // `--replay-trace` cover the fault-injection workload too.
+    let shared_trace = crate::replay::intercept(0xE24, || vec![trace(&config, quick)]);
     let jobs: Vec<(usize, f64, Mitigation, MemoryController)> = rates(quick)
         .iter()
         .enumerate()

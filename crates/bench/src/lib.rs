@@ -39,7 +39,9 @@ pub mod exp22_runahead;
 pub mod exp23_gsdram;
 pub mod exp24_fault_injection;
 
+pub mod fuzz;
 pub mod mixes;
+pub mod replay;
 pub mod report;
 
 /// Formats a ratio as `N.NNx`.

@@ -12,6 +12,11 @@
 //! * `--csv <path>` — write the report's table (or metrics) as CSV;
 //! * `--trace <path>` — write an `ia-trace` Chrome trace-event JSON
 //!   file of the run (cycle-exact, byte-identical across `--threads`);
+//! * `--record-trace <path>` — record the run's generated workloads as
+//!   an `ia-tracefmt` artifact (see `crates/tracefmt/FORMAT.md`);
+//! * `--replay-trace <path>` — drive the run from a recorded artifact
+//!   instead of generating workloads (mutually exclusive with
+//!   `--record-trace`);
 //! * `--profile` — print the cycle-attribution profile and a `trace.*`
 //!   telemetry snapshot to stderr.
 //!
@@ -294,6 +299,8 @@ struct CliOptions {
     json: Option<String>,
     csv: Option<String>,
     trace: Option<String>,
+    record_trace: Option<String>,
+    replay_trace: Option<String>,
     profile: bool,
 }
 
@@ -308,7 +315,8 @@ fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
         match args[i].as_str() {
             "--quick" => opts.quick = true,
             "--profile" => opts.profile = true,
-            flag @ ("--threads" | "--json" | "--csv" | "--trace") => {
+            flag @ ("--threads" | "--json" | "--csv" | "--trace" | "--record-trace"
+            | "--replay-trace") => {
                 i += 1;
                 let Some(value) = args.get(i) else {
                     return Err(format!("{flag} expects a value"));
@@ -317,6 +325,8 @@ fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                     "--threads" => &mut opts.threads,
                     "--json" => &mut opts.json,
                     "--csv" => &mut opts.csv,
+                    "--record-trace" => &mut opts.record_trace,
+                    "--replay-trace" => &mut opts.replay_trace,
                     _ => &mut opts.trace,
                 };
                 *slot = Some(value.clone());
@@ -324,11 +334,19 @@ fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --quick, --threads <n>, \
-                     --json <path>, --csv <path>, --trace <path>, --profile)"
+                     --json <path>, --csv <path>, --trace <path>, \
+                     --record-trace <path>, --replay-trace <path>, --profile)"
                 ))
             }
         }
         i += 1;
+    }
+    if opts.record_trace.is_some() && opts.replay_trace.is_some() {
+        return Err(
+            "--record-trace and --replay-trace are mutually exclusive (a run either \
+             produces the artifact or consumes it)"
+                .to_owned(),
+        );
     }
     Ok(opts)
 }
@@ -341,6 +359,9 @@ fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
 /// parallelism). `--trace <path>` records an `ia-trace` session during
 /// the run and writes it as Chrome trace-event JSON; `--profile`
 /// additionally prints the cycle-attribution profile to stderr.
+/// `--record-trace <path>` captures the run's workloads as an
+/// `ia-tracefmt` artifact and `--replay-trace <path>` drives the run
+/// from one (mutually exclusive — rejected with exit status `2`).
 /// Parallel-execution diagnostics for the invocation are printed to
 /// stderr and attached to the report as
 /// [runtime metrics](ExperimentReport::runtime_metric).
@@ -369,6 +390,15 @@ pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> Experi
             });
         ia_par::set_threads(n);
     }
+    if let Some(path) = &opts.replay_trace {
+        if let Err(e) = crate::replay::start_replay(path) {
+            eprintln!("error: loading replay trace {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if opts.record_trace.is_some() {
+        crate::replay::start_record();
+    }
     let tracing = opts.trace.is_some() || opts.profile;
     let _ = ia_par::ledger::take();
     if tracing {
@@ -376,6 +406,14 @@ pub fn cli(run: impl FnOnce(bool) -> String, report: impl FnOnce(bool) -> Experi
         ia_trace::set_capture(true);
     }
     print!("{}", run(opts.quick));
+    if let Some(path) = &opts.record_trace {
+        // Workload construction happens inside `run` (and is memoized
+        // across `report`), so the session is complete here.
+        if let Err(e) = crate::replay::finish_record(path) {
+            eprintln!("error: writing recorded trace {path}: {e}");
+            std::process::exit(2);
+        }
+    }
     if tracing {
         // Capture must be off before `report(quick)` re-runs the
         // experiment below, or the session would hold everything twice.
@@ -546,6 +584,8 @@ mod tests {
             "b.csv",
             "--trace",
             "t.json",
+            "--record-trace",
+            "w.trace",
             "--profile",
         ]))
         .expect("all flags are valid");
@@ -554,6 +594,10 @@ mod tests {
         assert_eq!(opts.json.as_deref(), Some("a.json"));
         assert_eq!(opts.csv.as_deref(), Some("b.csv"));
         assert_eq!(opts.trace.as_deref(), Some("t.json"));
+        assert_eq!(opts.record_trace.as_deref(), Some("w.trace"));
+        assert_eq!(opts.replay_trace, None);
+        let opts = parse_cli(&argv(&["--replay-trace", "w.trace"])).expect("valid");
+        assert_eq!(opts.replay_trace.as_deref(), Some("w.trace"));
         assert_eq!(parse_cli(&argv(&[])).unwrap(), CliOptions::default());
     }
 
@@ -561,12 +605,31 @@ mod tests {
     fn parse_cli_rejects_unknown_flags_and_missing_values() {
         let err = parse_cli(&argv(&["--qiuck"])).unwrap_err();
         assert!(err.contains("unknown flag `--qiuck`"), "{err}");
-        for flag in ["--threads", "--json", "--csv", "--trace"] {
+        for flag in [
+            "--threads",
+            "--json",
+            "--csv",
+            "--trace",
+            "--record-trace",
+            "--replay-trace",
+        ] {
             let err = parse_cli(&argv(&[flag])).unwrap_err();
             assert!(err.contains("expects a value"), "{flag}: {err}");
         }
         // A stray positional argument is as suspect as a typoed flag.
         assert!(parse_cli(&argv(&["quick"])).is_err());
+    }
+
+    #[test]
+    fn parse_cli_rejects_record_and_replay_together() {
+        let err = parse_cli(&argv(&[
+            "--record-trace",
+            "a.trace",
+            "--replay-trace",
+            "b.trace",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -49,6 +49,70 @@ fn value_flags_require_a_value() {
     assert_usage_error(&["--quick", "--trace"], "--trace expects a value");
     assert_usage_error(&["--json"], "--json expects a value");
     assert_usage_error(&["--csv"], "--csv expects a value");
+    assert_usage_error(&["--record-trace"], "--record-trace expects a value");
+    assert_usage_error(&["--replay-trace"], "--replay-trace expects a value");
+}
+
+#[test]
+fn record_and_replay_together_are_a_usage_error() {
+    assert_usage_error(
+        &["--record-trace", "a.trace", "--replay-trace", "b.trace"],
+        "mutually exclusive",
+    );
+    // Order must not matter.
+    assert_usage_error(
+        &[
+            "--quick",
+            "--replay-trace",
+            "b.trace",
+            "--record-trace",
+            "a.trace",
+        ],
+        "mutually exclusive",
+    );
+}
+
+#[test]
+fn replaying_a_missing_trace_exits_2_with_a_structured_error() {
+    let out = exp05(&[
+        "--quick",
+        "--replay-trace",
+        "/nonexistent-dir/missing.trace",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: loading replay trace /nonexistent-dir/missing.trace"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(
+        out.stdout.is_empty(),
+        "must not run the experiment with a bad replay artifact"
+    );
+}
+
+#[test]
+fn recorded_trace_replays_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("ia-cli-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir: {e}"));
+    let trace = dir.join("exp05.trace");
+    let trace = trace.to_str().unwrap_or("bad-path");
+    let rec = exp05(&["--quick", "--record-trace", trace]);
+    assert!(rec.status.success(), "record run failed: {:?}", rec.status);
+    assert!(!rec.stdout.is_empty(), "record run must still report");
+    let rep = exp05(&["--quick", "--replay-trace", trace]);
+    assert!(rep.status.success(), "replay run failed: {:?}", rep.status);
+    assert_eq!(
+        rec.stdout, rep.stdout,
+        "replayed report must be byte-identical to the recorded run's"
+    );
+    // The artifact itself must be a valid v1 trace.
+    let bytes = std::fs::read(trace).unwrap_or_else(|e| panic!("read trace: {e}"));
+    let reader = ia_tracefmt::TraceReader::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("recorded artifact must decode: {e}"));
+    assert!(!reader.records().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -45,6 +45,7 @@ mod metrics;
 pub mod pool;
 mod power;
 mod reliability;
+pub mod replay;
 mod request;
 pub mod scheduler;
 
@@ -59,6 +60,10 @@ pub use pool::{IssueView, ReqId, RequestQueue, ViewMode};
 pub use power::{epoch_outcome, standard_points, EpochOutcome, FrequencyPoint, MemScaleGovernor};
 pub use reliability::{
     Mitigation, ReliabilityConfig, ReliabilityPipeline, ReliabilityReport, ReliabilityStats,
+};
+pub use replay::{
+    clear_replay_context, record_workload, replay_context, set_replay_context,
+    workload_from_records, ReplayContext,
 };
 pub use request::{Completed, MemRequest, Pending};
 pub use scheduler::{

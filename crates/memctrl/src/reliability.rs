@@ -113,6 +113,12 @@ pub struct ReliabilityStats {
     /// uncorrectable after retry, silent corruption (no ECC), or
     /// miscorrection.
     pub uncorrected: u64,
+    /// The silent subset of `uncorrected` under ECC: reads where the
+    /// decoder claimed success but delivered wrong data (flips aliased
+    /// to a valid codeword, or 3+ flips steered correction to the wrong
+    /// neighbor). The fuzz harness's no-silent-corruption oracle pins
+    /// this to zero under the full mitigation ladder.
+    pub miscorrections: u64,
     /// Scrub write-backs issued by the pipeline after a correction.
     pub scrubs: u64,
     /// Rows remapped to the spare pool after persistent uncorrectables.
@@ -385,6 +391,7 @@ impl ReliabilityPipeline {
                 // necessarily wrong (any flip changes the codeword).
                 debug_assert_ne!(data, truth);
                 self.stats.uncorrected += 1;
+                self.stats.miscorrections += 1;
             }
             DecodeOutcome::Corrected(data) if data == truth => {
                 self.stats.corrected += 1;
@@ -394,6 +401,7 @@ impl ReliabilityPipeline {
                 // Miscorrection: 3+ flips steered the decoder to the
                 // wrong neighbor. Delivered data is wrong.
                 self.stats.uncorrected += 1;
+                self.stats.miscorrections += 1;
             }
             DecodeOutcome::DetectedUncorrectable => {
                 // Retry: a second read does not see transient errors.
@@ -408,7 +416,13 @@ impl ReliabilityPipeline {
                         self.stats.corrected += 1;
                         self.repair(&site, column, at);
                     }
-                    DecodeOutcome::Corrected(_) | DecodeOutcome::DetectedUncorrectable => {
+                    DecodeOutcome::Corrected(_) => {
+                        // A retry miscorrection is still silent wrong data.
+                        self.stats.uncorrected += 1;
+                        self.stats.miscorrections += 1;
+                        self.retire(channel, rank, bank, row);
+                    }
+                    DecodeOutcome::DetectedUncorrectable => {
                         self.stats.uncorrected += 1;
                         self.retire(channel, rank, bank, row);
                     }
@@ -512,6 +526,7 @@ impl MetricSource for ReliabilityPipeline {
         scope.set_counter("retries", self.stats.retries);
         scope.set_counter("retry_recovered", self.stats.retry_recovered);
         scope.set_counter("uncorrected", self.stats.uncorrected);
+        scope.set_counter("miscorrections", self.stats.miscorrections);
         scope.set_counter("scrubs", self.stats.scrubs);
         scope.set_counter("remaps", self.stats.remaps);
         scope.set_counter("spare_exhausted", self.stats.spare_exhausted);

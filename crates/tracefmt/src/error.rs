@@ -1,0 +1,111 @@
+//! Structured decode/IO errors — the crate's no-panic contract.
+
+use std::error::Error;
+use std::fmt;
+
+/// Every way a trace can fail to read or write. The decoder returns
+/// these for *any* malformed input; it never panics, so corpus files,
+/// fuzz inputs, and network-delivered traces are safe to feed in raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first 8 bytes are not the trace magic.
+    BadMagic,
+    /// The header's version field names a version this decoder does not
+    /// understand.
+    UnknownVersion(u32),
+    /// The input ended in the middle of the named field.
+    Truncated(&'static str),
+    /// A varint for the named field encoded more than 64 bits.
+    VarintOverflow(&'static str),
+    /// A record-section tag byte was neither a record nor the footer.
+    BadTag(u8),
+    /// A record's flags byte set bits reserved by v1.
+    ReservedFlags(u8),
+    /// A record's stream id does not fit in 32 bits.
+    StreamTooLarge(u64),
+    /// The footer's record count disagrees with the records present.
+    CountMismatch {
+        /// Count the footer declared.
+        expected: u64,
+        /// Records actually decoded.
+        found: u64,
+    },
+    /// The footer checksum does not match the record section.
+    ChecksumMismatch {
+        /// Checksum the footer declared.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
+    /// Well-formed trace followed by garbage bytes.
+    TrailingBytes(usize),
+    /// Reading or writing the underlying file failed.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => f.write_str("not a trace file (bad magic)"),
+            TraceError::UnknownVersion(v) => write!(f, "unknown trace format version {v}"),
+            TraceError::Truncated(what) => write!(f, "truncated trace: input ended in {what}"),
+            TraceError::VarintOverflow(what) => {
+                write!(f, "malformed trace: varint overflow in {what}")
+            }
+            TraceError::BadTag(t) => write!(f, "malformed trace: unknown record tag {t:#04x}"),
+            TraceError::ReservedFlags(b) => {
+                write!(f, "malformed trace: reserved flag bits set ({b:#04x})")
+            }
+            TraceError::StreamTooLarge(s) => {
+                write!(f, "malformed trace: stream id {s} exceeds 32 bits")
+            }
+            TraceError::CountMismatch { expected, found } => write!(
+                f,
+                "trace footer declares {expected} records but {found} are present"
+            ),
+            TraceError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "trace checksum mismatch: footer {expected:#018x}, computed {found:#018x}"
+            ),
+            TraceError::TrailingBytes(n) => {
+                write!(f, "malformed trace: {n} trailing bytes after footer")
+            }
+            TraceError::Io(msg) => write!(f, "trace io error: {msg}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_and_is_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<TraceError>();
+        let variants = [
+            TraceError::BadMagic,
+            TraceError::UnknownVersion(9),
+            TraceError::Truncated("header"),
+            TraceError::VarintOverflow("addr delta"),
+            TraceError::BadTag(0x7F),
+            TraceError::ReservedFlags(0xFE),
+            TraceError::StreamTooLarge(1 << 40),
+            TraceError::CountMismatch {
+                expected: 3,
+                found: 2,
+            },
+            TraceError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+            TraceError::TrailingBytes(4),
+            TraceError::Io("denied".to_owned()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

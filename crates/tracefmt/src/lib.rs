@@ -1,0 +1,101 @@
+//! # ia-tracefmt — the record/replay trace IR
+//!
+//! A compact, versioned, **zero-dependency** binary format for memory
+//! request traces, so any workload run can be recorded once and replayed
+//! everywhere: experiments become replayable artifacts, external traces
+//! become ingestible, and fuzzing corpora become plain files.
+//!
+//! ## Shape
+//!
+//! * [`TraceRecord`] — one memory request: address, read/write
+//!   ([`TraceOp`]), originating tenant/stream id, and issue cycle.
+//! * [`TraceWriter`] — streams records into the v1 wire layout:
+//!   magic + version + seed header, delta-encoded varint records, and a
+//!   checksummed footer (see `FORMAT.md` for the byte-level spec).
+//! * [`TraceReader`] — validates and decodes a whole trace; every
+//!   malformed input (truncation, bad magic, unknown version, checksum
+//!   mismatch, …) is a structured [`TraceError`] — the decoder never
+//!   panics, which is what lets fuzzers and CI feed it garbage.
+//!
+//! ## Example
+//!
+//! ```
+//! use ia_tracefmt::{TraceOp, TraceReader, TraceRecord, TraceWriter};
+//!
+//! # fn main() -> Result<(), ia_tracefmt::TraceError> {
+//! let mut w = TraceWriter::new(42);
+//! w.push(&TraceRecord::new(0x1000, TraceOp::Read, 0, 10));
+//! w.push(&TraceRecord::new(0x1040, TraceOp::Write, 1, 11));
+//! let bytes = w.finish();
+//!
+//! let r = TraceReader::from_bytes(&bytes)?;
+//! assert_eq!(r.seed(), 42);
+//! assert_eq!(r.records().len(), 2);
+//! assert_eq!(r.records()[0].addr, 0x1000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod reader;
+mod record;
+mod varint;
+mod writer;
+
+pub use error::TraceError;
+pub use reader::TraceReader;
+pub use record::{TraceOp, TraceRecord};
+pub use writer::TraceWriter;
+
+/// The 8-byte file magic (`"IATRACE\0"`).
+pub const MAGIC: [u8; 8] = *b"IATRACE\0";
+
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed header size in bytes: magic (8) + version (4) + seed (8).
+pub const HEADER_LEN: usize = 20;
+
+/// Record-section tag introducing one record.
+pub(crate) const TAG_RECORD: u8 = 0x01;
+
+/// Record-section tag introducing the footer.
+pub(crate) const TAG_FOOTER: u8 = 0x00;
+
+/// FNV-1a 64 over `bytes` — the footer checksum. Public so external
+/// tooling can verify or produce traces without linking the writer.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_fnv1a64() {
+        // Reference values for the FNV-1a 64 test vectors.
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = TraceWriter::new(7).finish();
+        assert_eq!(bytes.len(), HEADER_LEN + 1 + 1 + 8); // footer tag + count + checksum
+        let r = TraceReader::from_bytes(&bytes).expect("valid");
+        assert_eq!(r.seed(), 7);
+        assert_eq!(r.version(), VERSION);
+        assert!(r.records().is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! LEB128 varints and zigzag deltas — the wire primitives of the v1
+//! record section.
+
+use crate::TraceError;
+
+/// Appends `v` as an unsigned LEB128 varint (1–10 bytes).
+pub(crate) fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` zigzag-mapped (so small-magnitude deltas of either sign
+/// stay short).
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, zigzag(v));
+}
+
+/// Maps a signed value onto the unsigned varint domain.
+#[must_use]
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Reads an unsigned LEB128 varint from `data` starting at `*pos`,
+/// advancing `*pos` past it. `what` names the field for error context.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] if the input ends mid-varint;
+/// [`TraceError::VarintOverflow`] if the encoding exceeds 64 bits.
+pub(crate) fn get_u64(data: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(TraceError::Truncated(what));
+        };
+        *pos += 1;
+        let payload = u64::from(byte & 0x7F);
+        // The 10th byte (shift 63) may only carry one payload bit.
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(TraceError::VarintOverflow(what));
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a zigzag varint (see [`get_u64`] for the error contract).
+pub(crate) fn get_i64(data: &[u8], pos: &mut usize, what: &'static str) -> Result<i64, TraceError> {
+    Ok(unzigzag(get_u64(data, pos, what)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u64(v: u64) {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos, "t").expect("valid"), v);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn u64_round_trips_across_the_domain() {
+        for v in [0, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            round_trip_u64(v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trips_and_zigzag_is_compact() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_i64(&buf, &mut pos, "t").expect("valid"), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_errors() {
+        let mut pos = 0;
+        assert_eq!(
+            get_u64(&[0x80, 0x80], &mut pos, "field"),
+            Err(TraceError::Truncated("field"))
+        );
+        // 11 continuation bytes: more than 64 bits of payload.
+        let overlong = [0xFFu8; 10];
+        let mut pos = 0;
+        assert_eq!(
+            get_u64(&overlong, &mut pos, "field"),
+            Err(TraceError::VarintOverflow("field"))
+        );
+        // 10 bytes whose last byte carries more than the 1 spare bit.
+        let mut ten = vec![0x80u8; 9];
+        ten.push(0x02);
+        let mut pos = 0;
+        assert_eq!(
+            get_u64(&ten, &mut pos, "field"),
+            Err(TraceError::VarintOverflow("field"))
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The encoder: streams records into the v1 wire layout.
+
+use std::path::Path;
+
+use crate::record::TraceRecord;
+use crate::{checksum, varint, TraceError, HEADER_LEN, MAGIC, TAG_FOOTER, TAG_RECORD, VERSION};
+
+/// Streams [`TraceRecord`]s into the v1 binary layout: call
+/// [`push`](TraceWriter::push) per record, then
+/// [`finish`](TraceWriter::finish) (or
+/// [`write_to_path`](TraceWriter::write_to_path)) to seal the trace
+/// with its checksummed footer.
+///
+/// Addresses and issue cycles are delta-encoded against the previous
+/// record (zigzag varints), so the common patterns — striding streams,
+/// monotone clocks — cost one or two bytes per field.
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    seed: u64,
+    body: Vec<u8>,
+    count: u64,
+    prev_addr: u64,
+    prev_at: u64,
+}
+
+impl TraceWriter {
+    /// Starts a trace whose header records `seed` — the generator seed
+    /// (or campaign id) that produced the workload, kept with the data
+    /// so a replayed artifact is self-describing.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TraceWriter {
+            seed,
+            body: Vec::new(),
+            count: 0,
+            prev_addr: 0,
+            prev_at: 0,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, rec: &TraceRecord) {
+        self.body.push(TAG_RECORD);
+        self.body.push(rec.op.flag_bit());
+        varint::put_u64(&mut self.body, u64::from(rec.stream));
+        varint::put_i64(&mut self.body, rec.addr.wrapping_sub(self.prev_addr) as i64);
+        varint::put_i64(&mut self.body, rec.at.wrapping_sub(self.prev_at) as i64);
+        self.prev_addr = rec.addr;
+        self.prev_at = rec.at;
+        self.count += 1;
+    }
+
+    /// Appends every record of `recs`.
+    pub fn extend(&mut self, recs: &[TraceRecord]) {
+        for r in recs {
+            self.push(r);
+        }
+    }
+
+    /// Records written so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no record has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Seals the trace: header, record section, and the footer carrying
+    /// the record count and the FNV-1a checksum of the record section.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.body.len() + 16);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        let sum = checksum(&self.body);
+        out.extend_from_slice(&self.body);
+        out.push(TAG_FOOTER);
+        varint::put_u64(&mut out, self.count);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Seals the trace and writes it to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] if the file cannot be written.
+    pub fn write_to_path(self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.finish())
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceOp;
+
+    #[test]
+    fn layout_is_header_records_footer() {
+        let mut w = TraceWriter::new(0x5EED);
+        w.push(&TraceRecord::new(64, TraceOp::Read, 0, 1));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        let bytes = w.finish();
+        assert_eq!(&bytes[..8], &MAGIC);
+        assert_eq!(bytes[8..12], VERSION.to_le_bytes());
+        assert_eq!(bytes[12..20], 0x5EEDu64.to_le_bytes());
+        assert_eq!(bytes[HEADER_LEN], TAG_RECORD);
+        // Record: tag, flags(read=0), stream=0, addr delta 64 (zigzag
+        // 128 -> 2 bytes), at delta 1 (zigzag 2 -> 1 byte) = 6 bytes.
+        assert_eq!(
+            &bytes[HEADER_LEN..HEADER_LEN + 6],
+            &[TAG_RECORD, 0x00, 0x00, 0x80, 0x01, 0x02]
+        );
+        let footer_at = HEADER_LEN + 6;
+        assert_eq!(bytes[footer_at], TAG_FOOTER);
+        assert_eq!(bytes[footer_at + 1], 1, "count varint");
+        assert_eq!(bytes.len(), footer_at + 2 + 8);
+    }
+
+    #[test]
+    fn deltas_reset_nothing_and_wrap_cleanly() {
+        let mut w = TraceWriter::new(0);
+        w.extend(&[
+            TraceRecord::new(u64::MAX, TraceOp::Write, 1, 0),
+            TraceRecord::new(0, TraceOp::Read, 1, u64::MAX),
+        ]);
+        // Wrapping deltas must not panic and must round-trip (covered by
+        // the reader tests); here we only assert the writer accepts them.
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn write_to_path_reports_io_errors() {
+        let w = TraceWriter::new(0);
+        let err = w
+            .write_to_path("/nonexistent-dir/trace.bin")
+            .expect_err("unwritable path");
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+}

@@ -1,0 +1,187 @@
+//! The malformed-input corpus: every corruption must surface as a
+//! structured [`TraceError`] — never a panic, never a silent success.
+
+use ia_tracefmt::{TraceError, TraceOp, TraceReader, TraceRecord, TraceWriter, HEADER_LEN};
+use proptest::prelude::*;
+
+fn valid_trace() -> Vec<u8> {
+    let mut w = TraceWriter::new(0xDEAD_BEEF);
+    w.extend(&[
+        TraceRecord::new(0x1000, TraceOp::Read, 0, 1),
+        TraceRecord::new(0x1040, TraceOp::Write, 1, 2),
+        TraceRecord::new(0x2000, TraceOp::Read, 2, 3),
+        TraceRecord::new(0x2040, TraceOp::Write, 3, 5),
+    ]);
+    w.finish()
+}
+
+#[test]
+fn truncation_at_every_length_is_a_structured_error() {
+    let bytes = valid_trace();
+    for cut in 0..bytes.len() {
+        let err = TraceReader::from_bytes(&bytes[..cut])
+            .expect_err(&format!("prefix of {cut} bytes must not decode"));
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated(_)
+                    | TraceError::BadMagic
+                    | TraceError::CountMismatch { .. }
+                    | TraceError::ChecksumMismatch { .. }
+            ),
+            "prefix of {cut} bytes gave unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let mut bytes = valid_trace();
+    for i in 0..8 {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0xFF;
+        assert_eq!(
+            TraceReader::from_bytes(&mutated).expect_err("corrupt magic"),
+            TraceError::BadMagic,
+            "magic byte {i}"
+        );
+    }
+    // Entirely different file type.
+    bytes[..8].copy_from_slice(b"RIFF\0\0\0\0");
+    assert_eq!(
+        TraceReader::from_bytes(&bytes).expect_err("other format"),
+        TraceError::BadMagic
+    );
+}
+
+#[test]
+fn unknown_version_is_rejected_with_the_version() {
+    let mut bytes = valid_trace();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert_eq!(
+        TraceReader::from_bytes(&bytes).expect_err("future version"),
+        TraceError::UnknownVersion(99)
+    );
+    bytes[8..12].copy_from_slice(&0u32.to_le_bytes());
+    assert_eq!(
+        TraceReader::from_bytes(&bytes).expect_err("version zero"),
+        TraceError::UnknownVersion(0)
+    );
+}
+
+#[test]
+fn flipped_checksum_is_a_checksum_mismatch() {
+    let mut bytes = valid_trace();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(matches!(
+        TraceReader::from_bytes(&bytes).expect_err("bad checksum"),
+        TraceError::ChecksumMismatch { .. }
+    ));
+}
+
+#[test]
+fn corrupted_record_bytes_never_decode_silently() {
+    // Flipping any single record-section byte must fail decode: either a
+    // structural error, or — if the records still parse — the checksum
+    // catches it. Nothing may decode to different records successfully.
+    let bytes = valid_trace();
+    let footer_start = bytes.len() - 1 - 8 - 1; // tag + count(1B here) + sum
+    for i in HEADER_LEN..footer_start {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            assert!(
+                TraceReader::from_bytes(&mutated).is_err(),
+                "flipping bit {bit} of byte {i} decoded successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = valid_trace();
+    bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+    assert_eq!(
+        TraceReader::from_bytes(&bytes).expect_err("trailing bytes"),
+        TraceError::TrailingBytes(3)
+    );
+}
+
+#[test]
+fn wrong_footer_count_is_a_count_mismatch() {
+    let bytes = valid_trace();
+    // Footer layout here: [tag 0x00][count varint 1B][checksum 8B].
+    let count_at = bytes.len() - 8 - 1;
+    let mut mutated = bytes.clone();
+    mutated[count_at] = 7;
+    assert_eq!(
+        TraceReader::from_bytes(&mutated).expect_err("wrong count"),
+        TraceError::CountMismatch {
+            expected: 7,
+            found: 4,
+        }
+    );
+}
+
+#[test]
+fn reserved_flag_bits_and_bad_tags_are_rejected() {
+    let bytes = valid_trace();
+    // First record starts right after the header: [tag][flags]...
+    let mut mutated = bytes.clone();
+    mutated[HEADER_LEN + 1] |= 0x80;
+    assert!(matches!(
+        TraceReader::from_bytes(&mutated).expect_err("reserved flags"),
+        TraceError::ReservedFlags(_) | TraceError::ChecksumMismatch { .. }
+    ));
+    let mut mutated = bytes;
+    mutated[HEADER_LEN] = 0x7E;
+    assert!(matches!(
+        TraceReader::from_bytes(&mutated).expect_err("bad tag"),
+        TraceError::BadTag(0x7E) | TraceError::ChecksumMismatch { .. }
+    ));
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_truncation_errors() {
+    assert!(TraceReader::from_bytes(&[]).is_err());
+    let header: Vec<u8> = ia_tracefmt::MAGIC
+        .iter()
+        .copied()
+        .chain(1u32.to_le_bytes())
+        .chain(0u64.to_le_bytes())
+        .collect();
+    for n in 1..HEADER_LEN {
+        assert!(
+            TraceReader::from_bytes(&header[..n]).is_err(),
+            "{n}-byte header prefix decoded"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // The decoder's no-panic contract, checked the fuzzer's way: random
+    // bytes and random single-byte mutations of a valid trace must always
+    // return (Ok or structured Err) — the harness would abort the test
+    // process on any panic.
+    #[test]
+    fn random_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TraceReader::from_bytes(&data);
+    }
+
+    #[test]
+    fn mutated_valid_traces_never_panic(
+        offset in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+        extra in 0usize..4,
+    ) {
+        let mut bytes = valid_trace();
+        let i = offset.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        bytes.truncate(bytes.len() - extra);
+        let _ = TraceReader::from_bytes(&bytes);
+    }
+}

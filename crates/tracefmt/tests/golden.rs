@@ -1,0 +1,61 @@
+//! Golden fixture: pins the v1 byte layout. If this test breaks, the
+//! wire format changed — that requires a version bump, not a fixture
+//! update (see FORMAT.md, "Versioning").
+
+use ia_tracefmt::{TraceOp, TraceReader, TraceRecord, TraceWriter};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1.trace");
+
+const GOLDEN_SEED: u64 = 0x1A2B_3C4D_5E6F_7788;
+
+fn golden_records() -> Vec<TraceRecord> {
+    vec![
+        TraceRecord::new(0x1000, TraceOp::Read, 0, 100),
+        TraceRecord::new(0x1040, TraceOp::Write, 1, 101),
+        TraceRecord::new(0x0FC0, TraceOp::Read, 0, 103),
+        TraceRecord::new(u64::MAX, TraceOp::Write, 7, 103),
+        TraceRecord::new(0, TraceOp::Read, u32::MAX, 104),
+    ]
+}
+
+fn golden_bytes() -> Vec<u8> {
+    let mut w = TraceWriter::new(GOLDEN_SEED);
+    w.extend(&golden_records());
+    w.finish()
+}
+
+#[test]
+fn fixture_decodes_to_the_golden_records() {
+    let r = TraceReader::from_path(FIXTURE).expect("fixture must decode");
+    assert_eq!(r.seed(), GOLDEN_SEED);
+    assert_eq!(r.version(), ia_tracefmt::VERSION);
+    assert_eq!(r.records(), golden_records().as_slice());
+}
+
+#[test]
+fn encoder_reproduces_the_fixture_byte_for_byte() {
+    let on_disk = std::fs::read(FIXTURE).expect("fixture present");
+    assert_eq!(
+        golden_bytes(),
+        on_disk,
+        "v1 byte layout drifted from the checked-in fixture"
+    );
+}
+
+#[test]
+fn fixture_header_fields_sit_at_their_documented_offsets() {
+    let on_disk = std::fs::read(FIXTURE).expect("fixture present");
+    assert_eq!(&on_disk[..8], &ia_tracefmt::MAGIC);
+    assert_eq!(on_disk[8..12], ia_tracefmt::VERSION.to_le_bytes());
+    assert_eq!(on_disk[12..20], GOLDEN_SEED.to_le_bytes());
+}
+
+/// Writes the fixture. Run explicitly when *adding* a new version's
+/// fixture: `cargo test -p ia-tracefmt --test golden -- --ignored`.
+#[test]
+#[ignore = "fixture generator, not a check"]
+fn regenerate_fixture() {
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+        .expect("fixtures dir");
+    std::fs::write(FIXTURE, golden_bytes()).expect("write fixture");
+}

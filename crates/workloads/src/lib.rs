@@ -49,6 +49,6 @@ pub use mobile::{
     energy_breakdown, energy_with_pim, EnergyBreakdown, MobileWorkload, SystemEnergyModel,
 };
 pub use trace::{
-    boxed, BoxedGenerator, HeterogeneousMix, MixGen, Op, PointerChaseGen, RandomGen, StreamGen,
-    TraceGenerator, TraceRequest, ZipfGen,
+    boxed, record_trace, trace_from_records, BoxedGenerator, HeterogeneousMix, MixGen, Op,
+    PointerChaseGen, RandomGen, StreamGen, TraceGenerator, TraceRequest, ZipfGen,
 };

@@ -329,6 +329,46 @@ impl TraceGenerator for ZipfGen {
     }
 }
 
+/// Records `requests` into an `ia-tracefmt` writer: one record per
+/// request, `stream` = originating thread, `at` = position in the trace.
+/// The inverse is [`trace_from_records`]; together they make any
+/// generated workload a replayable on-disk artifact.
+pub fn record_trace(requests: &[TraceRequest], w: &mut ia_tracefmt::TraceWriter) {
+    for (i, r) in requests.iter().enumerate() {
+        let op = match r.op {
+            Op::Read => ia_tracefmt::TraceOp::Read,
+            Op::Write => ia_tracefmt::TraceOp::Write,
+        };
+        w.push(&ia_tracefmt::TraceRecord::new(
+            r.addr,
+            op,
+            r.thread as u32,
+            i as u64,
+        ));
+    }
+}
+
+/// Rebuilds a workload trace from decoded `ia-tracefmt` records,
+/// preserving record order (`stream` becomes the thread attribution;
+/// the `at` field is not consulted — file order is trace order).
+#[must_use]
+pub fn trace_from_records(records: &[ia_tracefmt::TraceRecord]) -> Vec<TraceRequest> {
+    records
+        .iter()
+        .map(|rec| {
+            let op = match rec.op {
+                ia_tracefmt::TraceOp::Read => Op::Read,
+                ia_tracefmt::TraceOp::Write => Op::Write,
+            };
+            TraceRequest {
+                addr: rec.addr,
+                op,
+                thread: rec.stream as usize,
+            }
+        })
+        .collect()
+}
+
 /// A probabilistic mix of generators, each attributed to its own thread —
 /// the multi-programmed interference workloads of the scheduler papers.
 #[derive(Debug)]
@@ -533,6 +573,23 @@ mod tests {
         let t = mix.generate(10, &mut r);
         assert_eq!(t.iter().filter(|q| q.thread == 0).count(), 5);
         assert_eq!(t.iter().filter(|q| q.thread == 1).count(), 5);
+    }
+
+    #[test]
+    fn record_and_rebuild_round_trips() {
+        let mut g = StreamGen::new(0, 64, 1 << 12, 0.3).unwrap();
+        let mut r = rng();
+        let t: Vec<TraceRequest> = g
+            .generate(50, &mut r)
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| q.on_thread(i % 3))
+            .collect();
+        let mut w = ia_tracefmt::TraceWriter::new(9);
+        record_trace(&t, &mut w);
+        let reader = ia_tracefmt::TraceReader::from_bytes(&w.finish()).unwrap();
+        assert_eq!(reader.seed(), 9);
+        assert_eq!(trace_from_records(reader.records()), t);
     }
 
     #[test]

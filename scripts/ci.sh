@@ -34,6 +34,29 @@ diff "$trace_dir/t1.json" "$trace_dir/t4.json"
 echo "== fault-injection campaign (detect -> correct -> degrade loop)"
 cargo run -q -p ia-bench --bin exp24_fault_injection -- --quick > /dev/null
 
+echo "== fuzz smoke (64 fixed-seed cases, 7 schedulers x 3 ladders, 4 oracles)"
+fuzz_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$fuzz_dir"' EXIT
+cargo run -q -p ia-bench --bin fuzz_stack -- \
+    --cases 64 --repro-dir "$fuzz_dir" > /dev/null
+
+echo "== fuzz self-test (injected miscorrection is caught and minimized)"
+if cargo run -q -p ia-bench --bin fuzz_stack -- \
+    --cases 1 --inject-violation --repro-dir "$fuzz_dir" > "$fuzz_dir/inject.txt"; then
+    echo "fuzz self-test: injected violation was NOT caught"; exit 1
+fi
+grep -q "no-silent-corruption" "$fuzz_dir/inject.txt" \
+    || { echo "fuzz self-test: wrong oracle"; cat "$fuzz_dir/inject.txt"; exit 1; }
+test -f "$fuzz_dir"/fuzz-case0000.trace \
+    || { echo "fuzz self-test: repro artifact missing"; exit 1; }
+
+echo "== record/replay determinism (replayed exp05 byte-identical to recorded run)"
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
+    --quick --record-trace "$fuzz_dir/e5.trace" > "$fuzz_dir/rec.txt"
+cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
+    --quick --replay-trace "$fuzz_dir/e5.trace" > "$fuzz_dir/rep.txt"
+diff "$fuzz_dir/rec.txt" "$fuzz_dir/rep.txt"
+
 echo "== SimLoop watchdog (stalled components become structured errors)"
 cargo test -q -p ia-sim watchdog
 
@@ -45,7 +68,7 @@ cargo test -q -p ia-memctrl --test scheduler_queue_equivalence
 
 echo "== microbench smoke (--iters 1 run + JSON schema check)"
 micro_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir" "$micro_dir"' EXIT
+trap 'rm -rf "$trace_dir" "$fuzz_dir" "$micro_dir"' EXIT
 cargo run -q -p ia-microbench --bin microbench -- \
     --iters 1 --k 2 --json "$micro_dir/micro.json" > /dev/null
 # Schema: a non-empty array of {bench, iters, ops, checksum} objects.
@@ -57,7 +80,7 @@ done
 echo "== warm-fork vs cold construction (snapshot bit-identity)"
 cargo test -q -p ia-memctrl --test snapshot_fork
 fork_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir" "$micro_dir" "$fork_dir"' EXIT
+trap 'rm -rf "$trace_dir" "$fuzz_dir" "$micro_dir" "$fork_dir"' EXIT
 # The warm-forked exp05 must emit byte-identical reports on back-to-back
 # runs (fork determinism is what makes the sweep's memoization sound).
 cargo run -q -p ia-bench --bin exp05_scheduler_suite -- \
