@@ -34,6 +34,7 @@ fn compute_outcome(quick: bool) -> Outcome {
         (16 * 1024, 512 * 1024)
     };
     let mut rng = SmallRng::seed_from_u64(41);
+    // lint: allow(P001, v and e are positive literals for both sizes - always a valid RMAT shape)
     let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
     let iterations = 10;
     // The graph is built once and shared read-only; each vault count is
@@ -41,7 +42,9 @@ fn compute_outcome(quick: bool) -> Outcome {
     let speedups = ia_par::par_map(ia_par::auto_threads(), vec![1usize, 4, 16, 32], |vaults| {
         let stack = StackConfig::hmc_like()
             .with_vaults(vaults)
+            // lint: allow(P001, vaults ranges over the literal non-zero list 1/4/16/32)
             .expect("non-zero");
+        // lint: allow(P001, the hmc_like preset is valid for every vault count in the list)
         let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
         let (_, report) = engine.pagerank(0.85, iterations);
         (
@@ -61,6 +64,7 @@ pub fn run(quick: bool) -> String {
         (16 * 1024, 512 * 1024)
     };
     let mut rng = SmallRng::seed_from_u64(41);
+    // lint: allow(P001, v and e are positive literals for both sizes - always a valid RMAT shape)
     let g = Graph::rmat(v, e, &mut rng).expect("valid rmat");
     let iterations = 10;
     let mut table = Table::new(&[
@@ -76,7 +80,9 @@ pub fn run(quick: bool) -> String {
     let rows = ia_par::par_map(ia_par::auto_threads(), vec![1usize, 4, 16, 32], |vaults| {
         let stack = StackConfig::hmc_like()
             .with_vaults(vaults)
+            // lint: allow(P001, vaults ranges over the literal non-zero list 1/4/16/32)
             .expect("non-zero");
+        // lint: allow(P001, the hmc_like preset is valid for every vault count in the list)
         let engine = PnmGraphEngine::new(stack, &g).expect("valid stack");
         let (ranks, report) = engine.pagerank(0.85, iterations);
         // Sanity: functional result matches the host reference.

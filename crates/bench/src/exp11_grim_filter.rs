@@ -52,8 +52,11 @@ fn compute_outcome(quick: bool) -> Outcome {
     let mut rng = SmallRng::seed_from_u64(61);
 
     let genome = random_genome(genome_len, &mut rng);
+    // lint: allow(P001, genome_len / read_count / read_len are positive literals with read_len < genome_len)
     let reads = sample_reads(&genome, read_count, read_len, 0.02, &mut rng).expect("valid reads");
+    // lint: allow(P001, seed length 8 is a literal below the literal genome lengths)
     let seed_index = SeedIndex::build(&genome, 8).expect("valid index");
+    // lint: allow(P001, token_len 8 and bin cap 4096 are valid literals for both genome sizes)
     let grim = GrimIndex::build(&genome, token_len, 4096).expect("valid grim");
 
     // Load bin bitvectors into the Ambit engine once (rows 0..bins), the
@@ -69,6 +72,7 @@ fn compute_outcome(quick: bool) -> Outcome {
     for bin in 0..grim.bin_count() {
         engine
             .write_row(bin as u64, pad(grim.bin_bitvector(bin)))
+            // lint: allow(P001, bin_count is capped at 4096 so every bin index fits the subarray rows and pad sizes the row exactly)
             .expect("row fits");
     }
     let read_row = grim.bin_count() as u64;
@@ -96,6 +100,7 @@ fn compute_outcome(quick: bool) -> Outcome {
         // by any candidate's span. A read may straddle a bin boundary, so
         // a candidate's score sums the bins its span covers.
         let read_bv = grim.read_bitvector(&read.seq);
+        // lint: allow(P001, read_row is bin_count which leaves two in-bounds scratch rows past the bins)
         engine.write_row(read_row, pad(&read_bv)).expect("row fits");
         let bins_of = |c: u32| -> (usize, usize) {
             let first = c as usize / grim.bin_size();
@@ -118,9 +123,11 @@ fn compute_outcome(quick: bool) -> Outcome {
         for bin in bins {
             engine
                 .execute(BitwiseOp::And, and_row, bin as u64, Some(read_row))
+                // lint: allow(P001, both operand rows were written above before any AND is issued)
                 .expect("operands loaded");
             let matches: u32 = engine
                 .read_row(and_row)
+                // lint: allow(P001, the AND on the line above just wrote and_row)
                 .expect("result written")
                 .iter()
                 .map(|w| w.count_ones())

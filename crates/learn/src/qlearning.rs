@@ -119,6 +119,10 @@ pub struct QAgent {
     tables: Vec<Vec<f64>>,
     /// Pending (tiled state indices, action) awaiting its reward.
     pending: Option<(Vec<usize>, usize)>,
+    /// Recycled tile-index buffer: `select_action`/`observe` sit on the
+    /// memory controller's per-cycle path, so steady-state calls must
+    /// not allocate. Retired `pending` buffers return here.
+    scratch: Vec<usize>,
     updates: u64,
 }
 
@@ -151,12 +155,14 @@ impl QAgent {
                 .ok_or_else(|| LearnError::invalid("state space too large"))?;
         }
         let tables = vec![vec![0.0; states * actions]; config.tilings];
+        let tilings = config.tilings;
         Ok(QAgent {
             features,
             actions,
             config,
             tables,
             pending: None,
+            scratch: Vec::with_capacity(tilings),
             updates: 0,
         })
     }
@@ -206,10 +212,21 @@ impl QAgent {
         Ok(idx)
     }
 
+    /// Fills `out` with one state index per tiling. Reuses the buffer's
+    /// capacity, so steady-state callers on the per-cycle path never
+    /// allocate.
+    fn fill_tiled(&self, state: &[f64], out: &mut Vec<usize>) -> Result<(), LearnError> {
+        out.clear();
+        for t in 0..self.config.tilings {
+            out.push(self.state_index(state, t)?);
+        }
+        Ok(())
+    }
+
     fn tiled_indices(&self, state: &[f64]) -> Result<Vec<usize>, LearnError> {
-        (0..self.config.tilings)
-            .map(|t| self.state_index(state, t))
-            .collect()
+        let mut out = Vec::with_capacity(self.config.tilings);
+        self.fill_tiled(state, &mut out)?;
+        Ok(out)
     }
 
     /// Q-value of `(state, action)`: the CMAC average across tilings.
@@ -266,13 +283,16 @@ impl QAgent {
         state: &[f64],
         rng: &mut R,
     ) -> Result<usize, LearnError> {
-        let tiled = self.tiled_indices(state)?;
+        let mut tiled = std::mem::take(&mut self.scratch);
+        self.fill_tiled(state, &mut tiled)?;
         let action = if rng.gen::<f64>() < self.config.epsilon {
             rng.gen_range(0..self.actions)
         } else {
             self.best_action_at(&tiled)
         };
-        self.pending = Some((tiled, action));
+        if let Some((old, _)) = self.pending.replace((tiled, action)) {
+            self.scratch = old;
+        }
         Ok(action)
     }
 
@@ -295,7 +315,8 @@ impl QAgent {
         let Some((tiled, action)) = self.pending.take() else {
             return Ok(());
         };
-        let next_tiled = self.tiled_indices(next_state)?;
+        let mut next_tiled = std::mem::take(&mut self.scratch);
+        self.fill_tiled(next_state, &mut next_tiled)?;
         let next_action = if rng.gen::<f64>() < self.config.epsilon {
             rng.gen_range(0..self.actions)
         } else {
@@ -310,6 +331,7 @@ impl QAgent {
         }
         self.updates += 1;
         self.pending = Some((next_tiled, next_action));
+        self.scratch = tiled; // recycle the retired buffer
         Ok(())
     }
 

@@ -2,6 +2,22 @@
 //! `(file, lint)` pair so the gate is green from day one and can only
 //! ratchet down.
 //!
+//! ## Format (v2, lint-versioned sections)
+//!
+//! ```text
+//! [P001 v1]
+//! crates/bench/src/exp02_rowclone.rs 3
+//! crates/bench/src/mixes.rs 4
+//! ```
+//!
+//! Each section header names a lint ID and the *analysis version* it was
+//! generated against (see `LintInfo::version`). When a lint's detection
+//! logic changes, its version bumps and every baseline section recorded
+//! against the old version is reported as **outdated** — the counts are
+//! meaningless under the new analysis, so the gate fails until the
+//! baseline is regenerated. The legacy one-line-per-entry v1 format is
+//! rejected with a pointer to `--write-baseline`.
+//!
 //! Semantics per `(file, lint)` group, with `b` the baselined count and
 //! `c` the count found now:
 //!
@@ -13,14 +29,16 @@
 //!   count. Stale entries are reported and fail the gate rather than
 //!   being silently kept.
 
-use crate::lints::Finding;
+use crate::lints::{info, Finding};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Grandfathered counts, keyed by `(file, lint-id)`.
+/// Grandfathered counts, keyed by `(file, lint-id)`, plus the analysis
+/// version each lint's section was generated against.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
     entries: BTreeMap<(String, String), usize>,
+    versions: BTreeMap<String, u32>,
 }
 
 /// A baseline entry whose count no longer matches reality downward.
@@ -36,6 +54,17 @@ pub struct StaleEntry {
     pub found: usize,
 }
 
+/// A baseline section recorded against an older analysis version.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OutdatedSection {
+    /// Lint ID.
+    pub id: String,
+    /// Version the section was generated against.
+    pub baseline_version: u32,
+    /// The lint's current analysis version.
+    pub current_version: u32,
+}
+
 /// Outcome of gating a scan against the baseline.
 #[derive(Debug, Default)]
 pub struct Gated {
@@ -44,38 +73,87 @@ pub struct Gated {
     pub new: Vec<Finding>,
     /// Baseline entries that over-count current findings.
     pub stale: Vec<StaleEntry>,
+    /// Sections whose analysis version is older than the catalog's.
+    pub outdated: Vec<OutdatedSection>,
     /// Number of findings suppressed by the baseline.
     pub grandfathered: usize,
 }
 
 impl Gated {
-    /// True when the gate passes: nothing new, nothing stale.
+    /// True when the gate passes: nothing new, nothing stale, no
+    /// outdated sections.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.new.is_empty() && self.stale.is_empty()
+        self.new.is_empty() && self.stale.is_empty() && self.outdated.is_empty()
     }
 }
 
+/// The current analysis version for `id` (1 for IDs not in the catalog,
+/// so parsing stays total).
+fn catalog_version(id: &str) -> u32 {
+    info(id).map_or(1, |l| l.version)
+}
+
 impl Baseline {
-    /// Parses the baseline file format: one `<file> <LINT-ID> <count>`
-    /// per line; `#` comments and blank lines are ignored.
+    /// Parses the sectioned baseline format: `[LINT-ID vN]` headers with
+    /// `<file> <count>` entries; `#` comments and blank lines are
+    /// ignored.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first malformed line.
+    /// Returns a message naming the first malformed line. Legacy
+    /// three-field lines (the pre-section format) get a dedicated
+    /// message pointing at `--write-baseline`.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut entries = BTreeMap::new();
+        let mut versions: BTreeMap<String, u32> = BTreeMap::new();
+        let mut current: Option<String> = None;
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("baseline line {}: unterminated `[` header", i + 1))?;
+                let mut parts = header.split_whitespace();
+                let (Some(id), Some(ver), None) = (parts.next(), parts.next(), parts.next()) else {
+                    return Err(format!(
+                        "baseline line {}: expected `[LINT-ID vN]`, got `[{header}]`",
+                        i + 1
+                    ));
+                };
+                let ver: u32 = ver
+                    .strip_prefix('v')
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| {
+                        format!("baseline line {}: bad section version `{ver}`", i + 1)
+                    })?;
+                if versions.insert(id.to_owned(), ver).is_some() {
+                    return Err(format!("baseline line {}: duplicate section `{id}`", i + 1));
+                }
+                current = Some(id.to_owned());
+                continue;
+            }
             let mut parts = line.split_whitespace();
-            let (Some(file), Some(id), Some(count), None) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
+            let (Some(file), Some(count), rest) = (parts.next(), parts.next(), parts.next()) else {
                 return Err(format!(
-                    "baseline line {}: expected `<file> <LINT-ID> <count>`, got `{line}`",
+                    "baseline line {}: expected `<file> <count>`, got `{line}`",
+                    i + 1
+                ));
+            };
+            if rest.is_some() {
+                return Err(format!(
+                    "baseline line {}: the one-line `<file> <LINT-ID> <count>` format is \
+                     gone — regenerate with `cargo run -p ia-lint -- --write-baseline`",
+                    i + 1
+                ));
+            }
+            let Some(id) = current.clone() else {
+                return Err(format!(
+                    "baseline line {}: entry before any `[LINT-ID vN]` section header — \
+                     regenerate with `cargo run -p ia-lint -- --write-baseline`",
                     i + 1
                 ));
             };
@@ -83,30 +161,40 @@ impl Baseline {
                 .parse()
                 .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
             if entries
-                .insert((file.to_owned(), id.to_owned()), count)
+                .insert((file.to_owned(), id.clone()), count)
                 .is_some()
             {
                 return Err(format!(
-                    "baseline line {}: duplicate entry for {file} {id}",
+                    "baseline line {}: duplicate entry for {file} in [{id}]",
                     i + 1
                 ));
             }
         }
-        Ok(Baseline { entries })
+        Ok(Baseline { entries, versions })
     }
 
     /// Renders a baseline covering `findings`, ready to check in.
     #[must_use]
     pub fn render(findings: &[Finding]) -> String {
         let counts = count_groups(findings);
+        let mut by_id: BTreeMap<&str, Vec<(&str, usize)>> = BTreeMap::new();
+        for ((file, id), count) in &counts {
+            by_id.entry(id).or_default().push((file, *count));
+        }
         let mut out = String::from(
-            "# ia-lint baseline — grandfathered findings, counted per (file, lint).\n\
-             # Regenerate with `cargo run -p ia-lint -- --write-baseline` after a\n\
-             # burn-down; the gate fails if any count rises OR falls without a\n\
-             # regeneration, so the total only ratchets toward zero.\n",
+            "# ia-lint baseline — grandfathered findings, counted per (file, lint),\n\
+             # grouped into `[LINT-ID vN]` sections where N is the analysis version\n\
+             # the counts were generated against. Regenerate with\n\
+             # `cargo run -p ia-lint -- --write-baseline` after a burn-down; the gate\n\
+             # fails if any count rises OR falls without a regeneration — and if a\n\
+             # lint's analysis version changes — so the total only ratchets toward\n\
+             # zero.\n",
         );
-        for ((file, id), count) in counts {
-            let _ = writeln!(out, "{file} {id} {count}");
+        for (id, files) in by_id {
+            let _ = writeln!(out, "[{id} v{}]", catalog_version(id));
+            for (file, count) in files {
+                let _ = writeln!(out, "{file} {count}");
+            }
         }
         out
     }
@@ -123,13 +211,38 @@ impl Baseline {
         self.entries.is_empty()
     }
 
+    /// Lint IDs with a baseline section (gate policy checks: only
+    /// P-series findings may be grandfathered).
+    #[must_use]
+    pub fn section_ids(&self) -> Vec<&str> {
+        self.versions.keys().map(String::as_str).collect()
+    }
+
     /// Gates `findings` (already allow-filtered and sorted) against this
     /// baseline.
     #[must_use]
     pub fn apply(&self, findings: &[Finding]) -> Gated {
-        let counts = count_groups(findings);
         let mut gated = Gated::default();
+        // A section generated under an older analysis version carries
+        // meaningless counts: report it and skip its ratchet arithmetic
+        // (regeneration re-counts everything anyway).
+        let mut outdated_ids: Vec<&str> = Vec::new();
+        for (id, &ver) in &self.versions {
+            let cur = catalog_version(id);
+            if ver != cur {
+                outdated_ids.push(id);
+                gated.outdated.push(OutdatedSection {
+                    id: id.clone(),
+                    baseline_version: ver,
+                    current_version: cur,
+                });
+            }
+        }
+        let counts = count_groups(findings);
         for ((file, id), found) in &counts {
+            if outdated_ids.contains(&id.as_str()) {
+                continue;
+            }
             let b = self
                 .entries
                 .get(&(file.clone(), id.clone()))
@@ -156,6 +269,9 @@ impl Baseline {
         }
         // Entries for files that now have zero findings of that lint.
         for ((file, id), b) in &self.entries {
+            if outdated_ids.contains(&id.as_str()) {
+                continue;
+            }
             if *b > 0 && !counts.contains_key(&(file.clone(), id.clone())) {
                 gated.stale.push(StaleEntry {
                     file: file.clone(),
@@ -167,6 +283,7 @@ impl Baseline {
         }
         gated.new.sort();
         gated.stale.sort();
+        gated.outdated.sort();
         gated
     }
 }
@@ -184,28 +301,39 @@ mod tests {
     use super::*;
 
     fn finding(file: &str, line: u32, id: &'static str) -> Finding {
-        Finding {
-            file: file.to_owned(),
-            line,
-            col: 1,
-            id,
-            message: "m".to_owned(),
-        }
+        Finding::new(file, line, 1, id, "m".to_owned())
     }
 
     #[test]
-    fn parse_rejects_malformed_lines() {
-        assert!(Baseline::parse("# comment\n\ncrates/a.rs P001 3\n").is_ok());
-        assert!(Baseline::parse("crates/a.rs P001").is_err());
-        assert!(Baseline::parse("crates/a.rs P001 x").is_err());
-        assert!(Baseline::parse("a P001 1 extra").is_err());
-        assert!(Baseline::parse("a P001 1\na P001 2").is_err());
+    fn parse_rejects_malformed_and_legacy_lines() {
+        assert!(Baseline::parse("# comment\n\n[P001 v1]\ncrates/a.rs 3\n").is_ok());
+        let legacy = Baseline::parse("crates/a.rs P001 3\n");
+        assert!(legacy.is_err());
+        assert!(
+            legacy.unwrap_err().contains("--write-baseline"),
+            "legacy format points at regeneration"
+        );
+        assert!(
+            Baseline::parse("crates/a.rs 3\n").is_err(),
+            "entry before header"
+        );
+        assert!(Baseline::parse("[P001]\na 1\n").is_err(), "missing version");
+        assert!(Baseline::parse("[P001 vx]\na 1\n").is_err(), "bad version");
+        assert!(Baseline::parse("[P001 v1\na 1\n").is_err(), "unterminated");
+        assert!(
+            Baseline::parse("[P001 v1]\na 1\na 2\n").is_err(),
+            "dup entry"
+        );
+        assert!(
+            Baseline::parse("[P001 v1]\n[P001 v1]\n").is_err(),
+            "dup section"
+        );
     }
 
     #[test]
     fn exact_match_is_clean_and_grandfathered() {
         let fs = [finding("a.rs", 1, "P001"), finding("a.rs", 9, "P001")];
-        let b = Baseline::parse("a.rs P001 2").unwrap();
+        let b = Baseline::parse("[P001 v1]\na.rs 2").unwrap();
         let g = b.apply(&fs);
         assert!(g.is_clean());
         assert_eq!(g.grandfathered, 2);
@@ -218,7 +346,7 @@ mod tests {
             finding("a.rs", 9, "P001"),
             finding("b.rs", 2, "D001"),
         ];
-        let b = Baseline::parse("a.rs P001 1").unwrap();
+        let b = Baseline::parse("[P001 v1]\na.rs 1").unwrap();
         let g = b.apply(&fs);
         assert_eq!(g.new.len(), 3, "regressed group + unbaselined finding");
         assert!(!g.is_clean());
@@ -227,13 +355,28 @@ mod tests {
     #[test]
     fn count_decrease_and_vanished_entries_are_stale() {
         let fs = [finding("a.rs", 1, "P001")];
-        let b = Baseline::parse("a.rs P001 2\ngone.rs D002 1").unwrap();
+        let b = Baseline::parse("[P001 v1]\na.rs 2\n[D002 v1]\ngone.rs 1").unwrap();
         let g = b.apply(&fs);
         assert!(g.new.is_empty());
         assert_eq!(g.stale.len(), 2);
-        assert_eq!(g.stale[0].found, 1);
-        assert_eq!(g.stale[1].found, 0);
+        assert_eq!(g.stale[0].found, 1, "a.rs P001 dropped 2 -> 1");
+        assert_eq!(g.stale[1].found, 0, "vanished gone.rs D002 entry");
         assert!(!g.is_clean(), "stale entries must fail the gate");
+    }
+
+    #[test]
+    fn version_mismatch_marks_the_section_outdated() {
+        let fs = [finding("a.rs", 1, "P001")];
+        let b = Baseline::parse("[P001 v9]\na.rs 1").unwrap();
+        let g = b.apply(&fs);
+        assert_eq!(g.outdated.len(), 1);
+        assert_eq!(g.outdated[0].baseline_version, 9);
+        assert_eq!(g.outdated[0].current_version, 1);
+        assert!(!g.is_clean(), "outdated sections must fail the gate");
+        assert!(
+            g.new.is_empty() && g.stale.is_empty(),
+            "no ratchet arithmetic on meaningless counts"
+        );
     }
 
     #[test]
@@ -244,8 +387,11 @@ mod tests {
             finding("b.rs", 2, "D001"),
         ];
         let text = Baseline::render(&fs);
+        assert!(text.contains("[P001 v1]"));
+        assert!(text.contains("[D001 v1]"));
         let b = Baseline::parse(&text).unwrap();
         assert!(b.apply(&fs).is_clean());
         assert_eq!(b.len(), 2);
+        assert_eq!(b.section_ids(), ["D001", "P001"]);
     }
 }

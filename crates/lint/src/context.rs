@@ -67,33 +67,58 @@ impl FileContext {
     /// comment may trail the offending line or sit on the line above.
     #[must_use]
     pub fn allowed(&self, id: &str, line: u32) -> bool {
+        self.allow_line(id, line).is_some()
+    }
+
+    /// The line of the `lint: allow` comment that waives `id` for a
+    /// finding on `line`, when one exists. The scan pipeline records the
+    /// declaring line so unused waivers can be flagged (W001).
+    #[must_use]
+    pub fn allow_line(&self, id: &str, line: u32) -> Option<u32> {
         [line, line.saturating_sub(1)]
+            .into_iter()
+            .find(|l| self.allows.get(l).is_some_and(|ids| ids.contains(id)))
+    }
+
+    /// True when the lines a waiver on `line` covers (its own and the one
+    /// below) contain test-context code — lints skip test tokens, so such
+    /// waivers are documentation, not suppressions, and W001 skips them.
+    #[must_use]
+    pub fn waiver_covers_test_code(&self, line: u32) -> bool {
+        self.code
             .iter()
-            .any(|l| self.allows.get(l).is_some_and(|ids| ids.contains(id)))
+            .zip(&self.is_test)
+            .any(|(t, &test)| test && (t.line == line || t.line == line + 1))
     }
 }
 
 /// Extracts lint IDs from a comment body containing `lint: allow(A, B)`.
-/// Everything after the IDs (a free-form reason) is ignored.
+/// Everything after the IDs (a free-form reason) is ignored. A comment
+/// may carry several `allow(…)` groups (e.g. an `allow(W001, …)` riding
+/// on a deliberately-kept waiver).
 fn parse_allow_ids(comment: &str) -> Vec<String> {
-    let Some(at) = comment.find("lint: allow(") else {
-        return Vec::new();
-    };
-    let rest = &comment[at + "lint: allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return Vec::new();
-    };
-    rest[..close]
-        .split(',')
-        .map(|s| s.trim().to_owned())
-        .filter(|s| {
-            // A lint ID is a letter plus three digits (`P001`); anything
-            // else inside the parens is part of the reason.
-            s.len() == 4
-                && s.starts_with(|c: char| c.is_ascii_uppercase())
-                && s[1..].chars().all(|c| c.is_ascii_digit())
-        })
-        .collect()
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint: allow(") {
+        rest = &rest[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            break;
+        };
+        out.extend(
+            rest[..close]
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| {
+                    // A lint ID is a letter plus three digits (`P001`);
+                    // anything else inside the parens is reason text.
+                    s.len() == 4
+                        && s.starts_with(|c: char| c.is_ascii_uppercase())
+                        && s[1..].chars().all(|c| c.is_ascii_digit())
+                }),
+        );
+        rest = &rest[close..];
+    }
+    out
 }
 
 /// Marks tokens inside `#[test]`-like items. An attribute whose token

@@ -194,8 +194,16 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
                         s.bump();
                         toks.push(scan_raw_string(&mut s, hashes, line, col));
                     } else {
-                        // `r#ident` (hashes == 1 in valid Rust).
-                        let mut name = String::new();
+                        // `r#ident` (hashes == 1 in valid Rust). The raw
+                        // prefix is *kept* in the token text: `r#fn` is an
+                        // ordinary identifier, and stripping the prefix
+                        // would desync every downstream consumer that
+                        // keys on keyword spellings (`is_ident("fn")`,
+                        // the item parser, the test-context marker).
+                        let mut name = text.clone();
+                        for _ in 0..hashes {
+                            name.push('#');
+                        }
                         while let Some(c) = s.peek() {
                             if !is_ident_continue(c) {
                                 break;
@@ -475,6 +483,43 @@ mod tests {
             .map(|(_, t)| t.as_str())
             .collect();
         assert_eq!(nums, ["0", "10", "1.5e-3", "0xFF_u64"]);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix_and_do_not_desync() {
+        // `r#fn` must not look like the `fn` keyword, and `r#test` must
+        // not look like the `test` attribute marker.
+        let toks = kinds("let r#fn = 1; fn real() {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+        assert!(
+            !toks[..3].iter().any(|(_, t)| t == "fn"),
+            "r#fn leaked a bare `fn`"
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+        // A raw identifier at end of input must not lose characters.
+        let toks = kinds("r#match");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0], (TokKind::Ident, "r#match".to_owned()));
+        // Raw strings are unaffected by the raw-identifier path.
+        let toks = kinds("r#\"body\"# r#ident");
+        assert_eq!(toks[0], (TokKind::Str, "body".to_owned()));
+        assert_eq!(toks[1], (TokKind::Ident, "r#ident".to_owned()));
+    }
+
+    #[test]
+    fn shift_right_is_two_closing_angles() {
+        // `>>` closing nested generics must come through as two `>`
+        // puncts so the parser's angle-depth tracking stays in sync.
+        let toks = kinds("fn f() -> Vec<Vec<u32>> { g() }");
+        let closes = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ">")
+            .count();
+        assert_eq!(closes, 3, "-> plus the two generic closers");
+        // The body tokens after the signature survive intact.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "g"));
     }
 
     #[test]

@@ -13,15 +13,27 @@
 //!   paths (D001), no wall-clock reads in simulator code (D002), no
 //!   environment-dependent inputs (D003), no RNGs without an explicit
 //!   seed (D004), no per-call allocation in functions marked
-//!   `// lint: hot-path` (D005).
+//!   `// lint: hot-path` (D005), and no nondeterministic reads flowing
+//!   through the call graph into metric/report writers (D006).
+//! * **H-series — hot paths.** D005's no-allocation rule extended to
+//!   the full call closure of hot-path functions (H002).
 //! * **P-series — panic policy.** No `.unwrap()`/`.expect()` (P001) or
-//!   `panic!`-family macros (P002) in non-test library code.
+//!   `panic!`-family macros (P002) in non-test library code, and no
+//!   panic site reachable from a report entry point (P003, with a
+//!   deterministic witness call chain per finding).
 //! * **M-series — metrics.** Registered metric names follow the
 //!   `crate.section.name` convention (M001) and never collide across
 //!   crates (M002).
 //! * **S-series — safety.** Every crate root forbids `unsafe_code`
 //!   (S001) and every experiment binary routes through
 //!   `ia_bench::report::cli` (S002).
+//! * **W-series — waiver hygiene.** `// lint: allow` comments that no
+//!   longer silence anything are themselves findings (W001).
+//!
+//! Since v2 the scanner is backed by an item-level recursive-descent
+//! parser ([`parser`]), a workspace symbol table and conservative call
+//! graph ([`graph`]), and interprocedural passes ([`ipa`]) — still
+//! zero-dependency and byte-deterministic.
 //!
 //! Violations print as `file:line:col: LINT-ID: message` (or JSON with
 //! `--json`). Pre-existing findings are grandfathered by the checked-in
@@ -35,11 +47,15 @@
 
 pub mod baseline;
 pub mod context;
+pub mod graph;
+pub mod ipa;
 pub mod lexer;
 pub mod lints;
 pub mod output;
+pub mod parser;
 pub mod scan;
 
-pub use baseline::{Baseline, Gated, StaleEntry};
+pub use baseline::{Baseline, Gated, OutdatedSection, StaleEntry};
+pub use graph::CallGraph;
 pub use lints::{Finding, CATALOG};
-pub use scan::{analyze, analyze_source, Analysis};
+pub use scan::{analyze, analyze_source, analyze_sources, Analysis};

@@ -18,6 +18,11 @@ pub struct LintInfo {
     pub name: &'static str,
     /// One-line description shown by `--list`.
     pub summary: &'static str,
+    /// Analysis version. Bumped whenever the lint's detection logic
+    /// changes enough that old baseline counts are meaningless; the
+    /// baseline stores it per section and the gate fails on mismatch
+    /// until the baseline is regenerated.
+    pub version: u32,
 }
 
 /// The full catalog, in ID order.
@@ -27,65 +32,108 @@ pub const CATALOG: &[LintInfo] = &[
         name: "hash-collection-in-report-path",
         summary: "HashMap/HashSet in report-building code (ia-bench, ia-telemetry) — \
                   iteration order could reach report bytes; use BTreeMap/BTreeSet or sort",
+        version: 1,
     },
     LintInfo {
         id: "D002",
         name: "wall-clock-in-simulator",
         summary: "std::time::Instant/SystemTime outside ia-par — simulated time must come \
                   from engine cycles, never the host clock",
+        version: 1,
     },
     LintInfo {
         id: "D003",
         name: "environment-dependent-input",
         summary: "std::env::var/vars or RandomState — results must be a pure function of \
                   CLI flags and seeds, not the host environment",
+        version: 1,
     },
     LintInfo {
         id: "D004",
         name: "rng-without-explicit-seed",
         summary: "from_entropy()/thread_rng() — stateful RNGs must be built via \
                   SmallRng::seed_from_u64 with an explicit seed",
+        version: 1,
     },
     LintInfo {
         id: "D005",
         name: "allocation-in-hot-path",
         summary: "Vec::new()/.collect()/.to_vec()/.clone() inside a `// lint: hot-path` \
                   function — per-cycle code must reuse scratch buffers, not allocate",
+        version: 1,
+    },
+    LintInfo {
+        id: "D006",
+        name: "determinism-taint-reaches-report",
+        summary: "a wall-clock / environment / thread-identity read is reachable from a \
+                  function that writes metric or report values — the witness chain shows \
+                  the call path; route diagnostics to stderr or cut the call edge",
+        version: 1,
+    },
+    LintInfo {
+        id: "H002",
+        name: "allocation-in-hot-path-closure",
+        summary: "a `// lint: hot-path` function transitively calls code that allocates \
+                  (Vec::new/.collect/.to_vec/.clone) — D005 for the whole call closure, \
+                  with the witness chain from the hot function to the allocation",
+        version: 1,
     },
     LintInfo {
         id: "M001",
         name: "metric-name-convention",
         summary: "metric names must be dot-separated lowercase paths with >= 2 segments \
                   (`crate.section.name`), each segment `[a-z0-9_]+`",
+        version: 1,
     },
     LintInfo {
         id: "M002",
         name: "metric-name-collision",
         summary: "the same metric name is registered from two different crates — rename, \
                   or waive the consumer site with `// lint: allow(M002, why)`",
+        version: 1,
     },
     LintInfo {
         id: "P001",
         name: "unwrap-in-library-code",
         summary: ".unwrap()/.expect() in non-test code — return a Result, or justify with \
                   `// lint: allow(P001, why)` / a baseline entry",
+        version: 1,
     },
     LintInfo {
         id: "P002",
         name: "panic-in-library-code",
         summary: "panic!/todo!/unimplemented! in non-test code — return an error, or \
                   justify with `// lint: allow(P002, why)` / a baseline entry",
+        version: 1,
+    },
+    LintInfo {
+        id: "P003",
+        name: "panic-reachable-from-report-path",
+        summary: "an unwrap/expect/panic-family site is transitively reachable from an \
+                  experiment `report()` entry point or `ia_bench::report::cli` — the \
+                  witness chain shows the call path; fix the site or waive it with a \
+                  reason (a P001/P002 waiver at the site covers P003 too)",
+        version: 1,
     },
     LintInfo {
         id: "S001",
         name: "missing-forbid-unsafe",
         summary: "every crate root must declare `#![forbid(unsafe_code)]`",
+        version: 1,
     },
     LintInfo {
         id: "S002",
         name: "bin-bypasses-cli",
         summary: "every experiment binary must route through ia_bench::report::cli \
                   (shared flags, error handling, exit codes)",
+        version: 1,
+    },
+    LintInfo {
+        id: "W001",
+        name: "dead-waiver",
+        summary: "a `// lint: allow(ID, …)` comment no longer silences any finding — \
+                  delete it so waiver debt ratchets down with the baseline",
+        version: 1,
     },
 ];
 
@@ -108,6 +156,26 @@ pub struct Finding {
     pub id: &'static str,
     /// Human-readable description of this occurrence.
     pub message: String,
+    /// Interprocedural lints attach the call chain that makes the site
+    /// a finding, entry first (qualified function names). Empty for
+    /// single-file lints. Chains are deterministic: shortest path,
+    /// lowest-id tiebreak, so report bytes are stable across runs.
+    pub witness: Vec<String>,
+}
+
+impl Finding {
+    /// A finding with no witness chain (every single-file lint).
+    #[must_use]
+    pub fn new(file: &str, line: u32, col: u32, id: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            col,
+            id,
+            message,
+            witness: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -116,7 +184,11 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}:{}: {}: {}",
             self.file, self.line, self.col, self.id, self.message
-        )
+        )?;
+        if !self.witness.is_empty() {
+            write!(f, " [via: {}]", self.witness.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +205,9 @@ pub struct MetricSite {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// An `allow(M002)` waiver covers the site: it is excluded from the
+    /// collision pass, and the waiver counts as used (W001).
+    pub waived: bool,
 }
 
 /// File-path prefixes whose sources build report/metric bytes: hash-ordered
@@ -160,7 +235,10 @@ fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-/// Runs all single-file lints on one file. Cross-file facts (metric
+/// Runs all single-file lints on one file, emitting **raw** findings:
+/// `// lint: allow` waivers are *not* applied here — the scan pipeline
+/// filters them centrally so it can also tell which waivers were used
+/// (dead ones become W001 findings). Cross-file facts (metric
 /// registrations for M002) are appended to `metrics`; S-series runs in
 /// the workspace passes ([`check_crate_root`], [`check_bench_bin`]).
 #[must_use]
@@ -168,15 +246,7 @@ pub fn check_file(path: &str, ctx: &FileContext, metrics: &mut Vec<MetricSite>) 
     let mut out = Vec::new();
     let code = &ctx.code;
     let mut push = |id: &'static str, t: &Tok, message: String| {
-        if !ctx.allowed(id, t.line) {
-            out.push(Finding {
-                file: path.to_owned(),
-                line: t.line,
-                col: t.col,
-                id,
-                message,
-            });
-        }
+        out.push(Finding::new(path, t.line, t.col, id, message));
     };
 
     let in_report_path = starts_with_any(path, REPORT_PATHS);
@@ -296,15 +366,14 @@ pub fn check_file(path: &str, ctx: &FileContext, metrics: &mut Vec<MetricSite>) 
                             ),
                         );
                     }
-                    if !ctx.allowed("M002", lit.line) {
-                        metrics.push(MetricSite {
-                            name: lit.text.clone(),
-                            krate: crate_of(path),
-                            file: path.to_owned(),
-                            line: lit.line,
-                            col: lit.col,
-                        });
-                    }
+                    metrics.push(MetricSite {
+                        name: lit.text.clone(),
+                        krate: crate_of(path),
+                        file: path.to_owned(),
+                        line: lit.line,
+                        col: lit.col,
+                        waived: ctx.allowed("M002", lit.line),
+                    });
                 }
             }
             _ => {}
@@ -331,7 +400,7 @@ pub fn metric_name_ok(name: &str) -> bool {
 #[must_use]
 pub fn check_metric_collisions(metrics: &[MetricSite]) -> Vec<Finding> {
     let mut by_name: BTreeMap<&str, Vec<&MetricSite>> = BTreeMap::new();
-    for m in metrics {
+    for m in metrics.iter().filter(|m| !m.waived) {
         by_name.entry(&m.name).or_default().push(m);
     }
     let mut out = Vec::new();
@@ -340,17 +409,17 @@ pub fn check_metric_collisions(metrics: &[MetricSite]) -> Vec<Finding> {
         let owner = &sites[0];
         for s in &sites[1..] {
             if s.krate != owner.krate {
-                out.push(Finding {
-                    file: s.file.clone(),
-                    line: s.line,
-                    col: s.col,
-                    id: "M002",
-                    message: format!(
+                out.push(Finding::new(
+                    &s.file,
+                    s.line,
+                    s.col,
+                    "M002",
+                    format!(
                         "metric `{name}` is already registered by crate `{}` \
                          ({}:{}) — cross-crate names must be unique",
                         owner.krate, owner.file, owner.line
                     ),
-                });
+                ));
             }
         }
     }
@@ -372,16 +441,16 @@ pub fn check_crate_root(path: &str, ctx: &FileContext) -> Vec<Finding> {
             && w[6].is_punct(')')
             && w[7].is_punct(']')
     });
-    if found || ctx.allowed("S001", 1) {
+    if found {
         Vec::new()
     } else {
-        vec![Finding {
-            file: path.to_owned(),
-            line: 1,
-            col: 1,
-            id: "S001",
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
-        }]
+        vec![Finding::new(
+            path,
+            1,
+            1,
+            "S001",
+            "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        )]
     }
 }
 
@@ -393,16 +462,16 @@ pub fn check_bench_bin(path: &str, ctx: &FileContext) -> Vec<Finding> {
     let found = code.windows(4).any(|w| {
         w[0].is_ident("report") && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident("cli")
     });
-    if found || ctx.allowed("S002", 1) {
+    if found {
         Vec::new()
     } else {
-        vec![Finding {
-            file: path.to_owned(),
-            line: 1,
-            col: 1,
-            id: "S002",
-            message: "experiment binary does not route through `ia_bench::report::cli`".to_owned(),
-        }]
+        vec![Finding::new(
+            path,
+            1,
+            1,
+            "S002",
+            "experiment binary does not route through `ia_bench::report::cli`".to_owned(),
+        )]
     }
 }
 
@@ -452,7 +521,7 @@ fn cold2(xs: &[u32]) -> Vec<u32> { xs.to_vec() }
     }
 
     #[test]
-    fn d005_respects_allow_waivers() {
+    fn check_file_is_raw_and_the_pipeline_applies_waivers() {
         let src = "\
 // lint: hot-path
 fn hot(xs: &[u32]) -> Vec<u32> {
@@ -462,8 +531,13 @@ fn hot(xs: &[u32]) -> Vec<u32> {
 ";
         let ctx = FileContext::build("crates/x/src/lib.rs", crate::lexer::tokenize(src));
         let mut metrics = Vec::new();
-        let found = check_file("crates/x/src/lib.rs", &ctx, &mut metrics);
-        assert!(found.iter().all(|f| f.id != "D005"));
+        let raw = check_file("crates/x/src/lib.rs", &ctx, &mut metrics);
+        assert!(
+            raw.iter().any(|f| f.id == "D005"),
+            "raw findings ignore waivers (the pipeline needs them for W001)"
+        );
+        let filtered = crate::scan::analyze_source("crates/x/src/lib.rs", src, &mut metrics);
+        assert!(filtered.iter().all(|f| f.id != "D005"));
     }
 
     #[test]

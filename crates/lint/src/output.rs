@@ -21,14 +21,23 @@ pub fn text(gated: &Gated, files_scanned: usize) -> String {
             s.file, s.id, s.baseline, s.found
         );
     }
+    for o in &gated.outdated {
+        let _ = writeln!(
+            out,
+            "lint.baseline: section [{} v{}] was generated against an older analysis \
+             (current v{}) — run `cargo run -p ia-lint -- --write-baseline` to re-count",
+            o.id, o.baseline_version, o.current_version
+        );
+    }
     let _ = writeln!(
         out,
         "ia-lint: {} file(s) scanned, {} new finding(s), {} stale baseline entr{}, \
-         {} grandfathered",
+         {} outdated section(s), {} grandfathered",
         files_scanned,
         gated.new.len(),
         gated.stale.len(),
         if gated.stale.len() == 1 { "y" } else { "ies" },
+        gated.outdated.len(),
         gated.grandfathered
     );
     out
@@ -38,7 +47,7 @@ pub fn text(gated: &Gated, files_scanned: usize) -> String {
 /// stale entries in sorted order, suitable for diffing across runs.
 #[must_use]
 pub fn json(gated: &Gated, files_scanned: usize) -> String {
-    let mut out = String::from("{\"version\":1");
+    let mut out = String::from("{\"version\":2");
     let _ = write!(out, ",\"files_scanned\":{files_scanned}");
     let _ = write!(out, ",\"grandfathered\":{}", gated.grandfathered);
     out.push_str(",\"findings\":[");
@@ -62,6 +71,19 @@ pub fn json(gated: &Gated, files_scanned: usize) -> String {
             s.found
         );
     }
+    out.push_str("],\"outdated\":[");
+    for (i, o) in gated.outdated.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"baseline_version\":{},\"current_version\":{}}}",
+            quote(&o.id),
+            o.baseline_version,
+            o.current_version
+        );
+    }
     out.push_str("]}\n");
     out
 }
@@ -69,13 +91,24 @@ pub fn json(gated: &Gated, files_scanned: usize) -> String {
 fn write_finding(out: &mut String, f: &Finding) {
     let _ = write!(
         out,
-        "{{\"file\":{},\"line\":{},\"col\":{},\"id\":{},\"message\":{}}}",
+        "{{\"file\":{},\"line\":{},\"col\":{},\"id\":{},\"message\":{}",
         quote(&f.file),
         f.line,
         f.col,
         quote(f.id),
         quote(&f.message)
     );
+    if !f.witness.is_empty() {
+        out.push_str(",\"witness\":[");
+        for (i, w) in f.witness.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote(w));
+        }
+        out.push(']');
+    }
+    out.push('}');
 }
 
 /// Minimal JSON string quoting.
@@ -106,18 +139,39 @@ mod tests {
 
     fn gated() -> Gated {
         Gated {
-            new: vec![Finding {
-                file: "crates/x/src/lib.rs".to_owned(),
-                line: 3,
-                col: 7,
-                id: "P001",
-                message: "`.unwrap()` in non-test code — return a Result instead".to_owned(),
-            }],
+            new: vec![
+                Finding {
+                    file: "crates/x/src/lib.rs".to_owned(),
+                    line: 3,
+                    col: 7,
+                    id: "P001",
+                    message: "`.unwrap()` in non-test code — return a Result instead".to_owned(),
+                    witness: Vec::new(),
+                },
+                Finding {
+                    file: "crates/x/src/lib.rs".to_owned(),
+                    line: 9,
+                    col: 5,
+                    id: "P003",
+                    message: "panic site `.unwrap()` is reachable from report entry \
+                              `bench::exp02_rowclone::report`"
+                        .to_owned(),
+                    witness: vec![
+                        "bench::exp02_rowclone::report".to_owned(),
+                        "x::helper".to_owned(),
+                    ],
+                },
+            ],
             stale: vec![StaleEntry {
                 file: "crates/y/src/lib.rs".to_owned(),
                 id: "P001".to_owned(),
                 baseline: 4,
                 found: 2,
+            }],
+            outdated: vec![crate::baseline::OutdatedSection {
+                id: "P001".to_owned(),
+                baseline_version: 1,
+                current_version: 2,
             }],
             grandfathered: 10,
         }
@@ -128,7 +182,12 @@ mod tests {
         let t = text(&gated(), 5);
         assert!(t.contains("crates/x/src/lib.rs:3:7: P001:"));
         assert!(t.contains("stale baseline entry"));
-        assert!(t.contains("5 file(s) scanned, 1 new finding(s)"));
+        assert!(t.contains("section [P001 v1]"));
+        assert!(t.contains("5 file(s) scanned, 2 new finding(s)"));
+        assert!(
+            t.contains("[via: bench::exp02_rowclone::report -> x::helper]"),
+            "witness chains print inline: {t}"
+        );
     }
 
     #[test]
@@ -137,6 +196,15 @@ mod tests {
         assert!(j.contains("\"files_scanned\":5"));
         assert!(j.contains("\"id\":\"P001\""));
         assert!(j.contains("\"baseline\":4"));
+        assert!(j.contains("\"baseline_version\":1"));
+        assert!(
+            j.contains("\"witness\":[\"bench::exp02_rowclone::report\",\"x::helper\"]"),
+            "witness arrays in JSON: {j}"
+        );
+        assert!(
+            !j.contains("3,\"id\":\"P001\",\"message\":\"`.unwrap()` in non-test code — return a Result instead\",\"witness\""),
+            "witness key absent when the chain is empty"
+        );
         assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         // Byte-stable: rendering twice is identical.
         assert_eq!(j, json(&gated(), 5));

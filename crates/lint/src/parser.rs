@@ -1,0 +1,688 @@
+//! Item-level recursive-descent parser over the lexer's token stream.
+//!
+//! Just enough structure for interprocedural analysis: `fn` / `impl` /
+//! `mod` / `trait` / `use` items with spans and body token ranges — no
+//! expression parsing, no type checking. The parser **never fails**: on
+//! a token it cannot place it advances one token and keeps going, so
+//! arbitrary (even non-Rust) token streams produce a best-effort item
+//! tree. Two invariants hold on any input and are property-tested in
+//! `tests/parser_props.rs`:
+//!
+//! 1. no panics, and
+//! 2. item spans nest: a child's token range sits strictly inside its
+//!    parent's body range, and sibling ranges are disjoint and ordered.
+
+use crate::lexer::Tok;
+use std::ops::Range;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn name(..) { .. }` (or a bodiless trait-method signature).
+    Fn,
+    /// `impl [Trait for] Type { .. }` — `name` is the *type*.
+    Impl,
+    /// `mod name { .. }` or `mod name;`.
+    Mod,
+    /// `trait Name { .. }`.
+    Trait,
+    /// `struct Name { .. }` — the body (when braced) holds the field
+    /// list, which the call graph mines for receiver types.
+    Struct,
+    /// `use path::to::thing;` — `name` is the joined path text.
+    Use,
+}
+
+/// One parsed item with its position and token extent.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name: the fn/mod/trait/struct name, the impl'd type's last
+    /// path segment, or the `use` path. `?` when it could not be
+    /// determined.
+    pub name: String,
+    /// For `impl Trait for Type` items, the trait's last path segment.
+    pub of_trait: Option<String>,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// 1-based column of the introducing keyword.
+    pub col: u32,
+    /// Token extent of the whole item (keyword through closing brace or
+    /// semicolon), as indices into the code-token slice.
+    pub toks: Range<usize>,
+    /// Tokens strictly inside the item's braces, when it has a body.
+    pub body: Option<Range<usize>>,
+    /// Nested items (module contents, impl/trait methods).
+    pub children: Vec<Item>,
+}
+
+/// Parses the top-level items of one file's code tokens (comments
+/// already stripped, as in [`crate::context::FileContext::code`]).
+#[must_use]
+pub fn parse_items(code: &[Tok]) -> Vec<Item> {
+    let mut p = Parser { code };
+    p.items(0, code.len())
+}
+
+struct Parser<'a> {
+    code: &'a [Tok],
+}
+
+impl Parser<'_> {
+    /// Parses items in `[i, end)`; consumes every token in the range.
+    fn items(&mut self, mut i: usize, end: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        while i < end {
+            match self.item(i, end) {
+                Some(item) => {
+                    i = item.toks.end;
+                    out.push(item);
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+
+    /// Tries to parse one item starting at or after `i` (skipping
+    /// attributes and visibility). Returns `None` when the token at `i`
+    /// does not introduce an item.
+    fn item(&mut self, i: usize, end: usize) -> Option<Item> {
+        let start = i;
+        let mut j = i;
+        // Attributes (`#[..]` / `#![..]`) and visibility (`pub`,
+        // `pub(crate)`) prefix an item but never *are* one.
+        loop {
+            if j < end && self.code[j].is_punct('#') {
+                let mut k = j + 1;
+                if k < end && self.code[k].is_punct('!') {
+                    k += 1;
+                }
+                if k < end && self.code[k].is_punct('[') {
+                    j = self.skip_delimited(k, end, '[', ']');
+                    continue;
+                }
+                return None;
+            }
+            if j < end && self.code[j].is_ident("pub") {
+                j += 1;
+                if j < end && self.code[j].is_punct('(') {
+                    j = self.skip_delimited(j, end, '(', ')');
+                }
+                continue;
+            }
+            break;
+        }
+        // Leading modifiers: `const fn`, `async fn`, `unsafe fn`,
+        // `extern "C" fn`. A `const`/`static`/`type` *item* is skipped
+        // to its `;` so its initializer cannot confuse the item scan.
+        while j < end {
+            let t = &self.code[j];
+            if t.is_ident("const") {
+                if self.code.get(j + 1).is_some_and(|n| n.is_ident("fn")) {
+                    j += 1; // `const fn`
+                } else {
+                    return self.statement_like(start, j, end);
+                }
+            } else if t.is_ident("async") || t.is_ident("unsafe") {
+                j += 1;
+            } else if t.is_ident("extern") {
+                // `extern "C" fn`, `extern crate x;`, or an extern block.
+                let mut k = j + 1;
+                if k < end && self.code[k].kind == crate::lexer::TokKind::Str {
+                    k += 1;
+                }
+                if k < end && self.code[k].is_ident("fn") {
+                    j = k;
+                } else {
+                    return self.statement_like(start, j, end);
+                }
+            } else {
+                break;
+            }
+        }
+        let t = self.code.get(j).filter(|_| j < end)?;
+        let (line, col) = (t.line, t.col);
+        if t.is_ident("fn") {
+            let (name, _) = self.ident_after(j + 1, end);
+            let (body, item_end) = self.signature_then_body(j + 1, end);
+            return Some(Item {
+                kind: ItemKind::Fn,
+                name,
+                of_trait: None,
+                line,
+                col,
+                toks: start..item_end,
+                body,
+                children: Vec::new(),
+            });
+        }
+        if t.is_ident("mod") {
+            let (name, after) = self.ident_after(j + 1, end);
+            if after < end && self.code[after].is_punct('{') {
+                let close = self.skip_delimited(after, end, '{', '}');
+                let children = self.items(after + 1, close.saturating_sub(1));
+                return Some(Item {
+                    kind: ItemKind::Mod,
+                    name,
+                    of_trait: None,
+                    line,
+                    col,
+                    toks: start..close,
+                    body: Some(after + 1..close.saturating_sub(1)),
+                    children,
+                });
+            }
+            // `mod name;` — a file module.
+            let semi = self.next_semi(after, end);
+            return Some(Item {
+                kind: ItemKind::Mod,
+                name,
+                of_trait: None,
+                line,
+                col,
+                toks: start..semi,
+                body: None,
+                children: Vec::new(),
+            });
+        }
+        if t.is_ident("trait") {
+            let (name, _) = self.ident_after(j + 1, end);
+            let (body, item_end) = self.signature_then_body(j + 1, end);
+            let children = match &body {
+                Some(b) => self.items(b.start, b.end),
+                None => Vec::new(),
+            };
+            return Some(Item {
+                kind: ItemKind::Trait,
+                name,
+                of_trait: None,
+                line,
+                col,
+                toks: start..item_end,
+                body,
+                children,
+            });
+        }
+        if t.is_ident("impl") {
+            let (name, of_trait) = self.impl_type_name(j + 1, end);
+            let (body, item_end) = self.signature_then_body(j + 1, end);
+            let children = match &body {
+                Some(b) => self.items(b.start, b.end),
+                None => Vec::new(),
+            };
+            return Some(Item {
+                kind: ItemKind::Impl,
+                name,
+                of_trait,
+                line,
+                col,
+                toks: start..item_end,
+                body,
+                children,
+            });
+        }
+        if t.is_ident("use") {
+            let semi = self.next_semi(j + 1, end);
+            let name: String = self.code[j + 1..semi.saturating_sub(1).max(j + 1)]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            return Some(Item {
+                kind: ItemKind::Use,
+                name,
+                of_trait: None,
+                line,
+                col,
+                toks: start..semi,
+                body: None,
+                children: Vec::new(),
+            });
+        }
+        if t.is_ident("struct") || t.is_ident("enum") || t.is_ident("union") {
+            // Structs keep their name and (braced) field-list body — the
+            // call graph mines `field: Type` pairs for receiver typing.
+            // Enums/unions are consumed (so their bodies are not
+            // mis-parsed as items) but stay opaque.
+            let is_struct = t.is_ident("struct");
+            let (name, after) = self.ident_after(j + 1, end);
+            let item_end = self.type_item_end(after, end);
+            let body = if is_struct
+                && item_end > start + 1
+                && self.code.get(item_end - 1).is_some_and(|c| c.is_punct('}'))
+            {
+                // Tokens strictly inside the braces.
+                self.code[after..item_end]
+                    .iter()
+                    .position(|c| c.is_punct('{'))
+                    .map(|open| after + open + 1..item_end - 1)
+            } else {
+                None
+            };
+            return Some(Item {
+                kind: if is_struct {
+                    ItemKind::Struct
+                } else {
+                    ItemKind::Mod
+                },
+                name: if is_struct { name } else { String::from("?") },
+                of_trait: None,
+                line,
+                col,
+                toks: start..item_end.max(start + 1),
+                body,
+                children: Vec::new(),
+            });
+        }
+        if t.is_ident("static") || t.is_ident("type") || t.is_ident("macro_rules") {
+            return self.statement_like(start, j, end);
+        }
+        None
+    }
+
+    /// Skips a `static`/`const`/`type`/`macro_rules!` item: to the first
+    /// `;` at bracket depth 0, or past a top-level braced block
+    /// (macro_rules bodies). Returns an opaque leaf spanning it.
+    fn statement_like(&mut self, start: usize, j: usize, end: usize) -> Option<Item> {
+        let (line, col) = (self.code[j].line, self.code[j].col);
+        let mut k = j;
+        let mut depth = 0i64;
+        while k < end {
+            let t = &self.code[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') {
+                // `macro_rules! m { .. }` / `const X: T = T { .. };` —
+                // skip the braces wholesale.
+                k = self.skip_delimited(k, end, '{', '}');
+                if self
+                    .code
+                    .get(k)
+                    .filter(|_| k < end)
+                    .is_some_and(|t| t.is_punct(';'))
+                {
+                    k += 1;
+                }
+                // A brace at depth 0 can end the item (macro_rules).
+                if depth <= 0 {
+                    break;
+                }
+                continue;
+            } else if t.is_punct(';') && depth <= 0 {
+                k += 1;
+                break;
+            }
+            k += 1;
+        }
+        Some(Item {
+            kind: ItemKind::Mod, // opaque leaf
+            name: String::from("?"),
+            of_trait: None,
+            line,
+            col,
+            toks: start..k.max(start + 1),
+            body: None,
+            children: Vec::new(),
+        })
+    }
+
+    /// The end of a `struct`/`enum` item starting after its name: the
+    /// matching close of its brace block, or its terminating `;`
+    /// (unit/tuple structs).
+    fn type_item_end(&mut self, mut k: usize, end: usize) -> usize {
+        let mut angle = 0i64;
+        while k < end {
+            let t = &self.code[k];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && angle > 0 {
+                angle -= 1;
+            } else if t.is_punct('{') && angle == 0 {
+                return self.skip_delimited(k, end, '{', '}');
+            } else if t.is_punct('(') {
+                k = self.skip_delimited(k, end, '(', ')');
+                continue;
+            } else if t.is_punct(';') && angle == 0 {
+                return k + 1;
+            }
+            k += 1;
+        }
+        end
+    }
+
+    /// The name (and following index) of the first identifier at `i`.
+    fn ident_after(&self, i: usize, end: usize) -> (String, usize) {
+        match self.code.get(i).filter(|_| i < end) {
+            Some(t) if t.kind == crate::lexer::TokKind::Ident => (t.text.clone(), i + 1),
+            _ => (String::from("?"), i),
+        }
+    }
+
+    /// Walks a signature from `i` to its body `{`, `;`, or range end —
+    /// tracking paren/bracket depth and generic angle depth so `{` in
+    /// argument position or `->` arrows cannot end the walk early. `>>`
+    /// closing nested generics arrives as two `>` tokens and simply
+    /// decrements twice. Returns the body token range (if any) and the
+    /// index one past the item.
+    fn signature_then_body(&mut self, i: usize, end: usize) -> (Option<Range<usize>>, usize) {
+        let mut k = i;
+        let mut angle = 0i64;
+        while k < end {
+            let t = &self.code[k];
+            if t.is_punct('(') {
+                k = self.skip_delimited(k, end, '(', ')').max(k + 1);
+                continue;
+            }
+            if t.is_punct('[') {
+                k = self.skip_delimited(k, end, '[', ']').max(k + 1);
+                continue;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                if angle > 0 {
+                    angle -= 1;
+                }
+            } else if t.is_punct(';') && angle == 0 {
+                return (None, k + 1);
+            } else if t.is_punct('{') && angle == 0 {
+                let close = self.skip_delimited(k, end, '{', '}');
+                return (Some(k + 1..close.saturating_sub(1)), close);
+            }
+            k += 1;
+        }
+        (None, end)
+    }
+
+    /// Extracts `(type, trait)` names from an `impl` header: the type is
+    /// the last identifier at angle/paren depth 0 before the body (after
+    /// `for`, when present); for `impl Trait for Type`, the identifier
+    /// the `for` displaced is the trait. `where` clauses and reference
+    /// sigils are skipped.
+    fn impl_type_name(&self, i: usize, end: usize) -> (String, Option<String>) {
+        let mut k = i;
+        let mut angle = 0i64;
+        let mut paren = 0i64;
+        let mut name = String::from("?");
+        let mut of_trait = None;
+        while k < end {
+            let t = &self.code[k];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                if angle > 0 {
+                    angle -= 1;
+                }
+            } else if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if ((t.is_punct('{') || t.is_punct(';')) && angle == 0 && paren <= 0)
+                || (t.is_ident("where") && angle == 0)
+            {
+                break;
+            } else if t.is_ident("for") && angle == 0 {
+                // The trait came first; what follows is the type.
+                if name != "?" {
+                    of_trait = Some(std::mem::replace(&mut name, String::from("?")));
+                } else {
+                    name = String::from("?");
+                }
+            } else if angle == 0
+                && paren <= 0
+                && t.kind == crate::lexer::TokKind::Ident
+                && !matches!(t.text.as_str(), "dyn" | "mut" | "ref" | "as")
+            {
+                name = t.text.clone();
+            }
+            k += 1;
+        }
+        (name, of_trait)
+    }
+
+    /// Index one past the matching closer for the opener at `open`.
+    fn skip_delimited(&self, open: usize, end: usize, o: char, c: char) -> usize {
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < end {
+            let t = &self.code[k];
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            k += 1;
+        }
+        end
+    }
+
+    /// Index one past the next `;` at brace depth 0 (or `end`).
+    fn next_semi(&self, i: usize, end: usize) -> usize {
+        let mut k = i;
+        let mut depth = 0i64;
+        while k < end {
+            let t = &self.code[k];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth <= 0 {
+                return k + 1;
+            }
+            k += 1;
+        }
+        end
+    }
+}
+
+/// Checks the span-nesting invariant over an item tree: children sit
+/// inside their parent's extent, siblings are disjoint and ordered.
+/// Returns the first violation as text, for the property test.
+#[must_use]
+pub fn check_nesting(items: &[Item], bound: Range<usize>) -> Option<String> {
+    let mut prev_end = bound.start;
+    for it in items {
+        if it.toks.start < prev_end || it.toks.end > bound.end || it.toks.start > it.toks.end {
+            return Some(format!(
+                "item `{}` span {:?} escapes bound {bound:?} (prev sibling ended at {prev_end})",
+                it.name, it.toks
+            ));
+        }
+        if let Some(b) = &it.body {
+            if b.start < it.toks.start || b.end > it.toks.end {
+                return Some(format!(
+                    "item `{}` body {b:?} escapes its own span {:?}",
+                    it.name, it.toks
+                ));
+            }
+            if let Some(err) = check_nesting(&it.children, b.clone()) {
+                return Some(err);
+            }
+        } else if !it.children.is_empty() {
+            return Some(format!("bodiless item `{}` has children", it.name));
+        }
+        prev_end = it.toks.end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::lexer::TokKind;
+
+    fn parse(src: &str) -> (Vec<Tok>, Vec<Item>) {
+        let code: Vec<Tok> = tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        let items = parse_items(&code);
+        (code, items)
+    }
+
+    fn named(items: &[Item], kind: ItemKind) -> Vec<&str> {
+        items
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(|i| i.name.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn fns_mods_impls_traits_and_uses_parse_with_names() {
+        let src = "
+use std::fmt::Write;
+pub fn free(x: u32) -> u32 { x + 1 }
+mod inner { pub fn nested() {} }
+pub struct S { pub a: u32 }
+impl S { pub fn method(&self) -> u32 { self.a } }
+trait T { fn required(&self); fn default_body(&self) -> u32 { 7 } }
+impl T for S { fn required(&self) {} }
+";
+        let (code, items) = parse(src);
+        assert!(check_nesting(&items, 0..code.len()).is_none());
+        assert_eq!(named(&items, ItemKind::Fn), ["free"]);
+        assert_eq!(named(&items, ItemKind::Mod), ["inner"]);
+        assert_eq!(named(&items, ItemKind::Struct), ["S"]);
+        assert_eq!(named(&items, ItemKind::Impl), ["S", "S"]);
+        assert_eq!(named(&items, ItemKind::Trait), ["T"]);
+        let inner = items.iter().find(|i| i.name == "inner").expect("mod");
+        assert_eq!(named(&inner.children, ItemKind::Fn), ["nested"]);
+        let imp = items
+            .iter()
+            .find(|i| i.kind == ItemKind::Impl)
+            .expect("impl");
+        assert_eq!(named(&imp.children, ItemKind::Fn), ["method"]);
+        let tr = items
+            .iter()
+            .find(|i| i.kind == ItemKind::Trait)
+            .expect("trait");
+        assert_eq!(
+            named(&tr.children, ItemKind::Fn),
+            ["required", "default_body"]
+        );
+        assert!(tr.children[0].body.is_none(), "signature-only method");
+        assert!(tr.children[1].body.is_some(), "default body parsed");
+    }
+
+    #[test]
+    fn nested_generics_close_with_double_angle() {
+        // The `>>` regression: two closers must both count, or the body
+        // would be misplaced and `g` lost.
+        let (_, items) = parse("fn f(x: Vec<Vec<u32>>) -> Option<Option<u8>> { g() }");
+        assert_eq!(items.len(), 1);
+        let body = items[0].body.clone().expect("body found");
+        assert!(body.end > body.start, "body must be non-empty");
+    }
+
+    #[test]
+    fn raw_identifier_fn_names_do_not_confuse_item_scan() {
+        // `let r#fn` must not open a phantom function item.
+        let (code, items) = parse("fn real() { let r#fn = 1; }\nfn next() {}");
+        assert!(check_nesting(&items, 0..code.len()).is_none());
+        assert_eq!(named(&items, ItemKind::Fn), ["real", "next"]);
+    }
+
+    #[test]
+    fn impl_names_resolve_through_generics_refs_and_for() {
+        let (_, items) = parse(
+            "impl<'a, T: Clone> Wrapper<'a, T> { fn a(&self) {} }
+             impl std::fmt::Display for Finding { fn fmt(&self) {} }
+             impl Clocked for &mut Controller { fn tick(&mut self) {} }",
+        );
+        assert_eq!(
+            named(&items, ItemKind::Impl),
+            ["Wrapper", "Finding", "Controller"]
+        );
+    }
+
+    #[test]
+    fn const_static_type_items_are_opaque_and_do_not_derail() {
+        let (code, items) = parse(
+            "const TABLE: [u8; 4] = [1, 2, 3, 4];
+             static NAME: &str = \"x; y\";
+             type Alias = Vec<u32>;
+             const STRUCTY: Point = Point { x: 1, y: 2 };
+             fn after() {}",
+        );
+        assert!(check_nesting(&items, 0..code.len()).is_none());
+        assert_eq!(named(&items, ItemKind::Fn), ["after"]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped_wholesale() {
+        let (code, items) = parse(
+            "macro_rules! m { ($x:expr) => { fn not_an_item() {} }; }
+             fn real() {}",
+        );
+        assert!(check_nesting(&items, 0..code.len()).is_none());
+        assert_eq!(named(&items, ItemKind::Fn), ["real"]);
+    }
+
+    #[test]
+    fn where_clauses_and_semis_do_not_end_fn_early() {
+        let (_, items) =
+            parse("fn generic<T>(x: T) -> Vec<T> where T: Clone + Ord { body(x); more() }");
+        assert_eq!(items.len(), 1);
+        let body = items[0].body.clone().expect("body");
+        assert!(body.len() > 5);
+    }
+
+    #[test]
+    fn impl_trait_for_type_captures_the_trait() {
+        let (_, items) = parse(
+            "impl Clocked for Controller { fn tick(&mut self) {} }
+             impl Controller { fn plain(&self) {} }
+             impl std::fmt::Display for Finding { fn fmt(&self) {} }",
+        );
+        let traits: Vec<_> = items.iter().map(|i| i.of_trait.as_deref()).collect();
+        assert_eq!(traits, [Some("Clocked"), None, Some("Display")]);
+        assert_eq!(
+            named(&items, ItemKind::Impl),
+            ["Controller", "Controller", "Finding"]
+        );
+    }
+
+    #[test]
+    fn struct_items_expose_their_field_list() {
+        let (code, items) = parse(
+            "pub struct Sched { pub agent: QAgent, table: Vec<Entry> }
+             struct Unit;
+             struct Tuple(u32, u32);",
+        );
+        assert!(check_nesting(&items, 0..code.len()).is_none());
+        assert_eq!(named(&items, ItemKind::Struct), ["Sched", "Unit", "Tuple"]);
+        let body = items[0].body.clone().expect("field list");
+        assert!(code[body].iter().any(|t| t.is_ident("QAgent")));
+        assert!(items[1].body.is_none(), "unit struct has no field list");
+        assert!(items[2].body.is_none(), "tuple struct has no field list");
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "mod",
+            "use",
+            "}}}{{{",
+            "fn f( { } )",
+            "trait X fn impl",
+            "#[ #[ fn",
+            "pub pub pub",
+            "const",
+            "extern",
+        ] {
+            let (code, items) = parse(src);
+            assert!(check_nesting(&items, 0..code.len()).is_none(), "src: {src}");
+        }
+    }
+}

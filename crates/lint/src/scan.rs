@@ -1,11 +1,17 @@
-//! Workspace traversal: find every `.rs` source, run the per-file lints,
-//! then the cross-file passes.
+//! Workspace traversal and the analysis pipeline: load every `.rs`
+//! source, run per-file lints *raw*, build the call graph, run the
+//! interprocedural passes, then apply `// lint: allow` waivers centrally
+//! — which is what lets W001 flag the waivers that silenced nothing.
 
-use crate::context::FileContext;
+use crate::context::{path_is_testlike, FileContext};
+use crate::graph::CallGraph;
+use crate::ipa::{check_graph, ParsedFile};
 use crate::lexer::tokenize;
 use crate::lints::{
     check_bench_bin, check_crate_root, check_file, check_metric_collisions, Finding, MetricSite,
 };
+use crate::parser::parse_items;
+use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -91,17 +97,118 @@ fn relative(root: &Path, path: &Path) -> Option<String> {
     Some(parts.join("/"))
 }
 
-/// Lints one already-loaded source file. Exposed for fixture tests.
+/// Lints one already-loaded source file with the **per-file** catalog
+/// only (no call-graph lints, no W001 — those need the whole workspace;
+/// see [`analyze_sources`]). Waivers are applied. Exposed for fixture
+/// tests.
 #[must_use]
 pub fn analyze_source(path: &str, src: &str, metrics: &mut Vec<MetricSite>) -> Vec<Finding> {
     let ctx = FileContext::build(path, tokenize(src));
-    let mut findings = check_file(path, &ctx, metrics);
+    let mut findings = file_raw(path, &ctx, metrics);
+    findings.retain(|f| ctx.allow_line(f.id, f.line).is_none());
+    findings
+}
+
+/// Per-file raw findings for `path`; M002 registration sites are
+/// appended to `metrics` for the cross-file pass.
+fn file_raw(path: &str, ctx: &FileContext, metrics: &mut Vec<MetricSite>) -> Vec<Finding> {
+    let mut findings = check_file(path, ctx, metrics);
     if is_crate_root(path) {
-        findings.extend(check_crate_root(path, &ctx));
+        findings.extend(check_crate_root(path, ctx));
     }
     if is_bench_bin(path) {
-        findings.extend(check_bench_bin(path, &ctx));
+        findings.extend(check_bench_bin(path, ctx));
     }
+    findings
+}
+
+/// Runs the **full** pipeline — per-file lints, call graph,
+/// interprocedural passes, central waiver filtering, W001 — over a set
+/// of in-memory sources. This is what [`analyze`] uses; fixture tests
+/// call it directly with synthetic multi-crate workspaces.
+#[must_use]
+pub fn analyze_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let mut files: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(path, src)| {
+            let ctx = FileContext::build(path, tokenize(src));
+            let items = parse_items(&ctx.code);
+            ((*path).to_owned(), ctx, items)
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Phase 1: raw per-file findings + metric sites.
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut metrics: Vec<MetricSite> = Vec::new();
+    for (path, ctx, _) in &files {
+        raw.extend(file_raw(path, ctx, &mut metrics));
+    }
+    raw.extend(check_metric_collisions(&metrics));
+
+    // Phase 2: call graph + interprocedural lints (these pre-exclude
+    // cross-lint-waived sites themselves; their own waivers are applied
+    // by the central filter below, like everyone else's).
+    let graph = CallGraph::build(&files);
+    raw.extend(check_graph(&files, &graph));
+
+    // Phase 3: central waiver filter. A waiver that suppresses at least
+    // one raw finding — or excludes an M002 registration site — is
+    // *used*; the rest are dead.
+    let mut used: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let ctx = files
+            .iter()
+            .find(|(p, _, _)| *p == f.file)
+            .map(|(_, c, _)| c);
+        match ctx.and_then(|c| c.allow_line(f.id, f.line)) {
+            Some(at) => {
+                used.insert((f.file.clone(), at, f.id.to_owned()));
+            }
+            None => findings.push(f),
+        }
+    }
+    for m in metrics.iter().filter(|m| m.waived) {
+        if let Some((path, ctx, _)) = files.iter().find(|(p, _, _)| *p == m.file) {
+            if let Some(at) = ctx.allow_line("M002", m.line) {
+                used.insert((path.clone(), at, "M002".to_owned()));
+            }
+        }
+    }
+
+    // Phase 4: W001 — declared waivers that silenced nothing. Waivers in
+    // test-like files or covering test-context code are documentation,
+    // not suppressions, and are skipped. A dead waiver can itself be
+    // waived with `allow(W001, reason)` (one round; W001 waivers used
+    // this way are not re-examined).
+    for (path, ctx, _) in &files {
+        if path_is_testlike(path) {
+            continue;
+        }
+        for (&line, ids) in &ctx.allows {
+            if ctx.waiver_covers_test_code(line) {
+                continue;
+            }
+            for id in ids {
+                if id == "W001" || used.contains(&(path.clone(), line, id.clone())) {
+                    continue;
+                }
+                let f = Finding::new(
+                    path,
+                    line,
+                    1,
+                    "W001",
+                    format!("`lint: allow({id}, …)` no longer silences any finding — delete it"),
+                );
+                if ctx.allow_line("W001", f.line).is_none() {
+                    findings.push(f);
+                }
+            }
+        }
+    }
+
+    findings.sort();
     findings
 }
 
@@ -112,16 +219,16 @@ pub fn analyze_source(path: &str, src: &str, metrics: &mut Vec<MetricSite>) -> V
 /// Propagates I/O failures reading the tree.
 pub fn analyze(root: &Path) -> io::Result<Analysis> {
     let sources = collect_sources(root)?;
-    let mut findings = Vec::new();
-    let mut metrics: Vec<MetricSite> = Vec::new();
+    let mut loaded: Vec<(String, String)> = Vec::with_capacity(sources.len());
     for rel in &sources {
-        let src = std::fs::read_to_string(root.join(rel))?;
-        findings.extend(analyze_source(rel, &src, &mut metrics));
+        loaded.push((rel.clone(), std::fs::read_to_string(root.join(rel))?));
     }
-    findings.extend(check_metric_collisions(&metrics));
-    findings.sort();
+    let refs: Vec<(&str, &str)> = loaded
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
     Ok(Analysis {
-        findings,
+        findings: analyze_sources(&refs),
         files_scanned: sources.len(),
     })
 }
@@ -150,5 +257,56 @@ mod tests {
         assert_eq!(f[0].id, "P001");
         let waived = "fn f() { x.unwrap(); // lint: allow(P001, test helper)\n}";
         assert!(analyze_source("crates/x/src/util.rs", waived, &mut m).is_empty());
+    }
+
+    #[test]
+    fn dead_waivers_surface_as_w001_and_used_ones_do_not() {
+        let findings = analyze_sources(&[(
+            "crates/x/src/util.rs",
+            "fn f() { x.unwrap(); // lint: allow(P001, justified)\n}\n\
+             // lint: allow(D002, stale — the Instant read was removed)\n\
+             fn g() {}",
+        )]);
+        let w001: Vec<&Finding> = findings.iter().filter(|f| f.id == "W001").collect();
+        assert_eq!(w001.len(), 1, "{findings:?}");
+        assert_eq!(w001[0].line, 3);
+        assert!(w001[0].message.contains("D002"));
+        assert!(
+            findings.iter().all(|f| f.id != "P001"),
+            "waiver still works"
+        );
+    }
+
+    #[test]
+    fn w001_skips_waivers_on_test_code_and_can_itself_be_waived() {
+        let findings = analyze_sources(&[(
+            "crates/x/src/util.rs",
+            "#[cfg(test)]\nmod tests {\n    // lint: allow(P001, fixture)\n    fn h() {}\n}\n\
+             // lint: allow(D004, kept while the refactor lands) lint: allow(W001, see issue 12)\n\
+             fn g() {}",
+        )]);
+        assert!(
+            findings.iter().all(|f| f.id != "W001"),
+            "test-context + W001-waived declarations stay quiet: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn m002_waivers_count_as_used() {
+        let findings = analyze_sources(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn a(reg: &mut R) { reg.counter(\"dram.reads\", 1); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn b(reg: &mut R) {
+                     // lint: allow(M002, re-export of the dram counter)
+                     reg.counter(\"dram.reads\", 1);
+                 }",
+            ),
+        ]);
+        assert!(findings.iter().all(|f| f.id != "M002"), "{findings:?}");
+        assert!(findings.iter().all(|f| f.id != "W001"), "{findings:?}");
     }
 }

@@ -3,7 +3,7 @@
 //! lived at the workspace path named by its `// path:` header.
 
 use ia_lint::lints::{check_metric_collisions, MetricSite};
-use ia_lint::{analyze_source, CATALOG};
+use ia_lint::{analyze_source, analyze_sources, Finding, CATALOG};
 use std::path::{Path, PathBuf};
 
 fn fixture_dir() -> PathBuf {
@@ -41,11 +41,16 @@ const PAIRED_IDS: &[&str] = &[
     "D001", "D002", "D003", "D004", "D005", "M001", "P001", "P002", "S001", "S002",
 ];
 
+/// IDs whose fixtures need the full pipeline — call graph plus waiver
+/// accounting — so their pairs run through `analyze_sources` instead of
+/// the per-file `analyze_source`.
+const GRAPH_PAIRED_IDS: &[&str] = &["D006", "H002", "P003", "W001"];
+
 #[test]
 fn every_catalog_id_has_fixture_coverage() {
     for l in CATALOG {
         assert!(
-            PAIRED_IDS.contains(&l.id) || l.id == "M002",
+            PAIRED_IDS.contains(&l.id) || GRAPH_PAIRED_IDS.contains(&l.id) || l.id == "M002",
             "lint {} has no fixture coverage — add {}_bad.rs / {}_ok.rs",
             l.id,
             l.id.to_lowercase(),
@@ -75,6 +80,83 @@ fn ok_fixtures_are_clean() {
         let ids = lint_ids(&name, &mut metrics);
         assert!(ids.is_empty(), "{name} must be clean, got {ids:?}");
     }
+}
+
+/// Runs the full pipeline over a set of fixtures, returning all findings.
+fn pipeline(names: &[&str]) -> Vec<Finding> {
+    let loaded: Vec<(String, String)> = names.iter().map(|n| load(n)).collect();
+    let refs: Vec<(&str, &str)> = loaded
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    analyze_sources(&refs)
+}
+
+/// Findings of one fixture under the full pipeline, as sorted deduped IDs.
+fn pipeline_ids(name: &str) -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = pipeline(&[name]).into_iter().map(|f| f.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn graph_bad_fixtures_trigger_their_lint() {
+    // p003_bad keeps the P001 the panic site itself carries: the pair
+    // demonstrates reachability on top of the local lint, and waiving
+    // the P001 would (by design) silence P003 too.
+    let expected: &[(&str, &[&str])] = &[
+        ("d006_bad.rs", &["D006"]),
+        ("h002_bad.rs", &["H002"]),
+        ("p003_bad.rs", &["P001", "P003"]),
+        ("w001_bad.rs", &["W001"]),
+    ];
+    for (name, want) in expected {
+        let ids = pipeline_ids(name);
+        assert_eq!(&ids, want, "{name} must produce exactly {want:?}");
+    }
+}
+
+#[test]
+fn graph_ok_fixtures_carry_no_graph_findings() {
+    // p003_ok deliberately keeps a live (unreachable) unwrap, so its
+    // local P001 remains — only the reachability finding must be gone.
+    let expected: &[(&str, &[&str])] = &[
+        ("d006_ok.rs", &[]),
+        ("h002_ok.rs", &[]),
+        ("p003_ok.rs", &["P001"]),
+        ("w001_ok.rs", &[]),
+    ];
+    for (name, want) in expected {
+        let ids = pipeline_ids(name);
+        assert_eq!(&ids, want, "{name} must produce exactly {want:?}");
+    }
+}
+
+#[test]
+fn cross_crate_call_graph_resolves_a_three_crate_witness() {
+    let files = [
+        "callgraph_entry.rs",
+        "callgraph_mid.rs",
+        "callgraph_deep.rs",
+    ];
+    let findings = pipeline(&files);
+    let p003: Vec<&Finding> = findings.iter().filter(|f| f.id == "P003").collect();
+    assert_eq!(p003.len(), 1, "one reachable panic site: {findings:?}");
+    assert_eq!(p003[0].file, "crates/tbl/src/fake_pick.rs");
+    assert_eq!(
+        p003[0].witness,
+        [
+            "bench::exp91_fake::report",
+            "sched::fake_stage::stage",
+            "sched::fake_stage::finalize",
+            "tbl::fake_pick::pick",
+        ],
+        "the witness spells out the whole cross-crate chain"
+    );
+    // The chain is shortest-path deterministic: a second run over the
+    // same sources reproduces every finding byte for byte.
+    assert_eq!(findings, pipeline(&files));
 }
 
 #[test]

@@ -1,0 +1,6 @@
+// path: crates/tbl/src/fake_pick.rs
+// Three-crate call-graph fixture, crate 3 of 3: the panic site whose
+// P003 witness must spell out the whole cross-crate chain.
+pub fn pick(i: usize) -> Report {
+    ROWS.get(i).unwrap()
+}

@@ -1,0 +1,7 @@
+// path: crates/bench/src/exp91_fake.rs
+// Three-crate call-graph fixture, crate 1 of 3: the report entry point.
+// The chain is report -> stage -> finalize -> pick, crossing two crate
+// boundaries before reaching the panic site in callgraph_deep.rs.
+pub fn report(quick: bool) -> Report {
+    ia_sched::stage(quick)
+}

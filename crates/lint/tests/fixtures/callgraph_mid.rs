@@ -1,0 +1,11 @@
+// path: crates/sched/src/fake_stage.rs
+// Three-crate call-graph fixture, crate 2 of 3: the middle hop, with an
+// intra-file edge (stage -> finalize) before the next crate boundary.
+pub fn stage(quick: bool) -> Report {
+    let row = if quick { 0 } else { 1 };
+    finalize(row)
+}
+
+fn finalize(row: usize) -> Report {
+    ia_tbl::pick(row)
+}

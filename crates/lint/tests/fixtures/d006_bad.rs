@@ -1,0 +1,11 @@
+// path: crates/par/src/fake_diag.rs
+// D006: a wall-clock read flowing into a metric writer through the call
+// graph. The path-based D002 exemption for ia-par does not help here —
+// once the value can reach report bytes, the read is a determinism leak.
+pub fn emit(reg: &mut Registry) {
+    reg.counter("pool.depth", sampled());
+}
+
+fn sampled() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+// path: crates/par/src/fake_diag.rs
+// D006 negative: the same wall-clock read, but it exits only through
+// `runtime_metric` — the designed stderr-only diagnostics channel, which
+// never enters report bytes and is not a D006 sink.
+pub fn emit(reg: &mut Registry) {
+    reg.runtime_metric("pool.wall_ns", sampled());
+}
+
+fn sampled() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

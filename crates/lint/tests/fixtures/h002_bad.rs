@@ -1,0 +1,11 @@
+// path: crates/noc/src/fake_mesh.rs
+// H002: an allocation in the call closure of a hot-path function. The
+// hot body itself is clean (that would be D005); the callee allocates.
+// lint: hot-path
+fn tick() {
+    route_step();
+}
+
+fn route_step() -> Vec<u32> {
+    Vec::new()
+}

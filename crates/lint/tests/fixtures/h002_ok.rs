@@ -1,0 +1,15 @@
+// path: crates/noc/src/fake_mesh.rs
+// H002 negative: the hot closure is allocation-free; the allocating
+// function exists but is never called from the hot path.
+// lint: hot-path
+fn tick() {
+    route_step();
+}
+
+fn route_step() -> u32 {
+    0
+}
+
+fn cold_rebuild() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,11 @@
+// path: crates/bench/src/exp90_fake.rs
+// P003: a panic site reachable from an experiment report entry point.
+// The unwrap itself also carries P001 — the pair demonstrates
+// reachability on top of the local lint, not instead of it.
+pub fn report(quick: bool) -> Report {
+    assemble(quick)
+}
+
+fn assemble(_quick: bool) -> Report {
+    TABLE.get(0).unwrap()
+}

@@ -1,0 +1,11 @@
+// path: crates/bench/src/exp90_fake.rs
+// P003 negative: the same unwrap, but nothing on a report path calls it.
+// The site still carries its local P001 — only the reachability finding
+// must be absent.
+pub fn report(_quick: bool) -> Report {
+    Report::default()
+}
+
+fn island() -> Row {
+    TABLE.get(0).unwrap()
+}

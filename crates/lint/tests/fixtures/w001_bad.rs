@@ -1,0 +1,7 @@
+// path: crates/dram/src/fake_refresh.rs
+// W001: a waiver that silences nothing — the unwrap it once covered was
+// replaced by saturating math, so the declaration is dead.
+fn decay(x: u64) -> u64 {
+    // lint: allow(P001, stale - the unwrap below was replaced by saturating math)
+    x.saturating_sub(1)
+}

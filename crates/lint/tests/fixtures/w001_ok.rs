@@ -1,0 +1,7 @@
+// path: crates/dram/src/fake_refresh.rs
+// W001 negative: the waiver suppresses a live P001 finding, so it is
+// used, not dead.
+fn decay(stamps: &[u64]) -> u64 {
+    // lint: allow(P001, the caller guarantees a non-empty stamp list)
+    *stamps.iter().min().unwrap()
+}

@@ -1,0 +1,55 @@
+//! Property tests for the item parser's two structural invariants (see
+//! `src/parser.rs` module docs): on **any** input — well-formed Rust,
+//! truncated Rust, or outright garbage — parsing never panics, and the
+//! resulting item spans nest (children strictly inside their parent's
+//! body, siblings disjoint and ordered).
+
+use ia_lint::lexer::{tokenize, Tok, TokKind};
+use ia_lint::parser::{check_nesting, parse_items};
+use proptest::prelude::*;
+
+/// Rust-ish fragments, deliberately including unbalanced delimiters,
+/// orphaned keywords, and half-finished generics: random compositions
+/// cover the recovery paths a corpus of valid files never reaches.
+const FRAGMENTS: &[&str] = &[
+    "fn", "impl", "mod", "use", "struct", "trait", "enum", "pub", "for", "where", "dyn", "crate",
+    "step", "Engine", "Self", "T", "r#type", "'a", "'c'", "\"str\"", "123", "0x1f", "<", ">", ">>",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":", "::", "->", "#", "!", "=", ".", "&",
+];
+
+/// Builds a source string from fragment indices, then tokenizes and
+/// strips comments — the exact shape [`parse_items`] is fed by the scan
+/// pipeline.
+fn code_from(indices: &[usize]) -> Vec<Tok> {
+    let src: Vec<&str> = indices.iter().map(|&i| FRAGMENTS[i]).collect();
+    tokenize(&src.join(" "))
+        .into_iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_and_spans_nest_on_rust_like_streams(
+        idx in prop::collection::vec(0usize..FRAGMENTS.len(), 0..120),
+    ) {
+        let code = code_from(&idx);
+        let items = parse_items(&code);
+        prop_assert_eq!(check_nesting(&items, 0..code.len()), None);
+    }
+
+    #[test]
+    fn parser_never_panics_and_spans_nest_on_arbitrary_text(
+        bytes in prop::collection::vec(any::<u8>(), 0..240),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let code: Vec<Tok> = tokenize(&src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        let items = parse_items(&code);
+        prop_assert_eq!(check_nesting(&items, 0..code.len()), None);
+    }
+}

@@ -30,15 +30,14 @@ fn workspace_is_clean_under_the_checked_in_baseline() {
         gated.new,
         gated.stale
     );
-    // The ratchet only grandfathers the panic-policy lint: determinism
-    // (D), metric (M), and safety (S) findings are never baselined.
-    for line in text.lines().filter(|l| !l.trim_start().starts_with('#')) {
-        if let Some(id) = line.split_whitespace().nth(1) {
-            assert!(
-                id.starts_with('P'),
-                "baseline may only carry P-series entries, found `{line}`"
-            );
-        }
+    // The ratchet only grandfathers the panic-policy lints: determinism
+    // (D), metric (M), safety (S), and waiver (W) findings are never
+    // baselined.
+    for id in baseline.section_ids() {
+        assert!(
+            id.starts_with('P'),
+            "baseline may only carry P-series sections, found `[{id}]`"
+        );
     }
 }
 
@@ -124,8 +123,48 @@ fn json_output_is_byte_stable_across_runs() {
     assert_eq!(a.status.code(), Some(1));
     assert_eq!(a.stdout, b.stdout, "--json must be byte-stable for diffing");
     let doc = String::from_utf8(a.stdout).expect("utf-8");
-    assert!(doc.starts_with("{\"version\":1"));
+    assert!(doc.starts_with("{\"version\":2"));
     assert!(doc.contains("\"id\":\"P001\""));
+}
+
+/// A three-crate fake workspace whose report entry reaches a panic site
+/// two crate-hops away: the P003 witness chain must come out identical —
+/// byte for byte — on every run, which is what makes `--json` diffable
+/// in CI.
+#[test]
+fn p003_witness_chains_are_byte_stable_across_runs() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ws_witness");
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, src) in [
+        (
+            "crates/bench/src/exp01_demo.rs",
+            "pub fn report(quick: bool) -> Report { ia_mid::stage(quick) }\n",
+        ),
+        (
+            "crates/mid/src/util.rs",
+            "pub fn stage(quick: bool) -> Report { ia_deep::pick(quick) }\n",
+        ),
+        (
+            "crates/deep/src/core.rs",
+            "pub fn pick(quick: bool) -> Report { ROWS.get(0).unwrap() }\n",
+        ),
+    ] {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        std::fs::write(path, src).expect("write source");
+    }
+    let rootarg = root.to_str().expect("utf-8 path");
+    let a = run_lint(&["--json", "--root", rootarg]);
+    let b = run_lint(&["--json", "--root", rootarg]);
+    assert_eq!(a.status.code(), Some(1), "the unwrap must fail the gate");
+    assert_eq!(a.stdout, b.stdout, "witness chains must be byte-stable");
+    let doc = String::from_utf8(a.stdout).expect("utf-8");
+    assert!(
+        doc.contains(
+            "\"witness\":[\"bench::exp01_demo::report\",\"mid::util::stage\",\"deep::core::pick\"]"
+        ),
+        "the P003 witness must spell out the cross-crate chain, got:\n{doc}"
+    );
 }
 
 #[test]

@@ -16,6 +16,10 @@
 //!   engine's O(1) next-event machinery.
 //! * **noc-route-flit** — one [`RouteTable`] XY lookup plus a
 //!   productive-port query, the per-flit work of the mesh hot loop.
+//! * **lint-parse-workspace** — one full ia-lint front-end pass (lex,
+//!   comment-strip, item-parse) over a deterministic synthetic source
+//!   file: the per-file cost behind the `ia-lint --check` wall-time
+//!   budget in `scripts/ci.sh`.
 //!
 //! ## Determinism (lint D002)
 //!
@@ -48,6 +52,9 @@
 use std::time::Instant;
 
 use ia_dram::{Cycle, DramConfig, DramModule, PhysAddr};
+use ia_lint::context::FileContext;
+use ia_lint::lexer::tokenize;
+use ia_lint::parser::{parse_items, Item};
 use ia_memctrl::{FrFcfs, IssueView, MemRequest, Pending, RequestQueue, Scheduler, ViewMode};
 use ia_noc::{MeshConfig, RouteTable};
 use ia_sim::EventWheel;
@@ -251,6 +258,65 @@ fn noc_route_flit(iters: u64) -> Sample {
     }
 }
 
+/// One synthetic source file for the lint-parse kernel: Rust-like items
+/// exercising the parser's shapes — impls, traits, modules, nested
+/// generics, raw identifiers, doc comments — sized like a mid-size
+/// workspace module. Deterministic in `i`, so the corpus (and the
+/// checksum folded from parsing it) never varies.
+fn synth_source(i: u64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("#![forbid(unsafe_code)]\nuse std::collections::BTreeMap;\n");
+    for j in 0..6u64 {
+        let _ = write!(
+            s,
+            "/// Doc line for item {j}.\n\
+             pub struct S{i}x{j} {{ pub field: Vec<Vec<u64>>, r#type: BTreeMap<u64, u64> }}\n\
+             impl Clocked for S{i}x{j} {{\n\
+                 fn tick(&mut self, now: Cycle) {{ self.field.len(); helper_{j}(now); }}\n\
+             }}\n\
+             pub fn helper_{j}(x: u64) -> u64 {{ x.wrapping_mul({i} + {j}) }}\n\
+             mod m{j} {{ pub fn inner() -> u32 {{ 7 }} }}\n"
+        );
+    }
+    s
+}
+
+/// Folds an item tree's spans and names into the checksum, depth-first.
+fn fold_items(mut acc: u64, items: &[Item]) -> u64 {
+    for it in items {
+        acc = fold(acc, it.toks.start as u64);
+        acc = fold(acc, it.toks.end as u64);
+        acc = fold(acc, it.name.len() as u64 + 1);
+        acc = fold_items(acc, &it.children);
+    }
+    acc
+}
+
+/// One full ia-lint front-end pass per op — lex, comment-strip and
+/// test-mark ([`FileContext::build`]), item-parse — cycling through an
+/// 8-file deterministic corpus. This is the per-file cost of
+/// `ia-lint --check`, which `scripts/ci.sh` budgets at under 2 seconds
+/// for the whole workspace.
+fn lint_parse_workspace(iters: u64) -> Sample {
+    let corpus: Vec<String> = (0..8).map(synth_source).collect();
+    let mut checksum = 0u64;
+    // lint: allow(D002, harness timing around the measured region; JSON carries no wall-clock field)
+    let start = Instant::now();
+    for i in 0..iters {
+        let src = &corpus[(i % corpus.len() as u64) as usize];
+        let ctx = FileContext::build("crates/synth/src/module.rs", tokenize(src));
+        let items = parse_items(&ctx.code);
+        checksum = fold(checksum, ctx.code.len() as u64);
+        checksum = fold_items(checksum, &items);
+    }
+    let ns = start.elapsed().as_nanos();
+    Sample {
+        ops: iters,
+        checksum,
+        ns,
+    }
+}
+
 /// The registered benches, in report order.
 #[must_use]
 pub fn benches() -> Vec<Bench> {
@@ -274,6 +340,10 @@ pub fn benches() -> Vec<Bench> {
         Bench {
             name: "noc_route_flit",
             run: noc_route_flit,
+        },
+        Bench {
+            name: "lint_parse_workspace",
+            run: lint_parse_workspace,
         },
     ]
 }
@@ -393,6 +463,16 @@ mod tests {
         // The CI smoke path: every bench must survive a single iteration.
         let r = run_all(1, 1);
         assert!(r.iter().all(|x| x.ops >= 1));
+    }
+
+    #[test]
+    fn lint_parse_folds_real_items() {
+        // The front-end must find items in every synthetic file (a zero
+        // or corpus-size-only checksum would mean the parser bailed).
+        let r = run_all(4, 2);
+        let lp = r.iter().find(|x| x.name == "lint_parse_workspace").unwrap();
+        assert_eq!(lp.ops, 4);
+        assert_ne!(lp.checksum, 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn set_threads(n: usize) {
 #[must_use]
 pub fn auto_threads() -> usize {
     match THREADS.load(Ordering::Relaxed) {
+        // lint: allow(D006, picks the worker count only; par_map output is index-ordered and byte-identical for any thread count)
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         n => n,
     }
@@ -125,6 +126,7 @@ where
                         }
                         let next = lock_unpoisoned(&queue).next();
                         let Some((index, item)) = next else { break };
+                        // lint: allow(D006, task timing feeds the par ledger whose values exit only through runtime_metric stderr diagnostics)
                         let start = Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
                             Ok(result) => {
